@@ -1,0 +1,98 @@
+//! Criterion benches for the Section 5 ablations: alias sharing on the
+//! RT PC, SUN 3 context thrash, the NS32082 erratum, VAX table space,
+//! TLB-shootdown strategies, and shadow-chain collapse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mach_bench::ablate;
+use mach_hw::machine::MachineModel;
+use mach_pmap::ShootdownStrategy;
+use std::time::Duration;
+
+fn bench_alias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_rt_alias");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("rt_pc_sharing", |b| {
+        b.iter(|| ablate::alias_sharing(MachineModel::rt_pc(), 4, 20))
+    });
+    g.bench_function("uvax_sharing", |b| {
+        b.iter(|| ablate::alias_sharing(MachineModel::micro_vax_ii(), 4, 20))
+    });
+    g.finish();
+}
+
+fn bench_contexts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_sun_contexts");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for n in [4usize, 8, 12, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| ablate::sun3_contexts(n, 4))
+        });
+    }
+    g.finish();
+}
+
+fn bench_erratum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_ns_erratum");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("cow_rmw_storm", |b| b.iter(|| ablate::ns32082_erratum(8)));
+    g.finish();
+}
+
+fn bench_table_space(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_vax_table_space");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for mb in [16u64, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(mb), &mb, |b, &mb| {
+            b.iter(|| ablate::table_space(mb))
+        });
+    }
+    g.finish();
+}
+
+fn bench_shootdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s5_2_shootdown");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    for s in [
+        ShootdownStrategy::Immediate,
+        ShootdownStrategy::Deferred,
+        ShootdownStrategy::Lazy,
+    ] {
+        g.bench_with_input(BenchmarkId::new("storm", format!("{s:?}")), &s, |b, &s| {
+            b.iter(|| ablate::shootdown_storm(4, s, 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s3_4_shadow_chains");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("collapse_on", |b| b.iter(|| ablate::shadow_chain(8, true)));
+    g.bench_function("collapse_off", |b| {
+        b.iter(|| ablate::shadow_chain(8, false))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_alias,
+    bench_contexts,
+    bench_erratum,
+    bench_table_space,
+    bench_shootdown,
+    bench_chains
+);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Real-time microbenchmarks of the core machine-independent paths: map
+//! lookup with and without hint locality (S3.2), the fault path, and the
+//! object/offset hash — the operations the paper's data-structure choices
+//! optimize.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::Protection;
+
+fn bench_map_lookup(c: &mut Criterion) {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let task = kernel.create_task();
+    let ps = kernel.page_size();
+    // Fragment the map into many entries with alternating protection.
+    let base = task
+        .map()
+        .allocate(kernel.ctx(), None, 128 * ps, true)
+        .unwrap();
+    for i in 0..64u64 {
+        task.map()
+            .protect(kernel.ctx(), base + 2 * i * ps, ps, false, Protection::READ)
+            .unwrap();
+    }
+    assert!(task.map().entry_count() >= 64);
+
+    let mut g = c.benchmark_group("map_lookup");
+    g.bench_function("sequential_hint_friendly", |b| {
+        let mut addr = base;
+        b.iter(|| {
+            let r = task.map().resolve(kernel.ctx(), addr).unwrap();
+            addr += ps;
+            if addr >= base + 128 * ps {
+                addr = base;
+            }
+            r
+        })
+    });
+    g.bench_function("strided_hint_hostile", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = base + ((i * 37) % 128) * ps;
+            i += 1;
+            task.map().resolve(kernel.ctx(), addr).unwrap()
+        })
+    });
+    g.finish();
+
+    let s = kernel.statistics();
+    eprintln!(
+        "hint effectiveness: {} hits / {} misses",
+        s.hint_hits, s.hint_misses
+    );
+}
+
+fn bench_fault_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_path");
+    g.sample_size(20);
+    g.bench_function("zero_fill_fault", |b| {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let kernel = Kernel::boot(&machine);
+        let task = kernel.create_task();
+        let ps = kernel.page_size();
+        let span = 512 * ps;
+        let mut addr = task.map().allocate(kernel.ctx(), None, span, true).unwrap();
+        let base = addr;
+        b.iter(|| {
+            task.user(0, |u| u.write_u32(addr, 1).unwrap());
+            addr += ps;
+            if addr >= base + span {
+                // Recycle the region.
+                task.map().deallocate(kernel.ctx(), base, span).unwrap();
+                addr = task
+                    .map()
+                    .allocate(kernel.ctx(), Some(base), span, false)
+                    .unwrap();
+            }
+        })
+    });
+    g.bench_function("resident_refault", |b| {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let kernel = Kernel::boot(&machine);
+        let task = kernel.create_task();
+        let ps = kernel.page_size();
+        let addr = task.map().allocate(kernel.ctx(), None, ps, true).unwrap();
+        task.user(0, |u| u.write_u32(addr, 1).unwrap());
+        b.iter(|| {
+            // Force a refault by discarding the (cache!) pmap state.
+            task.pmap()
+                .remove(mach_hw::VAddr(addr), mach_hw::VAddr(addr + ps));
+            task.user(0, |u| u.read_u32(addr).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_object_hash(c: &mut Criterion) {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let task = kernel.create_task();
+    let ps = kernel.page_size();
+    let pages = 256u64;
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, pages * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+    let r = task.map().resolve(kernel.ctx(), addr).unwrap();
+    let obj_id = r.object.id();
+
+    let mut g = c.benchmark_group("resident_page_hash");
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let off = (i % pages) * ps;
+            i += 1;
+            kernel.ctx().resident.lookup(obj_id, off).unwrap()
+        })
+    });
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| kernel.ctx().resident.lookup(obj_id ^ 0xFFFF, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_map_lookup,
+    bench_fault_paths,
+    bench_object_hash
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for every row of the paper's Table 7-1: zero fill,
+//! fork 256K, and the file-read pairs, under Mach and the 4.3bsd
+//! baseline. Wall time here measures the simulator; the simulated
+//! milliseconds (the reproduced quantity) are printed by the `tables`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mach_bench::workloads::{self, GENERIC_BUFFERS};
+use mach_hw::machine::MachineModel;
+use std::time::Duration;
+
+fn bench_zero_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t7_1a_zero_fill_1k");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("mach_rt_pc", |b| {
+        b.iter(|| workloads::zero_fill_mach(MachineModel::rt_pc()))
+    });
+    g.bench_function("unix_rt_pc", |b| {
+        b.iter(|| workloads::zero_fill_unix(MachineModel::rt_pc()))
+    });
+    g.bench_function("mach_uvax", |b| {
+        b.iter(|| workloads::zero_fill_mach(MachineModel::micro_vax_ii()))
+    });
+    g.bench_function("unix_uvax", |b| {
+        b.iter(|| workloads::zero_fill_unix(MachineModel::micro_vax_ii()))
+    });
+    g.bench_function("mach_sun3", |b| {
+        b.iter(|| workloads::zero_fill_mach(MachineModel::sun_3_160()))
+    });
+    g.bench_function("unix_sun3", |b| {
+        b.iter(|| workloads::zero_fill_unix(MachineModel::sun_3_160()))
+    });
+    g.finish();
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t7_1b_fork_256k");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("mach_rt_pc", |b| {
+        b.iter(|| workloads::fork_mach(MachineModel::rt_pc(), 256))
+    });
+    g.bench_function("unix_rt_pc", |b| {
+        b.iter(|| workloads::fork_unix(MachineModel::rt_pc(), 256))
+    });
+    g.bench_function("mach_uvax", |b| {
+        b.iter(|| workloads::fork_mach(MachineModel::micro_vax_ii(), 256))
+    });
+    g.bench_function("unix_uvax", |b| {
+        b.iter(|| workloads::fork_unix(MachineModel::micro_vax_ii(), 256))
+    });
+    g.bench_function("mach_sun3", |b| {
+        b.iter(|| workloads::fork_mach(MachineModel::sun_3_160(), 256))
+    });
+    g.bench_function("unix_sun3", |b| {
+        b.iter(|| workloads::fork_unix(MachineModel::sun_3_160(), 256))
+    });
+    g.finish();
+}
+
+fn bench_file_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t7_1cd_file_read");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("mach_vax8200_2_5m", |b| {
+        b.iter(|| workloads::file_read_mach(MachineModel::vax_8200(), 2560))
+    });
+    g.bench_function("unix_vax8200_2_5m", |b| {
+        b.iter(|| workloads::file_read_unix(MachineModel::vax_8200(), 2560, GENERIC_BUFFERS))
+    });
+    g.bench_function("mach_vax8200_50k", |b| {
+        b.iter(|| workloads::file_read_mach(MachineModel::vax_8200(), 50))
+    });
+    g.bench_function("unix_vax8200_50k", |b| {
+        b.iter(|| workloads::file_read_unix(MachineModel::vax_8200(), 50, GENERIC_BUFFERS))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_zero_fill, bench_fork, bench_file_read);
+criterion_main!(benches);

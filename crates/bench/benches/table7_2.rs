@@ -1,0 +1,56 @@
+//! Criterion benches for the paper's Table 7-2: the compile suites under
+//! both buffer-cache configurations, on Mach and 4.3bsd.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mach_bench::workloads::{self, CompileConfig, FOUR_HUNDRED_BUFFERS};
+use mach_hw::machine::MachineModel;
+use std::time::Duration;
+
+fn small_suite() -> CompileConfig {
+    let mut cfg = CompileConfig::thirteen_programs();
+    cfg.n_jobs = 6; // keep criterion iterations tractable
+    cfg
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t7_2_compile");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("mach_8650", |b| {
+        b.iter(|| workloads::compile_mach(MachineModel::vax_8650(), small_suite()))
+    });
+    g.bench_function("unix_8650_400buf", |b| {
+        b.iter(|| {
+            workloads::compile_unix(
+                MachineModel::vax_8650(),
+                small_suite(),
+                FOUR_HUNDRED_BUFFERS,
+            )
+        })
+    });
+    g.bench_function("unix_8650_generic", |b| {
+        b.iter(|| workloads::compile_unix(MachineModel::vax_8650(), small_suite(), 32))
+    });
+    g.bench_function("mach_sun3_forktest", |b| {
+        b.iter(|| {
+            workloads::compile_mach(
+                MachineModel::sun_3_160(),
+                CompileConfig::fork_test_program(),
+            )
+        })
+    });
+    g.bench_function("unix_sun3_forktest", |b| {
+        b.iter(|| {
+            workloads::compile_unix(
+                MachineModel::sun_3_160(),
+                CompileConfig::fork_test_program(),
+                workloads::GENERIC_BUFFERS,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,584 @@
+//! Ablation workloads for the paper's Section 5 claims.
+//!
+//! Each function isolates one architectural pro/con the paper assesses —
+//! RT PC alias faults, SUN 3 context limits, NS32082 erratum, VAX table
+//! space, TLB shootdown strategies, shadow-chain collapse — and returns
+//! the measurements EXPERIMENTS.md records.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_pmap::{ShootdownPolicy, ShootdownStrategy};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::{Inheritance, Protection};
+
+use crate::measure::{measured, SimTime};
+
+// ----------------------------------------------------------------------
+// S5-RT: alias faults on the inverted page table
+// ----------------------------------------------------------------------
+
+/// Result of the RT alias workload.
+#[derive(Debug, Clone, Copy)]
+pub struct AliasResult {
+    /// Simulated time for the sharing version.
+    pub shared_time: SimTime,
+    /// Simulated time for the copy-based (alias-free) version.
+    pub copy_time: SimTime,
+    /// Alias evictions the sharing version caused.
+    pub alias_evictions: u64,
+    /// Faults the sharing version took.
+    pub faults: u64,
+}
+
+/// Two tasks sharing pages on a machine of `model`, alternating access
+/// with a given write percentage, versus the alias-free alternative of
+/// copying the region back and forth (the "shared segments" scheme of
+/// ACIS 4.2a). On the RT PC, sharing causes alias evictions; the paper's
+/// claim is that it *still* wins.
+pub fn alias_sharing(model: MachineModel, rounds: usize, write_pct: u32) -> AliasResult {
+    let pages = 16u64;
+    // --- Sharing version ---
+    let machine = Machine::boot(model.clone());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let size = pages * ps;
+    let parent = kernel.create_task();
+    let addr = parent
+        .map()
+        .allocate(kernel.ctx(), None, size, true)
+        .unwrap();
+    parent
+        .map()
+        .inherit(kernel.ctx(), addr, size, Inheritance::Shared)
+        .unwrap();
+    parent.user(0, |u| u.dirty_range(addr, size).unwrap());
+    let child = parent.fork();
+    let faults0 = kernel.statistics().faults;
+    let (shared_time, _) = measured(&machine, 0, || {
+        for r in 0..rounds {
+            for (ti, t) in [&parent, &child].iter().enumerate() {
+                t.user(0, |u| {
+                    for p in 0..pages {
+                        let va = addr + p * ps;
+                        if (r as u32 * 7 + p as u32 * 13 + ti as u32 * 29) % 100 < write_pct {
+                            u.write_u32(va, r as u32).unwrap();
+                        } else {
+                            u.read_u32(va).unwrap();
+                        }
+                    }
+                });
+            }
+        }
+    });
+    let alias_evictions = kernel.machdep().stats().alias_evictions;
+    let faults = kernel.statistics().faults - faults0;
+
+    // --- Copy version (avoids aliases entirely) ---
+    let machine2 = Machine::boot(model);
+    let kernel2 = Kernel::boot(&machine2);
+    let a = kernel2.create_task();
+    let b = kernel2.create_task();
+    let addr_a = a.map().allocate(kernel2.ctx(), None, size, true).unwrap();
+    let addr_b = b.map().allocate(kernel2.ctx(), None, size, true).unwrap();
+    a.user(0, |u| u.dirty_range(addr_a, size).unwrap());
+    b.user(0, |u| u.dirty_range(addr_b, size).unwrap());
+    let (copy_time, _) = measured(&machine2, 0, || {
+        for r in 0..rounds {
+            for (ti, (t, base)) in [(&a, addr_a), (&b, addr_b)].iter().enumerate() {
+                t.user(0, |u| {
+                    for p in 0..pages {
+                        let va = base + p * ps;
+                        if (r as u32 * 7 + p as u32 * 13 + ti as u32 * 29) % 100 < write_pct {
+                            u.write_u32(va, r as u32).unwrap();
+                        } else {
+                            u.read_u32(va).unwrap();
+                        }
+                    }
+                });
+            }
+            // Propagate updates by copying the whole region both ways —
+            // the price of refusing per-page sharing.
+            let data = kernel2.vm_read(&a, addr_a, size).unwrap();
+            kernel2.vm_write(&b, addr_b, &data).unwrap();
+        }
+    });
+    AliasResult {
+        shared_time,
+        copy_time,
+        alias_evictions,
+        faults,
+    }
+}
+
+// ----------------------------------------------------------------------
+// S5-SUN: context thrash
+// ----------------------------------------------------------------------
+
+/// Result of the SUN 3 context workload for one task count.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextResult {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Time for the round-robin touch workload.
+    pub time: SimTime,
+    /// Hardware contexts stolen.
+    pub context_steals: u64,
+    /// Faults taken.
+    pub faults: u64,
+}
+
+/// `n_tasks` tasks round-robin over a small working set on a SUN 3; past
+/// 8 tasks the context steals (and refault storms) begin.
+pub fn sun3_contexts(n_tasks: usize, rounds: usize) -> ContextResult {
+    let machine = Machine::boot(MachineModel::sun_3_160());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let pages = 4u64;
+    let tasks: Vec<_> = (0..n_tasks)
+        .map(|_| {
+            let t = kernel.create_task();
+            let addr = t
+                .map()
+                .allocate(kernel.ctx(), None, pages * ps, true)
+                .unwrap();
+            t.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+            (t, addr)
+        })
+        .collect();
+    let steals0 = kernel.machdep().stats().context_steals;
+    let faults0 = kernel.statistics().faults;
+    let (time, _) = measured(&machine, 0, || {
+        for _ in 0..rounds {
+            for (t, addr) in &tasks {
+                t.user(0, |u| u.touch_range(*addr, pages * ps).unwrap());
+            }
+        }
+    });
+    ContextResult {
+        tasks: n_tasks,
+        time,
+        context_steals: kernel.machdep().stats().context_steals - steals0,
+        faults: kernel.statistics().faults - faults0,
+    }
+}
+
+// ----------------------------------------------------------------------
+// S5-NS: the read-modify-write erratum
+// ----------------------------------------------------------------------
+
+/// Result of the NS32082 erratum workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ErratumResult {
+    /// Time with the erratum active (workaround in play).
+    pub buggy_time: SimTime,
+    /// Time with a fixed chip (NS32382).
+    pub fixed_time: SimTime,
+    /// COW faults under the erratum (correctness check: must match).
+    pub buggy_cow_faults: u64,
+    /// COW faults with the fixed chip.
+    pub fixed_cow_faults: u64,
+}
+
+/// A COW read-modify-write storm with the chip bug on and off. The
+/// machine-independent workaround must preserve *exactly* the same COW
+/// behaviour, at a small extra fault-handling cost.
+pub fn ns32082_erratum(pages: u64) -> ErratumResult {
+    let run = |bug: bool| {
+        let machine = Machine::boot(MachineModel::multimax(1));
+        if let mach_hw::arch::ArchGlobal::Ns32082(g) = machine.arch_global() {
+            g.set_rmw_bug(bug);
+        }
+        let kernel = Kernel::boot(&machine);
+        let ps = kernel.page_size();
+        let parent = kernel.create_task();
+        let addr = parent
+            .map()
+            .allocate(kernel.ctx(), None, pages * ps, true)
+            .unwrap();
+        parent.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+        let child = parent.fork();
+        let cow0 = kernel.statistics().cow_faults;
+        let (t, _) = measured(&machine, 0, || {
+            child.user(0, |u| {
+                for p in 0..pages {
+                    u.rmw_u32(addr + p * ps, |v| v.wrapping_add(1)).unwrap();
+                }
+            });
+        });
+        // Isolation must hold regardless of the erratum.
+        parent.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0x5A5A_5A5A);
+        });
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0x5A5A_5A5B);
+        });
+        (t, kernel.statistics().cow_faults - cow0)
+    };
+    let (buggy_time, buggy_cow_faults) = run(true);
+    let (fixed_time, fixed_cow_faults) = run(false);
+    ErratumResult {
+        buggy_time,
+        fixed_time,
+        buggy_cow_faults,
+        fixed_cow_faults,
+    }
+}
+
+// ----------------------------------------------------------------------
+// S5-VAX: page-table space
+// ----------------------------------------------------------------------
+
+/// Table bytes used after sparse allocations on two architectures.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSpaceResult {
+    /// VAX linear-table bytes for the sparse space.
+    pub vax_table_bytes: u64,
+    /// RT PC per-task table bytes (always zero: the IPT is global).
+    pub romp_table_bytes: u64,
+    /// TLB-only machine's table bytes (zero: there are no tables at all).
+    pub tlbsoft_table_bytes: u64,
+    /// Bytes a full VAX user-space table would take (the paper's 8 MB).
+    pub vax_full_table_bytes: u64,
+}
+
+/// Touch one page near the top of a `span_mb` MB region on a VAX and on
+/// an RT PC; report the table space each charged.
+pub fn table_space(span_mb: u64) -> TableSpaceResult {
+    let probe = |mut model: MachineModel| {
+        // Give the pmap layer room for big linear tables: 32 MB machine,
+        // a third of it reserved for hardware tables.
+        if !matches!(model.kind, mach_hw::ArchKind::Ns32082) {
+            model.mem_bytes = 32 << 20;
+        }
+        let machine = Machine::boot(model);
+        let mut opts = mach_vm::kernel::BootOptions::for_machine(&machine);
+        opts.pmap_reserve_den = 3;
+        let kernel = Kernel::boot_with(&machine, opts);
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let top = span_mb * 1024 * 1024 - ps;
+        let addr = task
+            .map()
+            .allocate(kernel.ctx(), Some(top), ps, false)
+            .unwrap();
+        task.user(0, |u| u.write_u32(addr, 1).unwrap());
+        kernel.machdep().stats().table_bytes
+    };
+    TableSpaceResult {
+        vax_table_bytes: probe(MachineModel::micro_vax_ii()),
+        romp_table_bytes: probe(MachineModel::rt_pc()),
+        tlbsoft_table_bytes: probe(MachineModel::rp3(1)),
+        // 2^21 pages/region × 4 bytes × 2 regions = 8 MB + 8 MB... the
+        // paper quotes 8 MB for the 2 GB user space.
+        vax_full_table_bytes: 8 << 20,
+    }
+}
+
+// ----------------------------------------------------------------------
+// S5.2: shootdown strategies
+// ----------------------------------------------------------------------
+
+/// Result of one shootdown-strategy run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShootdownResult {
+    /// The strategy measured.
+    pub strategy: ShootdownStrategy,
+    /// Time charged to the initiating CPU.
+    pub time: SimTime,
+    /// IPIs sent machine-wide.
+    pub ipis: u64,
+}
+
+/// A protection storm on a region shared by `n_cpus` live CPUs, under
+/// one uniform shootdown strategy. Remote CPUs run real threads touching
+/// the region so their TLBs are genuinely live.
+pub fn shootdown_storm(n_cpus: usize, strategy: ShootdownStrategy, ops: usize) -> ShootdownResult {
+    let machine = Machine::boot(MachineModel::multimax(n_cpus));
+    let kernel = Kernel::boot(&machine);
+    kernel
+        .machdep()
+        .set_shootdown_policy(ShootdownPolicy::uniform(strategy));
+    let ps = kernel.page_size();
+    let pages = 8u64;
+    let task = kernel.create_task();
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, pages * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for cpu in 1..n_cpus {
+        let stop = Arc::clone(&stop);
+        let task = Arc::clone(&task);
+        threads.push(std::thread::spawn(move || {
+            task.user(cpu, |u| {
+                while !stop.load(Ordering::Acquire) {
+                    for p in 0..pages {
+                        // Reads only: protection changes leave them legal,
+                        // so the storm measures pure invalidation cost.
+                        let _ = u.read_u32(addr + p * ps);
+                    }
+                }
+            });
+        }));
+    }
+    // Let the remote CPUs warm their TLBs.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let ipis0 = machine.stats.ipis_sent.load(Ordering::Relaxed);
+    let (time, _) = measured(&machine, 0, || {
+        task.activate(0);
+        for i in 0..ops {
+            let prot = if i % 2 == 0 {
+                Protection::READ
+            } else {
+                Protection::DEFAULT
+            };
+            task.map()
+                .protect(kernel.ctx(), addr, pages * ps, false, prot)
+                .unwrap();
+        }
+        // Deferred work completes inside the measured window.
+        kernel.machdep().update();
+    });
+    stop.store(true, Ordering::Release);
+    for t in threads {
+        let _ = t.join();
+    }
+    ShootdownResult {
+        strategy,
+        time,
+        ipis: machine.stats.ipis_sent.load(Ordering::Relaxed) - ipis0,
+    }
+}
+
+// ----------------------------------------------------------------------
+// §3.1: the boot-time page size parameter
+// ----------------------------------------------------------------------
+
+/// Result of one page-size configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PageSizeResult {
+    /// The Mach page size booted with.
+    pub page_size: u64,
+    /// Zero-fill cost per KB.
+    pub zero_fill_per_kb: SimTime,
+    /// Fork of a 256 KB dirty space.
+    pub fork_256k: SimTime,
+    /// Faults taken to dirty 256 KB.
+    pub faults: u64,
+}
+
+/// Boot a MicroVAX II with Mach pages of `multiple` × 512 B hardware
+/// pages and measure the basic operations. "The definition of page size
+/// is a boot time system parameter and can be any power of two multiple
+/// of the hardware page size" (§2.1): bigger pages mean fewer faults but
+/// more zero-fill work per fault.
+pub fn page_size_sweep(multiple: u64) -> PageSizeResult {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = mach_vm::kernel::BootOptions::for_machine(&machine);
+    opts.page_multiple = multiple;
+    let kernel = Kernel::boot_with(&machine, opts);
+    let ps = kernel.page_size();
+    let task = kernel.create_task();
+    let size = 256 * 1024u64;
+    let addr = task.map().allocate(kernel.ctx(), None, size, true).unwrap();
+    let f0 = kernel.statistics().faults;
+    let (zf, _) = measured(&machine, 0, || {
+        task.user(0, |u| u.dirty_range(addr, size).unwrap());
+    });
+    let faults = kernel.statistics().faults - f0;
+    let zero_fill_per_kb = SimTime {
+        system_us: zf.system_us / (size / 1024),
+        elapsed_us: zf.elapsed_us / (size / 1024),
+    };
+    let (fork_256k, child) = measured(&machine, 0, || {
+        machine.charge(crate::workloads::PROC_CREATE_CYCLES);
+        task.fork()
+    });
+    drop(child);
+    PageSizeResult {
+        page_size: ps,
+        zero_fill_per_kb,
+        fork_256k,
+        faults,
+    }
+}
+
+// ----------------------------------------------------------------------
+// S3.4: shadow-chain collapse
+// ----------------------------------------------------------------------
+
+/// Result of the shadow-chain workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainResult {
+    /// Whether collapse was enabled.
+    pub collapse_on: bool,
+    /// Final chain length behind the surviving task.
+    pub final_chain: usize,
+    /// Time for the fault storm at the end (chains make faults walk).
+    pub fault_time: SimTime,
+    /// Collapses + bypasses performed.
+    pub gcs: u64,
+}
+
+/// Fork a lineage `generations` deep (each generation dirties a little),
+/// then measure a read storm at the youngest generation — with and
+/// without the §3.5 garbage collection.
+pub fn shadow_chain(generations: usize, collapse_on: bool) -> ChainResult {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    kernel
+        .ctx()
+        .collapse_enabled
+        .store(collapse_on, Ordering::Relaxed);
+    let ps = kernel.page_size();
+    let pages = 16u64;
+    let mut task = kernel.create_task();
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, pages * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+    for g in 0..generations {
+        let child = task.fork();
+        child.user(0, |u| {
+            u.write_u32(addr + (g as u64 % pages) * ps, g as u32)
+                .unwrap()
+        });
+        task = child;
+    }
+    let final_chain = task
+        .map()
+        .resolve(kernel.ctx(), addr)
+        .unwrap()
+        .object
+        .chain_length();
+    // Drop the hardware mappings (legal at any time: the pmap is a
+    // cache) so the storm refaults every page through the chain.
+    task.pmap()
+        .remove(mach_hw::VAddr(addr), mach_hw::VAddr(addr + pages * ps));
+    let (fault_time, _) = measured(&machine, 0, || {
+        for _ in 0..50 {
+            task.pmap()
+                .remove(mach_hw::VAddr(addr), mach_hw::VAddr(addr + pages * ps));
+            task.user(0, |u| u.touch_range(addr, pages * ps).unwrap());
+        }
+    });
+    let s = kernel.statistics();
+    ChainResult {
+        collapse_on,
+        final_chain,
+        fault_time,
+        gcs: s.collapses + s.bypasses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_sharing_beats_copying_despite_evictions() {
+        // §5.1: "Mach is able to outperform a version of UNIX (IBM ACIS
+        // 4.2a) ... which avoids such aliasing altogether."
+        let r = alias_sharing(MachineModel::rt_pc(), 6, 20);
+        assert!(r.alias_evictions > 0, "sharing on the RT causes evictions");
+        assert!(
+            r.shared_time.elapsed_us < r.copy_time.elapsed_us,
+            "sharing ({:?}) still beats copying ({:?})",
+            r.shared_time,
+            r.copy_time
+        );
+    }
+
+    #[test]
+    fn no_aliases_on_the_vax() {
+        let r = alias_sharing(MachineModel::micro_vax_ii(), 4, 20);
+        assert_eq!(r.alias_evictions, 0, "the VAX has no alias restriction");
+    }
+
+    #[test]
+    fn context_thrash_kicks_in_past_eight() {
+        let four = sun3_contexts(4, 6);
+        let twelve = sun3_contexts(12, 6);
+        assert_eq!(four.context_steals, 0, "≤8 tasks fit the contexts");
+        assert!(twelve.context_steals > 0, ">8 tasks must steal");
+        // Per-task time inflates under thrash.
+        let per4 = four.time.elapsed_us / 4;
+        let per12 = twelve.time.elapsed_us / 12;
+        assert!(
+            per12 > per4,
+            "per-task cost grows when contexts thrash ({per4} vs {per12})"
+        );
+    }
+
+    #[test]
+    fn erratum_workaround_preserves_cow() {
+        let r = ns32082_erratum(4);
+        assert_eq!(
+            r.buggy_cow_faults, r.fixed_cow_faults,
+            "the workaround must produce identical COW behaviour"
+        );
+    }
+
+    #[test]
+    fn vax_tables_balloon_for_sparse_spaces() {
+        let r = table_space(64);
+        assert_eq!(r.romp_table_bytes, 0, "the IPT is free per task");
+        assert!(
+            r.vax_table_bytes > 64 * 1024,
+            "a 64 MB-sparse VAX space needs a large linear table, got {}",
+            r.vax_table_bytes
+        );
+        assert!(r.vax_table_bytes < r.vax_full_table_bytes);
+    }
+
+    #[test]
+    fn shadow_chains_grow_without_collapse() {
+        let on = shadow_chain(10, true);
+        let off = shadow_chain(10, false);
+        assert!(on.gcs > 0);
+        assert_eq!(off.gcs, 0);
+        assert!(
+            off.final_chain > on.final_chain,
+            "collapse must bound the chain ({} vs {})",
+            on.final_chain,
+            off.final_chain
+        );
+    }
+
+    #[test]
+    fn page_size_trades_faults_for_fill_work() {
+        let small = page_size_sweep(1); // 512 B pages
+        let big = page_size_sweep(16); // 8 KB pages
+        assert_eq!(small.page_size, 512);
+        assert_eq!(big.page_size, 8192);
+        assert!(
+            small.faults > big.faults * 8,
+            "small pages take many more faults ({} vs {})",
+            small.faults,
+            big.faults
+        );
+        assert!(
+            small.zero_fill_per_kb.elapsed_us > big.zero_fill_per_kb.elapsed_us,
+            "per-KB cost is dominated by per-fault overhead at small pages"
+        );
+    }
+
+    #[test]
+    fn shootdown_strategies_order_by_ipi_cost() {
+        let imm = shootdown_storm(4, ShootdownStrategy::Immediate, 16);
+        let lazy = shootdown_storm(4, ShootdownStrategy::Lazy, 16);
+        assert!(imm.ipis > 0, "immediate must interrupt live CPUs");
+        assert!(
+            lazy.ipis < imm.ipis,
+            "lazy avoids IPIs ({} vs {})",
+            lazy.ipis,
+            imm.ipis
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulated-time measurement helpers.
+//!
+//! Workloads run on the simulated machine; their cost is the cycles and
+//! I/O waits charged to the CPU clocks, converted to time by the machine's
+//! clock rate. This is what lets the harness print paper-style
+//! milliseconds without 1987 hardware.
+
+use std::sync::Arc;
+
+use mach_hw::machine::Machine;
+
+/// A simulated duration, split the way the paper's Table 7-1 splits it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTime {
+    /// CPU (system) time, microseconds.
+    pub system_us: u64,
+    /// Elapsed time (system + I/O waits), microseconds.
+    pub elapsed_us: u64,
+}
+
+impl SimTime {
+    /// system time in milliseconds.
+    pub fn system_ms(&self) -> f64 {
+        self.system_us as f64 / 1000.0
+    }
+
+    /// elapsed time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_us as f64 / 1000.0
+    }
+
+    /// elapsed time divided by `n` (per-operation cost), milliseconds.
+    pub fn elapsed_ms_per(&self, n: u64) -> f64 {
+        self.elapsed_ms() / n.max(1) as f64
+    }
+
+    /// How many times larger `other`'s elapsed time is.
+    pub fn speedup_vs(&self, other: &SimTime) -> f64 {
+        other.elapsed_us.max(1) as f64 / self.elapsed_us.max(1) as f64
+    }
+
+    /// Sum of two intervals.
+    pub fn plus(&self, other: SimTime) -> SimTime {
+        SimTime {
+            system_us: self.system_us + other.system_us,
+            elapsed_us: self.elapsed_us + other.elapsed_us,
+        }
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2}/{:.2} ms (sys/elapsed)",
+            self.system_ms(),
+            self.elapsed_ms()
+        )
+    }
+}
+
+/// Run `f` with the current thread bound to `cpu` and return the
+/// simulated time it charged to that CPU.
+pub fn measured<R>(machine: &Arc<Machine>, cpu: usize, f: impl FnOnce() -> R) -> (SimTime, R) {
+    let _bind = machine.bind_cpu(cpu);
+    let mhz = machine.model().mhz;
+    let before = machine.cpu(cpu).clock.snapshot();
+    let r = f();
+    let d = before.delta(machine.cpu(cpu).clock.snapshot());
+    (
+        SimTime {
+            system_us: d.system_us(mhz),
+            elapsed_us: d.elapsed_us(mhz),
+        },
+        r,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    #[test]
+    fn measured_reports_only_the_interval() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        {
+            let _b = machine.bind_cpu(0);
+            machine.charge(5_000_000); // pre-existing work
+        }
+        let (t, val) = measured(&machine, 0, || {
+            machine.charge(10_000_000); // 2 s at 5 MHz
+            machine.charge_wait_us(500);
+            7
+        });
+        assert_eq!(val, 7);
+        assert_eq!(t.system_us, 2_000_000);
+        assert_eq!(t.elapsed_us, 2_000_500);
+        assert_eq!(t.system_ms(), 2000.0);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime {
+            system_us: 1000,
+            elapsed_us: 2000,
+        };
+        let b = SimTime {
+            system_us: 500,
+            elapsed_us: 1000,
+        };
+        let c = a.plus(b);
+        assert_eq!(c.system_us, 1500);
+        assert_eq!(c.elapsed_us, 3000);
+        assert_eq!(b.speedup_vs(&a), 2.0);
+        assert_eq!(a.elapsed_ms_per(4), 0.5);
+        assert!(a.to_string().contains("sys/elapsed"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Paper-style table formatting.
+
+use crate::measure::SimTime;
+
+/// "0.45ms" / "41ms" style.
+pub fn ms(v: f64) -> String {
+    if v < 10.0 {
+        format!("{v:.2}ms")
+    } else {
+        format!("{v:.0}ms")
+    }
+}
+
+/// "5.2/16.3 sec" — the paper's system/elapsed presentation.
+pub fn sec_pair(t: SimTime) -> String {
+    format!(
+        "{:.2}/{:.2} sec",
+        t.system_us as f64 / 1e6,
+        t.elapsed_us as f64 / 1e6
+    )
+}
+
+/// "19:58min"-ish for long runs, else seconds.
+pub fn duration(t: SimTime) -> String {
+    let s = t.elapsed_us as f64 / 1e6;
+    if s >= 90.0 {
+        format!("{}:{:02}min", (s / 60.0) as u64, (s % 60.0) as u64)
+    } else {
+        format!("{s:.1}sec")
+    }
+}
+
+/// Print one table row with a fixed label width.
+pub fn row(label: &str, cols: &[String]) {
+    print!("  {label:<34}");
+    for c in cols {
+        print!("{c:>18}");
+    }
+    println!();
+}
+
+/// Print a table header.
+pub fn header(title: &str, cols: &[&str]) {
+    println!();
+    println!("{title}");
+    print!("  {:<34}", "");
+    for c in cols {
+        print!("{c:>18}");
+    }
+    println!();
+    println!("  {}", "-".repeat(34 + 18 * cols.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_formats_small_and_large() {
+        assert_eq!(ms(0.4531), "0.45ms");
+        assert_eq!(ms(9.99), "9.99ms");
+        assert_eq!(ms(41.2), "41ms");
+        assert_eq!(ms(145.0), "145ms");
+    }
+
+    #[test]
+    fn sec_pair_matches_paper_style() {
+        let t = SimTime {
+            system_us: 5_200_000,
+            elapsed_us: 11_000_000,
+        };
+        assert_eq!(sec_pair(t), "5.20/11.00 sec");
+    }
+
+    #[test]
+    fn duration_switches_to_minutes() {
+        let short = SimTime {
+            system_us: 0,
+            elapsed_us: 23_000_000,
+        };
+        assert_eq!(duration(short), "23.0sec");
+        let long = SimTime {
+            system_us: 0,
+            elapsed_us: 1_198_000_000, // 19:58
+        };
+        assert_eq!(duration(long), "19:58min");
+    }
+}

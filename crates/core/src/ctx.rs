@@ -1,0 +1,50 @@
+//! Shared kernel context handed around the machine-independent layer.
+
+use std::sync::Arc;
+
+use mach_hw::machine::Machine;
+use mach_pmap::MachDep;
+
+use crate::object::ObjectCache;
+use crate::page::ResidentTable;
+use crate::pager::Pager;
+use crate::stats::VmStatsAtomic;
+
+/// The references every machine-independent subsystem needs: the resident
+/// page table, the machine-dependent module, the object cache and the
+/// statistics block. One instance per booted kernel.
+#[derive(Debug)]
+pub struct CoreRefs {
+    /// The simulated machine.
+    pub machine: Arc<Machine>,
+    /// The machine-dependent (pmap) module.
+    pub machdep: Arc<dyn MachDep>,
+    /// The resident page table.
+    pub resident: Arc<ResidentTable>,
+    /// The cache of unreferenced persistent objects.
+    pub cache: Arc<ObjectCache>,
+    /// Event counters.
+    pub stats: Arc<VmStatsAtomic>,
+    /// The default pager: backing store for anonymous memory at pageout.
+    pub default_pager: Arc<dyn Pager>,
+    /// The machine-independent page size (a power-of-two multiple of the
+    /// hardware page size, fixed at boot — paper §3.1).
+    pub page_size: u64,
+    /// Ablation switch: disable shadow-chain garbage collection (§3.5) to
+    /// measure what the collapse machinery is worth.
+    pub collapse_enabled: std::sync::atomic::AtomicBool,
+}
+
+impl CoreRefs {
+    /// Round `x` down to a page boundary.
+    #[inline]
+    pub fn trunc_page(&self, x: u64) -> u64 {
+        x & !(self.page_size - 1)
+    }
+
+    /// Round `x` up to a page boundary.
+    #[inline]
+    pub fn round_page(&self, x: u64) -> u64 {
+        (x + self.page_size - 1) & !(self.page_size - 1)
+    }
+}

@@ -1,0 +1,311 @@
+//! Virtual memory riding in messages (paper §2).
+//!
+//! "The key to efficiency in Mach is the notion that virtual memory
+//! management can be integrated with a message-oriented communication
+//! facility. This integration allows large amounts of data including
+//! whole files and even whole address spaces to be sent in a single
+//! message with the efficiency of simple memory remapping."
+//!
+//! A [`RegionTicket`] detaches a copy-on-write snapshot of a sender's
+//! address range (pure map manipulation); it can ride any `mach-ipc`
+//! message as a [`mach_ipc::MsgField::Handle`] and be *landed* into any
+//! task's address space on the far side. No page is copied unless someone
+//! later writes.
+
+use std::sync::Arc;
+
+use mach_ipc::{Message, MsgField};
+use parking_lot::Mutex;
+
+use crate::ctx::CoreRefs;
+use crate::kernel::Kernel;
+use crate::map::{MapEntry, MapTarget};
+use crate::object;
+use crate::task::Task;
+use crate::types::{VmError, VmResult};
+
+/// A detached copy-on-write region in flight between address spaces.
+///
+/// Holds references on the backing memory objects; dropping an unlanded
+/// ticket releases them (the message was never received).
+pub struct RegionTicket {
+    size: u64,
+    /// Entries relative to offset 0, targets referenced.
+    entries: Mutex<Option<Vec<MapEntry>>>,
+    ctx: std::sync::Weak<CoreRefs>,
+}
+
+impl std::fmt::Debug for RegionTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionTicket")
+            .field("size", &self.size)
+            .field("landed", &self.entries.lock().is_none())
+            .finish()
+    }
+}
+
+impl RegionTicket {
+    /// The region's size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True once the ticket has been landed into a task.
+    pub fn is_landed(&self) -> bool {
+        self.entries.lock().is_none()
+    }
+}
+
+impl Drop for RegionTicket {
+    fn drop(&mut self) {
+        // An unlanded ticket still owns its target references.
+        let Some(ctx) = self.ctx.upgrade() else {
+            return;
+        };
+        if let Some(entries) = self.entries.lock().take() {
+            for e in entries {
+                match e.target {
+                    MapTarget::Object { object, .. } => object::deallocate(&object, &ctx),
+                    MapTarget::Share { map, .. } => drop(map),
+                }
+            }
+        }
+    }
+}
+
+impl Kernel {
+    /// Detach `[addr, addr+size)` of `task` as a copy-on-write ticket
+    /// (the "send" half). The sender keeps its data; both sides fault
+    /// privately on write.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadAlignment`] or [`VmError::InvalidAddress`].
+    pub fn detach_region(
+        &self,
+        task: &Arc<Task>,
+        addr: u64,
+        size: u64,
+    ) -> VmResult<Arc<RegionTicket>> {
+        let ctx = self.ctx();
+        if !addr.is_multiple_of(ctx.page_size) || !size.is_multiple_of(ctx.page_size) {
+            return Err(VmError::BadAlignment);
+        }
+        let mut entries = task.map().copy_entries(ctx, addr, addr + size)?;
+        task.pmap().protect(
+            mach_hw::VAddr(addr),
+            mach_hw::VAddr(addr + size),
+            crate::types::Protection::READ.to_hw(),
+        );
+        for e in &mut entries {
+            e.start -= addr;
+            e.end -= addr;
+            e.wired = false;
+        }
+        Ok(Arc::new(RegionTicket {
+            size,
+            entries: Mutex::new(Some(entries)),
+            ctx: Arc::downgrade(ctx),
+        }))
+    }
+
+    /// Land a ticket into `task`'s address space (the "receive" half);
+    /// returns the address. Consumes the ticket's entries: landing twice
+    /// fails.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::InvalidAddress`] if already landed, [`VmError::NoSpace`]
+    /// if the task has no room.
+    pub fn land_region(&self, task: &Arc<Task>, ticket: &RegionTicket) -> VmResult<u64> {
+        let ctx = self.ctx();
+        let entries = ticket
+            .entries
+            .lock()
+            .take()
+            .ok_or(VmError::InvalidAddress)?;
+        let _ = ctx;
+        let base = match task.map().find_free(ticket.size) {
+            Ok(b) => b,
+            Err(e) => {
+                // Put the entries back so the ticket stays valid.
+                *ticket.entries.lock() = Some(entries);
+                return Err(e);
+            }
+        };
+        for mut e in entries {
+            e.start += base;
+            e.end += base;
+            task.map().insert_entry(e);
+        }
+        Ok(base)
+    }
+
+    /// Convenience: append a region rider to `msg`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::detach_region`].
+    pub fn attach_region(
+        &self,
+        task: &Arc<Task>,
+        addr: u64,
+        size: u64,
+        msg: Message,
+    ) -> VmResult<Message> {
+        let ticket = self.detach_region(task, addr, size)?;
+        Ok(msg.with(MsgField::U64(size)).with(MsgField::Handle(ticket)))
+    }
+
+    /// Convenience: land the region rider at field `i` of `msg` into
+    /// `task`; returns `(address, size)`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::InvalidAddress`] if the field is not a region ticket or
+    /// was already landed.
+    pub fn receive_region(
+        &self,
+        task: &Arc<Task>,
+        msg: &Message,
+        i: usize,
+    ) -> VmResult<(u64, u64)> {
+        let ticket = msg
+            .handle(i)
+            .clone()
+            .downcast::<RegionTicket>()
+            .map_err(|_| VmError::InvalidAddress)?;
+        let addr = self.land_region(task, &ticket)?;
+        Ok((addr, ticket.size()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+    use mach_ipc::Port;
+
+    fn boot() -> Arc<Kernel> {
+        Kernel::boot(&Machine::boot(MachineModel::vax_8200()))
+    }
+
+    #[test]
+    fn whole_region_rides_a_message() {
+        let k = boot();
+        let ps = k.page_size();
+        let sender = k.create_task();
+        let receiver = k.create_task();
+        let size = 256 * ps; // "an entire address space" in miniature
+        let src = sender.map().allocate(k.ctx(), None, size, true).unwrap();
+        sender.user(0, |u| {
+            for p in 0..size / ps {
+                u.write_u32(src + p * ps, p as u32).unwrap();
+            }
+        });
+
+        let (tx, rx) = Port::allocate("bulk", 4);
+        let cow0 = k.statistics().cow_faults;
+        let msg = k
+            .attach_region(&sender, src, size, Message::new(42))
+            .unwrap();
+        tx.send(msg).unwrap();
+
+        // Receiver picks it up and maps it — still zero copies.
+        let got = rx.receive();
+        assert_eq!(got.op(), 42);
+        assert_eq!(got.u64(0), size);
+        let (addr, sz) = k.receive_region(&receiver, &got, 1).unwrap();
+        assert_eq!(sz, size);
+        assert_eq!(k.statistics().cow_faults, cow0, "transfer copied nothing");
+
+        receiver.user(0, |u| {
+            for p in (0..size / ps).step_by(13) {
+                assert_eq!(u.read_u32(addr + p * ps).unwrap(), p as u32);
+            }
+            u.write_u32(addr, 0xFFFF).unwrap();
+        });
+        sender.user(0, |u| {
+            assert_eq!(u.read_u32(src).unwrap(), 0, "sender isolated");
+            u.write_u32(src + ps, 0xEEEE).unwrap();
+        });
+        receiver.user(0, |u| {
+            assert_eq!(u.read_u32(addr + ps).unwrap(), 1, "receiver isolated");
+        });
+        assert!(
+            k.statistics().cow_faults > cow0,
+            "writes now copy privately"
+        );
+    }
+
+    #[test]
+    fn unlanded_ticket_releases_references() {
+        let k = boot();
+        let ps = k.page_size();
+        let sender = k.create_task();
+        let src = sender.map().allocate(k.ctx(), None, 4 * ps, true).unwrap();
+        sender.user(0, |u| u.dirty_range(src, 4 * ps).unwrap());
+        let obj = sender.map().resolve(k.ctx(), src).unwrap().object;
+        let refs_before = obj.lock().ref_count;
+        {
+            let _ticket = k.detach_region(&sender, src, 4 * ps).unwrap();
+            assert_eq!(obj.lock().ref_count, refs_before + 1);
+        }
+        assert_eq!(
+            obj.lock().ref_count,
+            refs_before,
+            "dropping an unlanded ticket released its reference"
+        );
+    }
+
+    #[test]
+    fn landing_twice_fails() {
+        let k = boot();
+        let ps = k.page_size();
+        let sender = k.create_task();
+        let a = k.create_task();
+        let b = k.create_task();
+        let src = sender.map().allocate(k.ctx(), None, ps, true).unwrap();
+        let ticket = k.detach_region(&sender, src, ps).unwrap();
+        k.land_region(&a, &ticket).unwrap();
+        assert!(ticket.is_landed());
+        assert_eq!(
+            k.land_region(&b, &ticket).unwrap_err(),
+            VmError::InvalidAddress
+        );
+    }
+
+    #[test]
+    fn region_through_port_to_another_thread() {
+        // The full story: a service thread receives memory from a client
+        // thread and reads it through its own address space.
+        let k = boot();
+        let ps = k.page_size();
+        let (tx, rx) = Port::allocate("svc", 4);
+        let k2 = Arc::clone(&k);
+        let server = std::thread::spawn(move || {
+            let me = k2.create_task();
+            let msg = rx.receive();
+            let (addr, size) = k2.receive_region(&me, &msg, 1).unwrap();
+            me.user(0, |u| {
+                let mut sum = 0u64;
+                for p in 0..size / 4096 {
+                    sum += u.read_u32(addr + p * 4096).unwrap() as u64;
+                }
+                sum
+            })
+        });
+        let client = k.create_task();
+        let src = client.map().allocate(k.ctx(), None, 8 * ps, true).unwrap();
+        client.user(0, |u| {
+            for p in 0..8u64 {
+                u.write_u32(src + p * ps, 10).unwrap();
+            }
+        });
+        let msg = k
+            .attach_region(&client, src, 8 * ps, Message::new(1))
+            .unwrap();
+        tx.send(msg).unwrap();
+        assert_eq!(server.join().unwrap(), 80);
+    }
+}

@@ -1,0 +1,495 @@
+//! Memory objects, shadow objects and the object cache (paper §3.3–§3.5).
+//!
+//! A memory object is "a repository for data, indexed by byte, upon which
+//! various operations can be performed"; physical memory is just a cache
+//! of its contents. Copy-on-write is implemented with **shadow objects**:
+//! an initially-empty internal object that "collects and remembers
+//! modified pages", relying on the object it shadows for everything
+//! unmodified. Repeated copying builds shadow *chains*, and most of the
+//! complexity of Mach memory management — reproduced faithfully here — is
+//! the garbage collection that keeps those chains short
+//! ([`collapse`]).
+//!
+//! Frequently-used objects (program text, mapped files) can outlive their
+//! last mapping in the **object cache** so that reuse costs nothing
+//! (`pager_cache`, paper §3.3) — this is what makes the second 2.5 MB file
+//! read of Table 7-1 fast under Mach.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::ctx::CoreRefs;
+use crate::page::PageId;
+use crate::pager::{Pager, PagerIdent};
+
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mutable state of a memory object.
+#[derive(Debug)]
+pub struct ObjState {
+    /// Size in bytes (page aligned).
+    pub size: u64,
+    /// Mapping references (map entries, kernel users). The object cache
+    /// holds objects whose count reached zero.
+    pub ref_count: usize,
+    /// The object's resident pages: offset → page (the paper's
+    /// per-object page list).
+    pub resident: BTreeMap<u64, PageId>,
+    /// The object this one shadows, if any.
+    pub shadow: Option<Arc<VmObject>>,
+    /// Offset into the shadow at which this object's offset 0 falls.
+    pub shadow_offset: u64,
+    /// How many objects currently shadow this one.
+    pub shadow_count: usize,
+    /// Backing-store manager; `None` means transient zero-fill until the
+    /// default pager adopts the pages at pageout time.
+    pub pager: Option<Arc<dyn Pager>>,
+    /// `true` for kernel-created (zero-fill / shadow) objects.
+    pub internal: bool,
+    /// Keep in the object cache after the last reference dies
+    /// (`pager_cache`).
+    pub can_persist: bool,
+    /// Terminated objects are dead husks awaiting `Drop`.
+    pub terminated: bool,
+    /// True while a pageout is writing some page of this object.
+    pub paging_in_progress: u32,
+    /// Set by `pager_readonly` (Table 3-2): a write attempt must allocate
+    /// a new (shadow) object rather than dirty this one.
+    pub pager_readonly: bool,
+    /// Per-page access locks set by `pager_data_lock` (Table 3-2):
+    /// offset → protection bits the pager has *revoked*. Faults needing a
+    /// revoked access send `pager_data_unlock` and wait.
+    pub locks: HashMap<u64, u8>,
+}
+
+/// A Mach memory object.
+#[derive(Debug)]
+pub struct VmObject {
+    id: u64,
+    state: Mutex<ObjState>,
+    /// Wakes waiters for busy pages of this object.
+    pub(crate) busy_wakeup: Condvar,
+}
+
+impl VmObject {
+    /// A new internal (zero-fill) object of `size` bytes.
+    pub fn new_internal(size: u64) -> Arc<VmObject> {
+        Arc::new(VmObject {
+            id: NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(ObjState {
+                size,
+                ref_count: 1,
+                resident: BTreeMap::new(),
+                shadow: None,
+                shadow_offset: 0,
+                shadow_count: 0,
+                pager: None,
+                internal: true,
+                can_persist: false,
+                terminated: false,
+                paging_in_progress: 0,
+                pager_readonly: false,
+                locks: HashMap::new(),
+            }),
+            busy_wakeup: Condvar::new(),
+        })
+    }
+
+    /// A new object managed by `pager`.
+    pub fn new_with_pager(size: u64, pager: Arc<dyn Pager>, can_persist: bool) -> Arc<VmObject> {
+        let o = VmObject::new_internal(size);
+        {
+            let mut s = o.state.lock();
+            s.pager = Some(pager);
+            s.internal = false;
+            s.can_persist = can_persist;
+        }
+        o
+    }
+
+    /// A shadow of `backing`: empty, internal, deferring to `backing` for
+    /// all unmodified data (paper §3.4). Takes a new reference to
+    /// `backing`.
+    pub fn new_shadow(size: u64, backing: &Arc<VmObject>, shadow_offset: u64) -> Arc<VmObject> {
+        {
+            let mut b = backing.state.lock();
+            b.ref_count += 1;
+            b.shadow_count += 1;
+        }
+        let o = VmObject::new_internal(size);
+        {
+            let mut s = o.state.lock();
+            s.shadow = Some(Arc::clone(backing));
+            s.shadow_offset = shadow_offset;
+        }
+        o
+    }
+
+    /// The object's unique id (its `paging_name` in paper terms).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Lock the object state.
+    pub fn lock(&self) -> MutexGuard<'_, ObjState> {
+        self.state.lock()
+    }
+
+    /// Try to lock the object state without blocking (the paging daemon
+    /// skips contended objects rather than deadlocking — the "complex
+    /// object locking rules" of paper §3.5).
+    pub fn try_lock_state(&self) -> Option<MutexGuard<'_, ObjState>> {
+        self.state.try_lock()
+    }
+
+    /// Take an additional mapping reference.
+    pub fn reference(&self) {
+        self.state.lock().ref_count += 1;
+    }
+
+    /// Length of the shadow chain hanging off this object (diagnostic;
+    /// the quantity the collapse code exists to bound).
+    pub fn chain_length(self: &Arc<VmObject>) -> usize {
+        let mut n = 0;
+        let mut cur = Arc::clone(self);
+        loop {
+            let next = cur.state.lock().shadow.clone();
+            match next {
+                Some(s) => {
+                    n += 1;
+                    cur = s;
+                }
+                None => return n,
+            }
+        }
+    }
+}
+
+/// Free every resident page of a (being-terminated) object.
+fn release_pages(obj: &VmObject, ctx: &CoreRefs) {
+    let pages: Vec<(u64, PageId)> = {
+        let mut s = obj.state.lock();
+        std::mem::take(&mut s.resident).into_iter().collect()
+    };
+    for (_off, page) in pages {
+        // No mapping (and no stale modify/reference attribute) may
+        // survive the page's death.
+        let pa = page.base(ctx.page_size);
+        ctx.machdep.remove_all(pa, ctx.page_size);
+        ctx.machdep.clear_modify(pa, ctx.page_size);
+        ctx.machdep.clear_reference(pa, ctx.page_size);
+        ctx.resident.with_page(page, |p| {
+            p.wire_count = 0;
+        });
+        ctx.resident.free_page(page);
+    }
+}
+
+/// Terminate `obj`: free pages, notify the pager, release the shadow
+/// reference. The caller must hold **no** object locks.
+pub fn terminate(obj: &Arc<VmObject>, ctx: &CoreRefs) {
+    let (pager, shadow) = {
+        let mut s = obj.state.lock();
+        if s.terminated {
+            return;
+        }
+        s.terminated = true;
+        (s.pager.take(), s.shadow.take())
+    };
+    if let Some(ident) = pager.as_ref().and_then(|p| p.ident()) {
+        ctx.cache.unregister_live(&ident, obj);
+    }
+    release_pages(obj, ctx);
+    if let Some(p) = pager {
+        p.terminate(obj.id());
+    }
+    if let Some(sh) = shadow {
+        {
+            let mut b = sh.state.lock();
+            b.shadow_count = b.shadow_count.saturating_sub(1);
+        }
+        deallocate(&sh, ctx);
+    }
+}
+
+/// Drop one reference; the last reference terminates the object or parks
+/// it in the object cache (`pager_cache` semantics).
+pub fn deallocate(obj: &Arc<VmObject>, ctx: &CoreRefs) {
+    let cache_me = {
+        let mut s = obj.state.lock();
+        assert!(s.ref_count > 0, "over-deallocation of object {}", obj.id());
+        s.ref_count -= 1;
+        if s.ref_count > 0 {
+            return;
+        }
+        s.can_persist && !s.terminated && s.pager.is_some()
+    };
+    if cache_me {
+        ctx.cache.insert(obj, ctx);
+    } else {
+        terminate(obj, ctx);
+        try_collapse_dropped(obj);
+    }
+}
+
+fn try_collapse_dropped(_obj: &Arc<VmObject>) {
+    // Chains referencing the dead object were already fixed by
+    // `terminate` moving the shadow reference; nothing further to do.
+}
+
+/// Shadow-chain garbage collection (paper §3.5): "Mach automatically
+/// garbage collects shadow objects when it recognizes that an intermediate
+/// shadow is no longer needed."
+///
+/// Two transformations, applied until neither fires:
+///
+/// - **collapse**: the backing object is internal and referenced only by
+///   `obj`, so its pages are *moved* up (no copy) and the backing object
+///   disappears from the chain;
+/// - **bypass**: `obj` already has every page in its window resident, so
+///   the backing object can be skipped entirely.
+pub fn collapse(obj: &Arc<VmObject>, ctx: &CoreRefs) {
+    if !ctx.collapse_enabled.load(Ordering::Relaxed) {
+        return; // ablation: let chains grow
+    }
+    // Apply transformations at every level of the chain: an intermediate
+    // shadow often becomes garbage only after the task holding it exits,
+    // which a check at the top level alone would never notice.
+    let mut cur = Arc::clone(obj);
+    loop {
+        collapse_level(&cur, ctx);
+        let next = cur.state.lock().shadow.clone();
+        match next {
+            Some(n) => cur = n,
+            None => return,
+        }
+    }
+}
+
+/// Apply collapse/bypass at `obj` ↔ `obj.shadow` until neither fires.
+fn collapse_level(obj: &Arc<VmObject>, ctx: &CoreRefs) {
+    loop {
+        let backing = {
+            let s = obj.state.lock();
+            match &s.shadow {
+                Some(b) => Arc::clone(b),
+                None => return,
+            }
+        };
+        // Lock order: front object, then backing (top-down).
+        let mut s = obj.state.lock();
+        // Re-check: the chain may have changed while unlocked.
+        let unchanged = matches!(&s.shadow, Some(b) if Arc::ptr_eq(b, &backing));
+        if !unchanged {
+            drop(s);
+            continue;
+        }
+        let mut b = backing.state.lock();
+        if !b.internal || b.pager.is_some() || b.terminated || b.paging_in_progress > 0 {
+            return;
+        }
+        if b.ref_count == 1 && b.shadow_count == 1 {
+            // --- Full collapse: steal the backing object's pages. ---
+            let delta = s.shadow_offset;
+            let pages: Vec<(u64, PageId)> = std::mem::take(&mut b.resident).into_iter().collect();
+            let mut orphans = Vec::new();
+            for (boff, page) in pages {
+                let in_window = boff >= delta && boff - delta < s.size;
+                if in_window && !s.resident.contains_key(&(boff - delta)) {
+                    let ooff = boff - delta;
+                    ctx.resident
+                        .rekey(page, obj.id(), ooff, Arc::downgrade(obj));
+                    s.resident.insert(ooff, page);
+                } else {
+                    orphans.push(page);
+                }
+            }
+            // Splice the backing object out of the chain.
+            s.shadow = b.shadow.take();
+            s.shadow_offset = delta + b.shadow_offset;
+            b.terminated = true;
+            b.ref_count = 0;
+            drop(b);
+            drop(s);
+            for page in orphans {
+                let pa = page.base(ctx.page_size);
+                ctx.machdep.remove_all(pa, ctx.page_size);
+                ctx.machdep.clear_modify(pa, ctx.page_size);
+                ctx.machdep.clear_reference(pa, ctx.page_size);
+                ctx.resident.free_page(page);
+            }
+            ctx.stats.collapses.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // --- Bypass: obj obscures the whole window by itself. ---
+        let page = ctx.page_size;
+        let covered = (0..s.size / page).all(|i| s.resident.contains_key(&(i * page)));
+        if covered {
+            let next = b.shadow.clone();
+            if let Some(n) = &next {
+                // The front object takes over the reference the backing
+                // object held on the deeper shadow.
+                n.state.lock().ref_count += 1;
+                n.state.lock().shadow_count += 1;
+            }
+            s.shadow = next;
+            s.shadow_offset += b.shadow_offset;
+            b.shadow_count = b.shadow_count.saturating_sub(1);
+            drop(b);
+            drop(s);
+            deallocate(&backing, ctx);
+            ctx.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        return;
+    }
+}
+
+/// The cache of recently-used unreferenced memory objects (paper §3.3).
+#[derive(Debug)]
+pub struct ObjectCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<PagerIdent, Arc<VmObject>>,
+    lru: VecDeque<PagerIdent>,
+    /// Every *live* pager-backed object, so concurrent mappings of the
+    /// same backing store share one object (one physical copy of the
+    /// pages), exactly as Mach's port→object association did.
+    live: HashMap<PagerIdent, std::sync::Weak<VmObject>>,
+}
+
+impl ObjectCache {
+    /// A cache retaining up to `capacity` unreferenced objects.
+    pub fn new(capacity: usize) -> ObjectCache {
+        ObjectCache {
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Park an unreferenced object. Evicts (terminates) the LRU object
+    /// when full.
+    pub fn insert(&self, obj: &Arc<VmObject>, ctx: &CoreRefs) {
+        let ident = {
+            let s = obj.lock();
+            match s.pager.as_ref().and_then(|p| p.ident()) {
+                Some(i) => i,
+                None => {
+                    drop(s);
+                    terminate(obj, ctx);
+                    return;
+                }
+            }
+        };
+        let evicted: Option<Arc<VmObject>> = {
+            let mut g = self.inner.lock();
+            g.lru.retain(|i| *i != ident);
+            g.lru.push_back(ident.clone());
+            g.map.insert(ident, Arc::clone(obj));
+            if g.map.len() > self.capacity {
+                let victim = g.lru.pop_front().expect("cache non-empty");
+                g.map.remove(&victim)
+            } else {
+                None
+            }
+        };
+        if let Some(v) = evicted {
+            terminate(&v, ctx);
+        }
+    }
+
+    /// Revive the cached object for `ident`, if present (the cheap-reuse
+    /// path: a cache hit costs a hash lookup, not a disk).
+    pub fn take(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
+        let obj = {
+            let mut g = self.inner.lock();
+            let o = g.map.remove(ident)?;
+            g.lru.retain(|i| i != ident);
+            o
+        };
+        obj.state.lock().ref_count = 1;
+        Some(obj)
+    }
+
+    /// Find the object for `ident`, parked *or live*: a parked object is
+    /// revived (removed from the unreferenced pool), a live one gains a
+    /// reference. One backing store, one object, one set of pages.
+    pub fn lookup(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
+        let mut g = self.inner.lock();
+        if let Some(o) = g.map.remove(ident) {
+            g.lru.retain(|i| i != ident);
+            drop(g);
+            o.state.lock().ref_count = 1;
+            return Some(o);
+        }
+        if let Some(o) = g.live.get(ident).and_then(|w| w.upgrade()) {
+            if !o.state.lock().terminated {
+                drop(g);
+                o.reference();
+                return Some(o);
+            }
+        }
+        None
+    }
+
+    /// Register a freshly created pager-backed object as live.
+    pub fn register_live(&self, ident: PagerIdent, obj: &Arc<VmObject>) {
+        self.inner.lock().live.insert(ident, Arc::downgrade(obj));
+    }
+
+    /// Forget a terminated object's live registration (only if it still
+    /// names this object).
+    pub fn unregister_live(&self, ident: &PagerIdent, obj: &VmObject) {
+        let mut g = self.inner.lock();
+        if let Some(w) = g.live.get(ident) {
+            let same = w
+                .upgrade()
+                .map(|o| std::ptr::eq(Arc::as_ptr(&o), obj as *const _))
+                .unwrap_or(true); // dead weak: safe to drop
+            if same {
+                g.live.remove(ident);
+            }
+        }
+    }
+
+    /// Terminate the least-recently-used cached object to relieve memory
+    /// pressure; returns `false` when the cache is empty.
+    pub fn reap_one(&self, ctx: &CoreRefs) -> bool {
+        let victim = {
+            let mut g = self.inner.lock();
+            match g.lru.pop_front() {
+                Some(ident) => g.map.remove(&ident),
+                None => None,
+            }
+        };
+        match victim {
+            Some(v) => {
+                terminate(&v, ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every cached object (unmount / shutdown).
+    pub fn clear(&self, ctx: &CoreRefs) {
+        while self.reap_one(ctx) {}
+    }
+}

@@ -1,0 +1,497 @@
+//! The resident page table (paper §3.1).
+//!
+//! "Physical memory in Mach is treated primarily as a cache for the
+//! contents of virtual memory objects." Each machine-independent page has
+//! an entry that may simultaneously be linked into:
+//!
+//! 1. a **memory object list** (kept in [`crate::object::VmObject`]),
+//! 2. a **memory allocation queue** (free / active / inactive / wired,
+//!    kept here, used by the paging daemon), and
+//! 3. an **object/offset hash bucket** (kept here) for fast lookup at
+//!    page-fault time.
+//!
+//! A Mach page is a boot-time power-of-two multiple of the hardware page
+//! size and need not correspond to it (§3.1); this table deals only in
+//! Mach pages.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Weak;
+
+use mach_hw::addr::PAddr;
+use parking_lot::Mutex;
+
+use crate::object::VmObject;
+
+/// A machine-independent page of physical memory, identified by
+/// `physical address / page size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The base physical address of the page.
+    pub fn base(self, page_size: u64) -> PAddr {
+        PAddr(self.0 * page_size)
+    }
+}
+
+/// Which allocation queue a page is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageQueue {
+    /// Available for allocation.
+    Free,
+    /// Recently used.
+    Active,
+    /// Candidate for pageout.
+    Inactive,
+    /// Wired down; never paged out.
+    Wired,
+}
+
+/// Mutable state of one resident page.
+#[derive(Debug)]
+pub struct PageInfo {
+    /// Queue membership.
+    pub queue: PageQueue,
+    /// Owning object and byte offset within it (a page belongs to at most
+    /// one memory object — paper §3.1).
+    pub identity: Option<PageIdentity>,
+    /// Page is being filled or cleaned; waiters block on the object.
+    pub busy: bool,
+    /// Someone is waiting for `busy` to clear.
+    pub wanted: bool,
+    /// Wiring count.
+    pub wire_count: u32,
+    /// Known-dirty hint (e.g. filled by a COW push); the pmap modify bit
+    /// is the authoritative source at pageout time.
+    pub dirty: bool,
+}
+
+/// The (object, offset) identity of a resident page.
+#[derive(Debug, Clone)]
+pub struct PageIdentity {
+    /// Owning object's id (hash key).
+    pub object_id: u64,
+    /// Byte offset within the object.
+    pub offset: u64,
+    /// Back pointer for the pageout daemon.
+    pub object: Weak<VmObject>,
+}
+
+#[derive(Debug, Default)]
+struct RtInner {
+    pages: HashMap<u64, PageInfo>,
+    free: Vec<u64>,
+    active: VecDeque<u64>,
+    inactive: VecDeque<u64>,
+    hash: HashMap<(u64, u64), u64>,
+}
+
+/// Counts exposed through `vm_statistics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCounts {
+    /// Pages on the free queue.
+    pub free: u64,
+    /// Pages on the active queue.
+    pub active: u64,
+    /// Pages on the inactive queue.
+    pub inactive: u64,
+    /// Wired pages.
+    pub wired: u64,
+}
+
+/// The resident page table.
+#[derive(Debug)]
+pub struct ResidentTable {
+    page_size: u64,
+    inner: Mutex<RtInner>,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ResidentTable {
+    /// An empty table for `page_size`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> ResidentTable {
+        assert!(page_size.is_power_of_two());
+        ResidentTable {
+            page_size,
+            inner: Mutex::new(RtInner::default()),
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine-independent page size.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Donate a physical page (by id) to the free pool at boot.
+    pub fn donate(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        let prev = g.pages.insert(
+            id.0,
+            PageInfo {
+                queue: PageQueue::Free,
+                identity: None,
+                busy: false,
+                wanted: false,
+                wire_count: 0,
+                dirty: false,
+            },
+        );
+        assert!(prev.is_none(), "page {id:?} donated twice");
+        g.free.push(id.0);
+    }
+
+    /// Queue counts.
+    pub fn counts(&self) -> PageCounts {
+        let g = self.inner.lock();
+        PageCounts {
+            free: g.free.len() as u64,
+            active: g.active.len() as u64,
+            inactive: g.inactive.len() as u64,
+            wired: g
+                .pages
+                .values()
+                .filter(|p| p.queue == PageQueue::Wired)
+                .count() as u64,
+        }
+    }
+
+    /// Object/offset hash lookups and hits so far.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (
+            self.lookups.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Allocate a free page for `(object, offset)`; the page starts
+    /// **busy** on the active queue. `None` when the free pool is empty
+    /// (the caller must reclaim and retry).
+    pub fn alloc(&self, object_id: u64, offset: u64, object: Weak<VmObject>) -> Option<PageId> {
+        let mut g = self.inner.lock();
+        let id = g.free.pop()?;
+        debug_assert!(!g.hash.contains_key(&(object_id, offset)));
+        let info = g.pages.get_mut(&id).expect("free page exists");
+        info.queue = PageQueue::Active;
+        info.identity = Some(PageIdentity {
+            object_id,
+            offset,
+            object,
+        });
+        info.busy = true;
+        info.wanted = false;
+        info.dirty = false;
+        g.active.push_back(id);
+        g.hash.insert((object_id, offset), id);
+        Some(PageId(id))
+    }
+
+    /// The paper's fast fault-time lookup: hash on (object, offset).
+    pub fn lookup(&self, object_id: u64, offset: u64) -> Option<PageId> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let g = self.inner.lock();
+        let r = g.hash.get(&(object_id, offset)).map(|&id| PageId(id));
+        if r.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Run `f` on the page's mutable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is unknown.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&mut PageInfo) -> R) -> R {
+        let mut g = self.inner.lock();
+        f(g.pages.get_mut(&id.0).expect("known page"))
+    }
+
+    /// Move a page between queues.
+    pub fn set_queue(&self, id: PageId, queue: PageQueue) {
+        let mut g = self.inner.lock();
+        let info = g.pages.get_mut(&id.0).expect("known page");
+        let old = info.queue;
+        if old == queue {
+            return;
+        }
+        info.queue = queue;
+        match old {
+            PageQueue::Active => {
+                g.active.retain(|&p| p != id.0);
+            }
+            PageQueue::Inactive => {
+                g.inactive.retain(|&p| p != id.0);
+            }
+            PageQueue::Free => {
+                g.free.retain(|&p| p != id.0);
+            }
+            PageQueue::Wired => {}
+        }
+        match queue {
+            PageQueue::Active => g.active.push_back(id.0),
+            PageQueue::Inactive => g.inactive.push_back(id.0),
+            PageQueue::Free => g.free.push(id.0),
+            PageQueue::Wired => {}
+        }
+    }
+
+    /// Release a page back to the free pool, clearing its identity.
+    pub fn free_page(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        let old = {
+            let info = g.pages.get_mut(&id.0).expect("known page");
+            assert!(info.wire_count == 0, "cannot free a wired page");
+            let ident = info.identity.take();
+            let old = info.queue;
+            info.queue = PageQueue::Free;
+            info.busy = false;
+            info.wanted = false;
+            info.dirty = false;
+            if let Some(ident) = ident {
+                g.hash.remove(&(ident.object_id, ident.offset));
+            }
+            old
+        };
+        match old {
+            PageQueue::Active => g.active.retain(|&p| p != id.0),
+            PageQueue::Inactive => g.inactive.retain(|&p| p != id.0),
+            PageQueue::Free => panic!("double free of {id:?}"),
+            PageQueue::Wired => {}
+        }
+        g.free.push(id.0);
+    }
+
+    /// Change a page's identity (shadow-chain collapse moves pages between
+    /// objects without copying them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no identity or the target slot is taken.
+    pub fn rekey(&self, id: PageId, new_object_id: u64, new_offset: u64, object: Weak<VmObject>) {
+        let mut g = self.inner.lock();
+        let info = g.pages.get_mut(&id.0).expect("known page");
+        let ident = info.identity.as_mut().expect("page has identity");
+        let old_key = (ident.object_id, ident.offset);
+        ident.object_id = new_object_id;
+        ident.offset = new_offset;
+        ident.object = object;
+        g.hash.remove(&old_key);
+        let prev = g.hash.insert((new_object_id, new_offset), id.0);
+        assert!(prev.is_none(), "rekey target already occupied");
+    }
+
+    /// Drop a page's (object, offset) identity — hash entry included —
+    /// without freeing the frame. Used when a page leaves its object's
+    /// resident list ahead of the frame being released (pageout writes
+    /// the frame to backing store first): a concurrent fault must be
+    /// able to allocate a *new* page for the same (object, offset)
+    /// immediately.
+    pub fn clear_identity(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(info) = g.pages.get_mut(&id.0) {
+            if let Some(ident) = info.identity.take() {
+                g.hash.remove(&(ident.object_id, ident.offset));
+            }
+        }
+    }
+
+    /// Atomically claim a page for eviction: only an un-busy, un-wired
+    /// page still on the inactive queue can be claimed, and claiming
+    /// marks it busy so no one else (fault handler or a concurrent
+    /// reclaimer) touches it. Balance with [`ResidentTable::release_evict`]
+    /// or [`ResidentTable::free_page`].
+    pub fn claim_evict(&self, id: PageId) -> bool {
+        let mut g = self.inner.lock();
+        let Some(info) = g.pages.get_mut(&id.0) else {
+            return false;
+        };
+        if info.queue != PageQueue::Inactive || info.busy || info.wire_count > 0 {
+            return false;
+        }
+        info.busy = true;
+        true
+    }
+
+    /// Release an eviction claim without freeing the page.
+    pub fn release_evict(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(info) = g.pages.get_mut(&id.0) {
+            info.busy = false;
+        }
+    }
+
+    /// Oldest inactive pages (pageout candidates), up to `n`.
+    pub fn inactive_candidates(&self, n: usize) -> Vec<PageId> {
+        let g = self.inner.lock();
+        g.inactive.iter().take(n).map(|&p| PageId(p)).collect()
+    }
+
+    /// Oldest active pages (for inactive-queue refill), up to `n`.
+    pub fn active_candidates(&self, n: usize) -> Vec<PageId> {
+        let g = self.inner.lock();
+        g.active.iter().take(n).map(|&p| PageId(p)).collect()
+    }
+
+    /// Wire a page (pin it against pageout).
+    pub fn wire(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        let info = g.pages.get_mut(&id.0).expect("known page");
+        info.wire_count += 1;
+        if info.queue != PageQueue::Wired {
+            let old = info.queue;
+            info.queue = PageQueue::Wired;
+            match old {
+                PageQueue::Active => g.active.retain(|&p| p != id.0),
+                PageQueue::Inactive => g.inactive.retain(|&p| p != id.0),
+                PageQueue::Free => panic!("cannot wire a free page"),
+                PageQueue::Wired => {}
+            }
+        }
+    }
+
+    /// Unwire; returns to the active queue when the count reaches zero.
+    pub fn unwire(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        let info = g.pages.get_mut(&id.0).expect("known page");
+        assert!(info.wire_count > 0, "unwire of unwired page");
+        info.wire_count -= 1;
+        if info.wire_count == 0 {
+            info.queue = PageQueue::Active;
+            g.active.push_back(id.0);
+        }
+    }
+
+    /// Every page currently belonging to `object_id` (diagnostics/tests).
+    pub fn pages_of(&self, object_id: u64) -> Vec<(u64, PageId)> {
+        let g = self.inner.lock();
+        g.hash
+            .iter()
+            .filter(|((oid, _), _)| *oid == object_id)
+            .map(|((_, off), &id)| (*off, PageId(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(n: u64) -> ResidentTable {
+        let t = ResidentTable::new(4096);
+        for i in 0..n {
+            t.donate(PageId(i));
+        }
+        t
+    }
+
+    #[test]
+    fn alloc_sets_identity_and_hash() {
+        let t = table_with(4);
+        let p = t.alloc(7, 8192, Weak::new()).unwrap();
+        assert_eq!(t.lookup(7, 8192), Some(p));
+        assert_eq!(t.lookup(7, 0), None);
+        assert!(t.with_page(p, |i| i.busy));
+        let c = t.counts();
+        assert_eq!((c.free, c.active), (3, 1));
+        // Stats: 2 lookups, 1 hit.
+        assert_eq!(t.lookup_stats(), (2, 1));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let t = table_with(1);
+        assert!(t.alloc(1, 0, Weak::new()).is_some());
+        assert!(t.alloc(1, 4096, Weak::new()).is_none());
+    }
+
+    #[test]
+    fn free_clears_identity() {
+        let t = table_with(2);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.free_page(p);
+        assert_eq!(t.lookup(1, 0), None);
+        assert_eq!(t.counts().free, 2);
+        // The page can be reallocated with a new identity.
+        let p2 = t.alloc(2, 4096, Weak::new()).unwrap();
+        assert_eq!(t.lookup(2, 4096), Some(p2));
+    }
+
+    #[test]
+    fn queue_transitions() {
+        let t = table_with(2);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.set_queue(p, PageQueue::Inactive);
+        let c = t.counts();
+        assert_eq!((c.active, c.inactive), (0, 1));
+        assert_eq!(t.inactive_candidates(8), vec![p]);
+        t.set_queue(p, PageQueue::Active);
+        assert_eq!(t.inactive_candidates(8), vec![]);
+        assert_eq!(t.active_candidates(8), vec![p]);
+    }
+
+    #[test]
+    fn wire_protects_from_queues() {
+        let t = table_with(2);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.wire(p);
+        assert_eq!(t.counts().wired, 1);
+        assert!(t.active_candidates(8).is_empty());
+        t.wire(p);
+        t.unwire(p);
+        assert_eq!(t.counts().wired, 1, "still wired once");
+        t.unwire(p);
+        assert_eq!(t.counts().wired, 0);
+        assert_eq!(t.active_candidates(8), vec![p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free a wired page")]
+    fn freeing_wired_page_panics() {
+        let t = table_with(1);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.wire(p);
+        t.free_page(p);
+    }
+
+    #[test]
+    fn rekey_moves_hash_identity() {
+        let t = table_with(1);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.rekey(p, 9, 12288, Weak::new());
+        assert_eq!(t.lookup(1, 0), None);
+        assert_eq!(t.lookup(9, 12288), Some(p));
+        assert_eq!(t.pages_of(9), vec![(12288, p)]);
+        assert!(t.pages_of(1).is_empty());
+    }
+
+    #[test]
+    fn pages_of_lists_object_pages() {
+        let t = table_with(3);
+        let a = t.alloc(5, 0, Weak::new()).unwrap();
+        let b = t.alloc(5, 4096, Weak::new()).unwrap();
+        t.alloc(6, 0, Weak::new()).unwrap();
+        let mut pages = t.pages_of(5);
+        pages.sort();
+        assert_eq!(pages, vec![(0, a), (4096, b)]);
+    }
+
+    #[test]
+    fn page_base_address() {
+        assert_eq!(PageId(3).base(4096), PAddr(12288));
+    }
+
+    #[test]
+    #[should_panic(expected = "donated twice")]
+    fn double_donation_panics() {
+        let t = table_with(1);
+        t.donate(PageId(0));
+    }
+}

@@ -1,0 +1,350 @@
+//! The paging daemon (paper §3.1, §5.2 case 2).
+//!
+//! Pages move free → active → inactive → (clean reclaim | pageout) using
+//! reference bits sampled through the pmap layer. Before a page is written
+//! out, its mappings are removed with the **deferred** shootdown strategy:
+//! "the system first removes the mapping from any primary memory mapping
+//! data structures and then initiates pageout only after all referencing
+//! TLBs have been flushed."
+//!
+//! Reclamation runs synchronously when the free pool runs dry (the fault
+//! handler calls [`reclaim`]) and can also be driven from a dedicated
+//! thread via [`PageoutDaemon`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::ctx::CoreRefs;
+use crate::page::{PageId, PageQueue};
+
+/// Try to free at least `want` pages; returns how many were freed.
+///
+/// Order of attack: refill the inactive queue from the active queue
+/// (clearing reference bits), evict unreferenced inactive pages (clean
+/// pages are reclaimed, dirty ones written to their pager), and finally
+/// reap unreferenced objects from the object cache.
+pub fn reclaim(ctx: &CoreRefs, want: usize) -> usize {
+    let page = ctx.page_size;
+    let mut freed = 0usize;
+
+    // Refill the inactive queue so the scan below has candidates.
+    let counts = ctx.resident.counts();
+    let target_inactive = (want * 2).max(8);
+    if (counts.inactive as usize) < target_inactive {
+        let need = target_inactive - counts.inactive as usize;
+        for p in ctx.resident.active_candidates(need) {
+            ctx.machdep.clear_reference(p.base(page), page);
+            ctx.resident.set_queue(p, PageQueue::Inactive);
+        }
+    }
+
+    for p in ctx.resident.inactive_candidates(want * 4) {
+        if freed >= want {
+            break;
+        }
+        if evict_one(ctx, p) {
+            freed += 1;
+        }
+    }
+
+    while freed < want {
+        let before = ctx.resident.counts().free;
+        if !ctx.cache.reap_one(ctx) {
+            break;
+        }
+        let after = ctx.resident.counts().free;
+        freed += (after - before) as usize;
+    }
+    freed
+}
+
+/// Evict one inactive page if legal; returns whether a page was freed.
+fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
+    let ps = ctx.page_size;
+    let pa = page.base(ps);
+    // Claim atomically: the claim marks the page busy, excluding faulting
+    // threads and concurrent reclaimers (daemon + synchronous reclaim).
+    if !ctx.resident.claim_evict(page) {
+        return false;
+    }
+    let (ident, dirty_hint) = ctx
+        .resident
+        .with_page(page, |p| (p.identity.clone(), p.dirty));
+    let Some(ident) = ident else {
+        // Orphan page (identity already cleared): just free it.
+        ctx.resident.free_page(page);
+        return true;
+    };
+    let Some(obj) = ident.object.upgrade() else {
+        ctx.machdep.remove_all(pa, ps);
+        scrub(ctx, page);
+        ctx.resident.free_page(page);
+        return true;
+    };
+    let Some(mut s) = obj.try_lock_state() else {
+        ctx.resident.release_evict(page);
+        return false; // contended; try another page
+    };
+    if s.resident.get(&ident.offset) != Some(&page) {
+        drop(s);
+        ctx.resident.release_evict(page);
+        return false; // identity changed under us
+    }
+    // Second chance: a referenced page goes back to the active queue.
+    if ctx.machdep.is_referenced(pa, ps) {
+        drop(s);
+        ctx.machdep.clear_reference(pa, ps);
+        ctx.resident.release_evict(page);
+        ctx.resident.set_queue(page, PageQueue::Active);
+        ctx.stats.reactivations.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    // Remove mappings with the pageout (deferred) strategy...
+    let pending = ctx.machdep.remove_all_deferred(pa, ps);
+    let dirty = dirty_hint || ctx.machdep.is_modified(pa, ps);
+    if dirty {
+        if s.pager.is_none() {
+            // Anonymous memory meets the default pager on first pageout.
+            s.pager = Some(Arc::clone(&ctx.default_pager));
+        }
+        let pager = Arc::clone(s.pager.as_ref().expect("just set"));
+        s.paging_in_progress += 1;
+        // The page stays **resident and busy in the object** until the
+        // pager write completes: a concurrent fault must wait on it, not
+        // zero-fill a fresh copy — otherwise two in-flight pageouts of
+        // the same offset can reach the pager out of order and resurrect
+        // stale data.
+        drop(s);
+        // ...and write only after every referencing TLB has been flushed.
+        if !pending.is_complete() {
+            ctx.machdep.update();
+            // A concurrent reclaimer may have drained our queue entries
+            // and still be executing them: wait for our own flushes (the
+            // timeout mirrors the hardware shootdown's forced-flush
+            // fallback).
+            pending.wait_complete(std::time::Duration::from_millis(200));
+        }
+        let mut buf = vec![0u8; ps as usize];
+        ctx.machine
+            .phys()
+            .read(pa, &mut buf)
+            .expect("resident frame readable");
+        pager.data_write(obj.id(), ident.offset, buf);
+        {
+            let mut s = obj.lock();
+            s.paging_in_progress -= 1;
+            // Only now does the page leave the object; the hash identity
+            // must vanish with the residency so a fault can allocate a
+            // replacement immediately.
+            if s.resident.get(&ident.offset) == Some(&page) {
+                s.resident.remove(&ident.offset);
+            }
+            ctx.resident.clear_identity(page);
+        }
+        ctx.stats.pageouts.fetch_add(1, Ordering::Relaxed);
+    } else {
+        s.resident.remove(&ident.offset);
+        ctx.resident.clear_identity(page);
+        drop(s);
+        if !pending.is_complete() {
+            ctx.machdep.update();
+            pending.wait_complete(std::time::Duration::from_millis(200));
+        }
+        ctx.stats.reclaims.fetch_add(1, Ordering::Relaxed);
+    }
+    scrub(ctx, page);
+    ctx.resident.free_page(page);
+    // Anyone who was waiting on the (briefly busy) page rechecks and
+    // refaults through the object.
+    obj.busy_wakeup.notify_all();
+    true
+}
+
+/// Clear leftover modify/reference attributes so the frame's next user
+/// starts clean.
+fn scrub(ctx: &CoreRefs, page: PageId) {
+    let pa = page.base(ctx.page_size);
+    ctx.machdep.clear_modify(pa, ctx.page_size);
+    ctx.machdep.clear_reference(pa, ctx.page_size);
+}
+
+/// A background paging daemon keeping the free pool above a threshold.
+#[derive(Debug)]
+pub struct PageoutDaemon {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PageoutDaemon {
+    /// Start a daemon that keeps at least `free_target` pages free,
+    /// checking every `interval`.
+    pub fn start(ctx: Arc<CoreRefs>, free_target: u64, interval: Duration) -> PageoutDaemon {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mach-pageout".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    let free = ctx.resident.counts().free;
+                    if free < free_target {
+                        reclaim(&ctx, (free_target - free) as usize);
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn pageout daemon");
+        PageoutDaemon {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the daemon and join its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PageoutDaemon {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use crate::types::Protection;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    #[test]
+    fn daemon_keeps_free_pool_above_target() {
+        let mut model = MachineModel::micro_vax_ii();
+        model.mem_bytes = 2 << 20;
+        let machine = Machine::boot(model);
+        let kernel = Kernel::boot(&machine);
+        let ctx = Arc::clone(kernel.ctx());
+        let free_target = 64;
+        let daemon = PageoutDaemon::start(Arc::clone(&ctx), free_target, Duration::from_millis(5));
+
+        // Burn through more memory than the machine has; the daemon frees
+        // pages behind our back.
+        let task = kernel.create_task();
+        let ps = kernel.page_size();
+        let total = 3u64 << 20;
+        let addr = task.map().allocate(&ctx, None, total, true).unwrap();
+        task.user(0, |u| {
+            let mut a = addr;
+            while a < addr + total {
+                u.write_u32(a, (a / ps) as u32).unwrap();
+                a += ps;
+            }
+        });
+        // Give the daemon a beat, then check the pool.
+        std::thread::sleep(Duration::from_millis(60));
+        let free = ctx.resident.counts().free;
+        assert!(
+            free >= free_target / 2,
+            "daemon kept only {free} pages free (target {free_target})"
+        );
+        assert!(kernel.statistics().pageouts > 0);
+        // Data still correct.
+        task.user(0, |u| {
+            for i in (0..total / ps).step_by(11) {
+                assert_eq!(
+                    u.read_u32(addr + i * ps).unwrap(),
+                    ((addr + i * ps) / ps) as u32
+                );
+            }
+        });
+        daemon.stop();
+    }
+
+    #[test]
+    fn second_chance_reactivates_referenced_pages() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let kernel = Kernel::boot(&machine);
+        let ctx = kernel.ctx();
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let addr = task.map().allocate(ctx, None, 4 * ps, true).unwrap();
+        task.user(0, |u| u.dirty_range(addr, 4 * ps).unwrap());
+        // Everything just became inactive...
+        for p in ctx.resident.active_candidates(16) {
+            ctx.resident.set_queue(p, crate::page::PageQueue::Inactive);
+        }
+        // ...but the task references its pages again.
+        task.user(0, |u| u.touch_range(addr, 4 * ps).unwrap());
+        let before = kernel.statistics();
+        reclaim(ctx, 2);
+        let after = kernel.statistics();
+        assert!(
+            after.reactivations > before.reactivations,
+            "referenced inactive pages get a second chance"
+        );
+    }
+
+    #[test]
+    fn clean_pages_reclaim_without_io() {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let kernel = Kernel::boot(&machine);
+        let _ctx = kernel.ctx();
+        let ps = kernel.page_size();
+        // Map a file read-only and touch it: the pages are clean copies.
+        let dev = mach_fs::BlockDevice::new(&machine, 64);
+        let fs = mach_fs::SimFs::format(&dev);
+        let f = fs.create("clean").unwrap();
+        fs.write_at(f, 0, &vec![3u8; (8 * ps) as usize]).unwrap();
+        let task = kernel.create_task();
+        let addr = kernel
+            .map_file(&task, &fs, f, None, Protection::READ)
+            .unwrap();
+        task.user(0, |u| u.touch_range(addr, 8 * ps).unwrap());
+        let before = kernel.statistics();
+        let freed = kernel.reclaim(8);
+        let after = kernel.statistics();
+        assert!(freed >= 4);
+        assert!(after.reclaims > before.reclaims, "clean pages reclaimed");
+        assert_eq!(
+            after.pageouts, before.pageouts,
+            "no write-back for clean file pages"
+        );
+        // Refault re-reads from the file.
+        task.user(0, |u| {
+            let b = u.read_bytes(addr, 1).unwrap();
+            assert_eq!(b[0], 3);
+        });
+    }
+
+    #[test]
+    fn deferred_shootdown_completes_before_pageout_write() {
+        // The §5.2 case-2 ordering: mappings are removed with the
+        // deferred strategy and the dirty page is written only after
+        // update() has flushed every referencing TLB. The debug_assert in
+        // evict_one enforces it; this test drives the path end to end.
+        let machine = Machine::boot(MachineModel::multimax(2));
+        let kernel = Kernel::boot(&machine);
+        let ctx = kernel.ctx();
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let addr = task.map().allocate(ctx, None, 4 * ps, true).unwrap();
+        task.user(0, |u| u.dirty_range(addr, 4 * ps).unwrap());
+        for p in ctx.resident.active_candidates(16) {
+            ctx.resident.set_queue(p, crate::page::PageQueue::Inactive);
+        }
+        // Two passes: the first ages reference bits (second chance), the
+        // second evicts.
+        reclaim(ctx, 4);
+        let freed = reclaim(ctx, 4);
+        assert!(freed > 0);
+        assert!(kernel.statistics().pageouts > 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Pagers: the managers of memory-object backing store (paper §3.3).
+//!
+//! "Mach currently provides some basic paging services inside the kernel.
+//! Memory with no pager is automatically zero filled, and page-out is done
+//! to a default pager. The current inode pager utilizes 4.3bsd UNIX file
+//! systems and eliminates the traditional Berkeley UNIX need for separate
+//! paging partitions."
+//!
+//! Three pagers live here: the [`DefaultPager`] (anonymous memory), the
+//! [`InodePager`] (memory-mapped files over `mach-fs`), and — in
+//! [`crate::xpager`] — the proxy for **external, user-state pagers**
+//! reached over `mach-ipc` ports.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mach_fs::{FileId, SimFs};
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+use crate::types::VmError;
+
+/// Identity of a pager-backed object, used as the object-cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PagerIdent {
+    /// A file of a particular filesystem instance.
+    Inode {
+        /// Filesystem instance (pointer identity).
+        fs: usize,
+        /// File within it.
+        file: u64,
+    },
+    /// An external pager port.
+    External {
+        /// The pager port id.
+        port: u64,
+        /// The base offset given at `vm_allocate_with_pager`.
+        offset: u64,
+    },
+}
+
+/// What a pager answered to a data request.
+#[derive(Debug)]
+pub enum PagerReply {
+    /// The page's bytes (must be exactly one page).
+    Data(Vec<u8>),
+    /// The pager holds no data for the range: zero-fill
+    /// (`pager_data_unavailable`).
+    Unavailable,
+    /// The request was forwarded to a user-state pager; the page will be
+    /// supplied asynchronously (`pager_data_provided` arrives on the
+    /// kernel's request port). Wait on the object.
+    Pending,
+    /// The request failed.
+    Error(VmError),
+}
+
+/// The kernel-internal pager interface. External pagers are adapted onto
+/// this by [`crate::xpager::ExternalPagerProxy`].
+pub trait Pager: Send + Sync + fmt::Debug {
+    /// `pager_data_request`: produce the page at `offset`.
+    fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply;
+
+    /// `pager_data_write`: accept a dirty page at pageout time.
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>);
+
+    /// `pager_data_unlock`: a fault needs an access the pager revoked
+    /// with `pager_data_lock`; ask it to unlock. Built-in pagers never
+    /// lock, so the default does nothing.
+    fn data_unlock(&self, _object_id: u64, _offset: u64, _length: u64, _access: u8) {}
+
+    /// The object is being destroyed; release its backing store.
+    fn terminate(&self, _object_id: u64) {}
+
+    /// Cache identity, for pagers whose objects may persist unreferenced.
+    fn ident(&self) -> Option<PagerIdent> {
+        None
+    }
+}
+
+/// The kernel's default pager: backing store for anonymous (zero-fill and
+/// shadow) memory.
+///
+/// Two backings are provided. By default pages live in host memory with
+/// the period disk latency charged per page (a stand-in for a paging
+/// area). With [`DefaultPager::on_fs`], pages live in a real paging
+/// *file* of a `mach-fs` filesystem — the arrangement the paper credits
+/// to the inode pager: "eliminates the traditional Berkeley UNIX need for
+/// separate paging partitions" (§3.3).
+pub struct DefaultPager {
+    machine: Arc<Machine>,
+    store: Mutex<HashMap<(u64, u64), Vec<u8>>>,
+    /// Optional paging file: `(fs, file, slot allocator)`.
+    paging_file: Option<PagingFile>,
+}
+
+struct PagingFile {
+    fs: Arc<SimFs>,
+    file: FileId,
+    slots: Mutex<PagingSlots>,
+    page_size: u64,
+}
+
+#[derive(Debug, Default)]
+struct PagingSlots {
+    /// `(object, offset)` → slot index in the paging file.
+    map: HashMap<(u64, u64), u64>,
+    free: Vec<u64>,
+    next: u64,
+}
+
+impl fmt::Debug for DefaultPager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DefaultPager")
+            .field("pages", &self.store.lock().len())
+            .finish()
+    }
+}
+
+impl DefaultPager {
+    /// A default pager charging I/O latency to `machine`.
+    pub fn new(machine: &Arc<Machine>) -> Arc<DefaultPager> {
+        Arc::new(DefaultPager {
+            machine: Arc::clone(machine),
+            store: Mutex::new(HashMap::new()),
+            paging_file: None,
+        })
+    }
+
+    /// A default pager writing to a real paging **file** named
+    /// `"paging_file"` on `fs` (created if absent) — anonymous memory
+    /// pages through the filesystem, not a dedicated partition.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors creating the paging file.
+    pub fn on_fs(
+        machine: &Arc<Machine>,
+        fs: &Arc<SimFs>,
+        page_size: u64,
+    ) -> Result<Arc<DefaultPager>, mach_fs::FsError> {
+        let file = match fs.lookup("paging_file") {
+            Ok(f) => f,
+            Err(_) => fs.create("paging_file")?,
+        };
+        Ok(Arc::new(DefaultPager {
+            machine: Arc::clone(machine),
+            store: Mutex::new(HashMap::new()),
+            paging_file: Some(PagingFile {
+                fs: Arc::clone(fs),
+                file,
+                slots: Mutex::new(PagingSlots::default()),
+                page_size,
+            }),
+        }))
+    }
+
+    /// Number of pages currently held on "disk".
+    pub fn pages_stored(&self) -> usize {
+        match &self.paging_file {
+            Some(pf) => pf.slots.lock().map.len(),
+            None => self.store.lock().len(),
+        }
+    }
+
+    fn charge_io(&self, bytes: u64) {
+        let disk = self.machine.disk();
+        let blocks = bytes.div_ceil(disk.block_size).max(1);
+        self.machine.charge_wait_us(disk.io_us(blocks));
+    }
+}
+
+impl Pager for DefaultPager {
+    fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply {
+        match &self.paging_file {
+            Some(pf) => {
+                let slot = {
+                    let slots = pf.slots.lock();
+                    slots.map.get(&(object_id, offset)).copied()
+                };
+                match slot {
+                    Some(slot) => {
+                        let mut buf = vec![0u8; length as usize];
+                        match pf.fs.read_at(pf.file, slot * pf.page_size, &mut buf) {
+                            Ok(_) => PagerReply::Data(buf),
+                            Err(_) => PagerReply::Error(VmError::DataUnavailable),
+                        }
+                    }
+                    None => PagerReply::Unavailable,
+                }
+            }
+            None => match self.store.lock().get(&(object_id, offset)) {
+                Some(d) => {
+                    self.charge_io(d.len() as u64);
+                    PagerReply::Data(d.clone())
+                }
+                None => PagerReply::Unavailable,
+            },
+        }
+    }
+
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) {
+        match &self.paging_file {
+            Some(pf) => {
+                let slot = {
+                    let mut slots = pf.slots.lock();
+                    match slots.map.get(&(object_id, offset)) {
+                        Some(&s) => s,
+                        None => {
+                            let s = slots.free.pop().unwrap_or_else(|| {
+                                let s = slots.next;
+                                slots.next += 1;
+                                s
+                            });
+                            slots.map.insert((object_id, offset), s);
+                            s
+                        }
+                    }
+                };
+                let _ = pf.fs.write_at(pf.file, slot * pf.page_size, &data);
+            }
+            None => {
+                self.charge_io(data.len() as u64);
+                self.store.lock().insert((object_id, offset), data);
+            }
+        }
+    }
+
+    fn terminate(&self, object_id: u64) {
+        match &self.paging_file {
+            Some(pf) => {
+                let mut slots = pf.slots.lock();
+                let dead: Vec<_> = slots
+                    .map
+                    .keys()
+                    .filter(|(oid, _)| *oid == object_id)
+                    .copied()
+                    .collect();
+                for key in dead {
+                    if let Some(s) = slots.map.remove(&key) {
+                        slots.free.push(s);
+                    }
+                }
+            }
+            None => {
+                self.store.lock().retain(|(oid, _), _| *oid != object_id);
+            }
+        }
+    }
+}
+
+/// The inode pager: maps a `mach-fs` file as a memory object, reading and
+/// writing file blocks directly (no buffer cache — pages *are* the cache).
+pub struct InodePager {
+    fs: Arc<SimFs>,
+    file: FileId,
+}
+
+impl fmt::Debug for InodePager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InodePager")
+            .field("file", &self.file)
+            .finish()
+    }
+}
+
+impl InodePager {
+    /// A pager for `file` of `fs`.
+    pub fn new(fs: &Arc<SimFs>, file: FileId) -> Arc<InodePager> {
+        Arc::new(InodePager {
+            fs: Arc::clone(fs),
+            file,
+        })
+    }
+
+    /// The file this pager manages.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The cache identity a `(fs, file)` pair produces.
+    pub fn ident_for(fs: &Arc<SimFs>, file: FileId) -> PagerIdent {
+        PagerIdent::Inode {
+            fs: Arc::as_ptr(fs) as usize,
+            file: file.0,
+        }
+    }
+}
+
+impl Pager for InodePager {
+    fn data_request(&self, _object_id: u64, offset: u64, length: u64) -> PagerReply {
+        let mut buf = vec![0u8; length as usize];
+        match self.fs.read_at(self.file, offset, &mut buf) {
+            Ok(_) => PagerReply::Data(buf),
+            Err(_) => PagerReply::Error(VmError::DataUnavailable),
+        }
+    }
+
+    fn data_write(&self, _object_id: u64, offset: u64, data: Vec<u8>) {
+        let size = self.fs.size(self.file).unwrap_or(0);
+        // Do not extend the file past its logical size with page padding.
+        let len = if offset >= size {
+            return;
+        } else {
+            data.len().min((size - offset) as usize)
+        };
+        let _ = self.fs.write_at(self.file, offset, &data[..len]);
+    }
+
+    fn ident(&self) -> Option<PagerIdent> {
+        Some(InodePager::ident_for(&self.fs, self.file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_fs::BlockDevice;
+    use mach_hw::machine::MachineModel;
+
+    fn machine() -> Arc<Machine> {
+        Machine::boot(MachineModel::vax_8200())
+    }
+
+    #[test]
+    fn default_pager_roundtrip() {
+        let m = machine();
+        let p = DefaultPager::new(&m);
+        assert!(matches!(
+            p.data_request(1, 0, 4096),
+            PagerReply::Unavailable
+        ));
+        p.data_write(1, 4096, vec![7u8; 4096]);
+        assert_eq!(p.pages_stored(), 1);
+        match p.data_request(1, 4096, 4096) {
+            PagerReply::Data(d) => assert_eq!(d, vec![7u8; 4096]),
+            other => panic!("expected data, got {other:?}"),
+        }
+        // Object isolation.
+        assert!(matches!(
+            p.data_request(2, 4096, 4096),
+            PagerReply::Unavailable
+        ));
+        p.terminate(1);
+        assert_eq!(p.pages_stored(), 0);
+    }
+
+    #[test]
+    fn default_pager_charges_disk_latency() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let p = DefaultPager::new(&m);
+        let before = m.clock().wait_us();
+        p.data_write(1, 0, vec![0u8; 4096]);
+        assert!(m.clock().wait_us() > before);
+    }
+
+    #[test]
+    fn inode_pager_reads_file_pages() {
+        let m = machine();
+        let dev = BlockDevice::new(&m, 64);
+        let fs = SimFs::format(&dev);
+        let f = fs.create("x").unwrap();
+        fs.write_at(f, 0, &vec![9u8; 10_000]).unwrap();
+        let p = InodePager::new(&fs, f);
+        match p.data_request(1, 8192, 4096) {
+            PagerReply::Data(d) => {
+                assert_eq!(d.len(), 4096);
+                assert!(d[..10_000 - 8192].iter().all(|&b| b == 9));
+                assert!(d[10_000 - 8192..].iter().all(|&b| b == 0), "EOF pads zero");
+            }
+            other => panic!("expected data, got {other:?}"),
+        }
+        assert!(p.ident().is_some());
+        assert_eq!(p.ident(), Some(InodePager::ident_for(&fs, f)));
+    }
+
+    #[test]
+    fn inode_pager_write_respects_size() {
+        let m = machine();
+        let dev = BlockDevice::new(&m, 64);
+        let fs = SimFs::format(&dev);
+        let f = fs.create("x").unwrap();
+        fs.write_at(f, 0, b"short").unwrap();
+        let p = InodePager::new(&fs, f);
+        p.data_write(1, 0, vec![b'A'; 4096]);
+        assert_eq!(fs.size(f).unwrap(), 5, "pageout must not grow the file");
+        let mut buf = [0u8; 5];
+        fs.read_at(f, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"AAAAA");
+    }
+}
+
+#[cfg(test)]
+mod paging_file_tests {
+    use super::*;
+    use mach_fs::BlockDevice;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    #[test]
+    fn fs_backed_default_pager_round_trips() {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = BlockDevice::new(&machine, 256);
+        let fs = SimFs::format(&dev);
+        let _b = machine.bind_cpu(0);
+        let p = DefaultPager::on_fs(&machine, &fs, 4096).unwrap();
+        assert!(matches!(
+            p.data_request(1, 0, 4096),
+            PagerReply::Unavailable
+        ));
+        p.data_write(1, 8192, vec![0x42u8; 4096]);
+        assert_eq!(p.pages_stored(), 1);
+        // The bytes are physically in the paging file on the filesystem.
+        let f = fs.lookup("paging_file").unwrap();
+        assert!(fs.size(f).unwrap() >= 4096);
+        match p.data_request(1, 8192, 4096) {
+            PagerReply::Data(d) => assert_eq!(d, vec![0x42u8; 4096]),
+            other => panic!("expected data, got {other:?}"),
+        }
+        // Rewrite reuses the same slot; termination frees slots.
+        p.data_write(1, 8192, vec![0x43u8; 4096]);
+        assert_eq!(p.pages_stored(), 1);
+        p.terminate(1);
+        assert_eq!(p.pages_stored(), 0);
+        // A new object reuses the freed slot (no file growth).
+        let size_before = fs.size(f).unwrap();
+        p.data_write(2, 0, vec![1u8; 4096]);
+        assert_eq!(fs.size(f).unwrap(), size_before);
+    }
+
+    #[test]
+    fn kernel_pages_anonymous_memory_through_the_filesystem() {
+        let mut model = MachineModel::vax_8200();
+        model.mem_bytes = 2 << 20;
+        let machine = Machine::boot(model);
+        let dev = BlockDevice::new(&machine, 2048);
+        let fs = SimFs::format(&dev);
+        let kernel = crate::kernel::Kernel::boot_with_paging_file(&machine, &fs);
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let total = 3u64 << 20; // exceeds physical memory
+        let addr = task
+            .map()
+            .allocate(kernel.ctx(), None, total, true)
+            .unwrap();
+        task.user(0, |u| {
+            let mut a = addr;
+            while a < addr + total {
+                u.write_u32(a, (a / ps) as u32).unwrap();
+                a += ps;
+            }
+        });
+        // Pageout happened, and its destination was the paging *file*.
+        assert!(kernel.statistics().pageouts > 0);
+        let f = fs.lookup("paging_file").unwrap();
+        assert!(
+            fs.size(f).unwrap() > 0,
+            "anonymous pages went through the filesystem, not a partition"
+        );
+        // Everything reads back.
+        task.user(0, |u| {
+            for i in (0..total / ps).step_by(17) {
+                assert_eq!(
+                    u.read_u32(addr + i * ps).unwrap(),
+                    ((addr + i * ps) / ps) as u32
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! `vm_statistics` (Table 2-1) and internal event counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters; snapshot with [`VmStatsAtomic::snapshot`].
+#[derive(Debug, Default)]
+pub struct VmStatsAtomic {
+    /// Page faults handled.
+    pub faults: AtomicU64,
+    /// Faults resolved by zero-filling a fresh page.
+    pub zero_fill: AtomicU64,
+    /// Faults that pushed a copy-on-write page.
+    pub cow_faults: AtomicU64,
+    /// Faults satisfied from the object/offset hash (page was resident).
+    pub resident_hits: AtomicU64,
+    /// Faults that called a pager for data.
+    pub pageins: AtomicU64,
+    /// Pages written to a pager by the paging daemon.
+    pub pageouts: AtomicU64,
+    /// Pages reclaimed from the inactive queue without I/O.
+    pub reclaims: AtomicU64,
+    /// Inactive pages saved by a reference bit (reactivated).
+    pub reactivations: AtomicU64,
+    /// Shadow-chain full collapses.
+    pub collapses: AtomicU64,
+    /// Shadow-chain bypasses.
+    pub bypasses: AtomicU64,
+    /// Object-cache hits (cheap reuse of a cached object).
+    pub object_cache_hits: AtomicU64,
+    /// Object-cache misses.
+    pub object_cache_misses: AtomicU64,
+    /// Map-entry lookups that were satisfied by the hint.
+    pub hint_hits: AtomicU64,
+    /// Map-entry lookups that walked the list.
+    pub hint_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the statistics, in the spirit of the paper's
+/// `vm_statistics(target_task, vm_stats)` call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// The machine-independent page size in bytes.
+    pub pagesize: u64,
+    /// Pages on the free queue.
+    pub free_count: u64,
+    /// Pages on the active queue.
+    pub active_count: u64,
+    /// Pages on the inactive queue.
+    pub inactive_count: u64,
+    /// Wired pages.
+    pub wire_count: u64,
+    /// Page faults handled.
+    pub faults: u64,
+    /// Zero-fill faults.
+    pub zero_fill_count: u64,
+    /// Copy-on-write faults.
+    pub cow_faults: u64,
+    /// Faults satisfied by a resident page.
+    pub resident_hits: u64,
+    /// Pager data requests.
+    pub pageins: u64,
+    /// Pages written out.
+    pub pageouts: u64,
+    /// Pages reclaimed clean.
+    pub reclaims: u64,
+    /// Pages reactivated by the daemon.
+    pub reactivations: u64,
+    /// Shadow collapses performed.
+    pub collapses: u64,
+    /// Shadow bypasses performed.
+    pub bypasses: u64,
+    /// Object-cache hits.
+    pub object_cache_hits: u64,
+    /// Object-cache misses.
+    pub object_cache_misses: u64,
+    /// Map lookups satisfied by the hint.
+    pub hint_hits: u64,
+    /// Map lookups that had to walk.
+    pub hint_misses: u64,
+}
+
+impl VmStatsAtomic {
+    /// Snapshot every counter (queue counts are added by the kernel).
+    pub fn snapshot(&self, pagesize: u64) -> VmStats {
+        VmStats {
+            pagesize,
+            free_count: 0,
+            active_count: 0,
+            inactive_count: 0,
+            wire_count: 0,
+            faults: self.faults.load(Ordering::Relaxed),
+            zero_fill_count: self.zero_fill.load(Ordering::Relaxed),
+            cow_faults: self.cow_faults.load(Ordering::Relaxed),
+            resident_hits: self.resident_hits.load(Ordering::Relaxed),
+            pageins: self.pageins.load(Ordering::Relaxed),
+            pageouts: self.pageouts.load(Ordering::Relaxed),
+            reclaims: self.reclaims.load(Ordering::Relaxed),
+            reactivations: self.reactivations.load(Ordering::Relaxed),
+            collapses: self.collapses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            object_cache_hits: self.object_cache_hits.load(Ordering::Relaxed),
+            object_cache_misses: self.object_cache_misses.load(Ordering::Relaxed),
+            hint_hits: self.hint_hits.load(Ordering::Relaxed),
+            hint_misses: self.hint_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_counters() {
+        let a = VmStatsAtomic::default();
+        a.faults.fetch_add(3, Ordering::Relaxed);
+        a.cow_faults.fetch_add(1, Ordering::Relaxed);
+        let s = a.snapshot(8192);
+        assert_eq!(s.pagesize, 8192);
+        assert_eq!(s.faults, 3);
+        assert_eq!(s.cow_faults, 1);
+        assert_eq!(s.pageouts, 0);
+    }
+}

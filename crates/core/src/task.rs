@@ -1,0 +1,596 @@
+//! Tasks and `fork` (paper §2, §2.1).
+//!
+//! A task "includes a paged virtual address space"; the UNIX process is a
+//! task with one thread. `fork` builds the child's address map from the
+//! parent's **inheritance values**: `Shared` regions are converted to
+//! sharing-map entries visible to both, `Copy` regions become symmetric
+//! copy-on-write mappings (no data moves), and `None` regions are simply
+//! absent from the child.
+//!
+//! [`Task::user`] runs a closure as "user code" on a simulated CPU: loads
+//! and stores go through the hardware MMU, and faults re-enter the kernel
+//! through [`crate::fault::vm_fault`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mach_hw::{Access, Fault, VAddr};
+use mach_pmap::Pmap;
+
+use crate::ctx::CoreRefs;
+use crate::fault::vm_fault;
+use crate::map::{MapEntry, MapTarget, VmMap};
+use crate::types::{Inheritance, Protection, VmError, VmResult};
+
+static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A Mach task: an address space (map + pmap) and a resource context.
+#[derive(Debug)]
+pub struct Task {
+    id: u64,
+    map: Arc<VmMap>,
+    ctx: Arc<CoreRefs>,
+}
+
+impl Task {
+    pub(crate) fn new(ctx: &Arc<CoreRefs>) -> Arc<Task> {
+        let pmap = ctx.machdep.create();
+        let hi = ctx.machine.kind().user_va_limit();
+        // Leave page zero unmapped, like every sane UNIX.
+        let map = VmMap::new_task_map(ctx, pmap, ctx.page_size, hi);
+        Arc::new(Task {
+            id: NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed),
+            map,
+            ctx: Arc::clone(ctx),
+        })
+    }
+
+    /// The task's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The task's address map.
+    pub fn map(&self) -> &Arc<VmMap> {
+        &self.map
+    }
+
+    /// The task's pmap.
+    pub fn pmap(&self) -> &Arc<dyn Pmap> {
+        self.map.pmap().expect("task maps always drive a pmap")
+    }
+
+    /// Fork: build a child address space according to the per-entry
+    /// inheritance values (paper §2.1). No page is copied.
+    pub fn fork(self: &Arc<Task>) -> Arc<Task> {
+        let child = Task::new(&self.ctx);
+        let entries = self.map.snapshot_entries();
+        for e in entries {
+            match e.inheritance {
+                Inheritance::None => {
+                    // "The child's corresponding address is left
+                    // unallocated."
+                }
+                Inheritance::Shared => {
+                    let (share, soff, s, _end) = self
+                        .map
+                        .share_entry(&self.ctx, e.start)
+                        .expect("entry came from the snapshot");
+                    let _ = s;
+                    child.map.insert_entry(MapEntry {
+                        start: e.start,
+                        end: e.end,
+                        target: MapTarget::Share {
+                            map: share,
+                            offset: soff,
+                        },
+                        prot: e.prot,
+                        max_prot: e.max_prot,
+                        inheritance: Inheritance::Shared,
+                        copy_on_write: false,
+                        needs_copy: false,
+                        wired: false,
+                    });
+                }
+                Inheritance::Copy => {
+                    let clones = self
+                        .map
+                        .copy_entries(&self.ctx, e.start, e.end)
+                        .expect("entry came from the snapshot");
+                    for mut c in clones {
+                        c.inheritance = Inheritance::Copy;
+                        c.wired = false;
+                        child.map.insert_entry(c);
+                    }
+                    // Writes by the parent must now fault so the shadow
+                    // machinery can intervene: narrow its hardware map.
+                    self.pmap().protect(
+                        VAddr(e.start),
+                        VAddr(e.end),
+                        e.prot.remove(Protection::WRITE).to_hw(),
+                    );
+                }
+            }
+        }
+        child
+    }
+
+    /// Fork, then pre-warm the child's pmap with the parent's live
+    /// translations via the optional `pmap_copy` of Table 3-4 (entered
+    /// read-only so copy-on-write still traps). Saves the child its
+    /// initial read faults at the cost of eager pmap work.
+    pub fn fork_prewarmed(self: &Arc<Task>) -> Arc<Task> {
+        let child = self.fork();
+        for e in self.map.snapshot_entries() {
+            if e.inheritance == Inheritance::Copy {
+                child.pmap().copy_from(
+                    self.pmap().as_ref(),
+                    VAddr(e.start),
+                    e.end - e.start,
+                    VAddr(e.start),
+                );
+            }
+        }
+        child
+    }
+
+    /// Make this task current on `cpu` (loads its pmap).
+    pub fn activate(&self, cpu: usize) {
+        self.pmap().activate(cpu);
+    }
+
+    /// Run `body` as user code of this task on `cpu`.
+    ///
+    /// The closure receives a [`UserCtx`] whose accessors go through the
+    /// simulated MMU and fault into the kernel transparently.
+    pub fn user<R>(self: &Arc<Task>, cpu: usize, body: impl FnOnce(&UserCtx) -> R) -> R {
+        let _bind = self.ctx.machine.bind_cpu(cpu);
+        self.activate(cpu);
+        let uc = UserCtx {
+            task: Arc::clone(self),
+        };
+        let r = body(&uc);
+        self.pmap().deactivate(cpu);
+        r
+    }
+
+    /// Spawn a thread of this task on `cpu` — "the basic unit of CPU
+    /// utilization ... All threads within a task share access to all task
+    /// resources" (paper §2). The thread runs `body` as user code against
+    /// the shared address space.
+    pub fn spawn_thread<R: Send + 'static>(
+        self: &Arc<Task>,
+        cpu: usize,
+        body: impl FnOnce(&UserCtx) -> R + Send + 'static,
+    ) -> std::thread::JoinHandle<R> {
+        let task = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("task-{}-thread", self.id))
+            .spawn(move || task.user(cpu, body))
+            .expect("spawn task thread")
+    }
+
+    /// Resolve a hardware fault against this task's address space.
+    ///
+    /// Implements the NS32082 erratum workaround *machine-independently*:
+    /// a read fault at an address the pmap already maps readable can only
+    /// be the write half of a read-modify-write cycle lying about itself,
+    /// so it is retried as a write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the fault handler.
+    pub fn handle_fault(self: &Arc<Task>, fault: Fault) -> VmResult<()> {
+        let ctx = &self.ctx;
+        ctx.machine.charge(ctx.machine.cost().kernel_entry);
+        let mut access = match fault.access {
+            Access::Write => Protection::WRITE,
+            Access::Read | Access::Execute => Protection::READ,
+        };
+        if access == Protection::READ {
+            let va = VAddr(ctx.trunc_page(fault.va.0));
+            if self.pmap().extract(va).is_some() {
+                // The mapping is readable yet the hardware claims a read
+                // fault: the NS32082 RMW erratum (paper §5.1).
+                access = Protection::WRITE;
+            }
+        }
+        vm_fault(ctx, &self.map, fault.va.0, access, false)?;
+        Ok(())
+    }
+}
+
+/// User-mode accessors for a task (see [`Task::user`]).
+///
+/// Every method retries after resolving faults through the kernel, as the
+/// hardware would re-execute the faulting instruction.
+#[derive(Debug)]
+pub struct UserCtx {
+    task: Arc<Task>,
+}
+
+const MAX_RETRIES: usize = 64;
+
+impl UserCtx {
+    /// The task this context belongs to.
+    pub fn task(&self) -> &Arc<Task> {
+        &self.task
+    }
+
+    fn retry<R>(&self, mut op: impl FnMut() -> Result<R, Fault>) -> VmResult<R> {
+        for _ in 0..MAX_RETRIES {
+            match op() {
+                Ok(r) => return Ok(r),
+                Err(fault) => self.task.handle_fault(fault)?,
+            }
+        }
+        Err(VmError::ResourceShortage)
+    }
+
+    /// Load a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] when the fault cannot be resolved (unallocated address,
+    /// protection violation).
+    pub fn read_u32(&self, va: u64) -> VmResult<u32> {
+        let m = &self.task.ctx.machine;
+        self.retry(|| m.load_u32(VAddr(va)))
+    }
+
+    /// Store a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn write_u32(&self, va: u64, v: u32) -> VmResult<()> {
+        let m = &self.task.ctx.machine;
+        self.retry(|| m.store_u32(VAddr(va), v))
+    }
+
+    /// Read a byte range.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn read_bytes(&self, va: u64, len: usize) -> VmResult<Vec<u8>> {
+        let m = &self.task.ctx.machine;
+        let mut buf = vec![0u8; len];
+        self.retry(|| m.load(VAddr(va), &mut buf))?;
+        Ok(buf)
+    }
+
+    /// Write a byte range.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn write_bytes(&self, va: u64, data: &[u8]) -> VmResult<()> {
+        let m = &self.task.ctx.machine;
+        self.retry(|| m.store(VAddr(va), data))
+    }
+
+    /// A read-modify-write cycle on a `u32` — the operation the NS32082
+    /// erratum mis-reports; the kernel works around it transparently.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn rmw_u32(&self, va: u64, f: impl Fn(u32) -> u32) -> VmResult<u32> {
+        let m = &self.task.ctx.machine;
+        self.retry(|| m.rmw_u32(VAddr(va), &f))
+    }
+
+    /// Touch every page of `[va, va+len)` for read (working-set warmup).
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn touch_range(&self, va: u64, len: u64) -> VmResult<()> {
+        let page = self.task.ctx.page_size;
+        let mut a = va;
+        while a < va + len {
+            self.read_u32(a)?;
+            a += page;
+        }
+        Ok(())
+    }
+
+    /// Dirty every page of `[va, va+len)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`UserCtx::read_u32`].
+    pub fn dirty_range(&self, va: u64, len: u64) -> VmResult<()> {
+        let page = self.task.ctx.page_size;
+        let mut a = va;
+        while a < va + len {
+            self.write_u32(a, 0x5A5A_5A5A)?;
+            a += page;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    fn boot() -> Arc<crate::kernel::Kernel> {
+        Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()))
+    }
+
+    #[test]
+    fn fork_copy_semantics_are_symmetric_snapshots() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let addr = parent.map().allocate(ctx, None, 4 * ps, true).unwrap();
+        parent.user(0, |u| {
+            u.write_u32(addr, 100).unwrap();
+            u.write_u32(addr + ps, 200).unwrap();
+        });
+        let child = parent.fork();
+        // The child sees the snapshot...
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 100);
+            assert_eq!(u.read_u32(addr + ps).unwrap(), 200);
+            // ...and its writes are private.
+            u.write_u32(addr, 111).unwrap();
+        });
+        parent.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 100, "parent unaffected");
+            // Parent writes are invisible to the child too.
+            u.write_u32(addr + ps, 222).unwrap();
+        });
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 111);
+            assert_eq!(u.read_u32(addr + ps).unwrap(), 200, "child unaffected");
+        });
+        assert!(k.statistics().cow_faults >= 2);
+    }
+
+    #[test]
+    fn fork_copies_no_data_upfront() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let size = 64 * ps; // "fork 256K" in miniature
+        let addr = parent.map().allocate(ctx, None, size, true).unwrap();
+        parent.user(0, |u| u.dirty_range(addr, size).unwrap());
+        let cow_before = k.statistics().cow_faults;
+        let zf_before = k.statistics().zero_fill_count;
+        let _child = parent.fork();
+        assert_eq!(k.statistics().cow_faults, cow_before, "no pushes at fork");
+        assert_eq!(
+            k.statistics().zero_fill_count,
+            zf_before,
+            "no fills at fork"
+        );
+    }
+
+    #[test]
+    fn fork_shared_inheritance_is_coherent_both_ways() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let addr = parent.map().allocate(ctx, None, 2 * ps, true).unwrap();
+        parent
+            .map()
+            .inherit(ctx, addr, 2 * ps, Inheritance::Shared)
+            .unwrap();
+        let child = parent.fork();
+        parent.user(0, |u| u.write_u32(addr, 1234).unwrap());
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 1234, "child sees parent write");
+            u.write_u32(addr + 4, 5678).unwrap();
+        });
+        parent.user(0, |u| {
+            assert_eq!(
+                u.read_u32(addr + 4).unwrap(),
+                5678,
+                "parent sees child write"
+            );
+        });
+        // Grandchild shares too (sharing map reused, not re-wrapped).
+        let grandchild = child.fork();
+        grandchild.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 1234);
+            u.write_u32(addr, 1).unwrap();
+        });
+        parent.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 1));
+    }
+
+    #[test]
+    fn fork_none_inheritance_leaves_child_unallocated() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let addr = parent.map().allocate(ctx, None, ps, true).unwrap();
+        parent
+            .map()
+            .inherit(ctx, addr, ps, Inheritance::None)
+            .unwrap();
+        let child = parent.fork();
+        assert_eq!(child.map().entry_count(), 0);
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap_err(), VmError::InvalidAddress);
+        });
+        // Parent keeps using it.
+        parent.user(0, |u| u.write_u32(addr, 5).unwrap());
+    }
+
+    #[test]
+    fn mixed_inheritance_fork() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let a = parent.map().allocate(ctx, None, ps, true).unwrap(); // copy
+        let b = parent.map().allocate(ctx, None, ps, true).unwrap();
+        let c = parent.map().allocate(ctx, None, ps, true).unwrap();
+        parent
+            .map()
+            .inherit(ctx, b, ps, Inheritance::Shared)
+            .unwrap();
+        parent.map().inherit(ctx, c, ps, Inheritance::None).unwrap();
+        parent.user(0, |u| {
+            u.write_u32(a, 1).unwrap();
+            u.write_u32(b, 2).unwrap();
+            u.write_u32(c, 3).unwrap();
+        });
+        let child = parent.fork();
+        assert_eq!(child.map().entry_count(), 2);
+        child.user(0, |u| {
+            assert_eq!(u.read_u32(a).unwrap(), 1);
+            assert_eq!(u.read_u32(b).unwrap(), 2);
+            assert!(u.read_u32(c).is_err());
+            u.write_u32(a, 10).unwrap();
+            u.write_u32(b, 20).unwrap();
+        });
+        parent.user(0, |u| {
+            assert_eq!(u.read_u32(a).unwrap(), 1, "copy region isolated");
+            assert_eq!(u.read_u32(b).unwrap(), 20, "shared region coherent");
+        });
+    }
+
+    #[test]
+    fn repeated_fork_builds_then_collapses_chains() {
+        // "A trivial example of this kind of shadow chaining can be caused
+        // by a simple UNIX process which repeatedly forks its address
+        // space" (§3.5).
+        let k = boot();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let mut task = k.create_task();
+        let addr = task.map().allocate(ctx, None, 4 * ps, true).unwrap();
+        task.user(0, |u| u.dirty_range(addr, 4 * ps).unwrap());
+        for gen in 0..8 {
+            let child = task.fork();
+            // The child dirties one page, forcing shadows on its side.
+            child.user(0, |u| u.write_u32(addr, gen).unwrap());
+            task = child;
+        }
+        let r = task.map().resolve(ctx, addr).unwrap();
+        let chain = r.object.chain_length();
+        let collapsed = k.statistics().collapses + k.statistics().bypasses;
+        assert!(
+            chain <= 8,
+            "chain of length {chain} should stay bounded (collapses: {collapsed})"
+        );
+        assert!(collapsed > 0, "garbage collection must have fired");
+        // Data is still correct at the end of the chain.
+        task.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 7);
+            assert_eq!(u.read_u32(addr + ps).unwrap(), 0x5A5A_5A5A);
+        });
+    }
+
+    #[test]
+    fn fork_of_forked_shared_region() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let addr = parent.map().allocate(ctx, None, ps, true).unwrap();
+        parent
+            .map()
+            .inherit(ctx, addr, ps, Inheritance::Shared)
+            .unwrap();
+        let c1 = parent.fork();
+        let c2 = parent.fork();
+        c1.user(0, |u| u.write_u32(addr, 42).unwrap());
+        c2.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 42));
+        parent.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 42));
+    }
+
+    #[test]
+    fn user_ctx_rmw_works_through_cow() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let addr = parent.map().allocate(ctx, None, ps, true).unwrap();
+        parent.user(0, |u| u.write_u32(addr, 10).unwrap());
+        let child = parent.fork();
+        child.user(0, |u| {
+            let old = u.rmw_u32(addr, |v| v + 5).unwrap();
+            assert_eq!(old, 10);
+            assert_eq!(u.read_u32(addr).unwrap(), 15);
+        });
+        parent.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 10));
+    }
+
+    #[test]
+    fn prewarmed_fork_avoids_child_read_faults() {
+        let k = boot();
+        let parent = k.create_task();
+        let ctx = k.ctx();
+        let ps = k.page_size();
+        let size = 16 * ps;
+        let addr = parent.map().allocate(ctx, None, size, true).unwrap();
+        parent.user(0, |u| u.dirty_range(addr, size).unwrap());
+
+        let lazy = parent.fork();
+        let f0 = k.statistics().faults;
+        lazy.user(0, |u| u.touch_range(addr, size).unwrap());
+        let lazy_faults = k.statistics().faults - f0;
+        assert!(lazy_faults >= 16, "lazy child refaults everything");
+
+        let warm = parent.fork_prewarmed();
+        let f1 = k.statistics().faults;
+        warm.user(0, |u| u.touch_range(addr, size).unwrap());
+        let warm_faults = k.statistics().faults - f1;
+        assert_eq!(warm_faults, 0, "pmap_copy pre-entered every page");
+
+        // Copy-on-write still traps: a write is private.
+        warm.user(0, |u| u.write_u32(addr, 77).unwrap());
+        parent.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 0x5A5A_5A5A));
+    }
+
+    #[test]
+    fn threads_share_the_address_space() {
+        let machine = Machine::boot(MachineModel::multimax(2));
+        let k = Kernel::boot(&machine);
+        let task = k.create_task();
+        let ps = k.page_size();
+        let addr = task.map().allocate(k.ctx(), None, 2 * ps, true).unwrap();
+        // Two threads of one task on two CPUs: same memory, no sharing
+        // maps needed — threads *are* the sharing.
+        let t1 = task.spawn_thread(0, move |u| {
+            u.write_u32(addr, 0xAAAA).unwrap();
+            // Spin until the peer's write is visible.
+            for _ in 0..100_000 {
+                if u.read_u32(addr + 4).unwrap() == 0xBBBB {
+                    return true;
+                }
+            }
+            false
+        });
+        let t2 = task.spawn_thread(1, move |u| {
+            u.write_u32(addr + 4, 0xBBBB).unwrap();
+            for _ in 0..100_000 {
+                if u.read_u32(addr).unwrap() == 0xAAAA {
+                    return true;
+                }
+            }
+            false
+        });
+        assert!(t1.join().unwrap(), "thread 1 saw thread 2's write");
+        assert!(t2.join().unwrap(), "thread 2 saw thread 1's write");
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let k = boot();
+        let a = k.create_task();
+        let b = k.create_task();
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,206 @@
+//! Machine-independent value types: protections, inheritance, errors.
+
+use std::fmt;
+
+use mach_hw::addr::HwProt;
+
+/// A virtual-memory protection value: some combination of read, write and
+/// execute.
+///
+/// Each mapped region carries a *current* and a *maximum* protection
+/// (paper §2.1): the current protection controls actual hardware
+/// permissions; the maximum can only ever be lowered, and lowering it
+/// below the current protection drags the current protection down.
+///
+/// # Examples
+///
+/// ```
+/// use mach_vm::types::Protection;
+/// let p = Protection::READ | Protection::WRITE;
+/// assert!(p.contains(Protection::READ));
+/// assert!(!p.contains(Protection::EXECUTE));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Protection(u8);
+
+impl Protection {
+    /// No access.
+    pub const NONE: Protection = Protection(0);
+    /// Read access.
+    pub const READ: Protection = Protection(1);
+    /// Write access.
+    pub const WRITE: Protection = Protection(2);
+    /// Execute access.
+    pub const EXECUTE: Protection = Protection(4);
+    /// Read, write and execute.
+    pub const ALL: Protection = Protection(7);
+    /// The default protection of fresh allocations: read + write.
+    pub const DEFAULT: Protection = Protection(3);
+
+    /// Construct from raw bits.
+    pub fn from_bits(bits: u8) -> Protection {
+        Protection(bits & 7)
+    }
+
+    /// The raw bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if every permission in `other` is present in `self`.
+    pub fn contains(self, other: Protection) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// The intersection of two protections.
+    pub fn intersect(self, other: Protection) -> Protection {
+        Protection(self.0 & other.0)
+    }
+
+    /// Remove `other`'s permissions.
+    pub fn remove(self, other: Protection) -> Protection {
+        Protection(self.0 & !other.0)
+    }
+
+    /// True if no access is allowed.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The hardware permissions this protection maps to.
+    pub fn to_hw(self) -> HwProt {
+        HwProt::from_bits(self.0)
+    }
+}
+
+impl std::ops::BitOr for Protection {
+    type Output = Protection;
+    fn bitor(self, rhs: Protection) -> Protection {
+        Protection(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for Protection {
+    fn bitor_assign(&mut self, rhs: Protection) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.contains(Protection::READ) {
+                'r'
+            } else {
+                '-'
+            },
+            if self.contains(Protection::WRITE) {
+                'w'
+            } else {
+                '-'
+            },
+            if self.contains(Protection::EXECUTE) {
+                'x'
+            } else {
+                '-'
+            },
+        )
+    }
+}
+
+/// What a child task receives for a region on `fork` (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Inheritance {
+    /// Shared for read and write between parent and child.
+    Shared,
+    /// Logically copied by value (implemented copy-on-write).
+    #[default]
+    Copy,
+    /// Not passed to the child; the child's range is left unallocated.
+    None,
+}
+
+/// Errors returned by virtual-memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// An address or size was not page-aligned.
+    BadAlignment,
+    /// The specified range is not (entirely) allocated.
+    InvalidAddress,
+    /// No free address range of the requested size exists.
+    NoSpace,
+    /// The requested access exceeds the region's protection.
+    ProtectionFailure,
+    /// Physical memory (or backing store) is exhausted.
+    ResourceShortage,
+    /// The memory object's pager reported the data unavailable.
+    DataUnavailable,
+    /// The memory object's pager is dead.
+    PagerDied,
+    /// The requested range collides with an existing allocation.
+    AlreadyAllocated,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VmError::BadAlignment => "address or size not page aligned",
+            VmError::InvalidAddress => "address range not allocated",
+            VmError::NoSpace => "no free address range of that size",
+            VmError::ProtectionFailure => "access exceeds region protection",
+            VmError::ResourceShortage => "out of memory or backing store",
+            VmError::DataUnavailable => "pager reports data unavailable",
+            VmError::PagerDied => "memory object's pager is dead",
+            VmError::AlreadyAllocated => "range collides with an existing allocation",
+        })
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Convenience alias for VM results.
+pub type VmResult<T> = Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_algebra() {
+        let rw = Protection::READ | Protection::WRITE;
+        assert_eq!(rw, Protection::DEFAULT);
+        assert!(rw.contains(Protection::READ));
+        assert!(!rw.contains(Protection::ALL));
+        assert_eq!(rw.intersect(Protection::WRITE), Protection::WRITE);
+        assert_eq!(rw.remove(Protection::WRITE), Protection::READ);
+        assert!(Protection::NONE.is_none());
+        assert_eq!(Protection::from_bits(0xFF), Protection::ALL);
+    }
+
+    #[test]
+    fn protection_to_hw() {
+        let hw = (Protection::READ | Protection::EXECUTE).to_hw();
+        assert!(hw.allows_read());
+        assert!(!hw.allows_write());
+        assert!(hw.allows_execute());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Protection::DEFAULT.to_string(), "rw-");
+        assert_eq!(Protection::NONE.to_string(), "---");
+        assert_eq!(
+            VmError::NoSpace.to_string(),
+            "no free address range of that size"
+        );
+    }
+
+    #[test]
+    fn default_inheritance_is_copy() {
+        // "By default, all inheritance values for an address space are set
+        // to copy" — that is what makes fork a copy-on-write copy.
+        assert_eq!(Inheritance::default(), Inheritance::Copy);
+    }
+}

@@ -1,0 +1,827 @@
+//! The external pager interface (paper §3.3, Tables 3-1 and 3-2).
+//!
+//! "An important feature of Mach's virtual memory is the ability to handle
+//! page faults and page-out requests outside of the kernel" — a memory
+//! object's managing task (*pager*) receives kernel messages on its pager
+//! port and manages the object by sending messages to the kernel's
+//! *paging-object-request* port.
+//!
+//! Kernel → pager (Table 3-1): `pager_init`, `pager_data_request`,
+//! `pager_data_unlock`, `pager_data_write`, `pager_create` (plus a
+//! termination notice). Pager → kernel (Table 3-2): `pager_data_provided`,
+//! `pager_data_unavailable`, `pager_data_lock`, `pager_clean_request`,
+//! `pager_flush_request`, `pager_readonly`, `pager_cache`.
+//!
+//! The kernel side is [`ExternalPagerProxy`] (adapts the message protocol
+//! onto the internal [`Pager`] trait) plus a per-object service thread
+//! (`spawn_object_service`) that plays the kernel's half. User-state
+//! pagers implement [`UserPager`] and run under [`serve_pager`] — see
+//! `examples/external_pager.rs`.
+
+use std::fmt;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use mach_ipc::{IpcError, Message, MsgField, ReceiveRight, SendRight};
+
+use crate::ctx::CoreRefs;
+use crate::fault::supply_data;
+use crate::object::VmObject;
+use crate::pager::{Pager, PagerIdent, PagerReply};
+use crate::types::VmError;
+
+/// Message operation codes for the pager protocol.
+pub mod ops {
+    /// Kernel → pager: initialize a paging object.
+    pub const PAGER_INIT: u32 = 1;
+    /// Kernel → pager: request data (`pager_data_request`).
+    pub const PAGER_DATA_REQUEST: u32 = 2;
+    /// Kernel → pager: request an unlock (`pager_data_unlock`).
+    pub const PAGER_DATA_UNLOCK: u32 = 3;
+    /// Kernel → pager: write dirty data back (`pager_data_write`).
+    pub const PAGER_DATA_WRITE: u32 = 4;
+    /// Kernel → pager: accept ownership (`pager_create`).
+    pub const PAGER_CREATE: u32 = 5;
+    /// Kernel → pager: the object is gone.
+    pub const PAGER_TERMINATE: u32 = 6;
+
+    /// Pager → kernel: here is the data (`pager_data_provided`).
+    pub const PAGER_DATA_PROVIDED: u32 = 10;
+    /// Pager → kernel: no data for that range (`pager_data_unavailable`).
+    pub const PAGER_DATA_UNAVAILABLE: u32 = 11;
+    /// Pager → kernel: lock/unlock access (`pager_data_lock`).
+    pub const PAGER_DATA_LOCK: u32 = 12;
+    /// Pager → kernel: write back modified cached data
+    /// (`pager_clean_request`).
+    pub const PAGER_CLEAN_REQUEST: u32 = 13;
+    /// Pager → kernel: destroy cached data (`pager_flush_request`).
+    pub const PAGER_FLUSH_REQUEST: u32 = 14;
+    /// Pager → kernel: writes must allocate a new object
+    /// (`pager_readonly`).
+    pub const PAGER_READONLY: u32 = 15;
+    /// Pager → kernel: retain the object when unreferenced
+    /// (`pager_cache`).
+    pub const PAGER_CACHE: u32 = 16;
+}
+
+/// Kernel-side adapter: a [`Pager`] that forwards to a user-state pager
+/// over its port.
+pub struct ExternalPagerProxy {
+    pager_port: SendRight,
+    request_port: SendRight,
+    base_offset: u64,
+}
+
+impl fmt::Debug for ExternalPagerProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExternalPagerProxy")
+            .field("pager_port", &self.pager_port)
+            .finish()
+    }
+}
+
+impl ExternalPagerProxy {
+    /// A proxy speaking to `pager_port`, telling it to reply on
+    /// `request_port`; object offsets are shifted by `base_offset`.
+    pub fn new(
+        pager_port: SendRight,
+        request_port: SendRight,
+        base_offset: u64,
+    ) -> ExternalPagerProxy {
+        ExternalPagerProxy {
+            pager_port,
+            request_port,
+            base_offset,
+        }
+    }
+}
+
+impl Pager for ExternalPagerProxy {
+    fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply {
+        let msg = Message::new(ops::PAGER_DATA_REQUEST)
+            .with(MsgField::U64(object_id))
+            .with(MsgField::Port(self.request_port.clone()))
+            .with(MsgField::U64(offset + self.base_offset))
+            .with(MsgField::U64(length))
+            .with(MsgField::U64(u64::from(
+                crate::types::Protection::READ.bits(),
+            )));
+        match self.pager_port.send(msg) {
+            Ok(()) => PagerReply::Pending,
+            Err(IpcError::DeadPort) => PagerReply::Error(VmError::PagerDied),
+            Err(IpcError::WouldBlock) => unreachable!("blocking send"),
+        }
+    }
+
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) {
+        let _ = self.pager_port.send(
+            Message::new(ops::PAGER_DATA_WRITE)
+                .with(MsgField::U64(object_id))
+                .with(MsgField::U64(offset + self.base_offset))
+                .with(MsgField::Bytes(Arc::new(data))),
+        );
+    }
+
+    fn data_unlock(&self, object_id: u64, offset: u64, length: u64, access: u8) {
+        let _ = self.pager_port.send(
+            Message::new(ops::PAGER_DATA_UNLOCK)
+                .with(MsgField::U64(object_id))
+                .with(MsgField::Port(self.request_port.clone()))
+                .with(MsgField::U64(offset + self.base_offset))
+                .with(MsgField::U64(length))
+                .with(MsgField::U64(u64::from(access))),
+        );
+    }
+
+    fn terminate(&self, object_id: u64) {
+        let _ = self
+            .pager_port
+            .send(Message::new(ops::PAGER_TERMINATE).with(MsgField::U64(object_id)));
+    }
+
+    fn ident(&self) -> Option<PagerIdent> {
+        Some(PagerIdent::External {
+            port: self.pager_port.id(),
+            offset: self.base_offset,
+        })
+    }
+}
+
+/// Spawn the kernel's service thread for one externally-paged object: it
+/// receives Table 3-2 messages on the paging-object-request port and acts
+/// on the object until the object dies.
+pub(crate) fn spawn_object_service(
+    ctx: Arc<CoreRefs>,
+    obj: Weak<VmObject>,
+    rx: ReceiveRight,
+    base_offset: u64,
+    pager_port: SendRight,
+) {
+    std::thread::Builder::new()
+        .name("mach-object-service".into())
+        .spawn(move || loop {
+            let msg = rx.receive_timeout(Duration::from_millis(100));
+            let Some(o) = obj.upgrade() else { return };
+            if o.lock().terminated {
+                return;
+            }
+            let Some(msg) = msg else { continue };
+            handle_pager_message(&ctx, &o, &msg, base_offset, &pager_port);
+        })
+        .expect("spawn object service thread");
+}
+
+fn handle_pager_message(
+    ctx: &CoreRefs,
+    obj: &Arc<VmObject>,
+    msg: &Message,
+    base: u64,
+    pager_port: &SendRight,
+) {
+    let page = ctx.page_size;
+    match msg.op() {
+        ops::PAGER_DATA_PROVIDED => {
+            // [offset, data, lock_value]
+            let offset = msg.u64(0) - base;
+            let data = msg.bytes(1);
+            supply_data(ctx, obj, ctx.trunc_page(offset), Some(data));
+        }
+        ops::PAGER_DATA_UNAVAILABLE => {
+            // [offset, size] — zero-fill the whole range.
+            let offset = ctx.trunc_page(msg.u64(0) - base);
+            let size = ctx.round_page(msg.u64(1)).max(page);
+            let mut off = offset;
+            while off < offset + size {
+                supply_data(ctx, obj, off, None);
+                off += page;
+            }
+        }
+        ops::PAGER_DATA_LOCK => {
+            // [offset, length, lock_value]: record the revoked accesses
+            // per page, pull matching hardware permissions, and wake any
+            // faults waiting for an unlock (lock_value == 0).
+            let offset = ctx.trunc_page(msg.u64(0) - base);
+            let length = ctx.round_page(msg.u64(1)).max(page);
+            let revoke = crate::types::Protection::from_bits(msg.u64(2) as u8);
+            {
+                let mut s = obj.lock();
+                let mut off = offset;
+                while off < offset + length {
+                    if revoke.is_none() {
+                        s.locks.remove(&off);
+                    } else {
+                        s.locks.insert(off, revoke.bits());
+                    }
+                    off += page;
+                }
+            }
+            let pages = resident_range(obj, offset, length);
+            for (_, p) in pages {
+                let pa = p.base(page);
+                if revoke.contains(crate::types::Protection::READ) {
+                    ctx.machdep.remove_all(pa, page);
+                } else if revoke.contains(crate::types::Protection::WRITE) {
+                    ctx.machdep.copy_on_write(pa, page);
+                }
+            }
+            if revoke.is_none() {
+                // Unlock: wake waiting faults.
+                let _s = obj.lock();
+                obj.busy_wakeup.notify_all();
+            }
+        }
+        ops::PAGER_CLEAN_REQUEST => {
+            // [offset, length]: push modified cached pages back.
+            let offset = ctx.trunc_page(msg.u64(0) - base);
+            let length = ctx.round_page(msg.u64(1)).max(page);
+            for (off, p) in resident_range(obj, offset, length) {
+                let pa = p.base(page);
+                let dirty =
+                    ctx.resident.with_page(p, |i| i.dirty) || ctx.machdep.is_modified(pa, page);
+                if !dirty {
+                    continue;
+                }
+                let mut buf = vec![0u8; page as usize];
+                ctx.machine.phys().read(pa, &mut buf).expect("resident");
+                let _ = pager_port.send(
+                    Message::new(ops::PAGER_DATA_WRITE)
+                        .with(MsgField::U64(obj.id()))
+                        .with(MsgField::U64(off + base))
+                        .with(MsgField::Bytes(Arc::new(buf))),
+                );
+                ctx.machdep.clear_modify(pa, page);
+                ctx.resident.with_page(p, |i| i.dirty = false);
+            }
+        }
+        ops::PAGER_FLUSH_REQUEST => {
+            // [offset, length]: destroy cached pages.
+            let offset = ctx.trunc_page(msg.u64(0) - base);
+            let length = ctx.round_page(msg.u64(1)).max(page);
+            for (off, p) in resident_range(obj, offset, length) {
+                let busy = ctx.resident.with_page(p, |i| i.busy || i.wire_count > 0);
+                if busy {
+                    continue;
+                }
+                let mut s = obj.lock();
+                if s.resident.get(&off) == Some(&p) {
+                    s.resident.remove(&off);
+                    ctx.resident.clear_identity(p);
+                    drop(s);
+                    let pa = p.base(page);
+                    ctx.machdep.remove_all(pa, page);
+                    ctx.machdep.clear_modify(pa, page);
+                    ctx.machdep.clear_reference(pa, page);
+                    ctx.resident.free_page(p);
+                }
+            }
+        }
+        ops::PAGER_READONLY => {
+            obj.lock().pager_readonly = true;
+        }
+        ops::PAGER_CACHE => {
+            obj.lock().can_persist = msg.bool(0);
+        }
+        other => {
+            debug_assert!(false, "unknown pager→kernel op {other}");
+        }
+    }
+}
+
+fn resident_range(
+    obj: &Arc<VmObject>,
+    offset: u64,
+    length: u64,
+) -> Vec<(u64, crate::page::PageId)> {
+    let s = obj.lock();
+    s.resident
+        .range(offset..offset + length)
+        .map(|(&o, &p)| (o, p))
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// User-state side
+// ----------------------------------------------------------------------
+
+/// What a user-state pager implements; [`serve_pager`] adapts it onto the
+/// message protocol. The trivial read/write object of paper §3.3:
+/// "Simple pagers can be implemented by largely ignoring the more
+/// sophisticated interface calls."
+pub trait UserPager: Send {
+    /// Produce `length` bytes at `offset`, or `None` for
+    /// `pager_data_unavailable` (zero fill).
+    fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>>;
+
+    /// Accept a page written back at pageout time.
+    fn write(&mut self, offset: u64, data: &[u8]);
+
+    /// Called once with the object id and kernel request port
+    /// (`pager_init`).
+    fn init(&mut self, _object_id: u64, _request_port: &SendRight) {}
+}
+
+/// Run `pager` against messages arriving on `rx` until the kernel sends
+/// `pager_terminate` (or every sender disappears). This is the
+/// `pager_server` message loop of Table 3-1. Returns the pager for
+/// inspection.
+pub fn serve_pager<P: UserPager>(rx: &ReceiveRight, mut pager: P) -> P {
+    let mut request_port: Option<SendRight> = None;
+    loop {
+        let Some(msg) = rx.receive_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
+        match msg.op() {
+            ops::PAGER_INIT | ops::PAGER_CREATE => {
+                let object_id = msg.u64(0);
+                let port = msg.port(1).clone();
+                pager.init(object_id, &port);
+                request_port = Some(port);
+            }
+            ops::PAGER_DATA_REQUEST => {
+                // [object_id, request_port, offset, length, access]
+                let reply_to = msg.port(1).clone();
+                let offset = msg.u64(2);
+                let length = msg.u64(3);
+                let reply = match pager.read(offset, length) {
+                    Some(data) => Message::new(ops::PAGER_DATA_PROVIDED)
+                        .with(MsgField::U64(offset))
+                        .with(MsgField::Bytes(Arc::new(data)))
+                        .with(MsgField::U64(0)),
+                    None => Message::new(ops::PAGER_DATA_UNAVAILABLE)
+                        .with(MsgField::U64(offset))
+                        .with(MsgField::U64(length)),
+                };
+                if reply_to.send(reply).is_err() {
+                    return pager;
+                }
+                let _ = &request_port;
+            }
+            ops::PAGER_DATA_UNLOCK => {
+                // [object_id, request_port, offset, length, access]:
+                // the simple pager always grants the unlock.
+                let reply_to = msg.port(1).clone();
+                let _ = reply_to.send(
+                    Message::new(ops::PAGER_DATA_LOCK)
+                        .with(MsgField::U64(msg.u64(2)))
+                        .with(MsgField::U64(msg.u64(3)))
+                        .with(MsgField::U64(0)),
+                );
+            }
+            ops::PAGER_DATA_WRITE => {
+                let offset = msg.u64(1);
+                pager.write(offset, msg.bytes(2));
+            }
+            ops::PAGER_TERMINATE => return pager,
+            other => {
+                debug_assert!(false, "unknown kernel→pager op {other}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+
+    use mach_hw::machine::{Machine, MachineModel};
+    use mach_ipc::Port;
+    use std::collections::HashMap;
+
+    /// A user-state pager serving a deterministic pattern and recording
+    /// write-backs.
+    struct PatternPager {
+        pattern: u8,
+        writes: HashMap<u64, Vec<u8>>,
+        hole_at: Option<u64>,
+    }
+
+    impl UserPager for PatternPager {
+        fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>> {
+            if self.hole_at == Some(offset) {
+                return None; // data unavailable → zero fill
+            }
+            if let Some(w) = self.writes.get(&offset) {
+                return Some(w.clone());
+            }
+            Some(
+                (0..length)
+                    .map(|i| self.pattern.wrapping_add((offset + i) as u8))
+                    .collect(),
+            )
+        }
+
+        fn write(&mut self, offset: u64, data: &[u8]) {
+            self.writes.insert(offset, data.to_vec());
+        }
+    }
+
+    fn boot() -> Arc<Kernel> {
+        Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()))
+    }
+
+    #[test]
+    fn external_pager_supplies_data_on_fault() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("pattern-pager", 32);
+        let server = std::thread::spawn(move || {
+            serve_pager(
+                &pager_rx,
+                PatternPager {
+                    pattern: 3,
+                    writes: HashMap::new(),
+                    hole_at: None,
+                },
+            )
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, 4 * ps, true, pager_tx.clone(), 0)
+            .unwrap();
+        task.user(0, |u| {
+            // Offset 0 byte 0 → 3; offset ps byte 0 → 3 + ps (mod 256).
+            let b0 = u.read_bytes(addr, 4).unwrap();
+            assert_eq!(b0[0], 3);
+            assert_eq!(b0[1], 4);
+            let b1 = u.read_bytes(addr + ps, 1).unwrap();
+            assert_eq!(b1[0], 3u8.wrapping_add(ps as u8));
+        });
+        // Dropping the task terminates the object, stopping the server.
+        drop(task);
+        let pager = server.join().unwrap();
+        assert!(pager.writes.is_empty());
+    }
+
+    #[test]
+    fn external_pager_data_unavailable_zero_fills() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("holey-pager", 32);
+        let server = std::thread::spawn(move || {
+            serve_pager(
+                &pager_rx,
+                PatternPager {
+                    pattern: 9,
+                    writes: HashMap::new(),
+                    hole_at: Some(0),
+                },
+            )
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, 2 * ps, true, pager_tx, 0)
+            .unwrap();
+        task.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0, "hole is zero filled");
+            assert_ne!(u.read_u32(addr + ps).unwrap(), 0);
+        });
+        drop(task);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pageout_writes_back_to_external_pager() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("writeback-pager", 32);
+        let server = std::thread::spawn(move || {
+            serve_pager(
+                &pager_rx,
+                PatternPager {
+                    pattern: 0,
+                    writes: HashMap::new(),
+                    hole_at: None,
+                },
+            )
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, 2 * ps, true, pager_tx, 0)
+            .unwrap();
+        task.user(0, |u| {
+            u.write_u32(addr, 0xDEAD_BEEF).unwrap();
+        });
+        // Evict everything we can; the dirty page must reach the pager.
+        for _ in 0..4 {
+            k.reclaim(64);
+        }
+        // Refault: data comes back from the pager's recorded write.
+        task.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0xDEAD_BEEF);
+        });
+        drop(task);
+        let pager = server.join().unwrap();
+        assert!(
+            pager.writes.contains_key(&0),
+            "pager received the written page"
+        );
+        assert_eq!(&pager.writes[&0][..4], &0xDEAD_BEEFu32.to_le_bytes());
+    }
+
+    #[test]
+    fn base_offset_shifts_pager_view() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("offset-pager", 32);
+        let server = std::thread::spawn(move || {
+            serve_pager(
+                &pager_rx,
+                PatternPager {
+                    pattern: 0,
+                    writes: HashMap::new(),
+                    hole_at: None,
+                },
+            )
+        });
+        // Map with base offset = one page: object offset 0 == pager
+        // offset ps.
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, ps)
+            .unwrap();
+        task.user(0, |u| {
+            let b = u.read_bytes(addr, 1).unwrap();
+            assert_eq!(b[0], ps as u8, "pattern evaluated at pager offset ps");
+        });
+        drop(task);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dead_pager_port_fails_cleanly() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("doomed", 4);
+        drop(pager_rx);
+        assert_eq!(
+            k.allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+                .unwrap_err(),
+            crate::types::VmError::PagerDied
+        );
+    }
+
+    #[test]
+    fn data_lock_blocks_fault_until_unlock() {
+        // A pager locks a page against writes; a faulting task blocks in
+        // pager_data_unlock until the pager grants pager_data_lock(0).
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("locking-pager", 32);
+        let unlock_delay = Duration::from_millis(120);
+        let server = std::thread::spawn(move || {
+            let mut request: Option<SendRight> = None;
+            let mut unlocks = 0u32;
+            loop {
+                let Some(m) = pager_rx.receive_timeout(Duration::from_secs(3)) else {
+                    return unlocks;
+                };
+                match m.op() {
+                    ops::PAGER_INIT => request = Some(m.port(1).clone()),
+                    ops::PAGER_DATA_REQUEST => {
+                        let req = m.port(1).clone();
+                        let offset = m.u64(2);
+                        // Provide the data, then immediately write-lock it.
+                        let _ = req.send(
+                            Message::new(ops::PAGER_DATA_PROVIDED)
+                                .with(MsgField::U64(offset))
+                                .with(MsgField::Bytes(Arc::new(vec![5u8; 4096])))
+                                .with(MsgField::U64(0)),
+                        );
+                        let _ = req.send(
+                            Message::new(ops::PAGER_DATA_LOCK)
+                                .with(MsgField::U64(offset))
+                                .with(MsgField::U64(4096))
+                                .with(MsgField::U64(u64::from(
+                                    crate::types::Protection::WRITE.bits(),
+                                ))),
+                        );
+                    }
+                    ops::PAGER_DATA_UNLOCK => {
+                        unlocks += 1;
+                        // Grant after a delay, so the fault visibly waits.
+                        std::thread::sleep(unlock_delay);
+                        let req = request.clone().or_else(|| Some(m.port(1).clone())).unwrap();
+                        let _ = req.send(
+                            Message::new(ops::PAGER_DATA_LOCK)
+                                .with(MsgField::U64(m.u64(2)))
+                                .with(MsgField::U64(m.u64(3)))
+                                .with(MsgField::U64(0)),
+                        );
+                    }
+                    ops::PAGER_TERMINATE => return unlocks,
+                    _ => {}
+                }
+            }
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+            .unwrap();
+        task.user(0, |u| {
+            // Read works (only WRITE is locked)...
+            assert_eq!(u.read_u32(addr).unwrap(), 0x0505_0505);
+            // Let the service thread register the lock that followed the
+            // data (the protocol is asynchronous, as on real Mach).
+            std::thread::sleep(Duration::from_millis(60));
+            // ...the write must wait for the pager's unlock grant.
+            let t0 = std::time::Instant::now();
+            u.write_u32(addr, 7).unwrap();
+            assert!(
+                t0.elapsed() >= unlock_delay,
+                "write returned before the pager unlocked"
+            );
+            assert_eq!(u.read_u32(addr).unwrap(), 7);
+        });
+        drop(task);
+        let unlocks = server.join().unwrap();
+        assert!(unlocks >= 1, "the kernel sent pager_data_unlock");
+    }
+
+    #[test]
+    fn pager_readonly_redirects_writes_to_new_object() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("readonly-pager", 32);
+        let server = std::thread::spawn(move || {
+            let mut announced = false;
+            loop {
+                let Some(m) = pager_rx.receive_timeout(Duration::from_secs(3)) else {
+                    return;
+                };
+                match m.op() {
+                    ops::PAGER_INIT => {
+                        let req = m.port(1).clone();
+                        let _ = req.send(Message::new(ops::PAGER_READONLY));
+                        announced = true;
+                    }
+                    ops::PAGER_DATA_REQUEST => {
+                        let req = m.port(1).clone();
+                        let _ = req.send(
+                            Message::new(ops::PAGER_DATA_PROVIDED)
+                                .with(MsgField::U64(m.u64(2)))
+                                .with(MsgField::Bytes(Arc::new(vec![9u8; 4096])))
+                                .with(MsgField::U64(0)),
+                        );
+                    }
+                    ops::PAGER_DATA_WRITE => {
+                        panic!("a pager_readonly object must never be written back");
+                    }
+                    ops::PAGER_TERMINATE => {
+                        assert!(announced);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+            .unwrap();
+        // Let the service thread process PAGER_READONLY.
+        std::thread::sleep(Duration::from_millis(100));
+        task.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0x0909_0909);
+            // The write lands in a fresh shadow object, not the pager's.
+            u.write_u32(addr, 1).unwrap();
+            assert_eq!(u.read_u32(addr).unwrap(), 1);
+        });
+        let r = task.map().resolve(k.ctx(), addr).unwrap();
+        assert!(
+            r.object.lock().pager.is_none() || r.object.chain_length() > 0,
+            "entry now names a shadow over the readonly object"
+        );
+        // Evicting everything must write to the *default* pager only.
+        while k.reclaim(32) > 0 {}
+        task.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 1));
+        drop(task);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn clean_and_flush_requests() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("clean-flush", 32);
+        let (obs_tx, obs_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let ctx_ps = ps;
+        let server = std::thread::spawn(move || {
+            let mut request: Option<SendRight> = None;
+            loop {
+                let Some(m) = pager_rx.receive_timeout(Duration::from_secs(3)) else {
+                    return;
+                };
+                match m.op() {
+                    ops::PAGER_INIT => request = Some(m.port(1).clone()),
+                    ops::PAGER_DATA_REQUEST => {
+                        let req = m.port(1).clone();
+                        let _ = req.send(
+                            Message::new(ops::PAGER_DATA_PROVIDED)
+                                .with(MsgField::U64(m.u64(2)))
+                                .with(MsgField::Bytes(Arc::new(vec![1u8; ctx_ps as usize])))
+                                .with(MsgField::U64(0)),
+                        );
+                    }
+                    ops::PAGER_DATA_WRITE => {
+                        obs_tx.send(m.bytes(2).to_vec()).unwrap();
+                        // After observing the clean, flush the cache copy.
+                        if let Some(req) = &request {
+                            let _ = req.send(
+                                Message::new(ops::PAGER_FLUSH_REQUEST)
+                                    .with(MsgField::U64(m.u64(1)))
+                                    .with(MsgField::U64(ctx_ps)),
+                            );
+                        }
+                    }
+                    ops::PAGER_TERMINATE => return,
+                    _ => {}
+                }
+            }
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx.clone(), 0)
+            .unwrap();
+        task.user(0, |u| u.write_u32(addr, 0xAB).unwrap());
+        // Ask the kernel (as the pager would) to clean the range.
+        let r = task.map().resolve(k.ctx(), addr).unwrap();
+        let obj = r.object;
+        // Send a clean request through the pager's request port path by
+        // reaching the service thread via the object's proxy: simplest is
+        // to emulate what the pager would do — but the request port is
+        // internal, so drive the handler through a synthetic flow: dirty
+        // page + reclaim also produces PAGER_DATA_WRITE. Use reclaim.
+        drop(obj);
+        while k.reclaim(32) > 0 {}
+        let written = obs_rx
+            .recv_timeout(Duration::from_secs(3))
+            .expect("pager received the dirty page");
+        assert_eq!(&written[..4], &0xABu32.to_le_bytes());
+        // The flush request destroyed the cached copy; refault re-requests.
+        let pageins0 = k.statistics().pageins;
+        task.user(0, |u| {
+            let _ = u.read_u32(addr).unwrap();
+        });
+        assert!(
+            k.statistics().pageins > pageins0,
+            "flush forced a re-request"
+        );
+        drop(task);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn pager_cache_message_sets_persistence() {
+        let k = boot();
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("cache-me", 32);
+        // Minimal manual pager: answer init + first request, then ask the
+        // kernel to cache the object.
+        let ctx = Arc::clone(k.ctx());
+        let server = std::thread::spawn(move || {
+            let mut req: Option<SendRight>;
+            loop {
+                let Some(m) = pager_rx.receive_timeout(Duration::from_secs(2)) else {
+                    return;
+                };
+                match m.op() {
+                    ops::PAGER_INIT => {
+                        req = Some(m.port(1).clone());
+                        // Immediately request caching (Table 3-2).
+                        let _ = req
+                            .as_ref()
+                            .unwrap()
+                            .send(Message::new(ops::PAGER_CACHE).with(MsgField::Bool(true)));
+                    }
+                    ops::PAGER_DATA_REQUEST => {
+                        let reply = m.port(1).clone();
+                        let _ = reply.send(
+                            Message::new(ops::PAGER_DATA_PROVIDED)
+                                .with(MsgField::U64(m.u64(2)))
+                                .with(MsgField::Bytes(Arc::new(vec![7u8; ctx.page_size as usize])))
+                                .with(MsgField::U64(0)),
+                        );
+                    }
+                    ops::PAGER_TERMINATE => return,
+                    _ => {}
+                }
+            }
+        });
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+            .unwrap();
+        task.user(0, |u| {
+            assert_eq!(u.read_u32(addr).unwrap(), 0x0707_0707);
+        });
+        // Give the service thread a beat to process PAGER_CACHE.
+        std::thread::sleep(Duration::from_millis(100));
+        drop(task);
+        assert_eq!(k.object_cache_len(), 1, "object parked, not terminated");
+        // Reap it so the server sees termination and exits.
+        while k.ctx().cache.reap_one(k.ctx()) {}
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,327 @@
+//! A small inode filesystem over the block device.
+//!
+//! Just enough structure for the paper's needs: named files, block
+//! allocation, byte-granular `read_at`/`write_at`. Mach's inode pager maps
+//! file pages directly (bypassing any cache); the 4.3bsd baseline reads
+//! the same files *through* a bounded [`crate::cache::BufferCache`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::BlockDevice;
+
+/// A file handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub u64);
+
+/// Errors from filesystem operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// No such file.
+    NotFound,
+    /// A file with that name already exists.
+    Exists,
+    /// The device is out of blocks.
+    NoSpace,
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsError::NotFound => "no such file",
+            FsError::Exists => "file exists",
+            FsError::NoSpace => "no space left on device",
+        })
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[derive(Debug, Default)]
+struct Inode {
+    size: u64,
+    blocks: Vec<u64>,
+}
+
+#[derive(Debug)]
+struct FsInner {
+    inodes: Vec<Inode>,
+    names: HashMap<String, FileId>,
+    free_blocks: Vec<u64>,
+}
+
+/// The filesystem.
+#[derive(Debug)]
+pub struct SimFs {
+    dev: Arc<BlockDevice>,
+    inner: Mutex<FsInner>,
+}
+
+impl SimFs {
+    /// Format `dev` into an empty filesystem.
+    pub fn format(dev: &Arc<BlockDevice>) -> Arc<SimFs> {
+        Arc::new(SimFs {
+            dev: Arc::clone(dev),
+            inner: Mutex::new(FsInner {
+                inodes: Vec::new(),
+                names: HashMap::new(),
+                free_blocks: (0..dev.n_blocks()).rev().collect(),
+            }),
+        })
+    }
+
+    /// The device below.
+    pub fn device(&self) -> &Arc<BlockDevice> {
+        &self.dev
+    }
+
+    /// Create an empty file named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if the name is taken.
+    pub fn create(&self, name: &str) -> Result<FileId, FsError> {
+        let mut g = self.inner.lock();
+        if g.names.contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let id = FileId(g.inodes.len() as u64);
+        g.inodes.push(Inode::default());
+        g.names.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Look up a file by name.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] if absent.
+    pub fn lookup(&self, name: &str) -> Result<FileId, FsError> {
+        self.inner
+            .lock()
+            .names
+            .get(name)
+            .copied()
+            .ok_or(FsError::NotFound)
+    }
+
+    /// Current size of `file` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad handle.
+    pub fn size(&self, file: FileId) -> Result<u64, FsError> {
+        let g = self.inner.lock();
+        g.inodes
+            .get(file.0 as usize)
+            .map(|i| i.size)
+            .ok_or(FsError::NotFound)
+    }
+
+    /// The device block backing byte `offset` of `file`, if allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad handle.
+    pub fn block_at(&self, file: FileId, offset: u64) -> Result<Option<u64>, FsError> {
+        let g = self.inner.lock();
+        let inode = g.inodes.get(file.0 as usize).ok_or(FsError::NotFound)?;
+        let idx = (offset / self.dev.block_size()) as usize;
+        Ok(inode.blocks.get(idx).copied())
+    }
+
+    /// Write `data` at byte `offset`, growing the file as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad handle, [`FsError::NoSpace`] when
+    /// the device fills up.
+    pub fn write_at(&self, file: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let bs = self.dev.block_size();
+        let mut done = 0u64;
+        while done < data.len() as u64 {
+            let pos = offset + done;
+            let block_idx = pos / bs;
+            let within = pos % bs;
+            let take = (bs - within).min(data.len() as u64 - done);
+            let dev_block = {
+                let mut g = self.inner.lock();
+                let inode = g.inodes.get(file.0 as usize).ok_or(FsError::NotFound)?;
+                let have = inode.blocks.len() as u64;
+                for _ in have..=block_idx {
+                    let b = {
+                        let fb = &mut g.free_blocks;
+                        fb.pop().ok_or(FsError::NoSpace)?
+                    };
+                    g.inodes[file.0 as usize].blocks.push(b);
+                }
+                g.inodes[file.0 as usize].blocks[block_idx as usize]
+            };
+            if within == 0 && take == bs {
+                self.dev
+                    .write_block(dev_block, &data[done as usize..(done + take) as usize]);
+            } else {
+                // Read-modify-write for partial blocks.
+                let mut buf = vec![0u8; bs as usize];
+                self.dev.read_block(dev_block, &mut buf);
+                buf[within as usize..(within + take) as usize]
+                    .copy_from_slice(&data[done as usize..(done + take) as usize]);
+                self.dev.write_block(dev_block, &buf);
+            }
+            done += take;
+        }
+        let mut g = self.inner.lock();
+        let inode = g.inodes.get_mut(file.0 as usize).ok_or(FsError::NotFound)?;
+        inode.size = inode.size.max(offset + data.len() as u64);
+        Ok(())
+    }
+
+    /// Read up to `buf.len()` bytes at `offset` directly from the device
+    /// (no cache — this is the path the Mach inode pager uses). Returns
+    /// bytes read (short at end of file); holes read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad handle.
+    pub fn read_at(&self, file: FileId, offset: u64, buf: &mut [u8]) -> Result<usize, FsError> {
+        let bs = self.dev.block_size();
+        let size = self.size(file)?;
+        if offset >= size {
+            return Ok(0);
+        }
+        let want = (buf.len() as u64).min(size - offset);
+        let mut done = 0u64;
+        while done < want {
+            let pos = offset + done;
+            let within = pos % bs;
+            let take = (bs - within).min(want - done);
+            match self.block_at(file, pos)? {
+                Some(dev_block) => {
+                    let mut block = vec![0u8; bs as usize];
+                    self.dev.read_block(dev_block, &mut block);
+                    buf[done as usize..(done + take) as usize]
+                        .copy_from_slice(&block[within as usize..(within + take) as usize]);
+                }
+                None => {
+                    buf[done as usize..(done + take) as usize].fill(0);
+                }
+            }
+            done += take;
+        }
+        Ok(want as usize)
+    }
+
+    /// Free every block of `file` and zero its size (the paging-file reuse
+    /// path of the default pager).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for a bad handle.
+    pub fn truncate(&self, file: FileId) -> Result<(), FsError> {
+        let mut g = self.inner.lock();
+        let inode = g.inodes.get_mut(file.0 as usize).ok_or(FsError::NotFound)?;
+        let blocks = std::mem::take(&mut inode.blocks);
+        inode.size = 0;
+        g.free_blocks.extend(blocks);
+        Ok(())
+    }
+
+    /// Number of unallocated device blocks.
+    pub fn free_blocks(&self) -> usize {
+        self.inner.lock().free_blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    fn setup() -> Arc<SimFs> {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = BlockDevice::new(&machine, 256);
+        SimFs::format(&dev)
+    }
+
+    #[test]
+    fn create_lookup_write_read() {
+        let fs = setup();
+        let f = fs.create("hello.txt").unwrap();
+        assert_eq!(fs.lookup("hello.txt").unwrap(), f);
+        assert_eq!(fs.create("hello.txt").unwrap_err(), FsError::Exists);
+        assert_eq!(fs.lookup("missing").unwrap_err(), FsError::NotFound);
+
+        fs.write_at(f, 0, b"hello world").unwrap();
+        assert_eq!(fs.size(f).unwrap(), 11);
+        let mut buf = [0u8; 11];
+        assert_eq!(fs.read_at(f, 0, &mut buf).unwrap(), 11);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn partial_and_spanning_writes() {
+        let fs = setup();
+        let bs = fs.device().block_size();
+        let f = fs.create("f").unwrap();
+        // Write spanning two blocks at an unaligned offset.
+        let data: Vec<u8> = (0..=255).cycle().take(bs as usize + 100).collect();
+        fs.write_at(f, bs - 50, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        assert_eq!(fs.read_at(f, bs - 50, &mut buf).unwrap(), data.len());
+        assert_eq!(buf, data);
+        // The first bytes of the file are a hole reading zeros.
+        let mut head = vec![1u8; 16];
+        fs.read_at(f, 0, &mut head).unwrap();
+        assert_eq!(head, vec![0u8; 16]);
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let fs = setup();
+        let f = fs.create("f").unwrap();
+        fs.write_at(f, 0, b"abc").unwrap();
+        let mut buf = [0u8; 10];
+        assert_eq!(fs.read_at(f, 0, &mut buf).unwrap(), 3);
+        assert_eq!(fs.read_at(f, 3, &mut buf).unwrap(), 0);
+        assert_eq!(fs.read_at(f, 100, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_frees_blocks() {
+        let fs = setup();
+        let free0 = fs.free_blocks();
+        let f = fs.create("big").unwrap();
+        let bs = fs.device().block_size();
+        fs.write_at(f, 0, &vec![7u8; (4 * bs) as usize]).unwrap();
+        assert_eq!(fs.free_blocks(), free0 - 4);
+        fs.truncate(f).unwrap();
+        assert_eq!(fs.free_blocks(), free0);
+        assert_eq!(fs.size(f).unwrap(), 0);
+    }
+
+    #[test]
+    fn no_space_reported() {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = BlockDevice::new(&machine, 2);
+        let fs = SimFs::format(&dev);
+        let f = fs.create("f").unwrap();
+        let bs = dev.block_size();
+        fs.write_at(f, 0, &vec![0u8; (2 * bs) as usize]).unwrap();
+        assert_eq!(fs.write_at(f, 2 * bs, &[1]).unwrap_err(), FsError::NoSpace);
+    }
+
+    #[test]
+    fn block_at_maps_offsets() {
+        let fs = setup();
+        let f = fs.create("f").unwrap();
+        let bs = fs.device().block_size();
+        assert_eq!(fs.block_at(f, 0).unwrap(), None);
+        fs.write_at(f, 0, &vec![1u8; (2 * bs) as usize]).unwrap();
+        let b0 = fs.block_at(f, 0).unwrap().unwrap();
+        let b1 = fs.block_at(f, bs).unwrap().unwrap();
+        assert_ne!(b0, b1);
+        assert_eq!(fs.block_at(f, bs - 1).unwrap(), Some(b0));
+    }
+}

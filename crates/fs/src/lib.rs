@@ -1,0 +1,34 @@
+//! # mach-fs — simulated storage
+//!
+//! The backing-store substrate for the reproduction: a block device with
+//! period disk latency (charged to the simulated clock as elapsed-only
+//! wait), a bounded 4.3bsd-style buffer cache (the "400 buffers" vs
+//! "generic configuration" knob of the paper's Table 7-2), and a small
+//! inode filesystem that the Mach inode pager maps directly — "the current
+//! inode pager utilizes 4.3bsd UNIX file systems and eliminates the
+//! traditional Berkeley UNIX need for separate paging partitions" (§3.3).
+//!
+//! # Examples
+//!
+//! ```
+//! use mach_hw::machine::{Machine, MachineModel};
+//! use mach_fs::{BlockDevice, SimFs};
+//!
+//! let machine = Machine::boot(MachineModel::vax_8200());
+//! let dev = BlockDevice::new(&machine, 128);
+//! let fs = SimFs::format(&dev);
+//! let f = fs.create("data")?;
+//! fs.write_at(f, 0, b"paged bytes")?;
+//! let mut buf = [0u8; 11];
+//! fs.read_at(f, 0, &mut buf)?;
+//! assert_eq!(&buf, b"paged bytes");
+//! # Ok::<(), mach_fs::FsError>(())
+//! ```
+
+pub mod cache;
+pub mod device;
+pub mod fs;
+
+pub use cache::{BufferCache, CacheStats};
+pub use device::{BlockDevice, DeviceStats};
+pub use fs::{FileId, FsError, SimFs};

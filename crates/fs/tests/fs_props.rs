@@ -1,0 +1,120 @@
+//! Property tests for the filesystem substrate: `SimFs` behaves as a flat
+//! byte store per file under arbitrary writes, and the buffer cache never
+//! serves stale or wrong bytes regardless of capacity.
+
+use std::sync::Arc;
+
+use mach_fs::{BlockDevice, BufferCache, SimFs};
+use mach_hw::machine::{Machine, MachineModel};
+use proptest::prelude::*;
+
+fn setup() -> (Arc<Machine>, Arc<SimFs>) {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let dev = BlockDevice::new(&machine, 512);
+    (machine, SimFs::format(&dev))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary (offset, bytes) writes to a file read back exactly like
+    /// a host-side byte-vector model, including holes reading as zero.
+    #[test]
+    fn file_is_a_byte_store(
+        writes in proptest::collection::vec(
+            (0u64..60_000, proptest::collection::vec(any::<u8>(), 1..2000)),
+            1..16
+        )
+    ) {
+        let (_m, fs) = setup();
+        let f = fs.create("model").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (off, data) in &writes {
+            fs.write_at(f, *off, data).unwrap();
+            let end = *off as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+            }
+            model[*off as usize..end].copy_from_slice(data);
+        }
+        prop_assert_eq!(fs.size(f).unwrap(), model.len() as u64);
+        let mut buf = vec![0xEEu8; model.len()];
+        let n = fs.read_at(f, 0, &mut buf).unwrap();
+        prop_assert_eq!(n, model.len());
+        prop_assert_eq!(buf, model);
+    }
+
+    /// Reads through caches of every size agree with direct reads.
+    #[test]
+    fn cache_reads_agree_with_device(
+        capacity in 1usize..24,
+        blocks in proptest::collection::vec(0u64..32, 1..60)
+    ) {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = BlockDevice::new(&machine, 32);
+        let bs = dev.block_size() as usize;
+        // Stamp every block.
+        for b in 0..32u64 {
+            dev.write_block(b, &vec![b as u8; bs]);
+        }
+        let cache = BufferCache::new(&dev, capacity);
+        let _bind = machine.bind_cpu(0);
+        for &b in &blocks {
+            let got = cache.read(b);
+            prop_assert!(got.iter().all(|&x| x == b as u8), "block {b} corrupted");
+        }
+        prop_assert!(cache.len() <= capacity, "cache exceeded its bound");
+        let st = cache.stats();
+        prop_assert_eq!(st.hits + st.misses, blocks.len() as u64);
+    }
+
+    /// Writes through the cache are immediately visible to cached reads
+    /// and to the raw device.
+    #[test]
+    fn cache_write_through(
+        seq in proptest::collection::vec((0u64..16, any::<u8>(), any::<bool>()), 1..40)
+    ) {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = BlockDevice::new(&machine, 16);
+        let bs = dev.block_size() as usize;
+        let cache = BufferCache::new(&dev, 4);
+        let _bind = machine.bind_cpu(0);
+        let mut model = [0u8; 16];
+        for (b, v, through_cache) in &seq {
+            if *through_cache {
+                cache.write(*b, vec![*v; bs]);
+            } else {
+                dev.write_block(*b, &vec![*v; bs]);
+                cache.invalidate_block(*b);
+            }
+            model[*b as usize] = *v;
+        }
+        for b in 0..16u64 {
+            let via_cache = cache.read(b);
+            prop_assert!(via_cache.iter().all(|&x| x == model[b as usize]));
+            let mut raw = vec![0u8; bs];
+            dev.read_block(b, &mut raw);
+            prop_assert!(raw.iter().all(|&x| x == model[b as usize]));
+        }
+    }
+
+    /// Truncate frees exactly the blocks a file held; allocation balances.
+    #[test]
+    fn truncate_conserves_blocks(sizes in proptest::collection::vec(1u64..40_000, 1..8)) {
+        let (_m, fs) = setup();
+        let free0 = fs.free_blocks();
+        let files: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &sz)| {
+                let f = fs.create(&format!("f{i}")).unwrap();
+                fs.write_at(f, 0, &vec![1u8; sz as usize]).unwrap();
+                f
+            })
+            .collect();
+        for f in &files {
+            fs.truncate(*f).unwrap();
+        }
+        prop_assert_eq!(fs.free_blocks(), free0);
+    }
+}

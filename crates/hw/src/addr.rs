@@ -1,0 +1,384 @@
+//! Address and access primitives shared by every simulated architecture.
+//!
+//! Newtypes keep virtual addresses, physical addresses and frame numbers
+//! statically distinct; confusing them is the classic VM-system bug.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual address as issued by a simulated CPU.
+///
+/// # Examples
+///
+/// ```
+/// use mach_hw::addr::VAddr;
+/// let va = VAddr(0x1000);
+/// assert_eq!(va.offset_in(512), 0);
+/// assert_eq!(va.round_down(4096), VAddr(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+/// A physical address into the simulated memory of a [`crate::phys::PhysMem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(pub u64);
+
+/// A *hardware* page frame number: `PAddr / hardware page size`.
+///
+/// The hardware page size is a property of the architecture (512 bytes on
+/// the VAX and NS32082, 2 KB on the ROMP, 8 KB on the SUN 3); the
+/// machine-independent layer deals in Mach pages, which are a power-of-two
+/// multiple of this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl VAddr {
+    /// Byte offset of this address within a page of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `page_size` is not a power of two.
+    #[inline]
+    pub fn offset_in(self, page_size: u64) -> u64 {
+        debug_assert!(page_size.is_power_of_two());
+        self.0 & (page_size - 1)
+    }
+
+    /// Round down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn round_down(self, align: u64) -> VAddr {
+        debug_assert!(align.is_power_of_two());
+        VAddr(self.0 & !(align - 1))
+    }
+
+    /// Round up to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn round_up(self, align: u64) -> VAddr {
+        debug_assert!(align.is_power_of_two());
+        VAddr(self.0.wrapping_add(align - 1) & !(align - 1))
+    }
+
+    /// True if the address is a multiple of `align`.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.offset_in(align) == 0
+    }
+}
+
+impl PAddr {
+    /// The hardware frame containing this address.
+    #[inline]
+    pub fn pfn(self, page_size: u64) -> Pfn {
+        Pfn(self.0 / page_size)
+    }
+
+    /// Round down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn round_down(self, align: u64) -> PAddr {
+        debug_assert!(align.is_power_of_two());
+        PAddr(self.0 & !(align - 1))
+    }
+}
+
+impl Pfn {
+    /// The base physical address of this frame.
+    #[inline]
+    pub fn base(self, page_size: u64) -> PAddr {
+        PAddr(self.0 * page_size)
+    }
+}
+
+impl Add<u64> for VAddr {
+    type Output = VAddr;
+    fn add(self, rhs: u64) -> VAddr {
+        VAddr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for VAddr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<VAddr> for VAddr {
+    type Output = u64;
+    fn sub(self, rhs: VAddr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<u64> for PAddr {
+    type Output = PAddr;
+    fn add(self, rhs: u64) -> PAddr {
+        PAddr(self.0 + rhs)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Hardware permission bits, as granted by a translation entry.
+///
+/// These are the *hardware* permissions the machine-dependent layer installs;
+/// the machine-independent layer has a richer notion (current/maximum
+/// protection) that it narrows into one of these.
+///
+/// # Examples
+///
+/// ```
+/// use mach_hw::addr::HwProt;
+/// let p = HwProt::READ | HwProt::WRITE;
+/// assert!(p.allows_write());
+/// assert!(!p.allows_execute());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HwProt(u8);
+
+impl HwProt {
+    /// No access at all.
+    pub const NONE: HwProt = HwProt(0);
+    /// Read permission.
+    pub const READ: HwProt = HwProt(1);
+    /// Write permission.
+    pub const WRITE: HwProt = HwProt(2);
+    /// Execute permission (treated as read by architectures without it).
+    pub const EXECUTE: HwProt = HwProt(4);
+    /// Read, write and execute.
+    pub const ALL: HwProt = HwProt(7);
+
+    /// Construct from raw bits (bit 0 read, bit 1 write, bit 2 execute).
+    #[inline]
+    pub fn from_bits(bits: u8) -> HwProt {
+        HwProt(bits & 7)
+    }
+
+    /// The raw bit representation.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if reads are allowed.
+    #[inline]
+    pub fn allows_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if writes are allowed.
+    #[inline]
+    pub fn allows_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// True if instruction fetch is allowed.
+    #[inline]
+    pub fn allows_execute(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// True if `access` is permitted.
+    #[inline]
+    pub fn allows(self, access: Access) -> bool {
+        match access {
+            Access::Read => self.allows_read(),
+            Access::Write => self.allows_write(),
+            Access::Execute => self.allows_execute() || self.allows_read(),
+        }
+    }
+
+    /// Intersection of two permission sets.
+    #[inline]
+    pub fn intersect(self, other: HwProt) -> HwProt {
+        HwProt(self.0 & other.0)
+    }
+
+    /// True if no access is permitted.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for HwProt {
+    type Output = HwProt;
+    fn bitor(self, rhs: HwProt) -> HwProt {
+        HwProt(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for HwProt {
+    fn bitor_assign(&mut self, rhs: HwProt) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for HwProt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows_read() { 'r' } else { '-' },
+            if self.allows_write() { 'w' } else { '-' },
+            if self.allows_execute() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of memory access a CPU attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// A data read.
+    Read,
+    /// A data write.
+    Write,
+    /// An instruction fetch.
+    Execute,
+}
+
+impl Access {
+    /// True for [`Access::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Execute => "execute",
+        })
+    }
+}
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCode {
+    /// No valid translation exists for the page.
+    Invalid,
+    /// A valid translation exists but forbids the attempted access.
+    Protection,
+    /// The address lies outside the architecture's translatable range
+    /// (e.g. beyond a VAX region length register, or above the NS32082's
+    /// 16 MB limit).
+    Length,
+}
+
+/// A page fault raised by the simulated MMU.
+///
+/// The machine-independent fault handler receives these and resolves them
+/// against its own data structures; the hardware tables are only a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting virtual address.
+    pub va: VAddr,
+    /// The access the program attempted, *as reported by the hardware*.
+    /// The NS32082 erratum makes this lie for read-modify-write cycles.
+    pub access: Access,
+    /// Why translation failed.
+    pub code: FaultCode,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} fault ({:?}) at {}", self.access, self.code, self.va)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vaddr_rounding() {
+        assert_eq!(VAddr(0x1234).round_down(0x1000), VAddr(0x1000));
+        assert_eq!(VAddr(0x1234).round_up(0x1000), VAddr(0x2000));
+        assert_eq!(VAddr(0x1000).round_up(0x1000), VAddr(0x1000));
+        assert_eq!(VAddr(0x1234).offset_in(0x1000), 0x234);
+        assert!(VAddr(0x2000).is_aligned(0x1000));
+        assert!(!VAddr(0x2001).is_aligned(0x1000));
+    }
+
+    #[test]
+    fn paddr_pfn_roundtrip() {
+        let pa = PAddr(3 * 512 + 17);
+        assert_eq!(pa.pfn(512), Pfn(3));
+        assert_eq!(Pfn(3).base(512), PAddr(3 * 512));
+        assert_eq!(pa.round_down(512), PAddr(3 * 512));
+    }
+
+    #[test]
+    fn vaddr_arithmetic() {
+        assert_eq!(VAddr(0x100) + 0x10, VAddr(0x110));
+        assert_eq!(VAddr(0x110) - VAddr(0x100), 0x10);
+        let mut v = VAddr(1);
+        v += 2;
+        assert_eq!(v, VAddr(3));
+    }
+
+    #[test]
+    fn prot_bits() {
+        let p = HwProt::READ | HwProt::EXECUTE;
+        assert!(p.allows(Access::Read));
+        assert!(!p.allows(Access::Write));
+        assert!(p.allows(Access::Execute));
+        assert_eq!(p.bits(), 5);
+        assert_eq!(HwProt::from_bits(0xFF), HwProt::ALL);
+        assert_eq!(p.intersect(HwProt::READ), HwProt::READ);
+        assert!(HwProt::NONE.is_none());
+        // Execute falls back to read permission on architectures that do not
+        // distinguish it.
+        assert!(HwProt::READ.allows(Access::Execute));
+    }
+
+    #[test]
+    fn prot_display() {
+        assert_eq!((HwProt::READ | HwProt::WRITE).to_string(), "rw-");
+        assert_eq!(HwProt::NONE.to_string(), "---");
+        assert_eq!(HwProt::ALL.to_string(), "rwx");
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = Fault {
+            va: VAddr(0x200),
+            access: Access::Write,
+            code: FaultCode::Protection,
+        };
+        let s = f.to_string();
+        assert!(s.contains("write"));
+        assert!(s.contains("0x200"));
+    }
+}

@@ -1,0 +1,301 @@
+//! National Semiconductor NS32082 (Encore MultiMax, Sequent Balance):
+//! two-level page tables — and three famous limitations.
+//!
+//! The paper (§5.1) lists them verbatim:
+//!
+//! 1. *"Only 16 megabytes of virtual memory may be addressed per page
+//!    table"* — a 24-bit translated address space.
+//! 2. *"Only 32 megabytes of physical memory may be addressed"* — a 16-bit
+//!    frame number of 512-byte pages.
+//! 3. *"A chip bug apparently causes read-modify-write faults to always be
+//!    reported as read faults. Mach depends on the ability to detect write
+//!    faults for proper copy-on-write fault handling."*
+//!
+//! The erratum is modeled faithfully (see [`NsGlobal`]) and can be switched
+//! off to quantify the cost of the software workaround.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::addr::{Access, Fault, FaultCode, HwProt, PAddr, Pfn, VAddr};
+use crate::phys::PhysMem;
+
+/// Hardware page size: 512 bytes.
+pub const PAGE_SIZE: u64 = 512;
+
+/// Virtual address space per page table: 16 MB.
+pub const VA_LIMIT: u64 = 1 << 24;
+
+/// Maximum addressable physical memory: 32 MB.
+pub const PA_LIMIT: u64 = 1 << 25;
+
+/// Level-1 table entries (each mapping 64 KB via a level-2 table).
+pub const L1_ENTRIES: u64 = 256;
+
+/// Level-2 table entries (each mapping one 512-byte page).
+pub const L2_ENTRIES: u64 = 128;
+
+/// PTE valid bit (both levels).
+pub const PTE_V: u32 = 1 << 31;
+/// PTE read-permission bit (level 2).
+pub const PTE_R: u32 = 1 << 30;
+/// PTE write-permission bit (level 2).
+pub const PTE_W: u32 = 1 << 29;
+/// PTE modify bit (level 2).
+pub const PTE_M: u32 = 1 << 26;
+/// PTE reference bit (level 2).
+pub const PTE_REF: u32 = 1 << 25;
+/// Mask of the 16-bit frame-number field.
+pub const PTE_PFN_MASK: u32 = 0xFFFF;
+
+/// Build a valid level-2 PTE.
+///
+/// # Panics
+///
+/// Panics if `pfn` exceeds the 32 MB physical limit.
+pub fn pte(pfn: Pfn, prot: HwProt) -> u32 {
+    assert!(
+        pfn.0 * PAGE_SIZE < PA_LIMIT,
+        "NS32082 cannot address {} (32 MB physical limit)",
+        pfn
+    );
+    let mut v = PTE_V | pfn.0 as u32;
+    if prot.allows_read() || prot.allows_execute() {
+        v |= PTE_R;
+    }
+    if prot.allows_write() {
+        v |= PTE_W;
+    }
+    v
+}
+
+/// Build a valid level-1 entry pointing at the level-2 table in `frame`.
+pub fn l1_entry(table_frame: Pfn) -> u32 {
+    PTE_V | table_frame.0 as u32
+}
+
+/// Decode level-2 PTE permissions.
+pub fn pte_prot(word: u32) -> HwProt {
+    let mut p = HwProt::NONE;
+    if word & PTE_R != 0 {
+        p |= HwProt::READ | HwProt::EXECUTE;
+    }
+    if word & PTE_W != 0 {
+        p |= HwProt::WRITE;
+    }
+    p
+}
+
+/// Per-CPU MMU registers: the page-table base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NsRegs {
+    /// Physical address of the level-1 table (1 KB, 256 entries).
+    pub ptb: u64,
+    /// Translation enabled.
+    pub enabled: bool,
+}
+
+/// Global chip configuration: the erratum switch.
+#[derive(Debug, Default)]
+pub struct NsGlobal {
+    rmw_bug: AtomicBool,
+}
+
+impl NsGlobal {
+    /// A chip with the erratum present (the paper's hardware).
+    pub fn with_bug() -> NsGlobal {
+        let g = NsGlobal::default();
+        g.rmw_bug.store(true, Ordering::Relaxed);
+        g
+    }
+
+    /// Whether read-modify-write faults lie about the access type.
+    pub fn rmw_bug(&self) -> bool {
+        self.rmw_bug.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the erratum (the NS32382 fixed it).
+    pub fn set_rmw_bug(&self, on: bool) {
+        self.rmw_bug.store(on, Ordering::Relaxed);
+    }
+}
+
+/// TLB key: untagged (space 0), flushed on address-space switch.
+pub fn tlb_key(va: VAddr, access: Access) -> Result<(u32, u64), Fault> {
+    if va.0 >= VA_LIMIT {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Length,
+        });
+    }
+    Ok((0, va.0 >> 9))
+}
+
+/// The two-level hardware walk.
+///
+/// # Errors
+///
+/// Length faults above 16 MB; invalid faults on clear entries at either
+/// level; protection faults when the level-2 entry denies `access`.
+pub fn walk(
+    phys: &PhysMem,
+    regs: &NsRegs,
+    va: VAddr,
+    access: Access,
+) -> Result<super::WalkOk, Fault> {
+    if va.0 >= VA_LIMIT || !regs.enabled {
+        return Err(Fault {
+            va,
+            access,
+            code: if va.0 >= VA_LIMIT {
+                FaultCode::Length
+            } else {
+                FaultCode::Invalid
+            },
+        });
+    }
+    let l1_idx = va.0 >> 16; // 256 entries × 64 KB
+    let l2_idx = (va.0 >> 9) & (L2_ENTRIES - 1);
+    let invalid = Fault {
+        va,
+        access,
+        code: FaultCode::Invalid,
+    };
+    let l1 = phys
+        .read_u32(PAddr(regs.ptb + 4 * l1_idx))
+        .map_err(|_| invalid)?;
+    let mut memrefs = 1u32;
+    if l1 & PTE_V == 0 {
+        return Err(invalid);
+    }
+    let l2_base = ((l1 & PTE_PFN_MASK) as u64) * PAGE_SIZE;
+    let pte_pa = PAddr(l2_base + 4 * l2_idx);
+    let word = phys.read_u32(pte_pa).map_err(|_| invalid)?;
+    memrefs += 1;
+    if word & PTE_V == 0 {
+        return Err(invalid);
+    }
+    let prot = pte_prot(word);
+    if !prot.allows(access) {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Protection,
+        });
+    }
+    let want = PTE_REF | if access.is_write() { PTE_M } else { 0 };
+    if word & want != want {
+        phys.update_u32(pte_pa, |w| w | want).expect("PTE readable");
+        memrefs += 1;
+    }
+    Ok(super::WalkOk {
+        pfn: Pfn((word & PTE_PFN_MASK) as u64),
+        prot,
+        memrefs,
+        space: 0,
+        vpn: va.0 >> 9,
+        dirty: access.is_write() || word & PTE_M != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    /// Build a one-page mapping: L1 at 0x4000, L2 at 0x4400.
+    fn setup(phys: &PhysMem, vpn: u64, pfn: Pfn, prot: HwProt) -> NsRegs {
+        let l1_base = 0x4000u64;
+        let l2_frame = Pfn(0x4400 / PAGE_SIZE);
+        let l1_idx = vpn / L2_ENTRIES;
+        let l2_idx = vpn % L2_ENTRIES;
+        phys.write_u32(PAddr(l1_base + 4 * l1_idx), l1_entry(l2_frame))
+            .unwrap();
+        phys.write_u32(PAddr(0x4400 + 4 * l2_idx), pte(pfn, prot))
+            .unwrap();
+        NsRegs {
+            ptb: l1_base,
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn two_level_walk() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = setup(&phys, 300, Pfn(77), rw());
+        let va = VAddr(300 * PAGE_SIZE + 9);
+        let ok = walk(&phys, &regs, va, Access::Read).unwrap();
+        assert_eq!(ok.pfn, Pfn(77));
+        assert_eq!(ok.memrefs, 3); // L1 + L2 + reference-bit update
+        let again = walk(&phys, &regs, va, Access::Read).unwrap();
+        assert_eq!(again.memrefs, 2);
+    }
+
+    #[test]
+    fn sixteen_megabyte_limit() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = setup(&phys, 0, Pfn(1), rw());
+        let err = walk(&phys, &regs, VAddr(VA_LIMIT), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Length);
+        assert!(tlb_key(VAddr(VA_LIMIT + 5), Access::Read).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "32 MB physical limit")]
+    fn thirtytwo_megabyte_physical_limit() {
+        let _ = pte(Pfn(PA_LIMIT / PAGE_SIZE), rw());
+    }
+
+    #[test]
+    fn invalid_levels_fault() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = setup(&phys, 0, Pfn(1), rw());
+        // L1 entry 5 is clear.
+        let err = walk(&phys, &regs, VAddr(5 << 16), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+        // L2 entry 1 (same L1 as vpn 0) is clear.
+        let err = walk(&phys, &regs, VAddr(PAGE_SIZE), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn disabled_mmu_faults() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = NsRegs::default();
+        assert!(walk(&phys, &regs, VAddr(0), Access::Read).is_err());
+    }
+
+    #[test]
+    fn modify_bit_protocol() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = setup(&phys, 4, Pfn(9), rw());
+        let va = VAddr(4 * PAGE_SIZE);
+        let r = walk(&phys, &regs, va, Access::Read).unwrap();
+        assert!(!r.dirty);
+        let w = walk(&phys, &regs, va, Access::Write).unwrap();
+        assert!(w.dirty);
+        let pte_word = phys.read_u32(PAddr(0x4400 + 16)).unwrap();
+        assert_ne!(pte_word & PTE_M, 0);
+        assert_ne!(pte_word & PTE_REF, 0);
+    }
+
+    #[test]
+    fn protection_fault() {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let regs = setup(&phys, 0, Pfn(9), HwProt::READ);
+        let err = walk(&phys, &regs, VAddr(0), Access::Write).unwrap_err();
+        assert_eq!(err.code, FaultCode::Protection);
+    }
+
+    #[test]
+    fn erratum_switch() {
+        let g = NsGlobal::with_bug();
+        assert!(g.rmw_bug());
+        g.set_rmw_bug(false);
+        assert!(!g.rmw_bug());
+        assert!(!NsGlobal::default().rmw_bug());
+    }
+}

@@ -1,0 +1,330 @@
+//! IBM RT PC (ROMP + Rosetta MMU): a single inverted page table.
+//!
+//! Instead of per-task tables, one table describes which virtual address is
+//! mapped to each *physical* frame; translation hashes the virtual tag
+//! through a hash anchor table (HAT) into a chain of inverted-page-table
+//! (IPT) entries. A full 4 GB address space costs no extra table space —
+//! but **each physical page can have at most one valid mapping**, so
+//! sharing pages between address spaces causes the alias faults the paper
+//! measures (§5.1).
+//!
+//! Addressing: the top 4 bits of a 32-bit address select one of 16 segment
+//! registers, each holding a 12-bit segment identifier; the remaining
+//! 28 bits address within a 256 MB segment of 2 KB pages.
+
+use crate::addr::{Access, Fault, FaultCode, HwProt, PAddr, Pfn, VAddr};
+use crate::phys::PhysMem;
+
+/// Hardware page size: 2 KB.
+pub const PAGE_SIZE: u64 = 2048;
+
+/// Chain terminator / empty HAT bucket.
+pub const NIL: u32 = u32::MAX;
+
+/// Segment-register valid bit.
+pub const SEGREG_VALID: u32 = 1 << 31;
+
+/// IPT flags word: read permitted.
+pub const F_READ: u32 = 1;
+/// IPT flags word: write permitted.
+pub const F_WRITE: u32 = 2;
+/// IPT flags word: modify bit.
+pub const F_M: u32 = 4;
+/// IPT flags word: reference bit.
+pub const F_REF: u32 = 8;
+
+/// IPT word-0 valid bit (the tag occupies the low 29 bits).
+pub const TAG_VALID: u32 = 1 << 31;
+
+/// Where the boot firmware placed the IPT and HAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RompLayout {
+    /// Base of the inverted page table (16 bytes per physical frame).
+    pub ipt_base: PAddr,
+    /// Base of the hash anchor table (4 bytes per bucket).
+    pub hat_base: PAddr,
+    /// Number of physical frames (= number of IPT entries).
+    pub n_frames: u64,
+    /// Number of HAT buckets (a power of two).
+    pub buckets: u64,
+}
+
+impl RompLayout {
+    /// Physical address of frame `pfn`'s IPT entry.
+    pub fn entry_addr(&self, pfn: Pfn) -> PAddr {
+        debug_assert!(pfn.0 < self.n_frames);
+        PAddr(self.ipt_base.0 + 16 * pfn.0)
+    }
+
+    /// Physical address of HAT bucket `b`.
+    pub fn hat_addr(&self, b: u64) -> PAddr {
+        debug_assert!(b < self.buckets);
+        PAddr(self.hat_base.0 + 4 * b)
+    }
+
+    /// The hash of a virtual tag.
+    pub fn hash(&self, tag: u32) -> u64 {
+        ((tag ^ (tag >> 13)) as u64) & (self.buckets - 1)
+    }
+
+    /// Total bytes the IPT + HAT occupy.
+    pub fn table_bytes(&self) -> u64 {
+        16 * self.n_frames + 4 * self.buckets
+    }
+}
+
+/// Compose the 29-bit virtual tag from a segment id and in-segment page.
+pub fn make_tag(segid: u16, vpage: u64) -> u32 {
+    debug_assert!(segid < (1 << 12));
+    debug_assert!(vpage < (1 << 17));
+    ((segid as u32) << 17) | vpage as u32
+}
+
+/// The per-CPU segment registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RompRegs {
+    /// 16 segment registers; a value with [`SEGREG_VALID`] set maps the
+    /// corresponding 256 MB window to segment `value & 0xFFF`.
+    pub seg: [u32; 16],
+}
+
+impl RompRegs {
+    /// Resolve `va` to `(segid, in-segment page number)`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the selected segment register is invalid.
+    pub fn resolve(&self, va: VAddr, access: Access) -> Result<(u16, u64), Fault> {
+        let idx = ((va.0 >> 28) & 0xF) as usize;
+        let reg = self.seg[idx];
+        if reg & SEGREG_VALID == 0 {
+            return Err(Fault {
+                va,
+                access,
+                code: FaultCode::Invalid,
+            });
+        }
+        let vpage = (va.0 >> 11) & ((1 << 17) - 1);
+        Ok(((reg & 0xFFF) as u16, vpage))
+    }
+}
+
+/// TLB key: ROMP TLB entries are tagged with the segment id, so no flush
+/// is needed on address-space switch.
+pub fn tlb_key(regs: &RompRegs, va: VAddr, access: Access) -> Result<(u32, u64), Fault> {
+    let (segid, vpage) = regs.resolve(va, access)?;
+    Ok((segid as u32, vpage))
+}
+
+/// The hardware reverse-translation walk: hash the tag, follow the chain.
+///
+/// # Errors
+///
+/// Invalid faults when no IPT entry carries the tag (including through an
+/// invalid segment register); protection faults when the entry denies.
+pub fn walk(
+    phys: &PhysMem,
+    layout: &RompLayout,
+    regs: &RompRegs,
+    va: VAddr,
+    access: Access,
+) -> Result<super::WalkOk, Fault> {
+    let (segid, vpage) = regs.resolve(va, access)?;
+    let tag = make_tag(segid, vpage);
+    let bucket = layout.hash(tag);
+    let mut idx = phys
+        .read_u32(layout.hat_addr(bucket))
+        .expect("HAT resident");
+    let mut memrefs = 1u32; // the HAT probe
+    while idx != NIL {
+        debug_assert!((idx as u64) < layout.n_frames, "corrupt IPT chain");
+        let ea = layout.entry_addr(Pfn(idx as u64));
+        let w0 = phys.read_u32(ea).expect("IPT resident");
+        memrefs += 1;
+        if w0 & TAG_VALID != 0 && w0 & 0x1FFF_FFFF == tag {
+            let flags = phys.read_u32(PAddr(ea.0 + 4)).expect("IPT resident");
+            memrefs += 1;
+            let mut prot = HwProt::NONE;
+            if flags & F_READ != 0 {
+                prot |= HwProt::READ | HwProt::EXECUTE;
+            }
+            if flags & F_WRITE != 0 {
+                prot |= HwProt::WRITE;
+            }
+            if !prot.allows(access) {
+                return Err(Fault {
+                    va,
+                    access,
+                    code: FaultCode::Protection,
+                });
+            }
+            let want = F_REF | if access.is_write() { F_M } else { 0 };
+            if flags & want != want {
+                phys.update_u32(PAddr(ea.0 + 4), |w| w | want)
+                    .expect("IPT resident");
+                memrefs += 1;
+            }
+            return Ok(super::WalkOk {
+                pfn: Pfn(idx as u64),
+                prot,
+                memrefs,
+                space: segid as u32,
+                vpn: vpage,
+                dirty: access.is_write() || flags & F_M != 0,
+            });
+        }
+        idx = phys.read_u32(PAddr(ea.0 + 8)).expect("IPT resident");
+        memrefs += 1;
+    }
+    Err(Fault {
+        va,
+        access,
+        code: FaultCode::Invalid,
+    })
+}
+
+/// Initialize an empty IPT + HAT in physical memory and return the layout.
+///
+/// Called once at machine construction; the tables live in low physical
+/// memory just above `base`.
+pub fn init_tables(phys: &PhysMem, base: PAddr, n_frames: u64) -> RompLayout {
+    let buckets = n_frames.next_power_of_two();
+    let layout = RompLayout {
+        ipt_base: base,
+        hat_base: PAddr(base.0 + 16 * n_frames),
+        n_frames,
+        buckets,
+    };
+    phys.zero(layout.ipt_base, 16 * n_frames).expect("IPT fits");
+    for b in 0..buckets {
+        phys.write_u32(layout.hat_addr(b), NIL).expect("HAT fits");
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (PhysMem, RompLayout, RompRegs) {
+        let phys = PhysMem::new(1 << 20, Vec::new());
+        let layout = init_tables(&phys, PAddr(0x4000), 64);
+        let mut regs = RompRegs::default();
+        regs.seg[0] = SEGREG_VALID | 7; // map window 0 to segment 7
+        (phys, layout, regs)
+    }
+
+    /// Hand-install a mapping the way pmap would: IPT entry + HAT chain.
+    fn install(phys: &PhysMem, l: &RompLayout, pfn: Pfn, tag: u32, flags: u32) {
+        let ea = l.entry_addr(pfn);
+        phys.write_u32(ea, TAG_VALID | tag).unwrap();
+        phys.write_u32(PAddr(ea.0 + 4), flags).unwrap();
+        // Push onto the front of the hash chain.
+        let b = l.hash(tag);
+        let head = phys.read_u32(l.hat_addr(b)).unwrap();
+        phys.write_u32(PAddr(ea.0 + 8), head).unwrap();
+        phys.write_u32(l.hat_addr(b), pfn.0 as u32).unwrap();
+    }
+
+    #[test]
+    fn empty_table_faults() {
+        let (phys, layout, regs) = setup();
+        let err = walk(&phys, &layout, &regs, VAddr(0x800), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn invalid_segment_register_faults() {
+        let (phys, layout, regs) = setup();
+        // Window 5 was never loaded.
+        let err = walk(&phys, &layout, &regs, VAddr(0x5000_0000), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+        assert!(tlb_key(&regs, VAddr(0x5000_0000), Access::Read).is_err());
+    }
+
+    #[test]
+    fn walk_finds_installed_mapping() {
+        let (phys, layout, regs) = setup();
+        let tag = make_tag(7, 3); // segment 7, page 3
+        install(&phys, &layout, Pfn(12), tag, F_READ | F_WRITE);
+        let va = VAddr(3 * PAGE_SIZE + 5);
+        let ok = walk(&phys, &layout, &regs, va, Access::Write).unwrap();
+        assert_eq!(ok.pfn, Pfn(12));
+        assert_eq!(ok.space, 7);
+        assert_eq!(ok.vpn, 3);
+        assert!(ok.dirty);
+        // Modify + reference bits were set in the entry.
+        let flags = phys
+            .read_u32(PAddr(layout.entry_addr(Pfn(12)).0 + 4))
+            .unwrap();
+        assert_ne!(flags & F_M, 0);
+        assert_ne!(flags & F_REF, 0);
+    }
+
+    #[test]
+    fn hash_chain_collision_resolves() {
+        let (phys, layout, regs) = setup();
+        // Two tags in the same bucket: install both, look up the deeper one.
+        let tag_a = make_tag(7, 1);
+        // Find a colliding tag for segment 7.
+        let mut page_b = 2u64;
+        while layout.hash(make_tag(7, page_b)) != layout.hash(tag_a) {
+            page_b += 1;
+        }
+        let tag_b = make_tag(7, page_b);
+        install(&phys, &layout, Pfn(10), tag_a, F_READ);
+        install(&phys, &layout, Pfn(11), tag_b, F_READ);
+        // tag_a is now second in the chain.
+        let ok = walk(&phys, &layout, &regs, VAddr(PAGE_SIZE), Access::Read).unwrap();
+        assert_eq!(ok.pfn, Pfn(10));
+        let ok_b = walk(
+            &phys,
+            &layout,
+            &regs,
+            VAddr(page_b * PAGE_SIZE),
+            Access::Read,
+        )
+        .unwrap();
+        assert_eq!(ok_b.pfn, Pfn(11));
+        // The deeper entry cost more memory references.
+        assert!(ok.memrefs > ok_b.memrefs);
+    }
+
+    #[test]
+    fn protection_enforced() {
+        let (phys, layout, regs) = setup();
+        install(&phys, &layout, Pfn(5), make_tag(7, 0), F_READ);
+        assert!(walk(&phys, &layout, &regs, VAddr(0), Access::Read).is_ok());
+        let err = walk(&phys, &layout, &regs, VAddr(0), Access::Write).unwrap_err();
+        assert_eq!(err.code, FaultCode::Protection);
+    }
+
+    #[test]
+    fn one_mapping_per_frame_is_structural() {
+        // The IPT is indexed by frame: installing a second VA for the same
+        // frame *replaces* the first (this is the paper's alias
+        // restriction, exercised at the pmap level).
+        let (phys, layout, regs) = setup();
+        install(&phys, &layout, Pfn(5), make_tag(7, 0), F_READ);
+        // Overwrite the entry with a different tag (page 9).
+        let ea = layout.entry_addr(Pfn(5));
+        phys.write_u32(ea, TAG_VALID | make_tag(7, 9)).unwrap();
+        let err = walk(&phys, &layout, &regs, VAddr(0), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn layout_sizes() {
+        let (_, layout, _) = setup();
+        assert_eq!(layout.buckets, 64);
+        assert_eq!(layout.table_bytes(), 64 * 16 + 64 * 4);
+        assert_eq!(layout.hat_base.0, 0x4000 + 64 * 16);
+    }
+
+    #[test]
+    fn tag_packing() {
+        let t = make_tag(0xABC, 0x1_FFFF);
+        assert_eq!(t >> 17, 0xABC);
+        assert_eq!(t & 0x1_FFFF, 0x1_FFFF);
+    }
+}

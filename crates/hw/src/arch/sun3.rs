@@ -1,0 +1,261 @@
+//! SUN 3 memory management: contexts, segment maps and pmegs.
+//!
+//! The Sun MMU holds its translation state in dedicated MMU RAM rather
+//! than main memory: 8 *contexts*, each with a segment map of 2048 entries
+//! (one per 128 KB of the 256 MB address space), where each entry names a
+//! *pmeg* — a page-map-entry group of 16 PTEs mapping 8 KB pages. There
+//! are only 256 pmegs in the whole MMU.
+//!
+//! The paper's observations (§5.1): segments+pmegs support sparse address
+//! spaces reasonably, but only 8 contexts can exist at once — more active
+//! tasks thrash contexts exactly like the RT's inverted table thrashes
+//! aliases — and the physical address space has *holes* (display memory),
+//! which the SUN pmap must hide from the machine-independent layer.
+
+use crate::addr::{Access, Fault, FaultCode, HwProt, Pfn, VAddr};
+
+/// Hardware page size: 8 KB.
+pub const PAGE_SIZE: u64 = 8192;
+
+/// Number of hardware contexts.
+pub const N_CONTEXTS: usize = 8;
+
+/// Number of pmegs in the MMU.
+pub const N_PMEGS: usize = 256;
+
+/// PTEs per pmeg (16 × 8 KB = 128 KB per segment).
+pub const PTES_PER_PMEG: usize = 16;
+
+/// Segment-map entries per context (256 MB / 128 KB).
+pub const SEGS_PER_CONTEXT: usize = 2048;
+
+/// An invalid segment-map entry.
+pub const NO_PMEG: u16 = u16::MAX;
+
+/// One page table entry in a pmeg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sun3Pte {
+    /// Valid bit.
+    pub valid: bool,
+    /// Write permitted (read implied by valid).
+    pub write: bool,
+    /// Physical frame.
+    pub pfn: u32,
+    /// Modify bit.
+    pub modified: bool,
+    /// Reference bit.
+    pub referenced: bool,
+}
+
+/// The MMU RAM: segment maps for all 8 contexts plus the pmeg array.
+///
+/// This state is *global to the machine* (the MMU sits between CPU and
+/// bus); the per-CPU register is just the context number.
+#[derive(Debug)]
+pub struct Sun3Mmu {
+    /// `seg_map[context][segment]` names a pmeg or [`NO_PMEG`].
+    pub seg_map: Vec<[u16; SEGS_PER_CONTEXT]>,
+    /// The 256 pmegs.
+    pub pmegs: Vec<[Sun3Pte; PTES_PER_PMEG]>,
+}
+
+impl Sun3Mmu {
+    /// MMU RAM at power-on: everything invalid.
+    pub fn new() -> Sun3Mmu {
+        Sun3Mmu {
+            seg_map: vec![[NO_PMEG; SEGS_PER_CONTEXT]; N_CONTEXTS],
+            pmegs: vec![[Sun3Pte::default(); PTES_PER_PMEG]; N_PMEGS],
+        }
+    }
+
+    /// Decompose a virtual address into (segment index, pte index).
+    ///
+    /// # Errors
+    ///
+    /// Length-faults above the 256 MB context size.
+    pub fn decompose(va: VAddr, access: Access) -> Result<(usize, usize), Fault> {
+        if va.0 >= (1 << 28) {
+            return Err(Fault {
+                va,
+                access,
+                code: FaultCode::Length,
+            });
+        }
+        let seg = (va.0 >> 17) as usize; // 128 KB segments
+        let pte = ((va.0 >> 13) & 0xF) as usize; // 8 KB pages
+        Ok((seg, pte))
+    }
+}
+
+impl Default for Sun3Mmu {
+    fn default() -> Sun3Mmu {
+        Sun3Mmu::new()
+    }
+}
+
+/// TLB key: tagged by context.
+pub fn tlb_key(context: u8, va: VAddr, access: Access) -> Result<(u32, u64), Fault> {
+    Sun3Mmu::decompose(va, access)?;
+    Ok((context as u32, va.0 >> 13))
+}
+
+/// The MMU lookup: segment map, then pmeg.
+///
+/// # Errors
+///
+/// Length faults beyond 256 MB, invalid faults on unmapped segments or
+/// pages, protection faults on write to a read-only page.
+pub fn walk(
+    mmu: &mut Sun3Mmu,
+    context: u8,
+    va: VAddr,
+    access: Access,
+) -> Result<super::WalkOk, Fault> {
+    let (seg, pte_idx) = Sun3Mmu::decompose(va, access)?;
+    let pmeg = mmu.seg_map[context as usize][seg];
+    if pmeg == NO_PMEG {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Invalid,
+        });
+    }
+    let pte = &mut mmu.pmegs[pmeg as usize][pte_idx];
+    if !pte.valid {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Invalid,
+        });
+    }
+    let mut prot = HwProt::READ | HwProt::EXECUTE;
+    if pte.write {
+        prot |= HwProt::WRITE;
+    }
+    if !prot.allows(access) {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Protection,
+        });
+    }
+    pte.referenced = true;
+    if access.is_write() {
+        pte.modified = true;
+    }
+    Ok(super::WalkOk {
+        pfn: Pfn(pte.pfn as u64),
+        prot,
+        memrefs: 2, // segment map + pmeg lookup
+        space: context as u32,
+        vpn: va.0 >> 13,
+        dirty: pte.modified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_page(mmu: &mut Sun3Mmu, ctx: u8, va: VAddr, pfn: u32, write: bool) {
+        let (seg, idx) = Sun3Mmu::decompose(va, Access::Read).unwrap();
+        if mmu.seg_map[ctx as usize][seg] == NO_PMEG {
+            // Naive pmeg allocation for tests: first never-used pmeg.
+            let free = (0..N_PMEGS)
+                .find(|&p| !mmu.seg_map.iter().any(|m| m.contains(&(p as u16))))
+                .unwrap() as u16;
+            mmu.seg_map[ctx as usize][seg] = free;
+        }
+        let pmeg = mmu.seg_map[ctx as usize][seg] as usize;
+        mmu.pmegs[pmeg][idx] = Sun3Pte {
+            valid: true,
+            write,
+            pfn,
+            modified: false,
+            referenced: false,
+        };
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut mmu = Sun3Mmu::new();
+        let err = walk(&mut mmu, 0, VAddr(0x2000), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn above_context_limit_length_faults() {
+        let mut mmu = Sun3Mmu::new();
+        let err = walk(&mut mmu, 0, VAddr(1 << 28), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Length);
+        assert!(tlb_key(0, VAddr(1 << 28), Access::Read).is_err());
+    }
+
+    #[test]
+    fn mapped_page_translates_and_sets_bits() {
+        let mut mmu = Sun3Mmu::new();
+        map_page(&mut mmu, 2, VAddr(0x40000), 99, true);
+        let ok = walk(&mut mmu, 2, VAddr(0x40000 + 12), Access::Write).unwrap();
+        assert_eq!(ok.pfn, Pfn(99));
+        assert_eq!(ok.space, 2);
+        assert_eq!(ok.memrefs, 2);
+        assert!(ok.dirty);
+        let (seg, idx) = Sun3Mmu::decompose(VAddr(0x40000), Access::Read).unwrap();
+        let pmeg = mmu.seg_map[2][seg] as usize;
+        assert!(mmu.pmegs[pmeg][idx].modified);
+        assert!(mmu.pmegs[pmeg][idx].referenced);
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mut mmu = Sun3Mmu::new();
+        map_page(&mut mmu, 0, VAddr(0), 1, false);
+        map_page(&mut mmu, 1, VAddr(0), 2, false);
+        assert_eq!(
+            walk(&mut mmu, 0, VAddr(0), Access::Read).unwrap().pfn,
+            Pfn(1)
+        );
+        assert_eq!(
+            walk(&mut mmu, 1, VAddr(0), Access::Read).unwrap().pfn,
+            Pfn(2)
+        );
+        // Context 3 has nothing.
+        assert!(walk(&mut mmu, 3, VAddr(0), Access::Read).is_err());
+    }
+
+    #[test]
+    fn read_only_denies_write() {
+        let mut mmu = Sun3Mmu::new();
+        map_page(&mut mmu, 0, VAddr(0), 1, false);
+        assert!(walk(&mut mmu, 0, VAddr(0), Access::Read).is_ok());
+        let err = walk(&mut mmu, 0, VAddr(8), Access::Write).unwrap_err();
+        assert_eq!(err.code, FaultCode::Protection);
+        // Execute is permitted wherever read is.
+        assert!(walk(&mut mmu, 0, VAddr(0), Access::Execute).is_ok());
+    }
+
+    #[test]
+    fn pages_within_segment_share_a_pmeg() {
+        let mut mmu = Sun3Mmu::new();
+        map_page(&mut mmu, 0, VAddr(0), 1, false);
+        map_page(&mut mmu, 0, VAddr(PAGE_SIZE), 2, false);
+        let (seg, _) = Sun3Mmu::decompose(VAddr(0), Access::Read).unwrap();
+        let (seg2, _) = Sun3Mmu::decompose(VAddr(PAGE_SIZE), Access::Read).unwrap();
+        assert_eq!(seg, seg2);
+        assert_eq!(
+            walk(&mut mmu, 0, VAddr(PAGE_SIZE), Access::Read)
+                .unwrap()
+                .pfn,
+            Pfn(2)
+        );
+    }
+
+    #[test]
+    fn decompose_geometry() {
+        // 128 KB per segment, 16 pages of 8 KB each.
+        let (seg, idx) =
+            Sun3Mmu::decompose(VAddr(128 * 1024 * 3 + 8192 * 5), Access::Read).unwrap();
+        assert_eq!(seg, 3);
+        assert_eq!(idx, 5);
+    }
+}

@@ -1,0 +1,189 @@
+//! A TLB-only experimental machine (the IBM RP3 of the paper's footnote).
+//!
+//! "In principle, Mach needs no in-memory hardware-defined data structure
+//! to manage virtual memory. Machines which provide only an easily
+//! manipulated TLB could be accommodated by Mach and would need little
+//! code to be written for the pmap module. In fact, a version of Mach has
+//! already run on a simulator for the IBM RP3 which assumed only TLB
+//! hardware support" (§5, footnote 2).
+//!
+//! There is **no hardware-defined in-memory table**: on a TLB miss the
+//! processor traps to a software miss handler that refills the TLB from
+//! an OS-owned structure ([`SoftTables`], written by the pmap module and
+//! consulted here the way RP3/MIPS-style miss handlers would). The
+//! machine-dependent module for this architecture is the smallest of the
+//! five ports — which is the paper's point.
+
+use std::collections::HashMap;
+
+use crate::addr::{Access, Fault, FaultCode, HwProt, Pfn, VAddr};
+
+/// Hardware page size: 4 KB (as on the RP3).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Virtual address space: 1 GB per address-space id.
+pub const VA_LIMIT: u64 = 1 << 30;
+
+/// Number of address-space identifiers the TLB tags entries with.
+pub const N_ASIDS: u32 = 1 << 12;
+
+/// Per-CPU MMU register: just the current address-space id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbSoftRegs {
+    /// The active address-space identifier.
+    pub asid: u32,
+    /// Translation enabled.
+    pub enabled: bool,
+}
+
+/// One software translation entry (the OS's, not the hardware's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftPte {
+    /// The mapped frame.
+    pub pfn: Pfn,
+    /// Permissions.
+    pub prot: HwProt,
+    /// Modify bit, maintained by the miss/mod handler.
+    pub modified: bool,
+    /// Reference bit.
+    pub referenced: bool,
+}
+
+/// The OS-owned translation store the software miss handler refills from.
+/// The pmap module writes it; [`walk`] (the "miss handler") reads it.
+#[derive(Debug, Default)]
+pub struct SoftTables {
+    /// `(asid, vpn)` → entry.
+    pub map: HashMap<(u32, u64), SoftPte>,
+}
+
+/// TLB key: tagged by ASID, so no flush on switch.
+pub fn tlb_key(regs: &TlbSoftRegs, va: VAddr, access: Access) -> Result<(u32, u64), Fault> {
+    if va.0 >= VA_LIMIT || !regs.enabled {
+        return Err(Fault {
+            va,
+            access,
+            code: if va.0 >= VA_LIMIT {
+                FaultCode::Length
+            } else {
+                FaultCode::Invalid
+            },
+        });
+    }
+    Ok((regs.asid, va.0 / PAGE_SIZE))
+}
+
+/// The software TLB-miss handler: refill from [`SoftTables`] or fault to
+/// the machine-independent layer.
+pub fn walk(
+    tables: &mut SoftTables,
+    regs: &TlbSoftRegs,
+    va: VAddr,
+    access: Access,
+) -> Result<super::WalkOk, Fault> {
+    let (asid, vpn) = tlb_key(regs, va, access)?;
+    let Some(e) = tables.map.get_mut(&(asid, vpn)) else {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Invalid,
+        });
+    };
+    if !e.prot.allows(access) {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Protection,
+        });
+    }
+    e.referenced = true;
+    if access.is_write() {
+        e.modified = true;
+    }
+    Ok(super::WalkOk {
+        pfn: e.pfn,
+        prot: e.prot,
+        memrefs: 4, // software miss-handler cost (trap-less fast path)
+        space: asid,
+        vpn,
+        dirty: e.modified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_with_no_entry_faults_to_the_os() {
+        let mut t = SoftTables::default();
+        let regs = TlbSoftRegs {
+            asid: 1,
+            enabled: true,
+        };
+        let err = walk(&mut t, &regs, VAddr(0x1000), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn refill_sets_reference_and_modify() {
+        let mut t = SoftTables::default();
+        t.map.insert(
+            (1, 2),
+            SoftPte {
+                pfn: Pfn(9),
+                prot: HwProt::READ | HwProt::WRITE,
+                modified: false,
+                referenced: false,
+            },
+        );
+        let regs = TlbSoftRegs {
+            asid: 1,
+            enabled: true,
+        };
+        let ok = walk(&mut t, &regs, VAddr(2 * PAGE_SIZE), Access::Read).unwrap();
+        assert_eq!(ok.pfn, Pfn(9));
+        assert!(!ok.dirty);
+        assert!(t.map[&(1, 2)].referenced);
+        assert!(!t.map[&(1, 2)].modified);
+        let ok = walk(&mut t, &regs, VAddr(2 * PAGE_SIZE), Access::Write).unwrap();
+        assert!(ok.dirty);
+        assert!(t.map[&(1, 2)].modified);
+    }
+
+    #[test]
+    fn asids_isolate() {
+        let mut t = SoftTables::default();
+        t.map.insert(
+            (1, 0),
+            SoftPte {
+                pfn: Pfn(1),
+                prot: HwProt::READ,
+                modified: false,
+                referenced: false,
+            },
+        );
+        let other = TlbSoftRegs {
+            asid: 2,
+            enabled: true,
+        };
+        assert!(walk(&mut t, &other, VAddr(0), Access::Read).is_err());
+    }
+
+    #[test]
+    fn limits() {
+        let mut t = SoftTables::default();
+        let regs = TlbSoftRegs {
+            asid: 0,
+            enabled: true,
+        };
+        assert_eq!(
+            walk(&mut t, &regs, VAddr(VA_LIMIT), Access::Read)
+                .unwrap_err()
+                .code,
+            FaultCode::Length
+        );
+        let off = TlbSoftRegs::default();
+        assert!(tlb_key(&off, VAddr(0), Access::Read).is_err());
+    }
+}

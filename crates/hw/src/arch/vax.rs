@@ -1,0 +1,385 @@
+//! VAX memory management: linear page tables located by base/length
+//! register pairs.
+//!
+//! The 32-bit VAX virtual address space is divided by its top two bits into
+//! the P0 region (grows up from 0), the P1 region (grows down toward
+//! `0x8000_0000`) and the system region. Each region has a *base register*
+//! pointing at a linear array of 4-byte PTEs and a *length register*.
+//!
+//! The paper's complaint (§5.1): mapping a full 2 GB user space takes 8 MB
+//! of linear page table, so Mach's VAX pmap constructs only the parts of
+//! the table actually needed and may destroy them to save space.
+//!
+//! Simplifications relative to real hardware, none of which affect the
+//! paper's claims: PTEs hold our uniform simplified bit layout rather than
+//! VAX protection codes; base registers hold physical addresses (real P0/P1
+//! base registers held system-space virtual addresses); and the walker
+//! maintains a software reference bit (the real VAX had none — systems
+//! sampled references by invalidation, which is exactly what the bit spares
+//! us from simulating).
+
+use crate::addr::{Access, Fault, FaultCode, HwProt, PAddr, Pfn, VAddr};
+use crate::phys::PhysMem;
+
+/// Hardware page size: 512 bytes — "partially the result of the small VAX
+/// page size" is why VAX tables are so large.
+pub const PAGE_SIZE: u64 = 512;
+
+/// PTE valid bit.
+pub const PTE_V: u32 = 1 << 31;
+/// PTE read-permission bit (simplified protection encoding).
+pub const PTE_R: u32 = 1 << 30;
+/// PTE write-permission bit.
+pub const PTE_W: u32 = 1 << 29;
+/// PTE modify bit, set by the hardware on first write.
+pub const PTE_M: u32 = 1 << 26;
+/// Software reference bit, set by the walker on any use.
+pub const PTE_REF: u32 = 1 << 25;
+/// Mask of the frame-number field.
+pub const PTE_PFN_MASK: u32 = (1 << 21) - 1;
+
+/// Build a valid PTE.
+pub fn pte(pfn: Pfn, prot: HwProt) -> u32 {
+    let mut v = PTE_V | (pfn.0 as u32 & PTE_PFN_MASK);
+    if prot.allows_read() || prot.allows_execute() {
+        v |= PTE_R;
+    }
+    if prot.allows_write() {
+        v |= PTE_W;
+    }
+    v
+}
+
+/// Decode the permissions of a PTE.
+pub fn pte_prot(word: u32) -> HwProt {
+    let mut p = HwProt::NONE;
+    if word & PTE_R != 0 {
+        p |= HwProt::READ | HwProt::EXECUTE;
+    }
+    if word & PTE_W != 0 {
+        p |= HwProt::WRITE;
+    }
+    p
+}
+
+/// The VAX address-space regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// User program region, grows up from address 0.
+    P0,
+    /// User stack region, grows down from `0x8000_0000`.
+    P1,
+    /// System (kernel) region.
+    System,
+}
+
+/// Number of pages in each of P0/P1 (1 GB regions of 512-byte pages).
+pub const REGION_PAGES: u64 = 1 << 21;
+
+/// Split a virtual address into its region and page number within it.
+///
+/// # Errors
+///
+/// Length-faults on the reserved fourth region.
+pub fn decode(va: VAddr) -> Result<(Region, u64), Fault> {
+    let region = (va.0 >> 30) & 3;
+    let vpn = (va.0 >> 9) & (REGION_PAGES - 1);
+    match region {
+        0 => Ok((Region::P0, vpn)),
+        1 => Ok((Region::P1, vpn)),
+        2 => Ok((Region::System, vpn)),
+        _ => Err(Fault {
+            va,
+            access: Access::Read,
+            code: FaultCode::Length,
+        }),
+    }
+}
+
+/// The VAX per-CPU MMU registers: a base/length pair per region.
+///
+/// `P0LR` counts valid PTEs from the bottom of the region; an access at or
+/// above it length-faults. `P1LR` is inverted, as on the real machine: the
+/// P1 table maps pages `p1lr..REGION_PAGES`, and `p1br` is biased so that
+/// `p1br + 4*vpn` addresses the PTE (hence the signed type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VaxRegs {
+    /// P0 base register (physical address of the P0 page table).
+    pub p0br: u64,
+    /// P0 length register (number of valid PTEs).
+    pub p0lr: u32,
+    /// P1 base register, biased by `-4 * p1lr` (signed; see type docs).
+    pub p1br: i64,
+    /// P1 length register: lowest valid page number in P1.
+    pub p1lr: u32,
+    /// System base register.
+    pub sbr: u64,
+    /// System length register.
+    pub slr: u32,
+}
+
+impl VaxRegs {
+    /// Physical address of the PTE for `(region, vpn)`, or a length fault.
+    pub fn pte_addr(
+        &self,
+        region: Region,
+        vpn: u64,
+        va: VAddr,
+        access: Access,
+    ) -> Result<PAddr, Fault> {
+        let length_fault = Fault {
+            va,
+            access,
+            code: FaultCode::Length,
+        };
+        match region {
+            Region::P0 => {
+                if vpn >= self.p0lr as u64 {
+                    return Err(length_fault);
+                }
+                Ok(PAddr(self.p0br + 4 * vpn))
+            }
+            Region::P1 => {
+                if vpn < self.p1lr as u64 {
+                    return Err(length_fault);
+                }
+                let addr = self.p1br + 4 * vpn as i64;
+                debug_assert!(addr >= 0, "P1 base register bias underflow");
+                Ok(PAddr(addr as u64))
+            }
+            Region::System => {
+                if vpn >= self.slr as u64 {
+                    return Err(length_fault);
+                }
+                Ok(PAddr(self.sbr + 4 * vpn))
+            }
+        }
+    }
+}
+
+/// TLB key: the VAX TLB is untagged (space 0) and flushed on switch.
+pub fn tlb_key(va: VAddr, access: Access) -> Result<(u32, u64), Fault> {
+    // Reject the reserved region before the TLB sees it.
+    let (_, _) = decode(va).map_err(|mut f| {
+        f.access = access;
+        f
+    })?;
+    Ok((0, va.0 >> 9))
+}
+
+/// The hardware table walk.
+///
+/// # Errors
+///
+/// Length faults outside the regions' valid ranges, invalid faults on
+/// clear PTEs, protection faults when the PTE forbids `access`.
+pub fn walk(
+    phys: &PhysMem,
+    regs: &VaxRegs,
+    va: VAddr,
+    access: Access,
+) -> Result<super::WalkOk, Fault> {
+    let (region, vpn) = decode(va).map_err(|mut f| {
+        f.access = access;
+        f
+    })?;
+    let pte_pa = regs.pte_addr(region, vpn, va, access)?;
+    let word = phys.read_u32(pte_pa).map_err(|_| Fault {
+        va,
+        access,
+        code: FaultCode::Invalid,
+    })?;
+    let mut memrefs = 1u32;
+    if word & PTE_V == 0 {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Invalid,
+        });
+    }
+    let prot = pte_prot(word);
+    if !prot.allows(access) {
+        return Err(Fault {
+            va,
+            access,
+            code: FaultCode::Protection,
+        });
+    }
+    // Maintain reference and modify bits.
+    let want = PTE_REF | if access.is_write() { PTE_M } else { 0 };
+    let mut dirty = word & PTE_M != 0;
+    if word & want != want {
+        phys.update_u32(pte_pa, |w| w | want).expect("PTE readable");
+        memrefs += 1;
+    }
+    if access.is_write() {
+        dirty = true;
+    }
+    Ok(super::WalkOk {
+        pfn: Pfn((word & PTE_PFN_MASK) as u64),
+        prot,
+        memrefs,
+        space: 0,
+        vpn: va.0 >> 9,
+        dirty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMem {
+        PhysMem::new(1 << 20, Vec::new())
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    #[test]
+    fn decode_regions() {
+        assert_eq!(decode(VAddr(0)).unwrap().0, Region::P0);
+        assert_eq!(decode(VAddr(0x4000_0000)).unwrap().0, Region::P1);
+        assert_eq!(decode(VAddr(0x8000_0000)).unwrap().0, Region::System);
+        assert!(decode(VAddr(0xC000_0000)).is_err());
+        // Page numbers.
+        assert_eq!(decode(VAddr(512 * 7 + 3)).unwrap().1, 7);
+        assert_eq!(decode(VAddr(0x4000_0000 + 512 * 5)).unwrap().1, 5);
+    }
+
+    #[test]
+    fn p0_walk_translates() {
+        let m = mem();
+        let table = 0x10_000u64;
+        let regs = VaxRegs {
+            p0br: table,
+            p0lr: 16,
+            ..Default::default()
+        };
+        m.write_u32(PAddr(table + 4 * 3), pte(Pfn(42), rw()))
+            .unwrap();
+        let ok = walk(&m, &regs, VAddr(512 * 3 + 100), Access::Read).unwrap();
+        assert_eq!(ok.pfn, Pfn(42));
+        assert!(ok.prot.allows_write());
+        assert_eq!(ok.space, 0);
+        assert_eq!(ok.vpn, 3);
+        // Reference bit was set, costing a second memref.
+        assert_eq!(ok.memrefs, 2);
+        assert!(m.read_u32(PAddr(table + 4 * 3)).unwrap() & PTE_REF != 0);
+    }
+
+    #[test]
+    fn length_register_bounds_p0() {
+        let m = mem();
+        let regs = VaxRegs {
+            p0br: 0x10_000,
+            p0lr: 4,
+            ..Default::default()
+        };
+        let err = walk(&m, &regs, VAddr(512 * 4), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Length);
+    }
+
+    #[test]
+    fn p1_grows_down() {
+        let m = mem();
+        // Map the top 8 pages of P1: pages REGION_PAGES-8 .. REGION_PAGES.
+        let p1lr = (REGION_PAGES - 8) as u32;
+        let table = 0x20_000u64; // 8 PTEs at 0x20_000
+        let regs = VaxRegs {
+            p1br: table as i64 - 4 * p1lr as i64,
+            p1lr,
+            ..Default::default()
+        };
+        let top_page = REGION_PAGES - 1;
+        m.write_u32(PAddr(table + 4 * 7), pte(Pfn(9), rw()))
+            .unwrap();
+        let va = VAddr((1 << 30) + top_page * 512);
+        let ok = walk(&m, &regs, va, Access::Write).unwrap();
+        assert_eq!(ok.pfn, Pfn(9));
+        assert!(ok.dirty);
+        // Below the length register faults.
+        let low = VAddr((1 << 30) + (p1lr as u64 - 1) * 512);
+        assert_eq!(
+            walk(&m, &regs, low, Access::Read).unwrap_err().code,
+            FaultCode::Length
+        );
+    }
+
+    #[test]
+    fn invalid_pte_faults() {
+        let m = mem();
+        let regs = VaxRegs {
+            p0br: 0x10_000,
+            p0lr: 16,
+            ..Default::default()
+        };
+        let err = walk(&m, &regs, VAddr(0), Access::Read).unwrap_err();
+        assert_eq!(err.code, FaultCode::Invalid);
+    }
+
+    #[test]
+    fn protection_fault_on_readonly_write() {
+        let m = mem();
+        let table = 0x10_000u64;
+        let regs = VaxRegs {
+            p0br: table,
+            p0lr: 16,
+            ..Default::default()
+        };
+        m.write_u32(PAddr(table), pte(Pfn(1), HwProt::READ))
+            .unwrap();
+        assert!(walk(&m, &regs, VAddr(0), Access::Read).is_ok());
+        let err = walk(&m, &regs, VAddr(0), Access::Write).unwrap_err();
+        assert_eq!(err.code, FaultCode::Protection);
+    }
+
+    #[test]
+    fn modify_bit_set_on_write_only() {
+        let m = mem();
+        let table = 0x10_000u64;
+        let regs = VaxRegs {
+            p0br: table,
+            p0lr: 16,
+            ..Default::default()
+        };
+        m.write_u32(PAddr(table), pte(Pfn(1), rw())).unwrap();
+        walk(&m, &regs, VAddr(0), Access::Read).unwrap();
+        assert_eq!(m.read_u32(PAddr(table)).unwrap() & PTE_M, 0);
+        let ok = walk(&m, &regs, VAddr(0), Access::Write).unwrap();
+        assert!(ok.dirty);
+        assert_ne!(m.read_u32(PAddr(table)).unwrap() & PTE_M, 0);
+        // Second write does not need another update memref.
+        let ok2 = walk(&m, &regs, VAddr(0), Access::Write).unwrap();
+        assert_eq!(ok2.memrefs, 1);
+    }
+
+    #[test]
+    fn system_region_uses_sbr() {
+        let m = mem();
+        let regs = VaxRegs {
+            sbr: 0x30_000,
+            slr: 4,
+            ..Default::default()
+        };
+        m.write_u32(PAddr(0x30_000 + 8), pte(Pfn(5), rw())).unwrap();
+        let va = VAddr(0x8000_0000 + 2 * 512);
+        assert_eq!(walk(&m, &regs, va, Access::Read).unwrap().pfn, Pfn(5));
+    }
+
+    #[test]
+    fn reserved_region_length_faults_in_key() {
+        assert!(tlb_key(VAddr(0xC000_0000), Access::Read).is_err());
+        assert_eq!(tlb_key(VAddr(0x200), Access::Read).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn pte_roundtrip() {
+        let w = pte(Pfn(0x1FFF), HwProt::READ);
+        assert_eq!(w & PTE_PFN_MASK, 0x1FFF);
+        assert!(pte_prot(w).allows_read());
+        assert!(!pte_prot(w).allows_write());
+        assert!(pte_prot(w).allows_execute());
+    }
+}

@@ -1,0 +1,196 @@
+//! The inter-processor interrupt bus.
+//!
+//! None of the multiprocessors that ran Mach could touch a remote CPU's
+//! TLB; the only tool was an interrupt (paper §5.2). This module provides
+//! exactly that: a mailbox per CPU, delivered when the target CPU next
+//! polls (which the simulated CPUs do at every memory access boundary).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::tlb::FlushScope;
+
+/// What an inter-processor interrupt asks the target CPU to do.
+#[derive(Debug, Clone)]
+pub enum IpiKind {
+    /// Flush part of the target's TLB.
+    FlushTlb(FlushScope),
+    /// A clock tick (used by the deferred shootdown strategy).
+    Timer,
+}
+
+/// One inter-processor interrupt, possibly carrying an acknowledgement
+/// latch the sender is waiting on.
+#[derive(Debug, Clone)]
+pub struct Ipi {
+    /// The request.
+    pub kind: IpiKind,
+    /// Acknowledgement latch, decremented by the target after handling.
+    pub ack: Option<Arc<AckLatch>>,
+}
+
+/// A countdown latch: the sender waits until every target acknowledges.
+#[derive(Debug)]
+pub struct AckLatch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl AckLatch {
+    /// A latch expecting `n` acknowledgements.
+    pub fn new(n: usize) -> Arc<AckLatch> {
+        Arc::new(AckLatch {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Acknowledge once.
+    pub fn ack(&self) {
+        let mut g = self.remaining.lock();
+        *g = g.saturating_sub(1);
+        if *g == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until all acknowledgements arrive or `timeout` elapses.
+    /// Returns `true` if fully acknowledged.
+    pub fn wait(&self, timeout: Duration) -> bool {
+        let mut g = self.remaining.lock();
+        if *g == 0 {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while *g > 0 {
+            if self.cv.wait_until(&mut g, deadline).timed_out() {
+                return *g == 0;
+            }
+        }
+        true
+    }
+
+    /// Remaining unacknowledged count.
+    pub fn remaining(&self) -> usize {
+        *self.remaining.lock()
+    }
+}
+
+/// The interrupt fabric connecting the CPUs.
+#[derive(Debug)]
+pub struct InterruptBus {
+    queues: Vec<Mutex<VecDeque<Ipi>>>,
+}
+
+impl InterruptBus {
+    /// A bus for `n_cpus` processors.
+    pub fn new(n_cpus: usize) -> InterruptBus {
+        InterruptBus {
+            queues: (0..n_cpus).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Number of CPUs on the bus.
+    pub fn n_cpus(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Post an IPI to `cpu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn send(&self, cpu: usize, ipi: Ipi) {
+        self.queues[cpu].lock().push_back(ipi);
+    }
+
+    /// Post an IPI to every CPU except `sender`.
+    pub fn broadcast_except(&self, sender: usize, ipi: &Ipi) {
+        for (i, q) in self.queues.iter().enumerate() {
+            if i != sender {
+                q.lock().push_back(ipi.clone());
+            }
+        }
+    }
+
+    /// Take all pending IPIs for `cpu` (the target's poll).
+    pub fn drain(&self, cpu: usize) -> Vec<Ipi> {
+        let mut q = self.queues[cpu].lock();
+        q.drain(..).collect()
+    }
+
+    /// True if `cpu` has pending interrupts (cheap check before drain).
+    pub fn has_pending(&self, cpu: usize) -> bool {
+        !self.queues[cpu].lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_drain() {
+        let bus = InterruptBus::new(2);
+        bus.send(
+            1,
+            Ipi {
+                kind: IpiKind::Timer,
+                ack: None,
+            },
+        );
+        assert!(!bus.has_pending(0));
+        assert!(bus.has_pending(1));
+        let got = bus.drain(1);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].kind, IpiKind::Timer));
+        assert!(!bus.has_pending(1));
+    }
+
+    #[test]
+    fn broadcast_skips_sender() {
+        let bus = InterruptBus::new(3);
+        let ipi = Ipi {
+            kind: IpiKind::FlushTlb(FlushScope::All),
+            ack: None,
+        };
+        bus.broadcast_except(1, &ipi);
+        assert!(bus.has_pending(0));
+        assert!(!bus.has_pending(1));
+        assert!(bus.has_pending(2));
+    }
+
+    #[test]
+    fn ack_latch_counts_down() {
+        let latch = AckLatch::new(2);
+        assert!(!latch.wait(Duration::from_millis(1)));
+        latch.ack();
+        assert_eq!(latch.remaining(), 1);
+        latch.ack();
+        assert!(latch.wait(Duration::from_millis(1)));
+        // Extra acks do not underflow.
+        latch.ack();
+        assert_eq!(latch.remaining(), 0);
+    }
+
+    #[test]
+    fn ack_latch_cross_thread() {
+        let latch = AckLatch::new(1);
+        let l2 = latch.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            l2.ack();
+        });
+        assert!(latch.wait(Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn zero_latch_is_immediately_done() {
+        let latch = AckLatch::new(0);
+        assert!(latch.wait(Duration::from_millis(0)));
+    }
+}

@@ -1,0 +1,274 @@
+//! The cycle/latency cost model and per-CPU clocks.
+//!
+//! Every simulated action — a memory reference, a TLB fill walk, a trap, a
+//! page copy, an inter-processor interrupt, a disk transfer — charges a
+//! deterministic number of cycles. Benchmarks report `cycles / MHz` as
+//! simulated time, which is what lets the harness regenerate the *shape* of
+//! the paper's Tables 7-1 and 7-2 without 1987 hardware.
+//!
+//! CPU work is charged to a per-CPU *system* counter; I/O waits are charged
+//! to a *wait* counter that contributes to elapsed time only. This mirrors
+//! the paper's "system/elapsed sec" presentation for the file-read rows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cycle costs for primitive hardware and kernel events.
+///
+/// The constants are defined once here and printed by the table harness so
+/// every reproduced number is traceable to them. Fractional per-byte costs
+/// are expressed in hundredths of a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// One memory reference (aligned word).
+    pub memref: u64,
+    /// Fixed MMU overhead on a TLB fill, in addition to the table memrefs.
+    pub tlb_fill: u64,
+    /// Trap entry + exit (fault or system call, hardware side).
+    pub trap: u64,
+    /// Fixed software overhead of entering the fault handler / a system call.
+    pub kernel_entry: u64,
+    /// Cost per data-structure step in kernel software (list hop, hash probe).
+    pub lookup_step: u64,
+    /// Copying one byte, in hundredths of a cycle.
+    pub copy_per_byte_c: u64,
+    /// Zero-filling one byte, in hundredths of a cycle.
+    pub zero_per_byte_c: u64,
+    /// Fixed cost of one pmap operation (register/table bookkeeping).
+    pub pmap_op: u64,
+    /// Additional pmap cost per hardware page touched.
+    pub pmap_per_page: u64,
+    /// Sending one inter-processor interrupt.
+    pub ipi_send: u64,
+    /// Servicing one inter-processor interrupt.
+    pub ipi_handle: u64,
+    /// A context switch (pmap activate/deactivate).
+    pub context_switch: u64,
+}
+
+impl CostModel {
+    /// The calibration used throughout the reproduction (see DESIGN.md §5).
+    pub const fn standard() -> CostModel {
+        CostModel {
+            memref: 1,
+            tlb_fill: 5,
+            trap: 200,
+            kernel_entry: 150,
+            lookup_step: 1,
+            copy_per_byte_c: 25,
+            zero_per_byte_c: 20,
+            pmap_op: 20,
+            pmap_per_page: 5,
+            ipi_send: 400,
+            ipi_handle: 250,
+            context_switch: 100,
+        }
+    }
+
+    /// Cycles to copy `bytes` bytes.
+    #[inline]
+    pub fn copy_cycles(&self, bytes: u64) -> u64 {
+        bytes * self.copy_per_byte_c / 100
+    }
+
+    /// Cycles to zero `bytes` bytes.
+    #[inline]
+    pub fn zero_cycles(&self, bytes: u64) -> u64 {
+        bytes * self.zero_per_byte_c / 100
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::standard()
+    }
+}
+
+/// Latency model for the simulated disk behind [`mach-fs`](https://crates.io)
+/// block devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskModel {
+    /// Average positioning time per I/O, microseconds.
+    pub seek_us: u64,
+    /// Transfer time per block, microseconds.
+    pub per_block_us: u64,
+    /// Block size in bytes.
+    pub block_size: u64,
+}
+
+impl DiskModel {
+    /// A period-plausible winchester disk: 15 ms positioning, 0.5 ms per
+    /// 4 KB block (so the transfer rate matches the classic 1 ms / 8 KB).
+    pub const fn standard() -> DiskModel {
+        DiskModel {
+            seek_us: 15_000,
+            per_block_us: 500,
+            block_size: 4_096,
+        }
+    }
+
+    /// Microseconds for one I/O of `blocks` consecutive blocks.
+    #[inline]
+    pub fn io_us(&self, blocks: u64) -> u64 {
+        self.seek_us + self.per_block_us * blocks
+    }
+}
+
+impl Default for DiskModel {
+    fn default() -> DiskModel {
+        DiskModel::standard()
+    }
+}
+
+/// A per-CPU clock: system cycles plus elapsed-only I/O wait.
+///
+/// All methods are lock-free and callable from any thread.
+#[derive(Debug, Default)]
+pub struct Clock {
+    system_cycles: AtomicU64,
+    wait_us: AtomicU64,
+}
+
+impl Clock {
+    /// A clock at zero.
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// Charge `cycles` of CPU (system) time.
+    #[inline]
+    pub fn charge(&self, cycles: u64) {
+        self.system_cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// Charge `us` microseconds of I/O wait (elapsed time only).
+    #[inline]
+    pub fn charge_wait_us(&self, us: u64) {
+        self.wait_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total CPU cycles charged so far.
+    #[inline]
+    pub fn system_cycles(&self) -> u64 {
+        self.system_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Total I/O wait charged so far, microseconds.
+    #[inline]
+    pub fn wait_us(&self) -> u64 {
+        self.wait_us.load(Ordering::Relaxed)
+    }
+
+    /// System time in microseconds for a CPU running at `mhz`.
+    #[inline]
+    pub fn system_us(&self, mhz: u64) -> u64 {
+        self.system_cycles() / mhz.max(1)
+    }
+
+    /// Elapsed time in microseconds: system time plus I/O waits.
+    #[inline]
+    pub fn elapsed_us(&self, mhz: u64) -> u64 {
+        self.system_us(mhz) + self.wait_us()
+    }
+
+    /// Snapshot `(system_cycles, wait_us)`, e.g. to diff around a workload.
+    pub fn snapshot(&self) -> ClockSnapshot {
+        ClockSnapshot {
+            system_cycles: self.system_cycles(),
+            wait_us: self.wait_us(),
+        }
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.system_cycles.store(0, Ordering::Relaxed);
+        self.wait_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of a [`Clock`], used to measure intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClockSnapshot {
+    /// System cycles at snapshot time.
+    pub system_cycles: u64,
+    /// Wait microseconds at snapshot time.
+    pub wait_us: u64,
+}
+
+impl ClockSnapshot {
+    /// The interval between `self` (earlier) and `later`.
+    pub fn delta(&self, later: ClockSnapshot) -> ClockSnapshot {
+        ClockSnapshot {
+            system_cycles: later.system_cycles - self.system_cycles,
+            wait_us: later.wait_us - self.wait_us,
+        }
+    }
+
+    /// System microseconds of this interval at `mhz`.
+    pub fn system_us(&self, mhz: u64) -> u64 {
+        self.system_cycles / mhz.max(1)
+    }
+
+    /// Elapsed microseconds of this interval at `mhz`.
+    pub fn elapsed_us(&self, mhz: u64) -> u64 {
+        self.system_us(mhz) + self.wait_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_fractional_bytes() {
+        let c = CostModel::standard();
+        assert_eq!(c.copy_cycles(4096), 1024);
+        assert_eq!(c.zero_cycles(1000), 200);
+        assert_eq!(c.copy_cycles(0), 0);
+    }
+
+    #[test]
+    fn disk_model_latency() {
+        let d = DiskModel::standard();
+        assert_eq!(d.io_us(1), 15_500);
+        assert_eq!(d.io_us(4), 17_000);
+    }
+
+    #[test]
+    fn clock_accumulates_and_splits_system_vs_wait() {
+        let c = Clock::new();
+        c.charge(5_000_000);
+        c.charge_wait_us(250);
+        assert_eq!(c.system_cycles(), 5_000_000);
+        assert_eq!(c.system_us(5), 1_000_000);
+        assert_eq!(c.elapsed_us(5), 1_000_250);
+    }
+
+    #[test]
+    fn clock_snapshot_delta() {
+        let c = Clock::new();
+        c.charge(100);
+        let a = c.snapshot();
+        c.charge(50);
+        c.charge_wait_us(7);
+        let d = a.delta(c.snapshot());
+        assert_eq!(d.system_cycles, 50);
+        assert_eq!(d.wait_us, 7);
+        assert_eq!(d.elapsed_us(1), 57);
+    }
+
+    #[test]
+    fn clock_reset() {
+        let c = Clock::new();
+        c.charge(10);
+        c.charge_wait_us(10);
+        c.reset();
+        assert_eq!(c.system_cycles(), 0);
+        assert_eq!(c.wait_us(), 0);
+    }
+
+    #[test]
+    fn clock_is_safe_from_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Clock>();
+    }
+}

@@ -1,0 +1,110 @@
+//! A simulated processor: a TLB, an MMU register file, a clock, and an
+//! active flag the shootdown machinery consults.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::arch::{ArchKind, CpuRegs};
+use crate::cost::Clock;
+use crate::tlb::{Tlb, TlbStats};
+
+/// One processor of a [`crate::machine::Machine`].
+///
+/// Memory accesses go through [`crate::machine::Machine`] (the CPU alone
+/// cannot translate — it needs the bus, tables and interrupt fabric).
+#[derive(Debug)]
+pub struct Cpu {
+    id: usize,
+    /// Cycle/wait accounting for work done on this CPU.
+    pub clock: Clock,
+    pub(crate) tlb: Mutex<Tlb>,
+    pub(crate) regs: Mutex<CpuRegs>,
+    active: AtomicBool,
+    /// The host thread currently driving this CPU (a real CPU executes
+    /// one instruction stream; binding from two threads is a caller bug).
+    pub(crate) owner: Mutex<Option<std::thread::ThreadId>>,
+}
+
+impl Cpu {
+    pub(crate) fn new(id: usize, kind: ArchKind, tlb_entries: usize) -> Cpu {
+        Cpu {
+            id,
+            clock: Clock::new(),
+            tlb: Mutex::new(Tlb::new(tlb_entries)),
+            regs: Mutex::new(CpuRegs::reset(kind)),
+            active: AtomicBool::new(false),
+            owner: Mutex::new(None),
+        }
+    }
+
+    /// This CPU's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Snapshot of TLB statistics.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.lock().stats()
+    }
+
+    /// Replace the MMU register file (what `pmap_activate` does).
+    pub fn load_regs(&self, regs: CpuRegs) {
+        *self.regs.lock() = regs;
+    }
+
+    /// Read the MMU register file.
+    pub fn regs(&self) -> CpuRegs {
+        self.regs.lock().clone()
+    }
+
+    /// Mutate the MMU register file in place.
+    pub fn with_regs<R>(&self, f: impl FnOnce(&mut CpuRegs) -> R) -> R {
+        f(&mut self.regs.lock())
+    }
+
+    /// True if a thread is currently executing on this CPU.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_active(&self, on: bool) {
+        self.active.store(on, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_cpu_state() {
+        let cpu = Cpu::new(3, ArchKind::Vax, 8);
+        assert_eq!(cpu.id(), 3);
+        assert!(!cpu.is_active());
+        assert_eq!(cpu.tlb_stats(), TlbStats::default());
+        assert!(matches!(cpu.regs(), CpuRegs::Vax(_)));
+    }
+
+    #[test]
+    fn regs_roundtrip() {
+        let cpu = Cpu::new(0, ArchKind::Sun3, 8);
+        cpu.load_regs(CpuRegs::Sun3 { context: 5 });
+        assert!(matches!(cpu.regs(), CpuRegs::Sun3 { context: 5 }));
+        cpu.with_regs(|r| {
+            if let CpuRegs::Sun3 { context } = r {
+                *context = 2;
+            }
+        });
+        assert!(matches!(cpu.regs(), CpuRegs::Sun3 { context: 2 }));
+    }
+
+    #[test]
+    fn active_flag() {
+        let cpu = Cpu::new(0, ArchKind::Romp, 8);
+        cpu.set_active(true);
+        assert!(cpu.is_active());
+        cpu.set_active(false);
+        assert!(!cpu.is_active());
+    }
+}

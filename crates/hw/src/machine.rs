@@ -1,0 +1,853 @@
+//! The simulated machine: CPUs + physical memory + MMU + interrupt bus.
+//!
+//! A [`Machine`] is shared (`Arc`) between the kernel (the `mach-vm`
+//! crate), the machine-dependent pmap modules, and the threads driving the
+//! simulated CPUs. A thread *binds* to a CPU with [`Machine::bind_cpu`];
+//! memory accesses and cost charges then flow to that CPU.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::addr::{Access, Fault, PAddr, VAddr};
+use crate::arch::{self, ArchGlobal, ArchKind};
+use crate::bus::{AckLatch, InterruptBus, Ipi, IpiKind};
+use crate::cost::{Clock, CostModel, DiskModel};
+use crate::cpu::Cpu;
+use crate::phys::{FrameAlloc, PhysMem};
+use crate::tlb::{FlushScope, TlbLookup};
+
+/// Bytes reserved at the bottom of physical memory for the boot image.
+pub const BOOT_RESERVED: u64 = 64 * 1024;
+
+/// Static description of a machine configuration.
+///
+/// The presets reproduce the machines of the paper's Tables 7-1 and 7-2.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Marketing name ("VAX 8650", "SUN 3/160", ...).
+    pub name: &'static str,
+    /// MMU architecture.
+    pub kind: ArchKind,
+    /// Clock rate used to convert cycles to time.
+    pub mhz: u64,
+    /// Physical memory size in bytes.
+    pub mem_bytes: u64,
+    /// Number of processors.
+    pub n_cpus: usize,
+    /// TLB entries per CPU.
+    pub tlb_entries: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Disk latency model.
+    pub disk: DiskModel,
+    /// Physical address holes (SUN 3 display memory).
+    pub holes: Vec<Range<u64>>,
+}
+
+impl MachineModel {
+    /// DEC MicroVAX II: the paper's `uVAX II` rows.
+    pub fn micro_vax_ii() -> MachineModel {
+        MachineModel {
+            name: "uVAX II",
+            kind: ArchKind::Vax,
+            mhz: 5,
+            mem_bytes: 16 << 20,
+            n_cpus: 1,
+            tlb_entries: 64,
+            cost: CostModel::standard(),
+            disk: DiskModel::standard(),
+            holes: Vec::new(),
+        }
+    }
+
+    /// DEC VAX 8200 (the file-reading rows of Table 7-1).
+    pub fn vax_8200() -> MachineModel {
+        MachineModel {
+            name: "VAX 8200",
+            mhz: 5,
+            ..MachineModel::micro_vax_ii()
+        }
+    }
+
+    /// DEC VAX 8650 with 36 MB, as in Table 7-2.
+    pub fn vax_8650() -> MachineModel {
+        MachineModel {
+            name: "VAX 8650",
+            mhz: 18,
+            mem_bytes: 36 << 20,
+            ..MachineModel::micro_vax_ii()
+        }
+    }
+
+    /// The four-processor VAX 11/784 Mach was first built on.
+    pub fn vax_11_784() -> MachineModel {
+        MachineModel {
+            name: "VAX 11/784",
+            mhz: 5,
+            n_cpus: 4,
+            mem_bytes: 32 << 20,
+            ..MachineModel::micro_vax_ii()
+        }
+    }
+
+    /// IBM RT PC.
+    pub fn rt_pc() -> MachineModel {
+        MachineModel {
+            name: "RT PC",
+            kind: ArchKind::Romp,
+            mhz: 6,
+            mem_bytes: 16 << 20,
+            n_cpus: 1,
+            tlb_entries: 64,
+            cost: CostModel::standard(),
+            disk: DiskModel::standard(),
+            holes: Vec::new(),
+        }
+    }
+
+    /// SUN 3/160, with a display-memory hole high in physical memory.
+    pub fn sun_3_160() -> MachineModel {
+        let mem = 16u64 << 20;
+        MachineModel {
+            name: "SUN 3/160",
+            kind: ArchKind::Sun3,
+            mhz: 16,
+            mem_bytes: mem,
+            n_cpus: 1,
+            tlb_entries: 64,
+            cost: CostModel::standard(),
+            disk: DiskModel::standard(),
+            // 1 MB of display memory below the top of physical space.
+            holes: vec![(mem - (2 << 20))..(mem - (1 << 20))],
+        }
+    }
+
+    /// Encore MultiMax with `n_cpus` NS32032/NS32082 processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cpus` is zero.
+    pub fn multimax(n_cpus: usize) -> MachineModel {
+        assert!(n_cpus > 0);
+        MachineModel {
+            name: "Encore MultiMax",
+            kind: ArchKind::Ns32082,
+            mhz: 10,
+            mem_bytes: 32 << 20, // the NS32082's physical limit
+            n_cpus,
+            tlb_entries: 64,
+            cost: CostModel::standard(),
+            disk: DiskModel::standard(),
+            holes: Vec::new(),
+        }
+    }
+
+    /// The TLB-only experimental machine of the paper's §5 footnote (an
+    /// IBM RP3-style simulator: software-refilled TLB, no tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cpus` is zero.
+    pub fn rp3(n_cpus: usize) -> MachineModel {
+        assert!(n_cpus > 0);
+        MachineModel {
+            name: "IBM RP3 (sim)",
+            kind: ArchKind::TlbSoft,
+            mhz: 12,
+            mem_bytes: 64 << 20,
+            n_cpus,
+            tlb_entries: 128,
+            cost: CostModel::standard(),
+            disk: DiskModel::standard(),
+            holes: Vec::new(),
+        }
+    }
+
+    /// Sequent Balance with `n_cpus` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cpus` is zero.
+    pub fn balance(n_cpus: usize) -> MachineModel {
+        MachineModel {
+            name: "Sequent Balance",
+            ..MachineModel::multimax(n_cpus)
+        }
+    }
+
+    /// Hardware page size for this model's architecture.
+    pub fn hw_page_size(&self) -> u64 {
+        self.kind.hw_page_size()
+    }
+}
+
+thread_local! {
+    static BOUND_CPU: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII guard binding the current thread to a CPU (see
+/// [`Machine::bind_cpu`]). Dropping restores the previous binding and
+/// active flag.
+#[derive(Debug)]
+pub struct CpuBinding<'m> {
+    machine: &'m Machine,
+    cpu: usize,
+    prev: usize,
+    prev_active: bool,
+    /// This binding took the CPU's thread-ownership (outermost binding on
+    /// this thread); dropping it releases the CPU to other threads.
+    acquired: bool,
+}
+
+impl Drop for CpuBinding<'_> {
+    fn drop(&mut self) {
+        let still_bound_here = self.prev == self.cpu;
+        self.machine.cpus[self.cpu].set_active(self.prev_active && still_bound_here);
+        if !still_bound_here {
+            self.machine.cpus[self.cpu].set_active(false);
+        }
+        if self.acquired {
+            self.machine.cpus[self.cpu].set_active(false);
+            *self.machine.cpus[self.cpu].owner.lock() = None;
+        }
+        BOUND_CPU.with(|b| b.set(self.prev));
+    }
+}
+
+/// Counters the machine keeps about cross-processor operations.
+#[derive(Debug, Default)]
+pub struct MachineStats {
+    /// IPIs sent.
+    pub ipis_sent: AtomicU64,
+    /// IPIs handled.
+    pub ipis_handled: AtomicU64,
+    /// Shootdown waits that timed out and fell back to a direct flush.
+    pub shootdown_timeouts: AtomicU64,
+}
+
+/// A complete simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    model: MachineModel,
+    phys: PhysMem,
+    frames: FrameAlloc,
+    bus: InterruptBus,
+    cpus: Vec<Cpu>,
+    global: ArchGlobal,
+    /// Cross-CPU statistics.
+    pub stats: MachineStats,
+}
+
+impl Machine {
+    /// Boot a machine of the given model.
+    ///
+    /// Reserves [`BOOT_RESERVED`] bytes (plus the ROMP's IPT/HAT) before
+    /// handing the rest to the frame allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is internally inconsistent (e.g. more physical
+    /// memory than the architecture can address).
+    pub fn boot(model: MachineModel) -> Arc<Machine> {
+        if model.kind == ArchKind::Ns32082 {
+            assert!(
+                model.mem_bytes <= arch::ns32082::PA_LIMIT,
+                "NS32082 can address at most 32 MB of physical memory"
+            );
+        }
+        let phys = PhysMem::new(model.mem_bytes, model.holes.clone());
+        let hw_page = model.hw_page_size();
+        let mut reserved = BOOT_RESERVED;
+        let global = match model.kind {
+            ArchKind::Vax => ArchGlobal::Vax,
+            ArchKind::Romp => {
+                let n_frames = model.mem_bytes / hw_page;
+                let layout = arch::romp::init_tables(&phys, PAddr(reserved), n_frames);
+                reserved += layout.table_bytes();
+                ArchGlobal::Romp(layout)
+            }
+            ArchKind::Sun3 => ArchGlobal::Sun3(parking_lot::Mutex::new(arch::sun3::Sun3Mmu::new())),
+            ArchKind::Ns32082 => ArchGlobal::Ns32082(arch::ns32082::NsGlobal::with_bug()),
+            ArchKind::TlbSoft => {
+                ArchGlobal::TlbSoft(parking_lot::Mutex::new(arch::tlbsoft::SoftTables::default()))
+            }
+        };
+        let frames = FrameAlloc::new(&phys, hw_page, reserved);
+        let cpus = (0..model.n_cpus)
+            .map(|i| Cpu::new(i, model.kind, model.tlb_entries))
+            .collect();
+        let bus = InterruptBus::new(model.n_cpus);
+        Arc::new(Machine {
+            model,
+            phys,
+            frames,
+            bus,
+            cpus,
+            global,
+            stats: MachineStats::default(),
+        })
+    }
+
+    /// The machine's static configuration.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// The MMU architecture.
+    pub fn kind(&self) -> ArchKind {
+        self.model.kind
+    }
+
+    /// Hardware page size in bytes.
+    pub fn hw_page_size(&self) -> u64 {
+        self.model.hw_page_size()
+    }
+
+    /// The physical memory (pmap modules write tables through this).
+    pub fn phys(&self) -> &PhysMem {
+        &self.phys
+    }
+
+    /// The boot-time frame allocator.
+    pub fn frames(&self) -> &FrameAlloc {
+        &self.frames
+    }
+
+    /// Architecture-global MMU state.
+    pub fn arch_global(&self) -> &ArchGlobal {
+        &self.global
+    }
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.model.cost
+    }
+
+    /// The disk model in force.
+    pub fn disk(&self) -> &DiskModel {
+        &self.model.disk
+    }
+
+    /// Number of CPUs.
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// CPU `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cpu(&self, i: usize) -> &Cpu {
+        &self.cpus[i]
+    }
+
+    /// Bind the calling thread to CPU `id` (RAII; restores on drop) and
+    /// mark the CPU active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn bind_cpu(&self, id: usize) -> CpuBinding<'_> {
+        assert!(id < self.cpus.len(), "no such CPU {id}");
+        // A CPU executes one instruction stream: binding it from a second
+        // host thread would silently interleave two tasks' MMU registers.
+        // Make over-subscription a loud error instead of a livelock.
+        let acquired = {
+            let me = std::thread::current().id();
+            let mut owner = self.cpus[id].owner.lock();
+            match *owner {
+                Some(t) if t != me => panic!(
+                    "CPU {id} is already driven by another thread; simulated \
+                     CPUs cannot be time-shared between host threads (use \
+                     one CPU per concurrent thread)"
+                ),
+                Some(_) => false,
+                None => {
+                    *owner = Some(me);
+                    true
+                }
+            }
+        };
+        let prev = BOUND_CPU.with(|b| b.replace(id));
+        let prev_active = self.cpus[prev.min(self.cpus.len() - 1)].is_active();
+        self.cpus[id].set_active(true);
+        CpuBinding {
+            machine: self,
+            cpu: id,
+            prev,
+            prev_active,
+            acquired,
+        }
+    }
+
+    /// The CPU the calling thread is bound to (0 if never bound).
+    pub fn current_cpu(&self) -> usize {
+        BOUND_CPU.with(|b| b.get()).min(self.cpus.len() - 1)
+    }
+
+    /// The bound CPU's clock.
+    pub fn clock(&self) -> &Clock {
+        &self.cpus[self.current_cpu()].clock
+    }
+
+    /// Charge CPU cycles to the bound CPU.
+    #[inline]
+    pub fn charge(&self, cycles: u64) {
+        self.clock().charge(cycles);
+    }
+
+    /// Charge I/O wait (elapsed-only) to the bound CPU.
+    #[inline]
+    pub fn charge_wait_us(&self, us: u64) {
+        self.clock().charge_wait_us(us);
+    }
+
+    /// Largest elapsed time across all CPUs, in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.cpus
+            .iter()
+            .map(|c| c.clock.elapsed_us(self.model.mhz))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reset every CPU clock (benchmark hygiene).
+    pub fn reset_clocks(&self) {
+        for c in &self.cpus {
+            c.clock.reset();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interrupts
+    // ------------------------------------------------------------------
+
+    /// Handle pending IPIs for CPU `id`.
+    pub fn poll_cpu(&self, id: usize) {
+        if !self.bus.has_pending(id) {
+            return;
+        }
+        for ipi in self.bus.drain(id) {
+            match ipi.kind {
+                IpiKind::FlushTlb(scope) => {
+                    self.cpus[id].tlb.lock().flush(scope);
+                }
+                IpiKind::Timer => {}
+            }
+            self.cpus[id].clock.charge(self.model.cost.ipi_handle);
+            self.stats.ipis_handled.fetch_add(1, Ordering::Relaxed);
+            if let Some(ack) = ipi.ack {
+                ack.ack();
+            }
+        }
+    }
+
+    /// Handle pending IPIs for the bound CPU.
+    pub fn poll(&self) {
+        self.poll_cpu(self.current_cpu());
+    }
+
+    /// Flush part of the bound CPU's own TLB (free of IPI cost).
+    pub fn flush_local(&self, scope: FlushScope) {
+        self.cpus[self.current_cpu()].tlb.lock().flush(scope);
+    }
+
+    /// Flush part of CPU `id`'s TLB directly — only legal for a quiescent
+    /// CPU (models flush-on-next-activate).
+    pub fn flush_quiescent(&self, id: usize, scope: FlushScope) {
+        self.cpus[id].tlb.lock().flush(scope);
+    }
+
+    /// Interrupt `targets` so they flush `scope`; optionally wait for all
+    /// *active* targets to acknowledge.
+    ///
+    /// Quiescent targets are flushed directly (nothing can be running
+    /// through their TLBs). If an active target fails to acknowledge
+    /// within 100 ms (it is blocked inside the kernel, not touching user
+    /// memory), the flush is forced and counted in
+    /// [`MachineStats::shootdown_timeouts`].
+    ///
+    /// Returns the number of IPIs actually sent.
+    pub fn shootdown(&self, targets: &[usize], scope: FlushScope, wait: bool) -> usize {
+        let me = self.current_cpu();
+        let mut live = Vec::new();
+        for &t in targets {
+            if t == me {
+                self.flush_local(scope);
+            } else if self.cpus[t].is_active() {
+                live.push(t);
+            } else {
+                self.flush_quiescent(t, scope);
+            }
+        }
+        if live.is_empty() {
+            return 0;
+        }
+        let ack = if wait {
+            Some(AckLatch::new(live.len()))
+        } else {
+            None
+        };
+        for &t in &live {
+            self.bus.send(
+                t,
+                Ipi {
+                    kind: IpiKind::FlushTlb(scope),
+                    ack: ack.clone(),
+                },
+            );
+            self.clock().charge(self.model.cost.ipi_send);
+            self.stats.ipis_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(latch) = ack {
+            // Keep servicing our *own* incoming IPIs while waiting —
+            // real kernels leave interrupts enabled here, and without it
+            // concurrent shootdowns deadlock against each other.
+            let deadline = std::time::Instant::now() + Duration::from_millis(100);
+            loop {
+                self.poll_cpu(me);
+                if latch.wait(Duration::from_millis(1)) {
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    // Forced flush: targets are stalled inside the kernel
+                    // and cannot be mid-access through their TLBs.
+                    for &t in &live {
+                        self.flush_quiescent(t, scope);
+                    }
+                    self.stats
+                        .shootdown_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        live.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access (the simulated instruction stream)
+    // ------------------------------------------------------------------
+
+    /// Translate `va` for `access` on the bound CPU, filling the TLB.
+    ///
+    /// # Errors
+    ///
+    /// The [`Fault`] the MMU would raise; trap overhead is charged.
+    pub fn translate(&self, va: VAddr, access: Access) -> Result<PAddr, Fault> {
+        let id = self.current_cpu();
+        self.poll_cpu(id);
+        let cpu = &self.cpus[id];
+        let page = self.hw_page_size();
+        let cost = &self.model.cost;
+        let regs = cpu.regs();
+        let (space, vpn) = arch::tlb_key(self.kind(), &regs, va, access).inspect_err(|_f| {
+            cpu.clock.charge(cost.trap);
+        })?;
+        let mut tlb = cpu.tlb.lock();
+        match tlb.lookup(space, vpn, access) {
+            TlbLookup::Hit {
+                pfn,
+                needs_dirty_walk: false,
+            } => {
+                cpu.clock.charge(cost.memref);
+                Ok(pfn.base(page) + va.offset_in(page))
+            }
+            TlbLookup::Hit {
+                needs_dirty_walk: true,
+                ..
+            } => {
+                // First write through the entry: re-walk to set the modify
+                // bit in the in-memory table. A stale entry may fault here.
+                match arch::walk(self.kind(), &self.phys, &self.global, &regs, va, access) {
+                    Ok(ok) => {
+                        cpu.clock
+                            .charge(cost.memref * ok.memrefs as u64 + cost.memref);
+                        tlb.insert(ok.space, ok.vpn, ok.pfn, ok.prot, ok.dirty);
+                        Ok(ok.pfn.base(page) + va.offset_in(page))
+                    }
+                    Err(f) => {
+                        tlb.flush(FlushScope::Page { space, vpn });
+                        cpu.clock.charge(cost.trap);
+                        Err(f)
+                    }
+                }
+            }
+            TlbLookup::Denied => {
+                // The entry denies the access. Hardware traps immediately;
+                // the OS will revalidate and flush. (A stale entry can
+                // deny an access the tables now allow — the lazy
+                // consistency case of §5.2.)
+                tlb.flush(FlushScope::Page { space, vpn });
+                cpu.clock.charge(cost.trap);
+                drop(tlb);
+                // Re-walk so a merely-stale entry does not raise a
+                // spurious fault to the machine-independent layer.
+                match arch::walk(self.kind(), &self.phys, &self.global, &regs, va, access) {
+                    Ok(ok) => {
+                        cpu.clock
+                            .charge(cost.memref * ok.memrefs as u64 + cost.tlb_fill);
+                        let mut tlb = cpu.tlb.lock();
+                        tlb.insert(ok.space, ok.vpn, ok.pfn, ok.prot, ok.dirty);
+                        Ok(ok.pfn.base(page) + va.offset_in(page))
+                    }
+                    Err(f) => Err(f),
+                }
+            }
+            TlbLookup::Miss => {
+                match arch::walk(self.kind(), &self.phys, &self.global, &regs, va, access) {
+                    Ok(ok) => {
+                        cpu.clock
+                            .charge(cost.memref * ok.memrefs as u64 + cost.tlb_fill);
+                        tlb.insert(ok.space, ok.vpn, ok.pfn, ok.prot, ok.dirty);
+                        Ok(ok.pfn.base(page) + va.offset_in(page))
+                    }
+                    Err(f) => {
+                        cpu.clock.charge(cost.trap);
+                        Err(f)
+                    }
+                }
+            }
+        }
+    }
+
+    fn access_span(
+        &self,
+        va: VAddr,
+        len: usize,
+        access: Access,
+        mut f: impl FnMut(PAddr, usize, usize),
+    ) -> Result<(), Fault> {
+        let page = self.hw_page_size();
+        let mut off = 0usize;
+        while off < len {
+            let cur = va + off as u64;
+            let in_page = (page - cur.offset_in(page)) as usize;
+            let take = in_page.min(len - off);
+            let pa = self.translate(cur, access)?;
+            f(pa, off, take);
+            self.charge(self.model.cost.memref);
+            if take > 16 {
+                self.charge(self.model.cost.copy_cycles(take as u64));
+            }
+            off += take;
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes of user memory at `va` on the bound CPU.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Fault`] encountered; earlier pages may have been read.
+    pub fn load(&self, va: VAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        let phys = &self.phys;
+        let mut out: Vec<(PAddr, usize, usize)> = Vec::new();
+        self.access_span(va, buf.len(), Access::Read, |pa, off, take| {
+            out.push((pa, off, take));
+        })?;
+        for (pa, off, take) in out {
+            phys.read(pa, &mut buf[off..off + take])
+                .expect("translated address is resident");
+        }
+        Ok(())
+    }
+
+    /// Write `buf` to user memory at `va` on the bound CPU.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Fault`] encountered; earlier pages may have been
+    /// written (stores are restartable at page granularity).
+    pub fn store(&self, va: VAddr, buf: &[u8]) -> Result<(), Fault> {
+        let phys = &self.phys;
+        let mut segs: Vec<(PAddr, usize, usize)> = Vec::new();
+        self.access_span(va, buf.len(), Access::Write, |pa, off, take| {
+            segs.push((pa, off, take));
+        })?;
+        for (pa, off, take) in segs {
+            phys.write(pa, &buf[off..off + take])
+                .expect("translated address is resident");
+        }
+        Ok(())
+    }
+
+    /// Load a `u32` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation faults.
+    pub fn load_u32(&self, va: VAddr) -> Result<u32, Fault> {
+        let mut b = [0u8; 4];
+        self.load(va, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Store a `u32` at `va`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation faults.
+    pub fn store_u32(&self, va: VAddr, v: u32) -> Result<(), Fault> {
+        self.store(va, &v.to_le_bytes())
+    }
+
+    /// A read-modify-write cycle on the `u32` at `va` — the operation the
+    /// NS32082 erratum corrupts: if the *write* half faults, the chip
+    /// reports a **read** fault (paper §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults; on a buggy NS32082, a write-protection fault is
+    /// reported with `access == Read`.
+    pub fn rmw_u32(&self, va: VAddr, f: impl FnOnce(u32) -> u32) -> Result<u32, Fault> {
+        let pa_r = self.translate(va, Access::Read)?;
+        let old = self.phys.read_u32(pa_r).expect("resident");
+        self.charge(self.model.cost.memref);
+        match self.translate(va, Access::Write) {
+            Ok(pa_w) => {
+                self.phys.write_u32(pa_w, f(old)).expect("resident");
+                self.charge(self.model.cost.memref);
+                Ok(old)
+            }
+            Err(mut fault) => {
+                let buggy = matches!(
+                    &self.global,
+                    ArchGlobal::Ns32082(g) if g.rmw_bug()
+                );
+                if buggy && fault.access == Access::Write {
+                    fault.access = Access::Read;
+                }
+                Err(fault)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_each_model() {
+        for m in [
+            MachineModel::micro_vax_ii(),
+            MachineModel::vax_8200(),
+            MachineModel::vax_8650(),
+            MachineModel::vax_11_784(),
+            MachineModel::rt_pc(),
+            MachineModel::sun_3_160(),
+            MachineModel::multimax(4),
+            MachineModel::balance(2),
+            MachineModel::rp3(4),
+        ] {
+            let name = m.name;
+            let n = m.n_cpus;
+            let machine = Machine::boot(m);
+            assert_eq!(machine.n_cpus(), n, "{name}");
+            assert!(machine.frames().free_count() > 100, "{name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32 MB")]
+    fn ns32082_physical_limit_enforced() {
+        let mut m = MachineModel::multimax(1);
+        m.mem_bytes = 64 << 20;
+        let _ = Machine::boot(m);
+    }
+
+    #[test]
+    fn romp_tables_reserved() {
+        let m = Machine::boot(MachineModel::rt_pc());
+        let ArchGlobal::Romp(layout) = m.arch_global() else {
+            panic!("expected ROMP global state");
+        };
+        assert_eq!(layout.n_frames, (16 << 20) / 2048);
+        // The frame allocator must not hand out table frames.
+        let table_end = layout.hat_base.0 + 4 * layout.buckets;
+        let f = m.frames().alloc().unwrap();
+        assert!(f.base(2048).0 >= table_end);
+    }
+
+    #[test]
+    fn binding_is_scoped() {
+        let m = Machine::boot(MachineModel::vax_11_784());
+        assert_eq!(m.current_cpu(), 0);
+        {
+            let _b = m.bind_cpu(2);
+            assert_eq!(m.current_cpu(), 2);
+            assert!(m.cpu(2).is_active());
+            {
+                let _b2 = m.bind_cpu(3);
+                assert_eq!(m.current_cpu(), 3);
+            }
+            assert_eq!(m.current_cpu(), 2);
+        }
+        assert_eq!(m.current_cpu(), 0);
+        assert!(!m.cpu(2).is_active());
+    }
+
+    #[test]
+    fn unmapped_access_faults_and_charges_trap() {
+        let m = Machine::boot(MachineModel::micro_vax_ii());
+        let _b = m.bind_cpu(0);
+        let before = m.clock().system_cycles();
+        let err = m.load_u32(VAddr(0x1000)).unwrap_err();
+        assert_eq!(err.code, crate::addr::FaultCode::Length); // empty P0
+        assert!(m.clock().system_cycles() > before);
+    }
+
+    #[test]
+    fn shootdown_to_quiescent_cpu_flushes_directly() {
+        let m = Machine::boot(MachineModel::vax_11_784());
+        let _b = m.bind_cpu(0);
+        // Install a fake TLB entry on CPU 1 (quiescent).
+        m.cpu(1)
+            .tlb
+            .lock()
+            .insert(0, 5, crate::addr::Pfn(1), crate::addr::HwProt::READ, false);
+        let sent = m.shootdown(&[1], FlushScope::All, true);
+        assert_eq!(sent, 0, "no IPI needed for a quiescent CPU");
+        assert_eq!(m.cpu(1).tlb.lock().iter().count(), 0);
+    }
+
+    #[test]
+    fn shootdown_to_active_cpu_uses_ipi() {
+        let m = Machine::boot(MachineModel::vax_11_784());
+        m.cpu(1).set_active(true);
+        let m2 = Arc::clone(&m);
+        let poller = std::thread::spawn(move || {
+            let _b = m2.bind_cpu(1);
+            // Poll until the flush arrives.
+            for _ in 0..10_000 {
+                m2.poll();
+                if m2.stats.ipis_handled.load(Ordering::Relaxed) > 0 {
+                    return true;
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            false
+        });
+        let _b = m.bind_cpu(0);
+        let sent = m.shootdown(&[1], FlushScope::All, true);
+        assert_eq!(sent, 1);
+        assert!(poller.join().unwrap());
+        assert_eq!(m.stats.shootdown_timeouts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn shootdown_timeout_forces_flush() {
+        let m = Machine::boot(MachineModel::vax_11_784());
+        // CPU 1 claims to be active but nobody polls it.
+        m.cpu(1).set_active(true);
+        let _b = m.bind_cpu(0);
+        let sent = m.shootdown(&[1], FlushScope::All, true);
+        assert_eq!(sent, 1);
+        assert_eq!(m.stats.shootdown_timeouts.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,330 @@
+//! A per-CPU software-simulated translation lookaside buffer.
+//!
+//! The defining property for the paper's multiprocessor discussion (§5.2)
+//! is what this TLB does **not** have: any way for one CPU to flush another
+//! CPU's entries. Consistency is software's problem, solved by the
+//! machine-dependent layer's shootdown strategies.
+//!
+//! Entries are tagged with a *space* identifier whose meaning is
+//! per-architecture (SUN 3 context number, ROMP segment id, or 0 for
+//! untagged TLBs that flush on every address-space switch).
+
+use crate::addr::{Access, HwProt, Pfn};
+
+/// One TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Architecture-defined address-space tag.
+    pub space: u32,
+    /// Virtual page number (in hardware pages).
+    pub vpn: u64,
+    /// Physical frame.
+    pub pfn: Pfn,
+    /// Hardware permissions.
+    pub prot: HwProt,
+    /// True once a write has been performed through this entry (the modify
+    /// bit is already set in the in-memory table).
+    pub dirty: bool,
+}
+
+/// What to remove from a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushScope {
+    /// Everything.
+    All,
+    /// Every entry of one address space.
+    Space(u32),
+    /// One page of one address space.
+    Page {
+        /// Address-space tag.
+        space: u32,
+        /// Virtual page number.
+        vpn: u64,
+    },
+}
+
+/// Result of a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// No matching entry.
+    Miss,
+    /// Matching entry permits the access; translation proceeds.
+    Hit {
+        /// The translated frame.
+        pfn: Pfn,
+        /// True if this is the first write through the entry, so the walker
+        /// must be re-run to set the modify bit in the in-memory table.
+        needs_dirty_walk: bool,
+    },
+    /// Matching entry forbids the access (protection fault, no walk).
+    Denied,
+}
+
+/// Running statistics, readable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries removed by flush operations.
+    pub flushed: u64,
+}
+
+/// A fully-associative, FIFO-replacement TLB.
+///
+/// # Examples
+///
+/// ```
+/// use mach_hw::tlb::{Tlb, TlbLookup};
+/// use mach_hw::addr::{Access, HwProt, Pfn};
+/// let mut tlb = Tlb::new(64);
+/// assert_eq!(tlb.lookup(0, 5, Access::Read), TlbLookup::Miss);
+/// tlb.insert(0, 5, Pfn(9), HwProt::READ, false);
+/// assert!(matches!(tlb.lookup(0, 5, Access::Read), TlbLookup::Hit { .. }));
+/// ```
+#[derive(Debug)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    next_victim: usize,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// A TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "a TLB needs at least one entry");
+        Tlb {
+            entries: vec![None; capacity],
+            next_victim: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Look up `(space, vpn)` for `access`.
+    pub fn lookup(&mut self, space: u32, vpn: u64, access: Access) -> TlbLookup {
+        for e in self.entries.iter().flatten() {
+            if e.space == space && e.vpn == vpn {
+                if !e.prot.allows(access) {
+                    // A protection miss counts as a hit for stats: the
+                    // hardware found the entry.
+                    self.stats.hits += 1;
+                    return TlbLookup::Denied;
+                }
+                self.stats.hits += 1;
+                return TlbLookup::Hit {
+                    pfn: e.pfn,
+                    needs_dirty_walk: access.is_write() && !e.dirty,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        TlbLookup::Miss
+    }
+
+    /// Insert (or replace) the entry for `(space, vpn)`.
+    pub fn insert(&mut self, space: u32, vpn: u64, pfn: Pfn, prot: HwProt, dirty: bool) {
+        let new = TlbEntry {
+            space,
+            vpn,
+            pfn,
+            prot,
+            dirty,
+        };
+        // Replace an existing mapping of the same page if present.
+        for slot in self.entries.iter_mut() {
+            if let Some(e) = slot {
+                if e.space == space && e.vpn == vpn {
+                    *slot = Some(new);
+                    return;
+                }
+            }
+        }
+        // Otherwise take a free slot, else FIFO-evict.
+        if let Some(slot) = self.entries.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(new);
+            return;
+        }
+        let v = self.next_victim;
+        self.entries[v] = Some(new);
+        self.next_victim = (v + 1) % self.entries.len();
+    }
+
+    /// Mark the entry for `(space, vpn)` dirty (after a dirty walk).
+    pub fn set_dirty(&mut self, space: u32, vpn: u64) {
+        for e in self.entries.iter_mut().flatten() {
+            if e.space == space && e.vpn == vpn {
+                e.dirty = true;
+            }
+        }
+    }
+
+    /// Remove entries matching `scope`, returning how many were removed.
+    pub fn flush(&mut self, scope: FlushScope) -> usize {
+        let mut n = 0;
+        for slot in self.entries.iter_mut() {
+            let matches = match (*slot, scope) {
+                (None, _) => false,
+                (Some(_), FlushScope::All) => true,
+                (Some(e), FlushScope::Space(s)) => e.space == s,
+                (Some(e), FlushScope::Page { space, vpn }) => e.space == space && e.vpn == vpn,
+            };
+            if matches {
+                *slot = None;
+                n += 1;
+            }
+        }
+        self.stats.flushed += n as u64;
+        n
+    }
+
+    /// Iterate over live entries (for tests and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
+        self.entries.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HwProt;
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert_eq!(t.lookup(1, 10, Access::Read), TlbLookup::Miss);
+        t.insert(1, 10, Pfn(3), rw(), false);
+        match t.lookup(1, 10, Access::Read) {
+            TlbLookup::Hit {
+                pfn,
+                needs_dirty_walk,
+            } => {
+                assert_eq!(pfn, Pfn(3));
+                assert!(!needs_dirty_walk);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn space_tags_disambiguate() {
+        let mut t = Tlb::new(4);
+        t.insert(1, 10, Pfn(3), rw(), false);
+        t.insert(2, 10, Pfn(4), rw(), false);
+        assert!(matches!(
+            t.lookup(1, 10, Access::Read),
+            TlbLookup::Hit { pfn: Pfn(3), .. }
+        ));
+        assert!(matches!(
+            t.lookup(2, 10, Access::Read),
+            TlbLookup::Hit { pfn: Pfn(4), .. }
+        ));
+    }
+
+    #[test]
+    fn first_write_needs_dirty_walk() {
+        let mut t = Tlb::new(4);
+        t.insert(0, 7, Pfn(1), rw(), false);
+        assert!(matches!(
+            t.lookup(0, 7, Access::Write),
+            TlbLookup::Hit {
+                needs_dirty_walk: true,
+                ..
+            }
+        ));
+        t.set_dirty(0, 7);
+        assert!(matches!(
+            t.lookup(0, 7, Access::Write),
+            TlbLookup::Hit {
+                needs_dirty_walk: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn read_only_entry_denies_write() {
+        let mut t = Tlb::new(4);
+        t.insert(0, 7, Pfn(1), HwProt::READ, false);
+        assert_eq!(t.lookup(0, 7, Access::Write), TlbLookup::Denied);
+        assert!(matches!(
+            t.lookup(0, 7, Access::Read),
+            TlbLookup::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn insert_replaces_same_page() {
+        let mut t = Tlb::new(2);
+        t.insert(0, 7, Pfn(1), HwProt::READ, false);
+        t.insert(0, 7, Pfn(2), rw(), true);
+        assert_eq!(t.iter().count(), 1);
+        assert!(matches!(
+            t.lookup(0, 7, Access::Write),
+            TlbLookup::Hit {
+                pfn: Pfn(2),
+                needs_dirty_walk: false
+            }
+        ));
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut t = Tlb::new(2);
+        t.insert(0, 1, Pfn(1), rw(), false);
+        t.insert(0, 2, Pfn(2), rw(), false);
+        t.insert(0, 3, Pfn(3), rw(), false); // evicts slot 0 (vpn 1)
+        assert_eq!(t.lookup(0, 1, Access::Read), TlbLookup::Miss);
+        assert!(matches!(
+            t.lookup(0, 2, Access::Read),
+            TlbLookup::Hit { .. }
+        ));
+        assert!(matches!(
+            t.lookup(0, 3, Access::Read),
+            TlbLookup::Hit { .. }
+        ));
+    }
+
+    #[test]
+    fn flush_scopes() {
+        let mut t = Tlb::new(8);
+        t.insert(1, 1, Pfn(1), rw(), false);
+        t.insert(1, 2, Pfn(2), rw(), false);
+        t.insert(2, 1, Pfn(3), rw(), false);
+        assert_eq!(t.flush(FlushScope::Page { space: 1, vpn: 2 }), 1);
+        assert_eq!(t.flush(FlushScope::Space(1)), 1);
+        assert!(matches!(
+            t.lookup(2, 1, Access::Read),
+            TlbLookup::Hit { .. }
+        ));
+        assert_eq!(t.flush(FlushScope::All), 1);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.stats().flushed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,513 @@
+//! # mach-ipc — ports and messages
+//!
+//! The slice of Mach IPC the VM system rests on. "A port is a
+//! communication channel — logically a queue for messages protected by the
+//! kernel. ... A message is a typed collection of data objects" (paper
+//! §2). Memory objects are named by ports; external pagers are tasks that
+//! receive paging requests on a port and answer on another.
+//!
+//! The model here keeps the properties that matter:
+//!
+//! - a port has **one receiver** ([`ReceiveRight`], not cloneable) and any
+//!   number of senders ([`SendRight`], cloneable) — exactly Mach's rule;
+//! - messages are typed collections ([`MsgField`]) and can carry send
+//!   rights to other ports, which is how the pager protocol passes reply
+//!   ports around;
+//! - queues are bounded; senders block when full (backpressure);
+//! - death of the receiver makes every send fail with
+//!   [`IpcError::DeadPort`], the signal the kernel uses to garbage-collect
+//!   objects whose pager died.
+//!
+//! # Examples
+//!
+//! ```
+//! use mach_ipc::{Port, Message, MsgField};
+//! let (tx, rx) = Port::allocate("example", 8);
+//! tx.send(Message::new(7).with(MsgField::U64(99)))?;
+//! let m = rx.receive_timeout(std::time::Duration::from_secs(1)).unwrap();
+//! assert_eq!(m.op(), 7);
+//! assert_eq!(m.u64(0), 99);
+//! # Ok::<(), mach_ipc::IpcError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+static NEXT_PORT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Errors from port operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpcError {
+    /// The receive right has been deallocated.
+    DeadPort,
+    /// A bounded send would block and `try_send` was used.
+    WouldBlock,
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IpcError::DeadPort => "port is dead",
+            IpcError::WouldBlock => "port queue is full",
+        })
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+/// One typed element of a message body.
+#[derive(Clone)]
+pub enum MsgField {
+    /// An integer (addresses, offsets, sizes, flags).
+    U64(u64),
+    /// Out-of-line data (page contents).
+    Bytes(Arc<Vec<u8>>),
+    /// A send right to another port (reply ports, object names).
+    Port(SendRight),
+    /// A boolean flag.
+    Bool(bool),
+    /// An opaque kernel object riding the message — how whole VM regions
+    /// travel "with the efficiency of simple memory remapping" (the
+    /// kernel defines the payload; see `mach-vm`'s `RegionTicket`).
+    Handle(Arc<dyn std::any::Any + Send + Sync>),
+}
+
+impl fmt::Debug for MsgField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsgField::U64(v) => write!(f, "U64({v:#x})"),
+            MsgField::Bytes(b) => write!(f, "Bytes({} bytes)", b.len()),
+            MsgField::Port(p) => write!(f, "{p:?}"),
+            MsgField::Bool(b) => write!(f, "Bool({b})"),
+            MsgField::Handle(_) => f.write_str("Handle(<kernel object>)"),
+        }
+    }
+}
+
+/// A typed message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    op: u32,
+    fields: Vec<MsgField>,
+}
+
+impl Message {
+    /// A message with operation code `op` and no fields.
+    pub fn new(op: u32) -> Message {
+        Message {
+            op,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (builder style).
+    #[must_use]
+    pub fn with(mut self, f: MsgField) -> Message {
+        self.fields.push(f);
+        self
+    }
+
+    /// The operation code.
+    pub fn op(&self) -> u32 {
+        self.op
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[MsgField] {
+        &self.fields
+    }
+
+    /// Field `i` as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is missing or not a `U64`.
+    pub fn u64(&self, i: usize) -> u64 {
+        match &self.fields[i] {
+            MsgField::U64(v) => *v,
+            other => panic!("field {i} is {other:?}, expected U64"),
+        }
+    }
+
+    /// Field `i` as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is missing or not a `Bool`.
+    pub fn bool(&self, i: usize) -> bool {
+        match &self.fields[i] {
+            MsgField::Bool(v) => *v,
+            other => panic!("field {i} is {other:?}, expected Bool"),
+        }
+    }
+
+    /// Field `i` as out-of-line data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is missing or not `Bytes`.
+    pub fn bytes(&self, i: usize) -> &Arc<Vec<u8>> {
+        match &self.fields[i] {
+            MsgField::Bytes(b) => b,
+            other => panic!("field {i} is {other:?}, expected Bytes"),
+        }
+    }
+
+    /// Field `i` as a port right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is missing or not a `Port`.
+    pub fn port(&self, i: usize) -> &SendRight {
+        match &self.fields[i] {
+            MsgField::Port(p) => p,
+            other => panic!("field {i} is {other:?}, expected Port"),
+        }
+    }
+
+    /// Field `i` as an opaque kernel handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field is missing or not a `Handle`.
+    pub fn handle(&self, i: usize) -> &Arc<dyn std::any::Any + Send + Sync> {
+        match &self.fields[i] {
+            MsgField::Handle(h) => h,
+            other => panic!("field {i} is {other:?}, expected Handle"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PortInner {
+    id: u64,
+    name: String,
+    capacity: usize,
+    queue: Mutex<VecDeque<Message>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    dead: AtomicBool,
+}
+
+/// A kernel-protected message queue.
+///
+/// Constructed only through [`Port::allocate`], which returns the two
+/// rights; the port itself is never handled directly.
+#[derive(Debug)]
+pub struct Port;
+
+impl Port {
+    /// Allocate a port, returning a send right and *the* receive right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn allocate(name: &str, capacity: usize) -> (SendRight, ReceiveRight) {
+        assert!(capacity > 0, "a port must queue at least one message");
+        let inner = Arc::new(PortInner {
+            id: NEXT_PORT_ID.fetch_add(1, Ordering::Relaxed),
+            name: name.to_owned(),
+            capacity,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            dead: AtomicBool::new(false),
+        });
+        (
+            SendRight {
+                inner: Arc::clone(&inner),
+            },
+            ReceiveRight { inner },
+        )
+    }
+}
+
+/// The ability to enqueue messages on a port. Cloneable and sendable in
+/// messages, like a Mach send right.
+#[derive(Clone)]
+pub struct SendRight {
+    inner: Arc<PortInner>,
+}
+
+impl fmt::Debug for SendRight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendRight({} #{})", self.inner.name, self.inner.id)
+    }
+}
+
+impl PartialEq for SendRight {
+    fn eq(&self, other: &SendRight) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for SendRight {}
+
+impl std::hash::Hash for SendRight {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.id.hash(state);
+    }
+}
+
+impl SendRight {
+    /// The port's unique id (its "name" in the Mach sense).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The debugging name given at allocation.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// True once the receive right is gone.
+    pub fn is_dead(&self) -> bool {
+        self.inner.dead.load(Ordering::Acquire)
+    }
+
+    /// Enqueue `msg`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::DeadPort`] if the receiver is gone (also while waiting).
+    pub fn send(&self, msg: Message) -> Result<(), IpcError> {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if self.inner.dead.load(Ordering::Acquire) {
+                return Err(IpcError::DeadPort);
+            }
+            if q.len() < self.inner.capacity {
+                q.push_back(msg);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            self.inner.not_full.wait(&mut q);
+        }
+    }
+
+    /// Enqueue `msg` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::WouldBlock`] when full, [`IpcError::DeadPort`] when dead.
+    pub fn try_send(&self, msg: Message) -> Result<(), IpcError> {
+        let mut q = self.inner.queue.lock();
+        if self.inner.dead.load(Ordering::Acquire) {
+            return Err(IpcError::DeadPort);
+        }
+        if q.len() >= self.inner.capacity {
+            return Err(IpcError::WouldBlock);
+        }
+        q.push_back(msg);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+/// The exclusive ability to dequeue messages. Not cloneable: a port has
+/// one receiver. Dropping it kills the port.
+#[derive(Debug)]
+pub struct ReceiveRight {
+    inner: Arc<PortInner>,
+}
+
+impl ReceiveRight {
+    /// The port's unique id.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Make a new send right to this port.
+    pub fn make_send(&self) -> SendRight {
+        SendRight {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Dequeue the next message, blocking until one arrives.
+    pub fn receive(&self) -> Message {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(m) = q.pop_front() {
+                self.inner.not_full.notify_one();
+                return m;
+            }
+            self.inner.not_empty.wait(&mut q);
+        }
+    }
+
+    /// Dequeue with a deadline; `None` on timeout.
+    pub fn receive_timeout(&self, timeout: Duration) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(m) = q.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(m);
+            }
+            if self
+                .inner
+                .not_empty
+                .wait_until(&mut q, deadline)
+                .timed_out()
+            {
+                return q.pop_front();
+            }
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_receive(&self) -> Option<Message> {
+        let mut q = self.inner.queue.lock();
+        let m = q.pop_front();
+        if m.is_some() {
+            self.inner.not_full.notify_one();
+        }
+        m
+    }
+
+    /// Number of queued messages.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+}
+
+impl Drop for ReceiveRight {
+    fn drop(&mut self) {
+        self.inner.dead.store(true, Ordering::Release);
+        // Wake blocked senders so they observe death.
+        self.inner.not_full.notify_all();
+        self.inner.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_with_typed_fields() {
+        let (tx, rx) = Port::allocate("t", 4);
+        let (reply_tx, _reply_rx) = Port::allocate("reply", 1);
+        tx.send(
+            Message::new(3)
+                .with(MsgField::U64(0xABC))
+                .with(MsgField::Bytes(Arc::new(vec![1, 2, 3])))
+                .with(MsgField::Port(reply_tx.clone()))
+                .with(MsgField::Bool(true)),
+        )
+        .unwrap();
+        let m = rx.receive();
+        assert_eq!(m.op(), 3);
+        assert_eq!(m.u64(0), 0xABC);
+        assert_eq!(**m.bytes(1), vec![1, 2, 3]);
+        assert_eq!(m.port(2), &reply_tx);
+        assert!(m.bool(3));
+        assert_eq!(m.fields().len(), 4);
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = Port::allocate("t", 8);
+        for i in 0..5 {
+            tx.send(Message::new(i)).unwrap();
+        }
+        assert_eq!(rx.queued(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.receive().op(), i);
+        }
+        assert!(rx.try_receive().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_blocks_and_unblocks() {
+        let (tx, rx) = Port::allocate("t", 1);
+        tx.send(Message::new(0)).unwrap();
+        assert_eq!(
+            tx.try_send(Message::new(1)).unwrap_err(),
+            IpcError::WouldBlock
+        );
+        let tx2 = tx.clone();
+        let sender = thread::spawn(move || tx2.send(Message::new(1)));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.receive().op(), 0);
+        sender.join().unwrap().unwrap();
+        assert_eq!(rx.receive().op(), 1);
+    }
+
+    #[test]
+    fn dead_port_fails_senders() {
+        let (tx, rx) = Port::allocate("t", 1);
+        assert!(!tx.is_dead());
+        drop(rx);
+        assert!(tx.is_dead());
+        assert_eq!(tx.send(Message::new(0)).unwrap_err(), IpcError::DeadPort);
+    }
+
+    #[test]
+    fn receiver_death_wakes_blocked_sender() {
+        let (tx, rx) = Port::allocate("t", 1);
+        tx.send(Message::new(0)).unwrap();
+        let tx2 = tx.clone();
+        let sender = thread::spawn(move || tx2.send(Message::new(1)));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap().unwrap_err(), IpcError::DeadPort);
+    }
+
+    #[test]
+    fn receive_timeout_expires() {
+        let (_tx, rx) = Port::allocate("t", 1);
+        let t0 = Instant::now();
+        assert!(rx.receive_timeout(Duration::from_millis(30)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn cross_thread_request_reply() {
+        let (server_tx, server_rx) = Port::allocate("server", 8);
+        let server = thread::spawn(move || {
+            let m = server_rx.receive();
+            let reply_to = m.port(0).clone();
+            reply_to
+                .send(Message::new(m.op() + 1).with(MsgField::U64(m.u64(1) * 2)))
+                .unwrap();
+        });
+        let (reply_tx, reply_rx) = Port::allocate("reply", 1);
+        server_tx
+            .send(
+                Message::new(10)
+                    .with(MsgField::Port(reply_tx))
+                    .with(MsgField::U64(21)),
+            )
+            .unwrap();
+        let r = reply_rx.receive();
+        assert_eq!(r.op(), 11);
+        assert_eq!(r.u64(0), 42);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn port_ids_are_unique() {
+        let (a, _ra) = Port::allocate("a", 1);
+        let (b, _rb) = Port::allocate("b", 1);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected U64")]
+    fn wrong_field_type_panics() {
+        let (tx, rx) = Port::allocate("t", 1);
+        tx.send(Message::new(0).with(MsgField::Bool(false)))
+            .unwrap();
+        let m = rx.receive();
+        let _ = m.u64(0);
+    }
+}

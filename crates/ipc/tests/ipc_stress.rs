@@ -1,0 +1,130 @@
+//! Concurrency stress tests for ports: many senders, bounded queues,
+//! death during traffic — the conditions the pager protocol lives under.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mach_ipc::{IpcError, Message, MsgField, Port};
+
+#[test]
+fn many_senders_one_receiver_fifo_per_sender() {
+    let (tx, rx) = Port::allocate("stress", 8);
+    let n_senders = 8u32;
+    let per_sender = 200u32;
+    let mut handles = Vec::new();
+    for s in 0..n_senders {
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..per_sender {
+                tx.send(Message::new(s).with(MsgField::U64(u64::from(i))))
+                    .unwrap();
+            }
+        }));
+    }
+    // Per-sender order must be preserved even under interleaving.
+    let mut last = vec![None::<u64>; n_senders as usize];
+    for _ in 0..n_senders * per_sender {
+        let m = rx.receive();
+        let s = m.op() as usize;
+        let i = m.u64(0);
+        if let Some(prev) = last[s] {
+            assert!(i > prev, "sender {s} reordered: {prev} then {i}");
+        }
+        last[s] = Some(i);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(rx.try_receive().is_none());
+}
+
+#[test]
+fn receiver_death_mid_traffic_fails_all_senders() {
+    let (tx, rx) = Port::allocate("doomed", 2);
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let tx = tx.clone();
+        handles.push(thread::spawn(move || {
+            let mut failures = 0;
+            for i in 0..1000 {
+                if tx.send(Message::new(i)).is_err() {
+                    failures += 1;
+                    break;
+                }
+            }
+            failures
+        }));
+    }
+    thread::sleep(Duration::from_millis(10));
+    // Drain a little, then die.
+    for _ in 0..5 {
+        let _ = rx.try_receive();
+    }
+    drop(rx);
+    let total_failures: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(
+        total_failures, 4,
+        "every blocked/late sender observed death"
+    );
+    assert_eq!(tx.send(Message::new(0)).unwrap_err(), IpcError::DeadPort);
+}
+
+#[test]
+fn request_reply_pipeline_across_threads() {
+    // A chain of services, each forwarding to the next — the shape of
+    // pager → kernel → pager conversations.
+    let (s1_tx, s1_rx) = Port::allocate("s1", 16);
+    let (s2_tx, s2_rx) = Port::allocate("s2", 16);
+    let t1 = thread::spawn(move || {
+        for _ in 0..100 {
+            let m = s1_rx.receive();
+            let v = m.u64(1);
+            m.port(0)
+                .send(Message::new(0).with(MsgField::U64(v + 1)))
+                .unwrap();
+        }
+    });
+    let s1 = s1_tx.clone();
+    let t2 = thread::spawn(move || {
+        for _ in 0..100 {
+            let m = s2_rx.receive();
+            let (rtx, rrx) = Port::allocate("tmp", 1);
+            s1.send(
+                Message::new(0)
+                    .with(MsgField::Port(rtx))
+                    .with(MsgField::U64(m.u64(1) * 2)),
+            )
+            .unwrap();
+            let ans = rrx.receive();
+            m.port(0).send(ans).unwrap();
+        }
+    });
+    for i in 0..100u64 {
+        let (rtx, rrx) = Port::allocate("client", 1);
+        s2_tx
+            .send(
+                Message::new(0)
+                    .with(MsgField::Port(rtx))
+                    .with(MsgField::U64(i)),
+            )
+            .unwrap();
+        assert_eq!(rrx.receive().u64(0), i * 2 + 1);
+    }
+    t1.join().unwrap();
+    t2.join().unwrap();
+}
+
+#[test]
+fn handles_survive_transit() {
+    #[derive(Debug, PartialEq)]
+    struct Payload(Vec<u64>);
+    let (tx, rx) = Port::allocate("h", 4);
+    let payload: Arc<dyn std::any::Any + Send + Sync> = Arc::new(Payload((0..100).collect()));
+    tx.send(Message::new(0).with(MsgField::Handle(payload)))
+        .unwrap();
+    let m = rx.receive();
+    let got = m.handle(0).clone().downcast::<Payload>().unwrap();
+    assert_eq!(got.0.len(), 100);
+    assert_eq!(got.0[99], 99);
+}

@@ -1,0 +1,348 @@
+//! Machinery shared by every pmap port: shootdown execution, the deferred
+//! flush queue, and the physical-page operations built on the pv table.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mach_hw::addr::{HwProt, PAddr};
+use mach_hw::machine::Machine;
+use mach_hw::tlb::FlushScope;
+use mach_hw::Pfn;
+use parking_lot::{Mutex, RwLock};
+
+use crate::pv::{PvTable, ATTR_MOD, ATTR_REF};
+use crate::{Counters, Pending, ShootdownPolicy, ShootdownStrategy};
+
+/// Turn a CPU bitmask into a target list.
+pub(crate) fn cpu_list(mask: u64, n_cpus: usize) -> Vec<usize> {
+    (0..n_cpus).filter(|&i| mask & (1 << i) != 0).collect()
+}
+
+#[derive(Debug)]
+struct DeferredFlush {
+    cpus: u64,
+    scope: FlushScope,
+    done: Arc<AtomicBool>,
+}
+
+/// Shared state of one machine-dependent module instance.
+#[derive(Debug)]
+pub(crate) struct MdCore {
+    pub machine: Arc<Machine>,
+    pub pv: PvTable,
+    pub policy: RwLock<ShootdownPolicy>,
+    pub counters: Counters,
+    deferred: Mutex<Vec<DeferredFlush>>,
+    next_id: AtomicU64,
+}
+
+impl MdCore {
+    pub fn new(machine: &Arc<Machine>) -> MdCore {
+        MdCore {
+            machine: Arc::clone(machine),
+            pv: PvTable::new(),
+            policy: RwLock::new(ShootdownPolicy::default()),
+            counters: Counters::default(),
+            deferred: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Hardware frames covered by `[pa, pa+size)`.
+    pub fn frames(&self, pa: PAddr, size: u64) -> impl Iterator<Item = Pfn> {
+        let page = self.machine.hw_page_size();
+        assert!(
+            pa.0.is_multiple_of(page),
+            "physical range must be page aligned"
+        );
+        assert!(
+            size.is_multiple_of(page),
+            "physical size must be page aligned"
+        );
+        (pa.0 / page..(pa.0 + size) / page).map(Pfn)
+    }
+
+    /// Flush `(space, vpn)` pages from the TLBs of `cpus` using `strategy`.
+    /// Returns a [`Pending`] that is complete unless the flush was deferred.
+    pub fn flush_pages(
+        &self,
+        cpus: u64,
+        pages: &[(u32, u64)],
+        strategy: ShootdownStrategy,
+    ) -> Pending {
+        if pages.is_empty() || cpus == 0 {
+            return Pending::complete();
+        }
+        // Batch: past a handful of pages a full flush is cheaper, which is
+        // what real kernels do.
+        let scopes: Vec<FlushScope> = if pages.len() > 8 {
+            vec![FlushScope::All]
+        } else {
+            pages
+                .iter()
+                .map(|&(space, vpn)| FlushScope::Page { space, vpn })
+                .collect()
+        };
+        let targets = cpu_list(cpus, self.machine.n_cpus());
+        match strategy {
+            ShootdownStrategy::Immediate => {
+                for scope in scopes {
+                    self.machine.shootdown(&targets, scope, true);
+                }
+                Pending::complete()
+            }
+            ShootdownStrategy::Deferred => {
+                let mut pending = Pending::complete();
+                let mut q = self.deferred.lock();
+                for scope in scopes {
+                    let done = Arc::new(AtomicBool::new(false));
+                    pending.push(Arc::clone(&done));
+                    q.push(DeferredFlush { cpus, scope, done });
+                    self.counters
+                        .deferred_queued
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                pending
+            }
+            ShootdownStrategy::Lazy => {
+                // Only the initiating CPU is brought up to date; remote
+                // TLBs heal on their next fault (temporary inconsistency).
+                let me = self.machine.current_cpu();
+                if cpus & (1 << me) != 0 {
+                    for scope in scopes {
+                        self.machine.flush_local(scope);
+                    }
+                }
+                Pending::complete()
+            }
+        }
+    }
+
+    /// Run every queued deferred flush (the timer-interrupt moment).
+    ///
+    /// This is where deferral pays: the queue is batched per CPU set, and
+    /// past a handful of pages one full flush replaces them all — many
+    /// invalidations ride a single interrupt.
+    pub fn update(&self) {
+        let work: Vec<DeferredFlush> = {
+            let mut q = self.deferred.lock();
+            q.drain(..).collect()
+        };
+        let mut by_cpus: std::collections::HashMap<u64, Vec<DeferredFlush>> =
+            std::collections::HashMap::new();
+        for f in work {
+            by_cpus.entry(f.cpus).or_default().push(f);
+        }
+        for (cpus, flushes) in by_cpus {
+            let targets = cpu_list(cpus, self.machine.n_cpus());
+            if flushes.len() > 8 {
+                self.machine.shootdown(&targets, FlushScope::All, true);
+                for f in flushes {
+                    f.done.store(true, Ordering::Release);
+                }
+            } else {
+                for f in flushes {
+                    self.machine.shootdown(&targets, f.scope, true);
+                    f.done.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// `pmap_remove_all` over the pv table.
+    pub fn remove_all_with(&self, pa: PAddr, size: u64, strategy: ShootdownStrategy) -> Pending {
+        let mut pending = Pending::complete();
+        for frame in self.frames(pa, size) {
+            let mut pages = Vec::new();
+            let mut cpus = 0u64;
+            for e in self.pv.take(frame) {
+                let Some(m) = e.mapper.upgrade() else {
+                    continue;
+                };
+                let (was_mod, was_ref) = m.clear_hw(e.va);
+                let bits = (was_mod as u8 * ATTR_MOD) | (was_ref as u8 * ATTR_REF);
+                self.pv.merge_attrs(frame, bits);
+                pages.push(m.space_vpn(e.va));
+                cpus |= m.cpus_cached();
+                self.counters.removes.fetch_add(1, Ordering::Relaxed);
+            }
+            let p = self.flush_pages(cpus, &pages, strategy);
+            for f in p.flags {
+                pending.push(f);
+            }
+        }
+        pending
+    }
+
+    /// `pmap_copy_on_write` over the pv table: narrow every mapping of the
+    /// range to read-only. Always time-critical — a racing writer on
+    /// another CPU would break copy semantics.
+    pub fn copy_on_write(&self, pa: PAddr, size: u64) {
+        let strategy = self.policy.read().time_critical;
+        for frame in self.frames(pa, size) {
+            let mut pages = Vec::new();
+            let mut cpus = 0u64;
+            for e in self.pv.list(frame) {
+                let Some(m) = e.mapper.upgrade() else {
+                    continue;
+                };
+                m.protect_hw(e.va, HwProt::READ | HwProt::EXECUTE);
+                pages.push(m.space_vpn(e.va));
+                cpus |= m.cpus_cached();
+                self.counters.protects.fetch_add(1, Ordering::Relaxed);
+            }
+            self.flush_pages(cpus, &pages, strategy);
+        }
+    }
+
+    pub fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.frames(pa, size).any(|frame| {
+            if self.pv.attrs(frame) & ATTR_MOD != 0 {
+                return true;
+            }
+            self.pv.list(frame).iter().any(|e| {
+                e.mapper
+                    .upgrade()
+                    .map(|m| m.read_mr(e.va).0)
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    pub fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.frames(pa, size).any(|frame| {
+            if self.pv.attrs(frame) & ATTR_REF != 0 {
+                return true;
+            }
+            self.pv.list(frame).iter().any(|e| {
+                e.mapper
+                    .upgrade()
+                    .map(|m| m.read_mr(e.va).1)
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    pub fn clear_bits(&self, pa: PAddr, size: u64, clear_mod: bool, clear_ref: bool) {
+        for frame in self.frames(pa, size) {
+            let mut bits = 0;
+            if clear_mod {
+                bits |= ATTR_MOD;
+            }
+            if clear_ref {
+                bits |= ATTR_REF;
+            }
+            self.pv.clear_attrs(frame, bits);
+            let mut pages = Vec::new();
+            let mut cpus = 0u64;
+            for e in self.pv.list(frame) {
+                let Some(m) = e.mapper.upgrade() else {
+                    continue;
+                };
+                m.clear_mr(e.va, clear_mod, clear_ref);
+                pages.push(m.space_vpn(e.va));
+                cpus |= m.cpus_cached();
+            }
+            // Flush so stale TLB dirty bits cannot suppress the next
+            // modify-bit update, and so references re-walk.
+            self.flush_pages(cpus, &pages, ShootdownStrategy::Immediate);
+        }
+    }
+
+    /// `pmap_zero_page` with cost accounting.
+    pub fn zero_page(&self, pa: PAddr, size: u64) {
+        self.machine
+            .phys()
+            .zero(pa, size)
+            .expect("zero of managed frame");
+        let cost = self.machine.cost();
+        self.machine.charge(cost.pmap_op + cost.zero_cycles(size));
+    }
+
+    /// `pmap_copy_page` with cost accounting.
+    pub fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.machine
+            .phys()
+            .copy(src, dst, size)
+            .expect("copy of managed frames");
+        let cost = self.machine.cost();
+        self.machine.charge(cost.pmap_op + cost.copy_cycles(size));
+    }
+
+    /// Charge the fixed + per-page cost of a pmap operation over `pages`.
+    pub fn charge_op(&self, pages: u64) {
+        let cost = self.machine.cost();
+        self.machine
+            .charge(cost.pmap_op + cost.pmap_per_page * pages);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    #[test]
+    fn cpu_list_from_mask() {
+        assert_eq!(cpu_list(0b1011, 4), vec![0, 1, 3]);
+        assert_eq!(cpu_list(0, 4), Vec::<usize>::new());
+        assert_eq!(cpu_list(u64::MAX, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn deferred_flush_completes_on_update() {
+        let machine = Machine::boot(MachineModel::vax_11_784());
+        let core = MdCore::new(&machine);
+        let pending = core.flush_pages(0b1, &[(0, 5)], ShootdownStrategy::Deferred);
+        assert!(!pending.is_complete());
+        core.update();
+        assert!(pending.is_complete());
+        assert_eq!(core.counters.snapshot().deferred_queued, 1);
+    }
+
+    #[test]
+    fn empty_flush_is_complete() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let core = MdCore::new(&machine);
+        assert!(core
+            .flush_pages(0, &[(0, 1)], ShootdownStrategy::Deferred)
+            .is_complete());
+        assert!(core
+            .flush_pages(1, &[], ShootdownStrategy::Deferred)
+            .is_complete());
+    }
+
+    #[test]
+    fn frames_iteration_checks_alignment() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let core = MdCore::new(&machine);
+        let frames: Vec<Pfn> = core.frames(PAddr(1024), 1536).collect();
+        assert_eq!(frames, vec![Pfn(2), Pfn(3), Pfn(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_frames_panic() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let core = MdCore::new(&machine);
+        let _ = core.frames(PAddr(3), 512).count();
+    }
+
+    #[test]
+    fn zero_and_copy_charge_cycles() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let _b = machine.bind_cpu(0);
+        let core = MdCore::new(&machine);
+        let before = machine.clock().system_cycles();
+        core.zero_page(PAddr(512 * 200), 512);
+        core.copy_page(PAddr(512 * 200), PAddr(512 * 201), 512);
+        assert!(machine.clock().system_cycles() > before);
+        let mut buf = [1u8; 4];
+        machine.phys().read(PAddr(512 * 201), &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+}

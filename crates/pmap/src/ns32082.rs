@@ -1,0 +1,643 @@
+//! The NS32082 pmap port (Encore MultiMax / Sequent Balance).
+//!
+//! Two-level tables make partial construction natural: the 1 KB level-1
+//! table is allocated with the pmap, and each 512-byte level-2 table only
+//! when a page in its 64 KB reach is entered. The port enforces the
+//! paper's two capacity complaints — 16 MB of virtual space per table and
+//! 32 MB of physical memory — and carries the software workaround for the
+//! read-modify-write erratum: because the faulting access type cannot be
+//! trusted, the machine-independent layer must treat read faults on
+//! copy-on-write pages as possible writes (see `mach-vm`'s fault handler).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::arch::ns32082::{
+    l1_entry, pte, pte_prot, L2_ENTRIES, PTE_M, PTE_PFN_MASK, PTE_REF, PTE_V, VA_LIMIT,
+};
+use mach_hw::arch::CpuRegs;
+use mach_hw::machine::Machine;
+use mach_hw::tlb::FlushScope;
+use parking_lot::Mutex;
+
+use crate::core::MdCore;
+use crate::pv::{ATTR_MOD, ATTR_REF};
+use crate::soft::SoftPmap;
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+
+const PAGE: u64 = 512;
+const L1_BYTES: u64 = 1024; // 256 entries × 4 bytes = 2 frames
+const L1_FRAMES: u64 = L1_BYTES / PAGE;
+
+#[derive(Debug, Default)]
+struct NsState {
+    l1: Option<Pfn>,
+    /// Level-2 table frame per level-1 slot.
+    l2: std::collections::HashMap<u64, Pfn>,
+    resident: u64,
+}
+
+impl NsState {
+    fn pte_pa(&self, vpn: u64) -> Option<PAddr> {
+        let l1_idx = vpn / L2_ENTRIES;
+        let l2_idx = vpn % L2_ENTRIES;
+        let l2 = self.l2.get(&l1_idx)?;
+        Some(PAddr(l2.0 * PAGE + 4 * l2_idx))
+    }
+}
+
+/// The NS32082 machine-dependent module.
+#[derive(Debug)]
+pub struct NsMachDep {
+    core: Arc<MdCore>,
+    kernel: Arc<dyn Pmap>,
+}
+
+impl NsMachDep {
+    /// Build the NS32082 pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not NS32082-based.
+    pub fn new(machine: &Arc<Machine>) -> Arc<NsMachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::Ns32082);
+        Arc::new(NsMachDep {
+            core: Arc::new(MdCore::new(machine)),
+            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
+        })
+    }
+}
+
+/// An NS32082 physical map.
+#[derive(Debug)]
+pub struct NsPmap {
+    id: u64,
+    core: Arc<MdCore>,
+    me: Weak<NsPmap>,
+    cpus_using: AtomicU64,
+    cpus_cached: AtomicU64,
+    state: Mutex<NsState>,
+}
+
+impl NsPmap {
+    fn new(core: &Arc<MdCore>) -> Arc<NsPmap> {
+        Arc::new_cyclic(|me| NsPmap {
+            id: core.next_id(),
+            core: Arc::clone(core),
+            me: me.clone(),
+            cpus_using: AtomicU64::new(0),
+            cpus_cached: AtomicU64::new(0),
+            state: Mutex::new(NsState::default()),
+        })
+    }
+
+    fn ensure_l1(&self, st: &mut NsState) -> Pfn {
+        let machine = &self.core.machine;
+        if st.l1.is_none() {
+            let l1 = machine
+                .frames()
+                .alloc_contig(L1_FRAMES)
+                .expect("out of physical memory for NS32082 level-1 table");
+            machine
+                .phys()
+                .zero(PAddr(l1.0 * PAGE), L1_BYTES)
+                .expect("table frames valid");
+            st.l1 = Some(l1);
+            self.core
+                .counters
+                .table_bytes
+                .fetch_add(L1_BYTES, Ordering::Relaxed);
+        }
+        st.l1.unwrap()
+    }
+
+    fn ensure(&self, st: &mut NsState, vpn: u64) -> PAddr {
+        let machine = &self.core.machine;
+        let l1 = self.ensure_l1(st);
+        let l1_idx = vpn / L2_ENTRIES;
+        let l2_idx = vpn % L2_ENTRIES;
+        let l2 = *st.l2.entry(l1_idx).or_insert_with(|| {
+            let f = machine
+                .frames()
+                .alloc()
+                .expect("out of physical memory for NS32082 level-2 table");
+            machine
+                .phys()
+                .zero(f.base(PAGE), PAGE)
+                .expect("table frame valid");
+            machine
+                .phys()
+                .write_u32(PAddr(l1.0 * PAGE + 4 * l1_idx), l1_entry(f))
+                .expect("level-1 resident");
+            self.core
+                .counters
+                .table_bytes
+                .fetch_add(PAGE, Ordering::Relaxed);
+            f
+        });
+        PAddr(l2.0 * PAGE + 4 * l2_idx)
+    }
+
+    fn weak_self(&self) -> Weak<dyn HwMapper> {
+        self.me.clone() as Weak<dyn HwMapper>
+    }
+
+    fn for_each_valid<F: FnMut(&NsState, u64, PAddr, u32)>(
+        &self,
+        st: &NsState,
+        start: VAddr,
+        end: VAddr,
+        mut f: F,
+    ) {
+        let phys = self.core.machine.phys();
+        let mut vpn = start.0 / PAGE;
+        let end_vpn = end.0.div_ceil(PAGE);
+        while vpn < end_vpn {
+            if let Some(pte_pa) = st.pte_pa(vpn) {
+                let word = phys.read_u32(pte_pa).expect("table resident");
+                if word & PTE_V != 0 {
+                    f(st, vpn, pte_pa, word);
+                }
+                vpn += 1;
+            } else {
+                // Skip to the next level-2 table boundary.
+                vpn = (vpn / L2_ENTRIES + 1) * L2_ENTRIES;
+            }
+        }
+    }
+}
+
+impl Pmap for NsPmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
+        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+        assert!(
+            va.0 + size <= VA_LIMIT,
+            "NS32082 maps only 16 MB of virtual space per table"
+        );
+        let n = size / PAGE;
+        self.core.charge_op(n);
+        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+        let mut flush = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for i in 0..n {
+                let v = va + i * PAGE;
+                let vpn = v.0 / PAGE;
+                let frame = Pfn(pa.0 / PAGE + i);
+                let pte_pa = self.ensure(&mut st, vpn);
+                let phys = self.core.machine.phys();
+                let old = phys.read_u32(pte_pa).expect("table resident");
+                let mut word = pte(frame, prot);
+                if old & PTE_V != 0 {
+                    let old_pfn = Pfn((old & PTE_PFN_MASK) as u64);
+                    if old_pfn != frame {
+                        // The slot stays resident; only the frame changes.
+                        self.core.pv.remove(old_pfn, self.id, v);
+                        let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
+                            | ((old & PTE_REF != 0) as u8 * ATTR_REF);
+                        self.core.pv.merge_attrs(old_pfn, bits);
+                    } else {
+                        word |= old & (PTE_M | PTE_REF);
+                    }
+                    flush.push((0u32, vpn));
+                }
+                if old & PTE_V == 0 {
+                    st.resident += 1;
+                }
+                phys.write_u32(pte_pa, word).expect("table resident");
+                self.core.pv.add(frame, self.weak_self(), v);
+            }
+        }
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut flush = Vec::new();
+        let mut removed = Vec::new();
+        {
+            let st = self.state.lock();
+            self.for_each_valid(&st, start, end, |_st, vpn, pte_pa, word| {
+                removed.push((vpn, pte_pa, word));
+            });
+            let phys = self.core.machine.phys();
+            for &(vpn, pte_pa, word) in &removed {
+                phys.write_u32(pte_pa, 0).expect("table resident");
+                let frame = Pfn((word & PTE_PFN_MASK) as u64);
+                self.core.pv.remove(frame, self.id, VAddr(vpn * PAGE));
+                let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
+                    | ((word & PTE_REF != 0) as u8 * ATTR_REF);
+                self.core.pv.merge_attrs(frame, bits);
+                flush.push((0u32, vpn));
+            }
+            drop(st);
+            if !removed.is_empty() {
+                self.state.lock().resident -= removed.len() as u64;
+            }
+        }
+        self.core.charge_op(flush.len() as u64);
+        self.core
+            .counters
+            .removes
+            .fetch_add(flush.len() as u64, Ordering::Relaxed);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut narrow = Vec::new();
+        let mut widen = Vec::new();
+        {
+            let st = self.state.lock();
+            let phys = self.core.machine.phys();
+            let mut updates = Vec::new();
+            self.for_each_valid(&st, start, end, |_st, vpn, pte_pa, word| {
+                updates.push((vpn, pte_pa, word));
+            });
+            for (vpn, pte_pa, old) in updates {
+                let old_prot = pte_prot(old);
+                let frame = Pfn((old & PTE_PFN_MASK) as u64);
+                let word = if prot.is_none() {
+                    0
+                } else {
+                    pte(frame, prot) | (old & (PTE_M | PTE_REF))
+                };
+                phys.write_u32(pte_pa, word).expect("table resident");
+                if old_prot.bits() & !prot.bits() != 0 {
+                    narrow.push((0u32, vpn));
+                } else {
+                    widen.push((0u32, vpn));
+                }
+                self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.core.charge_op((narrow.len() + widen.len()) as u64);
+        let policy = *self.core.policy.read();
+        let cached = self.cpus_cached.load(Ordering::SeqCst);
+        self.core.flush_pages(cached, &narrow, policy.time_critical);
+        self.core.flush_pages(cached, &widen, policy.widen);
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        if va.0 >= VA_LIMIT {
+            return None;
+        }
+        let st = self.state.lock();
+        let pte_pa = st.pte_pa(va.0 / PAGE)?;
+        let word = self.core.machine.phys().read_u32(pte_pa).ok()?;
+        if word & PTE_V == 0 {
+            return None;
+        }
+        Some(Pfn((word & PTE_PFN_MASK) as u64).base(PAGE) + va.offset_in(PAGE))
+    }
+
+    fn activate(&self, cpu: usize) {
+        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
+        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+        let mut st = self.state.lock();
+        let ptb = self.ensure_l1(&mut st).0 * PAGE;
+        drop(st);
+        self.core
+            .machine
+            .cpu(cpu)
+            .load_regs(CpuRegs::Ns32082(mach_hw::arch::ns32082::NsRegs {
+                ptb,
+                enabled: true,
+            }));
+        // Untagged TLB: flushed on switch.
+        self.core.machine.flush_quiescent(cpu, FlushScope::All);
+        self.core
+            .machine
+            .charge(self.core.machine.cost().context_switch);
+    }
+
+    fn deactivate(&self, cpu: usize) {
+        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
+    }
+
+    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
+        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.state.lock().resident
+    }
+}
+
+impl HwMapper for NsPmap {
+    fn mapper_id(&self) -> u64 {
+        self.id
+    }
+
+    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
+        let mut st = self.state.lock();
+        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
+            return (false, false);
+        };
+        let phys = self.core.machine.phys();
+        let old = phys.read_u32(pte_pa).expect("table resident");
+        if old & PTE_V == 0 {
+            return (false, false);
+        }
+        phys.write_u32(pte_pa, 0).expect("table resident");
+        st.resident -= 1;
+        (old & PTE_M != 0, old & PTE_REF != 0)
+    }
+
+    fn protect_hw(&self, va: VAddr, prot: HwProt) {
+        let st = self.state.lock();
+        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
+            return;
+        };
+        let phys = self.core.machine.phys();
+        let old = phys.read_u32(pte_pa).expect("table resident");
+        if old & PTE_V == 0 {
+            return;
+        }
+        let frame = Pfn((old & PTE_PFN_MASK) as u64);
+        phys.write_u32(pte_pa, pte(frame, prot) | (old & (PTE_M | PTE_REF)))
+            .expect("table resident");
+    }
+
+    fn read_mr(&self, va: VAddr) -> (bool, bool) {
+        let st = self.state.lock();
+        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
+            return (false, false);
+        };
+        let word = self.core.machine.phys().read_u32(pte_pa).expect("resident");
+        if word & PTE_V == 0 {
+            return (false, false);
+        }
+        (word & PTE_M != 0, word & PTE_REF != 0)
+    }
+
+    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
+        let st = self.state.lock();
+        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
+            return;
+        };
+        let mut mask = 0u32;
+        if clear_mod {
+            mask |= PTE_M;
+        }
+        if clear_ref {
+            mask |= PTE_REF;
+        }
+        let _ =
+            self.core
+                .machine
+                .phys()
+                .update_u32(pte_pa, |w| if w & PTE_V != 0 { w & !mask } else { w });
+    }
+
+    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
+        (0, va.0 / PAGE)
+    }
+
+    fn cpus_cached(&self) -> u64 {
+        self.cpus_cached.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for NsPmap {
+    fn drop(&mut self) {
+        let st = self.state.lock();
+        let machine = &self.core.machine;
+        let phys = machine.phys();
+        for (&l1_idx, &l2) in &st.l2 {
+            for l2_idx in 0..L2_ENTRIES {
+                let pte_pa = PAddr(l2.0 * PAGE + 4 * l2_idx);
+                let word = phys.read_u32(pte_pa).unwrap_or(0);
+                if word & PTE_V != 0 {
+                    let frame = Pfn((word & PTE_PFN_MASK) as u64);
+                    let va = VAddr((l1_idx * L2_ENTRIES + l2_idx) * PAGE);
+                    self.core.pv.remove(frame, self.id, va);
+                    let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
+                        | ((word & PTE_REF != 0) as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(frame, bits);
+                }
+            }
+            machine.frames().free(l2);
+            self.core
+                .counters
+                .table_bytes
+                .fetch_sub(PAGE, Ordering::Relaxed);
+        }
+        if let Some(l1) = st.l1 {
+            machine.frames().free_contig(l1, L1_FRAMES);
+            self.core
+                .counters
+                .table_bytes
+                .fetch_sub(L1_BYTES, Ordering::Relaxed);
+        }
+    }
+}
+
+impl MachDep for NsMachDep {
+    fn machine(&self) -> &Arc<Machine> {
+        &self.core.machine
+    }
+
+    fn create(&self) -> Arc<dyn Pmap> {
+        NsPmap::new(&self.core)
+    }
+
+    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
+        &self.kernel
+    }
+
+    fn remove_all(&self, pa: PAddr, size: u64) {
+        let strategy = self.core.policy.read().time_critical;
+        self.core.remove_all_with(pa, size, strategy);
+    }
+
+    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
+        let strategy = self.core.policy.read().pageout;
+        self.core.remove_all_with(pa, size, strategy)
+    }
+
+    fn copy_on_write(&self, pa: PAddr, size: u64) {
+        self.core.copy_on_write(pa, size);
+    }
+
+    fn zero_page(&self, pa: PAddr, size: u64) {
+        self.core.zero_page(pa, size);
+    }
+
+    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.core.copy_page(src, dst, size);
+    }
+
+    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_modified(pa, size)
+    }
+
+    fn clear_modify(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, true, false);
+    }
+
+    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_referenced(pa, size)
+    }
+
+    fn clear_reference(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, false, true);
+    }
+
+    fn mapping_count(&self, pa: PAddr) -> usize {
+        self.core.pv.mapping_count(pa.pfn(PAGE))
+    }
+
+    fn update(&self) {
+        self.core.update();
+    }
+
+    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
+        *self.core.policy.write() = policy;
+    }
+
+    fn stats(&self) -> PmapStats {
+        self.core.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    fn setup() -> (Arc<Machine>, Arc<NsMachDep>) {
+        let machine = Machine::boot(MachineModel::multimax(2));
+        let md = NsMachDep::new(&machine);
+        (machine, md)
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    #[test]
+    fn enter_and_access() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x10000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x10000), 0xABCD).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x10000)).unwrap(), 0xABCD);
+        assert_eq!(pmap.extract(VAddr(0x10004)), Some(pa + 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "16 MB")]
+    fn sixteen_mb_limit_enforced() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(VA_LIMIT), pa, PAGE, rw(), false);
+    }
+
+    #[test]
+    fn l2_tables_allocated_per_64k() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0), pa, PAGE, rw(), false);
+        let t1 = md.stats().table_bytes;
+        assert_eq!(t1, L1_BYTES + PAGE);
+        // Same 64 KB window: no new table.
+        let pa2 = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x8000), pa2, PAGE, rw(), false);
+        assert_eq!(md.stats().table_bytes, t1);
+        // Different window: one more level-2 frame.
+        let pa3 = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x20000), pa3, PAGE, rw(), false);
+        assert_eq!(md.stats().table_bytes, t1 + PAGE);
+    }
+
+    #[test]
+    fn rmw_erratum_reports_read_fault_on_cow_write() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x1000), 1).unwrap();
+        // Simulate the COW downgrade.
+        md.copy_on_write(pa, PAGE);
+        // A read-modify-write now faults... as a *read*.
+        let err = machine.rmw_u32(VAddr(0x1000), |v| v + 1).unwrap_err();
+        assert_eq!(err.access, mach_hw::Access::Read);
+        assert_eq!(err.code, mach_hw::FaultCode::Protection);
+        // With the erratum disabled (NS32382), the truth comes out.
+        if let mach_hw::arch::ArchGlobal::Ns32082(g) = machine.arch_global() {
+            g.set_rmw_bug(false);
+        }
+        let err = machine.rmw_u32(VAddr(0x1000), |v| v + 1).unwrap_err();
+        assert_eq!(err.access, mach_hw::Access::Write);
+    }
+
+    #[test]
+    fn remove_and_drop_free_tables() {
+        let (machine, md) = setup();
+        let free0 = machine.frames().free_count();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x3000), pa, PAGE, rw(), false);
+        pmap.remove(VAddr(0x3000), VAddr(0x3000 + PAGE));
+        assert_eq!(pmap.resident_pages(), 0);
+        assert_eq!(pmap.extract(VAddr(0x3000)), None);
+        drop(pmap);
+        assert_eq!(machine.frames().free_count(), free0 - 1);
+        assert_eq!(md.stats().table_bytes, 0);
+    }
+
+    #[test]
+    fn two_cpu_shootdown() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        {
+            let _b = machine.bind_cpu(1);
+            pmap.activate(1);
+            machine.store_u32(VAddr(0x1000), 9).unwrap();
+        }
+        {
+            let _b = machine.bind_cpu(0);
+            pmap.activate(0);
+            machine.load_u32(VAddr(0x1000)).unwrap();
+            // Narrow from CPU 0; CPU 1 (quiescent) gets flushed directly.
+            pmap.protect(VAddr(0x1000), VAddr(0x1000 + PAGE), HwProt::READ);
+        }
+        let _b = machine.bind_cpu(1);
+        assert!(machine.store_u32(VAddr(0x1000), 1).is_err());
+        assert_eq!(machine.load_u32(VAddr(0x1000)).unwrap(), 9);
+    }
+
+    #[test]
+    fn deferred_pageout_flush() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.load_u32(VAddr(0x1000)).unwrap();
+        let pending = md.remove_all_deferred(pa, PAGE);
+        assert!(!pending.is_complete());
+        // The mapping is already gone from the tables...
+        assert_eq!(pmap.extract(VAddr(0x1000)), None);
+        // ...and after update() the TLBs are clean too.
+        md.update();
+        assert!(pending.is_complete());
+        assert!(machine.load_u32(VAddr(0x1000)).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! The physical-to-virtual table: the pmap layer's reverse map.
+//!
+//! `pmap_remove_all(phys)` and `pmap_copy_on_write(phys)` operate on a
+//! physical page and must find every virtual mapping of it. Real pmap
+//! modules kept *pv lists* for this (the RT PC got them for free from its
+//! inverted table); we keep one per hardware frame.
+//!
+//! The table also accumulates modify/reference *attributes*: when a
+//! mapping is destroyed, its hardware M/R bits would be lost, so they are
+//! OR-ed in here — `pmap_is_modified` consults both live mappings and
+//! these stolen bits, exactly as Mach's `pmap_attributes` did.
+
+use std::collections::HashMap;
+use std::sync::Weak;
+
+use mach_hw::addr::VAddr;
+use mach_hw::Pfn;
+use parking_lot::Mutex;
+
+use crate::HwMapper;
+
+/// Attribute bit: the frame has been modified.
+pub const ATTR_MOD: u8 = 1;
+/// Attribute bit: the frame has been referenced.
+pub const ATTR_REF: u8 = 2;
+
+/// One reverse-map entry: a pmap and the virtual address mapping the frame.
+#[derive(Clone)]
+pub struct PvEntry {
+    /// The mapping pmap (weak: a dropped pmap's entries are ignored).
+    pub mapper: Weak<dyn HwMapper>,
+    /// The virtual address of the mapping within that pmap.
+    pub va: VAddr,
+}
+
+impl std::fmt::Debug for PvEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PvEntry").field("va", &self.va).finish()
+    }
+}
+
+/// The physical→virtual table plus stolen attribute bits.
+#[derive(Debug, Default)]
+pub struct PvTable {
+    inner: Mutex<PvInner>,
+}
+
+#[derive(Debug, Default)]
+struct PvInner {
+    entries: HashMap<u64, Vec<PvEntry>>,
+    attrs: HashMap<u64, u8>,
+}
+
+impl PvTable {
+    /// An empty table.
+    pub fn new() -> PvTable {
+        PvTable::default()
+    }
+
+    /// Record that `mapper` maps `frame` at `va`.
+    pub fn add(&self, frame: Pfn, mapper: Weak<dyn HwMapper>, va: VAddr) {
+        let mut g = self.inner.lock();
+        let list = g.entries.entry(frame.0).or_default();
+        // Replace a duplicate (same pmap, same va) rather than growing.
+        if let Some(e) = list
+            .iter_mut()
+            .find(|e| e.va == va && e.mapper.ptr_eq(&mapper))
+        {
+            e.va = va;
+            return;
+        }
+        list.push(PvEntry { mapper, va });
+    }
+
+    /// Remove the entry for (`frame`, `mapper_id`, `va`).
+    pub fn remove(&self, frame: Pfn, mapper_id: u64, va: VAddr) {
+        let mut g = self.inner.lock();
+        if let Some(list) = g.entries.get_mut(&frame.0) {
+            list.retain(|e| {
+                match e.mapper.upgrade() {
+                    Some(m) => !(m.mapper_id() == mapper_id && e.va == va),
+                    None => false, // drop dead entries opportunistically
+                }
+            });
+            if list.is_empty() {
+                g.entries.remove(&frame.0);
+            }
+        }
+    }
+
+    /// Take (remove and return) every live entry for `frame`.
+    pub fn take(&self, frame: Pfn) -> Vec<PvEntry> {
+        let mut g = self.inner.lock();
+        g.entries
+            .remove(&frame.0)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|e| e.mapper.strong_count() > 0)
+            .collect()
+    }
+
+    /// Copy (without removing) every live entry for `frame`.
+    pub fn list(&self, frame: Pfn) -> Vec<PvEntry> {
+        let g = self.inner.lock();
+        g.entries
+            .get(&frame.0)
+            .map(|l| {
+                l.iter()
+                    .filter(|e| e.mapper.strong_count() > 0)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of live mappings of `frame`.
+    pub fn mapping_count(&self, frame: Pfn) -> usize {
+        self.list(frame).len()
+    }
+
+    /// OR attribute bits into the stolen set for `frame`.
+    pub fn merge_attrs(&self, frame: Pfn, bits: u8) {
+        if bits == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        *g.attrs.entry(frame.0).or_insert(0) |= bits;
+    }
+
+    /// Read the stolen attribute bits for `frame`.
+    pub fn attrs(&self, frame: Pfn) -> u8 {
+        self.inner.lock().attrs.get(&frame.0).copied().unwrap_or(0)
+    }
+
+    /// Clear some stolen attribute bits for `frame`.
+    pub fn clear_attrs(&self, frame: Pfn, bits: u8) {
+        let mut g = self.inner.lock();
+        if let Some(a) = g.attrs.get_mut(&frame.0) {
+            *a &= !bits;
+            if *a == 0 {
+                g.attrs.remove(&frame.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,778 @@
+//! The IBM RT PC pmap port: managing the inverted page table.
+//!
+//! "One drawback of the RT ... is that it allows only one valid mapping
+//! for each physical page, making it impossible to share pages without
+//! triggering faults. ... The effect is that Mach treats the inverted page
+//! table as a kind of large, in memory cache for the RT's translation
+//! lookaside buffer" (§5.1).
+//!
+//! Entering a mapping for a physical frame that is already mapped at a
+//! different virtual address *evicts* the previous mapping (an **alias
+//! eviction**, counted in [`crate::PmapStats::alias_evictions`]); the
+//! previous owner refaults if it touches the page again. The S5-RT
+//! ablation benchmark shows the paper's surprising result: these extra
+//! faults are rare enough in practice that per-page sharing still beats a
+//! shared-segment scheme that avoids aliasing altogether.
+//!
+//! Because the IPT costs 16 bytes per physical frame regardless of address
+//! space size, a full 4 GB task space is free — reproduced by
+//! [`crate::PmapStats::table_bytes`] staying flat as spaces grow.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::arch::romp::{
+    make_tag, RompLayout, RompRegs, F_M, F_READ, F_REF, F_WRITE, NIL, SEGREG_VALID, TAG_VALID,
+};
+use mach_hw::arch::{ArchGlobal, CpuRegs};
+use mach_hw::machine::Machine;
+use mach_hw::phys::PhysMem;
+use parking_lot::Mutex;
+
+use crate::core::MdCore;
+use crate::pv::{ATTR_MOD, ATTR_REF};
+use crate::soft::SoftPmap;
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+
+const PAGE: u64 = 2048;
+const N_SEGIDS: u16 = 1 << 12;
+
+#[derive(Debug, Default)]
+struct RompSw {
+    windows: [Option<u16>; 16],
+    resident: u64,
+}
+
+#[derive(Debug)]
+struct RompWorld {
+    segid_next: u16,
+    segid_free: Vec<u16>,
+    pmaps: HashMap<u64, RompSw>,
+}
+
+/// The RT PC machine-dependent module.
+#[derive(Debug)]
+pub struct RompMachDep {
+    core: Arc<MdCore>,
+    kernel: Arc<dyn Pmap>,
+    world: Arc<Mutex<RompWorld>>,
+}
+
+impl RompMachDep {
+    /// Build the RT PC pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not an RT PC.
+    pub fn new(machine: &Arc<Machine>) -> Arc<RompMachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::Romp);
+        Arc::new(RompMachDep {
+            core: Arc::new(MdCore::new(machine)),
+            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
+            world: Arc::new(Mutex::new(RompWorld {
+                segid_next: 0,
+                segid_free: Vec::new(),
+                pmaps: HashMap::new(),
+            })),
+        })
+    }
+}
+
+fn layout_of(machine: &Machine) -> RompLayout {
+    match machine.arch_global() {
+        ArchGlobal::Romp(l) => *l,
+        _ => unreachable!("RT PC machine carries ROMP layout"),
+    }
+}
+
+/// Walk the hash chain for `tag`; return the IPT index if present.
+fn chain_find(phys: &PhysMem, l: &RompLayout, tag: u32) -> Option<u32> {
+    let mut idx = phys
+        .read_u32(l.hat_addr(l.hash(tag)))
+        .expect("HAT resident");
+    while idx != NIL {
+        let ea = l.entry_addr(Pfn(idx as u64));
+        let w0 = phys.read_u32(ea).expect("IPT resident");
+        if w0 & TAG_VALID != 0 && w0 & 0x1FFF_FFFF == tag {
+            return Some(idx);
+        }
+        idx = phys.read_u32(PAddr(ea.0 + 8)).expect("IPT resident");
+    }
+    None
+}
+
+/// Unlink IPT entry `idx` (whose tag hashes to `bucket`) from its chain
+/// and invalidate it. Returns the entry's flags word.
+fn chain_unlink(phys: &PhysMem, l: &RompLayout, idx: u32, tag: u32) -> u32 {
+    let bucket = l.hash(tag);
+    let ea = l.entry_addr(Pfn(idx as u64));
+    let next = phys.read_u32(PAddr(ea.0 + 8)).expect("IPT resident");
+    let head = phys.read_u32(l.hat_addr(bucket)).expect("HAT resident");
+    if head == idx {
+        phys.write_u32(l.hat_addr(bucket), next)
+            .expect("HAT resident");
+    } else {
+        let mut cur = head;
+        while cur != NIL {
+            let cea = l.entry_addr(Pfn(cur as u64));
+            let cnext = phys.read_u32(PAddr(cea.0 + 8)).expect("IPT resident");
+            if cnext == idx {
+                phys.write_u32(PAddr(cea.0 + 8), next)
+                    .expect("IPT resident");
+                break;
+            }
+            cur = cnext;
+        }
+    }
+    let flags = phys.read_u32(PAddr(ea.0 + 4)).expect("IPT resident");
+    phys.write_u32(ea, 0).expect("IPT resident");
+    phys.write_u32(PAddr(ea.0 + 4), 0).expect("IPT resident");
+    phys.write_u32(PAddr(ea.0 + 8), NIL).expect("IPT resident");
+    flags
+}
+
+/// Link IPT entry `idx` for `tag` at the head of its chain.
+fn chain_link(phys: &PhysMem, l: &RompLayout, idx: u32, tag: u32, flags: u32) {
+    let bucket = l.hash(tag);
+    let ea = l.entry_addr(Pfn(idx as u64));
+    let head = phys.read_u32(l.hat_addr(bucket)).expect("HAT resident");
+    phys.write_u32(PAddr(ea.0 + 8), head).expect("IPT resident");
+    phys.write_u32(ea, TAG_VALID | tag).expect("IPT resident");
+    phys.write_u32(PAddr(ea.0 + 4), flags)
+        .expect("IPT resident");
+    phys.write_u32(l.hat_addr(bucket), idx)
+        .expect("HAT resident");
+}
+
+fn prot_flags(prot: HwProt) -> u32 {
+    let mut f = 0;
+    if prot.allows_read() || prot.allows_execute() {
+        f |= F_READ;
+    }
+    if prot.allows_write() {
+        f |= F_WRITE;
+    }
+    f
+}
+
+/// An RT PC physical map: a set of segment identifiers plus the shared IPT.
+#[derive(Debug)]
+pub struct RompPmap {
+    id: u64,
+    core: Arc<MdCore>,
+    me: Weak<RompPmap>,
+    world: Arc<Mutex<RompWorld>>,
+    layout: RompLayout,
+    cpus_cached: AtomicU64,
+    cpus_using: AtomicU64,
+}
+
+impl RompPmap {
+    fn new(core: &Arc<MdCore>, world: &Arc<Mutex<RompWorld>>) -> Arc<RompPmap> {
+        let layout = layout_of(&core.machine);
+        let p = Arc::new_cyclic(|me| RompPmap {
+            id: core.next_id(),
+            core: Arc::clone(core),
+            me: me.clone(),
+            world: Arc::clone(world),
+            layout,
+            cpus_cached: AtomicU64::new(0),
+            cpus_using: AtomicU64::new(0),
+        });
+        world.lock().pmaps.insert(p.id, RompSw::default());
+        p
+    }
+
+    fn weak_self(&self) -> Weak<dyn HwMapper> {
+        self.me.clone() as Weak<dyn HwMapper>
+    }
+
+    fn ensure_segid(&self, w: &mut RompWorld, window: usize) -> u16 {
+        let sw = w.pmaps.get_mut(&self.id).expect("registered");
+        if let Some(s) = sw.windows[window] {
+            return s;
+        }
+        let s = if let Some(s) = w.segid_free.pop() {
+            s
+        } else {
+            assert!(w.segid_next < N_SEGIDS, "out of ROMP segment identifiers");
+            let s = w.segid_next;
+            w.segid_next += 1;
+            s
+        };
+        let sw = w.pmaps.get_mut(&self.id).unwrap();
+        sw.windows[window] = Some(s);
+        // CPUs currently running this pmap must see the new segment
+        // register immediately.
+        let mut regs = RompRegs::default();
+        for (i, seg) in sw.windows.iter().enumerate() {
+            if let Some(segid) = seg {
+                regs.seg[i] = SEGREG_VALID | *segid as u32;
+            }
+        }
+        let using = self.cpus_using.load(Ordering::SeqCst);
+        for cpu in crate::core::cpu_list(using, self.core.machine.n_cpus()) {
+            self.core.machine.cpu(cpu).load_regs(CpuRegs::Romp(regs));
+        }
+        s
+    }
+
+    /// `(segid, vpage, tag)` for `va`, if the window has a segment.
+    fn tag_of(&self, w: &RompWorld, va: VAddr) -> Option<(u16, u64, u32)> {
+        let window = ((va.0 >> 28) & 0xF) as usize;
+        let segid = w.pmaps.get(&self.id)?.windows[window]?;
+        let vpage = (va.0 >> 11) & ((1 << 17) - 1);
+        Some((segid, vpage, make_tag(segid, vpage)))
+    }
+}
+
+impl Pmap for RompPmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
+        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+        let n = size / PAGE;
+        self.core.charge_op(n);
+        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+        let phys = self.core.machine.phys();
+        let l = &self.layout;
+        let mut flush = Vec::new();
+        let mut evict_flush = Vec::new();
+        let mut evict_cpus = 0u64;
+        let mut w = self.world.lock();
+        for i in 0..n {
+            let v = va + i * PAGE;
+            let frame = Pfn(pa.0 / PAGE + i);
+            let window = ((v.0 >> 28) & 0xF) as usize;
+            let segid = self.ensure_segid(&mut w, window);
+            let vpage = (v.0 >> 11) & ((1 << 17) - 1);
+            let tag = make_tag(segid, vpage);
+
+            // 1. If this VA already maps some other frame, remove that.
+            if let Some(old_idx) = chain_find(phys, l, tag) {
+                if old_idx as u64 == frame.0 {
+                    // Re-enter of the same mapping: just update protection,
+                    // preserving M/REF.
+                    let ea = l.entry_addr(frame);
+                    let old_flags = phys.read_u32(PAddr(ea.0 + 4)).expect("IPT");
+                    phys.write_u32(
+                        PAddr(ea.0 + 4),
+                        prot_flags(prot) | (old_flags & (F_M | F_REF)),
+                    )
+                    .expect("IPT");
+                    flush.push((segid as u32, vpage));
+                    continue;
+                }
+                let flags = chain_unlink(phys, l, old_idx, tag);
+                self.core.pv.remove(Pfn(old_idx as u64), self.id, v);
+                let bits =
+                    ((flags & F_M != 0) as u8 * ATTR_MOD) | ((flags & F_REF != 0) as u8 * ATTR_REF);
+                self.core.pv.merge_attrs(Pfn(old_idx as u64), bits);
+                if let Some(sw) = w.pmaps.get_mut(&self.id) {
+                    sw.resident = sw.resident.saturating_sub(1);
+                }
+                flush.push((segid as u32, vpage));
+            }
+
+            // 2. If the frame's IPT slot holds another VA's mapping, evict
+            //    it — the architecture permits one mapping per frame.
+            let ea = l.entry_addr(frame);
+            let w0 = phys.read_u32(ea).expect("IPT resident");
+            if w0 & TAG_VALID != 0 {
+                let old_tag = w0 & 0x1FFF_FFFF;
+                let flags = chain_unlink(phys, l, frame.0 as u32, old_tag);
+                let bits =
+                    ((flags & F_M != 0) as u8 * ATTR_MOD) | ((flags & F_REF != 0) as u8 * ATTR_REF);
+                self.core.pv.merge_attrs(frame, bits);
+                // Fix the previous owner's bookkeeping through pv, and
+                // flush *its* CPUs (they hold the stale translation).
+                for e in self.core.pv.take(frame) {
+                    if let Some(m) = e.mapper.upgrade() {
+                        if let Some(sw) = w.pmaps.get_mut(&m.mapper_id()) {
+                            sw.resident = sw.resident.saturating_sub(1);
+                        }
+                        evict_cpus |= m.cpus_cached();
+                    }
+                }
+                evict_flush.push((old_tag >> 17, old_tag as u64 & 0x1_FFFF));
+                self.core
+                    .counters
+                    .alias_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+
+            // 3. Install the new mapping.
+            chain_link(phys, l, frame.0 as u32, tag, prot_flags(prot));
+            self.core.pv.add(frame, self.weak_self(), v);
+            if let Some(sw) = w.pmaps.get_mut(&self.id) {
+                sw.resident += 1;
+            }
+        }
+        drop(w);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+        self.core.flush_pages(evict_cpus, &evict_flush, strategy);
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let phys = self.core.machine.phys();
+        let l = &self.layout;
+        let mut flush = Vec::new();
+        let mut w = self.world.lock();
+        let mut v = start;
+        let mut removed = 0u64;
+        while v < end {
+            if let Some((segid, vpage, tag)) = self.tag_of(&w, v) {
+                if let Some(idx) = chain_find(phys, l, tag) {
+                    let flags = chain_unlink(phys, l, idx, tag);
+                    self.core.pv.remove(Pfn(idx as u64), self.id, v);
+                    let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
+                        | ((flags & F_REF != 0) as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(Pfn(idx as u64), bits);
+                    flush.push((segid as u32, vpage));
+                    removed += 1;
+                }
+            }
+            v += PAGE;
+        }
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident -= removed;
+        }
+        drop(w);
+        self.core.charge_op(removed);
+        self.core
+            .counters
+            .removes
+            .fetch_add(removed, Ordering::Relaxed);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let phys = self.core.machine.phys();
+        let l = &self.layout;
+        let mut narrow = Vec::new();
+        let mut widen = Vec::new();
+        let mut w = self.world.lock();
+        let mut v = start;
+        let mut invalidated = 0u64;
+        while v < end {
+            if let Some((segid, vpage, tag)) = self.tag_of(&w, v) {
+                if let Some(idx) = chain_find(phys, l, tag) {
+                    let fa = PAddr(l.entry_addr(Pfn(idx as u64)).0 + 4);
+                    let old = phys.read_u32(fa).expect("IPT resident");
+                    if prot.is_none() {
+                        let flags = chain_unlink(phys, l, idx, tag);
+                        self.core.pv.remove(Pfn(idx as u64), self.id, v);
+                        let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
+                            | ((flags & F_REF != 0) as u8 * ATTR_REF);
+                        self.core.pv.merge_attrs(Pfn(idx as u64), bits);
+                        invalidated += 1;
+                        narrow.push((segid as u32, vpage));
+                    } else {
+                        let new = prot_flags(prot) | (old & (F_M | F_REF));
+                        phys.write_u32(fa, new).expect("IPT resident");
+                        let narrowing =
+                            (old & (F_READ | F_WRITE)) & !(new & (F_READ | F_WRITE)) != 0;
+                        if narrowing {
+                            narrow.push((segid as u32, vpage));
+                        } else {
+                            widen.push((segid as u32, vpage));
+                        }
+                    }
+                    self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            v += PAGE;
+        }
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident -= invalidated;
+        }
+        drop(w);
+        self.core.charge_op((narrow.len() + widen.len()) as u64);
+        let policy = *self.core.policy.read();
+        let cached = self.cpus_cached.load(Ordering::SeqCst);
+        self.core.flush_pages(cached, &narrow, policy.time_critical);
+        self.core.flush_pages(cached, &widen, policy.widen);
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        let w = self.world.lock();
+        let (_, _, tag) = self.tag_of(&w, va)?;
+        let idx = chain_find(self.core.machine.phys(), &self.layout, tag)?;
+        Some(Pfn(idx as u64).base(PAGE) + va.offset_in(PAGE))
+    }
+
+    fn activate(&self, cpu: usize) {
+        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
+        let w = self.world.lock();
+        let sw = &w.pmaps[&self.id];
+        let mut regs = RompRegs::default();
+        for (i, s) in sw.windows.iter().enumerate() {
+            if let Some(segid) = s {
+                regs.seg[i] = SEGREG_VALID | *segid as u32;
+            }
+        }
+        drop(w);
+        self.core.machine.cpu(cpu).load_regs(CpuRegs::Romp(regs));
+        // Tagged TLB: no flush on switch.
+        self.core
+            .machine
+            .charge(self.core.machine.cost().context_switch);
+    }
+
+    fn deactivate(&self, cpu: usize) {
+        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
+    }
+
+    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
+        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.world.lock().pmaps[&self.id].resident
+    }
+}
+
+impl HwMapper for RompPmap {
+    fn mapper_id(&self) -> u64 {
+        self.id
+    }
+
+    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
+        let phys = self.core.machine.phys();
+        let mut w = self.world.lock();
+        let Some((_, _, tag)) = self.tag_of(&w, va) else {
+            return (false, false);
+        };
+        let Some(idx) = chain_find(phys, &self.layout, tag) else {
+            return (false, false);
+        };
+        let flags = chain_unlink(phys, &self.layout, idx, tag);
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident = sw.resident.saturating_sub(1);
+        }
+        (flags & F_M != 0, flags & F_REF != 0)
+    }
+
+    fn protect_hw(&self, va: VAddr, prot: HwProt) {
+        let phys = self.core.machine.phys();
+        let w = self.world.lock();
+        let Some((_, _, tag)) = self.tag_of(&w, va) else {
+            return;
+        };
+        let Some(idx) = chain_find(phys, &self.layout, tag) else {
+            return;
+        };
+        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
+        let _ = phys.update_u32(fa, |old| prot_flags(prot) | (old & (F_M | F_REF)));
+    }
+
+    fn read_mr(&self, va: VAddr) -> (bool, bool) {
+        let phys = self.core.machine.phys();
+        let w = self.world.lock();
+        let Some((_, _, tag)) = self.tag_of(&w, va) else {
+            return (false, false);
+        };
+        let Some(idx) = chain_find(phys, &self.layout, tag) else {
+            return (false, false);
+        };
+        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
+        let flags = phys.read_u32(fa).expect("IPT resident");
+        (flags & F_M != 0, flags & F_REF != 0)
+    }
+
+    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
+        let phys = self.core.machine.phys();
+        let w = self.world.lock();
+        let Some((_, _, tag)) = self.tag_of(&w, va) else {
+            return;
+        };
+        let Some(idx) = chain_find(phys, &self.layout, tag) else {
+            return;
+        };
+        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
+        let mut mask = 0;
+        if clear_mod {
+            mask |= F_M;
+        }
+        if clear_ref {
+            mask |= F_REF;
+        }
+        let _ = phys.update_u32(fa, |f| f & !mask);
+    }
+
+    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
+        let w = self.world.lock();
+        match self.tag_of(&w, va) {
+            Some((segid, vpage, _)) => (segid as u32, vpage),
+            None => (u32::MAX, va.0 >> 11),
+        }
+    }
+
+    fn cpus_cached(&self) -> u64 {
+        self.cpus_cached.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for RompPmap {
+    fn drop(&mut self) {
+        let phys = self.core.machine.phys();
+        let l = self.layout;
+        let mut w = self.world.lock();
+        let sw = w.pmaps.remove(&self.id).expect("registered");
+        let mine: Vec<u16> = sw.windows.iter().flatten().copied().collect();
+        if !mine.is_empty() {
+            // Sweep the IPT for entries carrying our segment ids.
+            for frame in 0..l.n_frames {
+                let ea = l.entry_addr(Pfn(frame));
+                let w0 = phys.read_u32(ea).unwrap_or(0);
+                if w0 & TAG_VALID != 0 {
+                    let tag = w0 & 0x1FFF_FFFF;
+                    let segid = (tag >> 17) as u16;
+                    if mine.contains(&segid) {
+                        let flags = chain_unlink(phys, &l, frame as u32, tag);
+                        let va = VAddr((tag as u64 & 0x1_FFFF) * PAGE);
+                        self.core.pv.remove(Pfn(frame), self.id, va);
+                        let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
+                            | ((flags & F_REF != 0) as u8 * ATTR_REF);
+                        self.core.pv.merge_attrs(Pfn(frame), bits);
+                    }
+                }
+            }
+        }
+        w.segid_free.extend(mine);
+    }
+}
+
+impl MachDep for RompMachDep {
+    fn machine(&self) -> &Arc<Machine> {
+        &self.core.machine
+    }
+
+    fn create(&self) -> Arc<dyn Pmap> {
+        RompPmap::new(&self.core, &self.world)
+    }
+
+    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
+        &self.kernel
+    }
+
+    fn remove_all(&self, pa: PAddr, size: u64) {
+        let strategy = self.core.policy.read().time_critical;
+        self.core.remove_all_with(pa, size, strategy);
+    }
+
+    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
+        let strategy = self.core.policy.read().pageout;
+        self.core.remove_all_with(pa, size, strategy)
+    }
+
+    fn copy_on_write(&self, pa: PAddr, size: u64) {
+        self.core.copy_on_write(pa, size);
+    }
+
+    fn zero_page(&self, pa: PAddr, size: u64) {
+        self.core.zero_page(pa, size);
+    }
+
+    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.core.copy_page(src, dst, size);
+    }
+
+    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_modified(pa, size)
+    }
+
+    fn clear_modify(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, true, false);
+    }
+
+    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_referenced(pa, size)
+    }
+
+    fn clear_reference(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, false, true);
+    }
+
+    fn mapping_count(&self, pa: PAddr) -> usize {
+        self.core.pv.mapping_count(pa.pfn(PAGE))
+    }
+
+    fn update(&self) {
+        self.core.update();
+    }
+
+    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
+        *self.core.policy.write() = policy;
+    }
+
+    fn stats(&self) -> PmapStats {
+        self.core.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    fn setup() -> (Arc<Machine>, Arc<RompMachDep>) {
+        let machine = Machine::boot(MachineModel::rt_pc());
+        let md = RompMachDep::new(&machine);
+        (machine, md)
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    fn frame(machine: &Arc<Machine>) -> PAddr {
+        machine.frames().alloc().unwrap().base(PAGE)
+    }
+
+    #[test]
+    fn enter_and_cpu_access() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = frame(&machine);
+        pmap.enter(VAddr(0x8000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x8000), 0xCAFE).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x8000)).unwrap(), 0xCAFE);
+        assert_eq!(pmap.extract(VAddr(0x8004)), Some(pa + 4));
+        assert_eq!(pmap.resident_pages(), 1);
+    }
+
+    #[test]
+    fn full_4gb_address_space_without_extra_tables() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        // Map pages in windows 0, 7 and 15 — a 4 GB-sparse space.
+        for &base in &[0u64, 0x7000_0000, 0xF000_0000] {
+            let pa = frame(&machine);
+            pmap.enter(VAddr(base + 0x2000), pa, PAGE, rw(), false);
+        }
+        // The inverted table never grows: no per-task table bytes at all.
+        assert_eq!(md.stats().table_bytes, 0);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0xF000_2000), 1).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0xF000_2000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn alias_eviction_on_shared_frame() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let p2 = md.create();
+        let pa = frame(&machine);
+        let _b = machine.bind_cpu(0);
+
+        p1.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        p1.activate(0);
+        machine.store_u32(VAddr(0x2000), 42).unwrap();
+
+        // Second task maps the same frame: the first mapping is evicted.
+        p2.enter(VAddr(0x6000), pa, PAGE, rw(), false);
+        assert_eq!(md.stats().alias_evictions, 1);
+        assert_eq!(md.mapping_count(pa), 1, "only one mapping per frame");
+        assert_eq!(p1.extract(VAddr(0x2000)), None, "p1's mapping evicted");
+
+        p2.activate(0);
+        assert_eq!(machine.load_u32(VAddr(0x6000)).unwrap(), 42, "same frame");
+
+        // p1 touching the page again faults (the paper's alias fault)...
+        p1.activate(0);
+        assert!(machine.load_u32(VAddr(0x2000)).is_err());
+        // ...and re-entering bounces the mapping back, evicting p2.
+        p1.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        assert_eq!(md.stats().alias_evictions, 2);
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 42);
+    }
+
+    #[test]
+    fn remove_and_hash_chain_integrity() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        // Enter many pages (some hash chains will collide), then remove
+        // them in a different order and verify the survivors still walk.
+        let mut mapped = Vec::new();
+        for i in 0..64u64 {
+            let pa = frame(&machine);
+            let va = VAddr(i * 0x10000);
+            pmap.enter(va, pa, PAGE, rw(), false);
+            mapped.push((va, pa));
+        }
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        // Remove every even mapping.
+        for (va, _) in mapped.iter().step_by(2) {
+            pmap.remove(*va, VAddr(va.0 + PAGE));
+        }
+        for (i, (va, pa)) in mapped.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(pmap.extract(*va), None);
+                assert!(machine.load_u32(*va).is_err());
+            } else {
+                assert_eq!(pmap.extract(*va), Some(*pa));
+                machine.load_u32(*va).unwrap();
+            }
+        }
+        assert_eq!(pmap.resident_pages(), 32);
+    }
+
+    #[test]
+    fn protect_readonly_then_fault_on_write() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = frame(&machine);
+        pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x2000), 7).unwrap();
+        pmap.protect(VAddr(0x2000), VAddr(0x2000 + PAGE), HwProt::READ);
+        assert!(machine.store_u32(VAddr(0x2000), 8).is_err());
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 7);
+        assert!(md.is_modified(pa, PAGE));
+    }
+
+    #[test]
+    fn segment_ids_recycled_on_drop() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let pa = frame(&machine);
+        p1.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        drop(p1);
+        assert_eq!(md.mapping_count(pa), 0, "drop cleans the IPT");
+        // A new pmap reuses the freed segment id without interference.
+        let p2 = md.create();
+        let pa2 = frame(&machine);
+        p2.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        p2.activate(0);
+        machine.store_u32(VAddr(0x2000), 9).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 9);
+    }
+
+    #[test]
+    fn same_va_remap_to_new_frame() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa1 = frame(&machine);
+        let pa2 = frame(&machine);
+        pmap.enter(VAddr(0x2000), pa1, PAGE, rw(), false);
+        pmap.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
+        assert_eq!(pmap.extract(VAddr(0x2000)), Some(pa2));
+        assert_eq!(md.mapping_count(pa1), 0);
+        assert_eq!(md.mapping_count(pa2), 1);
+        assert_eq!(pmap.resident_pages(), 1);
+    }
+}

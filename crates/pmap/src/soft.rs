@@ -1,0 +1,155 @@
+//! A software-only pmap used as the kernel pmap.
+//!
+//! The paper requires kernel mappings to be "always ... complete and
+//! accurate" (§3.6). In this reproduction the kernel's own code and data
+//! live on the host, not in simulated memory, so its pmap never backs real
+//! translations — it is a complete, never-forgetting software map that
+//! satisfies the interface (useful for wired kernel allocations and for
+//! testing the machine-independent layer in isolation).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mach_hw::addr::{HwProt, PAddr, VAddr};
+use parking_lot::Mutex;
+
+use crate::Pmap;
+
+#[derive(Debug, Clone, Copy)]
+struct SoftEntry {
+    pa: PAddr,
+    prot: HwProt,
+    wired: bool,
+}
+
+/// A pmap that stores mappings in host memory only.
+#[derive(Debug, Default)]
+pub struct SoftPmap {
+    page_size: u64,
+    map: Mutex<HashMap<u64, SoftEntry>>,
+    cpus: AtomicU64,
+}
+
+impl SoftPmap {
+    /// An empty software pmap over `page_size`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn new(page_size: u64) -> SoftPmap {
+        assert!(page_size.is_power_of_two());
+        SoftPmap {
+            page_size,
+            map: Mutex::new(HashMap::new()),
+            cpus: AtomicU64::new(0),
+        }
+    }
+
+    /// The hardware protection recorded for `va`, if mapped.
+    pub fn prot(&self, va: VAddr) -> Option<HwProt> {
+        self.map
+            .lock()
+            .get(&(va.0 / self.page_size))
+            .map(|e| e.prot)
+    }
+
+    /// Whether the page at `va` is wired.
+    pub fn is_wired(&self, va: VAddr) -> bool {
+        self.map
+            .lock()
+            .get(&(va.0 / self.page_size))
+            .map(|e| e.wired)
+            .unwrap_or(false)
+    }
+}
+
+impl Pmap for SoftPmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, wired: bool) {
+        assert!(va.is_aligned(self.page_size) && size.is_multiple_of(self.page_size));
+        let mut g = self.map.lock();
+        for i in 0..size / self.page_size {
+            g.insert(
+                va.0 / self.page_size + i,
+                SoftEntry {
+                    pa: pa + i * self.page_size,
+                    prot,
+                    wired,
+                },
+            );
+        }
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        let mut g = self.map.lock();
+        for page in start.0 / self.page_size..end.0.div_ceil(self.page_size) {
+            g.remove(&page);
+        }
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        let mut g = self.map.lock();
+        for page in start.0 / self.page_size..end.0.div_ceil(self.page_size) {
+            if let Some(e) = g.get_mut(&page) {
+                e.prot = prot;
+            }
+        }
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        self.map
+            .lock()
+            .get(&(va.0 / self.page_size))
+            .map(|e| e.pa + va.offset_in(self.page_size))
+    }
+
+    fn activate(&self, cpu: usize) {
+        self.cpus.fetch_or(1 << cpu, Ordering::SeqCst);
+    }
+
+    fn deactivate(&self, cpu: usize) {
+        self.cpus.fetch_and(!(1 << cpu), Ordering::SeqCst);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.map.lock().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_extract_remove() {
+        let p = SoftPmap::new(4096);
+        p.enter(VAddr(0x1000), PAddr(0x8000), 8192, HwProt::ALL, true);
+        assert_eq!(p.extract(VAddr(0x1004)), Some(PAddr(0x8004)));
+        assert_eq!(p.extract(VAddr(0x2000)), Some(PAddr(0x9000)));
+        assert!(p.access(VAddr(0x1000)));
+        assert!(p.is_wired(VAddr(0x1000)));
+        assert_eq!(p.resident_pages(), 2);
+        p.remove(VAddr(0x1000), VAddr(0x2000));
+        assert_eq!(p.extract(VAddr(0x1000)), None);
+        assert_eq!(p.extract(VAddr(0x2000)), Some(PAddr(0x9000)));
+    }
+
+    #[test]
+    fn protect_updates_prot() {
+        let p = SoftPmap::new(4096);
+        p.enter(VAddr(0), PAddr(0), 4096, HwProt::ALL, false);
+        p.protect(VAddr(0), VAddr(4096), HwProt::READ);
+        assert_eq!(p.prot(VAddr(0)), Some(HwProt::READ));
+        // Protecting an unmapped range is a no-op.
+        p.protect(VAddr(8192), VAddr(12288), HwProt::READ);
+        assert_eq!(p.prot(VAddr(8192)), None);
+    }
+
+    #[test]
+    fn activation_tracks_cpus() {
+        let p = SoftPmap::new(4096);
+        p.activate(2);
+        p.activate(0);
+        p.deactivate(2);
+        assert_eq!(p.cpus.load(Ordering::SeqCst), 0b1);
+    }
+}

@@ -1,0 +1,772 @@
+//! The SUN 3 pmap port: contexts, segment maps and pmeg allocation.
+//!
+//! "The use of segments and page tables make it possible to reasonably
+//! implement sparse addressing, but only 8 such contexts may exist at any
+//! one time. If there are more than 8 active tasks, they compete for
+//! contexts, introducing additional page faults as on the RT" (§5.1).
+//!
+//! When a ninth task needs to run, the least-recently-used context is
+//! *stolen*: every mapping the victim pmap had simply vanishes from the
+//! MMU (pmaps are caches, so this is legal) and the victim refaults its
+//! working set when it next runs. The same stealing applies to pmegs —
+//! there are only 256 page-map-entry groups in the MMU RAM. Both event
+//! counts are exported via [`crate::PmapStats`] and drive the S5-SUN
+//! ablation benchmark.
+//!
+//! The SUN 3's *physical address holes* (display memory) are handled
+//! "completely within machine dependent code" as the paper says: the
+//! boot-time frame allocator in `mach-hw` never hands out hole frames, so
+//! the machine-independent layer sees only a clean, if sparse, frame set.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::arch::sun3::{
+    Sun3Mmu, Sun3Pte, NO_PMEG, N_CONTEXTS, N_PMEGS, PTES_PER_PMEG, SEGS_PER_CONTEXT,
+};
+use mach_hw::arch::{ArchGlobal, CpuRegs};
+use mach_hw::machine::Machine;
+use mach_hw::tlb::FlushScope;
+use parking_lot::Mutex;
+
+use crate::core::MdCore;
+use crate::pv::{ATTR_MOD, ATTR_REF};
+use crate::soft::SoftPmap;
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+
+const PAGE: u64 = 8192;
+
+#[derive(Debug, Default)]
+struct Sun3Sw {
+    context: Option<u8>,
+    segs: HashMap<usize, u16>,
+    resident: u64,
+    wired: HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct Sun3World {
+    ctx_owner: [Option<u64>; N_CONTEXTS],
+    /// Context use order: most recently used last.
+    ctx_lru: Vec<u8>,
+    pmeg_free: Vec<u16>,
+    pmeg_owner: HashMap<u16, (u64, usize)>,
+    /// Pmeg allocation order: oldest first (steal victims).
+    pmeg_lru: Vec<u16>,
+    pmaps: HashMap<u64, Sun3Sw>,
+}
+
+impl Sun3World {
+    fn new() -> Sun3World {
+        Sun3World {
+            ctx_owner: [None; N_CONTEXTS],
+            ctx_lru: Vec::new(),
+            pmeg_free: (0..N_PMEGS as u16).rev().collect(),
+            pmeg_owner: HashMap::new(),
+            pmeg_lru: Vec::new(),
+            pmaps: HashMap::new(),
+        }
+    }
+}
+
+/// The SUN 3 machine-dependent module.
+#[derive(Debug)]
+pub struct Sun3MachDep {
+    core: Arc<MdCore>,
+    kernel: Arc<dyn Pmap>,
+    world: Arc<Mutex<Sun3World>>,
+}
+
+impl Sun3MachDep {
+    /// Build the SUN 3 pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not a SUN 3.
+    pub fn new(machine: &Arc<Machine>) -> Arc<Sun3MachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::Sun3);
+        Arc::new(Sun3MachDep {
+            core: Arc::new(MdCore::new(machine)),
+            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
+            world: Arc::new(Mutex::new(Sun3World::new())),
+        })
+    }
+}
+
+/// A SUN 3 physical map.
+#[derive(Debug)]
+pub struct Sun3Pmap {
+    id: u64,
+    core: Arc<MdCore>,
+    me: Weak<Sun3Pmap>,
+    world: Arc<Mutex<Sun3World>>,
+    cpus_cached: AtomicU64,
+}
+
+fn va_of(seg: usize, idx: usize) -> VAddr {
+    VAddr((seg as u64) << 17 | (idx as u64) << 13)
+}
+
+impl Sun3Pmap {
+    fn new(core: &Arc<MdCore>, world: &Arc<Mutex<Sun3World>>) -> Arc<Sun3Pmap> {
+        let p = Arc::new_cyclic(|me| Sun3Pmap {
+            id: core.next_id(),
+            core: Arc::clone(core),
+            me: me.clone(),
+            world: Arc::clone(world),
+            cpus_cached: AtomicU64::new(0),
+        });
+        world.lock().pmaps.insert(p.id, Sun3Sw::default());
+        p
+    }
+
+    fn mmu(&self) -> &Mutex<Sun3Mmu> {
+        match self.core.machine.arch_global() {
+            ArchGlobal::Sun3(m) => m,
+            _ => unreachable!("SUN 3 machine carries SUN 3 MMU state"),
+        }
+    }
+
+    fn weak_self(&self) -> Weak<dyn HwMapper> {
+        self.me.clone() as Weak<dyn HwMapper>
+    }
+
+    /// Evict every mapping held in `ctx`, freeing its pmegs.
+    fn evict_context(&self, w: &mut Sun3World, ctx: u8) {
+        let Some(victim_id) = w.ctx_owner[ctx as usize] else {
+            return;
+        };
+        let victim = w.pmaps.get_mut(&victim_id).expect("owner exists");
+        let segs: Vec<(usize, u16)> = victim.segs.drain().collect();
+        victim.context = None;
+        let mut mmu = self.mmu().lock();
+        for &(seg, pmeg) in &segs {
+            for idx in 0..PTES_PER_PMEG {
+                let pte = mmu.pmegs[pmeg as usize][idx];
+                if pte.valid {
+                    let va = va_of(seg, idx);
+                    self.core.pv.remove(Pfn(pte.pfn as u64), victim_id, va);
+                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
+                }
+                mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
+            }
+            w.pmeg_owner.remove(&pmeg);
+            w.pmeg_lru.retain(|&p| p != pmeg);
+            w.pmeg_free.push(pmeg);
+        }
+        if let Some(v) = w.pmaps.get_mut(&victim_id) {
+            v.resident = 0;
+        }
+        mmu.seg_map[ctx as usize] = [NO_PMEG; SEGS_PER_CONTEXT];
+        drop(mmu);
+        w.ctx_owner[ctx as usize] = None;
+        w.ctx_lru.retain(|&c| c != ctx);
+        // All TLB entries tagged with this context are now meaningless.
+        let targets: Vec<usize> = (0..self.core.machine.n_cpus()).collect();
+        self.core
+            .machine
+            .shootdown(&targets, FlushScope::Space(ctx as u32), true);
+    }
+
+    /// Give this pmap a hardware context, stealing if necessary.
+    fn ensure_context(&self, w: &mut Sun3World) -> u8 {
+        if let Some(ctx) = w.pmaps[&self.id].context {
+            w.ctx_lru.retain(|&c| c != ctx);
+            w.ctx_lru.push(ctx);
+            return ctx;
+        }
+        let ctx = if let Some(free) =
+            (0..N_CONTEXTS as u8).find(|&c| w.ctx_owner[c as usize].is_none())
+        {
+            free
+        } else {
+            let victim = w.ctx_lru[0];
+            self.evict_context(w, victim);
+            self.core
+                .counters
+                .context_steals
+                .fetch_add(1, Ordering::Relaxed);
+            victim
+        };
+        w.ctx_owner[ctx as usize] = Some(self.id);
+        w.ctx_lru.push(ctx);
+        w.pmaps.get_mut(&self.id).unwrap().context = Some(ctx);
+        ctx
+    }
+
+    /// Evict one pmeg (not `keep_out` and not wired) to refill the pool.
+    fn evict_one_pmeg(&self, w: &mut Sun3World) {
+        let victim = w
+            .pmeg_lru
+            .iter()
+            .copied()
+            .find(|p| {
+                let Some(&(owner_id, seg)) = w.pmeg_owner.get(p) else {
+                    return false;
+                };
+                let Some(owner) = w.pmaps.get(&owner_id) else {
+                    return true;
+                };
+                // Skip pmegs containing wired pages.
+                !(0..PTES_PER_PMEG).any(|idx| owner.wired.contains(&(va_of(seg, idx).0 / PAGE)))
+            })
+            .expect("at least one stealable pmeg");
+        let (owner_id, seg) = w.pmeg_owner.remove(&victim).expect("victim owned");
+        let owner_ctx = w.pmaps.get(&owner_id).and_then(|o| o.context);
+        let mut flush = Vec::new();
+        {
+            let mut mmu = self.mmu().lock();
+            for idx in 0..PTES_PER_PMEG {
+                let pte = mmu.pmegs[victim as usize][idx];
+                if pte.valid {
+                    let va = va_of(seg, idx);
+                    self.core.pv.remove(Pfn(pte.pfn as u64), owner_id, va);
+                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
+                    if let Some(ctx) = owner_ctx {
+                        flush.push((ctx as u32, va.0 / PAGE));
+                    }
+                    if let Some(o) = w.pmaps.get_mut(&owner_id) {
+                        o.resident = o.resident.saturating_sub(1);
+                    }
+                }
+                mmu.pmegs[victim as usize][idx] = Sun3Pte::default();
+            }
+            if let Some(ctx) = owner_ctx {
+                mmu.seg_map[ctx as usize][seg] = NO_PMEG;
+            }
+        }
+        if let Some(o) = w.pmaps.get_mut(&owner_id) {
+            o.segs.remove(&seg);
+        }
+        w.pmeg_lru.retain(|&p| p != victim);
+        w.pmeg_free.push(victim);
+        self.core
+            .counters
+            .pmeg_steals
+            .fetch_add(1, Ordering::Relaxed);
+        let targets: Vec<usize> = (0..self.core.machine.n_cpus()).collect();
+        for (space, vpn) in flush {
+            self.core
+                .machine
+                .shootdown(&targets, FlushScope::Page { space, vpn }, true);
+        }
+    }
+
+    fn ensure_pmeg(&self, w: &mut Sun3World, ctx: u8, seg: usize) -> u16 {
+        if let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) {
+            return pmeg;
+        }
+        if w.pmeg_free.is_empty() {
+            self.evict_one_pmeg(w);
+        }
+        let pmeg = w.pmeg_free.pop().expect("pmeg available after eviction");
+        w.pmeg_owner.insert(pmeg, (self.id, seg));
+        w.pmeg_lru.push(pmeg);
+        w.pmaps.get_mut(&self.id).unwrap().segs.insert(seg, pmeg);
+        self.mmu().lock().seg_map[ctx as usize][seg] = pmeg;
+        pmeg
+    }
+}
+
+impl Pmap for Sun3Pmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, wired: bool) {
+        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+        assert!(
+            va.0 + size <= 1 << 28,
+            "SUN 3 contexts address at most 256 MB"
+        );
+        let n = size / PAGE;
+        self.core.charge_op(n);
+        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+        let mut flush = Vec::new();
+        let mut w = self.world.lock();
+        let ctx = self.ensure_context(&mut w);
+        for i in 0..n {
+            let v = va + i * PAGE;
+            let frame = Pfn(pa.0 / PAGE + i);
+            let seg = (v.0 >> 17) as usize;
+            let idx = ((v.0 >> 13) & 0xF) as usize;
+            let pmeg = self.ensure_pmeg(&mut w, ctx, seg);
+            let mut mmu = self.mmu().lock();
+            let old = mmu.pmegs[pmeg as usize][idx];
+            let mut new = Sun3Pte {
+                valid: true,
+                write: prot.allows_write(),
+                pfn: frame.0 as u32,
+                modified: false,
+                referenced: false,
+            };
+            if old.valid {
+                if old.pfn as u64 != frame.0 {
+                    self.core.pv.remove(Pfn(old.pfn as u64), self.id, v);
+                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(Pfn(old.pfn as u64), bits);
+                } else {
+                    new.modified = old.modified;
+                    new.referenced = old.referenced;
+                }
+                flush.push((ctx as u32, v.0 / PAGE));
+            } else {
+                w.pmaps.get_mut(&self.id).unwrap().resident += 1;
+            }
+            mmu.pmegs[pmeg as usize][idx] = new;
+            drop(mmu);
+            if wired {
+                w.pmaps.get_mut(&self.id).unwrap().wired.insert(v.0 / PAGE);
+            }
+            self.core.pv.add(frame, self.weak_self(), v);
+        }
+        drop(w);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut flush = Vec::new();
+        let mut w = self.world.lock();
+        let sw_ctx = w.pmaps[&self.id].context;
+        let mut v = start;
+        let mut removed = 0;
+        while v < end {
+            let seg = (v.0 >> 17) as usize;
+            let idx = ((v.0 >> 13) & 0xF) as usize;
+            if let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) {
+                let mut mmu = self.mmu().lock();
+                let pte = mmu.pmegs[pmeg as usize][idx];
+                if pte.valid {
+                    mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
+                    drop(mmu);
+                    self.core.pv.remove(Pfn(pte.pfn as u64), self.id, v);
+                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
+                    if let Some(ctx) = sw_ctx {
+                        flush.push((ctx as u32, v.0 / PAGE));
+                    }
+                    removed += 1;
+                }
+            }
+            w.pmaps
+                .get_mut(&self.id)
+                .unwrap()
+                .wired
+                .remove(&(v.0 / PAGE));
+            v += PAGE;
+        }
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident -= removed;
+        }
+        drop(w);
+        self.core.charge_op(flush.len() as u64);
+        self.core
+            .counters
+            .removes
+            .fetch_add(flush.len() as u64, Ordering::Relaxed);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut narrow = Vec::new();
+        let mut widen = Vec::new();
+        let mut w = self.world.lock();
+        let sw_ctx = w.pmaps[&self.id].context;
+        let mut v = start;
+        let mut invalidated = 0;
+        while v < end {
+            let seg = (v.0 >> 17) as usize;
+            let idx = ((v.0 >> 13) & 0xF) as usize;
+            if let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) {
+                let mut mmu = self.mmu().lock();
+                let pte = &mut mmu.pmegs[pmeg as usize][idx];
+                if pte.valid {
+                    let was_write = pte.write;
+                    if prot.is_none() {
+                        let dead = *pte;
+                        *pte = Sun3Pte::default();
+                        drop(mmu);
+                        self.core.pv.remove(Pfn(dead.pfn as u64), self.id, v);
+                        let bits =
+                            (dead.modified as u8 * ATTR_MOD) | (dead.referenced as u8 * ATTR_REF);
+                        self.core.pv.merge_attrs(Pfn(dead.pfn as u64), bits);
+                        invalidated += 1;
+                        if let Some(ctx) = sw_ctx {
+                            narrow.push((ctx as u32, v.0 / PAGE));
+                        }
+                    } else {
+                        pte.write = prot.allows_write();
+                        let narrowing = was_write && !prot.allows_write();
+                        if let Some(ctx) = sw_ctx {
+                            if narrowing {
+                                narrow.push((ctx as u32, v.0 / PAGE));
+                            } else {
+                                widen.push((ctx as u32, v.0 / PAGE));
+                            }
+                        }
+                    }
+                    self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            v += PAGE;
+        }
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident -= invalidated;
+        }
+        drop(w);
+        self.core.charge_op((narrow.len() + widen.len()) as u64);
+        let policy = *self.core.policy.read();
+        let cached = self.cpus_cached.load(Ordering::SeqCst);
+        self.core.flush_pages(cached, &narrow, policy.time_critical);
+        self.core.flush_pages(cached, &widen, policy.widen);
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        let w = self.world.lock();
+        let seg = (va.0 >> 17) as usize;
+        let idx = ((va.0 >> 13) & 0xF) as usize;
+        let &pmeg = w.pmaps.get(&self.id)?.segs.get(&seg)?;
+        let pte = self.mmu().lock().pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return None;
+        }
+        Some(Pfn(pte.pfn as u64).base(PAGE) + va.offset_in(PAGE))
+    }
+
+    fn activate(&self, cpu: usize) {
+        let mut w = self.world.lock();
+        let ctx = self.ensure_context(&mut w);
+        drop(w);
+        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+        self.core
+            .machine
+            .cpu(cpu)
+            .load_regs(CpuRegs::Sun3 { context: ctx });
+        // Tagged TLB: no flush needed on context switch.
+        self.core
+            .machine
+            .charge(self.core.machine.cost().context_switch);
+    }
+
+    fn deactivate(&self, _cpu: usize) {}
+
+    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
+        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.world.lock().pmaps[&self.id].resident
+    }
+}
+
+impl HwMapper for Sun3Pmap {
+    fn mapper_id(&self) -> u64 {
+        self.id
+    }
+
+    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
+        let mut w = self.world.lock();
+        let seg = (va.0 >> 17) as usize;
+        let idx = ((va.0 >> 13) & 0xF) as usize;
+        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
+            return (false, false);
+        };
+        let mut mmu = self.mmu().lock();
+        let pte = mmu.pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return (false, false);
+        }
+        mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
+        drop(mmu);
+        if let Some(sw) = w.pmaps.get_mut(&self.id) {
+            sw.resident = sw.resident.saturating_sub(1);
+        }
+        (pte.modified, pte.referenced)
+    }
+
+    fn protect_hw(&self, va: VAddr, prot: HwProt) {
+        let w = self.world.lock();
+        let seg = (va.0 >> 17) as usize;
+        let idx = ((va.0 >> 13) & 0xF) as usize;
+        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
+            return;
+        };
+        let mut mmu = self.mmu().lock();
+        let pte = &mut mmu.pmegs[pmeg as usize][idx];
+        if pte.valid {
+            pte.write = prot.allows_write();
+        }
+    }
+
+    fn read_mr(&self, va: VAddr) -> (bool, bool) {
+        let w = self.world.lock();
+        let seg = (va.0 >> 17) as usize;
+        let idx = ((va.0 >> 13) & 0xF) as usize;
+        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
+            return (false, false);
+        };
+        let pte = self.mmu().lock().pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return (false, false);
+        }
+        (pte.modified, pte.referenced)
+    }
+
+    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
+        let w = self.world.lock();
+        let seg = (va.0 >> 17) as usize;
+        let idx = ((va.0 >> 13) & 0xF) as usize;
+        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
+            return;
+        };
+        let mut mmu = self.mmu().lock();
+        let pte = &mut mmu.pmegs[pmeg as usize][idx];
+        if pte.valid {
+            if clear_mod {
+                pte.modified = false;
+            }
+            if clear_ref {
+                pte.referenced = false;
+            }
+        }
+    }
+
+    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
+        let ctx = self.world.lock().pmaps[&self.id]
+            .context
+            .map(|c| c as u32)
+            .unwrap_or(u32::MAX);
+        (ctx, va.0 / PAGE)
+    }
+
+    fn cpus_cached(&self) -> u64 {
+        self.cpus_cached.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Sun3Pmap {
+    fn drop(&mut self) {
+        let mut w = self.world.lock();
+        if let Some(ctx) = w.pmaps[&self.id].context {
+            self.evict_context(&mut w, ctx);
+        }
+        w.pmaps.remove(&self.id);
+    }
+}
+
+impl MachDep for Sun3MachDep {
+    fn machine(&self) -> &Arc<Machine> {
+        &self.core.machine
+    }
+
+    fn create(&self) -> Arc<dyn Pmap> {
+        Sun3Pmap::new(&self.core, &self.world)
+    }
+
+    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
+        &self.kernel
+    }
+
+    fn remove_all(&self, pa: PAddr, size: u64) {
+        let strategy = self.core.policy.read().time_critical;
+        self.core.remove_all_with(pa, size, strategy);
+    }
+
+    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
+        let strategy = self.core.policy.read().pageout;
+        self.core.remove_all_with(pa, size, strategy)
+    }
+
+    fn copy_on_write(&self, pa: PAddr, size: u64) {
+        self.core.copy_on_write(pa, size);
+    }
+
+    fn zero_page(&self, pa: PAddr, size: u64) {
+        self.core.zero_page(pa, size);
+    }
+
+    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.core.copy_page(src, dst, size);
+    }
+
+    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_modified(pa, size)
+    }
+
+    fn clear_modify(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, true, false);
+    }
+
+    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_referenced(pa, size)
+    }
+
+    fn clear_reference(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, false, true);
+    }
+
+    fn mapping_count(&self, pa: PAddr) -> usize {
+        self.core.pv.mapping_count(pa.pfn(PAGE))
+    }
+
+    fn update(&self) {
+        self.core.update();
+    }
+
+    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
+        *self.core.policy.write() = policy;
+    }
+
+    fn stats(&self) -> PmapStats {
+        self.core.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    fn setup() -> (Arc<Machine>, Arc<Sun3MachDep>) {
+        let machine = Machine::boot(MachineModel::sun_3_160());
+        let md = Sun3MachDep::new(&machine);
+        (machine, md)
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    fn frame(machine: &Arc<Machine>) -> PAddr {
+        machine.frames().alloc().unwrap().base(PAGE)
+    }
+
+    #[test]
+    fn enter_and_cpu_access() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = frame(&machine);
+        pmap.enter(VAddr(0x40000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x40000), 0x1234).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x40000)).unwrap(), 0x1234);
+        assert_eq!(pmap.extract(VAddr(0x40008)), Some(pa + 8));
+        assert_eq!(pmap.resident_pages(), 1);
+    }
+
+    #[test]
+    fn nine_pmaps_steal_contexts() {
+        let (machine, md) = setup();
+        let pmaps: Vec<_> = (0..9).map(|_| md.create()).collect();
+        let _b = machine.bind_cpu(0);
+        for (i, p) in pmaps.iter().enumerate() {
+            let pa = frame(&machine);
+            p.enter(VAddr(0), pa, PAGE, rw(), false);
+            p.activate(0);
+            machine.store_u32(VAddr(0), i as u32).unwrap();
+        }
+        // 9 pmaps, 8 contexts: at least one steal.
+        assert!(md.stats().context_steals >= 1);
+        // The stolen-from pmap lost its hardware mappings...
+        let victim = &pmaps[0];
+        assert_eq!(victim.extract(VAddr(0)), None, "victim's cache was purged");
+        // ...but can be reactivated (a fresh context) and refault.
+        victim.activate(0);
+        assert!(
+            machine.load_u32(VAddr(0)).is_err(),
+            "must refault after steal"
+        );
+    }
+
+    #[test]
+    fn context_isolation_between_tasks() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let p2 = md.create();
+        let pa1 = frame(&machine);
+        let pa2 = frame(&machine);
+        p1.enter(VAddr(0x2000), pa1, PAGE, rw(), false);
+        p2.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        p1.activate(0);
+        machine.store_u32(VAddr(0x2000), 111).unwrap();
+        p2.activate(0);
+        machine.store_u32(VAddr(0x2000), 222).unwrap();
+        p1.activate(0);
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 111);
+        p2.activate(0);
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 222);
+    }
+
+    #[test]
+    fn pmeg_exhaustion_steals() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        // Touch more than 256 distinct 128 KB segments to exhaust pmegs.
+        for i in 0..(N_PMEGS as u64 + 10) {
+            let pa = frame(&machine);
+            pmap.enter(VAddr(i << 17), pa, PAGE, rw(), false);
+        }
+        assert!(md.stats().pmeg_steals >= 10);
+        // Early segments were stolen; their mappings are gone.
+        assert_eq!(pmap.extract(VAddr(0)), None);
+        // Recent segment still mapped.
+        assert!(pmap.extract(VAddr((N_PMEGS as u64 + 5) << 17)).is_some());
+    }
+
+    #[test]
+    fn wired_pmegs_survive_stealing() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        let pa = frame(&machine);
+        pmap.enter(VAddr(0), pa, PAGE, rw(), true); // wired
+        for i in 1..(N_PMEGS as u64 + 10) {
+            let f = frame(&machine);
+            pmap.enter(VAddr(i << 17), f, PAGE, rw(), false);
+        }
+        assert!(pmap.extract(VAddr(0)).is_some(), "wired pmeg not stolen");
+    }
+
+    #[test]
+    fn remove_all_and_attrs() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = frame(&machine);
+        pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x2000), 5).unwrap();
+        md.remove_all(pa, PAGE);
+        assert_eq!(md.mapping_count(pa), 0);
+        assert!(machine.load_u32(VAddr(0x2000)).is_err());
+        assert!(md.is_modified(pa, PAGE), "modify bit survived removal");
+    }
+
+    #[test]
+    fn drop_releases_context_and_pmegs() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let pa = frame(&machine);
+        p1.enter(VAddr(0), pa, PAGE, rw(), false);
+        drop(p1);
+        // All 8 contexts available again: 8 creates, no steals.
+        let pmaps: Vec<_> = (0..8).map(|_| md.create()).collect();
+        let _b = machine.bind_cpu(0);
+        for p in &pmaps {
+            p.activate(0);
+        }
+        assert_eq!(md.stats().context_steals, 0);
+        assert_eq!(md.mapping_count(pa), 0);
+    }
+}

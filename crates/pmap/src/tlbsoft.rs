@@ -1,0 +1,462 @@
+//! The TLB-only (RP3-style) pmap port — the paper's minimal case.
+//!
+//! "Machines which provide only an easily manipulated TLB could be
+//! accommodated by Mach and would need little code to be written for the
+//! pmap module" (§5, footnote 2). This module is that little code: there
+//! are no hardware tables to build, grow, hash or steal — `pmap_enter` is
+//! a software-map insert, `pmap_remove` a delete, and the TLB refills
+//! itself from the software map on miss. Compare its length with the VAX
+//! port's table-growing machinery.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::arch::tlbsoft::{SoftPte, SoftTables, TlbSoftRegs, N_ASIDS, VA_LIMIT};
+use mach_hw::arch::{ArchGlobal, CpuRegs};
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+use crate::core::MdCore;
+use crate::pv::{ATTR_MOD, ATTR_REF};
+use crate::soft::SoftPmap;
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+
+const PAGE: u64 = 4096;
+
+/// The TLB-only machine-dependent module.
+#[derive(Debug)]
+pub struct TlbSoftMachDep {
+    core: Arc<MdCore>,
+    kernel: Arc<dyn Pmap>,
+    asids: Arc<Mutex<AsidPool>>,
+}
+
+#[derive(Debug)]
+struct AsidPool {
+    next: u32,
+    free: Vec<u32>,
+}
+
+impl TlbSoftMachDep {
+    /// Build the TLB-only pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not TLB-only.
+    pub fn new(machine: &Arc<Machine>) -> Arc<TlbSoftMachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::TlbSoft);
+        Arc::new(TlbSoftMachDep {
+            core: Arc::new(MdCore::new(machine)),
+            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
+            asids: Arc::new(Mutex::new(AsidPool {
+                next: 1,
+                free: Vec::new(),
+            })),
+        })
+    }
+}
+
+/// A TLB-only physical map: an address-space id plus entries in the
+/// machine's software translation store.
+#[derive(Debug)]
+pub struct TlbSoftPmap {
+    id: u64,
+    asid: u32,
+    core: Arc<MdCore>,
+    me: Weak<TlbSoftPmap>,
+    asid_pool: Arc<Mutex<AsidPool>>,
+    cpus_cached: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl TlbSoftPmap {
+    fn new(md: &TlbSoftMachDep) -> Arc<TlbSoftPmap> {
+        let asid = {
+            let mut pool = md.asids.lock();
+            pool.free.pop().unwrap_or_else(|| {
+                assert!(pool.next < N_ASIDS, "out of address-space identifiers");
+                let a = pool.next;
+                pool.next += 1;
+                a
+            })
+        };
+        Arc::new_cyclic(|me| TlbSoftPmap {
+            id: md.core.next_id(),
+            asid,
+            core: Arc::clone(&md.core),
+            me: me.clone(),
+            asid_pool: Arc::clone(&md.asids),
+            cpus_cached: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        })
+    }
+
+    fn tables(&self) -> &Mutex<SoftTables> {
+        match self.core.machine.arch_global() {
+            ArchGlobal::TlbSoft(t) => t,
+            _ => unreachable!("TLB-only machine carries soft tables"),
+        }
+    }
+
+    fn weak_self(&self) -> Weak<dyn HwMapper> {
+        self.me.clone() as Weak<dyn HwMapper>
+    }
+}
+
+impl Pmap for TlbSoftPmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
+        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+        assert!(va.0 + size <= VA_LIMIT);
+        let n = size / PAGE;
+        self.core.charge_op(n);
+        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+        let mut flush = Vec::new();
+        {
+            let mut t = self.tables().lock();
+            for i in 0..n {
+                let vpn = va.0 / PAGE + i;
+                let frame = Pfn(pa.0 / PAGE + i);
+                let mut new = SoftPte {
+                    pfn: frame,
+                    prot,
+                    modified: false,
+                    referenced: false,
+                };
+                match t.map.insert((self.asid, vpn), new) {
+                    Some(old) => {
+                        if old.pfn != frame {
+                            self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
+                            let bits =
+                                (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
+                            self.core.pv.merge_attrs(old.pfn, bits);
+                        } else {
+                            new.modified = old.modified;
+                            new.referenced = old.referenced;
+                            t.map.insert((self.asid, vpn), new);
+                        }
+                        flush.push((self.asid, vpn));
+                    }
+                    None => {
+                        self.resident.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                self.core.pv.add(frame, self.weak_self(), VAddr(vpn * PAGE));
+            }
+        }
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        let mut flush = Vec::new();
+        {
+            let mut t = self.tables().lock();
+            for vpn in start.0 / PAGE..end.0.div_ceil(PAGE) {
+                if let Some(old) = t.map.remove(&(self.asid, vpn)) {
+                    self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
+                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(old.pfn, bits);
+                    self.resident.fetch_sub(1, Ordering::Relaxed);
+                    flush.push((self.asid, vpn));
+                }
+            }
+        }
+        self.core.charge_op(flush.len() as u64);
+        self.core
+            .counters
+            .removes
+            .fetch_add(flush.len() as u64, Ordering::Relaxed);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        let mut narrow = Vec::new();
+        let mut widen = Vec::new();
+        {
+            let mut t = self.tables().lock();
+            for vpn in start.0 / PAGE..end.0.div_ceil(PAGE) {
+                let Some(e) = t.map.get_mut(&(self.asid, vpn)) else {
+                    continue;
+                };
+                let narrowing = e.prot.bits() & !prot.bits() != 0;
+                if prot.is_none() {
+                    let old = t.map.remove(&(self.asid, vpn)).expect("present");
+                    self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
+                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(old.pfn, bits);
+                    self.resident.fetch_sub(1, Ordering::Relaxed);
+                    narrow.push((self.asid, vpn));
+                } else {
+                    e.prot = prot;
+                    if narrowing {
+                        narrow.push((self.asid, vpn));
+                    } else {
+                        widen.push((self.asid, vpn));
+                    }
+                }
+                self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.core.charge_op((narrow.len() + widen.len()) as u64);
+        let policy = *self.core.policy.read();
+        let cached = self.cpus_cached.load(Ordering::SeqCst);
+        self.core.flush_pages(cached, &narrow, policy.time_critical);
+        self.core.flush_pages(cached, &widen, policy.widen);
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        let t = self.tables().lock();
+        let e = t.map.get(&(self.asid, va.0 / PAGE))?;
+        Some(e.pfn.base(PAGE) + va.offset_in(PAGE))
+    }
+
+    fn activate(&self, cpu: usize) {
+        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+        self.core
+            .machine
+            .cpu(cpu)
+            .load_regs(CpuRegs::TlbSoft(TlbSoftRegs {
+                asid: self.asid,
+                enabled: true,
+            }));
+        // ASID-tagged TLB: nothing to flush.
+        self.core
+            .machine
+            .charge(self.core.machine.cost().context_switch);
+    }
+
+    fn deactivate(&self, _cpu: usize) {}
+
+    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
+        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+}
+
+impl HwMapper for TlbSoftPmap {
+    fn mapper_id(&self) -> u64 {
+        self.id
+    }
+
+    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
+        let mut t = self.tables().lock();
+        match t.map.remove(&(self.asid, va.0 / PAGE)) {
+            Some(old) => {
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                (old.modified, old.referenced)
+            }
+            None => (false, false),
+        }
+    }
+
+    fn protect_hw(&self, va: VAddr, prot: HwProt) {
+        if let Some(e) = self.tables().lock().map.get_mut(&(self.asid, va.0 / PAGE)) {
+            e.prot = prot;
+        }
+    }
+
+    fn read_mr(&self, va: VAddr) -> (bool, bool) {
+        match self.tables().lock().map.get(&(self.asid, va.0 / PAGE)) {
+            Some(e) => (e.modified, e.referenced),
+            None => (false, false),
+        }
+    }
+
+    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
+        if let Some(e) = self.tables().lock().map.get_mut(&(self.asid, va.0 / PAGE)) {
+            if clear_mod {
+                e.modified = false;
+            }
+            if clear_ref {
+                e.referenced = false;
+            }
+        }
+    }
+
+    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
+        (self.asid, va.0 / PAGE)
+    }
+
+    fn cpus_cached(&self) -> u64 {
+        self.cpus_cached.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for TlbSoftPmap {
+    fn drop(&mut self) {
+        {
+            let mut t = self.tables().lock();
+            let mine: Vec<(u32, u64)> = t
+                .map
+                .keys()
+                .filter(|(a, _)| *a == self.asid)
+                .copied()
+                .collect();
+            for key in mine {
+                if let Some(old) = t.map.remove(&key) {
+                    self.core.pv.remove(old.pfn, self.id, VAddr(key.1 * PAGE));
+                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(old.pfn, bits);
+                }
+            }
+        }
+        self.asid_pool.lock().free.push(self.asid);
+    }
+}
+
+impl MachDep for TlbSoftMachDep {
+    fn machine(&self) -> &Arc<Machine> {
+        &self.core.machine
+    }
+
+    fn create(&self) -> Arc<dyn Pmap> {
+        TlbSoftPmap::new(self)
+    }
+
+    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
+        &self.kernel
+    }
+
+    fn remove_all(&self, pa: PAddr, size: u64) {
+        let strategy = self.core.policy.read().time_critical;
+        self.core.remove_all_with(pa, size, strategy);
+    }
+
+    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
+        let strategy = self.core.policy.read().pageout;
+        self.core.remove_all_with(pa, size, strategy)
+    }
+
+    fn copy_on_write(&self, pa: PAddr, size: u64) {
+        self.core.copy_on_write(pa, size);
+    }
+
+    fn zero_page(&self, pa: PAddr, size: u64) {
+        self.core.zero_page(pa, size);
+    }
+
+    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.core.copy_page(src, dst, size);
+    }
+
+    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_modified(pa, size)
+    }
+
+    fn clear_modify(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, true, false);
+    }
+
+    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_referenced(pa, size)
+    }
+
+    fn clear_reference(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, false, true);
+    }
+
+    fn mapping_count(&self, pa: PAddr) -> usize {
+        self.core.pv.mapping_count(pa.pfn(PAGE))
+    }
+
+    fn update(&self) {
+        self.core.update();
+    }
+
+    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
+        *self.core.policy.write() = policy;
+    }
+
+    fn stats(&self) -> PmapStats {
+        self.core.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    fn setup() -> (Arc<Machine>, Arc<TlbSoftMachDep>) {
+        let machine = Machine::boot(MachineModel::rp3(2));
+        let md = TlbSoftMachDep::new(&machine);
+        (machine, md)
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    #[test]
+    fn enter_access_remove_with_no_tables_anywhere() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
+        // The defining property: zero bytes of hardware tables, ever.
+        assert_eq!(md.stats().table_bytes, 0);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x4000), 0x2B).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x4000)).unwrap(), 0x2B);
+        pmap.remove(VAddr(0x4000), VAddr(0x4000 + PAGE));
+        assert!(machine.load_u32(VAddr(0x4000)).is_err());
+        assert_eq!(pmap.resident_pages(), 0);
+    }
+
+    #[test]
+    fn asids_isolate_address_spaces() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let p2 = md.create();
+        let pa1 = machine.frames().alloc().unwrap().base(PAGE);
+        let pa2 = machine.frames().alloc().unwrap().base(PAGE);
+        p1.enter(VAddr(0x1000), pa1, PAGE, rw(), false);
+        p2.enter(VAddr(0x1000), pa2, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        p1.activate(0);
+        machine.store_u32(VAddr(0x1000), 1).unwrap();
+        p2.activate(0);
+        machine.store_u32(VAddr(0x1000), 2).unwrap();
+        p1.activate(0);
+        assert_eq!(machine.load_u32(VAddr(0x1000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn modify_reference_tracking_through_the_miss_handler() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        assert!(!md.is_referenced(pa, PAGE));
+        machine.load_u32(VAddr(0)).unwrap();
+        assert!(md.is_referenced(pa, PAGE));
+        assert!(!md.is_modified(pa, PAGE));
+        machine.store_u32(VAddr(0), 1).unwrap();
+        assert!(md.is_modified(pa, PAGE));
+        pmap.remove(VAddr(0), VAddr(PAGE));
+        assert!(md.is_modified(pa, PAGE), "attribute stolen on removal");
+    }
+
+    #[test]
+    fn asid_recycled_on_drop() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        p1.enter(VAddr(0), pa, PAGE, rw(), false);
+        drop(p1);
+        assert_eq!(md.mapping_count(pa), 0, "soft entries cleaned up");
+        assert_eq!(md.asids.lock().free.len(), 1);
+        let _p2 = md.create();
+        assert!(md.asids.lock().free.is_empty(), "asid reused");
+    }
+}

@@ -1,0 +1,864 @@
+//! The VAX pmap port: partially-constructed linear page tables.
+//!
+//! "Although, in theory, a full two gigabyte address space can be
+//! allocated ... it is not always practical to do so because of the large
+//! amount of linear page table space required (8 megabytes). The solution
+//! chosen for Mach was to keep page tables in physical memory, but only to
+//! construct those parts of the table which were needed" (§5.1).
+//!
+//! Each region's table is a physically contiguous array of PTEs grown
+//! geometrically as higher (P0) or lower (P1) pages are entered, and
+//! destroyed with the pmap. The P1 table is allocated from its top, with
+//! the base register biased by `-4 * P1LR` exactly as the hardware
+//! expects. The per-pmap table footprint is observable through
+//! [`crate::PmapStats::table_bytes`] — the quantity the paper's complaint
+//! is about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::arch::vax::{
+    decode, pte, pte_prot, Region, VaxRegs, PTE_M, PTE_PFN_MASK, PTE_REF, PTE_V, REGION_PAGES,
+};
+use mach_hw::arch::CpuRegs;
+use mach_hw::machine::Machine;
+use mach_hw::tlb::FlushScope;
+use parking_lot::Mutex;
+
+use crate::core::MdCore;
+use crate::pv::{ATTR_MOD, ATTR_REF};
+use crate::soft::SoftPmap;
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+
+const PAGE: u64 = 512;
+const PTES_PER_FRAME: u64 = PAGE / 4;
+
+/// One region's (possibly partial) linear table.
+#[derive(Debug)]
+struct VaxRegion {
+    base: Option<Pfn>,
+    frames: u64,
+    /// P0: number of valid PTEs from the bottom. P1: lowest valid page.
+    lr: u64,
+}
+
+#[derive(Debug)]
+struct VaxState {
+    p0: VaxRegion,
+    p1: VaxRegion,
+    resident: u64,
+}
+
+impl VaxState {
+    fn new() -> VaxState {
+        VaxState {
+            p0: VaxRegion {
+                base: None,
+                frames: 0,
+                lr: 0,
+            },
+            p1: VaxRegion {
+                base: None,
+                frames: 0,
+                lr: REGION_PAGES,
+            },
+            resident: 0,
+        }
+    }
+
+    fn pte_pa(&self, region: Region, vpn: u64) -> Option<PAddr> {
+        match region {
+            Region::P0 => {
+                let r = &self.p0;
+                if vpn < r.lr {
+                    Some(PAddr(r.base?.0 * PAGE + 4 * vpn))
+                } else {
+                    None
+                }
+            }
+            Region::P1 => {
+                let r = &self.p1;
+                if vpn >= r.lr && vpn < REGION_PAGES {
+                    Some(PAddr(r.base?.0 * PAGE + 4 * (vpn - r.lr)))
+                } else {
+                    None
+                }
+            }
+            Region::System => None,
+        }
+    }
+
+    fn hw_regs(&self) -> VaxRegs {
+        let p1_base = self.p1.base.map(|b| b.0 * PAGE).unwrap_or(0) as i64;
+        VaxRegs {
+            p0br: self.p0.base.map(|b| b.0 * PAGE).unwrap_or(0),
+            p0lr: self.p0.lr as u32,
+            p1br: p1_base - 4 * self.p1.lr as i64,
+            p1lr: self.p1.lr as u32,
+            sbr: 0,
+            slr: 0,
+        }
+    }
+}
+
+/// The VAX machine-dependent module.
+#[derive(Debug)]
+pub struct VaxMachDep {
+    core: Arc<MdCore>,
+    kernel: Arc<dyn Pmap>,
+}
+
+impl VaxMachDep {
+    /// Build the VAX pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not a VAX.
+    pub fn new(machine: &Arc<Machine>) -> Arc<VaxMachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::Vax);
+        Arc::new(VaxMachDep {
+            core: Arc::new(MdCore::new(machine)),
+            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
+        })
+    }
+}
+
+/// A VAX physical map (per-task page tables).
+#[derive(Debug)]
+pub struct VaxPmap {
+    id: u64,
+    core: Arc<MdCore>,
+    me: Weak<VaxPmap>,
+    cpus_using: AtomicU64,
+    cpus_cached: AtomicU64,
+    state: Mutex<VaxState>,
+}
+
+impl VaxPmap {
+    fn new(core: &Arc<MdCore>) -> Arc<VaxPmap> {
+        Arc::new_cyclic(|me| VaxPmap {
+            id: core.next_id(),
+            core: Arc::clone(core),
+            me: me.clone(),
+            cpus_using: AtomicU64::new(0),
+            cpus_cached: AtomicU64::new(0),
+            state: Mutex::new(VaxState::new()),
+        })
+    }
+
+    /// Grow (or create) a region table so `vpn` is covered.
+    fn ensure(&self, st: &mut VaxState, region: Region, vpn: u64) {
+        let machine = &self.core.machine;
+        let grows_down = region == Region::P1;
+        let r = match region {
+            Region::P0 => &mut st.p0,
+            Region::P1 => &mut st.p1,
+            Region::System => panic!("user pmap cannot map the system region"),
+        };
+        let covered = if grows_down {
+            vpn >= r.lr && r.base.is_some()
+        } else {
+            vpn < r.lr
+        };
+        if covered {
+            return;
+        }
+        let old_count = if grows_down {
+            REGION_PAGES - r.lr
+        } else {
+            r.lr
+        };
+        let needed = if grows_down {
+            REGION_PAGES - (vpn / PTES_PER_FRAME) * PTES_PER_FRAME
+        } else {
+            (vpn + 1).next_multiple_of(PTES_PER_FRAME)
+        };
+        let mut new_count = needed.max(old_count * 2).min(REGION_PAGES);
+        let mut new_frames = new_count.div_ceil(PTES_PER_FRAME);
+        // Fall back to the exact requirement if memory is fragmented.
+        let base = machine.frames().alloc_contig(new_frames).or_else(|| {
+            new_count = needed;
+            new_frames = new_count.div_ceil(PTES_PER_FRAME);
+            machine.frames().alloc_contig(new_frames)
+        });
+        let base = base.expect("out of physical memory for VAX page table");
+        let new_pa = PAddr(base.0 * PAGE);
+        machine
+            .phys()
+            .zero(new_pa, new_frames * PAGE)
+            .expect("table frames valid");
+        machine.charge(machine.cost().zero_cycles(new_frames * PAGE));
+        if let Some(old_base) = r.base {
+            let old_pa = PAddr(old_base.0 * PAGE);
+            if old_count > 0 {
+                if grows_down {
+                    // Old table occupied the tail; keep it at the tail.
+                    let off = (new_count - old_count) * 4;
+                    machine
+                        .phys()
+                        .copy(old_pa, PAddr(new_pa.0 + off), old_count * 4)
+                        .expect("table copy");
+                } else {
+                    machine
+                        .phys()
+                        .copy(old_pa, new_pa, old_count * 4)
+                        .expect("table copy");
+                }
+                machine.charge(machine.cost().copy_cycles(old_count * 4));
+            }
+            machine.frames().free_contig(old_base, r.frames);
+            self.core
+                .counters
+                .table_bytes
+                .fetch_sub(r.frames * PAGE, Ordering::Relaxed);
+        }
+        r.base = Some(base);
+        r.frames = new_frames;
+        r.lr = if grows_down {
+            REGION_PAGES - new_count
+        } else {
+            new_count
+        };
+        self.core
+            .counters
+            .table_bytes
+            .fetch_add(new_frames * PAGE, Ordering::Relaxed);
+        // Register reload (the base/length pair changed) happens in the
+        // caller, after the mutable region borrow ends.
+    }
+
+    fn reload_regs(&self, st: &VaxState) {
+        let mask = self.cpus_using.load(Ordering::SeqCst);
+        let regs = st.hw_regs();
+        for cpu in crate::core::cpu_list(mask, self.core.machine.n_cpus()) {
+            self.core.machine.cpu(cpu).load_regs(CpuRegs::Vax(regs));
+        }
+    }
+
+    fn weak_self(&self) -> Weak<dyn HwMapper> {
+        self.me.clone() as Weak<dyn HwMapper>
+    }
+}
+
+impl Pmap for VaxPmap {
+    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
+        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+        let n = size / PAGE;
+        self.core.charge_op(n);
+        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+        let mut flush = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let mut grew = false;
+            for i in 0..n {
+                let v = va + i * PAGE;
+                let frame = Pfn(pa.0 / PAGE + i);
+                let (region, vpn) = decode(v).expect("enter within the VAX user regions");
+                assert!(
+                    region != Region::System,
+                    "user pmap cannot map the system region"
+                );
+                if st.pte_pa(region, vpn).is_none() {
+                    self.ensure(&mut st, region, vpn);
+                    grew = true;
+                }
+                let pte_pa = st.pte_pa(region, vpn).expect("table just ensured");
+                let old = self
+                    .core
+                    .machine
+                    .phys()
+                    .read_u32(pte_pa)
+                    .expect("table resident");
+                let mut word = pte(frame, prot);
+                if old & PTE_V != 0 {
+                    let old_pfn = Pfn((old & PTE_PFN_MASK) as u64);
+                    if old_pfn != frame {
+                        // The slot stays resident; only the frame changes.
+                        self.core.pv.remove(old_pfn, self.id, v);
+                        let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
+                            | ((old & PTE_REF != 0) as u8 * ATTR_REF);
+                        self.core.pv.merge_attrs(old_pfn, bits);
+                    } else {
+                        // Re-entering the same frame: preserve M/REF.
+                        word |= old & (PTE_M | PTE_REF);
+                    }
+                    flush.push((0u32, v.0 >> 9));
+                }
+                if old & PTE_V == 0 {
+                    st.resident += 1;
+                }
+                self.core
+                    .machine
+                    .phys()
+                    .write_u32(pte_pa, word)
+                    .expect("table resident");
+                self.core.pv.add(frame, self.weak_self(), v);
+            }
+            if grew {
+                self.reload_regs(&st);
+            }
+        }
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn remove(&self, start: VAddr, end: VAddr) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut flush = Vec::new();
+        {
+            let mut st = self.state.lock();
+            let mut v = start;
+            while v < end {
+                if let Ok((region, vpn)) = decode(v) {
+                    if let Some(pte_pa) = st.pte_pa(region, vpn) {
+                        let old = self
+                            .core
+                            .machine
+                            .phys()
+                            .read_u32(pte_pa)
+                            .expect("table resident");
+                        if old & PTE_V != 0 {
+                            let frame = Pfn((old & PTE_PFN_MASK) as u64);
+                            self.core
+                                .machine
+                                .phys()
+                                .write_u32(pte_pa, 0)
+                                .expect("table resident");
+                            self.core.pv.remove(frame, self.id, v);
+                            let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
+                                | ((old & PTE_REF != 0) as u8 * ATTR_REF);
+                            self.core.pv.merge_attrs(frame, bits);
+                            st.resident -= 1;
+                            flush.push((0u32, v.0 >> 9));
+                            self.core.counters.removes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                v += PAGE;
+            }
+        }
+        self.core.charge_op(flush.len() as u64);
+        let strategy = self.core.policy.read().time_critical;
+        self.core
+            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    }
+
+    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
+        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+        let mut narrow = Vec::new();
+        let mut widen = Vec::new();
+        {
+            let st = self.state.lock();
+            let mut v = start;
+            while v < end {
+                if let Ok((region, vpn)) = decode(v) {
+                    if let Some(pte_pa) = st.pte_pa(region, vpn) {
+                        let old = self
+                            .core
+                            .machine
+                            .phys()
+                            .read_u32(pte_pa)
+                            .expect("table resident");
+                        if old & PTE_V != 0 {
+                            let old_prot = pte_prot(old);
+                            let frame = Pfn((old & PTE_PFN_MASK) as u64);
+                            let mut word = pte(frame, prot) | (old & (PTE_M | PTE_REF));
+                            if prot.is_none() {
+                                word = 0; // protection "none" unmaps in hw
+                            }
+                            self.core
+                                .machine
+                                .phys()
+                                .write_u32(pte_pa, word)
+                                .expect("table resident");
+                            let narrowing = old_prot.bits() & !prot.bits() != 0;
+                            if narrowing {
+                                narrow.push((0u32, v.0 >> 9));
+                            } else {
+                                widen.push((0u32, v.0 >> 9));
+                            }
+                            self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                v += PAGE;
+            }
+        }
+        self.core.charge_op((narrow.len() + widen.len()) as u64);
+        let policy = *self.core.policy.read();
+        let cached = self.cpus_cached.load(Ordering::SeqCst);
+        self.core.flush_pages(cached, &narrow, policy.time_critical);
+        self.core.flush_pages(cached, &widen, policy.widen);
+    }
+
+    fn extract(&self, va: VAddr) -> Option<PAddr> {
+        let st = self.state.lock();
+        let (region, vpn) = decode(va).ok()?;
+        let pte_pa = st.pte_pa(region, vpn)?;
+        let word = self.core.machine.phys().read_u32(pte_pa).ok()?;
+        if word & PTE_V == 0 {
+            return None;
+        }
+        Some(Pfn((word & PTE_PFN_MASK) as u64).base(PAGE) + va.offset_in(PAGE))
+    }
+
+    fn activate(&self, cpu: usize) {
+        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
+        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+        let st = self.state.lock();
+        self.core
+            .machine
+            .cpu(cpu)
+            .load_regs(CpuRegs::Vax(st.hw_regs()));
+        drop(st);
+        // The VAX TLB is untagged: switching spaces flushes it.
+        self.core.machine.flush_quiescent(cpu, FlushScope::All);
+        self.core
+            .machine
+            .charge(self.core.machine.cost().context_switch);
+    }
+
+    fn deactivate(&self, cpu: usize) {
+        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
+    }
+
+    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
+        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
+    }
+
+    fn resident_pages(&self) -> u64 {
+        self.state.lock().resident
+    }
+}
+
+impl HwMapper for VaxPmap {
+    fn mapper_id(&self) -> u64 {
+        self.id
+    }
+
+    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
+        let mut st = self.state.lock();
+        let Ok((region, vpn)) = decode(va) else {
+            return (false, false);
+        };
+        let Some(pte_pa) = st.pte_pa(region, vpn) else {
+            return (false, false);
+        };
+        let old = self
+            .core
+            .machine
+            .phys()
+            .read_u32(pte_pa)
+            .expect("table resident");
+        if old & PTE_V == 0 {
+            return (false, false);
+        }
+        self.core
+            .machine
+            .phys()
+            .write_u32(pte_pa, 0)
+            .expect("table resident");
+        st.resident -= 1;
+        (old & PTE_M != 0, old & PTE_REF != 0)
+    }
+
+    fn protect_hw(&self, va: VAddr, prot: HwProt) {
+        let st = self.state.lock();
+        let Ok((region, vpn)) = decode(va) else {
+            return;
+        };
+        let Some(pte_pa) = st.pte_pa(region, vpn) else {
+            return;
+        };
+        let phys = self.core.machine.phys();
+        let old = phys.read_u32(pte_pa).expect("table resident");
+        if old & PTE_V == 0 {
+            return;
+        }
+        let frame = Pfn((old & PTE_PFN_MASK) as u64);
+        let word = pte(frame, prot) | (old & (PTE_M | PTE_REF));
+        phys.write_u32(pte_pa, word).expect("table resident");
+    }
+
+    fn read_mr(&self, va: VAddr) -> (bool, bool) {
+        let st = self.state.lock();
+        let Ok((region, vpn)) = decode(va) else {
+            return (false, false);
+        };
+        let Some(pte_pa) = st.pte_pa(region, vpn) else {
+            return (false, false);
+        };
+        let word = self
+            .core
+            .machine
+            .phys()
+            .read_u32(pte_pa)
+            .expect("table resident");
+        if word & PTE_V == 0 {
+            return (false, false);
+        }
+        (word & PTE_M != 0, word & PTE_REF != 0)
+    }
+
+    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
+        let st = self.state.lock();
+        let Ok((region, vpn)) = decode(va) else {
+            return;
+        };
+        let Some(pte_pa) = st.pte_pa(region, vpn) else {
+            return;
+        };
+        let mut mask = 0u32;
+        if clear_mod {
+            mask |= PTE_M;
+        }
+        if clear_ref {
+            mask |= PTE_REF;
+        }
+        let _ =
+            self.core
+                .machine
+                .phys()
+                .update_u32(pte_pa, |w| if w & PTE_V != 0 { w & !mask } else { w });
+    }
+
+    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
+        (0, va.0 >> 9)
+    }
+
+    fn cpus_cached(&self) -> u64 {
+        self.cpus_cached.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for VaxPmap {
+    fn drop(&mut self) {
+        let st = self.state.lock();
+        let phys = self.core.machine.phys();
+        // Tear down every remaining mapping's pv entry, then the tables.
+        for (region, r) in [(Region::P0, &st.p0), (Region::P1, &st.p1)] {
+            let Some(base) = r.base else { continue };
+            let (first_vpn, count) = match region {
+                Region::P0 => (0, r.lr),
+                Region::P1 => (r.lr, REGION_PAGES - r.lr),
+                Region::System => unreachable!(),
+            };
+            for i in 0..count {
+                let pte_pa = PAddr(base.0 * PAGE + 4 * i);
+                let word = phys.read_u32(pte_pa).unwrap_or(0);
+                if word & PTE_V != 0 {
+                    let frame = Pfn((word & PTE_PFN_MASK) as u64);
+                    let vpn = first_vpn + i;
+                    let va =
+                        VAddr((if region == Region::P1 { 1u64 << 30 } else { 0 }) + vpn * PAGE);
+                    self.core.pv.remove(frame, self.id, va);
+                    let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
+                        | ((word & PTE_REF != 0) as u8 * ATTR_REF);
+                    self.core.pv.merge_attrs(frame, bits);
+                }
+            }
+            self.core.machine.frames().free_contig(base, r.frames);
+            self.core
+                .counters
+                .table_bytes
+                .fetch_sub(r.frames * PAGE, Ordering::Relaxed);
+        }
+    }
+}
+
+impl MachDep for VaxMachDep {
+    fn machine(&self) -> &Arc<Machine> {
+        &self.core.machine
+    }
+
+    fn create(&self) -> Arc<dyn Pmap> {
+        VaxPmap::new(&self.core)
+    }
+
+    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
+        &self.kernel
+    }
+
+    fn remove_all(&self, pa: PAddr, size: u64) {
+        let strategy = self.core.policy.read().time_critical;
+        self.core.remove_all_with(pa, size, strategy);
+    }
+
+    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
+        let strategy = self.core.policy.read().pageout;
+        self.core.remove_all_with(pa, size, strategy)
+    }
+
+    fn copy_on_write(&self, pa: PAddr, size: u64) {
+        self.core.copy_on_write(pa, size);
+    }
+
+    fn zero_page(&self, pa: PAddr, size: u64) {
+        self.core.zero_page(pa, size);
+    }
+
+    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
+        self.core.copy_page(src, dst, size);
+    }
+
+    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_modified(pa, size)
+    }
+
+    fn clear_modify(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, true, false);
+    }
+
+    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
+        self.core.is_referenced(pa, size)
+    }
+
+    fn clear_reference(&self, pa: PAddr, size: u64) {
+        self.core.clear_bits(pa, size, false, true);
+    }
+
+    fn mapping_count(&self, pa: PAddr) -> usize {
+        self.core.pv.mapping_count(pa.pfn(PAGE))
+    }
+
+    fn update(&self) {
+        self.core.update();
+    }
+
+    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
+        *self.core.policy.write() = policy;
+    }
+
+    fn stats(&self) -> PmapStats {
+        self.core.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::MachineModel;
+
+    fn setup() -> (Arc<Machine>, Arc<VaxMachDep>) {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let md = VaxMachDep::new(&machine);
+        (machine, md)
+    }
+
+    fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    fn user_frame(machine: &Arc<Machine>) -> PAddr {
+        machine.frames().alloc().unwrap().base(PAGE)
+    }
+
+    #[test]
+    fn enter_then_cpu_access_works() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
+        assert_eq!(pmap.extract(VAddr(0x2004)), Some(pa + 4));
+        assert_eq!(pmap.resident_pages(), 1);
+
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x2000), 0xFEED).unwrap();
+        assert_eq!(machine.load_u32(VAddr(0x2000)).unwrap(), 0xFEED);
+        // Unmapped neighbour faults.
+        assert!(machine.load_u32(VAddr(0x2000 + PAGE)).is_err());
+    }
+
+    #[test]
+    fn tables_grow_lazily_and_track_bytes() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        assert_eq!(md.stats().table_bytes, 0);
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0), pa, PAGE, rw(), false);
+        let small = md.stats().table_bytes;
+        assert!(small > 0);
+        // Mapping a high P0 page forces a much larger table — the paper's
+        // sparse-space problem on the VAX.
+        let pa2 = user_frame(&machine);
+        pmap.enter(VAddr(1 << 24), pa2, PAGE, rw(), false);
+        let big = md.stats().table_bytes;
+        assert!(big > small * 100, "sparse high page must balloon the table");
+        // Both mappings still present after the growth copy.
+        assert_eq!(pmap.extract(VAddr(0)), Some(pa));
+        assert_eq!(pmap.extract(VAddr(1 << 24)), Some(pa2));
+    }
+
+    #[test]
+    fn p1_stack_region_grows_down() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let top = VAddr((1 << 31) - PAGE); // highest P1 page
+        let pa = user_frame(&machine);
+        pmap.enter(top, pa, PAGE, rw(), false);
+        assert_eq!(pmap.extract(top), Some(pa));
+        // Grow downward.
+        let lower = VAddr((1 << 31) - 200 * PAGE);
+        let pa2 = user_frame(&machine);
+        pmap.enter(lower, pa2, PAGE, rw(), false);
+        assert_eq!(pmap.extract(lower), Some(pa2));
+        assert_eq!(pmap.extract(top), Some(pa), "old tail mapping preserved");
+
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(top, 7).unwrap();
+        machine.store_u32(lower, 8).unwrap();
+        assert_eq!(machine.load_u32(top).unwrap(), 7);
+    }
+
+    #[test]
+    fn remove_invalidates_and_faults() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x4000), 1).unwrap();
+        pmap.remove(VAddr(0x4000), VAddr(0x4000 + PAGE));
+        assert_eq!(pmap.resident_pages(), 0);
+        assert!(machine.load_u32(VAddr(0x4000)).is_err());
+        // Modify attribute was preserved in the pv table.
+        assert!(md.is_modified(pa, PAGE));
+    }
+
+    #[test]
+    fn protect_narrowing_flushes_immediately() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x4000), 1).unwrap();
+        pmap.protect(VAddr(0x4000), VAddr(0x4000 + PAGE), HwProt::READ);
+        let err = machine.store_u32(VAddr(0x4000), 2).unwrap_err();
+        assert_eq!(err.access, mach_hw::Access::Write);
+        assert_eq!(machine.load_u32(VAddr(0x4000)).unwrap(), 1);
+    }
+
+    #[test]
+    fn remove_all_strips_every_pmap() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let p2 = md.create();
+        let pa = user_frame(&machine);
+        p1.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        p2.enter(VAddr(0x8000), pa, PAGE, rw(), false);
+        assert_eq!(md.mapping_count(pa), 2);
+        md.remove_all(pa, PAGE);
+        assert_eq!(md.mapping_count(pa), 0);
+        assert_eq!(p1.extract(VAddr(0x1000)), None);
+        assert_eq!(p2.extract(VAddr(0x8000)), None);
+    }
+
+    #[test]
+    fn copy_on_write_narrows_all_mappings() {
+        let (machine, md) = setup();
+        let p1 = md.create();
+        let pa = user_frame(&machine);
+        p1.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        p1.activate(0);
+        machine.store_u32(VAddr(0x1000), 3).unwrap();
+        md.copy_on_write(pa, PAGE);
+        assert!(machine.store_u32(VAddr(0x1000), 4).is_err());
+        assert_eq!(machine.load_u32(VAddr(0x1000)).unwrap(), 3);
+    }
+
+    #[test]
+    fn modify_and_reference_bits_report_and_clear() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        assert!(!md.is_referenced(pa, PAGE));
+        machine.load_u32(VAddr(0x1000)).unwrap();
+        assert!(md.is_referenced(pa, PAGE));
+        assert!(!md.is_modified(pa, PAGE));
+        machine.store_u32(VAddr(0x1000), 1).unwrap();
+        assert!(md.is_modified(pa, PAGE));
+        md.clear_modify(pa, PAGE);
+        assert!(!md.is_modified(pa, PAGE));
+        // A subsequent write sets it again despite TLB caching.
+        machine.store_u32(VAddr(0x1000), 2).unwrap();
+        assert!(md.is_modified(pa, PAGE));
+        md.clear_reference(pa, PAGE);
+        assert!(!md.is_referenced(pa, PAGE));
+    }
+
+    #[test]
+    fn drop_frees_table_frames() {
+        let (machine, md) = setup();
+        let before = machine.frames().free_count();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0), pa, PAGE, rw(), false);
+        assert!(machine.frames().free_count() < before - 1);
+        drop(pmap);
+        assert_eq!(machine.frames().free_count(), before - 1);
+        assert_eq!(md.stats().table_bytes, 0);
+        // pv entry gone too.
+        assert_eq!(md.mapping_count(pa), 0);
+    }
+
+    #[test]
+    fn reenter_same_frame_preserves_modify_bit() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa = user_frame(&machine);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        let _b = machine.bind_cpu(0);
+        pmap.activate(0);
+        machine.store_u32(VAddr(0x1000), 1).unwrap();
+        // Narrow then widen again via enter (fault-time re-entry).
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+        assert!(md.is_modified(pa, PAGE));
+    }
+
+    #[test]
+    fn enter_replacing_frame_updates_pv() {
+        let (machine, md) = setup();
+        let pmap = md.create();
+        let pa1 = user_frame(&machine);
+        let pa2 = user_frame(&machine);
+        pmap.enter(VAddr(0x1000), pa1, PAGE, rw(), false);
+        pmap.enter(VAddr(0x1000), pa2, PAGE, rw(), false);
+        assert_eq!(md.mapping_count(pa1), 0);
+        assert_eq!(md.mapping_count(pa2), 1);
+        assert_eq!(pmap.resident_pages(), 1);
+    }
+
+    #[test]
+    fn multiprocessor_shootdown_on_remove() {
+        let machine = Machine::boot(MachineModel::vax_11_784());
+        let md = VaxMachDep::new(&machine);
+        let pmap = md.create();
+        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
+
+        // CPU 1 runs the task and caches the translation, then quiesces.
+        {
+            let _b = machine.bind_cpu(1);
+            pmap.activate(1);
+            machine.store_u32(VAddr(0x1000), 5).unwrap();
+        }
+        // CPU 0 removes the mapping; CPU 1's TLB must be shot down.
+        {
+            let _b = machine.bind_cpu(0);
+            md.remove_all(pa, PAGE);
+        }
+        let _b = machine.bind_cpu(1);
+        assert!(machine.load_u32(VAddr(0x1000)).is_err());
+    }
+}

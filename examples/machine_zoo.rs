@@ -1,0 +1,94 @@
+//! The paper's headline, live: one machine-independent program runs
+//! unchanged on four memory architectures, while the per-architecture
+//! quirks of Section 5 show up only in the machine-dependent statistics.
+//!
+//! ```text
+//! cargo run --example machine_zoo
+//! ```
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::Inheritance;
+
+/// A workload that knows nothing about hardware: fork trees, sharing,
+/// copy-on-write, protection — pure Table 2-1.
+fn machine_independent_workload(kernel: &Kernel) -> (u64, u64, u64) {
+    let ps = kernel.page_size();
+    let task = kernel.create_task();
+    let size = 32 * ps;
+    let addr = task.map().allocate(kernel.ctx(), None, size, true).unwrap();
+    task.user(0, |u| u.dirty_range(addr, size).unwrap());
+
+    // A COW fork and a shared fork.
+    let cow_child = task.fork();
+    task.map()
+        .inherit(kernel.ctx(), addr, ps, Inheritance::Shared)
+        .unwrap();
+    let share_child = task.fork();
+
+    cow_child.user(0, |u| {
+        u.write_u32(addr + ps, 111).unwrap();
+        assert_eq!(u.read_u32(addr + 2 * ps).unwrap(), 0x5A5A_5A5A);
+    });
+    share_child.user(0, |u| u.write_u32(addr, 222).unwrap());
+    task.user(0, |u| {
+        assert_eq!(u.read_u32(addr).unwrap(), 222, "shared write visible");
+        assert_eq!(u.read_u32(addr + ps).unwrap(), 0x5A5A_5A5A, "cow write not");
+    });
+
+    // Ten more tasks, to stress context-style resources.
+    let extras: Vec<_> = (0..10)
+        .map(|i| {
+            let t = kernel.create_task();
+            let a = t.map().allocate(kernel.ctx(), None, 2 * ps, true).unwrap();
+            t.user(0, |u| u.write_u32(a, i).unwrap());
+            (t, a)
+        })
+        .collect();
+    for (i, (t, a)) in extras.iter().enumerate() {
+        t.user(0, |u| assert_eq!(u.read_u32(*a).unwrap(), i as u32));
+    }
+
+    let s = kernel.statistics();
+    // Sample table space while the tasks are still alive (their tables
+    // are freed at task exit).
+    let table_bytes = kernel.machdep().stats().table_bytes;
+    (s.faults, s.cow_faults, table_bytes)
+}
+
+fn main() {
+    println!(
+        "{:<18} {:>8} {:>6} {:>6} {:>9} {:>9} {:>8} {:>12}",
+        "machine", "hw page", "mach", "faults", "cow", "aliases", "ctx/pmeg", "table bytes"
+    );
+    for model in [
+        MachineModel::micro_vax_ii(),
+        MachineModel::rt_pc(),
+        MachineModel::sun_3_160(),
+        MachineModel::multimax(1),
+        MachineModel::rp3(1),
+    ] {
+        let name = model.name;
+        let machine = Machine::boot(model);
+        let kernel = Kernel::boot(&machine);
+        let (faults, cow, table_bytes) = machine_independent_workload(&kernel);
+        let md = kernel.machdep().stats();
+        println!(
+            "{:<18} {:>8} {:>6} {:>6} {:>9} {:>9} {:>8} {:>12}",
+            name,
+            machine.hw_page_size(),
+            kernel.page_size(),
+            faults,
+            cow,
+            md.alias_evictions,
+            format!("{}/{}", md.context_steals, md.pmeg_steals),
+            table_bytes,
+        );
+    }
+    println!();
+    println!("Same workload, same machine-independent kernel. The differences are");
+    println!("exactly the Section 5 quirks: the RT PC's inverted table evicts");
+    println!("aliases, the SUN 3 steals contexts past 8 tasks, the VAX and the");
+    println!("NS32082 burn table space, the RT PC burns none, and the TLB-only");
+    println!("RP3 has no hardware tables at all (the paper's footnote 2).");
+}

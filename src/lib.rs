@@ -1,0 +1,22 @@
+//! Umbrella crate for the Mach VM reproduction workspace.
+//!
+//! The real functionality lives in the member crates:
+//!
+//! - [`mach_hw`] — simulated multi-CPU hardware (physical memory, MMUs, TLBs)
+//! - [`mach_pmap`] — the machine-dependent `pmap` layer (four architecture ports)
+//! - [`mach_ipc`] — ports and messages
+//! - [`mach_fs`] — simulated disk, buffer cache, and inode filesystem
+//! - [`mach_vm`] — the paper's contribution: machine-independent VM
+//! - [`mach_unix`] — the 4.3bsd-style baseline VM used for comparison
+//! - [`mach_bench`] — workloads and the table-reproduction harness
+//!
+//! This crate exists to host the workspace-level integration tests in
+//! `tests/` and the runnable examples in `examples/`.
+
+pub use mach_bench;
+pub use mach_fs;
+pub use mach_hw;
+pub use mach_ipc;
+pub use mach_pmap;
+pub use mach_unix;
+pub use mach_vm;

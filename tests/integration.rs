@@ -1,0 +1,415 @@
+//! Cross-crate integration tests: full scenarios spanning the simulated
+//! hardware, the pmap layer, the machine-independent VM, IPC, the
+//! filesystem and the UNIX baseline.
+
+use std::collections::HashMap;
+
+use mach_fs::{BlockDevice, SimFs};
+use mach_hw::machine::{Machine, MachineModel};
+use mach_ipc::Port;
+use mach_unix::UnixKernel;
+use mach_vm::kernel::Kernel;
+use mach_vm::types::{Inheritance, Protection};
+use mach_vm::{serve_pager, UserPager};
+
+fn all_models() -> Vec<MachineModel> {
+    vec![
+        MachineModel::micro_vax_ii(),
+        MachineModel::rt_pc(),
+        MachineModel::sun_3_160(),
+        MachineModel::multimax(2),
+        MachineModel::rp3(2),
+    ]
+}
+
+/// The complete lifecycle — allocate, fork tree, shared region, mapped
+/// file, memory pressure, recovery — on every architecture. This is the
+/// paper's portability claim as a test.
+#[test]
+fn full_lifecycle_on_every_architecture() {
+    for model in all_models() {
+        let name = model.name;
+        let machine = Machine::boot(model);
+        let kernel = Kernel::boot(&machine);
+        let ps = kernel.page_size();
+
+        // A filesystem with a data file.
+        let dev = BlockDevice::new(&machine, 512);
+        let fs = SimFs::format(&dev);
+        let file = fs.create("input").unwrap();
+        let content: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.write_at(file, 0, &content).unwrap();
+
+        // Root task: anonymous memory + the mapped file.
+        let root = kernel.create_task();
+        let heap = root
+            .map()
+            .allocate(kernel.ctx(), None, 32 * ps, true)
+            .unwrap();
+        let text = kernel
+            .map_file(&root, &fs, file, None, Protection::READ)
+            .unwrap();
+        root.user(0, |u| {
+            u.dirty_range(heap, 32 * ps).unwrap();
+            // Verify a few mapped-file bytes.
+            let b = u.read_bytes(text + 1000, 4).unwrap();
+            assert_eq!(b[0], (1000 % 251) as u8, "{name}");
+        });
+
+        // A fork tree: parent → c1 (copy), c1 → c2 (one page shared).
+        let c1 = root.fork();
+        c1.map()
+            .inherit(kernel.ctx(), heap, ps, Inheritance::Shared)
+            .unwrap();
+        let c2 = c1.fork();
+        c1.user(0, |u| u.write_u32(heap + ps, 0xC1).unwrap());
+        c2.user(0, |u| {
+            assert_eq!(
+                u.read_u32(heap + ps).unwrap(),
+                0x5A5A_5A5A,
+                "{name}: COW page"
+            );
+            u.write_u32(heap, 0xC2).unwrap(); // shared page
+        });
+        c1.user(0, |u| {
+            assert_eq!(u.read_u32(heap).unwrap(), 0xC2, "{name}: share visible");
+        });
+        root.user(0, |u| {
+            assert_eq!(
+                u.read_u32(heap + ps).unwrap(),
+                0x5A5A_5A5A,
+                "{name}: root isolated"
+            );
+        });
+
+        // Memory pressure: force reclaim, then verify everything.
+        kernel.reclaim(16);
+        c1.user(0, |u| {
+            assert_eq!(u.read_u32(heap + ps).unwrap(), 0xC1, "{name}")
+        });
+        root.user(0, |u| {
+            let b = u.read_bytes(text + 63 * 1024, 2).unwrap();
+            assert_eq!(
+                b[0],
+                ((63 * 1024) % 251) as u8,
+                "{name}: file after reclaim"
+            );
+        });
+
+        // Teardown returns the memory.
+        let before = kernel.statistics();
+        drop(c2);
+        drop(c1);
+        drop(root);
+        let after = kernel.statistics();
+        assert!(
+            after.free_count > before.free_count,
+            "{name}: pages returned"
+        );
+    }
+}
+
+/// Large-message transfer between tasks: map-entry copy, no bytes moved,
+/// both sides isolated afterwards (paper §2: "the efficiency of simple
+/// memory remapping").
+#[test]
+fn message_passing_by_remap() {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let sender = kernel.create_task();
+    let receiver = kernel.create_task();
+
+    // Sender builds a 1 MB "message".
+    let size = 1 << 20;
+    let src = sender
+        .map()
+        .allocate(kernel.ctx(), None, size, true)
+        .unwrap();
+    sender.user(0, |u| {
+        for p in 0..size / ps {
+            u.write_u32(src + p * ps, p as u32).unwrap();
+        }
+    });
+
+    let copies_before = kernel.statistics().cow_faults;
+    let dst = kernel
+        .vm_copy_between(&sender, src, size, &receiver)
+        .unwrap();
+    assert_eq!(
+        kernel.statistics().cow_faults,
+        copies_before,
+        "transfer moved no data"
+    );
+
+    // Receiver reads it all; sender's pages back the reads.
+    receiver.user(0, |u| {
+        for p in (0..size / ps).step_by(17) {
+            assert_eq!(u.read_u32(dst + p * ps).unwrap(), p as u32);
+        }
+        u.write_u32(dst, 0xFFFF).unwrap();
+    });
+    sender.user(0, |u| {
+        assert_eq!(u.read_u32(src).unwrap(), 0, "sender isolated")
+    });
+}
+
+/// An external pager written by a "user", exercised across pageout and
+/// task death — IPC, VM and the paging daemon working together.
+#[test]
+fn external_pager_full_protocol() {
+    struct CountingPager {
+        reads: u64,
+        store: HashMap<u64, Vec<u8>>,
+    }
+    impl UserPager for CountingPager {
+        fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>> {
+            self.reads += 1;
+            Some(
+                self.store
+                    .get(&offset)
+                    .cloned()
+                    .unwrap_or_else(|| vec![(offset >> 12) as u8; length as usize]),
+            )
+        }
+        fn write(&mut self, offset: u64, data: &[u8]) {
+            self.store.insert(offset, data.to_vec());
+        }
+    }
+
+    let mut model = MachineModel::micro_vax_ii();
+    model.mem_bytes = 2 << 20; // small: pageout pressure is easy
+    let machine = Machine::boot(model);
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+
+    let (pager_port, rx) = Port::allocate("counting", 64);
+    let server = std::thread::spawn(move || {
+        serve_pager(
+            &rx,
+            CountingPager {
+                reads: 0,
+                store: HashMap::new(),
+            },
+        )
+    });
+
+    let task = kernel.create_task();
+    let size = 1 << 20;
+    let addr = kernel
+        .allocate_with_pager(&task, None, size, true, pager_port, 0)
+        .unwrap();
+
+    task.user(0, |u| {
+        // Read pattern pages, overwrite a few, survive reclaim.
+        for p in (0..size / ps).step_by(3) {
+            let b = u.read_bytes(addr + p * ps, 1).unwrap();
+            assert_eq!(b[0], ((p * ps) >> 12) as u8);
+        }
+        for p in (0..size / ps).step_by(5) {
+            u.write_u32(addr + p * ps, 0xD00D_0000 | p as u32).unwrap();
+        }
+    });
+    kernel.reclaim(128);
+    task.user(0, |u| {
+        for p in (0..size / ps).step_by(5) {
+            assert_eq!(u.read_u32(addr + p * ps).unwrap(), 0xD00D_0000 | p as u32);
+        }
+    });
+    drop(task);
+    let pager = server.join().unwrap();
+    assert!(pager.reads > 0);
+    assert!(!pager.store.is_empty(), "pageouts reached the pager");
+}
+
+/// Mach and the UNIX baseline agree on filesystem contents: a file
+/// written through UNIX `write(2)` reads identically through a Mach
+/// mapped file on a second machine sharing the same (copied) image.
+#[test]
+fn unix_and_mach_agree_on_file_bytes() {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let dev = BlockDevice::new(&machine, 256);
+    let fs = SimFs::format(&dev);
+    let file = fs.create("shared.dat").unwrap();
+
+    // UNIX writes the file.
+    let unix = UnixKernel::boot(&machine, &fs, 64);
+    let proc = unix.create_proc();
+    let ps = unix.page_size();
+    proc.add_segment(0, 16 * ps, true);
+    proc.user(0, |u| {
+        for i in 0..1024u64 {
+            u.write_u32(i * 4, i as u32).unwrap();
+        }
+    });
+    {
+        let _b = machine.bind_cpu(0);
+        unix.write(&proc, file, 0, 0, 4096).unwrap();
+    }
+
+    // Mach maps the same file on a second machine with the same fs.
+    let machine2 = Machine::boot(MachineModel::vax_8200());
+    let kernel = Kernel::boot(&machine2);
+    let task = kernel.create_task();
+    let addr = kernel
+        .map_file(&task, &fs, file, None, Protection::READ)
+        .unwrap();
+    task.user(0, |u| {
+        for i in (0..1024u64).step_by(7) {
+            assert_eq!(u.read_u32(addr + i * 4).unwrap(), i as u32);
+        }
+    });
+}
+
+/// Writable mapped file: dirty pages written back by the inode pager are
+/// visible through the filesystem (the mmap-write path).
+#[test]
+fn mapped_file_writeback() {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let kernel = Kernel::boot(&machine);
+    let dev = BlockDevice::new(&machine, 256);
+    let fs = SimFs::format(&dev);
+    let file = fs.create("rw.dat").unwrap();
+    fs.write_at(file, 0, &vec![0u8; 64 * 1024]).unwrap();
+
+    let task = kernel.create_task();
+    let addr = kernel
+        .map_file(&task, &fs, file, None, Protection::DEFAULT)
+        .unwrap();
+    task.user(0, |u| u.write_u32(addr + 8192, 0xFEED_F00D).unwrap());
+
+    // Evict everything (reclaim writes dirty file pages via the pager).
+    while kernel.reclaim(64) > 0 {}
+    let mut buf = [0u8; 4];
+    fs.read_at(file, 8192, &mut buf).unwrap();
+    assert_eq!(u32::from_le_bytes(buf), 0xFEED_F00D);
+}
+
+/// Ten concurrent tasks on a 2-CPU MultiMax hammer private and shared
+/// memory from real threads; everything stays coherent.
+#[test]
+fn concurrent_tasks_on_two_cpus() {
+    let machine = Machine::boot(MachineModel::multimax(2));
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+
+    let parent = kernel.create_task();
+    let shared = parent.map().allocate(kernel.ctx(), None, ps, true).unwrap();
+    parent
+        .map()
+        .inherit(kernel.ctx(), shared, ps, Inheritance::Shared)
+        .unwrap();
+
+    // Ten tasks in waves of two — one per CPU at a time (a simulated CPU
+    // executes a single instruction stream; there is no scheduler).
+    let mut children = Vec::new();
+    for wave in 0..5u64 {
+        let mut handles = Vec::new();
+        for cpu in 0..2u64 {
+            let i = wave * 2 + cpu;
+            let child = parent.fork();
+            handles.push(std::thread::spawn(move || {
+                child.user(cpu as usize, |u| {
+                    for round in 0..50u32 {
+                        u.write_u32(shared + 4 * i, round).unwrap();
+                        assert_eq!(u.read_u32(shared + 4 * i).unwrap(), round);
+                    }
+                });
+                child
+            }));
+        }
+        for h in handles {
+            children.push(h.join().unwrap());
+        }
+    }
+    // Every slot holds the final round value, visible from the parent.
+    parent.user(0, |u| {
+        for i in 0..10u64 {
+            assert_eq!(u.read_u32(shared + 4 * i).unwrap(), 49);
+        }
+    });
+    drop(children);
+}
+
+/// Statistics stay consistent with queue state across a busy run.
+#[test]
+fn statistics_accounting_invariant() {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let total_pages = {
+        let s = kernel.statistics();
+        s.free_count + s.active_count + s.inactive_count + s.wire_count
+    };
+    let task = kernel.create_task();
+    let ps = kernel.page_size();
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, 64 * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, 64 * ps).unwrap());
+    kernel.vm_wire(&task, addr, 4 * ps).unwrap();
+    kernel.reclaim(8);
+    let s = kernel.statistics();
+    assert_eq!(
+        s.free_count + s.active_count + s.inactive_count + s.wire_count,
+        total_pages,
+        "pages are conserved across every queue transition"
+    );
+    assert!(s.wire_count >= 4);
+}
+
+/// Protection is a per-task attribute even for shared regions: task A
+/// making its own view read-only must not revoke task B's write access
+/// (B's hardware mapping may be over-invalidated, but B refaults and
+/// proceeds — the §5.2 "temporary inconsistency" case).
+#[test]
+fn shared_region_protection_is_per_task() {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let a = kernel.create_task();
+    let addr = a.map().allocate(kernel.ctx(), None, ps, true).unwrap();
+    a.map()
+        .inherit(kernel.ctx(), addr, ps, Inheritance::Shared)
+        .unwrap();
+    let b = a.fork();
+    a.user(0, |u| u.write_u32(addr, 1).unwrap());
+    b.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 1));
+
+    // A narrows its own view.
+    a.map()
+        .protect(kernel.ctx(), addr, ps, false, Protection::READ)
+        .unwrap();
+    a.user(0, |u| {
+        assert!(u.write_u32(addr, 2).is_err(), "A's own view is read-only");
+        assert_eq!(u.read_u32(addr).unwrap(), 1);
+    });
+    // B still writes, and A sees it.
+    b.user(0, |u| u.write_u32(addr, 3).unwrap());
+    a.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 3));
+}
+
+/// vm_copy of a *shared* region transfers the sharing, not a snapshot:
+/// "map operations that should apply to all maps sharing the data are
+/// simply applied to the sharing map" (§3.4). Pinned-down behaviour.
+#[test]
+fn vm_copy_of_shared_region_stays_shared() {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let src_task = kernel.create_task();
+    let addr = src_task.map().allocate(kernel.ctx(), None, ps, true).unwrap();
+    src_task
+        .map()
+        .inherit(kernel.ctx(), addr, ps, Inheritance::Shared)
+        .unwrap();
+    let sharer = src_task.fork(); // materializes the sharing map
+    let dst_task = kernel.create_task();
+    let dst = kernel
+        .vm_copy_between(&src_task, addr, ps, &dst_task)
+        .unwrap();
+    // Writes propagate among all three views.
+    dst_task.user(0, |u| u.write_u32(dst, 42).unwrap());
+    src_task.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 42));
+    sharer.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 42));
+}

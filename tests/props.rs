@@ -1,0 +1,292 @@
+//! Property-based tests of the machine-independent invariants
+//! (DESIGN.md §7), run against the full stack on a simulated VAX.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::{Inheritance, Protection};
+use proptest::prelude::*;
+
+const PS: u64 = 4096;
+
+fn boot() -> Arc<Kernel> {
+    Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()))
+}
+
+/// Reference model of an address map: page → attributes.
+#[derive(Debug, Clone, Default)]
+struct ModelMap {
+    pages: HashMap<u64, (Protection, Protection, Inheritance)>,
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Allocate {
+        page: u64,
+        pages: u64,
+    },
+    Deallocate {
+        page: u64,
+        pages: u64,
+    },
+    Protect {
+        page: u64,
+        pages: u64,
+        set_max: bool,
+        prot: u8,
+    },
+    Inherit {
+        page: u64,
+        pages: u64,
+        inh: u8,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (0u64..48, 1u64..8).prop_map(|(page, pages)| MapOp::Allocate { page, pages }),
+        (0u64..48, 1u64..8).prop_map(|(page, pages)| MapOp::Deallocate { page, pages }),
+        (0u64..48, 1u64..8, any::<bool>(), 0u8..8).prop_map(|(page, pages, set_max, prot)| {
+            MapOp::Protect {
+                page,
+                pages,
+                set_max,
+                prot,
+            }
+        }),
+        (0u64..48, 1u64..8, 0u8..3).prop_map(|(page, pages, inh)| MapOp::Inherit {
+            page,
+            pages,
+            inh
+        }),
+    ]
+}
+
+fn inh_of(i: u8) -> Inheritance {
+    match i {
+        0 => Inheritance::Shared,
+        1 => Inheritance::Copy,
+        _ => Inheritance::None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The address map agrees with a trivial page-attribute model after
+    /// any sequence of allocate/deallocate/protect/inherit, and its
+    /// entries are sorted, non-overlapping and coalesced per attributes.
+    #[test]
+    fn address_map_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let k = boot();
+        let task = k.create_task();
+        let ctx = k.ctx();
+        let base = 0x40_0000u64;
+        let mut model = ModelMap::default();
+        for op in ops {
+            match op {
+                MapOp::Allocate { page, pages } => {
+                    let addr = base + page * PS;
+                    let r = task.map().allocate(ctx, Some(addr), pages * PS, false);
+                    let collides = (page..page + pages).any(|p| model.pages.contains_key(&p));
+                    prop_assert_eq!(r.is_ok(), !collides, "allocate collision mismatch");
+                    if r.is_ok() {
+                        for p in page..page + pages {
+                            model.pages.insert(
+                                p,
+                                (Protection::DEFAULT, Protection::ALL, Inheritance::Copy),
+                            );
+                        }
+                    }
+                }
+                MapOp::Deallocate { page, pages } => {
+                    let addr = base + page * PS;
+                    task.map().deallocate(ctx, addr, pages * PS).unwrap();
+                    for p in page..page + pages {
+                        model.pages.remove(&p);
+                    }
+                }
+                MapOp::Protect { page, pages, set_max, prot } => {
+                    let addr = base + page * PS;
+                    let prot = Protection::from_bits(prot);
+                    let covered = (page..page + pages).all(|p| model.pages.contains_key(&p));
+                    let allowed = covered
+                        && (set_max
+                            || (page..page + pages)
+                                .all(|p| model.pages[&p].1.contains(prot)));
+                    let r = task.map().protect(ctx, addr, pages * PS, set_max, prot);
+                    prop_assert_eq!(r.is_ok(), allowed, "protect admissibility mismatch");
+                    if r.is_ok() {
+                        for p in page..page + pages {
+                            let e = model.pages.get_mut(&p).unwrap();
+                            if set_max {
+                                e.1 = prot;
+                                e.0 = e.0.intersect(prot);
+                            } else {
+                                e.0 = prot;
+                            }
+                        }
+                    }
+                }
+                MapOp::Inherit { page, pages, inh } => {
+                    let addr = base + page * PS;
+                    let covered = (page..page + pages).all(|p| model.pages.contains_key(&p));
+                    let r = task.map().inherit(ctx, addr, pages * PS, inh_of(inh));
+                    prop_assert_eq!(r.is_ok(), covered);
+                    if r.is_ok() {
+                        for p in page..page + pages {
+                            model.pages.get_mut(&p).unwrap().2 = inh_of(inh);
+                        }
+                    }
+                }
+            }
+            // Invariants after every step.
+            let regions = task.map().regions();
+            let mut last_end = 0;
+            for r in &regions {
+                prop_assert!(r.start < r.end, "empty entry");
+                prop_assert!(r.start >= last_end, "entries overlap or unsorted");
+                prop_assert!(r.max_prot.contains(r.prot), "current exceeds maximum");
+                last_end = r.end;
+            }
+            // Every model page is inside exactly one region with matching
+            // attributes; every region page is in the model.
+            let mut seen = 0usize;
+            for r in &regions {
+                for addr in (r.start..r.end).step_by(PS as usize) {
+                    let p = (addr - base) / PS;
+                    let m = model.pages.get(&p);
+                    prop_assert!(m.is_some(), "region page {p} not in model");
+                    let (prot, maxp, inh) = *m.unwrap();
+                    prop_assert_eq!(r.prot, prot);
+                    prop_assert_eq!(r.max_prot, maxp);
+                    prop_assert_eq!(r.inheritance, inh);
+                    seen += 1;
+                }
+            }
+            prop_assert_eq!(seen, model.pages.len(), "page count mismatch");
+        }
+    }
+
+    /// Fork/write sequences preserve exact copy semantics: every task
+    /// reads what a host-side model says it should, regardless of the
+    /// shadow-chain shapes that build up.
+    #[test]
+    fn cow_semantics_match_model(
+        writes in proptest::collection::vec((0u8..6, 0u64..8, any::<u32>()), 1..40),
+        fork_points in proptest::collection::vec(0u8..6, 1..5),
+    ) {
+        let k = boot();
+        let ctx = k.ctx();
+        let root = k.create_task();
+        let addr = root.map().allocate(ctx, Some(0x10_0000), 8 * PS, false).unwrap();
+        let mut tasks = vec![root];
+        let mut models: Vec<HashMap<u64, u32>> = vec![HashMap::new()];
+
+        let mut fork_iter = fork_points.iter();
+        for (i, (who, page, val)) in writes.iter().enumerate() {
+            // Occasionally fork a task, inheriting its model.
+            if i % 8 == 3 {
+                if let Some(&src) = fork_iter.next() {
+                    let s = (src as usize) % tasks.len();
+                    let child = tasks[s].fork();
+                    let model = models[s].clone();
+                    tasks.push(child);
+                    models.push(model);
+                }
+            }
+            let t = (*who as usize) % tasks.len();
+            tasks[t].user(0, |u| u.write_u32(addr + page * PS, *val).unwrap());
+            models[t].insert(*page, *val);
+        }
+        // Every task sees exactly its own model.
+        for (t, model) in tasks.iter().zip(&models) {
+            t.user(0, |u| {
+                for page in 0..8u64 {
+                    let expect = model.get(&page).copied().unwrap_or(0);
+                    assert_eq!(
+                        u.read_u32(addr + page * PS).unwrap(),
+                        expect,
+                        "task read diverged from model at page {page}"
+                    );
+                }
+            });
+        }
+    }
+
+    /// The pmap is a cache (paper §3.6): throwing away arbitrary mapping
+    /// ranges at arbitrary moments never changes what a task reads.
+    #[test]
+    fn pmap_is_only_a_cache(
+        drops in proptest::collection::vec((0u64..16, 1u64..16), 1..12),
+    ) {
+        let k = boot();
+        let ctx = k.ctx();
+        let task = k.create_task();
+        let addr = task.map().allocate(ctx, Some(0x20_0000), 16 * PS, false).unwrap();
+        task.user(0, |u| {
+            for p in 0..16u64 {
+                u.write_u32(addr + p * PS, 0xAA00_0000 | p as u32).unwrap();
+            }
+        });
+        for (start, len) in drops {
+            let s = addr + start * PS;
+            let e = (s + len * PS).min(addr + 16 * PS);
+            // Hardware mappings vanish...
+            task.pmap().remove(mach_hw::VAddr(s), mach_hw::VAddr(e));
+            // ...and reads still see every byte (reconstructed at fault).
+            task.user(0, |u| {
+                for p in 0..16u64 {
+                    assert_eq!(
+                        u.read_u32(addr + p * PS).unwrap(),
+                        0xAA00_0000 | p as u32
+                    );
+                }
+            });
+        }
+    }
+
+    /// Freshly allocated memory always reads zero, even when its frames
+    /// previously held another task's data (no information leaks through
+    /// the free list).
+    #[test]
+    fn zero_fill_never_leaks(secret in any::<u32>(), pages in 1u64..16) {
+        let k = boot();
+        let ctx = k.ctx();
+        {
+            let writer = k.create_task();
+            let a = writer.map().allocate(ctx, None, pages * PS, true).unwrap();
+            writer.user(0, |u| {
+                for p in 0..pages {
+                    u.write_u32(a + p * PS, secret).unwrap();
+                }
+            });
+            // Task exit frees the frames with the data still in them.
+        }
+        let reader = k.create_task();
+        let b = reader.map().allocate(ctx, None, pages * PS, true).unwrap();
+        reader.user(0, |u| {
+            for p in 0..pages {
+                assert_eq!(u.read_u32(b + p * PS).unwrap(), 0, "leaked frame contents");
+            }
+        });
+    }
+
+    /// vm_write → vm_read round-trips arbitrary byte strings at arbitrary
+    /// (unaligned) offsets.
+    #[test]
+    fn vm_read_write_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 1..8192),
+        offset in 0u64..4096,
+    ) {
+        let k = boot();
+        let ctx = k.ctx();
+        let task = k.create_task();
+        let addr = task.map().allocate(ctx, None, 8 * PS, true).unwrap();
+        k.vm_write(&task, addr + offset, &data).unwrap();
+        let back = k.vm_read(&task, addr + offset, data.len() as u64).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

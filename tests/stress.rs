@@ -1,0 +1,258 @@
+//! Stress and race-condition tests: the "allow virtual memory operations
+//! to operate in parallel on multiple CPUs" part of paper §3.5 that made
+//! the object locking rules complex.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_ipc::Port;
+use mach_vm::kernel::{BootOptions, Kernel};
+use mach_vm::types::{Inheritance, Protection};
+use mach_vm::{serve_pager, UserPager};
+
+/// Forks, faults, COW pushes, deallocations and reclaims all running
+/// concurrently on two CPUs for a while; then every invariant must hold.
+#[test]
+fn chaos_mixed_workload_two_cpus() {
+    // One simulated CPU per concurrent worker (a simulated CPU runs one
+    // instruction stream; there is no scheduler to time-share it).
+    let machine = Machine::boot(MachineModel::multimax(4));
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let total_pages = {
+        let s = kernel.statistics();
+        s.free_count + s.active_count + s.inactive_count + s.wire_count
+    };
+
+    let root = kernel.create_task();
+    let shared = root
+        .map()
+        .allocate(kernel.ctx(), None, 4 * ps, true)
+        .unwrap();
+    root.map()
+        .inherit(kernel.ctx(), shared, 4 * ps, Inheritance::Shared)
+        .unwrap();
+    root.user(0, |u| u.dirty_range(shared, 4 * ps).unwrap());
+
+    let writes_done = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for worker in 0..4u64 {
+        let parent = root.fork();
+        let k = Arc::clone(&kernel);
+        let counter = Arc::clone(&writes_done);
+        let cpu = worker as usize;
+        handles.push(std::thread::spawn(move || {
+            for round in 0..12u64 {
+                // Private churn: allocate, dirty, COW-fork, drop.
+                let t = if round % 3 == 0 {
+                    parent.fork()
+                } else {
+                    Arc::clone(&parent)
+                };
+                let addr = t.map().allocate(k.ctx(), None, 8 * ps, true).unwrap();
+                t.user(cpu, |u| {
+                    u.dirty_range(addr, 8 * ps).unwrap();
+                    // Shared traffic.
+                    u.write_u32(shared + 4 * worker, (round + 1) as u32)
+                        .unwrap();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+                if round % 2 == 0 {
+                    t.map().deallocate(k.ctx(), addr, 8 * ps).unwrap();
+                }
+                if round % 4 == 1 {
+                    k.reclaim(8);
+                }
+            }
+            parent
+        }));
+    }
+    let parents: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Shared slots reflect the final round of each worker.
+    root.user(0, |u| {
+        for w in 0..4u64 {
+            assert_eq!(u.read_u32(shared + 4 * w).unwrap(), 12);
+        }
+    });
+    drop(parents);
+    drop(root);
+    // Page conservation after total teardown.
+    while kernel.reclaim(64) > 0 {}
+    let s = kernel.statistics();
+    assert_eq!(
+        s.free_count + s.active_count + s.inactive_count + s.wire_count,
+        total_pages,
+        "pages conserved through the chaos"
+    );
+    assert_eq!(s.active_count + s.inactive_count + s.wire_count, 0);
+}
+
+/// Two CPUs fault the same never-resident page of a slow external pager
+/// simultaneously: one inserts the busy page and waits for data, the
+/// other must wait on busy rather than double-requesting.
+#[test]
+fn concurrent_faults_on_one_busy_page() {
+    struct SlowPager {
+        requests: Arc<AtomicU64>,
+    }
+    impl UserPager for SlowPager {
+        fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>> {
+            self.requests.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(80)); // slow backing store
+            Some(vec![(offset >> 12) as u8 + 1; length as usize])
+        }
+        fn write(&mut self, _offset: u64, _data: &[u8]) {}
+    }
+
+    let machine = Machine::boot(MachineModel::multimax(2));
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let requests = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = Port::allocate("slow", 16);
+    let reqs = Arc::clone(&requests);
+    let server = std::thread::spawn(move || serve_pager(&rx, SlowPager { requests: reqs }));
+
+    let task = kernel.create_task();
+    let addr = kernel
+        .allocate_with_pager(&task, None, 4 * ps, true, tx, 0)
+        .unwrap();
+
+    // Two threads of the same task race on the same page.
+    let t1 = task.spawn_thread(0, move |u| u.read_u32(addr).unwrap());
+    let t2 = task.spawn_thread(1, move |u| u.read_u32(addr).unwrap());
+    let (a, b) = (t1.join().unwrap(), t2.join().unwrap());
+    assert_eq!(a, b);
+    assert_eq!(a & 0xFF, 1);
+    assert_eq!(
+        requests.load(Ordering::SeqCst),
+        1,
+        "exactly one pager_data_request for the contended page"
+    );
+    drop(task);
+    server.join().unwrap();
+}
+
+/// The object cache is a strict LRU of bounded capacity: mapping one file
+/// more than the capacity evicts the oldest, and only the oldest.
+#[test]
+fn object_cache_lru_capacity() {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.object_cache_capacity = 3;
+    let kernel = Kernel::boot_with(&machine, opts);
+    let dev = mach_fs::BlockDevice::new(&machine, 512);
+    let fs = mach_fs::SimFs::format(&dev);
+    let files: Vec<_> = (0..4)
+        .map(|i| {
+            let f = fs.create(&format!("f{i}")).unwrap();
+            fs.write_at(f, 0, &vec![i as u8; 8192]).unwrap();
+            f
+        })
+        .collect();
+
+    // Map + touch + unmap each file once: 4 objects through a 3-cache.
+    for &f in &files {
+        let t = kernel.create_task();
+        let addr = kernel.map_file(&t, &fs, f, None, Protection::READ).unwrap();
+        t.user(0, |u| u.touch_range(addr, 8192).unwrap());
+    }
+    assert_eq!(kernel.object_cache_len(), 3);
+
+    // Remapping the three newest is free; the oldest re-reads the disk.
+    let pageins_before = kernel.statistics().pageins;
+    for &f in &files[1..] {
+        let t = kernel.create_task();
+        let addr = kernel.map_file(&t, &fs, f, None, Protection::READ).unwrap();
+        t.user(0, |u| u.touch_range(addr, 8192).unwrap());
+    }
+    assert_eq!(
+        kernel.statistics().pageins,
+        pageins_before,
+        "recent files all served from the cache"
+    );
+    let t = kernel.create_task();
+    let addr = kernel
+        .map_file(&t, &fs, files[0], None, Protection::READ)
+        .unwrap();
+    t.user(0, |u| u.touch_range(addr, 8192).unwrap());
+    assert!(
+        kernel.statistics().pageins > pageins_before,
+        "the evicted oldest file paid the disk again"
+    );
+}
+
+/// Many tasks mapping the same file share its resident pages — one
+/// physical copy, many mappings (and on the RT PC this is exactly where
+/// alias evictions appear instead).
+#[test]
+fn shared_file_pages_one_physical_copy() {
+    let machine = Machine::boot(MachineModel::vax_8200());
+    let kernel = Kernel::boot(&machine);
+    let dev = mach_fs::BlockDevice::new(&machine, 512);
+    let fs = mach_fs::SimFs::format(&dev);
+    let f = fs.create("libc").unwrap();
+    fs.write_at(f, 0, &vec![0xCCu8; 64 * 1024]).unwrap();
+
+    let free0 = kernel.statistics().free_count;
+    let mut tasks = Vec::new();
+    let mut lens: HashMap<u64, u64> = HashMap::new();
+    for i in 0..6u64 {
+        let t = kernel.create_task();
+        let addr = kernel.map_file(&t, &fs, f, None, Protection::READ).unwrap();
+        t.user(0, |u| u.touch_range(addr, 64 * 1024).unwrap());
+        lens.insert(i, addr);
+        tasks.push(t);
+    }
+    let used = free0 - kernel.statistics().free_count;
+    let file_pages = 64 * 1024 / kernel.page_size();
+    assert_eq!(
+        used, file_pages,
+        "six mappings, one physical copy ({used} pages used for {file_pages} file pages)"
+    );
+}
+
+/// The machine Mach was first built on: a four-processor VAX 11/784.
+/// Four threads of one task hammer disjoint pages; VAX page tables and
+/// untagged TLBs behave under real concurrency.
+#[test]
+fn four_cpu_vax_784() {
+    let machine = Machine::boot(MachineModel::vax_11_784());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let task = kernel.create_task();
+    let region = task
+        .map()
+        .allocate(kernel.ctx(), None, 64 * ps, true)
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for cpu in 0..4usize {
+        let base = region + (cpu as u64) * 16 * ps;
+        handles.push(task.spawn_thread(cpu, move |u| {
+            let mut sum = 0u64;
+            for round in 0..20u32 {
+                for p in 0..16u64 {
+                    u.write_u32(base + p * ps, round ^ p as u32).unwrap();
+                }
+                for p in 0..16u64 {
+                    sum += u.read_u32(base + p * ps).unwrap() as u64;
+                }
+            }
+            sum
+        }));
+    }
+    let sums: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    // Every thread read back exactly what it wrote in its final round.
+    let expect: u64 = (0..20u32)
+        .map(|round| (0..16u64).map(|p| (round ^ p as u32) as u64).sum::<u64>())
+        .sum();
+    for s in sums {
+        assert_eq!(s, expect);
+    }
+    // The single task's pmap was live on all four CPUs.
+    assert!(kernel.statistics().faults >= 64);
+}
