@@ -1,0 +1,5 @@
+//! Offline vendored placeholder for `crossbeam`.
+//!
+//! The workspace declares this dependency but no source file currently uses
+//! it, and the build container cannot reach a registry. If a future change
+//! needs crossbeam APIs, extend this stub (or vendor the real crate).

@@ -1,0 +1,5 @@
+//! Offline vendored placeholder for `rand`.
+//!
+//! The workspace declares this dependency but no source file currently uses
+//! it, and the build container cannot reach a registry. If a future change
+//! needs rand APIs, extend this stub (or vendor the real crate).
