@@ -337,9 +337,14 @@ pub fn shootdown_storm(n_cpus: usize, strategy: ShootdownStrategy, ops: usize) -
             } else {
                 Protection::DEFAULT
             };
-            task.map()
-                .protect(kernel.ctx(), addr, pages * ps, false, prot)
-                .unwrap();
+            // Page-at-a-time protection changes, the way copy-on-write
+            // delivers them: each call still fans out to several hardware
+            // pages on machines where the Mach page is a multiple.
+            for p in 0..pages {
+                task.map()
+                    .protect(kernel.ctx(), addr + p * ps, ps, false, prot)
+                    .unwrap();
+            }
         }
         // Deferred work completes inside the measured window.
         kernel.machdep().update();

@@ -33,6 +33,9 @@ pub struct CoreRefs {
     /// Ablation switch: disable shadow-chain garbage collection (§3.5) to
     /// measure what the collapse machinery is worth.
     pub collapse_enabled: std::sync::atomic::AtomicBool,
+    /// How long a fault waits on an unresponsive pager before declaring it
+    /// dead (boot-time option; see [`crate::BootOptions::pager_timeout`]).
+    pub pager_timeout: std::time::Duration,
 }
 
 impl CoreRefs {

@@ -10,7 +10,6 @@
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
 
 use mach_hw::VAddr;
 
@@ -20,9 +19,6 @@ use crate::object::{self, VmObject};
 use crate::page::{PageId, PageQueue};
 use crate::pager::PagerReply;
 use crate::types::{Protection, VmError, VmResult};
-
-/// How long a fault waits for an external pager before declaring it dead.
-pub const PAGER_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Result of trying to place a busy page in an object.
 pub(crate) enum InsertOutcome {
@@ -158,7 +154,11 @@ fn wait_not_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, page: PageId) -> VmResult<
         if !busy {
             return Ok(());
         }
-        if obj.busy_wakeup.wait_for(&mut s, PAGER_TIMEOUT).timed_out() {
+        if obj
+            .busy_wakeup
+            .wait_for(&mut s, ctx.pager_timeout)
+            .timed_out()
+        {
             return Err(VmError::PagerDied);
         }
     }
@@ -218,7 +218,7 @@ pub fn vm_fault(
                 if let Some(p) = pager {
                     p.data_unlock(first.id(), first_offset, page_size, access.bits());
                 }
-                let deadline = std::time::Instant::now() + PAGER_TIMEOUT;
+                let deadline = std::time::Instant::now() + ctx.pager_timeout;
                 loop {
                     let still = s.locks.get(&first_offset).copied().unwrap_or(0);
                     if still & access.bits() == 0 {
@@ -247,7 +247,11 @@ pub fn vm_fault(
                 });
                 if busy {
                     // Someone is filling it; sleep and restart the fault.
-                    if obj.busy_wakeup.wait_for(&mut s, PAGER_TIMEOUT).timed_out() {
+                    if obj
+                        .busy_wakeup
+                        .wait_for(&mut s, ctx.pager_timeout)
+                        .timed_out()
+                    {
                         return Err(VmError::PagerDied);
                     }
                     drop(s);
@@ -326,9 +330,7 @@ pub fn vm_fault(
         let backing_hit = !Arc::ptr_eq(&found_obj, &first);
         let (final_obj, final_page, final_offset) = if backing_hit && write {
             match insert_busy(ctx, &first, first_offset) {
-                InsertOutcome::Existing(page, false) => {
-                    (Arc::clone(&first), page, first_offset)
-                }
+                InsertOutcome::Existing(page, false) => (Arc::clone(&first), page, first_offset),
                 InsertOutcome::Existing(_, true) => continue 'restart,
                 InsertOutcome::NoMemory => {
                     crate::pageout::reclaim(ctx, 32);

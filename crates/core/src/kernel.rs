@@ -31,6 +31,11 @@ pub struct BootOptions {
     /// Fraction (1/n) of physical frames left to the pmap layer for
     /// hardware tables.
     pub pmap_reserve_den: usize,
+    /// How long a fault waits on an unresponsive external pager before the
+    /// kernel declares it dead and fails the fault ("the kernel must
+    /// protect itself from misbehaving pagers"). Tests exercising dead
+    /// pagers shrink this to keep runtimes sane.
+    pub pager_timeout: std::time::Duration,
 }
 
 impl BootOptions {
@@ -41,6 +46,7 @@ impl BootOptions {
             page_multiple: (4096 / hw).max(1),
             object_cache_capacity: 64,
             pmap_reserve_den: 8,
+            pager_timeout: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -112,6 +118,7 @@ impl Kernel {
             default_pager: DefaultPager::new(machine),
             page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            pager_timeout: opts.pager_timeout,
         });
         Arc::new(Kernel {
             ctx,
@@ -198,6 +205,7 @@ impl Kernel {
             default_pager: pager,
             page_size: old.page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            pager_timeout: old.pager_timeout,
         });
         Arc::new(Kernel {
             ctx,

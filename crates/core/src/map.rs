@@ -1029,6 +1029,7 @@ mod tests {
             default_pager,
             page_size: 4096,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            pager_timeout: std::time::Duration::from_secs(5),
         })
     }
 

@@ -549,6 +549,29 @@ mod tests {
     }
 
     #[test]
+    fn unresponsive_pager_times_out_per_boot_option() {
+        // The pager port is alive but never answers. With the boot-time
+        // timeout shrunk, the fault fails fast instead of hanging 5 s.
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let mut opts = crate::BootOptions::for_machine(&machine);
+        opts.pager_timeout = Duration::from_millis(50);
+        let k = Kernel::boot_with(&machine, opts);
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, _pager_rx) = Port::allocate("mute", 4);
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+            .unwrap();
+        let start = std::time::Instant::now();
+        let r = task.user(0, |u| u.read_u32(addr));
+        assert_eq!(r.unwrap_err(), crate::types::VmError::PagerDied);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shrunken timeout took effect"
+        );
+    }
+
+    #[test]
     fn dead_pager_port_fails_cleanly() {
         let k = boot();
         let task = k.create_task();

@@ -18,6 +18,11 @@ use crate::tlb::FlushScope;
 pub enum IpiKind {
     /// Flush part of the target's TLB.
     FlushTlb(FlushScope),
+    /// Flush several scopes in one interrupt — the coalesced form: the
+    /// dominant cost of a shootdown is taking the interrupt, not the
+    /// individual invalidations, so a range operation batches all its
+    /// page flushes onto a single IPI per target.
+    FlushTlbMulti(Arc<[FlushScope]>),
     /// A clock tick (used by the deferred shootdown strategy).
     Timer,
 }

@@ -436,6 +436,12 @@ impl Machine {
                 IpiKind::FlushTlb(scope) => {
                     self.cpus[id].tlb.lock().flush(scope);
                 }
+                IpiKind::FlushTlbMulti(scopes) => {
+                    let mut tlb = self.cpus[id].tlb.lock();
+                    for &scope in scopes.iter() {
+                        tlb.flush(scope);
+                    }
+                }
                 IpiKind::Timer => {}
             }
             self.cpus[id].clock.charge(self.model.cost.ipi_handle);
@@ -473,20 +479,43 @@ impl Machine {
     ///
     /// Returns the number of IPIs actually sent.
     pub fn shootdown(&self, targets: &[usize], scope: FlushScope, wait: bool) -> usize {
+        self.shootdown_multi(targets, &[scope], wait)
+    }
+
+    /// [`Machine::shootdown`] for several scopes at once: every target
+    /// receives a *single* IPI carrying all of them. Range operations use
+    /// this to coalesce their per-page flushes — the interrupt, not the
+    /// invalidation, is what costs — so a remove or protect of N pages
+    /// interrupts each CPU once instead of N times.
+    ///
+    /// Returns the number of IPIs actually sent.
+    pub fn shootdown_multi(&self, targets: &[usize], scopes: &[FlushScope], wait: bool) -> usize {
+        if scopes.is_empty() {
+            return 0;
+        }
         let me = self.current_cpu();
         let mut live = Vec::new();
         for &t in targets {
             if t == me {
-                self.flush_local(scope);
+                for &scope in scopes {
+                    self.flush_local(scope);
+                }
             } else if self.cpus[t].is_active() {
                 live.push(t);
             } else {
-                self.flush_quiescent(t, scope);
+                for &scope in scopes {
+                    self.flush_quiescent(t, scope);
+                }
             }
         }
         if live.is_empty() {
             return 0;
         }
+        let kind = if scopes.len() == 1 {
+            IpiKind::FlushTlb(scopes[0])
+        } else {
+            IpiKind::FlushTlbMulti(scopes.into())
+        };
         let ack = if wait {
             Some(AckLatch::new(live.len()))
         } else {
@@ -496,7 +525,7 @@ impl Machine {
             self.bus.send(
                 t,
                 Ipi {
-                    kind: IpiKind::FlushTlb(scope),
+                    kind: kind.clone(),
                     ack: ack.clone(),
                 },
             );
@@ -517,7 +546,9 @@ impl Machine {
                     // Forced flush: targets are stalled inside the kernel
                     // and cannot be mid-access through their TLBs.
                     for &t in &live {
-                        self.flush_quiescent(t, scope);
+                        for &scope in scopes {
+                            self.flush_quiescent(t, scope);
+                        }
                     }
                     self.stats
                         .shootdown_timeouts

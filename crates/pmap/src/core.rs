@@ -18,6 +18,16 @@ pub(crate) fn cpu_list(mask: u64, n_cpus: usize) -> Vec<usize> {
     (0..n_cpus).filter(|&i| mask & (1 << i) != 0).collect()
 }
 
+/// Add to a statistics counter (relaxed — counters are advisory).
+pub(crate) fn stat_add(c: &AtomicU64, n: u64) {
+    c.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Subtract from a statistics counter.
+pub(crate) fn stat_sub(c: &AtomicU64, n: u64) {
+    c.fetch_sub(n, Ordering::Relaxed);
+}
+
 #[derive(Debug)]
 struct DeferredFlush {
     cpus: u64,
@@ -27,7 +37,8 @@ struct DeferredFlush {
 
 /// Shared state of one machine-dependent module instance.
 #[derive(Debug)]
-pub(crate) struct MdCore {
+#[doc(hidden)]
+pub struct MdCore {
     pub machine: Arc<Machine>,
     pub pv: PvTable,
     pub policy: RwLock<ShootdownPolicy>,
@@ -90,9 +101,11 @@ impl MdCore {
         let targets = cpu_list(cpus, self.machine.n_cpus());
         match strategy {
             ShootdownStrategy::Immediate => {
-                for scope in scopes {
-                    self.machine.shootdown(&targets, scope, true);
-                }
+                // Coalesced: one shootdown round carries every scope, so
+                // each target CPU takes a single interrupt for the whole
+                // range operation instead of one per page.
+                let sent = self.machine.shootdown_multi(&targets, &scopes, true);
+                self.count_round(sent);
                 Pending::complete()
             }
             ShootdownStrategy::Deferred => {
@@ -139,18 +152,27 @@ impl MdCore {
         }
         for (cpus, flushes) in by_cpus {
             let targets = cpu_list(cpus, self.machine.n_cpus());
-            if flushes.len() > 8 {
-                self.machine.shootdown(&targets, FlushScope::All, true);
-                for f in flushes {
-                    f.done.store(true, Ordering::Release);
-                }
+            let scopes: Vec<FlushScope> = if flushes.len() > 8 {
+                vec![FlushScope::All]
             } else {
-                for f in flushes {
-                    self.machine.shootdown(&targets, f.scope, true);
-                    f.done.store(true, Ordering::Release);
-                }
+                flushes.iter().map(|f| f.scope).collect()
+            };
+            // One coalesced round per CPU set, however many flushes were
+            // queued against it.
+            let sent = self.machine.shootdown_multi(&targets, &scopes, true);
+            self.count_round(sent);
+            for f in flushes {
+                f.done.store(true, Ordering::Release);
             }
         }
+    }
+
+    /// Account one shootdown round and the IPIs it sent.
+    fn count_round(&self, ipis: usize) {
+        self.counters.flush_rounds.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .flush_ipis
+            .fetch_add(ipis as u64, Ordering::Relaxed);
     }
 
     /// `pmap_remove_all` over the pv table.

@@ -44,6 +44,7 @@ use mach_hw::addr::{HwProt, PAddr, VAddr};
 use mach_hw::machine::Machine;
 use mach_hw::ArchKind;
 
+pub mod chassis;
 pub mod core;
 pub mod ns32082;
 pub mod pv;
@@ -236,10 +237,17 @@ pub struct PmapStats {
     pub table_bytes: u64,
     /// Deferred flushes queued.
     pub deferred_queued: u64,
+    /// Shootdown rounds issued (each round interrupts every target CPU
+    /// once, however many pages it carries — the coalescing unit).
+    pub flush_rounds: u64,
+    /// Inter-processor interrupts those rounds actually sent.
+    pub flush_ipis: u64,
 }
 
+/// Internal atomic counters behind [`PmapStats`].
+#[doc(hidden)]
 #[derive(Debug, Default)]
-pub(crate) struct Counters {
+pub struct Counters {
     pub enters: AtomicU64,
     pub removes: AtomicU64,
     pub protects: AtomicU64,
@@ -248,6 +256,8 @@ pub(crate) struct Counters {
     pub alias_evictions: AtomicU64,
     pub table_bytes: AtomicU64,
     pub deferred_queued: AtomicU64,
+    pub flush_rounds: AtomicU64,
+    pub flush_ipis: AtomicU64,
 }
 
 impl Counters {
@@ -261,6 +271,8 @@ impl Counters {
             alias_evictions: self.alias_evictions.load(Ordering::Relaxed),
             table_bytes: self.table_bytes.load(Ordering::Relaxed),
             deferred_queued: self.deferred_queued.load(Ordering::Relaxed),
+            flush_rounds: self.flush_rounds.load(Ordering::Relaxed),
+            flush_ipis: self.flush_ipis.load(Ordering::Relaxed),
         }
     }
 }
@@ -378,6 +390,25 @@ pub fn machdep_for(machine: &Arc<Machine>) -> Arc<dyn MachDep> {
         ArchKind::Sun3 => sun3::Sun3MachDep::new(machine),
         ArchKind::Ns32082 => ns32082::NsMachDep::new(machine),
         ArchKind::TlbSoft => tlbsoft::TlbSoftMachDep::new(machine),
+    }
+}
+
+/// Helpers shared by every port's test module.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::Arc;
+
+    use mach_hw::addr::{HwProt, PAddr};
+    use mach_hw::machine::Machine;
+
+    /// Read-write protection, the common case in port tests.
+    pub(crate) fn rw() -> HwProt {
+        HwProt::READ | HwProt::WRITE
+    }
+
+    /// Allocate a fresh user frame and return its base address.
+    pub(crate) fn frame(machine: &Arc<Machine>, page: u64) -> PAddr {
+        machine.frames().alloc().unwrap().base(page)
     }
 }
 

@@ -8,9 +8,11 @@
 //! read-modify-write erratum: because the faulting access type cannot be
 //! trusted, the machine-independent layer must treat read faults on
 //! copy-on-write pages as possible writes (see `mach-vm`'s fault handler).
+//!
+//! Range walks, pv bookkeeping and shootdown dispatch live in the shared
+//! [`crate::chassis`]; this module is only the two-level-table logic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 
 use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
 use mach_hw::arch::ns32082::{
@@ -18,24 +20,22 @@ use mach_hw::arch::ns32082::{
 };
 use mach_hw::arch::CpuRegs;
 use mach_hw::machine::Machine;
-use mach_hw::tlb::FlushScope;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::chassis::{ChassisMachDep, HwTables, PortFactory, PortShared, SlotOld, TlbTag};
 use crate::core::MdCore;
 use crate::pv::{ATTR_MOD, ATTR_REF};
-use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
 
 const PAGE: u64 = 512;
 const L1_BYTES: u64 = 1024; // 256 entries × 4 bytes = 2 frames
 const L1_FRAMES: u64 = L1_BYTES / PAGE;
 
+/// Table state behind the guard (opaque outside this module).
 #[derive(Debug, Default)]
-struct NsState {
+pub struct NsState {
     l1: Option<Pfn>,
     /// Level-2 table frame per level-1 slot.
     l2: std::collections::HashMap<u64, Pfn>,
-    resident: u64,
 }
 
 impl NsState {
@@ -47,14 +47,25 @@ impl NsState {
     }
 }
 
-/// The NS32082 machine-dependent module.
+/// Builds [`NsTables`] per created pmap.
 #[derive(Debug)]
-pub struct NsMachDep {
-    core: Arc<MdCore>,
-    kernel: Arc<dyn Pmap>,
+pub struct NsFactory;
+
+impl PortFactory for NsFactory {
+    type Tables = NsTables;
+
+    fn new_tables(&self, core: &Arc<MdCore>, _id: u64, _shared: &Arc<PortShared>) -> NsTables {
+        NsTables {
+            core: Arc::clone(core),
+            state: Mutex::new(NsState::default()),
+        }
+    }
 }
 
-impl NsMachDep {
+/// The NS32082 machine-dependent module.
+pub type NsMachDep = ChassisMachDep<NsFactory>;
+
+impl ChassisMachDep<NsFactory> {
     /// Build the NS32082 pmap module for `machine`.
     ///
     /// # Panics
@@ -62,36 +73,18 @@ impl NsMachDep {
     /// Panics if `machine` is not NS32082-based.
     pub fn new(machine: &Arc<Machine>) -> Arc<NsMachDep> {
         assert_eq!(machine.kind(), mach_hw::ArchKind::Ns32082);
-        Arc::new(NsMachDep {
-            core: Arc::new(MdCore::new(machine)),
-            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
-        })
+        ChassisMachDep::with_factory(machine, NsFactory)
     }
 }
 
-/// An NS32082 physical map.
+/// An NS32082 pmap's hardware tables (level-1 plus sparse level-2s).
 #[derive(Debug)]
-pub struct NsPmap {
-    id: u64,
+pub struct NsTables {
     core: Arc<MdCore>,
-    me: Weak<NsPmap>,
-    cpus_using: AtomicU64,
-    cpus_cached: AtomicU64,
     state: Mutex<NsState>,
 }
 
-impl NsPmap {
-    fn new(core: &Arc<MdCore>) -> Arc<NsPmap> {
-        Arc::new_cyclic(|me| NsPmap {
-            id: core.next_id(),
-            core: Arc::clone(core),
-            me: me.clone(),
-            cpus_using: AtomicU64::new(0),
-            cpus_cached: AtomicU64::new(0),
-            state: Mutex::new(NsState::default()),
-        })
-    }
-
+impl NsTables {
     fn ensure_l1(&self, st: &mut NsState) -> Pfn {
         let machine = &self.core.machine;
         if st.l1.is_none() {
@@ -104,10 +97,7 @@ impl NsPmap {
                 .zero(PAddr(l1.0 * PAGE), L1_BYTES)
                 .expect("table frames valid");
             st.l1 = Some(l1);
-            self.core
-                .counters
-                .table_bytes
-                .fetch_add(L1_BYTES, Ordering::Relaxed);
+            crate::core::stat_add(&self.core.counters.table_bytes, L1_BYTES);
         }
         st.l1.unwrap()
     }
@@ -130,178 +120,116 @@ impl NsPmap {
                 .phys()
                 .write_u32(PAddr(l1.0 * PAGE + 4 * l1_idx), l1_entry(f))
                 .expect("level-1 resident");
-            self.core
-                .counters
-                .table_bytes
-                .fetch_add(PAGE, Ordering::Relaxed);
+            crate::core::stat_add(&self.core.counters.table_bytes, PAGE);
             f
         });
         PAddr(l2.0 * PAGE + 4 * l2_idx)
     }
 
-    fn weak_self(&self) -> Weak<dyn HwMapper> {
-        self.me.clone() as Weak<dyn HwMapper>
-    }
-
-    fn for_each_valid<F: FnMut(&NsState, u64, PAddr, u32)>(
-        &self,
-        st: &NsState,
-        start: VAddr,
-        end: VAddr,
-        mut f: F,
-    ) {
-        let phys = self.core.machine.phys();
-        let mut vpn = start.0 / PAGE;
-        let end_vpn = end.0.div_ceil(PAGE);
-        while vpn < end_vpn {
-            if let Some(pte_pa) = st.pte_pa(vpn) {
-                let word = phys.read_u32(pte_pa).expect("table resident");
-                if word & PTE_V != 0 {
-                    f(st, vpn, pte_pa, word);
-                }
-                vpn += 1;
-            } else {
-                // Skip to the next level-2 table boundary.
-                vpn = (vpn / L2_ENTRIES + 1) * L2_ENTRIES;
-            }
+    fn read_pte(&self, st: &NsState, va: VAddr) -> Option<(PAddr, u32)> {
+        if va.0 >= VA_LIMIT {
+            return None;
         }
+        let pte_pa = st.pte_pa(va.0 / PAGE)?;
+        let word = self
+            .core
+            .machine
+            .phys()
+            .read_u32(pte_pa)
+            .expect("table resident");
+        // Only valid PTEs: every caller treats invalid as unmapped.
+        (word & PTE_V != 0).then_some((pte_pa, word))
     }
 }
 
-impl Pmap for NsPmap {
-    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
-        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+fn attr_bits(word: u32) -> u8 {
+    ((word & PTE_M != 0) as u8 * ATTR_MOD) | ((word & PTE_REF != 0) as u8 * ATTR_REF)
+}
+
+impl HwTables for NsTables {
+    type Guard<'a> = MutexGuard<'a, NsState>;
+
+    const PAGE_SIZE: u64 = PAGE;
+
+    fn lock(&self) -> MutexGuard<'_, NsState> {
+        self.state.lock()
+    }
+
+    fn check_range(&self, va: VAddr, size: u64) {
         assert!(
             va.0 + size <= VA_LIMIT,
             "NS32082 maps only 16 MB of virtual space per table"
         );
-        let n = size / PAGE;
-        self.core.charge_op(n);
-        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
-        let mut flush = Vec::new();
-        {
-            let mut st = self.state.lock();
-            for i in 0..n {
-                let v = va + i * PAGE;
-                let vpn = v.0 / PAGE;
-                let frame = Pfn(pa.0 / PAGE + i);
-                let pte_pa = self.ensure(&mut st, vpn);
-                let phys = self.core.machine.phys();
-                let old = phys.read_u32(pte_pa).expect("table resident");
-                let mut word = pte(frame, prot);
-                if old & PTE_V != 0 {
-                    let old_pfn = Pfn((old & PTE_PFN_MASK) as u64);
-                    if old_pfn != frame {
-                        // The slot stays resident; only the frame changes.
-                        self.core.pv.remove(old_pfn, self.id, v);
-                        let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
-                            | ((old & PTE_REF != 0) as u8 * ATTR_REF);
-                        self.core.pv.merge_attrs(old_pfn, bits);
-                    } else {
-                        word |= old & (PTE_M | PTE_REF);
-                    }
-                    flush.push((0u32, vpn));
-                }
-                if old & PTE_V == 0 {
-                    st.resident += 1;
-                }
-                phys.write_u32(pte_pa, word).expect("table resident");
-                self.core.pv.add(frame, self.weak_self(), v);
-            }
-        }
-        let strategy = self.core.policy.read().time_critical;
+    }
+
+    fn insert(
+        &self,
+        g: &mut MutexGuard<'_, NsState>,
+        va: VAddr,
+        pfn: Pfn,
+        prot: HwProt,
+        _wired: bool,
+    ) -> SlotOld {
+        let pte_pa = self.ensure(g, va.0 / PAGE);
+        let phys = self.core.machine.phys();
+        let old = phys.read_u32(pte_pa).expect("table resident");
+        let mut word = pte(pfn, prot);
+        let slot = crate::chassis::pte_slot(
+            old,
+            pfn,
+            &mut word,
+            PTE_V,
+            PTE_PFN_MASK,
+            PTE_M | PTE_REF,
+            attr_bits,
+        );
+        phys.write_u32(pte_pa, word).expect("table resident");
+        slot
+    }
+
+    fn clear(&self, g: &mut MutexGuard<'_, NsState>, va: VAddr) -> Option<(Pfn, u8)> {
+        let (pte_pa, old) = self.read_pte(g, va)?;
         self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+            .machine
+            .phys()
+            .write_u32(pte_pa, 0)
+            .expect("table resident");
+        Some((Pfn((old & PTE_PFN_MASK) as u64), attr_bits(old)))
     }
 
-    fn remove(&self, start: VAddr, end: VAddr) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut flush = Vec::new();
-        let mut removed = Vec::new();
-        {
-            let st = self.state.lock();
-            self.for_each_valid(&st, start, end, |_st, vpn, pte_pa, word| {
-                removed.push((vpn, pte_pa, word));
-            });
-            let phys = self.core.machine.phys();
-            for &(vpn, pte_pa, word) in &removed {
-                phys.write_u32(pte_pa, 0).expect("table resident");
-                let frame = Pfn((word & PTE_PFN_MASK) as u64);
-                self.core.pv.remove(frame, self.id, VAddr(vpn * PAGE));
-                let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
-                    | ((word & PTE_REF != 0) as u8 * ATTR_REF);
-                self.core.pv.merge_attrs(frame, bits);
-                flush.push((0u32, vpn));
-            }
-            drop(st);
-            if !removed.is_empty() {
-                self.state.lock().resident -= removed.len() as u64;
-            }
-        }
-        self.core.charge_op(flush.len() as u64);
+    fn reprotect(&self, g: &mut MutexGuard<'_, NsState>, va: VAddr, prot: HwProt) -> Option<bool> {
+        let (pte_pa, old) = self.read_pte(g, va)?;
+        let frame = Pfn((old & PTE_PFN_MASK) as u64);
         self.core
-            .counters
-            .removes
-            .fetch_add(flush.len() as u64, Ordering::Relaxed);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+            .machine
+            .phys()
+            .write_u32(pte_pa, pte(frame, prot) | (old & (PTE_M | PTE_REF)))
+            .expect("table resident");
+        Some(pte_prot(old).bits() & !prot.bits() != 0)
     }
 
-    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut narrow = Vec::new();
-        let mut widen = Vec::new();
-        {
-            let st = self.state.lock();
-            let phys = self.core.machine.phys();
-            let mut updates = Vec::new();
-            self.for_each_valid(&st, start, end, |_st, vpn, pte_pa, word| {
-                updates.push((vpn, pte_pa, word));
-            });
-            for (vpn, pte_pa, old) in updates {
-                let old_prot = pte_prot(old);
-                let frame = Pfn((old & PTE_PFN_MASK) as u64);
-                let word = if prot.is_none() {
-                    0
-                } else {
-                    pte(frame, prot) | (old & (PTE_M | PTE_REF))
-                };
-                phys.write_u32(pte_pa, word).expect("table resident");
-                if old_prot.bits() & !prot.bits() != 0 {
-                    narrow.push((0u32, vpn));
-                } else {
-                    widen.push((0u32, vpn));
-                }
-                self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.core.charge_op((narrow.len() + widen.len()) as u64);
-        let policy = *self.core.policy.read();
-        let cached = self.cpus_cached.load(Ordering::SeqCst);
-        self.core.flush_pages(cached, &narrow, policy.time_critical);
-        self.core.flush_pages(cached, &widen, policy.widen);
+    fn lookup(&self, g: &MutexGuard<'_, NsState>, va: VAddr) -> Option<Pfn> {
+        let (_, word) = self.read_pte(g, va)?;
+        Some(Pfn((word & PTE_PFN_MASK) as u64))
     }
 
-    fn extract(&self, va: VAddr) -> Option<PAddr> {
-        if va.0 >= VA_LIMIT {
-            return None;
-        }
-        let st = self.state.lock();
-        let pte_pa = st.pte_pa(va.0 / PAGE)?;
-        let word = self.core.machine.phys().read_u32(pte_pa).ok()?;
-        if word & PTE_V == 0 {
-            return None;
-        }
-        Some(Pfn((word & PTE_PFN_MASK) as u64).base(PAGE) + va.offset_in(PAGE))
+    fn mr(
+        &self,
+        g: &mut MutexGuard<'_, NsState>,
+        va: VAddr,
+        clear_mod: bool,
+        clear_ref: bool,
+    ) -> (bool, bool) {
+        let Some((pte_pa, word)) = self.read_pte(g, va) else {
+            return (false, false);
+        };
+        let mask = if clear_mod { PTE_M } else { 0 } | if clear_ref { PTE_REF } else { 0 };
+        let _ = self.core.machine.phys().update_u32(pte_pa, |w| w & !mask);
+        (word & PTE_M != 0, word & PTE_REF != 0)
     }
 
-    fn activate(&self, cpu: usize) {
-        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
-        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
-        let mut st = self.state.lock();
-        let ptb = self.ensure_l1(&mut st).0 * PAGE;
-        drop(st);
+    fn activate(&self, g: &mut MutexGuard<'_, NsState>, cpu: usize) -> TlbTag {
+        let ptb = self.ensure_l1(g).0 * PAGE;
         self.core
             .machine
             .cpu(cpu)
@@ -310,205 +238,39 @@ impl Pmap for NsPmap {
                 enabled: true,
             }));
         // Untagged TLB: flushed on switch.
-        self.core.machine.flush_quiescent(cpu, FlushScope::All);
-        self.core
-            .machine
-            .charge(self.core.machine.cost().context_switch);
+        TlbTag::Untagged
     }
 
-    fn deactivate(&self, cpu: usize) {
-        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
-    }
-
-    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
-        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
-    }
-
-    fn resident_pages(&self) -> u64 {
-        self.state.lock().resident
-    }
-}
-
-impl HwMapper for NsPmap {
-    fn mapper_id(&self) -> u64 {
-        self.id
-    }
-
-    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
-        let mut st = self.state.lock();
-        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
-            return (false, false);
-        };
-        let phys = self.core.machine.phys();
-        let old = phys.read_u32(pte_pa).expect("table resident");
-        if old & PTE_V == 0 {
-            return (false, false);
-        }
-        phys.write_u32(pte_pa, 0).expect("table resident");
-        st.resident -= 1;
-        (old & PTE_M != 0, old & PTE_REF != 0)
-    }
-
-    fn protect_hw(&self, va: VAddr, prot: HwProt) {
-        let st = self.state.lock();
-        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
-            return;
-        };
-        let phys = self.core.machine.phys();
-        let old = phys.read_u32(pte_pa).expect("table resident");
-        if old & PTE_V == 0 {
-            return;
-        }
-        let frame = Pfn((old & PTE_PFN_MASK) as u64);
-        phys.write_u32(pte_pa, pte(frame, prot) | (old & (PTE_M | PTE_REF)))
-            .expect("table resident");
-    }
-
-    fn read_mr(&self, va: VAddr) -> (bool, bool) {
-        let st = self.state.lock();
-        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
-            return (false, false);
-        };
-        let word = self.core.machine.phys().read_u32(pte_pa).expect("resident");
-        if word & PTE_V == 0 {
-            return (false, false);
-        }
-        (word & PTE_M != 0, word & PTE_REF != 0)
-    }
-
-    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
-        let st = self.state.lock();
-        let Some(pte_pa) = st.pte_pa(va.0 / PAGE) else {
-            return;
-        };
-        let mut mask = 0u32;
-        if clear_mod {
-            mask |= PTE_M;
-        }
-        if clear_ref {
-            mask |= PTE_REF;
-        }
-        let _ =
-            self.core
-                .machine
-                .phys()
-                .update_u32(pte_pa, |w| if w & PTE_V != 0 { w & !mask } else { w });
-    }
-
-    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
-        (0, va.0 / PAGE)
-    }
-
-    fn cpus_cached(&self) -> u64 {
-        self.cpus_cached.load(Ordering::SeqCst)
-    }
-}
-
-impl Drop for NsPmap {
-    fn drop(&mut self) {
-        let st = self.state.lock();
+    fn teardown(&self, g: &mut MutexGuard<'_, NsState>) -> Vec<(VAddr, Pfn, u8)> {
         let machine = &self.core.machine;
         let phys = machine.phys();
-        for (&l1_idx, &l2) in &st.l2 {
+        let mut harvested = Vec::new();
+        for (&l1_idx, &l2) in &g.l2 {
             for l2_idx in 0..L2_ENTRIES {
                 let pte_pa = PAddr(l2.0 * PAGE + 4 * l2_idx);
                 let word = phys.read_u32(pte_pa).unwrap_or(0);
                 if word & PTE_V != 0 {
                     let frame = Pfn((word & PTE_PFN_MASK) as u64);
                     let va = VAddr((l1_idx * L2_ENTRIES + l2_idx) * PAGE);
-                    self.core.pv.remove(frame, self.id, va);
-                    let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
-                        | ((word & PTE_REF != 0) as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(frame, bits);
+                    harvested.push((va, frame, attr_bits(word)));
                 }
             }
             machine.frames().free(l2);
-            self.core
-                .counters
-                .table_bytes
-                .fetch_sub(PAGE, Ordering::Relaxed);
+            crate::core::stat_sub(&self.core.counters.table_bytes, PAGE);
         }
-        if let Some(l1) = st.l1 {
+        if let Some(l1) = g.l1 {
             machine.frames().free_contig(l1, L1_FRAMES);
-            self.core
-                .counters
-                .table_bytes
-                .fetch_sub(L1_BYTES, Ordering::Relaxed);
+            crate::core::stat_sub(&self.core.counters.table_bytes, L1_BYTES);
         }
-    }
-}
-
-impl MachDep for NsMachDep {
-    fn machine(&self) -> &Arc<Machine> {
-        &self.core.machine
-    }
-
-    fn create(&self) -> Arc<dyn Pmap> {
-        NsPmap::new(&self.core)
-    }
-
-    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
-        &self.kernel
-    }
-
-    fn remove_all(&self, pa: PAddr, size: u64) {
-        let strategy = self.core.policy.read().time_critical;
-        self.core.remove_all_with(pa, size, strategy);
-    }
-
-    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
-        let strategy = self.core.policy.read().pageout;
-        self.core.remove_all_with(pa, size, strategy)
-    }
-
-    fn copy_on_write(&self, pa: PAddr, size: u64) {
-        self.core.copy_on_write(pa, size);
-    }
-
-    fn zero_page(&self, pa: PAddr, size: u64) {
-        self.core.zero_page(pa, size);
-    }
-
-    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
-        self.core.copy_page(src, dst, size);
-    }
-
-    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_modified(pa, size)
-    }
-
-    fn clear_modify(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, true, false);
-    }
-
-    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_referenced(pa, size)
-    }
-
-    fn clear_reference(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, false, true);
-    }
-
-    fn mapping_count(&self, pa: PAddr) -> usize {
-        self.core.pv.mapping_count(pa.pfn(PAGE))
-    }
-
-    fn update(&self) {
-        self.core.update();
-    }
-
-    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
-        *self.core.policy.write() = policy;
-    }
-
-    fn stats(&self) -> PmapStats {
-        self.core.counters.snapshot()
+        harvested
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{frame, rw};
+    use crate::MachDep;
     use mach_hw::machine::MachineModel;
 
     fn setup() -> (Arc<Machine>, Arc<NsMachDep>) {
@@ -517,15 +279,11 @@ mod tests {
         (machine, md)
     }
 
-    fn rw() -> HwProt {
-        HwProt::READ | HwProt::WRITE
-    }
-
     #[test]
     fn enter_and_access() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x10000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -539,7 +297,7 @@ mod tests {
     fn sixteen_mb_limit_enforced() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(VA_LIMIT), pa, PAGE, rw(), false);
     }
 
@@ -547,16 +305,16 @@ mod tests {
     fn l2_tables_allocated_per_64k() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0), pa, PAGE, rw(), false);
         let t1 = md.stats().table_bytes;
         assert_eq!(t1, L1_BYTES + PAGE);
         // Same 64 KB window: no new table.
-        let pa2 = machine.frames().alloc().unwrap().base(PAGE);
+        let pa2 = frame(&machine, PAGE);
         pmap.enter(VAddr(0x8000), pa2, PAGE, rw(), false);
         assert_eq!(md.stats().table_bytes, t1);
         // Different window: one more level-2 frame.
-        let pa3 = machine.frames().alloc().unwrap().base(PAGE);
+        let pa3 = frame(&machine, PAGE);
         pmap.enter(VAddr(0x20000), pa3, PAGE, rw(), false);
         assert_eq!(md.stats().table_bytes, t1 + PAGE);
     }
@@ -565,7 +323,7 @@ mod tests {
     fn rmw_erratum_reports_read_fault_on_cow_write() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -589,7 +347,7 @@ mod tests {
         let (machine, md) = setup();
         let free0 = machine.frames().free_count();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x3000), pa, PAGE, rw(), false);
         pmap.remove(VAddr(0x3000), VAddr(0x3000 + PAGE));
         assert_eq!(pmap.resident_pages(), 0);
@@ -603,7 +361,7 @@ mod tests {
     fn two_cpu_shootdown() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         {
             let _b = machine.bind_cpu(1);
@@ -626,7 +384,7 @@ mod tests {
     fn deferred_pageout_flush() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);

@@ -24,6 +24,12 @@ pub const ATTR_MOD: u8 = 1;
 /// Attribute bit: the frame has been referenced.
 pub const ATTR_REF: u8 = 2;
 
+/// Pack hardware modify/reference bits into attribute bits.
+#[inline]
+pub fn attr_bits(modified: bool, referenced: bool) -> u8 {
+    (modified as u8 * ATTR_MOD) | (referenced as u8 * ATTR_REF)
+}
+
 /// One reverse-map entry: a pmap and the virtual address mapping the frame.
 #[derive(Clone)]
 pub struct PvEntry {

@@ -9,18 +9,16 @@
 //! Entering a mapping for a physical frame that is already mapped at a
 //! different virtual address *evicts* the previous mapping (an **alias
 //! eviction**, counted in [`crate::PmapStats::alias_evictions`]); the
-//! previous owner refaults if it touches the page again. The S5-RT
-//! ablation benchmark shows the paper's surprising result: these extra
-//! faults are rare enough in practice that per-page sharing still beats a
-//! shared-segment scheme that avoids aliasing altogether.
-//!
-//! Because the IPT costs 16 bytes per physical frame regardless of address
-//! space size, a full 4 GB task space is free — reproduced by
-//! [`crate::PmapStats::table_bytes`] staying flat as spaces grow.
+//! previous owner refaults if it touches the page again. Because the IPT
+//! costs 16 bytes per physical frame regardless of address space size, a
+//! full 4 GB task space is free ([`crate::PmapStats::table_bytes`] stays
+//! flat). This module is only the hash-chain and segment-register logic,
+//! plus the alias-eviction quirk (batched in the guard and flushed by the
+//! [`crate::chassis`] as one coalesced round).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
 use mach_hw::arch::romp::{
@@ -29,20 +27,23 @@ use mach_hw::arch::romp::{
 use mach_hw::arch::{ArchGlobal, CpuRegs};
 use mach_hw::machine::Machine;
 use mach_hw::phys::PhysMem;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::chassis::{
+    ChassisMachDep, HwTables, PortFactory, PortShared, QuirkFlush, SlotOld, TlbTag,
+};
 use crate::core::MdCore;
 use crate::pv::{ATTR_MOD, ATTR_REF};
-use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
 
 const PAGE: u64 = 2048;
 const N_SEGIDS: u16 = 1 << 12;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RompSw {
     windows: [Option<u16>; 16],
-    resident: u64,
+    /// The owning chassis's counters, reachable here so an alias eviction
+    /// can decrement the victim pmap's resident count.
+    shared: Arc<PortShared>,
 }
 
 #[derive(Debug)]
@@ -52,15 +53,38 @@ struct RompWorld {
     pmaps: HashMap<u64, RompSw>,
 }
 
-/// The RT PC machine-dependent module.
+/// Builds [`RompTables`] per created pmap over the machine-wide segment-id
+/// pool and inverted table.
 #[derive(Debug)]
-pub struct RompMachDep {
-    core: Arc<MdCore>,
-    kernel: Arc<dyn Pmap>,
+pub struct RompFactory {
     world: Arc<Mutex<RompWorld>>,
 }
 
-impl RompMachDep {
+impl PortFactory for RompFactory {
+    type Tables = RompTables;
+
+    fn new_tables(&self, core: &Arc<MdCore>, id: u64, shared: &Arc<PortShared>) -> RompTables {
+        self.world.lock().pmaps.insert(
+            id,
+            RompSw {
+                windows: [None; 16],
+                shared: Arc::clone(shared),
+            },
+        );
+        RompTables {
+            id,
+            core: Arc::clone(core),
+            shared: Arc::clone(shared),
+            world: Arc::clone(&self.world),
+            layout: layout_of(&core.machine),
+        }
+    }
+}
+
+/// The RT PC machine-dependent module.
+pub type RompMachDep = ChassisMachDep<RompFactory>;
+
+impl ChassisMachDep<RompFactory> {
     /// Build the RT PC pmap module for `machine`.
     ///
     /// # Panics
@@ -68,15 +92,16 @@ impl RompMachDep {
     /// Panics if `machine` is not an RT PC.
     pub fn new(machine: &Arc<Machine>) -> Arc<RompMachDep> {
         assert_eq!(machine.kind(), mach_hw::ArchKind::Romp);
-        Arc::new(RompMachDep {
-            core: Arc::new(MdCore::new(machine)),
-            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
-            world: Arc::new(Mutex::new(RompWorld {
-                segid_next: 0,
-                segid_free: Vec::new(),
-                pmaps: HashMap::new(),
-            })),
-        })
+        ChassisMachDep::with_factory(
+            machine,
+            RompFactory {
+                world: Arc::new(Mutex::new(RompWorld {
+                    segid_next: 0,
+                    segid_free: Vec::new(),
+                    pmaps: HashMap::new(),
+                })),
+            },
+        )
     }
 }
 
@@ -147,48 +172,43 @@ fn chain_link(phys: &PhysMem, l: &RompLayout, idx: u32, tag: u32, flags: u32) {
 }
 
 fn prot_flags(prot: HwProt) -> u32 {
-    let mut f = 0;
-    if prot.allows_read() || prot.allows_execute() {
-        f |= F_READ;
-    }
-    if prot.allows_write() {
-        f |= F_WRITE;
-    }
-    f
+    ((prot.allows_read() || prot.allows_execute()) as u32 * F_READ)
+        | (prot.allows_write() as u32 * F_WRITE)
 }
 
-/// An RT PC physical map: a set of segment identifiers plus the shared IPT.
+/// Segment registers reflecting a pmap's current windows.
+fn regs_of(sw: &RompSw) -> RompRegs {
+    let mut regs = RompRegs::default();
+    for (i, seg) in sw.windows.iter().enumerate() {
+        if let Some(segid) = seg {
+            regs.seg[i] = SEGREG_VALID | *segid as u32;
+        }
+    }
+    regs
+}
+
+fn flag_attrs(flags: u32) -> u8 {
+    ((flags & F_M != 0) as u8 * ATTR_MOD) | ((flags & F_REF != 0) as u8 * ATTR_REF)
+}
+
+/// An RT PC pmap's hardware tables: a set of segment identifiers plus the
+/// machine-wide inverted table.
 #[derive(Debug)]
-pub struct RompPmap {
+pub struct RompTables {
     id: u64,
     core: Arc<MdCore>,
-    me: Weak<RompPmap>,
+    shared: Arc<PortShared>,
     world: Arc<Mutex<RompWorld>>,
     layout: RompLayout,
-    cpus_cached: AtomicU64,
-    cpus_using: AtomicU64,
 }
 
-impl RompPmap {
-    fn new(core: &Arc<MdCore>, world: &Arc<Mutex<RompWorld>>) -> Arc<RompPmap> {
-        let layout = layout_of(&core.machine);
-        let p = Arc::new_cyclic(|me| RompPmap {
-            id: core.next_id(),
-            core: Arc::clone(core),
-            me: me.clone(),
-            world: Arc::clone(world),
-            layout,
-            cpus_cached: AtomicU64::new(0),
-            cpus_using: AtomicU64::new(0),
-        });
-        world.lock().pmaps.insert(p.id, RompSw::default());
-        p
-    }
+/// World guard plus the batched alias-eviction flush work.
+pub struct RompGuard<'a> {
+    w: MutexGuard<'a, RompWorld>,
+    evict: QuirkFlush,
+}
 
-    fn weak_self(&self) -> Weak<dyn HwMapper> {
-        self.me.clone() as Weak<dyn HwMapper>
-    }
-
+impl RompTables {
     fn ensure_segid(&self, w: &mut RompWorld, window: usize) -> u16 {
         let sw = w.pmaps.get_mut(&self.id).expect("registered");
         if let Some(s) = sw.windows[window] {
@@ -206,14 +226,9 @@ impl RompPmap {
         sw.windows[window] = Some(s);
         // CPUs currently running this pmap must see the new segment
         // register immediately.
-        let mut regs = RompRegs::default();
-        for (i, seg) in sw.windows.iter().enumerate() {
-            if let Some(segid) = seg {
-                regs.seg[i] = SEGREG_VALID | *segid as u32;
-            }
-        }
-        let using = self.cpus_using.load(Ordering::SeqCst);
-        for cpu in crate::core::cpu_list(using, self.core.machine.n_cpus()) {
+        let regs = regs_of(sw);
+        let active = self.shared.cpus_active.load(Ordering::SeqCst);
+        for cpu in crate::core::cpu_list(active, self.core.machine.n_cpus()) {
             self.core.machine.cpu(cpu).load_regs(CpuRegs::Romp(regs));
         }
         s
@@ -226,307 +241,161 @@ impl RompPmap {
         let vpage = (va.0 >> 11) & ((1 << 17) - 1);
         Some((segid, vpage, make_tag(segid, vpage)))
     }
+
+    fn flags_addr(&self, w: &RompWorld, va: VAddr) -> Option<PAddr> {
+        let (_, _, tag) = self.tag_of(w, va)?;
+        let idx = chain_find(self.core.machine.phys(), &self.layout, tag)?;
+        Some(PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4))
+    }
 }
 
-impl Pmap for RompPmap {
-    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
-        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
-        let n = size / PAGE;
-        self.core.charge_op(n);
-        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
+impl HwTables for RompTables {
+    type Guard<'a> = RompGuard<'a>;
+
+    const PAGE_SIZE: u64 = PAGE;
+
+    fn lock(&self) -> RompGuard<'_> {
+        RompGuard {
+            w: self.world.lock(),
+            evict: QuirkFlush::default(),
+        }
+    }
+
+    fn insert(
+        &self,
+        g: &mut RompGuard<'_>,
+        va: VAddr,
+        pfn: Pfn,
+        prot: HwProt,
+        _wired: bool,
+    ) -> SlotOld {
         let phys = self.core.machine.phys();
         let l = &self.layout;
-        let mut flush = Vec::new();
-        let mut evict_flush = Vec::new();
-        let mut evict_cpus = 0u64;
-        let mut w = self.world.lock();
-        for i in 0..n {
-            let v = va + i * PAGE;
-            let frame = Pfn(pa.0 / PAGE + i);
-            let window = ((v.0 >> 28) & 0xF) as usize;
-            let segid = self.ensure_segid(&mut w, window);
-            let vpage = (v.0 >> 11) & ((1 << 17) - 1);
-            let tag = make_tag(segid, vpage);
+        let window = ((va.0 >> 28) & 0xF) as usize;
+        let segid = self.ensure_segid(&mut g.w, window);
+        let vpage = (va.0 >> 11) & ((1 << 17) - 1);
+        let tag = make_tag(segid, vpage);
 
-            // 1. If this VA already maps some other frame, remove that.
-            if let Some(old_idx) = chain_find(phys, l, tag) {
-                if old_idx as u64 == frame.0 {
-                    // Re-enter of the same mapping: just update protection,
-                    // preserving M/REF.
-                    let ea = l.entry_addr(frame);
-                    let old_flags = phys.read_u32(PAddr(ea.0 + 4)).expect("IPT");
-                    phys.write_u32(
-                        PAddr(ea.0 + 4),
-                        prot_flags(prot) | (old_flags & (F_M | F_REF)),
-                    )
+        // 1. If this VA already maps some frame, deal with that slot.
+        let mut slot = SlotOld::Empty;
+        if let Some(old_idx) = chain_find(phys, l, tag) {
+            if old_idx as u64 == pfn.0 {
+                // Re-enter of the same mapping: just update protection,
+                // preserving M/REF.
+                let fa = PAddr(l.entry_addr(pfn).0 + 4);
+                let old_flags = phys.read_u32(fa).expect("IPT");
+                phys.write_u32(fa, prot_flags(prot) | (old_flags & (F_M | F_REF)))
                     .expect("IPT");
-                    flush.push((segid as u32, vpage));
-                    continue;
-                }
-                let flags = chain_unlink(phys, l, old_idx, tag);
-                self.core.pv.remove(Pfn(old_idx as u64), self.id, v);
-                let bits =
-                    ((flags & F_M != 0) as u8 * ATTR_MOD) | ((flags & F_REF != 0) as u8 * ATTR_REF);
-                self.core.pv.merge_attrs(Pfn(old_idx as u64), bits);
-                if let Some(sw) = w.pmaps.get_mut(&self.id) {
-                    sw.resident = sw.resident.saturating_sub(1);
-                }
-                flush.push((segid as u32, vpage));
+                return SlotOld::Same;
             }
+            let flags = chain_unlink(phys, l, old_idx, tag);
+            slot = SlotOld::Replaced {
+                pfn: Pfn(old_idx as u64),
+                attrs: flag_attrs(flags),
+            };
+        }
 
-            // 2. If the frame's IPT slot holds another VA's mapping, evict
-            //    it — the architecture permits one mapping per frame.
-            let ea = l.entry_addr(frame);
-            let w0 = phys.read_u32(ea).expect("IPT resident");
-            if w0 & TAG_VALID != 0 {
-                let old_tag = w0 & 0x1FFF_FFFF;
-                let flags = chain_unlink(phys, l, frame.0 as u32, old_tag);
-                let bits =
-                    ((flags & F_M != 0) as u8 * ATTR_MOD) | ((flags & F_REF != 0) as u8 * ATTR_REF);
-                self.core.pv.merge_attrs(frame, bits);
-                // Fix the previous owner's bookkeeping through pv, and
-                // flush *its* CPUs (they hold the stale translation).
-                for e in self.core.pv.take(frame) {
-                    if let Some(m) = e.mapper.upgrade() {
-                        if let Some(sw) = w.pmaps.get_mut(&m.mapper_id()) {
-                            sw.resident = sw.resident.saturating_sub(1);
-                        }
-                        evict_cpus |= m.cpus_cached();
+        // 2. If the frame's IPT slot holds another VA's mapping, evict it —
+        //    the architecture permits one mapping per frame. The victim may
+        //    be a different pmap; fix its bookkeeping through pv and batch a
+        //    flush of *its* CPUs (they hold the stale translation).
+        let ea = l.entry_addr(pfn);
+        let w0 = phys.read_u32(ea).expect("IPT resident");
+        if w0 & TAG_VALID != 0 {
+            let old_tag = w0 & 0x1FFF_FFFF;
+            let flags = chain_unlink(phys, l, pfn.0 as u32, old_tag);
+            self.core.pv.merge_attrs(pfn, flag_attrs(flags));
+            for e in self.core.pv.take(pfn) {
+                if let Some(m) = e.mapper.upgrade() {
+                    if let Some(sw) = g.w.pmaps.get(&m.mapper_id()) {
+                        let _ = sw.shared.resident.fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |v| Some(v.saturating_sub(1)),
+                        );
                     }
+                    g.evict.cpus |= m.cpus_cached();
                 }
-                evict_flush.push((old_tag >> 17, old_tag as u64 & 0x1_FFFF));
-                self.core
-                    .counters
-                    .alias_evictions
-                    .fetch_add(1, Ordering::Relaxed);
             }
-
-            // 3. Install the new mapping.
-            chain_link(phys, l, frame.0 as u32, tag, prot_flags(prot));
-            self.core.pv.add(frame, self.weak_self(), v);
-            if let Some(sw) = w.pmaps.get_mut(&self.id) {
-                sw.resident += 1;
-            }
+            g.evict
+                .pages
+                .push((old_tag >> 17, old_tag as u64 & 0x1_FFFF));
+            crate::core::stat_add(&self.core.counters.alias_evictions, 1);
         }
-        drop(w);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
-        self.core.flush_pages(evict_cpus, &evict_flush, strategy);
+
+        // 3. Install the new mapping.
+        chain_link(phys, l, pfn.0 as u32, tag, prot_flags(prot));
+        // An eviction in step 2 may have decremented our own resident
+        // count (same pmap, different VA); re-entering a Replaced slot
+        // must not double-count, so only Empty lets the chassis increment.
+        slot
     }
 
-    fn remove(&self, start: VAddr, end: VAddr) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+    fn finish_enter(&self, g: &mut RompGuard<'_>) -> Option<QuirkFlush> {
+        if g.evict.pages.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut g.evict))
+        }
+    }
+
+    fn clear(&self, g: &mut RompGuard<'_>, va: VAddr) -> Option<(Pfn, u8)> {
         let phys = self.core.machine.phys();
-        let l = &self.layout;
-        let mut flush = Vec::new();
-        let mut w = self.world.lock();
-        let mut v = start;
-        let mut removed = 0u64;
-        while v < end {
-            if let Some((segid, vpage, tag)) = self.tag_of(&w, v) {
-                if let Some(idx) = chain_find(phys, l, tag) {
-                    let flags = chain_unlink(phys, l, idx, tag);
-                    self.core.pv.remove(Pfn(idx as u64), self.id, v);
-                    let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
-                        | ((flags & F_REF != 0) as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(Pfn(idx as u64), bits);
-                    flush.push((segid as u32, vpage));
-                    removed += 1;
-                }
-            }
-            v += PAGE;
-        }
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident -= removed;
-        }
-        drop(w);
-        self.core.charge_op(removed);
-        self.core
-            .counters
-            .removes
-            .fetch_add(removed, Ordering::Relaxed);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+        let (_, _, tag) = self.tag_of(&g.w, va)?;
+        let idx = chain_find(phys, &self.layout, tag)?;
+        let flags = chain_unlink(phys, &self.layout, idx, tag);
+        Some((Pfn(idx as u64), flag_attrs(flags)))
     }
 
-    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
+    fn reprotect(&self, g: &mut RompGuard<'_>, va: VAddr, prot: HwProt) -> Option<bool> {
         let phys = self.core.machine.phys();
-        let l = &self.layout;
-        let mut narrow = Vec::new();
-        let mut widen = Vec::new();
-        let mut w = self.world.lock();
-        let mut v = start;
-        let mut invalidated = 0u64;
-        while v < end {
-            if let Some((segid, vpage, tag)) = self.tag_of(&w, v) {
-                if let Some(idx) = chain_find(phys, l, tag) {
-                    let fa = PAddr(l.entry_addr(Pfn(idx as u64)).0 + 4);
-                    let old = phys.read_u32(fa).expect("IPT resident");
-                    if prot.is_none() {
-                        let flags = chain_unlink(phys, l, idx, tag);
-                        self.core.pv.remove(Pfn(idx as u64), self.id, v);
-                        let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
-                            | ((flags & F_REF != 0) as u8 * ATTR_REF);
-                        self.core.pv.merge_attrs(Pfn(idx as u64), bits);
-                        invalidated += 1;
-                        narrow.push((segid as u32, vpage));
-                    } else {
-                        let new = prot_flags(prot) | (old & (F_M | F_REF));
-                        phys.write_u32(fa, new).expect("IPT resident");
-                        let narrowing =
-                            (old & (F_READ | F_WRITE)) & !(new & (F_READ | F_WRITE)) != 0;
-                        if narrowing {
-                            narrow.push((segid as u32, vpage));
-                        } else {
-                            widen.push((segid as u32, vpage));
-                        }
-                    }
-                    self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            v += PAGE;
-        }
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident -= invalidated;
-        }
-        drop(w);
-        self.core.charge_op((narrow.len() + widen.len()) as u64);
-        let policy = *self.core.policy.read();
-        let cached = self.cpus_cached.load(Ordering::SeqCst);
-        self.core.flush_pages(cached, &narrow, policy.time_critical);
-        self.core.flush_pages(cached, &widen, policy.widen);
+        let fa = self.flags_addr(&g.w, va)?;
+        let old = phys.read_u32(fa).expect("IPT resident");
+        let new = prot_flags(prot) | (old & (F_M | F_REF));
+        phys.write_u32(fa, new).expect("IPT resident");
+        Some((old & (F_READ | F_WRITE)) & !(new & (F_READ | F_WRITE)) != 0)
     }
 
-    fn extract(&self, va: VAddr) -> Option<PAddr> {
-        let w = self.world.lock();
-        let (_, _, tag) = self.tag_of(&w, va)?;
+    fn lookup(&self, g: &RompGuard<'_>, va: VAddr) -> Option<Pfn> {
+        let (_, _, tag) = self.tag_of(&g.w, va)?;
         let idx = chain_find(self.core.machine.phys(), &self.layout, tag)?;
-        Some(Pfn(idx as u64).base(PAGE) + va.offset_in(PAGE))
+        Some(Pfn(idx as u64))
     }
 
-    fn activate(&self, cpu: usize) {
-        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
-        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
-        let w = self.world.lock();
-        let sw = &w.pmaps[&self.id];
-        let mut regs = RompRegs::default();
-        for (i, s) in sw.windows.iter().enumerate() {
-            if let Some(segid) = s {
-                regs.seg[i] = SEGREG_VALID | *segid as u32;
-            }
-        }
-        drop(w);
+    fn mr(
+        &self,
+        g: &mut RompGuard<'_>,
+        va: VAddr,
+        clear_mod: bool,
+        clear_ref: bool,
+    ) -> (bool, bool) {
+        let Some(fa) = self.flags_addr(&g.w, va) else {
+            return (false, false);
+        };
+        let flags = self.core.machine.phys().read_u32(fa).expect("IPT resident");
+        let mask = if clear_mod { F_M } else { 0 } | if clear_ref { F_REF } else { 0 };
+        let _ = self.core.machine.phys().update_u32(fa, |f| f & !mask);
+        (flags & F_M != 0, flags & F_REF != 0)
+    }
+
+    fn space_vpn(&self, g: &RompGuard<'_>, va: VAddr) -> Option<(u32, u64)> {
+        self.tag_of(&g.w, va)
+            .map(|(segid, vpage, _)| (segid as u32, vpage))
+    }
+
+    fn activate(&self, g: &mut RompGuard<'_>, cpu: usize) -> TlbTag {
+        let regs = regs_of(&g.w.pmaps[&self.id]);
         self.core.machine.cpu(cpu).load_regs(CpuRegs::Romp(regs));
         // Tagged TLB: no flush on switch.
-        self.core
-            .machine
-            .charge(self.core.machine.cost().context_switch);
+        TlbTag::Tagged
     }
 
-    fn deactivate(&self, cpu: usize) {
-        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
-    }
-
-    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
-        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
-    }
-
-    fn resident_pages(&self) -> u64 {
-        self.world.lock().pmaps[&self.id].resident
-    }
-}
-
-impl HwMapper for RompPmap {
-    fn mapper_id(&self) -> u64 {
-        self.id
-    }
-
-    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
-        let phys = self.core.machine.phys();
-        let mut w = self.world.lock();
-        let Some((_, _, tag)) = self.tag_of(&w, va) else {
-            return (false, false);
-        };
-        let Some(idx) = chain_find(phys, &self.layout, tag) else {
-            return (false, false);
-        };
-        let flags = chain_unlink(phys, &self.layout, idx, tag);
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident = sw.resident.saturating_sub(1);
-        }
-        (flags & F_M != 0, flags & F_REF != 0)
-    }
-
-    fn protect_hw(&self, va: VAddr, prot: HwProt) {
-        let phys = self.core.machine.phys();
-        let w = self.world.lock();
-        let Some((_, _, tag)) = self.tag_of(&w, va) else {
-            return;
-        };
-        let Some(idx) = chain_find(phys, &self.layout, tag) else {
-            return;
-        };
-        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
-        let _ = phys.update_u32(fa, |old| prot_flags(prot) | (old & (F_M | F_REF)));
-    }
-
-    fn read_mr(&self, va: VAddr) -> (bool, bool) {
-        let phys = self.core.machine.phys();
-        let w = self.world.lock();
-        let Some((_, _, tag)) = self.tag_of(&w, va) else {
-            return (false, false);
-        };
-        let Some(idx) = chain_find(phys, &self.layout, tag) else {
-            return (false, false);
-        };
-        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
-        let flags = phys.read_u32(fa).expect("IPT resident");
-        (flags & F_M != 0, flags & F_REF != 0)
-    }
-
-    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
-        let phys = self.core.machine.phys();
-        let w = self.world.lock();
-        let Some((_, _, tag)) = self.tag_of(&w, va) else {
-            return;
-        };
-        let Some(idx) = chain_find(phys, &self.layout, tag) else {
-            return;
-        };
-        let fa = PAddr(self.layout.entry_addr(Pfn(idx as u64)).0 + 4);
-        let mut mask = 0;
-        if clear_mod {
-            mask |= F_M;
-        }
-        if clear_ref {
-            mask |= F_REF;
-        }
-        let _ = phys.update_u32(fa, |f| f & !mask);
-    }
-
-    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
-        let w = self.world.lock();
-        match self.tag_of(&w, va) {
-            Some((segid, vpage, _)) => (segid as u32, vpage),
-            None => (u32::MAX, va.0 >> 11),
-        }
-    }
-
-    fn cpus_cached(&self) -> u64 {
-        self.cpus_cached.load(Ordering::SeqCst)
-    }
-}
-
-impl Drop for RompPmap {
-    fn drop(&mut self) {
+    fn teardown(&self, g: &mut RompGuard<'_>) -> Vec<(VAddr, Pfn, u8)> {
         let phys = self.core.machine.phys();
         let l = self.layout;
-        let mut w = self.world.lock();
-        let sw = w.pmaps.remove(&self.id).expect("registered");
+        let sw = g.w.pmaps.remove(&self.id).expect("registered");
         let mine: Vec<u16> = sw.windows.iter().flatten().copied().collect();
+        let mut harvested = Vec::new();
         if !mine.is_empty() {
             // Sweep the IPT for entries carrying our segment ids.
             for frame in 0..l.n_frames {
@@ -538,89 +407,21 @@ impl Drop for RompPmap {
                     if mine.contains(&segid) {
                         let flags = chain_unlink(phys, &l, frame as u32, tag);
                         let va = VAddr((tag as u64 & 0x1_FFFF) * PAGE);
-                        self.core.pv.remove(Pfn(frame), self.id, va);
-                        let bits = ((flags & F_M != 0) as u8 * ATTR_MOD)
-                            | ((flags & F_REF != 0) as u8 * ATTR_REF);
-                        self.core.pv.merge_attrs(Pfn(frame), bits);
+                        harvested.push((va, Pfn(frame), flag_attrs(flags)));
                     }
                 }
             }
         }
-        w.segid_free.extend(mine);
-    }
-}
-
-impl MachDep for RompMachDep {
-    fn machine(&self) -> &Arc<Machine> {
-        &self.core.machine
-    }
-
-    fn create(&self) -> Arc<dyn Pmap> {
-        RompPmap::new(&self.core, &self.world)
-    }
-
-    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
-        &self.kernel
-    }
-
-    fn remove_all(&self, pa: PAddr, size: u64) {
-        let strategy = self.core.policy.read().time_critical;
-        self.core.remove_all_with(pa, size, strategy);
-    }
-
-    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
-        let strategy = self.core.policy.read().pageout;
-        self.core.remove_all_with(pa, size, strategy)
-    }
-
-    fn copy_on_write(&self, pa: PAddr, size: u64) {
-        self.core.copy_on_write(pa, size);
-    }
-
-    fn zero_page(&self, pa: PAddr, size: u64) {
-        self.core.zero_page(pa, size);
-    }
-
-    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
-        self.core.copy_page(src, dst, size);
-    }
-
-    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_modified(pa, size)
-    }
-
-    fn clear_modify(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, true, false);
-    }
-
-    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_referenced(pa, size)
-    }
-
-    fn clear_reference(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, false, true);
-    }
-
-    fn mapping_count(&self, pa: PAddr) -> usize {
-        self.core.pv.mapping_count(pa.pfn(PAGE))
-    }
-
-    fn update(&self) {
-        self.core.update();
-    }
-
-    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
-        *self.core.policy.write() = policy;
-    }
-
-    fn stats(&self) -> PmapStats {
-        self.core.counters.snapshot()
+        g.w.segid_free.extend(mine);
+        harvested
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{frame, rw};
+    use crate::MachDep;
     use mach_hw::machine::MachineModel;
 
     fn setup() -> (Arc<Machine>, Arc<RompMachDep>) {
@@ -629,19 +430,11 @@ mod tests {
         (machine, md)
     }
 
-    fn rw() -> HwProt {
-        HwProt::READ | HwProt::WRITE
-    }
-
-    fn frame(machine: &Arc<Machine>) -> PAddr {
-        machine.frames().alloc().unwrap().base(PAGE)
-    }
-
     #[test]
     fn enter_and_cpu_access() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x8000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -657,7 +450,7 @@ mod tests {
         let pmap = md.create();
         // Map pages in windows 0, 7 and 15 — a 4 GB-sparse space.
         for &base in &[0u64, 0x7000_0000, 0xF000_0000] {
-            let pa = frame(&machine);
+            let pa = frame(&machine, PAGE);
             pmap.enter(VAddr(base + 0x2000), pa, PAGE, rw(), false);
         }
         // The inverted table never grows: no per-task table bytes at all.
@@ -673,7 +466,7 @@ mod tests {
         let (machine, md) = setup();
         let p1 = md.create();
         let p2 = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         let _b = machine.bind_cpu(0);
 
         p1.enter(VAddr(0x2000), pa, PAGE, rw(), false);
@@ -706,7 +499,7 @@ mod tests {
         // them in a different order and verify the survivors still walk.
         let mut mapped = Vec::new();
         for i in 0..64u64 {
-            let pa = frame(&machine);
+            let pa = frame(&machine, PAGE);
             let va = VAddr(i * 0x10000);
             pmap.enter(va, pa, PAGE, rw(), false);
             mapped.push((va, pa));
@@ -733,7 +526,7 @@ mod tests {
     fn protect_readonly_then_fault_on_write() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -748,13 +541,13 @@ mod tests {
     fn segment_ids_recycled_on_drop() {
         let (machine, md) = setup();
         let p1 = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         p1.enter(VAddr(0x2000), pa, PAGE, rw(), false);
         drop(p1);
         assert_eq!(md.mapping_count(pa), 0, "drop cleans the IPT");
         // A new pmap reuses the freed segment id without interference.
         let p2 = md.create();
-        let pa2 = frame(&machine);
+        let pa2 = frame(&machine, PAGE);
         p2.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         p2.activate(0);
@@ -766,8 +559,8 @@ mod tests {
     fn same_va_remap_to_new_frame() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa1 = frame(&machine);
-        let pa2 = frame(&machine);
+        let pa1 = frame(&machine, PAGE);
+        let pa2 = frame(&machine, PAGE);
         pmap.enter(VAddr(0x2000), pa1, PAGE, rw(), false);
         pmap.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
         assert_eq!(pmap.extract(VAddr(0x2000)), Some(pa2));

@@ -10,44 +10,43 @@
 //! MMU (pmaps are caches, so this is legal) and the victim refaults its
 //! working set when it next runs. The same stealing applies to pmegs —
 //! there are only 256 page-map-entry groups in the MMU RAM. Both event
-//! counts are exported via [`crate::PmapStats`] and drive the S5-SUN
-//! ablation benchmark.
-//!
-//! The SUN 3's *physical address holes* (display memory) are handled
-//! "completely within machine dependent code" as the paper says: the
-//! boot-time frame allocator in `mach-hw` never hands out hole frames, so
-//! the machine-independent layer sees only a clean, if sparse, frame set.
+//! counts are exported via [`crate::PmapStats`]. A pmeg steal flushes the
+//! victim's pages in a *single* coalesced shootdown round; everything
+//! that is not context/segment/pmeg machinery lives in [`crate::chassis`].
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
-use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::addr::{HwProt, Pfn, VAddr};
 use mach_hw::arch::sun3::{
     Sun3Mmu, Sun3Pte, NO_PMEG, N_CONTEXTS, N_PMEGS, PTES_PER_PMEG, SEGS_PER_CONTEXT,
 };
 use mach_hw::arch::{ArchGlobal, CpuRegs};
 use mach_hw::machine::Machine;
 use mach_hw::tlb::FlushScope;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::chassis::{ChassisMachDep, HwTables, PortFactory, PortShared, SlotOld, TlbTag};
 use crate::core::MdCore;
-use crate::pv::{ATTR_MOD, ATTR_REF};
-use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+use crate::pv::attr_bits;
 
 const PAGE: u64 = 8192;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Sun3Sw {
     context: Option<u8>,
     segs: HashMap<usize, u16>,
-    resident: u64,
     wired: HashSet<u64>,
+    /// The owning chassis's counters, reachable here so context and pmeg
+    /// steals can decrement the victim pmap's resident count.
+    shared: Arc<PortShared>,
 }
 
+/// The machine-wide SUN 3 resource pools: contexts, pmegs, and the
+/// software shadow of who owns what.
 #[derive(Debug)]
-struct Sun3World {
+pub struct Sun3World {
     ctx_owner: [Option<u64>; N_CONTEXTS],
     /// Context use order: most recently used last.
     ctx_lru: Vec<u8>,
@@ -71,15 +70,38 @@ impl Sun3World {
     }
 }
 
-/// The SUN 3 machine-dependent module.
+/// Builds [`Sun3Tables`] per created pmap over the machine-wide context
+/// and pmeg pools.
 #[derive(Debug)]
-pub struct Sun3MachDep {
-    core: Arc<MdCore>,
-    kernel: Arc<dyn Pmap>,
+pub struct Sun3Factory {
     world: Arc<Mutex<Sun3World>>,
 }
 
-impl Sun3MachDep {
+impl PortFactory for Sun3Factory {
+    type Tables = Sun3Tables;
+
+    fn new_tables(&self, core: &Arc<MdCore>, id: u64, shared: &Arc<PortShared>) -> Sun3Tables {
+        self.world.lock().pmaps.insert(
+            id,
+            Sun3Sw {
+                context: None,
+                segs: HashMap::new(),
+                wired: HashSet::new(),
+                shared: Arc::clone(shared),
+            },
+        );
+        Sun3Tables {
+            id,
+            core: Arc::clone(core),
+            world: Arc::clone(&self.world),
+        }
+    }
+}
+
+/// The SUN 3 machine-dependent module.
+pub type Sun3MachDep = ChassisMachDep<Sun3Factory>;
+
+impl ChassisMachDep<Sun3Factory> {
     /// Build the SUN 3 pmap module for `machine`.
     ///
     /// # Panics
@@ -87,41 +109,33 @@ impl Sun3MachDep {
     /// Panics if `machine` is not a SUN 3.
     pub fn new(machine: &Arc<Machine>) -> Arc<Sun3MachDep> {
         assert_eq!(machine.kind(), mach_hw::ArchKind::Sun3);
-        Arc::new(Sun3MachDep {
-            core: Arc::new(MdCore::new(machine)),
-            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
-            world: Arc::new(Mutex::new(Sun3World::new())),
-        })
+        ChassisMachDep::with_factory(
+            machine,
+            Sun3Factory {
+                world: Arc::new(Mutex::new(Sun3World::new())),
+            },
+        )
     }
-}
-
-/// A SUN 3 physical map.
-#[derive(Debug)]
-pub struct Sun3Pmap {
-    id: u64,
-    core: Arc<MdCore>,
-    me: Weak<Sun3Pmap>,
-    world: Arc<Mutex<Sun3World>>,
-    cpus_cached: AtomicU64,
 }
 
 fn va_of(seg: usize, idx: usize) -> VAddr {
     VAddr((seg as u64) << 17 | (idx as u64) << 13)
 }
 
-impl Sun3Pmap {
-    fn new(core: &Arc<MdCore>, world: &Arc<Mutex<Sun3World>>) -> Arc<Sun3Pmap> {
-        let p = Arc::new_cyclic(|me| Sun3Pmap {
-            id: core.next_id(),
-            core: Arc::clone(core),
-            me: me.clone(),
-            world: Arc::clone(world),
-            cpus_cached: AtomicU64::new(0),
-        });
-        world.lock().pmaps.insert(p.id, Sun3Sw::default());
-        p
-    }
+fn seg_idx(va: VAddr) -> (usize, usize) {
+    ((va.0 >> 17) as usize, ((va.0 >> 13) & 0xF) as usize)
+}
 
+/// A SUN 3 pmap's hardware tables: its context, segment map slice and
+/// pmegs inside the machine-wide MMU RAM.
+#[derive(Debug)]
+pub struct Sun3Tables {
+    id: u64,
+    core: Arc<MdCore>,
+    world: Arc<Mutex<Sun3World>>,
+}
+
+impl Sun3Tables {
     fn mmu(&self) -> &Mutex<Sun3Mmu> {
         match self.core.machine.arch_global() {
             ArchGlobal::Sun3(m) => m,
@@ -129,8 +143,24 @@ impl Sun3Pmap {
         }
     }
 
-    fn weak_self(&self) -> Weak<dyn HwMapper> {
-        self.me.clone() as Weak<dyn HwMapper>
+    /// Strip every valid PTE from `pmeg` (segment `seg` of pmap
+    /// `owner_id`): pv entries removed, M/R bits stolen, the group
+    /// zeroed. Returns the stripped virtual page numbers.
+    fn strip_pmeg(&self, mmu: &mut Sun3Mmu, pmeg: u16, seg: usize, owner_id: u64) -> Vec<u64> {
+        let mut vpns = Vec::new();
+        for idx in 0..PTES_PER_PMEG {
+            let pte = mmu.pmegs[pmeg as usize][idx];
+            if pte.valid {
+                let va = va_of(seg, idx);
+                self.core.pv.remove(Pfn(pte.pfn as u64), owner_id, va);
+                self.core
+                    .pv
+                    .merge_attrs(Pfn(pte.pfn as u64), attr_bits(pte.modified, pte.referenced));
+                vpns.push(va.0 / PAGE);
+            }
+            mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
+        }
+        vpns
     }
 
     /// Evict every mapping held in `ctx`, freeing its pmegs.
@@ -143,22 +173,13 @@ impl Sun3Pmap {
         victim.context = None;
         let mut mmu = self.mmu().lock();
         for &(seg, pmeg) in &segs {
-            for idx in 0..PTES_PER_PMEG {
-                let pte = mmu.pmegs[pmeg as usize][idx];
-                if pte.valid {
-                    let va = va_of(seg, idx);
-                    self.core.pv.remove(Pfn(pte.pfn as u64), victim_id, va);
-                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
-                }
-                mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
-            }
+            self.strip_pmeg(&mut mmu, pmeg, seg, victim_id);
             w.pmeg_owner.remove(&pmeg);
             w.pmeg_lru.retain(|&p| p != pmeg);
             w.pmeg_free.push(pmeg);
         }
         if let Some(v) = w.pmaps.get_mut(&victim_id) {
-            v.resident = 0;
+            v.shared.resident.store(0, Ordering::Relaxed);
         }
         mmu.seg_map[ctx as usize] = [NO_PMEG; SEGS_PER_CONTEXT];
         drop(mmu);
@@ -185,10 +206,7 @@ impl Sun3Pmap {
         } else {
             let victim = w.ctx_lru[0];
             self.evict_context(w, victim);
-            self.core
-                .counters
-                .context_steals
-                .fetch_add(1, Ordering::Relaxed);
+            crate::core::stat_add(&self.core.counters.context_steals, 1);
             victim
         };
         w.ctx_owner[ctx as usize] = Some(self.id);
@@ -197,7 +215,8 @@ impl Sun3Pmap {
         ctx
     }
 
-    /// Evict one pmeg (not `keep_out` and not wired) to refill the pool.
+    /// Evict one pmeg (not wired) to refill the pool, flushing the
+    /// victim's pages in one coalesced shootdown round.
     fn evict_one_pmeg(&self, w: &mut Sun3World) {
         let victim = w
             .pmeg_lru
@@ -216,44 +235,39 @@ impl Sun3Pmap {
             .expect("at least one stealable pmeg");
         let (owner_id, seg) = w.pmeg_owner.remove(&victim).expect("victim owned");
         let owner_ctx = w.pmaps.get(&owner_id).and_then(|o| o.context);
-        let mut flush = Vec::new();
-        {
+        let vpns = {
             let mut mmu = self.mmu().lock();
-            for idx in 0..PTES_PER_PMEG {
-                let pte = mmu.pmegs[victim as usize][idx];
-                if pte.valid {
-                    let va = va_of(seg, idx);
-                    self.core.pv.remove(Pfn(pte.pfn as u64), owner_id, va);
-                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
-                    if let Some(ctx) = owner_ctx {
-                        flush.push((ctx as u32, va.0 / PAGE));
-                    }
-                    if let Some(o) = w.pmaps.get_mut(&owner_id) {
-                        o.resident = o.resident.saturating_sub(1);
-                    }
-                }
-                mmu.pmegs[victim as usize][idx] = Sun3Pte::default();
-            }
+            let vpns = self.strip_pmeg(&mut mmu, victim, seg, owner_id);
             if let Some(ctx) = owner_ctx {
                 mmu.seg_map[ctx as usize][seg] = NO_PMEG;
             }
-        }
+            vpns
+        };
         if let Some(o) = w.pmaps.get_mut(&owner_id) {
             o.segs.remove(&seg);
+            let _ = o
+                .shared
+                .resident
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(vpns.len() as u64))
+                });
         }
+        let scopes: Vec<FlushScope> = owner_ctx
+            .map(|ctx| {
+                vpns.iter()
+                    .map(|&vpn| FlushScope::Page {
+                        space: ctx as u32,
+                        vpn,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         w.pmeg_lru.retain(|&p| p != victim);
         w.pmeg_free.push(victim);
-        self.core
-            .counters
-            .pmeg_steals
-            .fetch_add(1, Ordering::Relaxed);
+        crate::core::stat_add(&self.core.counters.pmeg_steals, 1);
+        // One interrupt per CPU for the whole pmeg, not one per page.
         let targets: Vec<usize> = (0..self.core.machine.n_cpus()).collect();
-        for (space, vpn) in flush {
-            self.core
-                .machine
-                .shootdown(&targets, FlushScope::Page { space, vpn }, true);
-        }
+        self.core.machine.shootdown_multi(&targets, &scopes, true);
     }
 
     fn ensure_pmeg(&self, w: &mut Sun3World, ctx: u8, seg: usize) -> u16 {
@@ -270,367 +284,173 @@ impl Sun3Pmap {
         self.mmu().lock().seg_map[ctx as usize][seg] = pmeg;
         pmeg
     }
+
+    fn pmeg_of(&self, w: &Sun3World, seg: usize) -> Option<u16> {
+        w.pmaps.get(&self.id)?.segs.get(&seg).copied()
+    }
 }
 
-impl Pmap for Sun3Pmap {
-    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, wired: bool) {
-        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+impl HwTables for Sun3Tables {
+    type Guard<'a> = MutexGuard<'a, Sun3World>;
+
+    const PAGE_SIZE: u64 = PAGE;
+
+    fn lock(&self) -> MutexGuard<'_, Sun3World> {
+        self.world.lock()
+    }
+
+    fn check_range(&self, va: VAddr, size: u64) {
         assert!(
             va.0 + size <= 1 << 28,
             "SUN 3 contexts address at most 256 MB"
         );
-        let n = size / PAGE;
-        self.core.charge_op(n);
-        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
-        let mut flush = Vec::new();
-        let mut w = self.world.lock();
-        let ctx = self.ensure_context(&mut w);
-        for i in 0..n {
-            let v = va + i * PAGE;
-            let frame = Pfn(pa.0 / PAGE + i);
-            let seg = (v.0 >> 17) as usize;
-            let idx = ((v.0 >> 13) & 0xF) as usize;
-            let pmeg = self.ensure_pmeg(&mut w, ctx, seg);
-            let mut mmu = self.mmu().lock();
-            let old = mmu.pmegs[pmeg as usize][idx];
-            let mut new = Sun3Pte {
-                valid: true,
-                write: prot.allows_write(),
-                pfn: frame.0 as u32,
-                modified: false,
-                referenced: false,
-            };
-            if old.valid {
-                if old.pfn as u64 != frame.0 {
-                    self.core.pv.remove(Pfn(old.pfn as u64), self.id, v);
-                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(Pfn(old.pfn as u64), bits);
-                } else {
-                    new.modified = old.modified;
-                    new.referenced = old.referenced;
-                }
-                flush.push((ctx as u32, v.0 / PAGE));
-            } else {
-                w.pmaps.get_mut(&self.id).unwrap().resident += 1;
-            }
-            mmu.pmegs[pmeg as usize][idx] = new;
-            drop(mmu);
-            if wired {
-                w.pmaps.get_mut(&self.id).unwrap().wired.insert(v.0 / PAGE);
-            }
-            self.core.pv.add(frame, self.weak_self(), v);
-        }
-        drop(w);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
     }
 
-    fn remove(&self, start: VAddr, end: VAddr) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut flush = Vec::new();
-        let mut w = self.world.lock();
-        let sw_ctx = w.pmaps[&self.id].context;
-        let mut v = start;
-        let mut removed = 0;
-        while v < end {
-            let seg = (v.0 >> 17) as usize;
-            let idx = ((v.0 >> 13) & 0xF) as usize;
-            if let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) {
-                let mut mmu = self.mmu().lock();
-                let pte = mmu.pmegs[pmeg as usize][idx];
-                if pte.valid {
-                    mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
-                    drop(mmu);
-                    self.core.pv.remove(Pfn(pte.pfn as u64), self.id, v);
-                    let bits = (pte.modified as u8 * ATTR_MOD) | (pte.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(Pfn(pte.pfn as u64), bits);
-                    if let Some(ctx) = sw_ctx {
-                        flush.push((ctx as u32, v.0 / PAGE));
-                    }
-                    removed += 1;
-                }
-            }
-            w.pmaps
-                .get_mut(&self.id)
-                .unwrap()
-                .wired
-                .remove(&(v.0 / PAGE));
-            v += PAGE;
-        }
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident -= removed;
-        }
-        drop(w);
-        self.core.charge_op(flush.len() as u64);
-        self.core
-            .counters
-            .removes
-            .fetch_add(flush.len() as u64, Ordering::Relaxed);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    fn prepare_enter(&self, g: &mut MutexGuard<'_, Sun3World>, _va: VAddr, _size: u64) {
+        // Mappings are entered under a hardware context.
+        self.ensure_context(g);
     }
 
-    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut narrow = Vec::new();
-        let mut widen = Vec::new();
-        let mut w = self.world.lock();
-        let sw_ctx = w.pmaps[&self.id].context;
-        let mut v = start;
-        let mut invalidated = 0;
-        while v < end {
-            let seg = (v.0 >> 17) as usize;
-            let idx = ((v.0 >> 13) & 0xF) as usize;
-            if let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) {
-                let mut mmu = self.mmu().lock();
-                let pte = &mut mmu.pmegs[pmeg as usize][idx];
-                if pte.valid {
-                    let was_write = pte.write;
-                    if prot.is_none() {
-                        let dead = *pte;
-                        *pte = Sun3Pte::default();
-                        drop(mmu);
-                        self.core.pv.remove(Pfn(dead.pfn as u64), self.id, v);
-                        let bits =
-                            (dead.modified as u8 * ATTR_MOD) | (dead.referenced as u8 * ATTR_REF);
-                        self.core.pv.merge_attrs(Pfn(dead.pfn as u64), bits);
-                        invalidated += 1;
-                        if let Some(ctx) = sw_ctx {
-                            narrow.push((ctx as u32, v.0 / PAGE));
-                        }
-                    } else {
-                        pte.write = prot.allows_write();
-                        let narrowing = was_write && !prot.allows_write();
-                        if let Some(ctx) = sw_ctx {
-                            if narrowing {
-                                narrow.push((ctx as u32, v.0 / PAGE));
-                            } else {
-                                widen.push((ctx as u32, v.0 / PAGE));
-                            }
-                        }
-                    }
-                    self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
-                }
+    fn insert(
+        &self,
+        g: &mut MutexGuard<'_, Sun3World>,
+        va: VAddr,
+        pfn: Pfn,
+        prot: HwProt,
+        wired: bool,
+    ) -> SlotOld {
+        let ctx = g.pmaps[&self.id].context.expect("set by prepare_enter");
+        let (seg, idx) = seg_idx(va);
+        let pmeg = self.ensure_pmeg(g, ctx, seg);
+        let mut mmu = self.mmu().lock();
+        let old = mmu.pmegs[pmeg as usize][idx];
+        let mut new = Sun3Pte {
+            valid: true,
+            write: prot.allows_write(),
+            pfn: pfn.0 as u32,
+            modified: false,
+            referenced: false,
+        };
+        let slot = if !old.valid {
+            SlotOld::Empty
+        } else if old.pfn as u64 == pfn.0 {
+            new.modified = old.modified;
+            new.referenced = old.referenced;
+            SlotOld::Same
+        } else {
+            SlotOld::Replaced {
+                pfn: Pfn(old.pfn as u64),
+                attrs: attr_bits(old.modified, old.referenced),
             }
-            v += PAGE;
+        };
+        mmu.pmegs[pmeg as usize][idx] = new;
+        drop(mmu);
+        if wired {
+            g.pmaps.get_mut(&self.id).unwrap().wired.insert(va.0 / PAGE);
         }
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident -= invalidated;
-        }
-        drop(w);
-        self.core.charge_op((narrow.len() + widen.len()) as u64);
-        let policy = *self.core.policy.read();
-        let cached = self.cpus_cached.load(Ordering::SeqCst);
-        self.core.flush_pages(cached, &narrow, policy.time_critical);
-        self.core.flush_pages(cached, &widen, policy.widen);
+        slot
     }
 
-    fn extract(&self, va: VAddr) -> Option<PAddr> {
-        let w = self.world.lock();
-        let seg = (va.0 >> 17) as usize;
-        let idx = ((va.0 >> 13) & 0xF) as usize;
-        let &pmeg = w.pmaps.get(&self.id)?.segs.get(&seg)?;
+    fn clear(&self, g: &mut MutexGuard<'_, Sun3World>, va: VAddr) -> Option<(Pfn, u8)> {
+        let (seg, idx) = seg_idx(va);
+        g.pmaps
+            .get_mut(&self.id)
+            .unwrap()
+            .wired
+            .remove(&(va.0 / PAGE));
+        let pmeg = self.pmeg_of(g, seg)?;
+        let mut mmu = self.mmu().lock();
+        let pte = mmu.pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return None;
+        }
+        mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
+        Some((Pfn(pte.pfn as u64), attr_bits(pte.modified, pte.referenced)))
+    }
+
+    fn reprotect(
+        &self,
+        g: &mut MutexGuard<'_, Sun3World>,
+        va: VAddr,
+        prot: HwProt,
+    ) -> Option<bool> {
+        let (seg, idx) = seg_idx(va);
+        let pmeg = self.pmeg_of(g, seg)?;
+        let mut mmu = self.mmu().lock();
+        let pte = &mut mmu.pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return None;
+        }
+        let was_write = pte.write;
+        pte.write = prot.allows_write();
+        Some(was_write && !prot.allows_write())
+    }
+
+    fn lookup(&self, g: &MutexGuard<'_, Sun3World>, va: VAddr) -> Option<Pfn> {
+        let (seg, idx) = seg_idx(va);
+        let pmeg = self.pmeg_of(g, seg)?;
         let pte = self.mmu().lock().pmegs[pmeg as usize][idx];
         if !pte.valid {
             return None;
         }
-        Some(Pfn(pte.pfn as u64).base(PAGE) + va.offset_in(PAGE))
+        Some(Pfn(pte.pfn as u64))
     }
 
-    fn activate(&self, cpu: usize) {
-        let mut w = self.world.lock();
-        let ctx = self.ensure_context(&mut w);
-        drop(w);
-        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+    fn mr(
+        &self,
+        g: &mut MutexGuard<'_, Sun3World>,
+        va: VAddr,
+        clear_mod: bool,
+        clear_ref: bool,
+    ) -> (bool, bool) {
+        let (seg, idx) = seg_idx(va);
+        let Some(pmeg) = self.pmeg_of(g, seg) else {
+            return (false, false);
+        };
+        let mut mmu = self.mmu().lock();
+        let pte = &mut mmu.pmegs[pmeg as usize][idx];
+        if !pte.valid {
+            return (false, false);
+        }
+        let mr = (pte.modified, pte.referenced);
+        pte.modified &= !clear_mod;
+        pte.referenced &= !clear_ref;
+        mr
+    }
+
+    fn space_vpn(&self, g: &MutexGuard<'_, Sun3World>, va: VAddr) -> Option<(u32, u64)> {
+        // A pmap without a context has nothing in any TLB.
+        let ctx = g.pmaps[&self.id].context?;
+        Some((ctx as u32, va.0 / PAGE))
+    }
+
+    fn activate(&self, g: &mut MutexGuard<'_, Sun3World>, cpu: usize) -> TlbTag {
+        let ctx = self.ensure_context(g);
         self.core
             .machine
             .cpu(cpu)
             .load_regs(CpuRegs::Sun3 { context: ctx });
         // Tagged TLB: no flush needed on context switch.
-        self.core
-            .machine
-            .charge(self.core.machine.cost().context_switch);
+        TlbTag::Tagged
     }
 
-    fn deactivate(&self, _cpu: usize) {}
-
-    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
-        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
-    }
-
-    fn resident_pages(&self) -> u64 {
-        self.world.lock().pmaps[&self.id].resident
-    }
-}
-
-impl HwMapper for Sun3Pmap {
-    fn mapper_id(&self) -> u64 {
-        self.id
-    }
-
-    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
-        let mut w = self.world.lock();
-        let seg = (va.0 >> 17) as usize;
-        let idx = ((va.0 >> 13) & 0xF) as usize;
-        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
-            return (false, false);
-        };
-        let mut mmu = self.mmu().lock();
-        let pte = mmu.pmegs[pmeg as usize][idx];
-        if !pte.valid {
-            return (false, false);
+    fn teardown(&self, g: &mut MutexGuard<'_, Sun3World>) -> Vec<(VAddr, Pfn, u8)> {
+        // Context eviction already strips every pv entry for this pmap
+        // (it is the same code a steal runs), so nothing is left to
+        // harvest.
+        if let Some(ctx) = g.pmaps[&self.id].context {
+            self.evict_context(g, ctx);
         }
-        mmu.pmegs[pmeg as usize][idx] = Sun3Pte::default();
-        drop(mmu);
-        if let Some(sw) = w.pmaps.get_mut(&self.id) {
-            sw.resident = sw.resident.saturating_sub(1);
-        }
-        (pte.modified, pte.referenced)
-    }
-
-    fn protect_hw(&self, va: VAddr, prot: HwProt) {
-        let w = self.world.lock();
-        let seg = (va.0 >> 17) as usize;
-        let idx = ((va.0 >> 13) & 0xF) as usize;
-        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
-            return;
-        };
-        let mut mmu = self.mmu().lock();
-        let pte = &mut mmu.pmegs[pmeg as usize][idx];
-        if pte.valid {
-            pte.write = prot.allows_write();
-        }
-    }
-
-    fn read_mr(&self, va: VAddr) -> (bool, bool) {
-        let w = self.world.lock();
-        let seg = (va.0 >> 17) as usize;
-        let idx = ((va.0 >> 13) & 0xF) as usize;
-        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
-            return (false, false);
-        };
-        let pte = self.mmu().lock().pmegs[pmeg as usize][idx];
-        if !pte.valid {
-            return (false, false);
-        }
-        (pte.modified, pte.referenced)
-    }
-
-    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
-        let w = self.world.lock();
-        let seg = (va.0 >> 17) as usize;
-        let idx = ((va.0 >> 13) & 0xF) as usize;
-        let Some(&pmeg) = w.pmaps[&self.id].segs.get(&seg) else {
-            return;
-        };
-        let mut mmu = self.mmu().lock();
-        let pte = &mut mmu.pmegs[pmeg as usize][idx];
-        if pte.valid {
-            if clear_mod {
-                pte.modified = false;
-            }
-            if clear_ref {
-                pte.referenced = false;
-            }
-        }
-    }
-
-    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
-        let ctx = self.world.lock().pmaps[&self.id]
-            .context
-            .map(|c| c as u32)
-            .unwrap_or(u32::MAX);
-        (ctx, va.0 / PAGE)
-    }
-
-    fn cpus_cached(&self) -> u64 {
-        self.cpus_cached.load(Ordering::SeqCst)
-    }
-}
-
-impl Drop for Sun3Pmap {
-    fn drop(&mut self) {
-        let mut w = self.world.lock();
-        if let Some(ctx) = w.pmaps[&self.id].context {
-            self.evict_context(&mut w, ctx);
-        }
-        w.pmaps.remove(&self.id);
-    }
-}
-
-impl MachDep for Sun3MachDep {
-    fn machine(&self) -> &Arc<Machine> {
-        &self.core.machine
-    }
-
-    fn create(&self) -> Arc<dyn Pmap> {
-        Sun3Pmap::new(&self.core, &self.world)
-    }
-
-    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
-        &self.kernel
-    }
-
-    fn remove_all(&self, pa: PAddr, size: u64) {
-        let strategy = self.core.policy.read().time_critical;
-        self.core.remove_all_with(pa, size, strategy);
-    }
-
-    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
-        let strategy = self.core.policy.read().pageout;
-        self.core.remove_all_with(pa, size, strategy)
-    }
-
-    fn copy_on_write(&self, pa: PAddr, size: u64) {
-        self.core.copy_on_write(pa, size);
-    }
-
-    fn zero_page(&self, pa: PAddr, size: u64) {
-        self.core.zero_page(pa, size);
-    }
-
-    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
-        self.core.copy_page(src, dst, size);
-    }
-
-    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_modified(pa, size)
-    }
-
-    fn clear_modify(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, true, false);
-    }
-
-    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_referenced(pa, size)
-    }
-
-    fn clear_reference(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, false, true);
-    }
-
-    fn mapping_count(&self, pa: PAddr) -> usize {
-        self.core.pv.mapping_count(pa.pfn(PAGE))
-    }
-
-    fn update(&self) {
-        self.core.update();
-    }
-
-    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
-        *self.core.policy.write() = policy;
-    }
-
-    fn stats(&self) -> PmapStats {
-        self.core.counters.snapshot()
+        g.pmaps.remove(&self.id);
+        Vec::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{frame, rw};
+    use crate::MachDep;
     use mach_hw::machine::MachineModel;
 
     fn setup() -> (Arc<Machine>, Arc<Sun3MachDep>) {
@@ -639,19 +459,11 @@ mod tests {
         (machine, md)
     }
 
-    fn rw() -> HwProt {
-        HwProt::READ | HwProt::WRITE
-    }
-
-    fn frame(machine: &Arc<Machine>) -> PAddr {
-        machine.frames().alloc().unwrap().base(PAGE)
-    }
-
     #[test]
     fn enter_and_cpu_access() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x40000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -667,7 +479,7 @@ mod tests {
         let pmaps: Vec<_> = (0..9).map(|_| md.create()).collect();
         let _b = machine.bind_cpu(0);
         for (i, p) in pmaps.iter().enumerate() {
-            let pa = frame(&machine);
+            let pa = frame(&machine, PAGE);
             p.enter(VAddr(0), pa, PAGE, rw(), false);
             p.activate(0);
             machine.store_u32(VAddr(0), i as u32).unwrap();
@@ -690,8 +502,8 @@ mod tests {
         let (machine, md) = setup();
         let p1 = md.create();
         let p2 = md.create();
-        let pa1 = frame(&machine);
-        let pa2 = frame(&machine);
+        let pa1 = frame(&machine, PAGE);
+        let pa2 = frame(&machine, PAGE);
         p1.enter(VAddr(0x2000), pa1, PAGE, rw(), false);
         p2.enter(VAddr(0x2000), pa2, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
@@ -713,7 +525,7 @@ mod tests {
         pmap.activate(0);
         // Touch more than 256 distinct 128 KB segments to exhaust pmegs.
         for i in 0..(N_PMEGS as u64 + 10) {
-            let pa = frame(&machine);
+            let pa = frame(&machine, PAGE);
             pmap.enter(VAddr(i << 17), pa, PAGE, rw(), false);
         }
         assert!(md.stats().pmeg_steals >= 10);
@@ -729,10 +541,10 @@ mod tests {
         let pmap = md.create();
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0), pa, PAGE, rw(), true); // wired
         for i in 1..(N_PMEGS as u64 + 10) {
-            let f = frame(&machine);
+            let f = frame(&machine, PAGE);
             pmap.enter(VAddr(i << 17), f, PAGE, rw(), false);
         }
         assert!(pmap.extract(VAddr(0)).is_some(), "wired pmeg not stolen");
@@ -742,7 +554,7 @@ mod tests {
     fn remove_all_and_attrs() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -757,7 +569,7 @@ mod tests {
     fn drop_releases_context_and_pmegs() {
         let (machine, md) = setup();
         let p1 = md.create();
-        let pa = frame(&machine);
+        let pa = frame(&machine, PAGE);
         p1.enter(VAddr(0), pa, PAGE, rw(), false);
         drop(p1);
         // All 8 contexts available again: 8 creates, no steals.

@@ -5,75 +5,44 @@
 //! pmap module" (§5, footnote 2). This module is that little code: there
 //! are no hardware tables to build, grow, hash or steal — `pmap_enter` is
 //! a software-map insert, `pmap_remove` a delete, and the TLB refills
-//! itself from the software map on miss. Compare its length with the VAX
-//! port's table-growing machinery.
+//! itself from the software map on miss. With the shared
+//! [`crate::chassis`] carrying the range walks and pv bookkeeping, the
+//! whole port is an ASID pool plus a handful of map operations; compare
+//! its length with the VAX port's table-growing machinery.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::Arc;
 
-use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
+use mach_hw::addr::{HwProt, Pfn, VAddr};
 use mach_hw::arch::tlbsoft::{SoftPte, SoftTables, TlbSoftRegs, N_ASIDS, VA_LIMIT};
 use mach_hw::arch::{ArchGlobal, CpuRegs};
 use mach_hw::machine::Machine;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::chassis::{ChassisMachDep, HwTables, PortFactory, PortShared, SlotOld, TlbTag};
 use crate::core::MdCore;
-use crate::pv::{ATTR_MOD, ATTR_REF};
-use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+use crate::pv::attr_bits;
 
 const PAGE: u64 = 4096;
 
-/// The TLB-only machine-dependent module.
+/// The machine-wide pool of address-space identifiers.
 #[derive(Debug)]
-pub struct TlbSoftMachDep {
-    core: Arc<MdCore>,
-    kernel: Arc<dyn Pmap>,
-    asids: Arc<Mutex<AsidPool>>,
-}
-
-#[derive(Debug)]
-struct AsidPool {
+pub struct AsidPool {
     next: u32,
-    free: Vec<u32>,
+    pub(crate) free: Vec<u32>,
 }
 
-impl TlbSoftMachDep {
-    /// Build the TLB-only pmap module for `machine`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `machine` is not TLB-only.
-    pub fn new(machine: &Arc<Machine>) -> Arc<TlbSoftMachDep> {
-        assert_eq!(machine.kind(), mach_hw::ArchKind::TlbSoft);
-        Arc::new(TlbSoftMachDep {
-            core: Arc::new(MdCore::new(machine)),
-            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
-            asids: Arc::new(Mutex::new(AsidPool {
-                next: 1,
-                free: Vec::new(),
-            })),
-        })
-    }
-}
-
-/// A TLB-only physical map: an address-space id plus entries in the
-/// machine's software translation store.
+/// Builds [`TlbSoftTables`] per created pmap, handing out ASIDs.
 #[derive(Debug)]
-pub struct TlbSoftPmap {
-    id: u64,
-    asid: u32,
-    core: Arc<MdCore>,
-    me: Weak<TlbSoftPmap>,
-    asid_pool: Arc<Mutex<AsidPool>>,
-    cpus_cached: AtomicU64,
-    resident: AtomicU64,
+pub struct TlbSoftFactory {
+    pub(crate) asids: Arc<Mutex<AsidPool>>,
 }
 
-impl TlbSoftPmap {
-    fn new(md: &TlbSoftMachDep) -> Arc<TlbSoftPmap> {
+impl PortFactory for TlbSoftFactory {
+    type Tables = TlbSoftTables;
+
+    fn new_tables(&self, core: &Arc<MdCore>, _id: u64, _shared: &Arc<PortShared>) -> TlbSoftTables {
         let asid = {
-            let mut pool = md.asids.lock();
+            let mut pool = self.asids.lock();
             pool.free.pop().unwrap_or_else(|| {
                 assert!(pool.next < N_ASIDS, "out of address-space identifiers");
                 let a = pool.next;
@@ -81,141 +50,146 @@ impl TlbSoftPmap {
                 a
             })
         };
-        Arc::new_cyclic(|me| TlbSoftPmap {
-            id: md.core.next_id(),
+        TlbSoftTables {
             asid,
-            core: Arc::clone(&md.core),
-            me: me.clone(),
-            asid_pool: Arc::clone(&md.asids),
-            cpus_cached: AtomicU64::new(0),
-            resident: AtomicU64::new(0),
-        })
+            core: Arc::clone(core),
+            asid_pool: Arc::clone(&self.asids),
+        }
     }
+}
 
-    fn tables(&self) -> &Mutex<SoftTables> {
+/// The TLB-only machine-dependent module.
+pub type TlbSoftMachDep = ChassisMachDep<TlbSoftFactory>;
+
+impl ChassisMachDep<TlbSoftFactory> {
+    /// Build the TLB-only pmap module for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not TLB-only.
+    pub fn new(machine: &Arc<Machine>) -> Arc<TlbSoftMachDep> {
+        assert_eq!(machine.kind(), mach_hw::ArchKind::TlbSoft);
+        ChassisMachDep::with_factory(
+            machine,
+            TlbSoftFactory {
+                asids: Arc::new(Mutex::new(AsidPool {
+                    next: 1,
+                    free: Vec::new(),
+                })),
+            },
+        )
+    }
+}
+
+/// A TLB-only pmap's "tables": an ASID plus entries in the machine's
+/// software translation store.
+#[derive(Debug)]
+pub struct TlbSoftTables {
+    asid: u32,
+    core: Arc<MdCore>,
+    asid_pool: Arc<Mutex<AsidPool>>,
+}
+
+impl TlbSoftTables {
+    fn store(&self) -> &Mutex<SoftTables> {
         match self.core.machine.arch_global() {
             ArchGlobal::TlbSoft(t) => t,
             _ => unreachable!("TLB-only machine carries soft tables"),
         }
     }
+}
 
-    fn weak_self(&self) -> Weak<dyn HwMapper> {
-        self.me.clone() as Weak<dyn HwMapper>
+impl Drop for TlbSoftTables {
+    fn drop(&mut self) {
+        // Runs after the chassis teardown has stripped this ASID's entries.
+        self.asid_pool.lock().free.push(self.asid);
     }
 }
 
-impl Pmap for TlbSoftPmap {
-    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
-        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
+impl HwTables for TlbSoftTables {
+    type Guard<'a> = MutexGuard<'a, SoftTables>;
+
+    const PAGE_SIZE: u64 = PAGE;
+
+    fn lock(&self) -> MutexGuard<'_, SoftTables> {
+        self.store().lock()
+    }
+
+    fn check_range(&self, va: VAddr, size: u64) {
         assert!(va.0 + size <= VA_LIMIT);
-        let n = size / PAGE;
-        self.core.charge_op(n);
-        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
-        let mut flush = Vec::new();
-        {
-            let mut t = self.tables().lock();
-            for i in 0..n {
-                let vpn = va.0 / PAGE + i;
-                let frame = Pfn(pa.0 / PAGE + i);
-                let mut new = SoftPte {
-                    pfn: frame,
-                    prot,
-                    modified: false,
-                    referenced: false,
-                };
-                match t.map.insert((self.asid, vpn), new) {
-                    Some(old) => {
-                        if old.pfn != frame {
-                            self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
-                            let bits =
-                                (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
-                            self.core.pv.merge_attrs(old.pfn, bits);
-                        } else {
-                            new.modified = old.modified;
-                            new.referenced = old.referenced;
-                            t.map.insert((self.asid, vpn), new);
-                        }
-                        flush.push((self.asid, vpn));
-                    }
-                    None => {
-                        self.resident.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                self.core.pv.add(frame, self.weak_self(), VAddr(vpn * PAGE));
+    }
+
+    fn insert(
+        &self,
+        g: &mut MutexGuard<'_, SoftTables>,
+        va: VAddr,
+        pfn: Pfn,
+        prot: HwProt,
+        _wired: bool,
+    ) -> SlotOld {
+        let new = SoftPte {
+            pfn,
+            prot,
+            modified: false,
+            referenced: false,
+        };
+        match g.map.insert((self.asid, va.0 / PAGE), new) {
+            // Same frame re-entered: carry the M/R bits over.
+            Some(old) if old.pfn == pfn => {
+                let e = g.map.get_mut(&(self.asid, va.0 / PAGE)).unwrap();
+                (e.modified, e.referenced) = (old.modified, old.referenced);
+                SlotOld::Same
             }
+            Some(old) => SlotOld::Replaced {
+                pfn: old.pfn,
+                attrs: attr_bits(old.modified, old.referenced),
+            },
+            None => SlotOld::Empty,
         }
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
     }
 
-    fn remove(&self, start: VAddr, end: VAddr) {
-        let mut flush = Vec::new();
-        {
-            let mut t = self.tables().lock();
-            for vpn in start.0 / PAGE..end.0.div_ceil(PAGE) {
-                if let Some(old) = t.map.remove(&(self.asid, vpn)) {
-                    self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
-                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(old.pfn, bits);
-                    self.resident.fetch_sub(1, Ordering::Relaxed);
-                    flush.push((self.asid, vpn));
-                }
-            }
-        }
-        self.core.charge_op(flush.len() as u64);
-        self.core
-            .counters
-            .removes
-            .fetch_add(flush.len() as u64, Ordering::Relaxed);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
+    fn clear(&self, g: &mut MutexGuard<'_, SoftTables>, va: VAddr) -> Option<(Pfn, u8)> {
+        let old = g.map.remove(&(self.asid, va.0 / PAGE))?;
+        Some((old.pfn, attr_bits(old.modified, old.referenced)))
     }
 
-    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
-        let mut narrow = Vec::new();
-        let mut widen = Vec::new();
-        {
-            let mut t = self.tables().lock();
-            for vpn in start.0 / PAGE..end.0.div_ceil(PAGE) {
-                let Some(e) = t.map.get_mut(&(self.asid, vpn)) else {
-                    continue;
-                };
-                let narrowing = e.prot.bits() & !prot.bits() != 0;
-                if prot.is_none() {
-                    let old = t.map.remove(&(self.asid, vpn)).expect("present");
-                    self.core.pv.remove(old.pfn, self.id, VAddr(vpn * PAGE));
-                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(old.pfn, bits);
-                    self.resident.fetch_sub(1, Ordering::Relaxed);
-                    narrow.push((self.asid, vpn));
-                } else {
-                    e.prot = prot;
-                    if narrowing {
-                        narrow.push((self.asid, vpn));
-                    } else {
-                        widen.push((self.asid, vpn));
-                    }
-                }
-                self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        self.core.charge_op((narrow.len() + widen.len()) as u64);
-        let policy = *self.core.policy.read();
-        let cached = self.cpus_cached.load(Ordering::SeqCst);
-        self.core.flush_pages(cached, &narrow, policy.time_critical);
-        self.core.flush_pages(cached, &widen, policy.widen);
+    fn reprotect(
+        &self,
+        g: &mut MutexGuard<'_, SoftTables>,
+        va: VAddr,
+        prot: HwProt,
+    ) -> Option<bool> {
+        let e = g.map.get_mut(&(self.asid, va.0 / PAGE))?;
+        let narrowing = e.prot.bits() & !prot.bits() != 0;
+        e.prot = prot;
+        Some(narrowing)
     }
 
-    fn extract(&self, va: VAddr) -> Option<PAddr> {
-        let t = self.tables().lock();
-        let e = t.map.get(&(self.asid, va.0 / PAGE))?;
-        Some(e.pfn.base(PAGE) + va.offset_in(PAGE))
+    fn lookup(&self, g: &MutexGuard<'_, SoftTables>, va: VAddr) -> Option<Pfn> {
+        g.map.get(&(self.asid, va.0 / PAGE)).map(|e| e.pfn)
     }
 
-    fn activate(&self, cpu: usize) {
-        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
+    fn mr(
+        &self,
+        g: &mut MutexGuard<'_, SoftTables>,
+        va: VAddr,
+        clear_mod: bool,
+        clear_ref: bool,
+    ) -> (bool, bool) {
+        let Some(e) = g.map.get_mut(&(self.asid, va.0 / PAGE)) else {
+            return (false, false);
+        };
+        let mr = (e.modified, e.referenced);
+        e.modified &= !clear_mod;
+        e.referenced &= !clear_ref;
+        mr
+    }
+
+    fn space_vpn(&self, _g: &MutexGuard<'_, SoftTables>, va: VAddr) -> Option<(u32, u64)> {
+        Some((self.asid, va.0 / PAGE))
+    }
+
+    fn activate(&self, _g: &mut MutexGuard<'_, SoftTables>, cpu: usize) -> TlbTag {
         self.core
             .machine
             .cpu(cpu)
@@ -223,165 +197,31 @@ impl Pmap for TlbSoftPmap {
                 asid: self.asid,
                 enabled: true,
             }));
-        // ASID-tagged TLB: nothing to flush.
-        self.core
-            .machine
-            .charge(self.core.machine.cost().context_switch);
+        // ASID-tagged TLB: nothing to flush on switch.
+        TlbTag::Tagged
     }
 
-    fn deactivate(&self, _cpu: usize) {}
-
-    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
-        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
-    }
-
-    fn resident_pages(&self) -> u64 {
-        self.resident.load(Ordering::Relaxed)
-    }
-}
-
-impl HwMapper for TlbSoftPmap {
-    fn mapper_id(&self) -> u64 {
-        self.id
-    }
-
-    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
-        let mut t = self.tables().lock();
-        match t.map.remove(&(self.asid, va.0 / PAGE)) {
-            Some(old) => {
-                self.resident.fetch_sub(1, Ordering::Relaxed);
-                (old.modified, old.referenced)
+    fn teardown(&self, g: &mut MutexGuard<'_, SoftTables>) -> Vec<(VAddr, Pfn, u8)> {
+        let mut harvested = Vec::new();
+        g.map.retain(|&(asid, vpn), e| {
+            if asid == self.asid {
+                harvested.push((
+                    VAddr(vpn * PAGE),
+                    e.pfn,
+                    attr_bits(e.modified, e.referenced),
+                ));
             }
-            None => (false, false),
-        }
-    }
-
-    fn protect_hw(&self, va: VAddr, prot: HwProt) {
-        if let Some(e) = self.tables().lock().map.get_mut(&(self.asid, va.0 / PAGE)) {
-            e.prot = prot;
-        }
-    }
-
-    fn read_mr(&self, va: VAddr) -> (bool, bool) {
-        match self.tables().lock().map.get(&(self.asid, va.0 / PAGE)) {
-            Some(e) => (e.modified, e.referenced),
-            None => (false, false),
-        }
-    }
-
-    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
-        if let Some(e) = self.tables().lock().map.get_mut(&(self.asid, va.0 / PAGE)) {
-            if clear_mod {
-                e.modified = false;
-            }
-            if clear_ref {
-                e.referenced = false;
-            }
-        }
-    }
-
-    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
-        (self.asid, va.0 / PAGE)
-    }
-
-    fn cpus_cached(&self) -> u64 {
-        self.cpus_cached.load(Ordering::SeqCst)
-    }
-}
-
-impl Drop for TlbSoftPmap {
-    fn drop(&mut self) {
-        {
-            let mut t = self.tables().lock();
-            let mine: Vec<(u32, u64)> = t
-                .map
-                .keys()
-                .filter(|(a, _)| *a == self.asid)
-                .copied()
-                .collect();
-            for key in mine {
-                if let Some(old) = t.map.remove(&key) {
-                    self.core.pv.remove(old.pfn, self.id, VAddr(key.1 * PAGE));
-                    let bits = (old.modified as u8 * ATTR_MOD) | (old.referenced as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(old.pfn, bits);
-                }
-            }
-        }
-        self.asid_pool.lock().free.push(self.asid);
-    }
-}
-
-impl MachDep for TlbSoftMachDep {
-    fn machine(&self) -> &Arc<Machine> {
-        &self.core.machine
-    }
-
-    fn create(&self) -> Arc<dyn Pmap> {
-        TlbSoftPmap::new(self)
-    }
-
-    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
-        &self.kernel
-    }
-
-    fn remove_all(&self, pa: PAddr, size: u64) {
-        let strategy = self.core.policy.read().time_critical;
-        self.core.remove_all_with(pa, size, strategy);
-    }
-
-    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
-        let strategy = self.core.policy.read().pageout;
-        self.core.remove_all_with(pa, size, strategy)
-    }
-
-    fn copy_on_write(&self, pa: PAddr, size: u64) {
-        self.core.copy_on_write(pa, size);
-    }
-
-    fn zero_page(&self, pa: PAddr, size: u64) {
-        self.core.zero_page(pa, size);
-    }
-
-    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
-        self.core.copy_page(src, dst, size);
-    }
-
-    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_modified(pa, size)
-    }
-
-    fn clear_modify(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, true, false);
-    }
-
-    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_referenced(pa, size)
-    }
-
-    fn clear_reference(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, false, true);
-    }
-
-    fn mapping_count(&self, pa: PAddr) -> usize {
-        self.core.pv.mapping_count(pa.pfn(PAGE))
-    }
-
-    fn update(&self) {
-        self.core.update();
-    }
-
-    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
-        *self.core.policy.write() = policy;
-    }
-
-    fn stats(&self) -> PmapStats {
-        self.core.counters.snapshot()
+            asid != self.asid
+        });
+        harvested
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{frame, rw};
+    use crate::MachDep;
     use mach_hw::machine::MachineModel;
 
     fn setup() -> (Arc<Machine>, Arc<TlbSoftMachDep>) {
@@ -390,15 +230,11 @@ mod tests {
         (machine, md)
     }
 
-    fn rw() -> HwProt {
-        HwProt::READ | HwProt::WRITE
-    }
-
     #[test]
     fn enter_access_remove_with_no_tables_anywhere() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
         // The defining property: zero bytes of hardware tables, ever.
         assert_eq!(md.stats().table_bytes, 0);
@@ -416,8 +252,8 @@ mod tests {
         let (machine, md) = setup();
         let p1 = md.create();
         let p2 = md.create();
-        let pa1 = machine.frames().alloc().unwrap().base(PAGE);
-        let pa2 = machine.frames().alloc().unwrap().base(PAGE);
+        let pa1 = frame(&machine, PAGE);
+        let pa2 = frame(&machine, PAGE);
         p1.enter(VAddr(0x1000), pa1, PAGE, rw(), false);
         p2.enter(VAddr(0x1000), pa2, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
@@ -433,7 +269,7 @@ mod tests {
     fn modify_reference_tracking_through_the_miss_handler() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -451,12 +287,12 @@ mod tests {
     fn asid_recycled_on_drop() {
         let (machine, md) = setup();
         let p1 = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         p1.enter(VAddr(0), pa, PAGE, rw(), false);
         drop(p1);
         assert_eq!(md.mapping_count(pa), 0, "soft entries cleaned up");
-        assert_eq!(md.asids.lock().free.len(), 1);
+        assert_eq!(md.factory().asids.lock().free.len(), 1);
         let _p2 = md.create();
-        assert!(md.asids.lock().free.is_empty(), "asid reused");
+        assert!(md.factory().asids.lock().free.is_empty(), "asid reused");
     }
 }

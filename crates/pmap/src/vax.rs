@@ -10,12 +10,11 @@
 //! geometrically as higher (P0) or lower (P1) pages are entered, and
 //! destroyed with the pmap. The P1 table is allocated from its top, with
 //! the base register biased by `-4 * P1LR` exactly as the hardware
-//! expects. The per-pmap table footprint is observable through
-//! [`crate::PmapStats::table_bytes`] — the quantity the paper's complaint
-//! is about.
+//! expects; [`crate::PmapStats::table_bytes`] tracks the footprint the
+//! paper complains about. Everything else lives in [`crate::chassis`].
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Weak};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use mach_hw::addr::{HwProt, PAddr, Pfn, VAddr};
 use mach_hw::arch::vax::{
@@ -23,13 +22,11 @@ use mach_hw::arch::vax::{
 };
 use mach_hw::arch::CpuRegs;
 use mach_hw::machine::Machine;
-use mach_hw::tlb::FlushScope;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use crate::chassis::{ChassisMachDep, HwTables, PortFactory, PortShared, SlotOld, TlbTag};
 use crate::core::MdCore;
 use crate::pv::{ATTR_MOD, ATTR_REF};
-use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
 
 const PAGE: u64 = 512;
 const PTES_PER_FRAME: u64 = PAGE / 4;
@@ -47,46 +44,36 @@ struct VaxRegion {
 struct VaxState {
     p0: VaxRegion,
     p1: VaxRegion,
-    resident: u64,
 }
 
 impl VaxState {
     fn new() -> VaxState {
+        let empty = |lr| VaxRegion {
+            base: None,
+            frames: 0,
+            lr,
+        };
         VaxState {
-            p0: VaxRegion {
-                base: None,
-                frames: 0,
-                lr: 0,
-            },
-            p1: VaxRegion {
-                base: None,
-                frames: 0,
-                lr: REGION_PAGES,
-            },
-            resident: 0,
+            p0: empty(0),
+            p1: empty(REGION_PAGES),
         }
     }
 
     fn pte_pa(&self, region: Region, vpn: u64) -> Option<PAddr> {
-        match region {
-            Region::P0 => {
-                let r = &self.p0;
-                if vpn < r.lr {
-                    Some(PAddr(r.base?.0 * PAGE + 4 * vpn))
-                } else {
-                    None
-                }
-            }
-            Region::P1 => {
-                let r = &self.p1;
-                if vpn >= r.lr && vpn < REGION_PAGES {
-                    Some(PAddr(r.base?.0 * PAGE + 4 * (vpn - r.lr)))
-                } else {
-                    None
-                }
-            }
-            Region::System => None,
+        let (r, covered) = match region {
+            Region::P0 => (&self.p0, vpn < self.p0.lr),
+            Region::P1 => (&self.p1, vpn >= self.p1.lr && vpn < REGION_PAGES),
+            Region::System => return None,
+        };
+        if !covered {
+            return None;
         }
+        let idx = if region == Region::P1 {
+            vpn - r.lr
+        } else {
+            vpn
+        };
+        Some(PAddr(r.base?.0 * PAGE + 4 * idx))
     }
 
     fn hw_regs(&self) -> VaxRegs {
@@ -102,14 +89,26 @@ impl VaxState {
     }
 }
 
-/// The VAX machine-dependent module.
+/// Builds [`VaxTables`] per created pmap.
 #[derive(Debug)]
-pub struct VaxMachDep {
-    core: Arc<MdCore>,
-    kernel: Arc<dyn Pmap>,
+pub struct VaxFactory;
+
+impl PortFactory for VaxFactory {
+    type Tables = VaxTables;
+
+    fn new_tables(&self, core: &Arc<MdCore>, _id: u64, shared: &Arc<PortShared>) -> VaxTables {
+        VaxTables {
+            core: Arc::clone(core),
+            shared: Arc::clone(shared),
+            state: Mutex::new(VaxState::new()),
+        }
+    }
 }
 
-impl VaxMachDep {
+/// The VAX machine-dependent module.
+pub type VaxMachDep = ChassisMachDep<VaxFactory>;
+
+impl ChassisMachDep<VaxFactory> {
     /// Build the VAX pmap module for `machine`.
     ///
     /// # Panics
@@ -117,36 +116,25 @@ impl VaxMachDep {
     /// Panics if `machine` is not a VAX.
     pub fn new(machine: &Arc<Machine>) -> Arc<VaxMachDep> {
         assert_eq!(machine.kind(), mach_hw::ArchKind::Vax);
-        Arc::new(VaxMachDep {
-            core: Arc::new(MdCore::new(machine)),
-            kernel: Arc::new(SoftPmap::new(machine.hw_page_size())),
-        })
+        ChassisMachDep::with_factory(machine, VaxFactory)
     }
 }
 
-/// A VAX physical map (per-task page tables).
+/// A VAX pmap's hardware tables (the P0/P1 linear-table pair).
 #[derive(Debug)]
-pub struct VaxPmap {
-    id: u64,
+pub struct VaxTables {
     core: Arc<MdCore>,
-    me: Weak<VaxPmap>,
-    cpus_using: AtomicU64,
-    cpus_cached: AtomicU64,
+    shared: Arc<PortShared>,
     state: Mutex<VaxState>,
 }
 
-impl VaxPmap {
-    fn new(core: &Arc<MdCore>) -> Arc<VaxPmap> {
-        Arc::new_cyclic(|me| VaxPmap {
-            id: core.next_id(),
-            core: Arc::clone(core),
-            me: me.clone(),
-            cpus_using: AtomicU64::new(0),
-            cpus_cached: AtomicU64::new(0),
-            state: Mutex::new(VaxState::new()),
-        })
-    }
+/// State guard plus a flag for base/length register changes.
+pub struct VaxGuard<'a> {
+    st: MutexGuard<'a, VaxState>,
+    grew: bool,
+}
 
+impl VaxTables {
     /// Grow (or create) a region table so `vpn` is covered.
     fn ensure(&self, st: &mut VaxState, region: Region, vpn: u64) {
         let machine = &self.core.machine;
@@ -208,10 +196,7 @@ impl VaxPmap {
                 machine.charge(machine.cost().copy_cycles(old_count * 4));
             }
             machine.frames().free_contig(old_base, r.frames);
-            self.core
-                .counters
-                .table_bytes
-                .fetch_sub(r.frames * PAGE, Ordering::Relaxed);
+            crate::core::stat_sub(&self.core.counters.table_bytes, r.frames * PAGE);
         }
         r.base = Some(base);
         r.frames = new_frames;
@@ -220,325 +205,156 @@ impl VaxPmap {
         } else {
             new_count
         };
-        self.core
-            .counters
-            .table_bytes
-            .fetch_add(new_frames * PAGE, Ordering::Relaxed);
-        // Register reload (the base/length pair changed) happens in the
-        // caller, after the mutable region borrow ends.
+        crate::core::stat_add(&self.core.counters.table_bytes, new_frames * PAGE);
+        // Register reload (the base/length pair changed) happens in
+        // finish_enter, after the mutable region borrow ends.
     }
 
     fn reload_regs(&self, st: &VaxState) {
-        let mask = self.cpus_using.load(Ordering::SeqCst);
+        let mask = self.shared.cpus_active.load(Ordering::SeqCst);
         let regs = st.hw_regs();
         for cpu in crate::core::cpu_list(mask, self.core.machine.n_cpus()) {
             self.core.machine.cpu(cpu).load_regs(CpuRegs::Vax(regs));
         }
     }
 
-    fn weak_self(&self) -> Weak<dyn HwMapper> {
-        self.me.clone() as Weak<dyn HwMapper>
-    }
-}
-
-impl Pmap for VaxPmap {
-    fn enter(&self, va: VAddr, pa: PAddr, size: u64, prot: HwProt, _wired: bool) {
-        assert!(va.is_aligned(PAGE) && pa.0.is_multiple_of(PAGE) && size.is_multiple_of(PAGE));
-        let n = size / PAGE;
-        self.core.charge_op(n);
-        self.core.counters.enters.fetch_add(n, Ordering::Relaxed);
-        let mut flush = Vec::new();
-        {
-            let mut st = self.state.lock();
-            let mut grew = false;
-            for i in 0..n {
-                let v = va + i * PAGE;
-                let frame = Pfn(pa.0 / PAGE + i);
-                let (region, vpn) = decode(v).expect("enter within the VAX user regions");
-                assert!(
-                    region != Region::System,
-                    "user pmap cannot map the system region"
-                );
-                if st.pte_pa(region, vpn).is_none() {
-                    self.ensure(&mut st, region, vpn);
-                    grew = true;
-                }
-                let pte_pa = st.pte_pa(region, vpn).expect("table just ensured");
-                let old = self
-                    .core
-                    .machine
-                    .phys()
-                    .read_u32(pte_pa)
-                    .expect("table resident");
-                let mut word = pte(frame, prot);
-                if old & PTE_V != 0 {
-                    let old_pfn = Pfn((old & PTE_PFN_MASK) as u64);
-                    if old_pfn != frame {
-                        // The slot stays resident; only the frame changes.
-                        self.core.pv.remove(old_pfn, self.id, v);
-                        let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
-                            | ((old & PTE_REF != 0) as u8 * ATTR_REF);
-                        self.core.pv.merge_attrs(old_pfn, bits);
-                    } else {
-                        // Re-entering the same frame: preserve M/REF.
-                        word |= old & (PTE_M | PTE_REF);
-                    }
-                    flush.push((0u32, v.0 >> 9));
-                }
-                if old & PTE_V == 0 {
-                    st.resident += 1;
-                }
-                self.core
-                    .machine
-                    .phys()
-                    .write_u32(pte_pa, word)
-                    .expect("table resident");
-                self.core.pv.add(frame, self.weak_self(), v);
-            }
-            if grew {
-                self.reload_regs(&st);
-            }
-        }
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
-    }
-
-    fn remove(&self, start: VAddr, end: VAddr) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut flush = Vec::new();
-        {
-            let mut st = self.state.lock();
-            let mut v = start;
-            while v < end {
-                if let Ok((region, vpn)) = decode(v) {
-                    if let Some(pte_pa) = st.pte_pa(region, vpn) {
-                        let old = self
-                            .core
-                            .machine
-                            .phys()
-                            .read_u32(pte_pa)
-                            .expect("table resident");
-                        if old & PTE_V != 0 {
-                            let frame = Pfn((old & PTE_PFN_MASK) as u64);
-                            self.core
-                                .machine
-                                .phys()
-                                .write_u32(pte_pa, 0)
-                                .expect("table resident");
-                            self.core.pv.remove(frame, self.id, v);
-                            let bits = ((old & PTE_M != 0) as u8 * ATTR_MOD)
-                                | ((old & PTE_REF != 0) as u8 * ATTR_REF);
-                            self.core.pv.merge_attrs(frame, bits);
-                            st.resident -= 1;
-                            flush.push((0u32, v.0 >> 9));
-                            self.core.counters.removes.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                v += PAGE;
-            }
-        }
-        self.core.charge_op(flush.len() as u64);
-        let strategy = self.core.policy.read().time_critical;
-        self.core
-            .flush_pages(self.cpus_cached.load(Ordering::SeqCst), &flush, strategy);
-    }
-
-    fn protect(&self, start: VAddr, end: VAddr, prot: HwProt) {
-        assert!(start.is_aligned(PAGE) && end.is_aligned(PAGE) && start <= end);
-        let mut narrow = Vec::new();
-        let mut widen = Vec::new();
-        {
-            let st = self.state.lock();
-            let mut v = start;
-            while v < end {
-                if let Ok((region, vpn)) = decode(v) {
-                    if let Some(pte_pa) = st.pte_pa(region, vpn) {
-                        let old = self
-                            .core
-                            .machine
-                            .phys()
-                            .read_u32(pte_pa)
-                            .expect("table resident");
-                        if old & PTE_V != 0 {
-                            let old_prot = pte_prot(old);
-                            let frame = Pfn((old & PTE_PFN_MASK) as u64);
-                            let mut word = pte(frame, prot) | (old & (PTE_M | PTE_REF));
-                            if prot.is_none() {
-                                word = 0; // protection "none" unmaps in hw
-                            }
-                            self.core
-                                .machine
-                                .phys()
-                                .write_u32(pte_pa, word)
-                                .expect("table resident");
-                            let narrowing = old_prot.bits() & !prot.bits() != 0;
-                            if narrowing {
-                                narrow.push((0u32, v.0 >> 9));
-                            } else {
-                                widen.push((0u32, v.0 >> 9));
-                            }
-                            self.core.counters.protects.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-                v += PAGE;
-            }
-        }
-        self.core.charge_op((narrow.len() + widen.len()) as u64);
-        let policy = *self.core.policy.read();
-        let cached = self.cpus_cached.load(Ordering::SeqCst);
-        self.core.flush_pages(cached, &narrow, policy.time_critical);
-        self.core.flush_pages(cached, &widen, policy.widen);
-    }
-
-    fn extract(&self, va: VAddr) -> Option<PAddr> {
-        let st = self.state.lock();
+    fn read_pte(&self, st: &VaxState, va: VAddr) -> Option<(PAddr, u32)> {
         let (region, vpn) = decode(va).ok()?;
         let pte_pa = st.pte_pa(region, vpn)?;
-        let word = self.core.machine.phys().read_u32(pte_pa).ok()?;
-        if word & PTE_V == 0 {
-            return None;
-        }
-        Some(Pfn((word & PTE_PFN_MASK) as u64).base(PAGE) + va.offset_in(PAGE))
-    }
-
-    fn activate(&self, cpu: usize) {
-        self.cpus_using.fetch_or(1 << cpu, Ordering::SeqCst);
-        self.cpus_cached.fetch_or(1 << cpu, Ordering::SeqCst);
-        let st = self.state.lock();
-        self.core
-            .machine
-            .cpu(cpu)
-            .load_regs(CpuRegs::Vax(st.hw_regs()));
-        drop(st);
-        // The VAX TLB is untagged: switching spaces flushes it.
-        self.core.machine.flush_quiescent(cpu, FlushScope::All);
-        self.core
-            .machine
-            .charge(self.core.machine.cost().context_switch);
-    }
-
-    fn deactivate(&self, cpu: usize) {
-        self.cpus_using.fetch_and(!(1 << cpu), Ordering::SeqCst);
-    }
-
-    fn copy_from(&self, src: &dyn Pmap, dst_addr: VAddr, len: u64, src_addr: VAddr) {
-        crate::generic_pmap_copy(self, src, dst_addr, len, src_addr, PAGE);
-    }
-
-    fn resident_pages(&self) -> u64 {
-        self.state.lock().resident
-    }
-}
-
-impl HwMapper for VaxPmap {
-    fn mapper_id(&self) -> u64 {
-        self.id
-    }
-
-    fn clear_hw(&self, va: VAddr) -> (bool, bool) {
-        let mut st = self.state.lock();
-        let Ok((region, vpn)) = decode(va) else {
-            return (false, false);
-        };
-        let Some(pte_pa) = st.pte_pa(region, vpn) else {
-            return (false, false);
-        };
-        let old = self
-            .core
-            .machine
-            .phys()
-            .read_u32(pte_pa)
-            .expect("table resident");
-        if old & PTE_V == 0 {
-            return (false, false);
-        }
-        self.core
-            .machine
-            .phys()
-            .write_u32(pte_pa, 0)
-            .expect("table resident");
-        st.resident -= 1;
-        (old & PTE_M != 0, old & PTE_REF != 0)
-    }
-
-    fn protect_hw(&self, va: VAddr, prot: HwProt) {
-        let st = self.state.lock();
-        let Ok((region, vpn)) = decode(va) else {
-            return;
-        };
-        let Some(pte_pa) = st.pte_pa(region, vpn) else {
-            return;
-        };
-        let phys = self.core.machine.phys();
-        let old = phys.read_u32(pte_pa).expect("table resident");
-        if old & PTE_V == 0 {
-            return;
-        }
-        let frame = Pfn((old & PTE_PFN_MASK) as u64);
-        let word = pte(frame, prot) | (old & (PTE_M | PTE_REF));
-        phys.write_u32(pte_pa, word).expect("table resident");
-    }
-
-    fn read_mr(&self, va: VAddr) -> (bool, bool) {
-        let st = self.state.lock();
-        let Ok((region, vpn)) = decode(va) else {
-            return (false, false);
-        };
-        let Some(pte_pa) = st.pte_pa(region, vpn) else {
-            return (false, false);
-        };
         let word = self
             .core
             .machine
             .phys()
             .read_u32(pte_pa)
             .expect("table resident");
-        if word & PTE_V == 0 {
-            return (false, false);
-        }
-        (word & PTE_M != 0, word & PTE_REF != 0)
+        // Only valid PTEs: every caller treats invalid as unmapped.
+        (word & PTE_V != 0).then_some((pte_pa, word))
     }
 
-    fn clear_mr(&self, va: VAddr, clear_mod: bool, clear_ref: bool) {
-        let st = self.state.lock();
-        let Ok((region, vpn)) = decode(va) else {
-            return;
-        };
-        let Some(pte_pa) = st.pte_pa(region, vpn) else {
-            return;
-        };
-        let mut mask = 0u32;
-        if clear_mod {
-            mask |= PTE_M;
-        }
-        if clear_ref {
-            mask |= PTE_REF;
-        }
-        let _ =
-            self.core
-                .machine
-                .phys()
-                .update_u32(pte_pa, |w| if w & PTE_V != 0 { w & !mask } else { w });
-    }
-
-    fn space_vpn(&self, va: VAddr) -> (u32, u64) {
-        (0, va.0 >> 9)
-    }
-
-    fn cpus_cached(&self) -> u64 {
-        self.cpus_cached.load(Ordering::SeqCst)
+    fn write_pte(&self, pte_pa: PAddr, word: u32) {
+        self.core
+            .machine
+            .phys()
+            .write_u32(pte_pa, word)
+            .expect("table resident");
     }
 }
 
-impl Drop for VaxPmap {
-    fn drop(&mut self) {
-        let st = self.state.lock();
+fn attr_bits(word: u32) -> u8 {
+    ((word & PTE_M != 0) as u8 * ATTR_MOD) | ((word & PTE_REF != 0) as u8 * ATTR_REF)
+}
+
+impl HwTables for VaxTables {
+    type Guard<'a> = VaxGuard<'a>;
+
+    const PAGE_SIZE: u64 = PAGE;
+
+    fn lock(&self) -> VaxGuard<'_> {
+        VaxGuard {
+            st: self.state.lock(),
+            grew: false,
+        }
+    }
+
+    fn check_range(&self, va: VAddr, size: u64) {
+        for i in 0..size / PAGE {
+            let (region, _) = decode(va + i * PAGE).expect("enter within the VAX user regions");
+            assert!(
+                region != Region::System,
+                "user pmap cannot map the system region"
+            );
+        }
+    }
+
+    fn insert(
+        &self,
+        g: &mut VaxGuard<'_>,
+        va: VAddr,
+        pfn: Pfn,
+        prot: HwProt,
+        _wired: bool,
+    ) -> SlotOld {
+        let (region, vpn) = decode(va).expect("checked by check_range");
+        if g.st.pte_pa(region, vpn).is_none() {
+            self.ensure(&mut g.st, region, vpn);
+            g.grew = true;
+        }
+        let pte_pa = g.st.pte_pa(region, vpn).expect("table just ensured");
+        let old = self
+            .core
+            .machine
+            .phys()
+            .read_u32(pte_pa)
+            .expect("table resident");
+        let mut word = pte(pfn, prot);
+        let slot = crate::chassis::pte_slot(
+            old,
+            pfn,
+            &mut word,
+            PTE_V,
+            PTE_PFN_MASK,
+            PTE_M | PTE_REF,
+            attr_bits,
+        );
+        self.write_pte(pte_pa, word);
+        slot
+    }
+
+    fn clear(&self, g: &mut VaxGuard<'_>, va: VAddr) -> Option<(Pfn, u8)> {
+        let (pte_pa, old) = self.read_pte(&g.st, va)?;
+        self.write_pte(pte_pa, 0);
+        Some((Pfn((old & PTE_PFN_MASK) as u64), attr_bits(old)))
+    }
+
+    fn reprotect(&self, g: &mut VaxGuard<'_>, va: VAddr, prot: HwProt) -> Option<bool> {
+        let (pte_pa, old) = self.read_pte(&g.st, va)?;
+        let frame = Pfn((old & PTE_PFN_MASK) as u64);
+        let word = pte(frame, prot) | (old & (PTE_M | PTE_REF));
+        self.write_pte(pte_pa, word);
+        Some(pte_prot(old).bits() & !prot.bits() != 0)
+    }
+
+    fn lookup(&self, g: &VaxGuard<'_>, va: VAddr) -> Option<Pfn> {
+        let (_, word) = self.read_pte(&g.st, va)?;
+        Some(Pfn((word & PTE_PFN_MASK) as u64))
+    }
+
+    fn mr(
+        &self,
+        g: &mut VaxGuard<'_>,
+        va: VAddr,
+        clear_mod: bool,
+        clear_ref: bool,
+    ) -> (bool, bool) {
+        let Some((pte_pa, word)) = self.read_pte(&g.st, va) else {
+            return (false, false);
+        };
+        let mask = if clear_mod { PTE_M } else { 0 } | if clear_ref { PTE_REF } else { 0 };
+        let _ = self.core.machine.phys().update_u32(pte_pa, |w| w & !mask);
+        (word & PTE_M != 0, word & PTE_REF != 0)
+    }
+
+    fn finish_enter(&self, g: &mut VaxGuard<'_>) -> Option<crate::chassis::QuirkFlush> {
+        if g.grew {
+            self.reload_regs(&g.st);
+        }
+        None
+    }
+
+    fn activate(&self, g: &mut VaxGuard<'_>, cpu: usize) -> TlbTag {
+        self.core
+            .machine
+            .cpu(cpu)
+            .load_regs(CpuRegs::Vax(g.st.hw_regs()));
+        // The VAX TLB is untagged: switching spaces flushes it.
+        TlbTag::Untagged
+    }
+
+    fn teardown(&self, g: &mut VaxGuard<'_>) -> Vec<(VAddr, Pfn, u8)> {
         let phys = self.core.machine.phys();
-        // Tear down every remaining mapping's pv entry, then the tables.
-        for (region, r) in [(Region::P0, &st.p0), (Region::P1, &st.p1)] {
+        let mut harvested = Vec::new();
+        // Collect every remaining mapping's pv entry, then free the tables.
+        for (region, r) in [(Region::P0, &g.st.p0), (Region::P1, &g.st.p1)] {
             let Some(base) = r.base else { continue };
             let (first_vpn, count) = match region {
                 Region::P0 => (0, r.lr),
@@ -553,92 +369,21 @@ impl Drop for VaxPmap {
                     let vpn = first_vpn + i;
                     let va =
                         VAddr((if region == Region::P1 { 1u64 << 30 } else { 0 }) + vpn * PAGE);
-                    self.core.pv.remove(frame, self.id, va);
-                    let bits = ((word & PTE_M != 0) as u8 * ATTR_MOD)
-                        | ((word & PTE_REF != 0) as u8 * ATTR_REF);
-                    self.core.pv.merge_attrs(frame, bits);
+                    harvested.push((va, frame, attr_bits(word)));
                 }
             }
             self.core.machine.frames().free_contig(base, r.frames);
-            self.core
-                .counters
-                .table_bytes
-                .fetch_sub(r.frames * PAGE, Ordering::Relaxed);
+            crate::core::stat_sub(&self.core.counters.table_bytes, r.frames * PAGE);
         }
-    }
-}
-
-impl MachDep for VaxMachDep {
-    fn machine(&self) -> &Arc<Machine> {
-        &self.core.machine
-    }
-
-    fn create(&self) -> Arc<dyn Pmap> {
-        VaxPmap::new(&self.core)
-    }
-
-    fn kernel_pmap(&self) -> &Arc<dyn Pmap> {
-        &self.kernel
-    }
-
-    fn remove_all(&self, pa: PAddr, size: u64) {
-        let strategy = self.core.policy.read().time_critical;
-        self.core.remove_all_with(pa, size, strategy);
-    }
-
-    fn remove_all_deferred(&self, pa: PAddr, size: u64) -> Pending {
-        let strategy = self.core.policy.read().pageout;
-        self.core.remove_all_with(pa, size, strategy)
-    }
-
-    fn copy_on_write(&self, pa: PAddr, size: u64) {
-        self.core.copy_on_write(pa, size);
-    }
-
-    fn zero_page(&self, pa: PAddr, size: u64) {
-        self.core.zero_page(pa, size);
-    }
-
-    fn copy_page(&self, src: PAddr, dst: PAddr, size: u64) {
-        self.core.copy_page(src, dst, size);
-    }
-
-    fn is_modified(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_modified(pa, size)
-    }
-
-    fn clear_modify(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, true, false);
-    }
-
-    fn is_referenced(&self, pa: PAddr, size: u64) -> bool {
-        self.core.is_referenced(pa, size)
-    }
-
-    fn clear_reference(&self, pa: PAddr, size: u64) {
-        self.core.clear_bits(pa, size, false, true);
-    }
-
-    fn mapping_count(&self, pa: PAddr) -> usize {
-        self.core.pv.mapping_count(pa.pfn(PAGE))
-    }
-
-    fn update(&self) {
-        self.core.update();
-    }
-
-    fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
-        *self.core.policy.write() = policy;
-    }
-
-    fn stats(&self) -> PmapStats {
-        self.core.counters.snapshot()
+        harvested
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{frame, rw};
+    use crate::MachDep;
     use mach_hw::machine::MachineModel;
 
     fn setup() -> (Arc<Machine>, Arc<VaxMachDep>) {
@@ -647,19 +392,11 @@ mod tests {
         (machine, md)
     }
 
-    fn rw() -> HwProt {
-        HwProt::READ | HwProt::WRITE
-    }
-
-    fn user_frame(machine: &Arc<Machine>) -> PAddr {
-        machine.frames().alloc().unwrap().base(PAGE)
-    }
-
     #[test]
     fn enter_then_cpu_access_works() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x2000), pa, PAGE, rw(), false);
         assert_eq!(pmap.extract(VAddr(0x2004)), Some(pa + 4));
         assert_eq!(pmap.resident_pages(), 1);
@@ -677,13 +414,13 @@ mod tests {
         let (machine, md) = setup();
         let pmap = md.create();
         assert_eq!(md.stats().table_bytes, 0);
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0), pa, PAGE, rw(), false);
         let small = md.stats().table_bytes;
         assert!(small > 0);
         // Mapping a high P0 page forces a much larger table — the paper's
         // sparse-space problem on the VAX.
-        let pa2 = user_frame(&machine);
+        let pa2 = frame(&machine, PAGE);
         pmap.enter(VAddr(1 << 24), pa2, PAGE, rw(), false);
         let big = md.stats().table_bytes;
         assert!(big > small * 100, "sparse high page must balloon the table");
@@ -697,12 +434,12 @@ mod tests {
         let (machine, md) = setup();
         let pmap = md.create();
         let top = VAddr((1 << 31) - PAGE); // highest P1 page
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(top, pa, PAGE, rw(), false);
         assert_eq!(pmap.extract(top), Some(pa));
         // Grow downward.
         let lower = VAddr((1 << 31) - 200 * PAGE);
-        let pa2 = user_frame(&machine);
+        let pa2 = frame(&machine, PAGE);
         pmap.enter(lower, pa2, PAGE, rw(), false);
         assert_eq!(pmap.extract(lower), Some(pa2));
         assert_eq!(pmap.extract(top), Some(pa), "old tail mapping preserved");
@@ -718,7 +455,7 @@ mod tests {
     fn remove_invalidates_and_faults() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -734,7 +471,7 @@ mod tests {
     fn protect_narrowing_flushes_immediately() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x4000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -750,7 +487,7 @@ mod tests {
         let (machine, md) = setup();
         let p1 = md.create();
         let p2 = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         p1.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         p2.enter(VAddr(0x8000), pa, PAGE, rw(), false);
         assert_eq!(md.mapping_count(pa), 2);
@@ -764,7 +501,7 @@ mod tests {
     fn copy_on_write_narrows_all_mappings() {
         let (machine, md) = setup();
         let p1 = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         p1.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         p1.activate(0);
@@ -778,7 +515,7 @@ mod tests {
     fn modify_and_reference_bits_report_and_clear() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -802,7 +539,7 @@ mod tests {
         let (machine, md) = setup();
         let before = machine.frames().free_count();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0), pa, PAGE, rw(), false);
         assert!(machine.frames().free_count() < before - 1);
         drop(pmap);
@@ -816,7 +553,7 @@ mod tests {
     fn reenter_same_frame_preserves_modify_bit() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa = user_frame(&machine);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
         let _b = machine.bind_cpu(0);
         pmap.activate(0);
@@ -830,8 +567,8 @@ mod tests {
     fn enter_replacing_frame_updates_pv() {
         let (machine, md) = setup();
         let pmap = md.create();
-        let pa1 = user_frame(&machine);
-        let pa2 = user_frame(&machine);
+        let pa1 = frame(&machine, PAGE);
+        let pa2 = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa1, PAGE, rw(), false);
         pmap.enter(VAddr(0x1000), pa2, PAGE, rw(), false);
         assert_eq!(md.mapping_count(pa1), 0);
@@ -844,7 +581,7 @@ mod tests {
         let machine = Machine::boot(MachineModel::vax_11_784());
         let md = VaxMachDep::new(&machine);
         let pmap = md.create();
-        let pa = machine.frames().alloc().unwrap().base(PAGE);
+        let pa = frame(&machine, PAGE);
         pmap.enter(VAddr(0x1000), pa, PAGE, rw(), false);
 
         // CPU 1 runs the task and caches the translation, then quiesces.

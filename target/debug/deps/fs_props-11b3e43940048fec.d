@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fs_props-11b3e43940048fec.d: crates/fs/tests/fs_props.rs
+
+/root/repo/target/debug/deps/fs_props-11b3e43940048fec: crates/fs/tests/fs_props.rs
+
+crates/fs/tests/fs_props.rs:

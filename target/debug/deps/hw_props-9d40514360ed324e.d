@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_props-9d40514360ed324e.d: crates/hw/tests/hw_props.rs
+
+/root/repo/target/debug/deps/hw_props-9d40514360ed324e: crates/hw/tests/hw_props.rs
+
+crates/hw/tests/hw_props.rs:

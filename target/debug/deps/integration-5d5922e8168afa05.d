@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-5d5922e8168afa05.d: tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-5d5922e8168afa05.rmeta: tests/integration.rs Cargo.toml
+
+tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

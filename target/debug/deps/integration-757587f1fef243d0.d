@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-757587f1fef243d0.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-757587f1fef243d0: tests/integration.rs
+
+tests/integration.rs:

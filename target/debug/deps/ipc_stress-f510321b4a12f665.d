@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipc_stress-f510321b4a12f665.d: crates/ipc/tests/ipc_stress.rs
+
+/root/repo/target/debug/deps/ipc_stress-f510321b4a12f665: crates/ipc/tests/ipc_stress.rs
+
+crates/ipc/tests/ipc_stress.rs:

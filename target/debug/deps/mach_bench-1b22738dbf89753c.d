@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mach_bench-1b22738dbf89753c.d: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libmach_bench-1b22738dbf89753c.rlib: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libmach_bench-1b22738dbf89753c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablate.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mach_bench-54c0b2b120d452fe.d: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/mach_bench-54c0b2b120d452fe: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablate.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mach_bench-634603bd60878f9d.d: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_bench-634603bd60878f9d.rmeta: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablate.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mach_fs-0f4d49d211851f69.d: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_fs-0f4d49d211851f69.rmeta: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs Cargo.toml
+
+crates/fs/src/lib.rs:
+crates/fs/src/cache.rs:
+crates/fs/src/device.rs:
+crates/fs/src/fs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mach_fs-a8587af02dc97029.d: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+/root/repo/target/debug/deps/mach_fs-a8587af02dc97029: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/cache.rs:
+crates/fs/src/device.rs:
+crates/fs/src/fs.rs:

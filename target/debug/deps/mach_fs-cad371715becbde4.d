@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mach_fs-cad371715becbde4.d: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+/root/repo/target/debug/deps/libmach_fs-cad371715becbde4.rlib: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+/root/repo/target/debug/deps/libmach_fs-cad371715becbde4.rmeta: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/cache.rs:
+crates/fs/src/device.rs:
+crates/fs/src/fs.rs:

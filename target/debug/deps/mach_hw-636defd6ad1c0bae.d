@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mach_hw-636defd6ad1c0bae.d: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/arch/mod.rs crates/hw/src/arch/ns32082.rs crates/hw/src/arch/romp.rs crates/hw/src/arch/sun3.rs crates/hw/src/arch/tlbsoft.rs crates/hw/src/arch/vax.rs crates/hw/src/bus.rs crates/hw/src/cost.rs crates/hw/src/cpu.rs crates/hw/src/machine.rs crates/hw/src/phys.rs crates/hw/src/tlb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_hw-636defd6ad1c0bae.rmeta: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/arch/mod.rs crates/hw/src/arch/ns32082.rs crates/hw/src/arch/romp.rs crates/hw/src/arch/sun3.rs crates/hw/src/arch/tlbsoft.rs crates/hw/src/arch/vax.rs crates/hw/src/bus.rs crates/hw/src/cost.rs crates/hw/src/cpu.rs crates/hw/src/machine.rs crates/hw/src/phys.rs crates/hw/src/tlb.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/addr.rs:
+crates/hw/src/arch/mod.rs:
+crates/hw/src/arch/ns32082.rs:
+crates/hw/src/arch/romp.rs:
+crates/hw/src/arch/sun3.rs:
+crates/hw/src/arch/tlbsoft.rs:
+crates/hw/src/arch/vax.rs:
+crates/hw/src/bus.rs:
+crates/hw/src/cost.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/machine.rs:
+crates/hw/src/phys.rs:
+crates/hw/src/tlb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mach_hw-a79440dc2a1e8895.d: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/arch/mod.rs crates/hw/src/arch/ns32082.rs crates/hw/src/arch/romp.rs crates/hw/src/arch/sun3.rs crates/hw/src/arch/tlbsoft.rs crates/hw/src/arch/vax.rs crates/hw/src/bus.rs crates/hw/src/cost.rs crates/hw/src/cpu.rs crates/hw/src/machine.rs crates/hw/src/phys.rs crates/hw/src/tlb.rs
+
+/root/repo/target/debug/deps/libmach_hw-a79440dc2a1e8895.rlib: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/arch/mod.rs crates/hw/src/arch/ns32082.rs crates/hw/src/arch/romp.rs crates/hw/src/arch/sun3.rs crates/hw/src/arch/tlbsoft.rs crates/hw/src/arch/vax.rs crates/hw/src/bus.rs crates/hw/src/cost.rs crates/hw/src/cpu.rs crates/hw/src/machine.rs crates/hw/src/phys.rs crates/hw/src/tlb.rs
+
+/root/repo/target/debug/deps/libmach_hw-a79440dc2a1e8895.rmeta: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/arch/mod.rs crates/hw/src/arch/ns32082.rs crates/hw/src/arch/romp.rs crates/hw/src/arch/sun3.rs crates/hw/src/arch/tlbsoft.rs crates/hw/src/arch/vax.rs crates/hw/src/bus.rs crates/hw/src/cost.rs crates/hw/src/cpu.rs crates/hw/src/machine.rs crates/hw/src/phys.rs crates/hw/src/tlb.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/addr.rs:
+crates/hw/src/arch/mod.rs:
+crates/hw/src/arch/ns32082.rs:
+crates/hw/src/arch/romp.rs:
+crates/hw/src/arch/sun3.rs:
+crates/hw/src/arch/tlbsoft.rs:
+crates/hw/src/arch/vax.rs:
+crates/hw/src/bus.rs:
+crates/hw/src/cost.rs:
+crates/hw/src/cpu.rs:
+crates/hw/src/machine.rs:
+crates/hw/src/phys.rs:
+crates/hw/src/tlb.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mach_ipc-0c2a8022e7bc3a98.d: crates/ipc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_ipc-0c2a8022e7bc3a98.rmeta: crates/ipc/src/lib.rs Cargo.toml
+
+crates/ipc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mach_ipc-6a686ec3475a1464.d: crates/ipc/src/lib.rs
+
+/root/repo/target/debug/deps/libmach_ipc-6a686ec3475a1464.rlib: crates/ipc/src/lib.rs
+
+/root/repo/target/debug/deps/libmach_ipc-6a686ec3475a1464.rmeta: crates/ipc/src/lib.rs
+
+crates/ipc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mach_ipc-7b6e531791cc5401.d: crates/ipc/src/lib.rs
+
+/root/repo/target/debug/deps/mach_ipc-7b6e531791cc5401: crates/ipc/src/lib.rs
+
+crates/ipc/src/lib.rs:

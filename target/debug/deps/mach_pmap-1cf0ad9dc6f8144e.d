@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mach_pmap-1cf0ad9dc6f8144e.d: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs
+
+/root/repo/target/debug/deps/mach_pmap-1cf0ad9dc6f8144e: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs
+
+crates/pmap/src/lib.rs:
+crates/pmap/src/chassis.rs:
+crates/pmap/src/core.rs:
+crates/pmap/src/ns32082.rs:
+crates/pmap/src/pv.rs:
+crates/pmap/src/romp.rs:
+crates/pmap/src/soft.rs:
+crates/pmap/src/sun3.rs:
+crates/pmap/src/tlbsoft.rs:
+crates/pmap/src/vax.rs:

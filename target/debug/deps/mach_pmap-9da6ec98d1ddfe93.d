@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mach_pmap-9da6ec98d1ddfe93.d: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_pmap-9da6ec98d1ddfe93.rmeta: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs Cargo.toml
+
+crates/pmap/src/lib.rs:
+crates/pmap/src/chassis.rs:
+crates/pmap/src/core.rs:
+crates/pmap/src/ns32082.rs:
+crates/pmap/src/pv.rs:
+crates/pmap/src/romp.rs:
+crates/pmap/src/soft.rs:
+crates/pmap/src/sun3.rs:
+crates/pmap/src/tlbsoft.rs:
+crates/pmap/src/vax.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mach_repro-db664a13a9c2ae4c.d: src/lib.rs
+
+/root/repo/target/debug/deps/mach_repro-db664a13a9c2ae4c: src/lib.rs
+
+src/lib.rs:

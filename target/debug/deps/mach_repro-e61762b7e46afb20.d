@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mach_repro-e61762b7e46afb20.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmach_repro-e61762b7e46afb20.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmach_repro-e61762b7e46afb20.rmeta: src/lib.rs
+
+src/lib.rs:

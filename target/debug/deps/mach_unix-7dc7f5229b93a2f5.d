@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mach_unix-7dc7f5229b93a2f5.d: crates/unix/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_unix-7dc7f5229b93a2f5.rmeta: crates/unix/src/lib.rs Cargo.toml
+
+crates/unix/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mach_unix-c4c64ca100565c2a.d: crates/unix/src/lib.rs
+
+/root/repo/target/debug/deps/libmach_unix-c4c64ca100565c2a.rlib: crates/unix/src/lib.rs
+
+/root/repo/target/debug/deps/libmach_unix-c4c64ca100565c2a.rmeta: crates/unix/src/lib.rs
+
+crates/unix/src/lib.rs:

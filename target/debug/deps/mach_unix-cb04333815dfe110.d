@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mach_unix-cb04333815dfe110.d: crates/unix/src/lib.rs
+
+/root/repo/target/debug/deps/mach_unix-cb04333815dfe110: crates/unix/src/lib.rs
+
+crates/unix/src/lib.rs:

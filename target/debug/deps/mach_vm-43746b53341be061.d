@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mach_vm-43746b53341be061.d: crates/core/src/lib.rs crates/core/src/ctx.rs crates/core/src/fault.rs crates/core/src/kernel.rs crates/core/src/map.rs crates/core/src/msg.rs crates/core/src/object.rs crates/core/src/page.rs crates/core/src/pageout.rs crates/core/src/pager.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/types.rs crates/core/src/xpager.rs
+
+/root/repo/target/debug/deps/libmach_vm-43746b53341be061.rlib: crates/core/src/lib.rs crates/core/src/ctx.rs crates/core/src/fault.rs crates/core/src/kernel.rs crates/core/src/map.rs crates/core/src/msg.rs crates/core/src/object.rs crates/core/src/page.rs crates/core/src/pageout.rs crates/core/src/pager.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/types.rs crates/core/src/xpager.rs
+
+/root/repo/target/debug/deps/libmach_vm-43746b53341be061.rmeta: crates/core/src/lib.rs crates/core/src/ctx.rs crates/core/src/fault.rs crates/core/src/kernel.rs crates/core/src/map.rs crates/core/src/msg.rs crates/core/src/object.rs crates/core/src/page.rs crates/core/src/pageout.rs crates/core/src/pager.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/types.rs crates/core/src/xpager.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ctx.rs:
+crates/core/src/fault.rs:
+crates/core/src/kernel.rs:
+crates/core/src/map.rs:
+crates/core/src/msg.rs:
+crates/core/src/object.rs:
+crates/core/src/page.rs:
+crates/core/src/pageout.rs:
+crates/core/src/pager.rs:
+crates/core/src/stats.rs:
+crates/core/src/task.rs:
+crates/core/src/types.rs:
+crates/core/src/xpager.rs:

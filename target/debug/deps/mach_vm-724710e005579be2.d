@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/mach_vm-724710e005579be2.d: crates/core/src/lib.rs crates/core/src/ctx.rs crates/core/src/fault.rs crates/core/src/kernel.rs crates/core/src/map.rs crates/core/src/msg.rs crates/core/src/object.rs crates/core/src/page.rs crates/core/src/pageout.rs crates/core/src/pager.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/types.rs crates/core/src/xpager.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmach_vm-724710e005579be2.rmeta: crates/core/src/lib.rs crates/core/src/ctx.rs crates/core/src/fault.rs crates/core/src/kernel.rs crates/core/src/map.rs crates/core/src/msg.rs crates/core/src/object.rs crates/core/src/page.rs crates/core/src/pageout.rs crates/core/src/pager.rs crates/core/src/stats.rs crates/core/src/task.rs crates/core/src/types.rs crates/core/src/xpager.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ctx.rs:
+crates/core/src/fault.rs:
+crates/core/src/kernel.rs:
+crates/core/src/map.rs:
+crates/core/src/msg.rs:
+crates/core/src/object.rs:
+crates/core/src/page.rs:
+crates/core/src/pageout.rs:
+crates/core/src/pager.rs:
+crates/core/src/stats.rs:
+crates/core/src/task.rs:
+crates/core/src/types.rs:
+crates/core/src/xpager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

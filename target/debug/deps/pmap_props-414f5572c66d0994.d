@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmap_props-414f5572c66d0994.d: tests/pmap_props.rs
+
+/root/repo/target/debug/deps/pmap_props-414f5572c66d0994: tests/pmap_props.rs
+
+tests/pmap_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmap_props-87017411754ddfe7.d: tests/pmap_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmap_props-87017411754ddfe7.rmeta: tests/pmap_props.rs Cargo.toml
+
+tests/pmap_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

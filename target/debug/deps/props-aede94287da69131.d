@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-aede94287da69131.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-aede94287da69131: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-c4d883b35d0ac9dc.d: tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-c4d883b35d0ac9dc.rmeta: tests/props.rs Cargo.toml
+
+tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c74d498c399eedd9.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c74d498c399eedd9.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

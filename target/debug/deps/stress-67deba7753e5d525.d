@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-67deba7753e5d525.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-67deba7753e5d525: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-956e3b001f1bc263.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-956e3b001f1bc263: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/unix_props-79d1c02b9471a4a5.d: crates/unix/tests/unix_props.rs
+
+/root/repo/target/debug/deps/unix_props-79d1c02b9471a4a5: crates/unix/tests/unix_props.rs
+
+crates/unix/tests/unix_props.rs:

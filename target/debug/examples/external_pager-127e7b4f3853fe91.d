@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/external_pager-127e7b4f3853fe91.d: examples/external_pager.rs
+
+/root/repo/target/debug/examples/external_pager-127e7b4f3853fe91: examples/external_pager.rs
+
+examples/external_pager.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/external_pager-cd71a837804bcb4c.d: examples/external_pager.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexternal_pager-cd71a837804bcb4c.rmeta: examples/external_pager.rs Cargo.toml
+
+examples/external_pager.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

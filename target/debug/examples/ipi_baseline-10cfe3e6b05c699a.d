@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ipi_baseline-10cfe3e6b05c699a.d: examples/ipi_baseline.rs
+
+/root/repo/target/debug/examples/ipi_baseline-10cfe3e6b05c699a: examples/ipi_baseline.rs
+
+examples/ipi_baseline.rs:

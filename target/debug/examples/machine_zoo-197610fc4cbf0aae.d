@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/machine_zoo-197610fc4cbf0aae.d: examples/machine_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmachine_zoo-197610fc4cbf0aae.rmeta: examples/machine_zoo.rs Cargo.toml
+
+examples/machine_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

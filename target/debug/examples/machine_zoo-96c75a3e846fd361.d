@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/machine_zoo-96c75a3e846fd361.d: examples/machine_zoo.rs
+
+/root/repo/target/debug/examples/machine_zoo-96c75a3e846fd361: examples/machine_zoo.rs
+
+examples/machine_zoo.rs:

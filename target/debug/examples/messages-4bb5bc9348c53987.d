@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/messages-4bb5bc9348c53987.d: examples/messages.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmessages-4bb5bc9348c53987.rmeta: examples/messages.rs Cargo.toml
+
+examples/messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

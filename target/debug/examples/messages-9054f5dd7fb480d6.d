@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/messages-9054f5dd7fb480d6.d: examples/messages.rs
+
+/root/repo/target/debug/examples/messages-9054f5dd7fb480d6: examples/messages.rs
+
+examples/messages.rs:

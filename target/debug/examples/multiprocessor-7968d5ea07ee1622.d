@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiprocessor-7968d5ea07ee1622.d: examples/multiprocessor.rs
+
+/root/repo/target/debug/examples/multiprocessor-7968d5ea07ee1622: examples/multiprocessor.rs
+
+examples/multiprocessor.rs:

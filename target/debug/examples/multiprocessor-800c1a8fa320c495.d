@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multiprocessor-800c1a8fa320c495.d: examples/multiprocessor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultiprocessor-800c1a8fa320c495.rmeta: examples/multiprocessor.rs Cargo.toml
+
+examples/multiprocessor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e0524514c514eda5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e0524514c514eda5: examples/quickstart.rs
+
+examples/quickstart.rs:

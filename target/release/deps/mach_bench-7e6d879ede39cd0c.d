@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mach_bench-7e6d879ede39cd0c.d: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libmach_bench-7e6d879ede39cd0c.rlib: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libmach_bench-7e6d879ede39cd0c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablate.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablate.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

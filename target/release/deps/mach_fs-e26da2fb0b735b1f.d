@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mach_fs-e26da2fb0b735b1f.d: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+/root/repo/target/release/deps/libmach_fs-e26da2fb0b735b1f.rlib: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+/root/repo/target/release/deps/libmach_fs-e26da2fb0b735b1f.rmeta: crates/fs/src/lib.rs crates/fs/src/cache.rs crates/fs/src/device.rs crates/fs/src/fs.rs
+
+crates/fs/src/lib.rs:
+crates/fs/src/cache.rs:
+crates/fs/src/device.rs:
+crates/fs/src/fs.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mach_ipc-95d08b27006ad5ce.d: crates/ipc/src/lib.rs
+
+/root/repo/target/release/deps/libmach_ipc-95d08b27006ad5ce.rlib: crates/ipc/src/lib.rs
+
+/root/repo/target/release/deps/libmach_ipc-95d08b27006ad5ce.rmeta: crates/ipc/src/lib.rs
+
+crates/ipc/src/lib.rs:

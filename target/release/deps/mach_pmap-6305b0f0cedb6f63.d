@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mach_pmap-6305b0f0cedb6f63.d: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs
+
+/root/repo/target/release/deps/libmach_pmap-6305b0f0cedb6f63.rlib: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs
+
+/root/repo/target/release/deps/libmach_pmap-6305b0f0cedb6f63.rmeta: crates/pmap/src/lib.rs crates/pmap/src/chassis.rs crates/pmap/src/core.rs crates/pmap/src/ns32082.rs crates/pmap/src/pv.rs crates/pmap/src/romp.rs crates/pmap/src/soft.rs crates/pmap/src/sun3.rs crates/pmap/src/tlbsoft.rs crates/pmap/src/vax.rs
+
+crates/pmap/src/lib.rs:
+crates/pmap/src/chassis.rs:
+crates/pmap/src/core.rs:
+crates/pmap/src/ns32082.rs:
+crates/pmap/src/pv.rs:
+crates/pmap/src/romp.rs:
+crates/pmap/src/soft.rs:
+crates/pmap/src/sun3.rs:
+crates/pmap/src/tlbsoft.rs:
+crates/pmap/src/vax.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mach_repro-bd5c8ccd423606c2.d: src/lib.rs
+
+/root/repo/target/release/deps/libmach_repro-bd5c8ccd423606c2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmach_repro-bd5c8ccd423606c2.rmeta: src/lib.rs
+
+src/lib.rs:

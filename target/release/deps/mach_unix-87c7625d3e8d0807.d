@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mach_unix-87c7625d3e8d0807.d: crates/unix/src/lib.rs
+
+/root/repo/target/release/deps/libmach_unix-87c7625d3e8d0807.rlib: crates/unix/src/lib.rs
+
+/root/repo/target/release/deps/libmach_unix-87c7625d3e8d0807.rmeta: crates/unix/src/lib.rs
+
+crates/unix/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-834ef995cb6450fd.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-834ef995cb6450fd: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ipi_baseline-7e60dcba6f5a6835.d: examples/ipi_baseline.rs
+
+/root/repo/target/release/examples/ipi_baseline-7e60dcba6f5a6835: examples/ipi_baseline.rs
+
+examples/ipi_baseline.rs:

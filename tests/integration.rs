@@ -398,7 +398,10 @@ fn vm_copy_of_shared_region_stays_shared() {
     let kernel = Kernel::boot(&machine);
     let ps = kernel.page_size();
     let src_task = kernel.create_task();
-    let addr = src_task.map().allocate(kernel.ctx(), None, ps, true).unwrap();
+    let addr = src_task
+        .map()
+        .allocate(kernel.ctx(), None, ps, true)
+        .unwrap();
     src_task
         .map()
         .inherit(kernel.ctx(), addr, ps, Inheritance::Shared)

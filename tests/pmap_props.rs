@@ -10,6 +10,7 @@ use std::sync::Arc;
 use mach_hw::machine::{Machine, MachineModel};
 use mach_hw::{HwProt, PAddr, VAddr};
 use mach_pmap::Pmap;
+use mach_vm::kernel::Kernel;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -240,6 +241,66 @@ proptest! {
             md.clear_reference(pa, page);
             prop_assert!(!md.is_modified(pa, page));
             prop_assert!(!md.is_referenced(pa, page));
+        }
+    }
+
+    /// DESIGN §7: "the pmap is a cache". All non-wired hardware mappings
+    /// may vanish at any moment (context steal, pmeg steal, table
+    /// reclaim) and the machine-independent layer must rebuild them on
+    /// demand. Drive the full stack on every port, throw away the task's
+    /// hardware mappings at a random point, and check the program-visible
+    /// bytes are exactly what was written — only the fault count grows.
+    #[test]
+    fn pmap_is_a_cache_on_every_port(
+        writes in proptest::collection::vec((0u64..16, any::<u32>()), 4..20),
+        drop_at in 0usize..20,
+    ) {
+        for model in [
+            MachineModel::micro_vax_ii(),
+            MachineModel::rt_pc(),
+            MachineModel::sun_3_160(),
+            MachineModel::multimax(1),
+            MachineModel::rp3(1),
+        ] {
+            let machine = Machine::boot(model);
+            let k = Kernel::boot(&machine);
+            let task = k.create_task();
+            let ps = k.page_size();
+            let base = 0x40_0000u64;
+            task.map().allocate(k.ctx(), Some(base), 16 * ps, false).unwrap();
+            let mut bytes = HashMap::new();
+            for (i, &(page, val)) in writes.iter().enumerate() {
+                if i == drop_at {
+                    task.pmap().remove(VAddr(base), VAddr(base + 16 * ps));
+                }
+                task.user(0, |u| u.write_u32(base + page * ps, val).unwrap());
+                bytes.insert(page, val);
+            }
+            // Final purge: the whole working set vanishes from hardware.
+            let before = k.statistics();
+            task.pmap().remove(VAddr(base), VAddr(base + 16 * ps));
+            prop_assert_eq!(task.pmap().resident_pages(), 0);
+            task.user(0, |u| {
+                for page in 0..16u64 {
+                    // Never-written pages are still zero-fill; written
+                    // pages hold the last value.
+                    let want = bytes.get(&page).copied().unwrap_or(0);
+                    assert_eq!(
+                        u.read_u32(base + page * ps).unwrap(),
+                        want,
+                        "page {page} changed after the cache was purged"
+                    );
+                }
+            });
+            let after = k.statistics();
+            prop_assert!(
+                after.faults >= before.faults + 16,
+                "purged mappings must refault"
+            );
+            prop_assert!(
+                after.resident_hits > before.resident_hits,
+                "refaults are satisfied by resident pages, not pageins"
+            );
         }
     }
 
