@@ -26,4 +26,4 @@ pub mod measure;
 pub mod report;
 pub mod workloads;
 
-pub use measure::{measured, SimTime};
+pub use measure::{measured, traced, SimTime};

@@ -8,6 +8,8 @@
 use std::sync::Arc;
 
 use mach_hw::machine::Machine;
+use mach_vm::kernel::Kernel;
+use mach_vm::trace::TraceLog;
 
 /// A simulated duration, split the way the paper's Table 7-1 splits it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +78,22 @@ pub fn measured<R>(machine: &Arc<Machine>, cpu: usize, f: impl FnOnce() -> R) ->
     )
 }
 
+/// Run `f` with VM event tracing enabled on `kernel` (ring capacity
+/// `capacity_per_cpu` records per CPU) and return the captured
+/// [`TraceLog`] alongside `f`'s result. Tracing is switched off again
+/// before returning, so a benchmark's warm-up and teardown stay unpaid.
+///
+/// This is the bench-harness hook of the trace analyzer: pair it with
+/// [`TraceLog::latency_histogram`] or [`TraceLog::totals`] to turn one
+/// benchmark number into a before/after event diff.
+pub fn traced<R>(kernel: &Kernel, capacity_per_cpu: usize, f: impl FnOnce() -> R) -> (TraceLog, R) {
+    kernel.enable_tracing(capacity_per_cpu);
+    let r = f();
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+    (log, r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +115,28 @@ mod tests {
         assert_eq!(t.system_us, 2_000_000);
         assert_eq!(t.elapsed_us, 2_000_500);
         assert_eq!(t.system_ms(), 2000.0);
+    }
+
+    #[test]
+    fn traced_captures_fault_events_and_disables_after() {
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let kernel = Kernel::boot(&machine);
+        let task = kernel.create_task();
+        let ps = kernel.page_size();
+        let addr = task
+            .map()
+            .allocate(kernel.ctx(), None, 4 * ps, true)
+            .unwrap();
+        let (log, ()) = traced(&kernel, 1024, || {
+            task.user(0, |u| {
+                for i in 0..4 {
+                    u.write_u32(addr + i * ps, i as u32).unwrap();
+                }
+            });
+        });
+        assert_eq!(log.totals().faults, 4);
+        assert_eq!(log.fault_pairs().len(), 4);
+        assert!(!kernel.trace().is_enabled());
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::object::ObjectCache;
 use crate::page::ResidentTable;
 use crate::pager::Pager;
 use crate::stats::VmStatsAtomic;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// The references every machine-independent subsystem needs: the resident
 /// page table, the machine-dependent module, the object cache and the
@@ -36,6 +37,9 @@ pub struct CoreRefs {
     /// How long a fault waits on an unresponsive pager before declaring it
     /// dead (boot-time option; see [`crate::BootOptions::pager_timeout`]).
     pub pager_timeout: std::time::Duration,
+    /// The VM event trace sink (disabled by default; a branch, not a
+    /// lock, on every emission site — see [`crate::trace`]).
+    pub trace: Arc<TraceSink>,
 }
 
 impl CoreRefs {
@@ -49,5 +53,12 @@ impl CoreRefs {
     #[inline]
     pub fn round_page(&self, x: u64) -> u64 {
         (x + self.page_size - 1) & !(self.page_size - 1)
+    }
+
+    /// Emit a trace event stamped with the current CPU's simulated cycle
+    /// clock. A single-branch no-op while tracing is disabled.
+    #[inline]
+    pub fn trace_emit(&self, task: u64, object: u64, offset: u64, event: TraceEvent) {
+        self.trace.emit(&self.machine, task, object, offset, event);
     }
 }

@@ -18,6 +18,7 @@ use crate::map::VmMap;
 use crate::object::{self, VmObject};
 use crate::page::{PageId, PageQueue};
 use crate::pager::PagerReply;
+use crate::trace::{FaultResolution, PagerMsg, TraceEvent};
 use crate::types::{Protection, VmError, VmResult};
 
 /// Result of trying to place a busy page in an object.
@@ -183,10 +184,61 @@ pub fn vm_fault(
     wire: bool,
 ) -> VmResult<PageId> {
     let va = ctx.trunc_page(va);
-    let write = access.contains(Protection::WRITE);
     ctx.stats.faults.fetch_add(1, Ordering::Relaxed);
+    let task = map.owner();
+    let fault_id = ctx.trace.next_fault_id();
+    if fault_id != 0 {
+        // The object is unknown at entry; the offset field carries the VA.
+        ctx.trace_emit(task, 0, va, TraceEvent::FaultBegin { fault_id });
+    }
+    match fault_body(ctx, map, va, access, wire, task) {
+        Ok((page, object, offset, resolution)) => {
+            ctx.trace_emit(
+                task,
+                object,
+                offset,
+                TraceEvent::FaultEnd {
+                    fault_id,
+                    resolution,
+                },
+            );
+            Ok(page)
+        }
+        Err(e) => {
+            ctx.trace_emit(
+                task,
+                0,
+                va,
+                TraceEvent::FaultEnd {
+                    fault_id,
+                    resolution: FaultResolution::Failed,
+                },
+            );
+            Err(e)
+        }
+    }
+}
+
+/// The fault state machine behind [`vm_fault`]. Returns the page finally
+/// mapped plus the `(object, offset, resolution)` the trace layer stamps
+/// on the `FaultEnd` event. The resolution flags are *sticky* across
+/// `'restart` iterations so the reported resolution matches the counters
+/// this fault actually bumped (a zero-fill that restarts and then finds
+/// its own page resident is still a zero-fill).
+fn fault_body(
+    ctx: &CoreRefs,
+    map: &Arc<VmMap>,
+    va: u64,
+    access: Protection,
+    wire: bool,
+    task: u64,
+) -> VmResult<(PageId, u64, u64, FaultResolution)> {
+    let write = access.contains(Protection::WRITE);
     let page_size = ctx.page_size;
     let mut attempts = 0u32;
+    let mut saw_zero = false;
+    let mut saw_pagein = false;
+    let mut saw_cow = false;
     'restart: loop {
         attempts += 1;
         if attempts > 200 {
@@ -217,6 +269,14 @@ pub fn vm_fault(
                 let pager = s.pager.clone();
                 if let Some(p) = pager {
                     p.data_unlock(first.id(), first_offset, page_size, access.bits());
+                    ctx.trace_emit(
+                        task,
+                        first.id(),
+                        first_offset,
+                        TraceEvent::PagerRequest {
+                            msg: PagerMsg::DataUnlock,
+                        },
+                    );
                 }
                 let deadline = std::time::Instant::now() + ctx.pager_timeout;
                 loop {
@@ -272,13 +332,42 @@ pub fn vm_fault(
                 s.resident.insert(offset, page);
                 drop(s);
                 ctx.stats.pageins.fetch_add(1, Ordering::Relaxed);
+                saw_pagein = true;
+                ctx.trace_emit(
+                    task,
+                    obj.id(),
+                    offset,
+                    TraceEvent::PagerRequest {
+                        msg: PagerMsg::DataRequest,
+                    },
+                );
                 match pager.data_request(obj.id(), offset, page_size) {
                     PagerReply::Data(d) => {
+                        // Internal pagers answer synchronously; the reply
+                        // event is synthesised here. External pagers return
+                        // Pending and their service thread emits it.
+                        ctx.trace_emit(
+                            task,
+                            obj.id(),
+                            offset,
+                            TraceEvent::PagerReply {
+                                msg: PagerMsg::DataProvided,
+                            },
+                        );
                         fill_and_release(ctx, &obj, page, Some(&d), false);
                         break (Arc::clone(&obj), page, offset);
                     }
                     PagerReply::Unavailable => {
                         ctx.stats.zero_fill.fetch_add(1, Ordering::Relaxed);
+                        saw_zero = true;
+                        ctx.trace_emit(
+                            task,
+                            obj.id(),
+                            offset,
+                            TraceEvent::PagerReply {
+                                msg: PagerMsg::DataUnavailable,
+                            },
+                        );
                         fill_and_release(ctx, &obj, page, None, false);
                         break (Arc::clone(&obj), page, offset);
                     }
@@ -315,6 +404,7 @@ pub fn vm_fault(
                 InsertOutcome::Existing(_, true) => continue 'restart,
                 InsertOutcome::Inserted(page) => {
                     ctx.stats.zero_fill.fetch_add(1, Ordering::Relaxed);
+                    saw_zero = true;
                     // Internal pages are precious: the only copy.
                     fill_and_release(ctx, &first, page, None, true);
                     break (Arc::clone(&first), page, first_offset);
@@ -343,6 +433,7 @@ pub fn vm_fault(
                         page_size,
                     );
                     ctx.stats.cow_faults.fetch_add(1, Ordering::Relaxed);
+                    saw_cow = true;
                     release_busy(ctx, &first, page, true);
                     if r.holder.pmap().is_none() {
                         // The entry lives in a *sharing map*: every task
@@ -427,7 +518,21 @@ pub fn vm_fault(
             ctx.resident.set_queue(final_page, PageQueue::Active);
         }
         release_busy(ctx, &final_obj, final_page, false);
-        return Ok(final_page);
+        let resolution = if saw_cow {
+            FaultResolution::CowPush
+        } else if saw_zero {
+            FaultResolution::ZeroFill
+        } else if saw_pagein {
+            FaultResolution::Pagein
+        } else {
+            FaultResolution::ResidentHit
+        };
+        return Ok((
+            final_page,
+            final_obj.id(),
+            ctx.trunc_page(final_offset),
+            resolution,
+        ));
     }
 }
 

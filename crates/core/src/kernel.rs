@@ -16,6 +16,7 @@ use crate::page::{PageId, ResidentTable};
 use crate::pager::{DefaultPager, InodePager};
 use crate::stats::{VmStats, VmStatsAtomic};
 use crate::task::Task;
+use crate::trace::{TraceEvent, TraceLog, TraceSink, VmRollup};
 use crate::types::{Protection, VmError, VmResult};
 use crate::xpager::{self, ExternalPagerProxy};
 
@@ -119,7 +120,18 @@ impl Kernel {
             page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: opts.pager_timeout,
+            trace: Arc::new(TraceSink::new(machine.n_cpus())),
         });
+        // Let the machine-dependent layer report shootdown rounds into the
+        // trace (the sink itself gates on enabled, so this costs a branch).
+        {
+            let sink = Arc::clone(&ctx.trace);
+            let m = Arc::clone(machine);
+            ctx.machdep
+                .set_shootdown_observer(Arc::new(move |cpu_mask, pages| {
+                    sink.emit(&m, 0, 0, 0, TraceEvent::ShootdownRound { cpu_mask, pages });
+                }));
+        }
         Arc::new(Kernel {
             ctx,
             free_target: donated / 16,
@@ -153,13 +165,46 @@ impl Kernel {
 
     /// `vm_statistics` (Table 2-1).
     pub fn statistics(&self) -> VmStats {
-        let mut s = self.ctx.stats.snapshot(self.ctx.page_size);
-        let c = self.ctx.resident.counts();
-        s.free_count = c.free;
-        s.active_count = c.active;
-        s.inactive_count = c.inactive;
-        s.wire_count = c.wired;
-        s
+        self.ctx
+            .stats
+            .snapshot(self.ctx.page_size, self.ctx.resident.counts())
+    }
+
+    // ------------------------------------------------------------------
+    // VM event tracing (see `crate::trace` and `docs/TRACING.md`)
+    // ------------------------------------------------------------------
+
+    /// The kernel's trace sink.
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.ctx.trace
+    }
+
+    /// Start capturing VM events, keeping the last `capacity_per_cpu`
+    /// records on each CPU ring (clears any previous capture).
+    pub fn enable_tracing(&self, capacity_per_cpu: usize) {
+        self.ctx.trace.enable(capacity_per_cpu);
+    }
+
+    /// Stop capturing VM events.
+    pub fn disable_tracing(&self) {
+        self.ctx.trace.disable();
+    }
+
+    /// Snapshot the captured trace for offline analysis.
+    pub fn trace_log(&self) -> TraceLog {
+        self.ctx.trace.snapshot()
+    }
+
+    /// `vm_statistics` broken down **per task**, reconstructed from the
+    /// captured trace (task 0 aggregates kernel/daemon work).
+    pub fn statistics_by_task(&self) -> std::collections::BTreeMap<u64, VmRollup> {
+        self.ctx.trace.snapshot().by_task()
+    }
+
+    /// `vm_statistics` broken down **per memory object**, reconstructed
+    /// from the captured trace.
+    pub fn statistics_by_object(&self) -> std::collections::BTreeMap<u64, VmRollup> {
+        self.ctx.trace.snapshot().by_object()
     }
 
     /// Free pages if the pool fell below the boot-time target.
@@ -206,6 +251,9 @@ impl Kernel {
             page_size: old.page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: old.pager_timeout,
+            // Shared with the first boot's context so the shootdown
+            // observer installed there keeps feeding the same sink.
+            trace: Arc::clone(&old.trace),
         });
         Arc::new(Kernel {
             ctx,
@@ -299,6 +347,14 @@ impl Kernel {
                     .with(MsgField::U64(object.id())),
             )
             .map_err(|_| VmError::PagerDied)?;
+        self.ctx.trace_emit(
+            task.id(),
+            object.id(),
+            offset,
+            TraceEvent::PagerRequest {
+                msg: crate::trace::PagerMsg::Init,
+            },
+        );
         xpager::spawn_object_service(
             Arc::clone(&self.ctx),
             Arc::downgrade(&object),

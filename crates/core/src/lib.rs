@@ -60,6 +60,7 @@ pub mod pageout;
 pub mod pager;
 pub mod stats;
 pub mod task;
+pub mod trace;
 pub mod types;
 pub mod xpager;
 
@@ -72,5 +73,9 @@ pub use page::PageId;
 pub use pager::{InodePager, Pager, PagerReply};
 pub use stats::VmStats;
 pub use task::{Task, UserCtx};
+pub use trace::{
+    FaultPair, FaultResolution, Histogram, PagerMsg, TraceEvent, TraceLog, TraceRecord, TraceSink,
+    TraceTotals, VmRollup,
+};
 pub use types::{Inheritance, Protection, VmError, VmResult};
 pub use xpager::{serve_pager, UserPager};

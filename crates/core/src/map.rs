@@ -448,6 +448,9 @@ pub struct VmMap {
     /// Back reference for teardown: dropping a map releases its entries'
     /// object references (task exit, last un-share).
     ctx: std::sync::Weak<CoreRefs>,
+    /// Id of the owning task (0 = kernel / sharing map); trace-event
+    /// attribution only.
+    owner: std::sync::atomic::AtomicU64,
 }
 
 impl VmMap {
@@ -459,6 +462,7 @@ impl VmMap {
             hi,
             inner: Mutex::new(MapInner::default()),
             ctx: Arc::downgrade(ctx),
+            owner: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -470,7 +474,18 @@ impl VmMap {
             hi: size,
             inner: Mutex::new(MapInner::default()),
             ctx: ctx.clone(),
+            owner: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// The owning task's id (0 = kernel / sharing map).
+    pub fn owner(&self) -> u64 {
+        self.owner.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Record the owning task's id for trace attribution.
+    pub(crate) fn set_owner(&self, id: u64) {
+        self.owner.store(id, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The pmap this map drives (`None` for sharing maps).
@@ -1020,6 +1035,7 @@ mod tests {
         let machine = Machine::boot(MachineModel::micro_vax_ii());
         let machdep = mach_pmap::machdep_for(&machine);
         let default_pager = crate::pager::DefaultPager::new(&machine);
+        let trace = Arc::new(crate::trace::TraceSink::new(machine.n_cpus()));
         Arc::new(CoreRefs {
             machine,
             machdep,
@@ -1030,6 +1046,7 @@ mod tests {
             page_size: 4096,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: std::time::Duration::from_secs(5),
+            trace,
         })
     }
 

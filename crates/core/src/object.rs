@@ -205,6 +205,14 @@ pub fn terminate(obj: &Arc<VmObject>, ctx: &CoreRefs) {
     release_pages(obj, ctx);
     if let Some(p) = pager {
         p.terminate(obj.id());
+        ctx.trace_emit(
+            0,
+            obj.id(),
+            0,
+            crate::trace::TraceEvent::PagerRequest {
+                msg: crate::trace::PagerMsg::Terminate,
+            },
+        );
     }
     if let Some(sh) = shadow {
         {
@@ -322,6 +330,7 @@ fn collapse_level(obj: &Arc<VmObject>, ctx: &CoreRefs) {
                 ctx.resident.free_page(page);
             }
             ctx.stats.collapses.fetch_add(1, Ordering::Relaxed);
+            ctx.trace_emit(0, obj.id(), 0, crate::trace::TraceEvent::ShadowCollapse);
             continue;
         }
         // --- Bypass: obj obscures the whole window by itself. ---
@@ -342,6 +351,7 @@ fn collapse_level(obj: &Arc<VmObject>, ctx: &CoreRefs) {
             drop(s);
             deallocate(&backing, ctx);
             ctx.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+            ctx.trace_emit(0, obj.id(), 0, crate::trace::TraceEvent::ShadowBypass);
             continue;
         }
         return;

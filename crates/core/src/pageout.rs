@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use crate::ctx::CoreRefs;
 use crate::page::{PageId, PageQueue};
+use crate::trace::{PagerMsg, TraceEvent};
 
 /// Try to free at least `want` pages; returns how many were freed.
 ///
@@ -98,6 +99,7 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
         ctx.resident.release_evict(page);
         ctx.resident.set_queue(page, PageQueue::Active);
         ctx.stats.reactivations.fetch_add(1, Ordering::Relaxed);
+        ctx.trace_emit(0, obj.id(), ident.offset, TraceEvent::Reactivate);
         return false;
     }
     // Remove mappings with the pageout (deferred) strategy...
@@ -130,6 +132,14 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
             .phys()
             .read(pa, &mut buf)
             .expect("resident frame readable");
+        ctx.trace_emit(
+            0,
+            obj.id(),
+            ident.offset,
+            TraceEvent::PagerRequest {
+                msg: PagerMsg::DataWrite,
+            },
+        );
         pager.data_write(obj.id(), ident.offset, buf);
         {
             let mut s = obj.lock();
@@ -143,6 +153,7 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
             ctx.resident.clear_identity(page);
         }
         ctx.stats.pageouts.fetch_add(1, Ordering::Relaxed);
+        ctx.trace_emit(0, obj.id(), ident.offset, TraceEvent::PageoutWrite);
     } else {
         s.resident.remove(&ident.offset);
         ctx.resident.clear_identity(page);
@@ -152,6 +163,7 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
             pending.wait_complete(std::time::Duration::from_millis(200));
         }
         ctx.stats.reclaims.fetch_add(1, Ordering::Relaxed);
+        ctx.trace_emit(0, obj.id(), ident.offset, TraceEvent::Reclaim);
     }
     scrub(ctx, page);
     ctx.resident.free_page(page);

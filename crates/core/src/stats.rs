@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::page::PageCounts;
+
 /// Internal atomic counters; snapshot with [`VmStatsAtomic::snapshot`].
 #[derive(Debug, Default)]
 pub struct VmStatsAtomic {
@@ -80,14 +82,17 @@ pub struct VmStats {
 }
 
 impl VmStatsAtomic {
-    /// Snapshot every counter (queue counts are added by the kernel).
-    pub fn snapshot(&self, pagesize: u64) -> VmStats {
+    /// Snapshot every counter. The caller supplies the current resident
+    /// queue counts (from [`crate::page::ResidentTable::counts`]) so a
+    /// snapshot is always complete — free/active/inactive/wired are queue
+    /// state, not event counters, and used to be silently left at 0 here.
+    pub fn snapshot(&self, pagesize: u64, queues: PageCounts) -> VmStats {
         VmStats {
             pagesize,
-            free_count: 0,
-            active_count: 0,
-            inactive_count: 0,
-            wire_count: 0,
+            free_count: queues.free,
+            active_count: queues.active,
+            inactive_count: queues.inactive,
+            wire_count: queues.wired,
             faults: self.faults.load(Ordering::Relaxed),
             zero_fill_count: self.zero_fill.load(Ordering::Relaxed),
             cow_faults: self.cow_faults.load(Ordering::Relaxed),
@@ -111,14 +116,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn snapshot_reads_counters() {
+    fn snapshot_reads_counters_and_queue_counts() {
         let a = VmStatsAtomic::default();
         a.faults.fetch_add(3, Ordering::Relaxed);
         a.cow_faults.fetch_add(1, Ordering::Relaxed);
-        let s = a.snapshot(8192);
+        let queues = PageCounts {
+            free: 10,
+            active: 4,
+            inactive: 2,
+            wired: 1,
+        };
+        let s = a.snapshot(8192, queues);
         assert_eq!(s.pagesize, 8192);
         assert_eq!(s.faults, 3);
         assert_eq!(s.cow_faults, 1);
         assert_eq!(s.pageouts, 0);
+        assert_eq!(s.free_count, 10);
+        assert_eq!(s.active_count, 4);
+        assert_eq!(s.inactive_count, 2);
+        assert_eq!(s.wire_count, 1);
     }
 }

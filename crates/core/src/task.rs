@@ -38,8 +38,10 @@ impl Task {
         let hi = ctx.machine.kind().user_va_limit();
         // Leave page zero unmapped, like every sane UNIX.
         let map = VmMap::new_task_map(ctx, pmap, ctx.page_size, hi);
+        let id = NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed);
+        map.set_owner(id);
         Arc::new(Task {
-            id: NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed),
+            id,
             map,
             ctx: Arc::clone(ctx),
         })

@@ -1,0 +1,759 @@
+//! VM event tracing: a lock-light, per-CPU ring of typed events.
+//!
+//! The paper's evaluation (§4, §5) and its `vm_statistics` call (Table
+//! 2-1) both depend on *seeing* what the VM system did. The global
+//! counters in [`crate::stats`] say how often something happened; this
+//! module says **when**, **to whom** (task), **to what** (object/offset)
+//! and **in what order** — enough to reconstruct fault-latency
+//! distributions and the pager request/reply interleaving after the fact.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled tracing is a branch, not a lock.** Every emission site
+//!    goes through [`TraceSink::emit`], whose fast path is a single
+//!    relaxed atomic load. No allocation, no mutex, no fence.
+//! 2. **Enabled tracing is lock-light.** Records land in fixed-capacity
+//!    per-CPU rings; each ring's mutex is effectively uncontended because
+//!    a simulated CPU is driven by one host thread at a time
+//!    (`Machine::bind_cpu`), so the only contention is a snapshot reader.
+//! 3. **Wraparound loses the oldest records, never the newest.** A ring
+//!    keeps the last `capacity` records per CPU; [`TraceLog::written`]
+//!    tells an analyzer how many were emitted in total.
+//!
+//! Every record is stamped with the emitting CPU's **simulated cycle
+//! clock** (the `mach-hw` cost model), a global sequence number (for
+//! total ordering across CPUs — per-CPU cycle clocks are not comparable),
+//! the owning task id, the memory-object id and the byte offset.
+//!
+//! Analysis happens offline on a [`TraceLog`] snapshot: fault begin/end
+//! pairing ([`TraceLog::fault_pairs`]), latency histograms
+//! ([`Histogram`]), per-task/per-object rollups ([`VmRollup`]) and the
+//! pager message timeline ([`TraceLog::pager_timeline`]). See
+//! `docs/TRACING.md` and `examples/trace_timeline.rs`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+/// How a fault was finally resolved (paper §3.6: the four things a fault
+/// handler can do with a missing page, plus failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultResolution {
+    /// The page was found resident in the shadow chain.
+    ResidentHit,
+    /// A pager supplied (or was asked for) the data.
+    Pagein,
+    /// A fresh page was zero-filled (end of chain, or
+    /// `pager_data_unavailable`).
+    ZeroFill,
+    /// A copy-on-write push created a private copy (§3.4).
+    CowPush,
+    /// The fault failed (invalid address, protection, dead pager, …).
+    Failed,
+}
+
+/// Pager protocol message kinds (paper Tables 3-1 and 3-2), matching the
+/// op codes of [`crate::xpager::ops`] one for one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PagerMsg {
+    /// Kernel → pager: `pager_init` (Table 3-1).
+    Init,
+    /// Kernel → pager: `pager_data_request` (Table 3-1).
+    DataRequest,
+    /// Kernel → pager: `pager_data_unlock` (Table 3-1).
+    DataUnlock,
+    /// Kernel → pager: `pager_data_write` (Table 3-1).
+    DataWrite,
+    /// Kernel → pager: `pager_create` (Table 3-1).
+    Create,
+    /// Kernel → pager: termination notice (Table 3-1).
+    Terminate,
+    /// Pager → kernel: `pager_data_provided` (Table 3-2).
+    DataProvided,
+    /// Pager → kernel: `pager_data_unavailable` (Table 3-2).
+    DataUnavailable,
+    /// Pager → kernel: `pager_data_lock` (Table 3-2).
+    DataLock,
+    /// Pager → kernel: `pager_clean_request` (Table 3-2).
+    CleanRequest,
+    /// Pager → kernel: `pager_flush_request` (Table 3-2).
+    FlushRequest,
+    /// Pager → kernel: `pager_readonly` (Table 3-2).
+    Readonly,
+    /// Pager → kernel: `pager_cache` (Table 3-2).
+    Cache,
+}
+
+/// One typed trace event. Emission sites are catalogued in
+/// `docs/TRACING.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `vm_fault` entered. The record's `offset` field carries the
+    /// faulting **virtual address** (the object is not yet known).
+    FaultBegin {
+        /// Pairs this begin with its [`TraceEvent::FaultEnd`].
+        fault_id: u64,
+    },
+    /// `vm_fault` returned; the record's object/offset name the page
+    /// finally mapped (or the faulting VA again on failure).
+    FaultEnd {
+        /// Pairs this end with its [`TraceEvent::FaultBegin`].
+        fault_id: u64,
+        /// How the fault was resolved.
+        resolution: FaultResolution,
+    },
+    /// The paging daemon wrote a dirty page to its pager (§3.1).
+    PageoutWrite,
+    /// The paging daemon reclaimed a clean page without I/O.
+    Reclaim,
+    /// A referenced inactive page got its second chance.
+    Reactivate,
+    /// A shadow object was fully collapsed into its referencer (§3.5).
+    ShadowCollapse,
+    /// A fully-obscured shadow object was bypassed (§3.5).
+    ShadowBypass,
+    /// The kernel sent a pager-protocol message (Table 3-1).
+    PagerRequest {
+        /// Which message.
+        msg: PagerMsg,
+    },
+    /// The kernel received (or synthesised, for internal pagers) a
+    /// pager-protocol reply (Table 3-2).
+    PagerReply {
+        /// Which message.
+        msg: PagerMsg,
+    },
+    /// One coalesced TLB-shootdown round was issued (§5.2).
+    ShootdownRound {
+        /// Bitmask of the CPUs the round targeted.
+        cpu_mask: u64,
+        /// Number of pages the round's flush scopes covered.
+        pages: u64,
+    },
+}
+
+/// One trace record: an event plus its attribution stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Global emission order (monotone across CPUs).
+    pub seq: u64,
+    /// The emitting CPU's simulated cycle clock (`mach-hw` cost model).
+    /// Only comparable between records of the same CPU.
+    pub cycles: u64,
+    /// The emitting CPU.
+    pub cpu: u32,
+    /// Owning task id (0 = kernel / daemon / unattributed).
+    pub task: u64,
+    /// Memory-object id (0 = not applicable / unknown).
+    pub object: u64,
+    /// Byte offset within the object (for [`TraceEvent::FaultBegin`] and
+    /// failed ends: the faulting virtual address).
+    pub offset: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A fixed-capacity overwrite-oldest ring of records.
+#[derive(Debug, Default)]
+struct Ring {
+    cap: usize,
+    slots: Vec<TraceRecord>,
+    /// Next write position (== oldest slot once full).
+    next: usize,
+    /// Records ever pushed since the last enable.
+    written: u64,
+}
+
+impl Ring {
+    fn push(&mut self, rec: TraceRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.slots.len() < self.cap {
+            self.slots.push(rec);
+        } else {
+            self.slots[self.next] = rec;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.written += 1;
+    }
+
+    fn reset(&mut self, cap: usize) {
+        self.cap = cap;
+        self.slots.clear();
+        self.next = 0;
+        self.written = 0;
+    }
+
+    /// Records oldest → newest.
+    fn snapshot(&self) -> Vec<TraceRecord> {
+        if self.slots.len() < self.cap {
+            self.slots.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.slots.len());
+            out.extend_from_slice(&self.slots[self.next..]);
+            out.extend_from_slice(&self.slots[..self.next]);
+            out
+        }
+    }
+}
+
+/// The kernel-wide trace sink: one ring per CPU, behind an enable flag.
+///
+/// Lives in [`crate::CoreRefs`]; every emission site calls
+/// [`TraceSink::emit`], whose disabled fast path is a single relaxed
+/// atomic load — a branch, not a lock.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: AtomicBool,
+    next_seq: AtomicU64,
+    next_fault_id: AtomicU64,
+    rings: Vec<Mutex<Ring>>,
+}
+
+impl TraceSink {
+    /// A disabled sink with one ring per CPU.
+    pub fn new(n_cpus: usize) -> TraceSink {
+        TraceSink {
+            enabled: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            next_fault_id: AtomicU64::new(0),
+            rings: (0..n_cpus.max(1))
+                .map(|_| Mutex::new(Ring::default()))
+                .collect(),
+        }
+    }
+
+    /// Start capturing, keeping the last `capacity_per_cpu` records on
+    /// each CPU. Clears any previous capture.
+    pub fn enable(&self, capacity_per_cpu: usize) {
+        for r in &self.rings {
+            r.lock().reset(capacity_per_cpu);
+        }
+        self.next_seq.store(0, Ordering::SeqCst);
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop capturing (captured records remain until the next enable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the sink is currently capturing.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A fresh fault id for pairing `FaultBegin`/`FaultEnd`, or 0 when
+    /// tracing is disabled (analyzers ignore id 0).
+    #[inline]
+    pub fn next_fault_id(&self) -> u64 {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return 0;
+        }
+        self.next_fault_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Emit one event, stamped with the current CPU's simulated cycle
+    /// clock. A no-op branch when disabled.
+    #[inline]
+    pub fn emit(&self, machine: &Machine, task: u64, object: u64, offset: u64, event: TraceEvent) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.record(machine, task, object, offset, event);
+    }
+
+    fn record(&self, machine: &Machine, task: u64, object: u64, offset: u64, event: TraceEvent) {
+        let cpu = machine.current_cpu().min(self.rings.len() - 1);
+        let rec = TraceRecord {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            cycles: machine.clock().system_cycles(),
+            cpu: cpu as u32,
+            task,
+            object,
+            offset,
+            event,
+        };
+        self.rings[cpu].lock().push(rec);
+    }
+
+    /// Total records emitted since the last enable (including any that
+    /// have since been overwritten by ring wraparound).
+    pub fn total_written(&self) -> u64 {
+        self.rings.iter().map(|r| r.lock().written).sum()
+    }
+
+    /// Snapshot every CPU ring into one analyzable log, ordered by the
+    /// global sequence number.
+    pub fn snapshot(&self) -> TraceLog {
+        let mut records = Vec::new();
+        let mut written = 0u64;
+        for r in &self.rings {
+            let g = r.lock();
+            written += g.written;
+            records.extend(g.snapshot());
+        }
+        records.sort_unstable_by_key(|r| r.seq);
+        TraceLog { records, written }
+    }
+}
+
+/// Event totals reconstructed from a [`TraceLog`] alone — the cross-check
+/// against [`crate::stats::VmStats`] (see `examples/trace_timeline.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Faults begun ([`TraceEvent::FaultBegin`] count).
+    pub faults: u64,
+    /// Faults ended ([`TraceEvent::FaultEnd`] count).
+    pub fault_ends: u64,
+    /// Pager data requests (`PagerRequest { DataRequest }` count) — the
+    /// event twinned with the `pageins` counter bump.
+    pub pageins: u64,
+    /// Daemon pageout writes ([`TraceEvent::PageoutWrite`] count).
+    pub pageouts: u64,
+    /// Faults resolved by zero fill.
+    pub zero_fill: u64,
+    /// Faults resolved by a copy-on-write push.
+    pub cow_faults: u64,
+    /// Faults resolved by a resident page.
+    pub resident_hits: u64,
+    /// Faults that failed.
+    pub failed_faults: u64,
+    /// Clean reclaims.
+    pub reclaims: u64,
+    /// Second-chance reactivations.
+    pub reactivations: u64,
+    /// Shadow-chain collapses.
+    pub collapses: u64,
+    /// Shadow-chain bypasses.
+    pub bypasses: u64,
+    /// TLB shootdown rounds.
+    pub shootdown_rounds: u64,
+    /// Pages covered by those rounds.
+    pub shootdown_pages: u64,
+}
+
+/// Per-task or per-object event rollup derived from trace records — the
+/// attributable extension of `vm_statistics` this subsystem exists for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmRollup {
+    /// Faults ended against this task/object.
+    pub faults: u64,
+    /// … resolved by zero fill.
+    pub zero_fill: u64,
+    /// … resolved by a copy-on-write push.
+    pub cow_faults: u64,
+    /// … resolved by a resident page.
+    pub resident_hits: u64,
+    /// Pager data requests issued on this task's/object's behalf.
+    pub pageins: u64,
+    /// Dirty pages written out.
+    pub pageouts: u64,
+    /// Clean pages reclaimed.
+    pub reclaims: u64,
+    /// Pages reactivated.
+    pub reactivations: u64,
+    /// Shadow collapses (object attribution only).
+    pub collapses: u64,
+    /// Shadow bypasses (object attribution only).
+    pub bypasses: u64,
+}
+
+impl VmRollup {
+    fn absorb(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::FaultEnd { resolution, .. } => {
+                self.faults += 1;
+                match resolution {
+                    FaultResolution::ZeroFill => self.zero_fill += 1,
+                    FaultResolution::CowPush => self.cow_faults += 1,
+                    FaultResolution::ResidentHit => self.resident_hits += 1,
+                    FaultResolution::Pagein | FaultResolution::Failed => {}
+                }
+            }
+            TraceEvent::PagerRequest {
+                msg: PagerMsg::DataRequest,
+            } => self.pageins += 1,
+            TraceEvent::PageoutWrite => self.pageouts += 1,
+            TraceEvent::Reclaim => self.reclaims += 1,
+            TraceEvent::Reactivate => self.reactivations += 1,
+            TraceEvent::ShadowCollapse => self.collapses += 1,
+            TraceEvent::ShadowBypass => self.bypasses += 1,
+            _ => {}
+        }
+    }
+}
+
+/// A paired fault: begin and end records joined on their fault id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPair {
+    /// The pairing id.
+    pub fault_id: u64,
+    /// Owning task (0 = kernel).
+    pub task: u64,
+    /// Object finally mapped.
+    pub object: u64,
+    /// Offset finally mapped (or faulting VA on failure).
+    pub offset: u64,
+    /// CPU that handled the fault.
+    pub cpu: u32,
+    /// Resolution.
+    pub resolution: FaultResolution,
+    /// Cycle stamp at begin.
+    pub begin_cycles: u64,
+    /// Cycle stamp at end.
+    pub end_cycles: u64,
+}
+
+impl FaultPair {
+    /// Simulated cycles spent handling the fault (begin and end are
+    /// stamped by the same CPU's clock, so the difference is meaningful).
+    pub fn latency_cycles(&self) -> u64 {
+        self.end_cycles.saturating_sub(self.begin_cycles)
+    }
+}
+
+/// A captured, ordered trace: the unit of offline analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// Retained records, ordered by global sequence number.
+    pub records: Vec<TraceRecord>,
+    /// Records emitted since enable — `written > records.len()` means the
+    /// rings wrapped and the oldest records were overwritten.
+    pub written: u64,
+}
+
+impl TraceLog {
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether any ring overwrote old records.
+    pub fn wrapped(&self) -> bool {
+        self.written > self.records.len() as u64
+    }
+
+    /// Reconstruct event totals from the retained records alone.
+    pub fn totals(&self) -> TraceTotals {
+        let mut t = TraceTotals::default();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::FaultBegin { .. } => t.faults += 1,
+                TraceEvent::FaultEnd { resolution, .. } => {
+                    t.fault_ends += 1;
+                    match resolution {
+                        FaultResolution::ZeroFill => t.zero_fill += 1,
+                        FaultResolution::CowPush => t.cow_faults += 1,
+                        FaultResolution::ResidentHit => t.resident_hits += 1,
+                        FaultResolution::Failed => t.failed_faults += 1,
+                        FaultResolution::Pagein => {}
+                    }
+                }
+                TraceEvent::PagerRequest {
+                    msg: PagerMsg::DataRequest,
+                } => t.pageins += 1,
+                TraceEvent::PageoutWrite => t.pageouts += 1,
+                TraceEvent::Reclaim => t.reclaims += 1,
+                TraceEvent::Reactivate => t.reactivations += 1,
+                TraceEvent::ShadowCollapse => t.collapses += 1,
+                TraceEvent::ShadowBypass => t.bypasses += 1,
+                TraceEvent::ShootdownRound { pages, .. } => {
+                    t.shootdown_rounds += 1;
+                    t.shootdown_pages += pages;
+                }
+                TraceEvent::PagerRequest { .. } | TraceEvent::PagerReply { .. } => {}
+            }
+        }
+        t
+    }
+
+    /// Join `FaultBegin`/`FaultEnd` records on their fault id. Unpaired
+    /// records (wraparound casualties, or id 0 from a mid-fault enable)
+    /// are dropped.
+    pub fn fault_pairs(&self) -> Vec<FaultPair> {
+        let mut begins: BTreeMap<u64, &TraceRecord> = BTreeMap::new();
+        let mut pairs = Vec::new();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::FaultBegin { fault_id } if fault_id != 0 => {
+                    begins.insert(fault_id, r);
+                }
+                TraceEvent::FaultEnd {
+                    fault_id,
+                    resolution,
+                } if fault_id != 0 => {
+                    if let Some(b) = begins.remove(&fault_id) {
+                        pairs.push(FaultPair {
+                            fault_id,
+                            task: r.task,
+                            object: r.object,
+                            offset: r.offset,
+                            cpu: b.cpu,
+                            resolution,
+                            begin_cycles: b.cycles,
+                            end_cycles: r.cycles,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        pairs
+    }
+
+    /// Fault-latency histogram over every paired fault, in simulated
+    /// cycles. Filter [`TraceLog::fault_pairs`] first for per-resolution
+    /// or per-task histograms.
+    pub fn latency_histogram(&self) -> Histogram {
+        Histogram::from_values(
+            self.fault_pairs()
+                .iter()
+                .map(FaultPair::latency_cycles)
+                .collect(),
+        )
+    }
+
+    /// Per-task rollups (task 0 collects kernel/daemon work).
+    pub fn by_task(&self) -> BTreeMap<u64, VmRollup> {
+        let mut out: BTreeMap<u64, VmRollup> = BTreeMap::new();
+        for r in &self.records {
+            out.entry(r.task).or_default().absorb(&r.event);
+        }
+        out
+    }
+
+    /// Per-object rollups (object 0 collects unattributed work).
+    pub fn by_object(&self) -> BTreeMap<u64, VmRollup> {
+        let mut out: BTreeMap<u64, VmRollup> = BTreeMap::new();
+        for r in &self.records {
+            out.entry(r.object).or_default().absorb(&r.event);
+        }
+        out
+    }
+
+    /// The pager request/reply interleaving: every `PagerRequest` /
+    /// `PagerReply` record in emission order.
+    pub fn pager_timeline(&self) -> Vec<TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::PagerRequest { .. } | TraceEvent::PagerReply { .. }
+                )
+            })
+            .copied()
+            .collect()
+    }
+}
+
+/// A power-of-two-bucket latency histogram with summary percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    values: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build from raw samples.
+    pub fn from_values(mut values: Vec<u64>) -> Histogram {
+        values.sort_unstable();
+        Histogram { values }
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `p`-th percentile sample (0.0 ..= 1.0), or 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let idx = ((self.values.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.values.first().copied().unwrap_or(0)
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        self.values.iter().sum::<u64>() / self.values.len() as u64
+    }
+
+    /// `(bucket_floor, count)` rows: bucket `k` holds samples in
+    /// `[2^k, 2^(k+1))` (bucket 0 holds 0 and 1).
+    pub fn buckets(&self) -> Vec<(u64, usize)> {
+        let mut rows: BTreeMap<u32, usize> = BTreeMap::new();
+        for &v in &self.values {
+            let k = 64 - v.max(1).leading_zeros() - 1;
+            *rows.entry(k).or_default() += 1;
+        }
+        rows.into_iter().map(|(k, n)| (1u64 << k, n)).collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return writeln!(f, "  (no samples)");
+        }
+        let rows = self.buckets();
+        let widest = rows.iter().map(|&(_, n)| n).max().unwrap_or(1);
+        for (floor, n) in rows {
+            let bar = "#".repeat((n * 40).div_ceil(widest.max(1)));
+            writeln!(f, "  {floor:>10} cycles │{bar:<40}│ {n}")?;
+        }
+        writeln!(
+            f,
+            "  n={} min={} p50={} p95={} max={} mean={}",
+            self.count(),
+            self.min(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.max(),
+            self.mean(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    fn machine() -> std::sync::Arc<Machine> {
+        Machine::boot(MachineModel::micro_vax_ii())
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let m = machine();
+        let sink = TraceSink::new(m.n_cpus());
+        sink.emit(&m, 1, 2, 3, TraceEvent::Reclaim);
+        assert_eq!(sink.total_written(), 0);
+        assert!(sink.snapshot().is_empty());
+        assert_eq!(sink.next_fault_id(), 0, "disabled sink hands out id 0");
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let m = machine();
+        let sink = TraceSink::new(1);
+        sink.enable(4);
+        for i in 0..10u64 {
+            sink.emit(&m, i, 0, 0, TraceEvent::Reclaim);
+        }
+        let log = sink.snapshot();
+        assert_eq!(log.written, 10);
+        assert_eq!(log.len(), 4);
+        assert!(log.wrapped());
+        // The newest four, in order.
+        let tasks: Vec<u64> = log.records.iter().map(|r| r.task).collect();
+        assert_eq!(tasks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn fault_pairing_and_histogram() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let sink = TraceSink::new(m.n_cpus());
+        sink.enable(64);
+        let id = sink.next_fault_id();
+        sink.emit(&m, 7, 0, 0x1000, TraceEvent::FaultBegin { fault_id: id });
+        m.charge(500);
+        sink.emit(
+            &m,
+            7,
+            42,
+            0,
+            TraceEvent::FaultEnd {
+                fault_id: id,
+                resolution: FaultResolution::ZeroFill,
+            },
+        );
+        let log = sink.snapshot();
+        let pairs = log.fault_pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].task, 7);
+        assert_eq!(pairs[0].object, 42);
+        assert_eq!(pairs[0].resolution, FaultResolution::ZeroFill);
+        assert!(pairs[0].latency_cycles() >= 500);
+        let h = log.latency_histogram();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 500);
+        assert!(h.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn rollups_attribute_by_task_and_object() {
+        let m = machine();
+        let sink = TraceSink::new(m.n_cpus());
+        sink.enable(64);
+        sink.emit(
+            &m,
+            1,
+            10,
+            0,
+            TraceEvent::FaultEnd {
+                fault_id: 1,
+                resolution: FaultResolution::CowPush,
+            },
+        );
+        sink.emit(
+            &m,
+            2,
+            10,
+            0,
+            TraceEvent::PagerRequest {
+                msg: PagerMsg::DataRequest,
+            },
+        );
+        sink.emit(&m, 0, 11, 0, TraceEvent::PageoutWrite);
+        let log = sink.snapshot();
+        let by_task = log.by_task();
+        assert_eq!(by_task[&1].cow_faults, 1);
+        assert_eq!(by_task[&2].pageins, 1);
+        assert_eq!(by_task[&0].pageouts, 1);
+        let by_obj = log.by_object();
+        assert_eq!(by_obj[&10].faults, 1);
+        assert_eq!(by_obj[&10].pageins, 1);
+        assert_eq!(by_obj[&11].pageouts, 1);
+        let t = log.totals();
+        assert_eq!(t.pageins, 1);
+        assert_eq!(t.pageouts, 1);
+        assert_eq!(t.cow_faults, 1);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let h = Histogram::from_values(vec![1, 2, 3, 4, 100]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.min(), 1);
+        assert!(!h.buckets().is_empty());
+    }
+}

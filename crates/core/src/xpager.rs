@@ -28,6 +28,7 @@ use crate::ctx::CoreRefs;
 use crate::fault::supply_data;
 use crate::object::VmObject;
 use crate::pager::{Pager, PagerIdent, PagerReply};
+use crate::trace::{PagerMsg, TraceEvent};
 use crate::types::VmError;
 
 /// Message operation codes for the pager protocol.
@@ -184,12 +185,29 @@ fn handle_pager_message(
             // [offset, data, lock_value]
             let offset = msg.u64(0) - base;
             let data = msg.bytes(1);
-            supply_data(ctx, obj, ctx.trunc_page(offset), Some(data));
+            let off = ctx.trunc_page(offset);
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                off,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::DataProvided,
+                },
+            );
+            supply_data(ctx, obj, off, Some(data));
         }
         ops::PAGER_DATA_UNAVAILABLE => {
             // [offset, size] — zero-fill the whole range.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let size = ctx.round_page(msg.u64(1)).max(page);
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                offset,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::DataUnavailable,
+                },
+            );
             let mut off = offset;
             while off < offset + size {
                 supply_data(ctx, obj, off, None);
@@ -203,6 +221,14 @@ fn handle_pager_message(
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let length = ctx.round_page(msg.u64(1)).max(page);
             let revoke = crate::types::Protection::from_bits(msg.u64(2) as u8);
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                offset,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::DataLock,
+                },
+            );
             {
                 let mut s = obj.lock();
                 let mut off = offset;
@@ -234,6 +260,14 @@ fn handle_pager_message(
             // [offset, length]: push modified cached pages back.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let length = ctx.round_page(msg.u64(1)).max(page);
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                offset,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::CleanRequest,
+                },
+            );
             for (off, p) in resident_range(obj, offset, length) {
                 let pa = p.base(page);
                 let dirty =
@@ -249,6 +283,14 @@ fn handle_pager_message(
                         .with(MsgField::U64(off + base))
                         .with(MsgField::Bytes(Arc::new(buf))),
                 );
+                ctx.trace_emit(
+                    0,
+                    obj.id(),
+                    off,
+                    TraceEvent::PagerRequest {
+                        msg: PagerMsg::DataWrite,
+                    },
+                );
                 ctx.machdep.clear_modify(pa, page);
                 ctx.resident.with_page(p, |i| i.dirty = false);
             }
@@ -257,6 +299,14 @@ fn handle_pager_message(
             // [offset, length]: destroy cached pages.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let length = ctx.round_page(msg.u64(1)).max(page);
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                offset,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::FlushRequest,
+                },
+            );
             for (off, p) in resident_range(obj, offset, length) {
                 let busy = ctx.resident.with_page(p, |i| i.busy || i.wire_count > 0);
                 if busy {
@@ -276,9 +326,25 @@ fn handle_pager_message(
             }
         }
         ops::PAGER_READONLY => {
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                0,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::Readonly,
+                },
+            );
             obj.lock().pager_readonly = true;
         }
         ops::PAGER_CACHE => {
+            ctx.trace_emit(
+                0,
+                obj.id(),
+                0,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::Cache,
+                },
+            );
             obj.lock().can_persist = msg.bool(0);
         }
         other => {

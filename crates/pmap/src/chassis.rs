@@ -31,7 +31,7 @@ use mach_hw::tlb::FlushScope;
 
 use crate::core::MdCore;
 use crate::soft::SoftPmap;
-use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownPolicy};
+use crate::{HwMapper, MachDep, Pending, Pmap, PmapStats, ShootdownObserver, ShootdownPolicy};
 
 /// What a hardware slot held before an [`HwTables::insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -576,6 +576,10 @@ impl<F: PortFactory> MachDep for ChassisMachDep<F> {
 
     fn set_shootdown_policy(&self, policy: ShootdownPolicy) {
         *self.core.policy.write() = policy;
+    }
+
+    fn set_shootdown_observer(&self, observer: ShootdownObserver) {
+        self.core.set_observer(observer);
     }
 
     fn stats(&self) -> PmapStats {

@@ -11,7 +11,7 @@ use mach_hw::Pfn;
 use parking_lot::{Mutex, RwLock};
 
 use crate::pv::{PvTable, ATTR_MOD, ATTR_REF};
-use crate::{Counters, Pending, ShootdownPolicy, ShootdownStrategy};
+use crate::{Counters, Pending, ShootdownObserver, ShootdownPolicy, ShootdownStrategy};
 
 /// Turn a CPU bitmask into a target list.
 pub(crate) fn cpu_list(mask: u64, n_cpus: usize) -> Vec<usize> {
@@ -36,7 +36,6 @@ struct DeferredFlush {
 }
 
 /// Shared state of one machine-dependent module instance.
-#[derive(Debug)]
 #[doc(hidden)]
 pub struct MdCore {
     pub machine: Arc<Machine>,
@@ -45,6 +44,16 @@ pub struct MdCore {
     pub counters: Counters,
     deferred: Mutex<Vec<DeferredFlush>>,
     next_id: AtomicU64,
+    observer: RwLock<Option<ShootdownObserver>>,
+}
+
+impl std::fmt::Debug for MdCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MdCore")
+            .field("policy", &*self.policy.read())
+            .field("observer", &self.observer.read().is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl MdCore {
@@ -56,7 +65,13 @@ impl MdCore {
             counters: Counters::default(),
             deferred: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            observer: RwLock::new(None),
         }
+    }
+
+    /// Install the per-round shootdown callback (see [`ShootdownObserver`]).
+    pub fn set_observer(&self, observer: ShootdownObserver) {
+        *self.observer.write() = Some(observer);
     }
 
     pub fn next_id(&self) -> u64 {
@@ -106,6 +121,7 @@ impl MdCore {
                 // range operation instead of one per page.
                 let sent = self.machine.shootdown_multi(&targets, &scopes, true);
                 self.count_round(sent);
+                self.notify_round(cpus, pages.len() as u64);
                 Pending::complete()
             }
             ShootdownStrategy::Deferred => {
@@ -161,9 +177,17 @@ impl MdCore {
             // queued against it.
             let sent = self.machine.shootdown_multi(&targets, &scopes, true);
             self.count_round(sent);
+            self.notify_round(cpus, flushes.len() as u64);
             for f in flushes {
                 f.done.store(true, Ordering::Release);
             }
+        }
+    }
+
+    /// Tell the installed observer (if any) about one issued round.
+    fn notify_round(&self, cpu_mask: u64, pages: u64) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs(cpu_mask, pages);
         }
     }
 

@@ -181,6 +181,13 @@ impl ShootdownPolicy {
     }
 }
 
+/// Callback invoked after each issued TLB-shootdown round with
+/// `(cpu_mask, pages)`: the bitmask of target CPUs and the number of
+/// flush scopes the round carried. This is how the machine-independent
+/// trace layer records `ShootdownRound` events without this crate
+/// depending on it.
+pub type ShootdownObserver = Arc<dyn Fn(u64, u64) + Send + Sync>;
+
 /// A handle on deferred TLB-flush work; complete after the next
 /// [`MachDep::update`] (or immediately, for non-deferred strategies).
 #[derive(Debug, Clone, Default)]
@@ -335,6 +342,11 @@ pub trait MachDep: Send + Sync + fmt::Debug {
 
     /// Replace the shootdown policy (ablations).
     fn set_shootdown_policy(&self, policy: ShootdownPolicy);
+
+    /// Install a callback invoked after every issued shootdown round (see
+    /// [`ShootdownObserver`]). The default discards it — a port that never
+    /// issues rounds has nothing to report.
+    fn set_shootdown_observer(&self, _observer: ShootdownObserver) {}
 
     /// Statistics snapshot.
     fn stats(&self) -> PmapStats;

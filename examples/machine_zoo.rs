@@ -6,8 +6,10 @@
 //! cargo run --example machine_zoo
 //! ```
 
+use mach_bench::traced;
 use mach_hw::machine::{Machine, MachineModel};
 use mach_vm::kernel::Kernel;
+use mach_vm::trace::TraceLog;
 use mach_vm::types::Inheritance;
 
 /// A workload that knows nothing about hardware: fork trees, sharing,
@@ -72,7 +74,10 @@ fn main() {
         let name = model.name;
         let machine = Machine::boot(model);
         let kernel = Kernel::boot(&machine);
-        let (faults, cow, table_bytes) = machine_independent_workload(&kernel);
+        // The same workload runs traced: the event ring reconstructs each
+        // port's fault-latency distribution without touching the workload.
+        let (log, (faults, cow, table_bytes)) =
+            traced(&kernel, 65_536, || machine_independent_workload(&kernel));
         let md = kernel.machdep().stats();
         println!(
             "{:<18} {:>8} {:>6} {:>6} {:>9} {:>9} {:>8} {:>12}",
@@ -85,7 +90,7 @@ fn main() {
             format!("{}/{}", md.context_steals, md.pmeg_steals),
             table_bytes,
         );
-        pmap_rows.push((name, md));
+        pmap_rows.push((name, md, log));
     }
     println!();
     println!("Same workload, same machine-independent kernel. The differences are");
@@ -102,7 +107,7 @@ fn main() {
         "{:<18} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
         "pmap (chassis)", "enters", "removes", "protects", "deferred", "rounds", "flush ipis"
     );
-    for (name, md) in &pmap_rows {
+    for (name, md, _) in &pmap_rows {
         println!(
             "{:<18} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
             name,
@@ -118,4 +123,32 @@ fn main() {
     println!("Every flush round covers all the pages an operation touched: on a");
     println!("uniprocessor the IPI column stays 0, and on a multiprocessor it");
     println!("counts one interrupt per remote CPU per round, not per page.");
+
+    // Per-port fault latency from the trace ring: the fault path is the
+    // same machine-independent code everywhere, so the spread between
+    // rows is the cost of each port's hardware tables.
+    println!();
+    println!(
+        "{:<18} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "fault latency", "faults", "p50 cyc", "p95 cyc", "max cyc", "mean cyc"
+    );
+    for (name, _, log) in &pmap_rows {
+        print_latency_row(name, log);
+    }
+    println!();
+    println!("Latencies come from pairing FaultBegin/FaultEnd events in the VM");
+    println!("trace ring (see docs/TRACING.md) — no workload instrumentation.");
+}
+
+fn print_latency_row(name: &str, log: &TraceLog) {
+    let h = log.latency_histogram();
+    println!(
+        "{:<18} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        name,
+        h.count(),
+        h.percentile(50.0),
+        h.percentile(95.0),
+        h.max(),
+        h.mean(),
+    );
 }

@@ -358,6 +358,39 @@ fn statistics_accounting_invariant() {
     assert!(s.wire_count >= 4);
 }
 
+/// `vm_statistics` reports live queue occupancy, not zeros: after a
+/// workload that touches, wires and reclaims pages, every queue-derived
+/// field of the snapshot reflects the resident-page queues.
+#[test]
+fn vm_statistics_snapshot_includes_queue_counts() {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    let boot_stats = kernel.statistics();
+    assert!(boot_stats.free_count > 0, "fresh machine has free pages");
+
+    let task = kernel.create_task();
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, 32 * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, 32 * ps).unwrap());
+    kernel.vm_wire(&task, addr, 2 * ps).unwrap();
+    kernel.reclaim(4);
+
+    let s = kernel.statistics();
+    assert!(s.active_count >= 1, "touched pages sit on the active queue");
+    assert!(s.wire_count >= 2, "wired pages are counted");
+    assert!(
+        s.free_count < boot_stats.free_count,
+        "allocation consumed free pages"
+    );
+    assert!(
+        s.inactive_count >= 1,
+        "reclaim pressure populates the inactive queue"
+    );
+}
+
 /// Protection is a per-task attribute even for shared regions: task A
 /// making its own view read-only must not revoke task B's write access
 /// (B's hardware mapping may be over-invalidated, but B refaults and

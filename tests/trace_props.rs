@@ -1,0 +1,292 @@
+//! Properties of the VM event trace ring: the event stream is a faithful
+//! double-entry ledger of the Table 2-1 counters — every `FaultBegin`
+//! pairs with exactly one `FaultEnd` whose resolution matches the counter
+//! the fault bumped, even when the ring wraps and only a suffix survives.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_ipc::{Port, SendRight};
+use mach_vm::kernel::Kernel;
+use mach_vm::trace::{FaultResolution, PagerMsg, TraceEvent};
+use mach_vm::{serve_pager, UserPager};
+use proptest::prelude::*;
+
+const PS: u64 = 4096;
+
+fn boot() -> Arc<Kernel> {
+    Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `task % live` writes `page % 16`.
+    Write { task: u8, page: u8 },
+    /// `task % live` reads `page % 16`.
+    Read { task: u8, page: u8 },
+    /// Fork `task % live` (live task count capped at 6).
+    Fork { task: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(task, page)| Op::Write { task, page }),
+        (any::<u8>(), any::<u8>()).prop_map(|(task, page)| Op::Read { task, page }),
+        any::<u8>().prop_map(|task| Op::Fork { task }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With a ring large enough that nothing is lost, the trace totals
+    /// reproduce `vm_statistics` exactly for an arbitrary fork/write/read
+    /// workload, and every `FaultBegin` is paired by exactly one
+    /// `FaultEnd` whose resolution tallies with the counters.
+    #[test]
+    fn trace_totals_reproduce_vm_statistics(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let k = boot();
+        k.enable_tracing(65_536);
+        let root = k.create_task();
+        let addr = root
+            .map()
+            .allocate(k.ctx(), Some(0x10_0000), 16 * PS, false)
+            .unwrap();
+        let mut tasks = vec![root];
+        for op in ops {
+            match op {
+                Op::Write { task, page } => {
+                    let t = &tasks[task as usize % tasks.len()];
+                    let p = (page % 16) as u64;
+                    t.user(0, |u| u.write_u32(addr + p * PS, u32::from(page)).unwrap());
+                }
+                Op::Read { task, page } => {
+                    let t = &tasks[task as usize % tasks.len()];
+                    let p = (page % 16) as u64;
+                    t.user(0, |u| {
+                        u.read_u32(addr + p * PS).unwrap();
+                    });
+                }
+                Op::Fork { task } => {
+                    if tasks.len() < 6 {
+                        let child = tasks[task as usize % tasks.len()].fork();
+                        tasks.push(child);
+                    }
+                }
+            }
+        }
+
+        let log = k.trace_log();
+        let totals = log.totals();
+        let stats = k.statistics();
+
+        // Nothing wrapped, so the ledger is complete.
+        prop_assert!(!log.wrapped());
+        prop_assert_eq!(totals.faults, stats.faults);
+        prop_assert_eq!(totals.fault_ends, totals.faults, "every fault completed");
+        prop_assert_eq!(totals.zero_fill, stats.zero_fill_count);
+        prop_assert_eq!(totals.cow_faults, stats.cow_faults);
+        // A COW push first finds the backing page resident, so the
+        // resident_hits counter covers both resolutions.
+        prop_assert_eq!(
+            totals.resident_hits + totals.cow_faults,
+            stats.resident_hits
+        );
+        prop_assert_eq!(totals.pageins, 0u64, "no pager in this workload");
+        prop_assert_eq!(totals.failed_faults, 0u64);
+
+        // Begin/end records join into exactly one pair per fault.
+        let pairs = log.fault_pairs();
+        prop_assert_eq!(pairs.len() as u64, totals.faults);
+        let mut ids = std::collections::HashSet::new();
+        for p in &pairs {
+            prop_assert!(ids.insert(p.fault_id), "duplicate fault id");
+            prop_assert!(p.end_cycles >= p.begin_cycles);
+        }
+    }
+
+    /// Under wraparound only the newest records survive, but the survivors
+    /// stay consistent: every retained `FaultBegin` still pairs with
+    /// exactly one retained `FaultEnd`, and the retained pairs are exactly
+    /// the *suffix* of the known fault sequence with the right resolutions.
+    #[test]
+    fn wraparound_keeps_surviving_pairs_consistent(
+        n in 4u64..24,
+        m_seed in 0u64..32,
+        cap in 4usize..48,
+    ) {
+        let m = m_seed % n; // child rewrites pages 0..m, reads m..n
+        let k = boot();
+        k.enable_tracing(cap);
+        let parent = k.create_task();
+        let addr = parent
+            .map()
+            .allocate(k.ctx(), Some(0x10_0000), n * PS, false)
+            .unwrap();
+
+        // Known fault sequence: n zero-fills, then m COW pushes, then
+        // (n - m) resident hits.
+        let mut expected = Vec::new();
+        parent.user(0, |u| {
+            for p in 0..n {
+                u.write_u32(addr + p * PS, p as u32).unwrap();
+            }
+        });
+        expected.extend(std::iter::repeat_n(FaultResolution::ZeroFill, n as usize));
+        let child = parent.fork();
+        child.user(0, |u| {
+            for p in 0..m {
+                u.write_u32(addr + p * PS, 1000 + p as u32).unwrap();
+            }
+            for p in m..n {
+                u.read_u32(addr + p * PS).unwrap();
+            }
+        });
+        expected.extend(std::iter::repeat_n(FaultResolution::CowPush, m as usize));
+        expected.extend(std::iter::repeat_n(
+            FaultResolution::ResidentHit,
+            (n - m) as usize,
+        ));
+
+        let log = k.trace_log();
+        // 2n faults emit 4n records (plus shootdown noise), so a ring of
+        // `cap` slots must have wrapped whenever 4n exceeds it.
+        if 4 * n as usize > cap {
+            prop_assert!(log.wrapped());
+        }
+
+        // Retained begins each pair with exactly one retained end.
+        let mut begins = BTreeMap::new();
+        let mut ends: BTreeMap<u64, Vec<FaultResolution>> = BTreeMap::new();
+        for r in &log.records {
+            match r.event {
+                TraceEvent::FaultBegin { fault_id } => {
+                    prop_assert!(
+                        begins.insert(fault_id, r.seq).is_none(),
+                        "duplicate FaultBegin"
+                    );
+                }
+                TraceEvent::FaultEnd { fault_id, resolution } => {
+                    ends.entry(fault_id).or_default().push(resolution);
+                }
+                _ => {}
+            }
+        }
+        for id in begins.keys() {
+            prop_assert_eq!(
+                ends.get(id).map(Vec::len),
+                Some(1),
+                "FaultBegin {} must pair with exactly one FaultEnd",
+                id
+            );
+        }
+
+        // The pairs that survive are the newest K faults, in order, with
+        // the resolutions the workload dictates.
+        let pairs = log.fault_pairs();
+        let tail = &expected[expected.len() - pairs.len()..];
+        for (pair, want) in pairs.iter().zip(tail) {
+            prop_assert_eq!(pair.resolution, *want);
+        }
+    }
+}
+
+/// A pager that generates pages on demand and journals write-backs, for
+/// the deterministic pagein/pageout ledger test below.
+struct JournalPager {
+    written: HashMap<u64, Vec<u8>>,
+}
+
+impl UserPager for JournalPager {
+    fn init(&mut self, _object_id: u64, _request_port: &SendRight) {}
+
+    fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>> {
+        Some(match self.written.get(&offset) {
+            Some(d) => d.clone(),
+            None => (0..length).map(|i| ((offset + i) % 251) as u8).collect(),
+        })
+    }
+
+    fn write(&mut self, offset: u64, data: &[u8]) {
+        self.written.insert(offset, data.to_vec());
+    }
+}
+
+/// Pager traffic is double-entry too: pageins equal the kernel→pager
+/// `DataRequest` events and the pager→kernel `DataProvided` replies,
+/// pageouts equal the `PageoutWrite` events, and both match Table 2-1.
+#[test]
+fn pager_traffic_matches_counters() {
+    let mut model = MachineModel::micro_vax_ii();
+    model.mem_bytes = 2 << 20;
+    let machine = Machine::boot(model);
+    let kernel = Kernel::boot(&machine);
+    let ps = kernel.page_size();
+    kernel.enable_tracing(65_536);
+
+    let (pager_port, pager_rx) = Port::allocate("trace-props-pager", 64);
+    let server = std::thread::spawn(move || {
+        serve_pager(
+            &pager_rx,
+            JournalPager {
+                written: HashMap::new(),
+            },
+        )
+    });
+    let task = kernel.create_task();
+    let addr = kernel
+        .allocate_with_pager(&task, None, 64 * ps, true, pager_port, 0)
+        .unwrap();
+    task.user(0, |u| {
+        for p in 0..32u64 {
+            u.write_u32(addr + p * ps, p as u32).unwrap();
+        }
+    });
+    kernel.reclaim(24);
+    task.user(0, |u| {
+        for p in (0..32u64).step_by(3) {
+            assert_eq!(u.read_u32(addr + p * ps).unwrap(), p as u32);
+        }
+    });
+
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+    let totals = log.totals();
+    let stats = kernel.statistics();
+
+    assert!(!log.wrapped());
+    assert!(totals.pageins > 0, "workload must page in");
+    assert!(totals.pageouts > 0, "workload must page out");
+    assert_eq!(totals.pageins, stats.pageins);
+    assert_eq!(totals.pageouts, stats.pageouts);
+    assert_eq!(totals.faults, stats.faults);
+
+    let provided = log
+        .pager_timeline()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                TraceEvent::PagerReply {
+                    msg: PagerMsg::DataProvided
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(provided, totals.pageins, "every DataRequest was answered");
+
+    // Every pagein fault resolved as Pagein.
+    let pagein_pairs = log
+        .fault_pairs()
+        .iter()
+        .filter(|p| p.resolution == FaultResolution::Pagein)
+        .count() as u64;
+    assert_eq!(pagein_pairs, totals.pageins);
+
+    drop(task);
+    server.join().unwrap();
+}
