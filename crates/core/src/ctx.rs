@@ -5,6 +5,7 @@ use std::sync::Arc;
 use mach_hw::machine::Machine;
 use mach_pmap::MachDep;
 
+use crate::inject::Injector;
 use crate::object::ObjectCache;
 use crate::page::ResidentTable;
 use crate::pager::Pager;
@@ -40,6 +41,10 @@ pub struct CoreRefs {
     /// The VM event trace sink (disabled by default; a branch, not a
     /// lock, on every emission site — see [`crate::trace`]).
     pub trace: Arc<TraceSink>,
+    /// The deterministic fault-injection engine (inert unless the kernel
+    /// booted with an [`crate::BootOptions::inject`] plan — see
+    /// [`crate::inject`]).
+    pub injector: Arc<Injector>,
 }
 
 impl CoreRefs {

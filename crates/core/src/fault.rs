@@ -102,24 +102,36 @@ pub(crate) fn release_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, page: PageId, di
 
 /// Supply externally-provided data for `(obj, offset)`
 /// (`pager_data_provided`, Table 3-2). Fills a waiting busy page, or
-/// installs an unsolicited page.
-pub fn supply_data(ctx: &CoreRefs, obj: &Arc<VmObject>, offset: u64, data: Option<&[u8]>) {
+/// installs an unsolicited page. Returns whether the supply acted: a
+/// duplicate delivery for an already-filled page, or a supply to a
+/// quarantined (dead-pager) object, is ignored and returns `false` —
+/// the pager protocol is at-least-once, so dedup lives here.
+pub fn supply_data(ctx: &CoreRefs, obj: &Arc<VmObject>, offset: u64, data: Option<&[u8]>) -> bool {
     let page = {
         let mut s = obj.lock();
+        if s.pager_dead {
+            return false; // late reply from a pager declared dead
+        }
         match s.resident.get(&offset) {
-            Some(&p) => p,
+            Some(&p) => {
+                if !ctx.resident.with_page(p, |i| i.busy) {
+                    return false; // already filled: duplicate message
+                }
+                p
+            }
             None => {
                 match ctx.resident.alloc(obj.id(), offset, Arc::downgrade(obj)) {
                     Some(p) => {
                         s.resident.insert(offset, p);
                         p
                     }
-                    None => return, // no room for unsolicited data
+                    None => return false, // no room for unsolicited data
                 }
             }
         }
     };
     fill_and_release(ctx, obj, page, data, false);
+    true
 }
 
 /// Drop a busy placeholder page after a failed pager interaction.
@@ -142,10 +154,15 @@ fn abort_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, offset: u64, page: PageId) {
 ///
 /// # Errors
 ///
-/// [`VmError::PagerDied`] if the pager never answers.
+/// [`VmError::PagerDied`] if the pager never answers, or — immediately,
+/// without waiting out the timeout — if the object was quarantined
+/// because its pager died (the quarantine broadcasts `busy_wakeup`).
 fn wait_not_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, page: PageId) -> VmResult<()> {
     let mut s = obj.lock();
     loop {
+        if s.pager_dead {
+            return Err(VmError::PagerDied);
+        }
         let busy = ctx.resident.with_page(page, |p| {
             if p.busy {
                 p.wanted = true;
@@ -280,6 +297,9 @@ fn fault_body(
                 }
                 let deadline = std::time::Instant::now() + ctx.pager_timeout;
                 loop {
+                    if s.pager_dead {
+                        return Err(VmError::PagerDied); // quarantined: fail fast
+                    }
                     let still = s.locks.get(&first_offset).copied().unwrap_or(0);
                     if still & access.bits() == 0 {
                         break;
@@ -306,6 +326,9 @@ fn fault_body(
                     p.busy
                 });
                 if busy {
+                    if s.pager_dead {
+                        return Err(VmError::PagerDied); // quarantined: fail fast
+                    }
                     // Someone is filling it; sleep and restart the fault.
                     if obj
                         .busy_wakeup
@@ -321,6 +344,11 @@ fn fault_body(
                 break (Arc::clone(&obj), page, offset);
             }
             if let Some(pager) = s.pager.clone() {
+                if s.pager_dead {
+                    // Quarantined (the pager task died): reject new faults
+                    // immediately instead of sending requests into a void.
+                    return Err(VmError::PagerDied);
+                }
                 let page = match ctx.resident.alloc(obj.id(), offset, Arc::downgrade(&obj)) {
                     Some(p) => p,
                     None => {
@@ -341,7 +369,18 @@ fn fault_body(
                         msg: PagerMsg::DataRequest,
                     },
                 );
-                match pager.data_request(obj.id(), offset, page_size) {
+                // Transient backing-store errors get a short bounded retry
+                // before the fault is failed — a busy device is not a
+                // dead pager.
+                let mut reply = pager.data_request(obj.id(), offset, page_size);
+                let mut attempt = 0u32;
+                while matches!(reply, PagerReply::Error(VmError::DeviceBusy)) && attempt < 3 {
+                    attempt += 1;
+                    ctx.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+                    reply = pager.data_request(obj.id(), offset, page_size);
+                }
+                match reply {
                     PagerReply::Data(d) => {
                         // Internal pagers answer synchronously; the reply
                         // event is synthesised here. External pagers return
@@ -380,6 +419,12 @@ fn fault_body(
                     },
                     PagerReply::Error(e) => {
                         abort_busy(ctx, &obj, offset, page);
+                        if e == VmError::PagerDied {
+                            // The proxy saw a dead port (or injected
+                            // death): quarantine so later faults on this
+                            // object fail fast, not after a timeout.
+                            object::quarantine(&obj, ctx);
+                        }
                         return Err(e);
                     }
                 }

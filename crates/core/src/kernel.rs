@@ -11,6 +11,7 @@ use mach_pmap::MachDep;
 
 use crate::ctx::CoreRefs;
 use crate::fault::vm_fault;
+use crate::inject::{InjectKind, InjectPlan, Injector};
 use crate::object::{ObjectCache, VmObject};
 use crate::page::{PageId, ResidentTable};
 use crate::pager::{DefaultPager, InodePager};
@@ -37,6 +38,9 @@ pub struct BootOptions {
     /// protect itself from misbehaving pagers"). Tests exercising dead
     /// pagers shrink this to keep runtimes sane.
     pub pager_timeout: std::time::Duration,
+    /// Deterministic fault-injection plan (see [`crate::inject`]); `None`
+    /// boots an inert chaos layer that costs one branch per site.
+    pub inject: Option<InjectPlan>,
 }
 
 impl BootOptions {
@@ -48,8 +52,25 @@ impl BootOptions {
             object_cache_capacity: 64,
             pmap_reserve_den: 8,
             pager_timeout: std::time::Duration::from_secs(5),
+            inject: None,
         }
     }
+}
+
+/// Wire the chaos layer into a block device: its `try_*` transfer paths
+/// consult the injector for transient/permanent I/O errors (block number
+/// becomes the logged offset).
+fn install_device_faults(injector: &Arc<Injector>, dev: &Arc<mach_fs::BlockDevice>) {
+    let inj = Arc::clone(injector);
+    dev.set_fault_hook(Some(Arc::new(move |_op, block| {
+        if inj.fire(InjectKind::IoPermanent, 0, block) {
+            Some(mach_fs::IoError::Permanent)
+        } else if inj.fire(InjectKind::IoTransient, 0, block) {
+            Some(mach_fs::IoError::Transient)
+        } else {
+            None
+        }
+    })));
 }
 
 /// The booted machine-independent VM system.
@@ -110,6 +131,10 @@ impl Kernel {
         }
         assert!(donated > 16, "machine too small for this page size");
 
+        let injector = match &opts.inject {
+            Some(plan) => Injector::new(plan.clone()),
+            None => Injector::disabled(),
+        };
         let ctx = Arc::new(CoreRefs {
             machine: Arc::clone(machine),
             machdep,
@@ -121,6 +146,7 @@ impl Kernel {
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: opts.pager_timeout,
             trace: Arc::new(TraceSink::new(machine.n_cpus())),
+            injector,
         });
         // Let the machine-dependent layer report shootdown rounds into the
         // trace (the sink itself gates on enabled, so this costs a branch).
@@ -131,6 +157,15 @@ impl Kernel {
                 .set_shootdown_observer(Arc::new(move |cpu_mask, pages| {
                     sink.emit(&m, 0, 0, 0, TraceEvent::ShootdownRound { cpu_mask, pages });
                 }));
+        }
+        // And let every injected fault show up in the same trace ring.
+        if ctx.injector.is_enabled() {
+            let sink = Arc::clone(&ctx.trace);
+            let m = Arc::clone(machine);
+            ctx.injector
+                .set_observer(Some(Arc::new(move |kind, object, offset| {
+                    sink.emit(&m, 0, object, offset, TraceEvent::Injected { kind });
+                })));
         }
         Arc::new(Kernel {
             ctx,
@@ -177,6 +212,12 @@ impl Kernel {
     /// The kernel's trace sink.
     pub fn trace(&self) -> &Arc<TraceSink> {
         &self.ctx.trace
+    }
+
+    /// The fault-injection engine (inert unless booted with
+    /// [`BootOptions::inject`]).
+    pub fn injector(&self) -> &Arc<Injector> {
+        &self.ctx.injector
     }
 
     /// Start capturing VM events, keeping the last `capacity_per_cpu`
@@ -234,13 +275,30 @@ impl Kernel {
     ///
     /// Panics if the paging file cannot be created.
     pub fn boot_with_paging_file(machine: &Arc<Machine>, fs: &Arc<SimFs>) -> Arc<Kernel> {
-        let opts = BootOptions::for_machine(machine);
+        Kernel::boot_with_paging_file_opts(machine, fs, BootOptions::for_machine(machine))
+    }
+
+    /// [`Kernel::boot_with_paging_file`] with explicit [`BootOptions`] —
+    /// the combination the chaos suites use (seeded injection plus a
+    /// paging file whose device can fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the paging file cannot be created.
+    pub fn boot_with_paging_file_opts(
+        machine: &Arc<Machine>,
+        fs: &Arc<SimFs>,
+        opts: BootOptions,
+    ) -> Arc<Kernel> {
         let kernel = Kernel::boot_with(machine, opts);
         // Rebuild the context with an fs-backed default pager: done at
         // boot time before any task exists, so the swap is safe.
         let pager =
             DefaultPager::on_fs(machine, fs, kernel.ctx().page_size).expect("create paging file");
         let old = Arc::clone(&kernel.ctx);
+        if old.injector.is_enabled() {
+            install_device_faults(&old.injector, fs.device());
+        }
         let ctx = Arc::new(CoreRefs {
             machine: Arc::clone(&old.machine),
             machdep: Arc::clone(&old.machdep),
@@ -252,8 +310,10 @@ impl Kernel {
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: old.pager_timeout,
             // Shared with the first boot's context so the shootdown
-            // observer installed there keeps feeding the same sink.
+            // observer installed there keeps feeding the same sink, and
+            // one injector drives one deterministic draw sequence.
             trace: Arc::clone(&old.trace),
+            injector: Arc::clone(&old.injector),
         });
         Arc::new(Kernel {
             ctx,
@@ -282,6 +342,9 @@ impl Kernel {
     ) -> VmResult<u64> {
         let size = fs.size(file).map_err(|_| VmError::InvalidAddress)?;
         let size = self.ctx.round_page(size.max(1));
+        if self.ctx.injector.is_enabled() {
+            install_device_faults(&self.ctx.injector, fs.device());
+        }
         let ident = InodePager::ident_for(fs, file);
         let object = match self.ctx.cache.lookup(&ident) {
             Some(o) => {
@@ -333,11 +396,10 @@ impl Kernel {
     ) -> VmResult<u64> {
         let size = self.ctx.round_page(size);
         let (req_tx, req_rx) = Port::allocate("paging-object-request", 64);
-        let proxy = Arc::new(ExternalPagerProxy::new(
-            pager_port.clone(),
-            req_tx.clone(),
-            offset,
-        ));
+        let proxy = Arc::new(
+            ExternalPagerProxy::new(pager_port.clone(), req_tx.clone(), offset)
+                .with_injector(Arc::clone(&self.ctx.injector)),
+        );
         let object = VmObject::new_with_pager(size, proxy, false);
         pager_port
             .send(

@@ -51,6 +51,7 @@
 
 pub mod ctx;
 pub mod fault;
+pub mod inject;
 pub mod kernel;
 pub mod map;
 pub mod msg;
@@ -65,6 +66,7 @@ pub mod types;
 pub mod xpager;
 
 pub use ctx::CoreRefs;
+pub use inject::{InjectKind, InjectPlan, InjectedEvent, Injector};
 pub use kernel::{BootOptions, Kernel};
 pub use map::{RegionInfo, VmMap};
 pub use msg::RegionTicket;

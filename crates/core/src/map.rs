@@ -1047,6 +1047,7 @@ mod tests {
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: std::time::Duration::from_secs(5),
             trace,
+            injector: crate::inject::Injector::disabled(),
         })
     }
 

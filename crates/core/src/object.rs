@@ -63,6 +63,11 @@ pub struct ObjState {
     /// offset → protection bits the pager has *revoked*. Faults needing a
     /// revoked access send `pager_data_unlock` and wait.
     pub locks: HashMap<u64, u8>,
+    /// The object's pager died (its port vanished, or the chaos layer
+    /// killed it). In-flight and future faults fail fast with
+    /// [`crate::types::VmError::PagerDied`] instead of waiting out
+    /// `pager_timeout` — see [`quarantine`].
+    pub pager_dead: bool,
 }
 
 /// A Mach memory object.
@@ -93,6 +98,7 @@ impl VmObject {
                 paging_in_progress: 0,
                 pager_readonly: false,
                 locks: HashMap::new(),
+                pager_dead: false,
             }),
             busy_wakeup: Condvar::new(),
         })
@@ -186,6 +192,48 @@ fn release_pages(obj: &VmObject, ctx: &CoreRefs) {
         });
         ctx.resident.free_page(page);
     }
+}
+
+/// Quarantine `obj` after its pager died — for real (its port vanished)
+/// or by injection ([`crate::inject::InjectKind::PagerDeath`]).
+///
+/// Marks the object dead so every fault blocked on it wakes *now* and
+/// fails with [`crate::types::VmError::PagerDied`] (instead of burning the
+/// full `pager_timeout`), and future faults fail fast without ever
+/// messaging the corpse. Resident pages are torn down — the cache has
+/// lost its backing store — except busy or wired ones, whose owners
+/// (an in-flight fill or pageout) will release them against the dead
+/// flag. Idempotent; the caller must hold no object locks.
+pub fn quarantine(obj: &Arc<VmObject>, ctx: &CoreRefs) {
+    let victims: Vec<PageId> = {
+        let mut s = obj.state.lock();
+        if s.pager_dead {
+            return;
+        }
+        s.pager_dead = true;
+        let offsets: Vec<u64> = s.resident.keys().copied().collect();
+        let mut victims = Vec::new();
+        for off in offsets {
+            let page = s.resident[&off];
+            let removable = ctx
+                .resident
+                .with_page(page, |p| !p.busy && p.wire_count == 0);
+            if removable {
+                s.resident.remove(&off);
+                victims.push(page);
+            }
+        }
+        victims
+    };
+    for page in victims {
+        let pa = page.base(ctx.page_size);
+        ctx.machdep.remove_all(pa, ctx.page_size);
+        ctx.machdep.clear_modify(pa, ctx.page_size);
+        ctx.machdep.clear_reference(pa, ctx.page_size);
+        ctx.resident.free_page(page);
+    }
+    ctx.stats.pager_deaths.fetch_add(1, Ordering::Relaxed);
+    obj.busy_wakeup.notify_all();
 }
 
 /// Terminate `obj`: free pages, notify the pager, release the shadow

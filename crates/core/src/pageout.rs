@@ -18,6 +18,11 @@ use std::time::Duration;
 use crate::ctx::CoreRefs;
 use crate::page::{PageId, PageQueue};
 use crate::trace::{PagerMsg, TraceEvent};
+use crate::types::VmError;
+
+/// How many times a transient ([`VmError::DeviceBusy`]) pageout write is
+/// retried before the pageout is abandoned for this daemon pass.
+const PAGEOUT_RETRIES: u32 = 3;
 
 /// Try to free at least `want` pages; returns how many were freed.
 ///
@@ -140,7 +145,37 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
                 msg: PagerMsg::DataWrite,
             },
         );
-        pager.data_write(obj.id(), ident.offset, buf);
+        let mut result = pager.data_write(obj.id(), ident.offset, buf);
+        let mut attempt = 0;
+        while matches!(result, Err(VmError::DeviceBusy)) && attempt < PAGEOUT_RETRIES {
+            // Transient backing-store error: retry with backoff. The frame
+            // is still busy and untouched, so re-read it rather than
+            // cloning the buffer on the (common) first-try-succeeds path.
+            attempt += 1;
+            ctx.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(50 << attempt));
+            let mut retry = vec![0u8; ps as usize];
+            ctx.machine
+                .phys()
+                .read(pa, &mut retry)
+                .expect("resident frame readable");
+            result = pager.data_write(obj.id(), ident.offset, retry);
+        }
+        if result.is_err() {
+            // The write never made it to backing store: the page keeps
+            // its data and identity, stays dirty (the modify bit was
+            // consumed above, so pin the hint) and returns to the
+            // inactive queue for a later daemon pass.
+            {
+                let mut s = obj.lock();
+                s.paging_in_progress -= 1;
+            }
+            ctx.resident.with_page(page, |p| p.dirty = true);
+            ctx.resident.release_evict(page);
+            ctx.stats.failed_pageouts.fetch_add(1, Ordering::Relaxed);
+            obj.busy_wakeup.notify_all();
+            return false;
+        }
         {
             let mut s = obj.lock();
             s.paging_in_progress -= 1;
@@ -198,12 +233,18 @@ impl PageoutDaemon {
             .name("mach-pageout".into())
             .spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
+                    // Chaos layer: maybe shrink the free pool first, so
+                    // the daemon reclaims under artificial pressure.
+                    ctx.injector.pressure_pulse(&ctx);
                     let free = ctx.resident.counts().free;
                     if free < free_target {
                         reclaim(&ctx, (free_target - free) as usize);
                     }
                     std::thread::sleep(interval);
                 }
+                // Give hostage pages back on the way out so end-of-run
+                // invariant checks see a clean resident table.
+                ctx.injector.release_pressure(&ctx);
             })
             .expect("spawn pageout daemon");
         PageoutDaemon {
@@ -334,6 +375,87 @@ mod tests {
             let b = u.read_bytes(addr, 1).unwrap();
             assert_eq!(b[0], 3);
         });
+    }
+
+    #[test]
+    fn failed_pageout_keeps_page_dirty_for_a_later_pass() {
+        // Regression: evict_one used to assume the backing-store write
+        // succeeds. Fail every device write, reclaim, and the dirty page
+        // must survive — then heal the device and watch the retry land.
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = mach_fs::BlockDevice::new(&machine, 512);
+        let fs = mach_fs::SimFs::format(&dev);
+        let kernel = Kernel::boot_with_paging_file(&machine, &fs);
+        let ctx = kernel.ctx();
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let addr = task.map().allocate(ctx, None, 4 * ps, true).unwrap();
+        task.user(0, |u| u.dirty_range(addr, 4 * ps).unwrap());
+        task.user(0, |u| u.write_u32(addr, 0xFEED).unwrap());
+        for p in ctx.resident.active_candidates(16) {
+            ctx.resident.set_queue(p, crate::page::PageQueue::Inactive);
+        }
+        reclaim(ctx, 4); // ages reference bits
+        dev.set_fault_hook(Some(std::sync::Arc::new(|op, _| {
+            (op == mach_fs::IoOp::Write).then_some(mach_fs::IoError::Permanent)
+        })));
+        let before = kernel.statistics();
+        let freed = reclaim(ctx, 4);
+        let after = kernel.statistics();
+        assert_eq!(freed, 0, "nothing freed while the device eats writes");
+        assert!(after.failed_pageouts > before.failed_pageouts);
+        assert_eq!(after.pageouts, before.pageouts, "no pageout completed");
+        // The pages are still resident and still dirty.
+        task.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 0xFEED));
+        // Device healed: the next pass writes them out for real.
+        dev.set_fault_hook(None);
+        for p in ctx.resident.active_candidates(16) {
+            ctx.resident.set_queue(p, crate::page::PageQueue::Inactive);
+        }
+        reclaim(ctx, 4);
+        let healed = reclaim(ctx, 4);
+        assert!(healed > 0, "pageout succeeds once the device recovers");
+        assert!(kernel.statistics().pageouts > after.pageouts);
+        task.user(0, |u| assert_eq!(u.read_u32(addr).unwrap(), 0xFEED));
+    }
+
+    #[test]
+    fn transient_pageout_errors_are_retried_with_backoff() {
+        use std::sync::atomic::AtomicU64;
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let dev = mach_fs::BlockDevice::new(&machine, 512);
+        let fs = mach_fs::SimFs::format(&dev);
+        let kernel = Kernel::boot_with_paging_file(&machine, &fs);
+        let ctx = kernel.ctx();
+        let ps = kernel.page_size();
+        let task = kernel.create_task();
+        let addr = task.map().allocate(ctx, None, 2 * ps, true).unwrap();
+        task.user(0, |u| u.dirty_range(addr, 2 * ps).unwrap());
+        for p in ctx.resident.active_candidates(16) {
+            ctx.resident.set_queue(p, crate::page::PageQueue::Inactive);
+        }
+        reclaim(ctx, 2);
+        // Fail the first write attempt transiently, then succeed.
+        let failures = std::sync::Arc::new(AtomicU64::new(1));
+        let f2 = std::sync::Arc::clone(&failures);
+        dev.set_fault_hook(Some(std::sync::Arc::new(move |op, _| {
+            if op == mach_fs::IoOp::Write
+                && f2
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                Some(mach_fs::IoError::Transient)
+            } else {
+                None
+            }
+        })));
+        let before = kernel.statistics();
+        let freed = reclaim(ctx, 2);
+        let after = kernel.statistics();
+        assert!(freed > 0, "retry made the pageout land");
+        assert!(after.io_retries > before.io_retries);
+        assert_eq!(after.failed_pageouts, before.failed_pageouts);
+        assert!(after.pageouts > before.pageouts);
     }
 
     #[test]

@@ -19,7 +19,18 @@ use mach_fs::{FileId, SimFs};
 use mach_hw::machine::Machine;
 use parking_lot::Mutex;
 
-use crate::types::VmError;
+use crate::types::{VmError, VmResult};
+
+/// Map a filesystem error onto the VM error a fault/pageout caller can
+/// act on: transient device errors are retryable, permanent ones are not.
+fn map_fs_error(e: mach_fs::FsError) -> VmError {
+    match e {
+        mach_fs::FsError::Io(mach_fs::IoError::Transient) => VmError::DeviceBusy,
+        mach_fs::FsError::Io(mach_fs::IoError::Permanent) => VmError::DeviceError,
+        mach_fs::FsError::NoSpace => VmError::ResourceShortage,
+        _ => VmError::DataUnavailable,
+    }
+}
 
 /// Identity of a pager-backed object, used as the object-cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -63,7 +74,14 @@ pub trait Pager: Send + Sync + fmt::Debug {
     fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply;
 
     /// `pager_data_write`: accept a dirty page at pageout time.
-    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>);
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::DeviceBusy`] for a transient backing-store failure (the
+    /// caller may retry), [`VmError::DeviceError`] for a permanent one,
+    /// [`VmError::PagerDied`] when the pager is gone. On any error the
+    /// caller must keep the page dirty and resident.
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) -> VmResult<()>;
 
     /// `pager_data_unlock`: a fault needs an access the pager revoked
     /// with `pager_data_lock`; ask it to unlock. Built-in pagers never
@@ -184,7 +202,7 @@ impl Pager for DefaultPager {
                         let mut buf = vec![0u8; length as usize];
                         match pf.fs.read_at(pf.file, slot * pf.page_size, &mut buf) {
                             Ok(_) => PagerReply::Data(buf),
-                            Err(_) => PagerReply::Error(VmError::DataUnavailable),
+                            Err(e) => PagerReply::Error(map_fs_error(e)),
                         }
                     }
                     None => PagerReply::Unavailable,
@@ -200,7 +218,7 @@ impl Pager for DefaultPager {
         }
     }
 
-    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) {
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) -> VmResult<()> {
         match &self.paging_file {
             Some(pf) => {
                 let slot = {
@@ -218,11 +236,14 @@ impl Pager for DefaultPager {
                         }
                     }
                 };
-                let _ = pf.fs.write_at(pf.file, slot * pf.page_size, &data);
+                pf.fs
+                    .write_at(pf.file, slot * pf.page_size, &data)
+                    .map_err(map_fs_error)
             }
             None => {
                 self.charge_io(data.len() as u64);
                 self.store.lock().insert((object_id, offset), data);
+                Ok(())
             }
         }
     }
@@ -293,19 +314,21 @@ impl Pager for InodePager {
         let mut buf = vec![0u8; length as usize];
         match self.fs.read_at(self.file, offset, &mut buf) {
             Ok(_) => PagerReply::Data(buf),
-            Err(_) => PagerReply::Error(VmError::DataUnavailable),
+            Err(e) => PagerReply::Error(map_fs_error(e)),
         }
     }
 
-    fn data_write(&self, _object_id: u64, offset: u64, data: Vec<u8>) {
+    fn data_write(&self, _object_id: u64, offset: u64, data: Vec<u8>) -> VmResult<()> {
         let size = self.fs.size(self.file).unwrap_or(0);
         // Do not extend the file past its logical size with page padding.
         let len = if offset >= size {
-            return;
+            return Ok(());
         } else {
             data.len().min((size - offset) as usize)
         };
-        let _ = self.fs.write_at(self.file, offset, &data[..len]);
+        self.fs
+            .write_at(self.file, offset, &data[..len])
+            .map_err(map_fs_error)
     }
 
     fn ident(&self) -> Option<PagerIdent> {
@@ -331,7 +354,7 @@ mod tests {
             p.data_request(1, 0, 4096),
             PagerReply::Unavailable
         ));
-        p.data_write(1, 4096, vec![7u8; 4096]);
+        p.data_write(1, 4096, vec![7u8; 4096]).unwrap();
         assert_eq!(p.pages_stored(), 1);
         match p.data_request(1, 4096, 4096) {
             PagerReply::Data(d) => assert_eq!(d, vec![7u8; 4096]),
@@ -352,7 +375,7 @@ mod tests {
         let _b = m.bind_cpu(0);
         let p = DefaultPager::new(&m);
         let before = m.clock().wait_us();
-        p.data_write(1, 0, vec![0u8; 4096]);
+        p.data_write(1, 0, vec![0u8; 4096]).unwrap();
         assert!(m.clock().wait_us() > before);
     }
 
@@ -384,7 +407,7 @@ mod tests {
         let f = fs.create("x").unwrap();
         fs.write_at(f, 0, b"short").unwrap();
         let p = InodePager::new(&fs, f);
-        p.data_write(1, 0, vec![b'A'; 4096]);
+        p.data_write(1, 0, vec![b'A'; 4096]).unwrap();
         assert_eq!(fs.size(f).unwrap(), 5, "pageout must not grow the file");
         let mut buf = [0u8; 5];
         fs.read_at(f, 0, &mut buf).unwrap();
@@ -409,7 +432,7 @@ mod paging_file_tests {
             p.data_request(1, 0, 4096),
             PagerReply::Unavailable
         ));
-        p.data_write(1, 8192, vec![0x42u8; 4096]);
+        p.data_write(1, 8192, vec![0x42u8; 4096]).unwrap();
         assert_eq!(p.pages_stored(), 1);
         // The bytes are physically in the paging file on the filesystem.
         let f = fs.lookup("paging_file").unwrap();
@@ -419,13 +442,13 @@ mod paging_file_tests {
             other => panic!("expected data, got {other:?}"),
         }
         // Rewrite reuses the same slot; termination frees slots.
-        p.data_write(1, 8192, vec![0x43u8; 4096]);
+        p.data_write(1, 8192, vec![0x43u8; 4096]).unwrap();
         assert_eq!(p.pages_stored(), 1);
         p.terminate(1);
         assert_eq!(p.pages_stored(), 0);
         // A new object reuses the freed slot (no file growth).
         let size_before = fs.size(f).unwrap();
-        p.data_write(2, 0, vec![1u8; 4096]);
+        p.data_write(2, 0, vec![1u8; 4096]).unwrap();
         assert_eq!(fs.size(f).unwrap(), size_before);
     }
 

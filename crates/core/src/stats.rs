@@ -35,6 +35,15 @@ pub struct VmStatsAtomic {
     pub hint_hits: AtomicU64,
     /// Map-entry lookups that walked the list.
     pub hint_misses: AtomicU64,
+    /// External pagers declared dead (port died or injected death); each
+    /// one quarantines its memory object.
+    pub pager_deaths: AtomicU64,
+    /// Transient backing-store errors that were retried (fault pageins and
+    /// daemon pageouts both count here).
+    pub io_retries: AtomicU64,
+    /// Pageout writes abandoned after retries; the page stayed dirty and
+    /// resident for a later daemon pass.
+    pub failed_pageouts: AtomicU64,
 }
 
 /// A point-in-time copy of the statistics, in the spirit of the paper's
@@ -79,6 +88,12 @@ pub struct VmStats {
     pub hint_hits: u64,
     /// Map lookups that had to walk.
     pub hint_misses: u64,
+    /// External pagers declared dead.
+    pub pager_deaths: u64,
+    /// Transient backing-store errors retried.
+    pub io_retries: u64,
+    /// Pageout writes abandoned after retries.
+    pub failed_pageouts: u64,
 }
 
 impl VmStatsAtomic {
@@ -107,6 +122,9 @@ impl VmStatsAtomic {
             object_cache_misses: self.object_cache_misses.load(Ordering::Relaxed),
             hint_hits: self.hint_hits.load(Ordering::Relaxed),
             hint_misses: self.hint_misses.load(Ordering::Relaxed),
+            pager_deaths: self.pager_deaths.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            failed_pageouts: self.failed_pageouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +138,7 @@ mod tests {
         let a = VmStatsAtomic::default();
         a.faults.fetch_add(3, Ordering::Relaxed);
         a.cow_faults.fetch_add(1, Ordering::Relaxed);
+        a.failed_pageouts.fetch_add(2, Ordering::Relaxed);
         let queues = PageCounts {
             free: 10,
             active: 4,
@@ -131,6 +150,8 @@ mod tests {
         assert_eq!(s.faults, 3);
         assert_eq!(s.cow_faults, 1);
         assert_eq!(s.pageouts, 0);
+        assert_eq!(s.failed_pageouts, 2);
+        assert_eq!(s.pager_deaths, 0);
         assert_eq!(s.free_count, 10);
         assert_eq!(s.active_count, 4);
         assert_eq!(s.inactive_count, 2);

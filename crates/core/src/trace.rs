@@ -133,6 +133,12 @@ pub enum TraceEvent {
         /// Number of pages the round's flush scopes covered.
         pages: u64,
     },
+    /// The chaos layer injected a fault here (see [`crate::inject`]); the
+    /// record's object/offset name the injection site.
+    Injected {
+        /// What was injected.
+        kind: crate::inject::InjectKind,
+    },
 }
 
 /// One trace record: an event plus its attribution stamps.
@@ -336,6 +342,8 @@ pub struct TraceTotals {
     pub shootdown_rounds: u64,
     /// Pages covered by those rounds.
     pub shootdown_pages: u64,
+    /// Chaos-layer injections ([`TraceEvent::Injected`] count).
+    pub injected: u64,
 }
 
 /// Per-task or per-object event rollup derived from trace records — the
@@ -472,6 +480,7 @@ impl TraceLog {
                     t.shootdown_rounds += 1;
                     t.shootdown_pages += pages;
                 }
+                TraceEvent::Injected { .. } => t.injected += 1,
                 TraceEvent::PagerRequest { .. } | TraceEvent::PagerReply { .. } => {}
             }
         }

@@ -141,6 +141,10 @@ pub enum VmError {
     PagerDied,
     /// The requested range collides with an existing allocation.
     AlreadyAllocated,
+    /// Backing store reported a transient failure; a retry may succeed.
+    DeviceBusy,
+    /// Backing store reported an unrecoverable failure.
+    DeviceError,
 }
 
 impl fmt::Display for VmError {
@@ -154,6 +158,8 @@ impl fmt::Display for VmError {
             VmError::DataUnavailable => "pager reports data unavailable",
             VmError::PagerDied => "memory object's pager is dead",
             VmError::AlreadyAllocated => "range collides with an existing allocation",
+            VmError::DeviceBusy => "backing store busy, retry may succeed",
+            VmError::DeviceError => "unrecoverable backing store error",
         })
     }
 }

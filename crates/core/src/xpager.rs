@@ -26,10 +26,11 @@ use mach_ipc::{IpcError, Message, MsgField, ReceiveRight, SendRight};
 
 use crate::ctx::CoreRefs;
 use crate::fault::supply_data;
+use crate::inject::{InjectKind, Injector};
 use crate::object::VmObject;
 use crate::pager::{Pager, PagerIdent, PagerReply};
 use crate::trace::{PagerMsg, TraceEvent};
-use crate::types::VmError;
+use crate::types::{VmError, VmResult};
 
 /// Message operation codes for the pager protocol.
 pub mod ops {
@@ -71,6 +72,7 @@ pub struct ExternalPagerProxy {
     pager_port: SendRight,
     request_port: SendRight,
     base_offset: u64,
+    injector: Arc<Injector>,
 }
 
 impl fmt::Debug for ExternalPagerProxy {
@@ -93,12 +95,43 @@ impl ExternalPagerProxy {
             pager_port,
             request_port,
             base_offset,
+            injector: Injector::disabled(),
         }
+    }
+
+    /// Attach a fault [`Injector`]; kernel→pager traffic then becomes
+    /// subject to the plan's `pager_*` and `msg_*` rates.
+    #[must_use]
+    pub fn with_injector(mut self, injector: Arc<Injector>) -> ExternalPagerProxy {
+        self.injector = injector;
+        self
     }
 }
 
 impl Pager for ExternalPagerProxy {
     fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply {
+        // Injection points, checked in a fixed order so one seed replays
+        // the same decisions: sudden pager death, a stalled pager, a lost
+        // request (Table 3-1 message drop), and a slow transport.
+        if self
+            .injector
+            .fire(InjectKind::PagerDeath, object_id, offset)
+        {
+            return PagerReply::Error(VmError::PagerDied);
+        }
+        if self
+            .injector
+            .fire(InjectKind::PagerStall, object_id, offset)
+            || self.injector.fire(InjectKind::MsgDrop, object_id, offset)
+        {
+            // The request never reaches the pager; the fault must bound
+            // its wait with `pager_timeout` (paper §3.3: the kernel may
+            // not trust a pager to reply).
+            return PagerReply::Pending;
+        }
+        if self.injector.fire(InjectKind::MsgDelay, object_id, offset) {
+            std::thread::sleep(self.injector.delay());
+        }
         let msg = Message::new(ops::PAGER_DATA_REQUEST)
             .with(MsgField::U64(object_id))
             .with(MsgField::Port(self.request_port.clone()))
@@ -114,13 +147,20 @@ impl Pager for ExternalPagerProxy {
         }
     }
 
-    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) {
-        let _ = self.pager_port.send(
+    fn data_write(&self, object_id: u64, offset: u64, data: Vec<u8>) -> VmResult<()> {
+        // Deliberately NOT an injection point for drops/duplicates: the
+        // only copy of a dirty page rides in this message, so losing it
+        // silently would corrupt data rather than exercise recovery.
+        match self.pager_port.send(
             Message::new(ops::PAGER_DATA_WRITE)
                 .with(MsgField::U64(object_id))
                 .with(MsgField::U64(offset + self.base_offset))
                 .with(MsgField::Bytes(Arc::new(data))),
-        );
+        ) {
+            Ok(()) => Ok(()),
+            Err(IpcError::DeadPort) => Err(VmError::PagerDied),
+            Err(IpcError::WouldBlock) => unreachable!("blocking send"),
+        }
     }
 
     fn data_unlock(&self, object_id: u64, offset: u64, length: u64, access: u8) {
@@ -166,6 +206,13 @@ pub(crate) fn spawn_object_service(
             if o.lock().terminated {
                 return;
             }
+            if pager_port.is_dead() {
+                // The managing task is gone: quarantine the object so
+                // in-flight and future faults fail fast instead of
+                // waiting out the full pager timeout.
+                crate::object::quarantine(&o, &ctx);
+                return;
+            }
             let Some(msg) = msg else { continue };
             handle_pager_message(&ctx, &o, &msg, base_offset, &pager_port);
         })
@@ -179,39 +226,70 @@ fn handle_pager_message(
     base: u64,
     pager_port: &SendRight,
 ) {
+    // Table 3-2 (pager → kernel) injection points: a dropped reply is
+    // never processed (the waiting fault must time out), a delayed one
+    // is handled late, a duplicated one is handled twice — the kernel
+    // must treat every pager message as at-least-once delivery.
+    let op = u64::from(msg.op());
+    if ctx.injector.fire(InjectKind::MsgDrop, obj.id(), op) {
+        return;
+    }
+    if ctx.injector.fire(InjectKind::MsgDelay, obj.id(), op) {
+        std::thread::sleep(ctx.injector.delay());
+    }
+    if ctx.injector.fire(InjectKind::MsgDuplicate, obj.id(), op) {
+        handle_pager_message_once(ctx, obj, msg, base, pager_port);
+    }
+    handle_pager_message_once(ctx, obj, msg, base, pager_port);
+}
+
+fn handle_pager_message_once(
+    ctx: &CoreRefs,
+    obj: &Arc<VmObject>,
+    msg: &Message,
+    base: u64,
+    pager_port: &SendRight,
+) {
     let page = ctx.page_size;
     match msg.op() {
         ops::PAGER_DATA_PROVIDED => {
-            // [offset, data, lock_value]
+            // [offset, data, lock_value]. The trace entry is emitted only
+            // when the supply actually lands, so a duplicated message does
+            // not break the DataRequest/DataProvided double-entry books.
             let offset = msg.u64(0) - base;
             let data = msg.bytes(1);
             let off = ctx.trunc_page(offset);
-            ctx.trace_emit(
-                0,
-                obj.id(),
-                off,
-                TraceEvent::PagerReply {
-                    msg: PagerMsg::DataProvided,
-                },
-            );
-            supply_data(ctx, obj, off, Some(data));
+            if supply_data(ctx, obj, off, Some(data)) {
+                ctx.trace_emit(
+                    0,
+                    obj.id(),
+                    off,
+                    TraceEvent::PagerReply {
+                        msg: PagerMsg::DataProvided,
+                    },
+                );
+            }
         }
         ops::PAGER_DATA_UNAVAILABLE => {
-            // [offset, size] — zero-fill the whole range.
+            // [offset, size] — zero-fill the whole range. As above, only
+            // a supply that acts is traced.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let size = ctx.round_page(msg.u64(1)).max(page);
-            ctx.trace_emit(
-                0,
-                obj.id(),
-                offset,
-                TraceEvent::PagerReply {
-                    msg: PagerMsg::DataUnavailable,
-                },
-            );
+            let mut supplied = false;
             let mut off = offset;
             while off < offset + size {
-                supply_data(ctx, obj, off, None);
+                supplied |= supply_data(ctx, obj, off, None);
                 off += page;
+            }
+            if supplied {
+                ctx.trace_emit(
+                    0,
+                    obj.id(),
+                    offset,
+                    TraceEvent::PagerReply {
+                        msg: PagerMsg::DataUnavailable,
+                    },
+                );
             }
         }
         ops::PAGER_DATA_LOCK => {
@@ -635,6 +713,48 @@ mod tests {
             start.elapsed() < Duration::from_secs(2),
             "shrunken timeout took effect"
         );
+    }
+
+    #[test]
+    fn pager_death_mid_fault_wakes_quickly_via_quarantine() {
+        // A fault is parked waiting on a pager that dies mid-protocol.
+        // The service thread notices the dead port within its 100 ms poll,
+        // quarantines the object, and the fault must wake *immediately* —
+        // far inside the 3 s pager timeout it would otherwise burn.
+        let machine = Machine::boot(MachineModel::micro_vax_ii());
+        let mut opts = crate::BootOptions::for_machine(&machine);
+        opts.pager_timeout = Duration::from_secs(3);
+        let k = Kernel::boot_with(&machine, opts);
+        let task = k.create_task();
+        let ps = k.page_size();
+        let (pager_tx, pager_rx) = Port::allocate("dies-mid-fault", 8);
+        let addr = k
+            .allocate_with_pager(&task, None, ps, true, pager_tx, 0)
+            .unwrap();
+        // Swallow the init message, then kill the pager 150 ms after the
+        // fault has blocked on its (never-coming) reply.
+        let killer = std::thread::spawn(move || {
+            while pager_rx
+                .receive_timeout(Duration::from_millis(50))
+                .is_some()
+            {}
+            drop(pager_rx);
+        });
+        let start = std::time::Instant::now();
+        let r = task.user(0, |u| u.read_u32(addr));
+        let waited = start.elapsed();
+        killer.join().unwrap();
+        assert_eq!(r.unwrap_err(), crate::types::VmError::PagerDied);
+        assert!(
+            waited < Duration::from_secs(1),
+            "quarantine woke the fault fast, not after the 3 s timeout (took {waited:?})"
+        );
+        assert!(k.statistics().pager_deaths >= 1, "death was counted");
+        // The quarantined object rejects new faults immediately.
+        let start = std::time::Instant::now();
+        let r = task.user(0, |u| u.read_u32(addr + 4));
+        assert_eq!(r.unwrap_err(), crate::types::VmError::PagerDied);
+        assert!(start.elapsed() < Duration::from_millis(500));
     }
 
     #[test]

@@ -22,8 +22,44 @@ pub struct DeviceStats {
     pub blocks_transferred: u64,
 }
 
+/// An I/O error reported by the device (today only ever produced by an
+/// installed fault hook — the simulated medium itself never fails).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// The transfer failed but a retry may succeed (bus glitch, device
+    /// busy).
+    Transient,
+    /// The transfer failed and retrying is pointless (bad sector, dead
+    /// controller).
+    Permanent,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoError::Transient => "transient device error",
+            IoError::Permanent => "permanent device error",
+        })
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Which direction a transfer goes, for fault hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Device → memory.
+    Read,
+    /// Memory → device.
+    Write,
+}
+
+/// A fault hook: consulted before each fallible transfer with the
+/// operation and starting block; returning `Some` fails the transfer
+/// without touching the medium.
+pub type IoFaultHook = Arc<dyn Fn(IoOp, u64) -> Option<IoError> + Send + Sync>;
+
 /// A fixed-size array of blocks behind a simulated disk arm.
-#[derive(Debug)]
 pub struct BlockDevice {
     machine: Arc<Machine>,
     block_size: u64,
@@ -32,6 +68,17 @@ pub struct BlockDevice {
     reads: AtomicU64,
     writes: AtomicU64,
     transferred: AtomicU64,
+    fault_hook: Mutex<Option<IoFaultHook>>,
+}
+
+impl std::fmt::Debug for BlockDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockDevice")
+            .field("block_size", &self.block_size)
+            .field("n_blocks", &self.n_blocks)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 impl BlockDevice {
@@ -51,7 +98,20 @@ impl BlockDevice {
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             transferred: AtomicU64::new(0),
+            fault_hook: Mutex::new(None),
         })
+    }
+
+    /// Install (or clear) the fault hook consulted by the `try_*`
+    /// transfer methods. Used by fault-injection harnesses; the infallible
+    /// methods bypass it.
+    pub fn set_fault_hook(&self, hook: Option<IoFaultHook>) {
+        *self.fault_hook.lock() = hook;
+    }
+
+    fn injected_fault(&self, op: IoOp, block: u64) -> Option<IoError> {
+        let g = self.fault_hook.lock();
+        g.as_ref().and_then(|h| h(op, block))
     }
 
     /// Block size in bytes.
@@ -127,6 +187,63 @@ impl BlockDevice {
     pub fn write_block(&self, block: u64, buf: &[u8]) {
         self.write_blocks(block, 1, buf);
     }
+
+    /// Fallible [`BlockDevice::read_blocks`]: consults the fault hook
+    /// first and fails the transfer (medium untouched, latency still
+    /// charged — the arm moved) when it injects an error.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed fault hook returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `buf` is mis-sized.
+    pub fn try_read_blocks(&self, block: u64, count: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        if let Some(e) = self.injected_fault(IoOp::Read, block) {
+            self.charge(count);
+            return Err(e);
+        }
+        self.read_blocks(block, count, buf);
+        Ok(())
+    }
+
+    /// Fallible [`BlockDevice::write_blocks`]; see
+    /// [`BlockDevice::try_read_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed fault hook returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `buf` is mis-sized.
+    pub fn try_write_blocks(&self, block: u64, count: u64, buf: &[u8]) -> Result<(), IoError> {
+        if let Some(e) = self.injected_fault(IoOp::Write, block) {
+            self.charge(count);
+            return Err(e);
+        }
+        self.write_blocks(block, count, buf);
+        Ok(())
+    }
+
+    /// Fallible single-block read.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed fault hook returns.
+    pub fn try_read_block(&self, block: u64, buf: &mut [u8]) -> Result<(), IoError> {
+        self.try_read_blocks(block, 1, buf)
+    }
+
+    /// Fallible single-block write.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the installed fault hook returns.
+    pub fn try_write_block(&self, block: u64, buf: &[u8]) -> Result<(), IoError> {
+        self.try_write_blocks(block, 1, buf)
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +309,37 @@ mod tests {
         let d = dev();
         let mut buf = vec![0u8; d.block_size() as usize];
         d.read_block(64, &mut buf);
+    }
+
+    #[test]
+    fn fault_hook_fails_try_paths_only() {
+        let d = dev();
+        let bs = d.block_size() as usize;
+        let mut buf = vec![0u8; bs];
+        d.set_fault_hook(Some(Arc::new(|op, block| {
+            if op == IoOp::Write && block == 3 {
+                Some(IoError::Permanent)
+            } else if op == IoOp::Read {
+                Some(IoError::Transient)
+            } else {
+                None
+            }
+        })));
+        assert_eq!(
+            d.try_write_block(3, &vec![1u8; bs]).unwrap_err(),
+            IoError::Permanent
+        );
+        assert_eq!(
+            d.try_read_block(0, &mut buf).unwrap_err(),
+            IoError::Transient
+        );
+        // The medium was not touched by the failed write.
+        d.read_block(3, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        // Non-matching ops pass through, and clearing the hook restores all.
+        d.try_write_block(4, &vec![2u8; bs]).unwrap();
+        d.set_fault_hook(None);
+        d.try_read_block(4, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 2));
     }
 }

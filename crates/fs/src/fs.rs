@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, IoError};
 
 /// A file handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,15 +25,19 @@ pub enum FsError {
     Exists,
     /// The device is out of blocks.
     NoSpace,
+    /// The device failed the transfer (see [`IoError`] for whether a
+    /// retry is worthwhile).
+    Io(IoError),
 }
 
 impl std::fmt::Display for FsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            FsError::NotFound => "no such file",
-            FsError::Exists => "file exists",
-            FsError::NoSpace => "no space left on device",
-        })
+        match self {
+            FsError::NotFound => f.write_str("no such file"),
+            FsError::Exists => f.write_str("file exists"),
+            FsError::NoSpace => f.write_str("no space left on device"),
+            FsError::Io(e) => write!(f, "device i/o failed: {e}"),
+        }
     }
 }
 
@@ -137,7 +141,8 @@ impl SimFs {
     /// # Errors
     ///
     /// [`FsError::NotFound`] for a bad handle, [`FsError::NoSpace`] when
-    /// the device fills up.
+    /// the device fills up, [`FsError::Io`] when the device fails the
+    /// transfer.
     pub fn write_at(&self, file: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let bs = self.dev.block_size();
         let mut done = 0u64;
@@ -161,14 +166,19 @@ impl SimFs {
             };
             if within == 0 && take == bs {
                 self.dev
-                    .write_block(dev_block, &data[done as usize..(done + take) as usize]);
+                    .try_write_block(dev_block, &data[done as usize..(done + take) as usize])
+                    .map_err(FsError::Io)?;
             } else {
                 // Read-modify-write for partial blocks.
                 let mut buf = vec![0u8; bs as usize];
-                self.dev.read_block(dev_block, &mut buf);
+                self.dev
+                    .try_read_block(dev_block, &mut buf)
+                    .map_err(FsError::Io)?;
                 buf[within as usize..(within + take) as usize]
                     .copy_from_slice(&data[done as usize..(done + take) as usize]);
-                self.dev.write_block(dev_block, &buf);
+                self.dev
+                    .try_write_block(dev_block, &buf)
+                    .map_err(FsError::Io)?;
             }
             done += take;
         }
@@ -184,7 +194,8 @@ impl SimFs {
     ///
     /// # Errors
     ///
-    /// [`FsError::NotFound`] for a bad handle.
+    /// [`FsError::NotFound`] for a bad handle, [`FsError::Io`] when the
+    /// device fails the transfer.
     pub fn read_at(&self, file: FileId, offset: u64, buf: &mut [u8]) -> Result<usize, FsError> {
         let bs = self.dev.block_size();
         let size = self.size(file)?;
@@ -200,7 +211,9 @@ impl SimFs {
             match self.block_at(file, pos)? {
                 Some(dev_block) => {
                     let mut block = vec![0u8; bs as usize];
-                    self.dev.read_block(dev_block, &mut block);
+                    self.dev
+                        .try_read_block(dev_block, &mut block)
+                        .map_err(FsError::Io)?;
                     buf[done as usize..(done + take) as usize]
                         .copy_from_slice(&block[within as usize..(within + take) as usize]);
                 }

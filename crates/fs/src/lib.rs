@@ -30,5 +30,5 @@ pub mod device;
 pub mod fs;
 
 pub use cache::{BufferCache, CacheStats};
-pub use device::{BlockDevice, DeviceStats};
+pub use device::{BlockDevice, DeviceStats, IoError, IoFaultHook, IoOp};
 pub use fs::{FileId, FsError, SimFs};

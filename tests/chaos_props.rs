@@ -1,0 +1,143 @@
+//! Chaos properties: the fault path under deterministic fault injection
+//! (`mach_vm::inject`).
+//!
+//! (a) *Liveness*: no schedule of pager stalls, dropped messages, pager
+//! deaths or duplicated replies can hang a fault past a small multiple of
+//! the boot-time `pager_timeout` — faults resolve or fail, never wedge.
+//!
+//! (b) *Double-entry accounting*: under message drops and duplicates,
+//! the trace ledger still balances — every `DataRequest` is answered by
+//! exactly one `DataProvided` or one failed fault, never zero, never two
+//! (the at-least-once pager protocol is deduplicated kernel-side).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_ipc::Port;
+use mach_vm::inject::InjectPlan;
+use mach_vm::kernel::{BootOptions, Kernel};
+use mach_vm::trace::{FaultResolution, PagerMsg, TraceEvent};
+use mach_vm::{serve_pager, UserPager};
+use proptest::prelude::*;
+
+const PS: u64 = 4096;
+
+/// A prompt, well-behaved pager; every failure seen by the kernel is
+/// therefore an injected one.
+struct EchoPager;
+
+impl UserPager for EchoPager {
+    fn read(&mut self, offset: u64, length: u64) -> Option<Vec<u8>> {
+        Some((0..length).map(|i| (offset + i) as u8).collect())
+    }
+
+    fn write(&mut self, _offset: u64, _data: &[u8]) {}
+}
+
+fn boot_chaos(plan: InjectPlan, timeout: Duration) -> Arc<Kernel> {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.pager_timeout = timeout;
+    opts.inject = Some(plan);
+    Kernel::boot_with(&machine, opts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) Every fault against an injected external pager returns — Ok or
+    /// Err — within a few pager timeouts, for an arbitrary stall / drop /
+    /// death / duplicate schedule.
+    #[test]
+    fn no_fault_outlives_the_pager_timeout(
+        seed in any::<u64>(),
+        stall in 0u32..=400,
+        drops in 0u32..=400,
+        death in 0u32..=200,
+        dup in 0u32..=1000,
+        pages in 1u64..=5,
+    ) {
+        let timeout = Duration::from_millis(150);
+        let plan = InjectPlan::new(seed)
+            .pager_stall(stall)
+            .msg_drop(drops)
+            .pager_death(death)
+            .msg_duplicate(dup);
+        let k = boot_chaos(plan, timeout);
+        let task = k.create_task();
+        let (pager_tx, pager_rx) = Port::allocate("chaos-pager", 64);
+        // Not joined: with injected faults the pager may never see a
+        // terminate; the thread dies with the test process.
+        std::thread::spawn(move || serve_pager(&pager_rx, EchoPager));
+        let addr = k
+            .allocate_with_pager(&task, None, pages * PS, true, pager_tx, 0)
+            .unwrap();
+        for i in 0..pages {
+            let t0 = Instant::now();
+            let r = task.user(0, |u| u.read_u32(addr + i * PS));
+            let waited = t0.elapsed();
+            prop_assert!(
+                waited < timeout * 4 + Duration::from_millis(500),
+                "fault on page {} took {:?} (timeout {:?}, result {:?})",
+                i, waited, timeout, r
+            );
+        }
+        // Every injected fault surfaced in the injector's replay log.
+        let events = k.injector().events();
+        prop_assert!(
+            events.iter().enumerate().all(|(n, e)| e.seq == n as u64),
+            "event log is gapless and ordered: {:?}", events
+        );
+    }
+
+    /// (b) The DataRequest ledger balances under drops and duplicates:
+    /// requests == provided replies + failed faults. A dropped message in
+    /// either direction becomes a failed fault (never a hang); a
+    /// duplicated `pager_data_provided` is deduplicated (never a double
+    /// credit).
+    #[test]
+    fn data_requests_balance_replies_and_failures(
+        seed in any::<u64>(),
+        drops in 0u32..=300,
+        dup in 0u32..=1000,
+    ) {
+        let timeout = Duration::from_millis(300);
+        let plan = InjectPlan::new(seed).msg_drop(drops).msg_duplicate(dup);
+        let k = boot_chaos(plan, timeout);
+        k.enable_tracing(65_536);
+        let task = k.create_task();
+        let (pager_tx, pager_rx) = Port::allocate("ledger-pager", 64);
+        std::thread::spawn(move || serve_pager(&pager_rx, EchoPager));
+        let addr = k
+            .allocate_with_pager(&task, None, 6 * PS, true, pager_tx, 0)
+            .unwrap();
+        for i in 0..6 {
+            let _ = task.user(0, |u| u.read_u32(addr + i * PS));
+        }
+        // Let duplicated / delayed service-thread work drain before the
+        // books are closed.
+        std::thread::sleep(Duration::from_millis(250));
+        let log = k.trace_log();
+        let (mut requests, mut provided, mut failed) = (0u64, 0u64, 0u64);
+        for rec in &log.records {
+            match rec.event {
+                TraceEvent::PagerRequest { msg: PagerMsg::DataRequest } => requests += 1,
+                TraceEvent::PagerReply { msg: PagerMsg::DataProvided } => provided += 1,
+                TraceEvent::FaultEnd { resolution: FaultResolution::Failed, .. } => failed += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(
+            requests, provided + failed,
+            "double-entry broke: {} requests vs {} provided + {} failed \
+             (drops {}‰, dup {}‰, seed {})",
+            requests, provided, failed, drops, dup, seed
+        );
+        // And the injected-fault count in the trace matches the injector.
+        prop_assert_eq!(
+            log.records.iter().filter(|r| matches!(r.event, TraceEvent::Injected { .. })).count(),
+            k.injector().events().len()
+        );
+    }
+}
