@@ -55,7 +55,7 @@ pub fn alias_sharing(model: MachineModel, rounds: usize, write_pct: u32) -> Alia
         .unwrap();
     parent.user(0, |u| u.dirty_range(addr, size).unwrap());
     let child = parent.fork();
-    let faults0 = kernel.statistics().faults;
+    let base = kernel.statistics();
     let (shared_time, _) = measured(&machine, 0, || {
         for r in 0..rounds {
             for (ti, t) in [&parent, &child].iter().enumerate() {
@@ -73,7 +73,7 @@ pub fn alias_sharing(model: MachineModel, rounds: usize, write_pct: u32) -> Alia
         }
     });
     let alias_evictions = kernel.machdep().stats().alias_evictions;
-    let faults = kernel.statistics().faults - faults0;
+    let faults = kernel.statistics().delta(&base).faults;
 
     // --- Copy version (avoids aliases entirely) ---
     let machine2 = Machine::boot(model);
@@ -148,7 +148,7 @@ pub fn sun3_contexts(n_tasks: usize, rounds: usize) -> ContextResult {
         })
         .collect();
     let steals0 = kernel.machdep().stats().context_steals;
-    let faults0 = kernel.statistics().faults;
+    let base = kernel.statistics();
     let (time, _) = measured(&machine, 0, || {
         for _ in 0..rounds {
             for (t, addr) in &tasks {
@@ -160,7 +160,7 @@ pub fn sun3_contexts(n_tasks: usize, rounds: usize) -> ContextResult {
         tasks: n_tasks,
         time,
         context_steals: kernel.machdep().stats().context_steals - steals0,
-        faults: kernel.statistics().faults - faults0,
+        faults: kernel.statistics().delta(&base).faults,
     }
 }
 
@@ -199,7 +199,7 @@ pub fn ns32082_erratum(pages: u64) -> ErratumResult {
             .unwrap();
         parent.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
         let child = parent.fork();
-        let cow0 = kernel.statistics().cow_faults;
+        let base = kernel.statistics();
         let (t, _) = measured(&machine, 0, || {
             child.user(0, |u| {
                 for p in 0..pages {
@@ -214,7 +214,7 @@ pub fn ns32082_erratum(pages: u64) -> ErratumResult {
         child.user(0, |u| {
             assert_eq!(u.read_u32(addr).unwrap(), 0x5A5A_5A5B);
         });
-        (t, kernel.statistics().cow_faults - cow0)
+        (t, kernel.statistics().delta(&base).cow_faults)
     };
     let (buggy_time, buggy_cow_faults) = run(true);
     let (fixed_time, fixed_cow_faults) = run(false);
@@ -391,11 +391,11 @@ pub fn page_size_sweep(multiple: u64) -> PageSizeResult {
     let task = kernel.create_task();
     let size = 256 * 1024u64;
     let addr = task.map().allocate(kernel.ctx(), None, size, true).unwrap();
-    let f0 = kernel.statistics().faults;
+    let base = kernel.statistics();
     let (zf, _) = measured(&machine, 0, || {
         task.user(0, |u| u.dirty_range(addr, size).unwrap());
     });
-    let faults = kernel.statistics().faults - f0;
+    let faults = kernel.statistics().delta(&base).faults;
     let zero_fill_per_kb = SimTime {
         system_us: zf.system_us / (size / 1024),
         elapsed_us: zf.elapsed_us / (size / 1024),

@@ -1,0 +1,436 @@
+//! Machine-readable benchmark harness: canonical VM workloads across the
+//! five architecture ports and 1/2/4/8 CPUs, emitted as `BENCH_vm.json`.
+//!
+//! Every run boots a fresh simulated machine, performs its setup
+//! unmeasured, then runs the workload body with tracing, profiling and
+//! health sampling enabled. The emitted record carries the simulated
+//! system/elapsed time, the [`VmStats`] delta over the body, fault-latency
+//! percentiles from the trace, and the profiler's span breakdown.
+//!
+//! Everything is simulated and single-threaded, so the output is
+//! byte-for-byte reproducible:
+//!
+//! ```text
+//! cargo run --release -p mach-bench --bin bench_json
+//! ```
+//!
+//! Flags: `--ports vax,romp,...` `--cpus 1,4` `--out PATH`
+//! `--check BASELINE` (exit 1 if any matching workload's elapsed_us
+//! regressed more than 20% against the baseline file).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use mach_bench::json::{self, Json};
+use mach_bench::measure::measured;
+use mach_fs::{BlockDevice, SimFs};
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::Protection;
+use mach_vm::VmStats;
+
+const SCHEMA: &str = "mach-vm-bench-v1";
+const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
+const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOADS: [&str; 5] = [
+    "zero_fill",
+    "fork_cow",
+    "file_reread",
+    "shootdown",
+    "pageout_reclaim",
+];
+/// Regression gate for `--check`: elapsed_us may grow by at most 20%.
+const REGRESSION_FRAC: f64 = 0.20;
+
+fn model_for(port: &str, cpus: usize) -> MachineModel {
+    let mut model = match port {
+        "vax" => MachineModel::micro_vax_ii(),
+        "romp" => MachineModel::rt_pc(),
+        "sun3" => MachineModel::sun_3_160(),
+        "ns32082" => MachineModel::multimax(cpus),
+        "tlbsoft" => MachineModel::rp3(cpus),
+        _ => panic!("unknown port {port:?} (expected one of {ALL_PORTS:?})"),
+    };
+    model.n_cpus = cpus;
+    model
+}
+
+/// Per-workload setup; returns the measured body.
+fn setup(workload: &str, machine: &Arc<Machine>, kernel: &Arc<Kernel>) -> Box<dyn FnOnce()> {
+    let ps = kernel.page_size();
+    match workload {
+        // Dirty 64 fresh pages: the zero-fill fault path.
+        "zero_fill" => {
+            let task = kernel.create_task();
+            let size = 64 * ps;
+            let addr = task
+                .map()
+                .allocate(kernel.ctx(), None, size, true)
+                .expect("allocate");
+            Box::new(move || {
+                task.user(0, |u| u.dirty_range(addr, size).unwrap());
+            })
+        }
+        // Fork a dirtied space, then write every page in the child: a
+        // copy-on-write push per page.
+        "fork_cow" => {
+            let task = kernel.create_task();
+            let pages = 32u64;
+            let addr = task
+                .map()
+                .allocate(kernel.ctx(), None, pages * ps, true)
+                .expect("allocate");
+            task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+            let kernel = Arc::clone(kernel);
+            let machine2 = Arc::clone(machine);
+            Box::new(move || {
+                machine2.charge(mach_bench::workloads::PROC_CREATE_CYCLES);
+                let child = task.fork();
+                child.user(0, |u| {
+                    for p in 0..pages {
+                        u.write_u32(addr + p * ps, p as u32).unwrap();
+                    }
+                });
+                drop(child);
+                kernel.balance();
+            })
+        }
+        // Map + touch a file twice; the second pass hits the object cache.
+        "file_reread" => {
+            let size = 32 * ps;
+            let bs = machine.disk().block_size;
+            let dev = BlockDevice::new(machine, (2 * size).div_ceil(bs) + 64);
+            let fs = SimFs::format(&dev);
+            let f = fs.create("data").unwrap();
+            fs.write_at(f, 0, &vec![0x11u8; size as usize]).unwrap();
+            let task = kernel.create_task();
+            let kernel = Arc::clone(kernel);
+            Box::new(move || {
+                let addr = kernel
+                    .map_file(&task, &fs, f, None, Protection::READ)
+                    .expect("map");
+                task.user(0, |u| u.touch_range(addr, size).unwrap());
+                task.map().deallocate(kernel.ctx(), addr, size).unwrap();
+                let addr = kernel
+                    .map_file(&task, &fs, f, None, Protection::READ)
+                    .expect("remap");
+                task.user(0, |u| u.touch_range(addr, size).unwrap());
+            })
+        }
+        // A protection storm against a region whose pmap is live on every
+        // CPU. The warm-up runs unmeasured; remote CPUs have no bound
+        // threads, so flushes resolve deterministically (quiescent-CPU
+        // path) while still scaling with the CPU count.
+        "shootdown" => {
+            let task = kernel.create_task();
+            let pages = 8u64;
+            let addr = task
+                .map()
+                .allocate(kernel.ctx(), None, pages * ps, true)
+                .expect("allocate");
+            for cpu in 0..machine.n_cpus() {
+                task.user(cpu, |u| u.dirty_range(addr, pages * ps).unwrap());
+            }
+            // Leave the pmap active everywhere so every CPU is a
+            // shootdown target during the storm.
+            for cpu in 1..machine.n_cpus() {
+                task.activate(cpu);
+            }
+            let kernel = Arc::clone(kernel);
+            Box::new(move || {
+                task.activate(0);
+                for i in 0..16 {
+                    let prot = if i % 2 == 0 {
+                        Protection::READ
+                    } else {
+                        Protection::DEFAULT
+                    };
+                    for p in 0..pages {
+                        task.map()
+                            .protect(kernel.ctx(), addr + p * ps, ps, false, prot)
+                            .unwrap();
+                    }
+                }
+                kernel.machdep().update();
+            })
+        }
+        // Reclaim dirtied anonymous pages through the pageout path, then
+        // fault half of them back in from the default pager.
+        "pageout_reclaim" => {
+            let task = kernel.create_task();
+            let pages = 96u64;
+            let addr = task
+                .map()
+                .allocate(kernel.ctx(), None, pages * ps, true)
+                .expect("allocate");
+            task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+            let kernel = Arc::clone(kernel);
+            Box::new(move || {
+                // Two passes: the first ages reference bits, the second
+                // evicts (writing dirty pages to the default pager).
+                kernel.reclaim(pages as usize / 2);
+                kernel.reclaim(pages as usize / 2);
+                task.user(0, |u| {
+                    for p in (0..pages).step_by(2) {
+                        u.read_u32(addr + p * ps).unwrap();
+                    }
+                });
+            })
+        }
+        _ => panic!("unknown workload {workload:?}"),
+    }
+}
+
+fn stats_json(s: &VmStats) -> Json {
+    Json::obj(vec![
+        ("pagesize", Json::UInt(s.pagesize)),
+        ("free_count", Json::UInt(s.free_count)),
+        ("active_count", Json::UInt(s.active_count)),
+        ("inactive_count", Json::UInt(s.inactive_count)),
+        ("wire_count", Json::UInt(s.wire_count)),
+        ("faults", Json::UInt(s.faults)),
+        ("zero_fill_count", Json::UInt(s.zero_fill_count)),
+        ("cow_faults", Json::UInt(s.cow_faults)),
+        ("resident_hits", Json::UInt(s.resident_hits)),
+        ("pageins", Json::UInt(s.pageins)),
+        ("pageouts", Json::UInt(s.pageouts)),
+        ("reclaims", Json::UInt(s.reclaims)),
+        ("reactivations", Json::UInt(s.reactivations)),
+        ("collapses", Json::UInt(s.collapses)),
+        ("bypasses", Json::UInt(s.bypasses)),
+        ("object_cache_hits", Json::UInt(s.object_cache_hits)),
+        ("object_cache_misses", Json::UInt(s.object_cache_misses)),
+        ("hint_hits", Json::UInt(s.hint_hits)),
+        ("hint_misses", Json::UInt(s.hint_misses)),
+        ("pager_deaths", Json::UInt(s.pager_deaths)),
+        ("io_retries", Json::UInt(s.io_retries)),
+        ("failed_pageouts", Json::UInt(s.failed_pageouts)),
+    ])
+}
+
+fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
+    let machine = Machine::boot(model_for(port, cpus));
+    let kernel = Kernel::boot(&machine);
+    let body = setup(workload, &machine, &kernel);
+
+    kernel.enable_tracing(65_536);
+    kernel.enable_profiling();
+    kernel.enable_health();
+    let base = kernel.statistics();
+    let md0 = kernel.machdep().stats();
+    let tlb_flushed =
+        |m: &Machine| -> u64 { (0..m.n_cpus()).map(|i| m.cpu(i).tlb_stats().flushed).sum() };
+    let tlb0 = tlb_flushed(&machine);
+    let (time, ()) = measured(&machine, 0, body);
+    let stats = kernel.statistics().delta(&base);
+    let md = kernel.machdep().stats();
+    let tlb1 = tlb_flushed(&machine);
+    let log = kernel.trace_log();
+    let profile = kernel.profile_report();
+    let health = kernel.health_report();
+    kernel.disable_tracing();
+    kernel.disable_profiling();
+    kernel.disable_health();
+
+    let lat = log.latency_histogram();
+    let latency = Json::obj(vec![
+        ("count", Json::UInt(lat.count() as u64)),
+        ("mean", Json::UInt(lat.mean())),
+        ("p50", Json::UInt(lat.percentile(0.50))),
+        ("p90", Json::UInt(lat.percentile(0.90))),
+        ("p95", Json::UInt(lat.percentile(0.95))),
+        ("p99", Json::UInt(lat.percentile(0.99))),
+        ("max", Json::UInt(lat.max())),
+    ]);
+
+    let rows = profile
+        .rows
+        .iter()
+        .map(|r| {
+            let path = r
+                .path
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join("/");
+            Json::obj(vec![
+                ("path", Json::Str(path)),
+                ("count", Json::UInt(r.totals.count)),
+                ("total_cycles", Json::UInt(r.totals.total_cycles)),
+                ("self_cycles", Json::UInt(r.totals.self_cycles)),
+            ])
+        })
+        .collect();
+
+    // Shootdown cost to remote quiescent CPUs never shows up as initiator
+    // cycles, so flush work is reported as counters: rounds/IPIs from the
+    // pmap chassis plus TLB entries invalidated machine-wide.
+    let pmap_json = Json::obj(vec![
+        ("enters", Json::UInt(md.enters - md0.enters)),
+        ("removes", Json::UInt(md.removes - md0.removes)),
+        ("protects", Json::UInt(md.protects - md0.protects)),
+        (
+            "deferred_queued",
+            Json::UInt(md.deferred_queued - md0.deferred_queued),
+        ),
+        (
+            "flush_rounds",
+            Json::UInt(md.flush_rounds - md0.flush_rounds),
+        ),
+        ("flush_ipis", Json::UInt(md.flush_ipis - md0.flush_ipis)),
+        ("tlb_flushed", Json::UInt(tlb1 - tlb0)),
+    ]);
+
+    let health_json = Json::obj(vec![
+        (
+            "shadow_depth_p95",
+            Json::UInt(health.shadow_depth.percentile(0.95)),
+        ),
+        (
+            "pv_list_len_p95",
+            Json::UInt(health.pv_list_len.percentile(0.95)),
+        ),
+        (
+            "hint_hit_rate_pct",
+            Json::UInt((health.hint_hit_rate() * 100.0).round() as u64),
+        ),
+    ]);
+
+    Json::obj(vec![
+        ("workload", Json::Str(workload.to_string())),
+        ("port", Json::Str(port.to_string())),
+        ("cpus", Json::UInt(cpus as u64)),
+        ("system_us", Json::UInt(time.system_us)),
+        ("elapsed_us", Json::UInt(time.elapsed_us)),
+        ("stats", stats_json(&stats)),
+        ("fault_latency_cycles", latency),
+        ("profile", Json::Arr(rows)),
+        ("pmap", pmap_json),
+        ("health", health_json),
+    ])
+}
+
+struct Cli {
+    ports: Vec<String>,
+    cpus: Vec<usize>,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        ports: ALL_PORTS.iter().map(|s| s.to_string()).collect(),
+        cpus: ALL_CPUS.to_vec(),
+        out: "BENCH_vm.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--ports" => {
+                cli.ports = val("--ports")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--cpus" => {
+                cli.cpus = val("--cpus")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--cpus takes integers"))
+                    .collect();
+            }
+            "--out" => cli.out = val("--out"),
+            "--check" => cli.check = Some(val("--check")),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    cli
+}
+
+/// Compare fresh runs against a committed baseline; returns regression
+/// descriptions (empty = pass).
+fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
+    let key = |r: &Json| {
+        (
+            r.get("workload")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            r.get("port")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+            r.get("cpus").and_then(Json::as_u64).unwrap_or(0),
+        )
+    };
+    let empty: [Json; 0] = [];
+    let base_runs = baseline
+        .get("runs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let mut out = Vec::new();
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        let k = key(run);
+        let Some(base) = base_runs.iter().find(|b| key(b) == k) else {
+            continue; // not in the baseline matrix: nothing to gate on
+        };
+        let cur_us = run.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+        let base_us = base.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
+        let limit = (base_us as f64 * (1.0 + REGRESSION_FRAC)).ceil() as u64;
+        if cur_us > limit {
+            out.push(format!(
+                "{}/{}/{} cpus: elapsed {} us > {} us (baseline {} us +{:.0}%)",
+                k.0,
+                k.1,
+                k.2,
+                cur_us,
+                limit,
+                base_us,
+                REGRESSION_FRAC * 100.0
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let cli = parse_args();
+    let mut runs = Vec::new();
+    for workload in WORKLOADS {
+        for port in &cli.ports {
+            for &cpus in &cli.cpus {
+                eprintln!("run: {workload} on {port} x{cpus}");
+                runs.push(run_one(workload, port, cpus));
+            }
+        }
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_string())),
+        (
+            "harness",
+            Json::Str("cargo run --release -p mach-bench --bin bench_json".to_string()),
+        ),
+        ("runs", Json::Arr(runs)),
+    ]);
+    std::fs::write(&cli.out, doc.to_pretty()).expect("write output");
+    eprintln!("wrote {}", cli.out);
+
+    if let Some(baseline_path) = cli.check {
+        let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let baseline = json::parse(&text).expect("parse baseline");
+        let regressions = check_regressions(&doc, &baseline);
+        if !regressions.is_empty() {
+            eprintln!("REGRESSIONS vs {baseline_path}:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("no regressions vs {baseline_path}");
+    }
+    ExitCode::SUCCESS
+}

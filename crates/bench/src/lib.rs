@@ -22,6 +22,7 @@
 //! ```
 
 pub mod ablate;
+pub mod json;
 pub mod measure;
 pub mod report;
 pub mod workloads;

@@ -3,11 +3,15 @@
 use crate::measure::SimTime;
 
 /// "0.45ms" / "41ms" style.
+///
+/// The two-decimal/whole-number switch keys off the *rendered* value, not
+/// the raw one: 9.9999 rounds to "10.00", which must print as "10ms" —
+/// testing `v < 10.0` before rounding used to leak "10.00ms" through.
 pub fn ms(v: f64) -> String {
-    if v < 10.0 {
-        format!("{v:.2}ms")
-    } else {
-        format!("{v:.0}ms")
+    let two = format!("{v:.2}");
+    match two.split('.').next() {
+        Some(int) if int.trim_start_matches('-').len() >= 2 => format!("{v:.0}ms"),
+        _ => format!("{two}ms"),
     }
 }
 
@@ -61,6 +65,19 @@ mod tests {
         assert_eq!(ms(9.99), "9.99ms");
         assert_eq!(ms(41.2), "41ms");
         assert_eq!(ms(145.0), "145ms");
+    }
+
+    #[test]
+    fn ms_threshold_agrees_with_rounding() {
+        // Snapshot of the exact boundary: values that *render* as 10
+        // switch to the whole-number form, whichever side of 10.0 the
+        // raw float sits on.
+        assert_eq!(ms(9.9999), "10ms");
+        assert_eq!(ms(9.996), "10ms");
+        assert_eq!(ms(10.0), "10ms");
+        assert_eq!(ms(10.4), "10ms");
+        assert_eq!(ms(9.994), "9.99ms");
+        assert_eq!(ms(0.0), "0.00ms");
     }
 
     #[test]

@@ -5,10 +5,12 @@ use std::sync::Arc;
 use mach_hw::machine::Machine;
 use mach_pmap::MachDep;
 
+use crate::health::HealthSink;
 use crate::inject::Injector;
 use crate::object::ObjectCache;
 use crate::page::ResidentTable;
 use crate::pager::Pager;
+use crate::profile::{Profiler, SpanGuard, SpanKind};
 use crate::stats::VmStatsAtomic;
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -45,6 +47,12 @@ pub struct CoreRefs {
     /// booted with an [`crate::BootOptions::inject`] plan — see
     /// [`crate::inject`]).
     pub injector: Arc<Injector>,
+    /// The span profiler (disabled by default; same one-relaxed-load
+    /// contract as [`CoreRefs::trace`] — see [`crate::profile`]).
+    pub profile: Arc<Profiler>,
+    /// The structure-health gauges (disabled by default — see
+    /// [`crate::health`]).
+    pub health: Arc<HealthSink>,
 }
 
 impl CoreRefs {
@@ -65,5 +73,12 @@ impl CoreRefs {
     #[inline]
     pub fn trace_emit(&self, task: u64, object: u64, offset: u64, event: TraceEvent) {
         self.trace.emit(&self.machine, task, object, offset, event);
+    }
+
+    /// Open a profiler span on the current CPU. An inert guard (one
+    /// relaxed atomic load) while profiling is disabled.
+    #[inline]
+    pub fn prof_span(&self, kind: SpanKind) -> SpanGuard<'_> {
+        self.profile.span(&self.machine, kind)
     }
 }

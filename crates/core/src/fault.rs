@@ -18,6 +18,7 @@ use crate::map::VmMap;
 use crate::object::{self, VmObject};
 use crate::page::{PageId, PageQueue};
 use crate::pager::PagerReply;
+use crate::profile::SpanKind;
 use crate::trace::{FaultResolution, PagerMsg, TraceEvent};
 use crate::types::{Protection, VmError, VmResult};
 
@@ -208,6 +209,11 @@ pub fn vm_fault(
         // The object is unknown at entry; the offset field carries the VA.
         ctx.trace_emit(task, 0, va, TraceEvent::FaultBegin { fault_id });
     }
+    // Opened right after the FaultBegin emit and dropped right after the
+    // FaultEnd emit, with no cycles charged in between on either side: the
+    // span's total therefore equals the trace pair's latency *exactly*
+    // (reconciled in tests/profile_props.rs).
+    let _fault_span = ctx.prof_span(SpanKind::Fault);
     match fault_body(ctx, map, va, access, wire, task) {
         Ok((page, object, offset, resolution)) => {
             ctx.trace_emit(
@@ -261,7 +267,10 @@ fn fault_body(
         if attempts > 200 {
             return Err(VmError::ResourceShortage);
         }
-        let r = map.resolve(ctx, va)?;
+        let r = {
+            let _sp = ctx.prof_span(SpanKind::MapLookup);
+            map.resolve(ctx, va)?
+        };
         if !r.prot.contains(access) {
             return Err(VmError::ProtectionFailure);
         }
@@ -316,6 +325,10 @@ fn fault_body(
         // ---- Walk the shadow chain looking for the page (§3.4). ----
         let mut obj = Arc::clone(&first);
         let mut offset = first_offset;
+        let mut chain_depth = 0u64;
+        // Dropped explicitly after the loop breaks; a `continue 'restart`
+        // or an error return inside the loop drops it with the iteration.
+        let walk_span = ctx.prof_span(SpanKind::ShadowWalk);
         let (found_obj, found_page, found_offset) = loop {
             let mut s = obj.lock();
             if let Some(&page) = s.resident.get(&offset) {
@@ -372,14 +385,18 @@ fn fault_body(
                 // Transient backing-store errors get a short bounded retry
                 // before the fault is failed — a busy device is not a
                 // dead pager.
-                let mut reply = pager.data_request(obj.id(), offset, page_size);
-                let mut attempt = 0u32;
-                while matches!(reply, PagerReply::Error(VmError::DeviceBusy)) && attempt < 3 {
-                    attempt += 1;
-                    ctx.stats.io_retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
-                    reply = pager.data_request(obj.id(), offset, page_size);
-                }
+                let reply = {
+                    let _pw = ctx.prof_span(SpanKind::PagerWait);
+                    let mut reply = pager.data_request(obj.id(), offset, page_size);
+                    let mut attempt = 0u32;
+                    while matches!(reply, PagerReply::Error(VmError::DeviceBusy)) && attempt < 3 {
+                        attempt += 1;
+                        ctx.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_micros(50 << attempt));
+                        reply = pager.data_request(obj.id(), offset, page_size);
+                    }
+                    reply
+                };
                 match reply {
                     PagerReply::Data(d) => {
                         // Internal pagers answer synchronously; the reply
@@ -393,7 +410,10 @@ fn fault_body(
                                 msg: PagerMsg::DataProvided,
                             },
                         );
-                        fill_and_release(ctx, &obj, page, Some(&d), false);
+                        {
+                            let _cp = ctx.prof_span(SpanKind::Copy);
+                            fill_and_release(ctx, &obj, page, Some(&d), false);
+                        }
                         break (Arc::clone(&obj), page, offset);
                     }
                     PagerReply::Unavailable => {
@@ -407,16 +427,25 @@ fn fault_body(
                                 msg: PagerMsg::DataUnavailable,
                             },
                         );
-                        fill_and_release(ctx, &obj, page, None, false);
+                        {
+                            let _zf = ctx.prof_span(SpanKind::ZeroFill);
+                            fill_and_release(ctx, &obj, page, None, false);
+                        }
                         break (Arc::clone(&obj), page, offset);
                     }
-                    PagerReply::Pending => match wait_not_busy(ctx, &obj, page) {
-                        Ok(()) => break (Arc::clone(&obj), page, offset),
-                        Err(e) => {
-                            abort_busy(ctx, &obj, offset, page);
-                            return Err(e);
+                    PagerReply::Pending => {
+                        let waited = {
+                            let _pw = ctx.prof_span(SpanKind::PagerWait);
+                            wait_not_busy(ctx, &obj, page)
+                        };
+                        match waited {
+                            Ok(()) => break (Arc::clone(&obj), page, offset),
+                            Err(e) => {
+                                abort_busy(ctx, &obj, offset, page);
+                                return Err(e);
+                            }
                         }
-                    },
+                    }
                     PagerReply::Error(e) => {
                         abort_busy(ctx, &obj, offset, page);
                         if e == VmError::PagerDied {
@@ -435,6 +464,7 @@ fn fault_body(
                 // Each chain level costs real work at fault time — the
                 // cost the §3.5 garbage collection exists to bound.
                 ctx.machine.charge(ctx.machine.cost().lookup_step * 25);
+                chain_depth += 1;
                 offset += delta;
                 obj = shadow;
                 continue;
@@ -451,7 +481,10 @@ fn fault_body(
                     ctx.stats.zero_fill.fetch_add(1, Ordering::Relaxed);
                     saw_zero = true;
                     // Internal pages are precious: the only copy.
-                    fill_and_release(ctx, &first, page, None, true);
+                    {
+                        let _zf = ctx.prof_span(SpanKind::ZeroFill);
+                        fill_and_release(ctx, &first, page, None, true);
+                    }
                     break (Arc::clone(&first), page, first_offset);
                 }
                 InsertOutcome::NoMemory => {
@@ -460,6 +493,8 @@ fn fault_body(
                 }
             }
         };
+        drop(walk_span);
+        ctx.health.shadow_depth(chain_depth);
 
         // ---- Copy-on-write push (§3.4). ----
         let backing_hit = !Arc::ptr_eq(&found_obj, &first);
@@ -472,6 +507,7 @@ fn fault_body(
                     continue 'restart;
                 }
                 InsertOutcome::Inserted(page) => {
+                    let _cp = ctx.prof_span(SpanKind::Copy);
                     ctx.machdep.copy_page(
                         found_page.base(page_size),
                         page.base(page_size),
@@ -546,6 +582,7 @@ fn fault_body(
             }
         }
         if let Some(pmap) = map.pmap() {
+            let _pe = ctx.prof_span(SpanKind::PmapEnter);
             pmap.enter(
                 VAddr(va),
                 final_page.base(page_size),
@@ -553,6 +590,11 @@ fn fault_body(
                 prot.to_hw(),
                 wire || r.wired,
             );
+        }
+        if ctx.health.is_enabled() {
+            // The pv-list walk is work we only do while sampling.
+            ctx.health
+                .pv_list_len(ctx.machdep.mapping_count(final_page.base(page_size)) as u64);
         }
         if write {
             ctx.resident.with_page(final_page, |p| p.dirty = true);

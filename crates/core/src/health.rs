@@ -1,0 +1,419 @@
+//! Structure-health gauges: cheap histograms over the data structures
+//! the paper worries about degrading silently.
+//!
+//! The design sections each carry a structure whose pathology is
+//! invisible in the event counters: shadow chains grow until collapse
+//! catches them (§3.5), pv lists grow with sharing fan-out (§4),
+//! address-map lookups decay from hint hits to linear walks (§3.2), the
+//! object cache fills (`pager_cache`), and the page queues drain under
+//! memory pressure (§3.1). This module samples each of them where the
+//! kernel already has the number in hand — at fault and pageout time —
+//! into fixed-size lock-free histograms.
+//!
+//! The cost contract matches [`crate::trace::TraceSink`] and
+//! [`crate::profile::Profiler`]: every sampling call starts with one
+//! relaxed atomic load and is a no-op when disabled; samples that are
+//! expensive to *compute* (a pv-list walk, a cache census) are
+//! additionally gated at the call site on [`HealthSink::is_enabled`].
+//! Sampling never charges simulated cycles.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+use crate::page::PageCounts;
+
+/// Histogram buckets: one per exact value 0..=31, plus an overflow
+/// bucket for everything larger.
+const BUCKETS: usize = 33;
+
+/// A fixed-size, lock-free value histogram (exact buckets 0..=31, one
+/// overflow bucket, plus count/sum/max).
+#[derive(Debug)]
+pub struct Gauge {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Gauge {
+    fn record(&self, v: u64) {
+        let idx = (v as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> GaugeStats {
+        GaugeStats {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable gauge snapshot with summary statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeStats {
+    /// Sample counts per value (index == value; the last bucket collects
+    /// every sample ≥ 32).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of sampled values.
+    pub sum: u64,
+    /// Largest sampled value.
+    pub max: u64,
+}
+
+impl GaugeStats {
+    /// Mean sampled value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (0.0 ..= 1.0) by bucket walk; the overflow
+    /// bucket reports the recorded maximum.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == BUCKETS - 1 { self.max } else { i as u64 };
+            }
+        }
+        self.max
+    }
+}
+
+impl fmt::Display for GaugeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return writeln!(f, "  (no samples)");
+        }
+        let widest = self.buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let label = if i == BUCKETS - 1 {
+                format!("≥{}", BUCKETS - 1)
+            } else {
+                i.to_string()
+            };
+            let bar = "#".repeat(((n * 40).div_ceil(widest)) as usize);
+            writeln!(f, "  {label:>6} │{bar:<40}│ {n}")?;
+        }
+        writeln!(
+            f,
+            "  n={} mean={:.2} p50={} p95={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.max,
+        )
+    }
+}
+
+/// One page-queue sample: the emitting CPU's cycle stamp and the queue
+/// lengths at that moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSample {
+    /// Simulated cycle stamp of the sampling CPU.
+    pub cycles: u64,
+    /// Queue lengths ([`crate::page::ResidentTable::counts`]).
+    pub counts: PageCounts,
+}
+
+/// Queue-sample storage cap; when full the series is thinned 2:1 so it
+/// keeps covering the whole run.
+const QUEUE_CAP: usize = 4096;
+
+/// The kernel-wide health sink. Lives in [`crate::CoreRefs`]; surfaced
+/// through `Kernel::health_report`.
+#[derive(Debug, Default)]
+pub struct HealthSink {
+    enabled: AtomicBool,
+    shadow_depth: Gauge,
+    pv_list_len: Gauge,
+    scan_distance: Gauge,
+    cache_occupancy: Gauge,
+    queues: Mutex<Vec<QueueSample>>,
+}
+
+impl HealthSink {
+    /// A disabled sink.
+    pub fn new() -> HealthSink {
+        HealthSink::default()
+    }
+
+    /// Start sampling, discarding any previous capture.
+    pub fn enable(&self) {
+        self.shadow_depth.reset();
+        self.pv_list_len.reset();
+        self.scan_distance.reset();
+        self.cache_occupancy.reset();
+        self.queues.lock().clear();
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop sampling (the capture remains until the next enable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the sink is sampling. Call sites gate *expensive to
+    /// compute* samples on this; the record methods also check it.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Shadow-chain depth walked by a fault (§3.5).
+    #[inline]
+    pub fn shadow_depth(&self, depth: u64) {
+        if self.is_enabled() {
+            self.shadow_depth.record(depth);
+        }
+    }
+
+    /// pv-list length of the frame a fault just mapped (§4).
+    #[inline]
+    pub fn pv_list_len(&self, len: u64) {
+        if self.is_enabled() {
+            self.pv_list_len.record(len);
+        }
+    }
+
+    /// Address-map entries visited by a lookup: 0 = "last fault" hint
+    /// hit, 1 = the hint's successor, n = a linear walk of n entries
+    /// (§3.2).
+    #[inline]
+    pub fn scan_distance(&self, entries: u64) {
+        if self.is_enabled() {
+            self.scan_distance.record(entries);
+        }
+    }
+
+    /// Object-cache occupancy after an insert/lookup/reap.
+    #[inline]
+    pub fn cache_occupancy(&self, len: u64) {
+        if self.is_enabled() {
+            self.cache_occupancy.record(len);
+        }
+    }
+
+    /// Page-queue lengths, stamped with the current CPU's cycle clock
+    /// (sampled by the pageout path, §3.1).
+    pub fn page_queues(&self, machine: &Machine, counts: PageCounts) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cycles = machine.clock().system_cycles();
+        let mut q = self.queues.lock();
+        if q.len() >= QUEUE_CAP {
+            // Thin 2:1, keeping every other sample, so the series still
+            // spans the whole run.
+            let thinned: Vec<QueueSample> = q.iter().copied().step_by(2).collect();
+            *q = thinned;
+        }
+        q.push(QueueSample { cycles, counts });
+    }
+
+    /// Snapshot every gauge into one report.
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            shadow_depth: self.shadow_depth.snapshot(),
+            pv_list_len: self.pv_list_len.snapshot(),
+            scan_distance: self.scan_distance.snapshot(),
+            cache_occupancy: self.cache_occupancy.snapshot(),
+            queue_samples: self.queues.lock().clone(),
+        }
+    }
+}
+
+/// A health capture: the structure histograms plus the page-queue
+/// series. Render with `Display` or pick gauges apart directly.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Shadow-chain depth per fault (§3.5).
+    pub shadow_depth: GaugeStats,
+    /// pv-list length per mapped frame (§4).
+    pub pv_list_len: GaugeStats,
+    /// Address-map entries visited per lookup (§3.2).
+    pub scan_distance: GaugeStats,
+    /// Object-cache occupancy per cache touch.
+    pub cache_occupancy: GaugeStats,
+    /// Page-queue lengths over time (§3.1).
+    pub queue_samples: Vec<QueueSample>,
+}
+
+impl HealthReport {
+    /// Fraction of address-map lookups the "last fault" hint resolved
+    /// without touching a second entry (§3.2's design bet).
+    pub fn hint_hit_rate(&self) -> f64 {
+        if self.scan_distance.count == 0 {
+            return 0.0;
+        }
+        self.scan_distance.buckets[0] as f64 / self.scan_distance.count as f64
+    }
+
+    /// `(min, max, last)` free-queue lengths over the sampled window.
+    pub fn free_queue_range(&self) -> (u64, u64, u64) {
+        let mut min = u64::MAX;
+        let mut max = 0;
+        let mut last = 0;
+        for s in &self.queue_samples {
+            min = min.min(s.counts.free);
+            max = max.max(s.counts.free);
+            last = s.counts.free;
+        }
+        if self.queue_samples.is_empty() {
+            (0, 0, 0)
+        } else {
+            (min, max, last)
+        }
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shadow-chain depth per fault:")?;
+        write!(f, "{}", self.shadow_depth)?;
+        writeln!(f, "pv-list length per mapped frame:")?;
+        write!(f, "{}", self.pv_list_len)?;
+        writeln!(
+            f,
+            "map-entry scan distance (hint hit rate {:.0}%):",
+            self.hint_hit_rate() * 100.0
+        )?;
+        write!(f, "{}", self.scan_distance)?;
+        writeln!(f, "object-cache occupancy:")?;
+        write!(f, "{}", self.cache_occupancy)?;
+        let (min, max, last) = self.free_queue_range();
+        writeln!(
+            f,
+            "page queues: {} samples, free min={} max={} last={}",
+            self.queue_samples.len(),
+            min,
+            max,
+            last
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let h = HealthSink::new();
+        h.shadow_depth(3);
+        h.pv_list_len(2);
+        h.scan_distance(5);
+        h.cache_occupancy(1);
+        let r = h.report();
+        assert_eq!(r.shadow_depth.count, 0);
+        assert_eq!(r.pv_list_len.count, 0);
+        assert_eq!(r.scan_distance.count, 0);
+        assert_eq!(r.cache_occupancy.count, 0);
+        assert!(r.queue_samples.is_empty());
+    }
+
+    #[test]
+    fn gauge_statistics() {
+        let h = HealthSink::new();
+        h.enable();
+        for d in [0u64, 0, 1, 1, 1, 2, 40] {
+            h.shadow_depth(d);
+        }
+        let g = h.report().shadow_depth;
+        assert_eq!(g.count, 7);
+        assert_eq!(g.max, 40);
+        assert_eq!(g.buckets[0], 2);
+        assert_eq!(g.buckets[1], 3);
+        assert_eq!(g.buckets[BUCKETS - 1], 1, "40 lands in overflow");
+        assert_eq!(g.percentile(0.5), 1);
+        assert_eq!(g.percentile(1.0), 40, "overflow bucket reports the max");
+        assert!((g.mean() - 45.0 / 7.0).abs() < 1e-9);
+        assert!(g.to_string().contains("n=7"));
+    }
+
+    #[test]
+    fn hint_hit_rate_counts_zero_distance() {
+        let h = HealthSink::new();
+        h.enable();
+        h.scan_distance(0);
+        h.scan_distance(0);
+        h.scan_distance(0);
+        h.scan_distance(7);
+        assert!((h.report().hint_hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_series_thins_at_capacity() {
+        let m = Machine::boot(MachineModel::micro_vax_ii());
+        let h = HealthSink::new();
+        h.enable();
+        for i in 0..(QUEUE_CAP as u64 + 10) {
+            h.page_queues(
+                &m,
+                PageCounts {
+                    free: i,
+                    active: 0,
+                    inactive: 0,
+                    wired: 0,
+                },
+            );
+        }
+        let r = h.report();
+        assert!(r.queue_samples.len() <= QUEUE_CAP + 1);
+        // The series still covers both ends of the run.
+        assert_eq!(r.queue_samples.first().unwrap().counts.free, 0);
+        assert_eq!(
+            r.queue_samples.last().unwrap().counts.free,
+            QUEUE_CAP as u64 + 9
+        );
+        let (min, max, last) = r.free_queue_range();
+        assert_eq!(min, 0);
+        assert_eq!(max, QUEUE_CAP as u64 + 9);
+        assert_eq!(last, QUEUE_CAP as u64 + 9);
+    }
+}

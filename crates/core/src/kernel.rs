@@ -11,10 +11,12 @@ use mach_pmap::MachDep;
 
 use crate::ctx::CoreRefs;
 use crate::fault::vm_fault;
+use crate::health::{HealthReport, HealthSink};
 use crate::inject::{InjectKind, InjectPlan, Injector};
 use crate::object::{ObjectCache, VmObject};
 use crate::page::{PageId, ResidentTable};
 use crate::pager::{DefaultPager, InodePager};
+use crate::profile::{ProfileReport, Profiler, SpanKind};
 use crate::stats::{VmStats, VmStatsAtomic};
 use crate::task::Task;
 use crate::trace::{TraceEvent, TraceLog, TraceSink, VmRollup};
@@ -147,6 +149,8 @@ impl Kernel {
             pager_timeout: opts.pager_timeout,
             trace: Arc::new(TraceSink::new(machine.n_cpus())),
             injector,
+            profile: Arc::new(Profiler::new(machine.n_cpus())),
+            health: Arc::new(HealthSink::new()),
         });
         // Let the machine-dependent layer report shootdown rounds into the
         // trace (the sink itself gates on enabled, so this costs a branch).
@@ -157,6 +161,15 @@ impl Kernel {
                 .set_shootdown_observer(Arc::new(move |cpu_mask, pages| {
                     sink.emit(&m, 0, 0, 0, TraceEvent::ShootdownRound { cpu_mask, pages });
                 }));
+        }
+        // And bracket each round with a profiler span (disabled-profiler
+        // cost: the hook's one relaxed load inside span_owned).
+        {
+            let prof = Arc::clone(&ctx.profile);
+            let m = Arc::clone(machine);
+            ctx.machdep.set_shootdown_span_hook(Arc::new(move || {
+                Box::new(prof.span_owned(&m, SpanKind::Shootdown)) as mach_pmap::HookGuard
+            }));
         }
         // And let every injected fault show up in the same trace ring.
         if ctx.injector.is_enabled() {
@@ -248,6 +261,52 @@ impl Kernel {
         self.ctx.trace.snapshot().by_object()
     }
 
+    // ------------------------------------------------------------------
+    // Cycle profiling and structure health (see `docs/METRICS.md`)
+    // ------------------------------------------------------------------
+
+    /// The kernel's span profiler.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.ctx.profile
+    }
+
+    /// Start a profile capture (clears any previous one).
+    pub fn enable_profiling(&self) {
+        self.ctx.profile.enable();
+    }
+
+    /// Stop the profile capture.
+    pub fn disable_profiling(&self) {
+        self.ctx.profile.disable();
+    }
+
+    /// Snapshot the captured spans as a self-time/total-time tree.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.ctx.profile.report()
+    }
+
+    /// The kernel's structure-health sink.
+    pub fn health(&self) -> &Arc<HealthSink> {
+        &self.ctx.health
+    }
+
+    /// Start sampling structure health (clears any previous capture).
+    pub fn enable_health(&self) {
+        self.ctx.health.enable();
+    }
+
+    /// Stop sampling structure health.
+    pub fn disable_health(&self) {
+        self.ctx.health.disable();
+    }
+
+    /// Snapshot the structure-health gauges: shadow-chain depth, pv-list
+    /// length, map-entry scan distance, object-cache occupancy and the
+    /// page-queue series.
+    pub fn health_report(&self) -> HealthReport {
+        self.ctx.health.report()
+    }
+
     /// Free pages if the pool fell below the boot-time target.
     pub fn balance(&self) {
         let free = self.ctx.resident.counts().free;
@@ -310,10 +369,13 @@ impl Kernel {
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: old.pager_timeout,
             // Shared with the first boot's context so the shootdown
-            // observer installed there keeps feeding the same sink, and
-            // one injector drives one deterministic draw sequence.
+            // observer installed there keeps feeding the same sink, one
+            // injector drives one deterministic draw sequence, and the
+            // shootdown span hook keeps feeding the same profiler.
             trace: Arc::clone(&old.trace),
             injector: Arc::clone(&old.injector),
+            profile: Arc::clone(&old.profile),
+            health: Arc::clone(&old.health),
         });
         Arc::new(Kernel {
             ctx,
@@ -346,7 +408,13 @@ impl Kernel {
             install_device_faults(&self.ctx.injector, fs.device());
         }
         let ident = InodePager::ident_for(fs, file);
-        let object = match self.ctx.cache.lookup(&ident) {
+        let cache_span = self.ctx.prof_span(SpanKind::ObjectCache);
+        let cached = self.ctx.cache.lookup(&ident);
+        if self.ctx.health.is_enabled() {
+            self.ctx.health.cache_occupancy(self.ctx.cache.len() as u64);
+        }
+        drop(cache_span);
+        let object = match cached {
             Some(o) => {
                 self.ctx
                     .stats

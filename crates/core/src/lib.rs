@@ -51,6 +51,7 @@
 
 pub mod ctx;
 pub mod fault;
+pub mod health;
 pub mod inject;
 pub mod kernel;
 pub mod map;
@@ -59,6 +60,7 @@ pub mod object;
 pub mod page;
 pub mod pageout;
 pub mod pager;
+pub mod profile;
 pub mod stats;
 pub mod task;
 pub mod trace;
@@ -66,6 +68,7 @@ pub mod types;
 pub mod xpager;
 
 pub use ctx::CoreRefs;
+pub use health::{GaugeStats, HealthReport, HealthSink, QueueSample};
 pub use inject::{InjectKind, InjectPlan, InjectedEvent, Injector};
 pub use kernel::{BootOptions, Kernel};
 pub use map::{RegionInfo, VmMap};
@@ -73,6 +76,7 @@ pub use msg::RegionTicket;
 pub use object::VmObject;
 pub use page::PageId;
 pub use pager::{InodePager, Pager, PagerReply};
+pub use profile::{ProfileReport, ProfileRow, Profiler, SpanKind, SpanTotals};
 pub use stats::VmStats;
 pub use task::{Task, UserCtx};
 pub use trace::{

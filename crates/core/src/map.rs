@@ -191,12 +191,15 @@ impl MapInner {
         node.entry
     }
 
-    /// Find the entry containing `addr`, hint-first (§3.2).
+    /// Find the entry containing `addr`, hint-first (§3.2). The health
+    /// gauge records entries visited: 0 for a hint hit, 1 for the hint's
+    /// successor, n for a linear walk of n entries.
     fn lookup(&mut self, addr: u64, ctx: &CoreRefs) -> Option<usize> {
         if let Some(h) = self.hint {
             if let Some(node) = self.nodes.get(h).and_then(|n| n.as_ref()) {
                 if node.entry.start <= addr && addr < node.entry.end {
                     ctx.stats.hint_hits.fetch_add(1, Ordering::Relaxed);
+                    ctx.health.scan_distance(0);
                     return Some(h);
                 }
                 // Sequential access: the next entry is the second guess.
@@ -204,6 +207,7 @@ impl MapInner {
                     let e = &self.node(nx).entry;
                     if e.start <= addr && addr < e.end {
                         ctx.stats.hint_hits.fetch_add(1, Ordering::Relaxed);
+                        ctx.health.scan_distance(1);
                         self.hint = Some(nx);
                         return Some(nx);
                     }
@@ -212,17 +216,22 @@ impl MapInner {
         }
         ctx.stats.hint_misses.fetch_add(1, Ordering::Relaxed);
         let mut cur = self.head;
+        let mut visited = 0u64;
         while let Some(c) = cur {
+            visited += 1;
             let e = &self.node(c).entry;
             if e.start <= addr && addr < e.end {
+                ctx.health.scan_distance(visited);
                 self.hint = Some(c);
                 return Some(c);
             }
             if e.start > addr {
+                ctx.health.scan_distance(visited);
                 return None;
             }
             cur = self.node(c).next;
         }
+        ctx.health.scan_distance(visited);
         None
     }
 
@@ -1048,6 +1057,8 @@ mod tests {
             pager_timeout: std::time::Duration::from_secs(5),
             trace,
             injector: crate::inject::Injector::disabled(),
+            profile: Arc::new(crate::profile::Profiler::new(1)),
+            health: Arc::new(crate::health::HealthSink::new()),
         })
     }
 

@@ -284,7 +284,13 @@ pub fn deallocate(obj: &Arc<VmObject>, ctx: &CoreRefs) {
         s.can_persist && !s.terminated && s.pager.is_some()
     };
     if cache_me {
-        ctx.cache.insert(obj, ctx);
+        {
+            let _oc = ctx.prof_span(crate::profile::SpanKind::ObjectCache);
+            ctx.cache.insert(obj, ctx);
+        }
+        if ctx.health.is_enabled() {
+            ctx.health.cache_occupancy(ctx.cache.len() as u64);
+        }
     } else {
         terminate(obj, ctx);
         try_collapse_dropped(obj);

@@ -31,6 +31,10 @@ const PAGEOUT_RETRIES: u32 = 3;
 /// pages are reclaimed, dirty ones written to their pager), and finally
 /// reap unreferenced objects from the object cache.
 pub fn reclaim(ctx: &CoreRefs, want: usize) -> usize {
+    let _sp = ctx.prof_span(crate::profile::SpanKind::Pageout);
+    if ctx.health.is_enabled() {
+        ctx.health.page_queues(&ctx.machine, ctx.resident.counts());
+    }
     let page = ctx.page_size;
     let mut freed = 0usize;
 
@@ -56,8 +60,15 @@ pub fn reclaim(ctx: &CoreRefs, want: usize) -> usize {
 
     while freed < want {
         let before = ctx.resident.counts().free;
-        if !ctx.cache.reap_one(ctx) {
+        let reaped = {
+            let _oc = ctx.prof_span(crate::profile::SpanKind::ObjectCache);
+            ctx.cache.reap_one(ctx)
+        };
+        if !reaped {
             break;
+        }
+        if ctx.health.is_enabled() {
+            ctx.health.cache_occupancy(ctx.cache.len() as u64);
         }
         let after = ctx.resident.counts().free;
         freed += (after - before) as usize;

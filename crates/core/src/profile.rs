@@ -1,0 +1,536 @@
+//! Hierarchical span profiler: per-CPU cycle attribution over the
+//! simulated clock.
+//!
+//! The paper's evaluation (§7, Tables 7-1/7-2) is an accounting of
+//! *where time goes*; the trace ring ([`crate::trace`]) says what
+//! happened, this module says which subsystem paid for it. Fault
+//! handling is decomposed into map lookup, shadow-chain walk, pager
+//! wait, zero fill, copy, `pmap_enter` and TLB shootdown; the pageout
+//! daemon, the object cache and the pager service thread get spans of
+//! their own (the full catalogue is [`SpanKind`], documented per
+//! emission site in `docs/METRICS.md`).
+//!
+//! Contract, shared with [`crate::trace::TraceSink`]:
+//!
+//! 1. **Disabled profiling is a branch, not a lock.** [`Profiler::span`]
+//!    costs one relaxed atomic load and returns an inert guard.
+//! 2. **The profiler never charges cycles.** It only *reads* the
+//!    emitting CPU's simulated clock, so enabling it changes no
+//!    simulated-time measurement — the observer stays off the books.
+//! 3. **Spans are RAII.** A [`SpanGuard`] closes on drop, so early
+//!    returns, `?` and chaos-injected failures all balance; the
+//!    property tests in `tests/profile_props.rs` hold the profiler to
+//!    this.
+//!
+//! Attribution is per call *path*: time spent in `pmap_enter` under a
+//! fault is a different row from `pmap_enter` elsewhere, which is what
+//! lets [`ProfileReport`] render a self-time/total-time tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+/// The profiled subsystems. Each variant is one emission site class;
+/// `docs/METRICS.md` maps every variant to its code location and paper
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One whole `vm_fault` (§3.6), enclosing the decomposed phases.
+    Fault,
+    /// Address-map resolution (§3.2's "last fault" hint and entry list).
+    MapLookup,
+    /// The object/shadow-chain walk of the fault handler (§3.5).
+    ShadowWalk,
+    /// Waiting on a pager: `pager_data_request` round trips and busy
+    /// pages (§3.3).
+    PagerWait,
+    /// Zero-filling a fresh page.
+    ZeroFill,
+    /// Copying a page (COW push, §3.4, or pager-supplied data).
+    Copy,
+    /// Entering the mapping into the pmap (§4).
+    PmapEnter,
+    /// A coalesced TLB-shootdown round (§5.2), emitted by the pmap
+    /// chassis through the kernel's span hook.
+    Shootdown,
+    /// The paging daemon's reclaim scan (§3.1).
+    Pageout,
+    /// Object-cache insert/lookup/reap (`pager_cache` semantics).
+    ObjectCache,
+    /// The per-object pager service thread handling a Table 3-2 message.
+    PagerService,
+}
+
+impl SpanKind {
+    /// Stable lower-case name, used in reports and `BENCH_vm.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Fault => "fault",
+            SpanKind::MapLookup => "map_lookup",
+            SpanKind::ShadowWalk => "shadow_walk",
+            SpanKind::PagerWait => "pager_wait",
+            SpanKind::ZeroFill => "zero_fill",
+            SpanKind::Copy => "copy",
+            SpanKind::PmapEnter => "pmap_enter",
+            SpanKind::Shootdown => "shootdown",
+            SpanKind::Pageout => "pageout",
+            SpanKind::ObjectCache => "object_cache",
+            SpanKind::PagerService => "pager_service",
+        }
+    }
+}
+
+/// Aggregated cycles for one call path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanTotals {
+    /// Spans closed on this path.
+    pub count: u64,
+    /// Inclusive cycles (span open → close).
+    pub total_cycles: u64,
+    /// Exclusive cycles (total minus enclosed child spans).
+    pub self_cycles: u64,
+}
+
+/// One open span on a CPU's stack.
+#[derive(Debug)]
+struct Open {
+    kind: SpanKind,
+    token: u64,
+    start: u64,
+    /// Cycles already attributed to closed children.
+    child: u64,
+}
+
+#[derive(Debug, Default)]
+struct CpuProf {
+    stack: Vec<Open>,
+    nodes: BTreeMap<Vec<SpanKind>, SpanTotals>,
+}
+
+/// The kernel-wide profiler: one span stack and path table per CPU,
+/// behind an enable flag. Lives in [`crate::CoreRefs`].
+#[derive(Debug)]
+pub struct Profiler {
+    enabled: AtomicBool,
+    /// Bumped by [`Profiler::enable`]; a guard opened under an older
+    /// epoch closes as a no-op instead of unbalancing the fresh capture.
+    epoch: AtomicU64,
+    next_token: AtomicU64,
+    cpus: Vec<Mutex<CpuProf>>,
+}
+
+impl Profiler {
+    /// A disabled profiler with one span stack per CPU.
+    pub fn new(n_cpus: usize) -> Profiler {
+        Profiler {
+            enabled: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            next_token: AtomicU64::new(0),
+            cpus: (0..n_cpus.max(1))
+                .map(|_| Mutex::new(CpuProf::default()))
+                .collect(),
+        }
+    }
+
+    /// Start a capture, discarding any previous one. Spans still open
+    /// from before the enable are orphaned (their guards no-op).
+    pub fn enable(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        for c in &self.cpus {
+            let mut g = c.lock();
+            g.stack.clear();
+            g.nodes.clear();
+        }
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop capturing (accumulated totals remain until the next enable;
+    /// already-open spans still close and attribute).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the profiler is currently capturing.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a span of `kind` on the current CPU. When disabled this is
+    /// one relaxed atomic load and an inert guard — the tracing
+    /// contract. Never charges simulated cycles.
+    #[inline]
+    pub fn span<'a>(&'a self, machine: &'a Machine, kind: SpanKind) -> SpanGuard<'a> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return SpanGuard { ctx: None };
+        }
+        let (cpu, token, epoch) = self.open(machine, kind);
+        SpanGuard {
+            ctx: Some(SpanCtx {
+                prof: self,
+                machine,
+                cpu,
+                token,
+                epoch,
+            }),
+        }
+    }
+
+    /// Like [`Profiler::span`] but owning its references, for callers
+    /// that cannot carry a lifetime — the pmap chassis's shootdown span
+    /// hook boxes this as an opaque guard.
+    #[inline]
+    pub fn span_owned(self: &Arc<Self>, machine: &Arc<Machine>, kind: SpanKind) -> OwnedSpanGuard {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return OwnedSpanGuard { ctx: None };
+        }
+        let (cpu, token, epoch) = self.open(machine, kind);
+        OwnedSpanGuard {
+            ctx: Some(OwnedSpanCtx {
+                prof: Arc::clone(self),
+                machine: Arc::clone(machine),
+                cpu,
+                token,
+                epoch,
+            }),
+        }
+    }
+
+    fn open(&self, machine: &Machine, kind: SpanKind) -> (usize, u64, u64) {
+        let cpu = machine.current_cpu().min(self.cpus.len() - 1);
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let start = machine.clock().system_cycles();
+        self.cpus[cpu].lock().stack.push(Open {
+            kind,
+            token,
+            start,
+            child: 0,
+        });
+        (cpu, token, epoch)
+    }
+
+    fn close(&self, machine: &Machine, cpu: usize, token: u64, epoch: u64) {
+        if self.epoch.load(Ordering::Relaxed) != epoch {
+            return; // re-enabled mid-span: the stack was reset
+        }
+        let now = machine.clock().system_cycles();
+        let mut g = self.cpus[cpu].lock();
+        // The span is normally on top; an unbound helper thread sharing
+        // this CPU slot may have stacked entries above it, so search.
+        let Some(pos) = g.stack.iter().rposition(|e| e.token == token) else {
+            return;
+        };
+        let open = g.stack.remove(pos);
+        let total = now.saturating_sub(open.start);
+        let self_t = total.saturating_sub(open.child);
+        let mut path: Vec<SpanKind> = g.stack[..pos].iter().map(|e| e.kind).collect();
+        path.push(open.kind);
+        let node = g.nodes.entry(path).or_default();
+        node.count += 1;
+        node.total_cycles += total;
+        node.self_cycles += self_t;
+        if pos > 0 {
+            g.stack[pos - 1].child += total;
+        }
+    }
+
+    /// Spans currently open across all CPUs (0 once every guard has
+    /// dropped — the balance invariant the property tests assert).
+    pub fn open_spans(&self) -> usize {
+        self.cpus.iter().map(|c| c.lock().stack.len()).sum()
+    }
+
+    /// Merge every CPU's path table into one report.
+    pub fn report(&self) -> ProfileReport {
+        let mut nodes: BTreeMap<Vec<SpanKind>, SpanTotals> = BTreeMap::new();
+        for c in &self.cpus {
+            let g = c.lock();
+            for (path, n) in &g.nodes {
+                let e = nodes.entry(path.clone()).or_default();
+                e.count += n.count;
+                e.total_cycles += n.total_cycles;
+                e.self_cycles += n.self_cycles;
+            }
+        }
+        ProfileReport {
+            rows: nodes
+                .into_iter()
+                .map(|(path, totals)| ProfileRow { path, totals })
+                .collect(),
+        }
+    }
+}
+
+/// A borrowed RAII span; closes (and attributes) on drop.
+#[must_use = "a span measures the scope holding the guard"]
+pub struct SpanGuard<'a> {
+    ctx: Option<SpanCtx<'a>>,
+}
+
+struct SpanCtx<'a> {
+    prof: &'a Profiler,
+    machine: &'a Machine,
+    cpu: usize,
+    token: u64,
+    epoch: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.ctx.take() {
+            c.prof.close(c.machine, c.cpu, c.token, c.epoch);
+        }
+    }
+}
+
+/// An owning RAII span (see [`Profiler::span_owned`]).
+#[must_use = "a span measures the scope holding the guard"]
+pub struct OwnedSpanGuard {
+    ctx: Option<OwnedSpanCtx>,
+}
+
+struct OwnedSpanCtx {
+    prof: Arc<Profiler>,
+    machine: Arc<Machine>,
+    cpu: usize,
+    token: u64,
+    epoch: u64,
+}
+
+impl Drop for OwnedSpanGuard {
+    fn drop(&mut self) {
+        if let Some(c) = self.ctx.take() {
+            c.prof.close(&c.machine, c.cpu, c.token, c.epoch);
+        }
+    }
+}
+
+/// One rendered row: a call path and its aggregated cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// The span path, root first (e.g. `[Fault, PmapEnter, Shootdown]`).
+    pub path: Vec<SpanKind>,
+    /// Aggregated cycles for this path.
+    pub totals: SpanTotals,
+}
+
+/// A merged profile capture, rendered as a self-time/total-time tree.
+/// Paths sort lexicographically, so children follow their parents.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Rows in path order.
+    pub rows: Vec<ProfileRow>,
+}
+
+impl ProfileReport {
+    /// Whether nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Aggregate for one exact path, if captured.
+    pub fn path_totals(&self, path: &[SpanKind]) -> Option<SpanTotals> {
+        self.rows.iter().find(|r| r.path == path).map(|r| r.totals)
+    }
+
+    /// Sum over every path ending in `kind` (a subsystem's cost wherever
+    /// it was entered from).
+    pub fn leaf_totals(&self, kind: SpanKind) -> SpanTotals {
+        let mut t = SpanTotals::default();
+        for r in &self.rows {
+            if r.path.last() == Some(&kind) {
+                t.count += r.totals.count;
+                t.total_cycles += r.totals.total_cycles;
+                t.self_cycles += r.totals.self_cycles;
+            }
+        }
+        t
+    }
+
+    /// Exclusive cycles per span kind, summed over all paths — the flat
+    /// "where did the cycles go" view.
+    pub fn self_time_by_kind(&self) -> BTreeMap<SpanKind, u64> {
+        let mut out = BTreeMap::new();
+        for r in &self.rows {
+            if let Some(&k) = r.path.last() {
+                *out.entry(k).or_insert(0) += r.totals.self_cycles;
+            }
+        }
+        out
+    }
+
+    /// Direct children of `path` (rows exactly one element longer).
+    pub fn children_of(&self, path: &[SpanKind]) -> Vec<&ProfileRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.path.len() == path.len() + 1 && r.path.starts_with(path))
+            .collect()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return writeln!(f, "  (no spans captured)");
+        }
+        writeln!(
+            f,
+            "  {:<34} {:>8} {:>12} {:>12}",
+            "span", "count", "total cyc", "self cyc"
+        )?;
+        for r in &self.rows {
+            let depth = r.path.len() - 1;
+            let name = format!(
+                "{}{}",
+                "  ".repeat(depth),
+                r.path.last().map(|k| k.name()).unwrap_or("?")
+            );
+            writeln!(
+                f,
+                "  {:<34} {:>8} {:>12} {:>12}",
+                name, r.totals.count, r.totals.total_cycles, r.totals.self_cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    fn machine() -> Arc<Machine> {
+        Machine::boot(MachineModel::micro_vax_ii())
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let m = machine();
+        let p = Profiler::new(m.n_cpus());
+        {
+            let _s = p.span(&m, SpanKind::Fault);
+        }
+        assert_eq!(p.open_spans(), 0);
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_attribute_child_and_self_time() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let p = Profiler::new(m.n_cpus());
+        p.enable();
+        {
+            let _f = p.span(&m, SpanKind::Fault);
+            m.charge(100);
+            {
+                let _l = p.span(&m, SpanKind::MapLookup);
+                m.charge(40);
+            }
+            m.charge(60);
+        }
+        let rep = p.report();
+        let fault = rep.path_totals(&[SpanKind::Fault]).unwrap();
+        let lookup = rep
+            .path_totals(&[SpanKind::Fault, SpanKind::MapLookup])
+            .unwrap();
+        assert_eq!(fault.count, 1);
+        assert_eq!(lookup.count, 1);
+        assert_eq!(fault.total_cycles, 200);
+        assert_eq!(lookup.total_cycles, 40);
+        assert_eq!(lookup.self_cycles, 40);
+        assert_eq!(fault.self_cycles, 160);
+        assert_eq!(
+            fault.self_cycles + lookup.total_cycles,
+            fault.total_cycles,
+            "self + children == total"
+        );
+        assert_eq!(p.open_spans(), 0);
+    }
+
+    #[test]
+    fn same_kind_on_different_paths_is_different_rows() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let p = Profiler::new(m.n_cpus());
+        p.enable();
+        {
+            let _f = p.span(&m, SpanKind::Fault);
+            let _e = p.span(&m, SpanKind::PmapEnter);
+            m.charge(10);
+        }
+        {
+            let _e = p.span(&m, SpanKind::PmapEnter);
+            m.charge(5);
+        }
+        let rep = p.report();
+        assert_eq!(
+            rep.path_totals(&[SpanKind::Fault, SpanKind::PmapEnter])
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(rep.path_totals(&[SpanKind::PmapEnter]).unwrap().count, 1);
+        let leaf = rep.leaf_totals(SpanKind::PmapEnter);
+        assert_eq!(leaf.count, 2);
+        assert_eq!(leaf.total_cycles, 15);
+    }
+
+    #[test]
+    fn re_enable_orphans_open_spans_without_unbalancing() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let p = Profiler::new(m.n_cpus());
+        p.enable();
+        let g = p.span(&m, SpanKind::Fault);
+        p.enable(); // new capture while g is open
+        drop(g); // closes as a no-op: older epoch
+        assert_eq!(p.open_spans(), 0);
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn owned_span_guard_attributes_like_borrowed() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let p = Arc::new(Profiler::new(m.n_cpus()));
+        p.enable();
+        {
+            let _f = p.span(&m, SpanKind::PmapEnter);
+            let g = p.span_owned(&m, SpanKind::Shootdown);
+            m.charge(25);
+            drop(g);
+        }
+        let rep = p.report();
+        let sd = rep
+            .path_totals(&[SpanKind::PmapEnter, SpanKind::Shootdown])
+            .unwrap();
+        assert_eq!(sd.count, 1);
+        assert_eq!(sd.total_cycles, 25);
+    }
+
+    #[test]
+    fn profiler_never_charges_cycles() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let before = m.clock().system_cycles();
+        let p = Profiler::new(m.n_cpus());
+        p.enable();
+        {
+            let _f = p.span(&m, SpanKind::Fault);
+            let _l = p.span(&m, SpanKind::MapLookup);
+        }
+        let _ = p.report();
+        assert_eq!(
+            m.clock().system_cycles(),
+            before,
+            "the observer must stay off the simulated books"
+        );
+    }
+}

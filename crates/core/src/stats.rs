@@ -96,6 +96,49 @@ pub struct VmStats {
     pub failed_pageouts: u64,
 }
 
+impl VmStats {
+    /// The event counters accumulated since `baseline` was snapshot —
+    /// what a benchmark reports so warm-up/boot activity stays unpaid.
+    ///
+    /// Event counters subtract (saturating, so a mismatched baseline
+    /// cannot wrap); `pagesize` and the queue lengths are *state*, not
+    /// events, and pass through from `self`.
+    pub fn delta(&self, baseline: &VmStats) -> VmStats {
+        VmStats {
+            pagesize: self.pagesize,
+            free_count: self.free_count,
+            active_count: self.active_count,
+            inactive_count: self.inactive_count,
+            wire_count: self.wire_count,
+            faults: self.faults.saturating_sub(baseline.faults),
+            zero_fill_count: self
+                .zero_fill_count
+                .saturating_sub(baseline.zero_fill_count),
+            cow_faults: self.cow_faults.saturating_sub(baseline.cow_faults),
+            resident_hits: self.resident_hits.saturating_sub(baseline.resident_hits),
+            pageins: self.pageins.saturating_sub(baseline.pageins),
+            pageouts: self.pageouts.saturating_sub(baseline.pageouts),
+            reclaims: self.reclaims.saturating_sub(baseline.reclaims),
+            reactivations: self.reactivations.saturating_sub(baseline.reactivations),
+            collapses: self.collapses.saturating_sub(baseline.collapses),
+            bypasses: self.bypasses.saturating_sub(baseline.bypasses),
+            object_cache_hits: self
+                .object_cache_hits
+                .saturating_sub(baseline.object_cache_hits),
+            object_cache_misses: self
+                .object_cache_misses
+                .saturating_sub(baseline.object_cache_misses),
+            hint_hits: self.hint_hits.saturating_sub(baseline.hint_hits),
+            hint_misses: self.hint_misses.saturating_sub(baseline.hint_misses),
+            pager_deaths: self.pager_deaths.saturating_sub(baseline.pager_deaths),
+            io_retries: self.io_retries.saturating_sub(baseline.io_retries),
+            failed_pageouts: self
+                .failed_pageouts
+                .saturating_sub(baseline.failed_pageouts),
+        }
+    }
+}
+
 impl VmStatsAtomic {
     /// Snapshot every counter. The caller supplies the current resident
     /// queue counts (from [`crate::page::ResidentTable::counts`]) so a
@@ -156,5 +199,41 @@ mod tests {
         assert_eq!(s.active_count, 4);
         assert_eq!(s.inactive_count, 2);
         assert_eq!(s.wire_count, 1);
+    }
+
+    #[test]
+    fn delta_subtracts_events_and_keeps_state() {
+        let a = VmStatsAtomic::default();
+        a.faults.fetch_add(5, Ordering::Relaxed);
+        a.zero_fill.fetch_add(2, Ordering::Relaxed);
+        let q0 = PageCounts {
+            free: 100,
+            active: 0,
+            inactive: 0,
+            wired: 0,
+        };
+        let baseline = a.snapshot(4096, q0);
+        a.faults.fetch_add(7, Ordering::Relaxed);
+        a.cow_faults.fetch_add(3, Ordering::Relaxed);
+        let q1 = PageCounts {
+            free: 90,
+            active: 8,
+            inactive: 2,
+            wired: 0,
+        };
+        let now = a.snapshot(4096, q1);
+        let d = now.delta(&baseline);
+        // Events: only what happened after the baseline.
+        assert_eq!(d.faults, 7);
+        assert_eq!(d.cow_faults, 3);
+        assert_eq!(d.zero_fill_count, 0);
+        // State: the current values, not a difference.
+        assert_eq!(d.pagesize, 4096);
+        assert_eq!(d.free_count, 90);
+        assert_eq!(d.active_count, 8);
+        assert_eq!(d.inactive_count, 2);
+        // A stale baseline saturates instead of wrapping.
+        let wrapped = baseline.delta(&now);
+        assert_eq!(wrapped.faults, 0);
     }
 }

@@ -250,6 +250,7 @@ fn handle_pager_message_once(
     base: u64,
     pager_port: &SendRight,
 ) {
+    let _sp = ctx.prof_span(crate::profile::SpanKind::PagerService);
     let page = ctx.page_size;
     match msg.op() {
         ops::PAGER_DATA_PROVIDED => {

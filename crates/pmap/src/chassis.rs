@@ -582,6 +582,10 @@ impl<F: PortFactory> MachDep for ChassisMachDep<F> {
         self.core.set_observer(observer);
     }
 
+    fn set_shootdown_span_hook(&self, hook: crate::ShootdownSpanHook) {
+        self.core.set_span_hook(hook);
+    }
+
     fn stats(&self) -> PmapStats {
         self.core.counters.snapshot()
     }

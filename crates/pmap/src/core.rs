@@ -11,7 +11,10 @@ use mach_hw::Pfn;
 use parking_lot::{Mutex, RwLock};
 
 use crate::pv::{PvTable, ATTR_MOD, ATTR_REF};
-use crate::{Counters, Pending, ShootdownObserver, ShootdownPolicy, ShootdownStrategy};
+use crate::{
+    Counters, HookGuard, Pending, ShootdownObserver, ShootdownPolicy, ShootdownSpanHook,
+    ShootdownStrategy,
+};
 
 /// Turn a CPU bitmask into a target list.
 pub(crate) fn cpu_list(mask: u64, n_cpus: usize) -> Vec<usize> {
@@ -45,6 +48,7 @@ pub struct MdCore {
     deferred: Mutex<Vec<DeferredFlush>>,
     next_id: AtomicU64,
     observer: RwLock<Option<ShootdownObserver>>,
+    span_hook: RwLock<Option<ShootdownSpanHook>>,
 }
 
 impl std::fmt::Debug for MdCore {
@@ -66,12 +70,23 @@ impl MdCore {
             deferred: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             observer: RwLock::new(None),
+            span_hook: RwLock::new(None),
         }
     }
 
     /// Install the per-round shootdown callback (see [`ShootdownObserver`]).
     pub fn set_observer(&self, observer: ShootdownObserver) {
         *self.observer.write() = Some(observer);
+    }
+
+    /// Install the per-round span hook (see [`ShootdownSpanHook`]).
+    pub fn set_span_hook(&self, hook: ShootdownSpanHook) {
+        *self.span_hook.write() = Some(hook);
+    }
+
+    /// Open a span bracketing one shootdown round, if a hook is installed.
+    fn round_span(&self) -> Option<HookGuard> {
+        self.span_hook.read().as_ref().map(|h| h())
     }
 
     pub fn next_id(&self) -> u64 {
@@ -119,9 +134,11 @@ impl MdCore {
                 // Coalesced: one shootdown round carries every scope, so
                 // each target CPU takes a single interrupt for the whole
                 // range operation instead of one per page.
+                let span = self.round_span();
                 let sent = self.machine.shootdown_multi(&targets, &scopes, true);
                 self.count_round(sent);
                 self.notify_round(cpus, pages.len() as u64);
+                drop(span);
                 Pending::complete()
             }
             ShootdownStrategy::Deferred => {
@@ -175,9 +192,11 @@ impl MdCore {
             };
             // One coalesced round per CPU set, however many flushes were
             // queued against it.
+            let span = self.round_span();
             let sent = self.machine.shootdown_multi(&targets, &scopes, true);
             self.count_round(sent);
             self.notify_round(cpus, flushes.len() as u64);
+            drop(span);
             for f in flushes {
                 f.done.store(true, Ordering::Release);
             }

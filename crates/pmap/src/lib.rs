@@ -188,6 +188,20 @@ impl ShootdownPolicy {
 /// depending on it.
 pub type ShootdownObserver = Arc<dyn Fn(u64, u64) + Send + Sync>;
 
+/// An opaque RAII guard returned by a [`ShootdownSpanHook`]; whatever
+/// the installer put in the box is dropped when the shootdown round
+/// completes. `Box<dyn Any>` keeps this crate free of a dependency on
+/// the machine-independent profiler whose span guard it carries.
+pub type HookGuard = Box<dyn std::any::Any + Send>;
+
+/// Factory invoked as each TLB-shootdown round is issued; the returned
+/// [`HookGuard`] drops when the round (IPIs and observer notification)
+/// is done. This is how the machine-independent span profiler brackets
+/// shootdown time without this crate depending on it — the dual of
+/// [`ShootdownObserver`], which reports *that* a round happened rather
+/// than *how long* it took.
+pub type ShootdownSpanHook = Arc<dyn Fn() -> HookGuard + Send + Sync>;
+
 /// A handle on deferred TLB-flush work; complete after the next
 /// [`MachDep::update`] (or immediately, for non-deferred strategies).
 #[derive(Debug, Clone, Default)]
@@ -347,6 +361,11 @@ pub trait MachDep: Send + Sync + fmt::Debug {
     /// [`ShootdownObserver`]). The default discards it — a port that never
     /// issues rounds has nothing to report.
     fn set_shootdown_observer(&self, _observer: ShootdownObserver) {}
+
+    /// Install a span hook bracketing every issued shootdown round (see
+    /// [`ShootdownSpanHook`]). The default discards it, for the same
+    /// reason as [`MachDep::set_shootdown_observer`].
+    fn set_shootdown_span_hook(&self, _hook: ShootdownSpanHook) {}
 
     /// Statistics snapshot.
     fn stats(&self) -> PmapStats;

@@ -74,10 +74,16 @@ fn main() {
         let name = model.name;
         let machine = Machine::boot(model);
         let kernel = Kernel::boot(&machine);
-        // The same workload runs traced: the event ring reconstructs each
-        // port's fault-latency distribution without touching the workload.
+        // The same workload runs traced and profiled: the event ring
+        // reconstructs each port's fault-latency distribution and the span
+        // profiler attributes cycles inside the fault path — all without
+        // touching the workload.
+        kernel.enable_profiling();
+        kernel.enable_health();
         let (log, (faults, cow, table_bytes)) =
             traced(&kernel, 65_536, || machine_independent_workload(&kernel));
+        let profile = kernel.profile_report();
+        let health = kernel.health_report();
         let md = kernel.machdep().stats();
         println!(
             "{:<18} {:>8} {:>6} {:>6} {:>9} {:>9} {:>8} {:>12}",
@@ -90,7 +96,7 @@ fn main() {
             format!("{}/{}", md.context_steals, md.pmeg_steals),
             table_bytes,
         );
-        pmap_rows.push((name, md, log));
+        pmap_rows.push((name, md, log, profile, health));
     }
     println!();
     println!("Same workload, same machine-independent kernel. The differences are");
@@ -107,7 +113,7 @@ fn main() {
         "{:<18} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
         "pmap (chassis)", "enters", "removes", "protects", "deferred", "rounds", "flush ipis"
     );
-    for (name, md, _) in &pmap_rows {
+    for (name, md, _, _, _) in &pmap_rows {
         println!(
             "{:<18} {:>8} {:>8} {:>9} {:>9} {:>9} {:>10}",
             name,
@@ -132,12 +138,50 @@ fn main() {
         "{:<18} {:>7} {:>10} {:>10} {:>10} {:>10}",
         "fault latency", "faults", "p50 cyc", "p95 cyc", "max cyc", "mean cyc"
     );
-    for (name, _, log) in &pmap_rows {
+    for (name, _, log, _, _) in &pmap_rows {
         print_latency_row(name, log);
     }
     println!();
     println!("Latencies come from pairing FaultBegin/FaultEnd events in the VM");
     println!("trace ring (see docs/TRACING.md) — no workload instrumentation.");
+
+    // Where those cycles went: the span profiler's self/total tree for
+    // each port, over the exact same run.
+    for (name, _, _, profile, _) in &pmap_rows {
+        println!();
+        println!("cycle profile — {name}");
+        print!("{profile}");
+    }
+    println!();
+    println!("Self time is cycles charged inside a span but outside its");
+    println!("children; the fault row's total reconciles exactly with the");
+    println!("trace ring's fault-latency sum (see docs/METRICS.md).");
+
+    // Structure health: the data-structure shapes behind those latencies.
+    println!();
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "structure health", "shadow", "shadow", "pv-list", "pv-list", "hint hit"
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "", "p50", "max", "p50", "max", "rate"
+    );
+    for (name, _, _, _, health) in &pmap_rows {
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9.0}%",
+            name,
+            health.shadow_depth.percentile(0.50),
+            health.shadow_depth.max,
+            health.pv_list_len.percentile(0.50),
+            health.pv_list_len.max,
+            health.hint_hit_rate() * 100.0,
+        );
+    }
+    println!();
+    println!("Shadow depth is sampled per fault, pv-list length per pmap_enter;");
+    println!("both stay flat here because the workload forks once — deep chains");
+    println!("only appear when forks stack (see the shadow-chain ablation).");
 }
 
 fn print_latency_row(name: &str, log: &TraceLog) {
@@ -146,8 +190,8 @@ fn print_latency_row(name: &str, log: &TraceLog) {
         "{:<18} {:>7} {:>10} {:>10} {:>10} {:>10}",
         name,
         h.count(),
-        h.percentile(50.0),
-        h.percentile(95.0),
+        h.percentile(0.50),
+        h.percentile(0.95),
         h.max(),
         h.mean(),
     );
