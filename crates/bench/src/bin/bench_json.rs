@@ -3,44 +3,61 @@
 //!
 //! Every run boots a fresh simulated machine, performs its setup
 //! unmeasured, then runs the workload body with tracing, profiling and
-//! health sampling enabled. The emitted record carries the simulated
-//! system/elapsed time, the [`VmStats`] delta over the body, fault-latency
-//! percentiles from the trace, and the profiler's span breakdown.
+//! health sampling enabled — **one pinned OS thread per simulated CPU**
+//! ([`measured_parallel`]), so fault streams, COW pushes, pageout and
+//! shootdown IPIs genuinely race through the kernel. The emitted record
+//! carries the simulated system/elapsed time (system summed across CPUs,
+//! elapsed the slowest CPU's wall), the [`VmStats`] delta over the body,
+//! fault-latency percentiles from the trace, and the profiler's span
+//! breakdown. A top-level `scaling` table reports aggregate fault
+//! throughput at each CPU count against the 1-CPU run of the same
+//! workload/port.
 //!
-//! Everything is simulated and single-threaded, so the output is
-//! byte-for-byte reproducible:
+//! Single-CPU rows are deterministic; multi-CPU rows race real threads,
+//! so their numbers carry run-to-run jitter (the regression gates account
+//! for this — see [`check_regressions`]).
 //!
 //! ```text
 //! cargo run --release -p mach-bench --bin bench_json
 //! ```
 //!
 //! Flags: `--ports vax,romp,...` `--cpus 1,4` `--out PATH`
-//! `--check BASELINE` (exit 1 if any matching workload's elapsed_us
-//! regressed more than 20% against the baseline file).
+//! `--check BASELINE` (exit 1 if a 1-CPU workload's elapsed_us regressed
+//! more than 20%, or any workload's scaling gain fell below half its
+//! baseline).
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use mach_bench::json::{self, Json};
-use mach_bench::measure::measured;
+use mach_bench::measure::{measured_parallel, SimTime};
 use mach_fs::{BlockDevice, SimFs};
 use mach_hw::machine::{Machine, MachineModel};
+use mach_pmap::{ShootdownPolicy, ShootdownStrategy};
 use mach_vm::kernel::Kernel;
 use mach_vm::types::Protection;
 use mach_vm::VmStats;
 
-const SCHEMA: &str = "mach-vm-bench-v1";
+const SCHEMA: &str = "mach-vm-bench-v2";
 const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
 const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
-const WORKLOADS: [&str; 5] = [
+const WORKLOADS: [&str; 7] = [
     "zero_fill",
     "fork_cow",
     "file_reread",
-    "shootdown",
+    "shootdown_immediate",
+    "shootdown_deferred",
+    "shootdown_lazy",
     "pageout_reclaim",
 ];
-/// Regression gate for `--check`: elapsed_us may grow by at most 20%.
+/// Regression gate for `--check`: a 1-CPU elapsed_us may grow by at most
+/// 20%.
 const REGRESSION_FRAC: f64 = 0.20;
+/// Scaling gate for `--check`: a (workload, port, cpus) throughput gain
+/// may fall to no less than half its baseline (threaded runs are noisy;
+/// half is far outside jitter but catches a lock that re-serialized).
+const SCALING_FLOOR_FRAC: f64 = 0.50;
 
 fn model_for(port: &str, cpus: usize) -> MachineModel {
     let mut model = match port {
@@ -55,126 +72,213 @@ fn model_for(port: &str, cpus: usize) -> MachineModel {
     model
 }
 
-/// Per-workload setup; returns the measured body.
-fn setup(workload: &str, machine: &Arc<Machine>, kernel: &Arc<Kernel>) -> Box<dyn FnOnce()> {
+/// Per-workload setup; returns the measured body, which drives every
+/// simulated CPU from its own pinned thread and reports the aggregate
+/// interval. Workloads weak-scale: each CPU gets its own fixed quantum
+/// of work, so aggregate fault throughput is the scaling metric.
+fn setup(
+    workload: &str,
+    machine: &Arc<Machine>,
+    kernel: &Arc<Kernel>,
+) -> Box<dyn FnOnce() -> SimTime> {
     let ps = kernel.page_size();
+    let n = machine.n_cpus();
     match workload {
-        // Dirty 64 fresh pages: the zero-fill fault path.
+        // Every CPU dirties its own 64 fresh pages: racing zero-fill
+        // fault streams against the sharded resident table.
         "zero_fill" => {
-            let task = kernel.create_task();
             let size = 64 * ps;
-            let addr = task
-                .map()
-                .allocate(kernel.ctx(), None, size, true)
-                .expect("allocate");
+            let regions: Vec<_> = (0..n)
+                .map(|_| {
+                    let task = kernel.create_task();
+                    let addr = task
+                        .map()
+                        .allocate(kernel.ctx(), None, size, true)
+                        .expect("allocate");
+                    (task, addr)
+                })
+                .collect();
+            let machine = Arc::clone(machine);
             Box::new(move || {
-                task.user(0, |u| u.dirty_range(addr, size).unwrap());
+                measured_parallel(&machine, n, |cpu| {
+                    let (task, addr) = &regions[cpu];
+                    task.user(cpu, |u| u.dirty_range(*addr, size).unwrap());
+                })
+                .0
             })
         }
-        // Fork a dirtied space, then write every page in the child: a
-        // copy-on-write push per page.
+        // Every CPU forks its own pre-dirtied parent and writes every
+        // page in the child: concurrent COW pushes.
         "fork_cow" => {
-            let task = kernel.create_task();
             let pages = 32u64;
-            let addr = task
-                .map()
-                .allocate(kernel.ctx(), None, pages * ps, true)
-                .expect("allocate");
-            task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
-            let kernel = Arc::clone(kernel);
-            let machine2 = Arc::clone(machine);
+            let parents: Vec<_> = (0..n)
+                .map(|_| {
+                    let task = kernel.create_task();
+                    let addr = task
+                        .map()
+                        .allocate(kernel.ctx(), None, pages * ps, true)
+                        .expect("allocate");
+                    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+                    (task, addr)
+                })
+                .collect();
+            let machine = Arc::clone(machine);
             Box::new(move || {
-                machine2.charge(mach_bench::workloads::PROC_CREATE_CYCLES);
-                let child = task.fork();
-                child.user(0, |u| {
-                    for p in 0..pages {
-                        u.write_u32(addr + p * ps, p as u32).unwrap();
-                    }
-                });
-                drop(child);
-                kernel.balance();
+                measured_parallel(&machine, n, |cpu| {
+                    machine.charge(mach_bench::workloads::PROC_CREATE_CYCLES);
+                    let (parent, addr) = &parents[cpu];
+                    let child = parent.fork();
+                    child.user(cpu, |u| {
+                        for p in 0..pages {
+                            u.write_u32(addr + p * ps, p as u32).unwrap();
+                        }
+                    });
+                    drop(child);
+                })
+                .0
             })
         }
-        // Map + touch a file twice; the second pass hits the object cache.
+        // Every CPU maps + touches its own file twice; the second pass
+        // hits the (sharded) object cache.
         "file_reread" => {
             let size = 32 * ps;
             let bs = machine.disk().block_size;
-            let dev = BlockDevice::new(machine, (2 * size).div_ceil(bs) + 64);
+            let dev = BlockDevice::new(machine, (2 * size * n as u64).div_ceil(bs) + 128);
             let fs = SimFs::format(&dev);
-            let f = fs.create("data").unwrap();
-            fs.write_at(f, 0, &vec![0x11u8; size as usize]).unwrap();
-            let task = kernel.create_task();
+            let files: Vec<_> = (0..n)
+                .map(|i| {
+                    let f = fs.create(&format!("data{i}")).unwrap();
+                    fs.write_at(f, 0, &vec![0x11u8; size as usize]).unwrap();
+                    (kernel.create_task(), f)
+                })
+                .collect();
             let kernel = Arc::clone(kernel);
+            let machine = Arc::clone(machine);
             Box::new(move || {
-                let addr = kernel
-                    .map_file(&task, &fs, f, None, Protection::READ)
-                    .expect("map");
-                task.user(0, |u| u.touch_range(addr, size).unwrap());
-                task.map().deallocate(kernel.ctx(), addr, size).unwrap();
-                let addr = kernel
-                    .map_file(&task, &fs, f, None, Protection::READ)
-                    .expect("remap");
-                task.user(0, |u| u.touch_range(addr, size).unwrap());
+                measured_parallel(&machine, n, |cpu| {
+                    let (task, f) = &files[cpu];
+                    let addr = kernel
+                        .map_file(task, &fs, *f, None, Protection::READ)
+                        .expect("map");
+                    task.user(cpu, |u| u.touch_range(addr, size).unwrap());
+                    task.map().deallocate(kernel.ctx(), addr, size).unwrap();
+                    let addr = kernel
+                        .map_file(task, &fs, *f, None, Protection::READ)
+                        .expect("remap");
+                    task.user(cpu, |u| u.touch_range(addr, size).unwrap());
+                })
+                .0
             })
         }
-        // A protection storm against a region whose pmap is live on every
-        // CPU. The warm-up runs unmeasured; remote CPUs have no bound
-        // threads, so flushes resolve deterministically (quiescent-CPU
-        // path) while still scaling with the CPU count.
-        "shootdown" => {
+        // The shootdown ablation (§5.2): CPU 0 runs a fork storm against a
+        // task whose pmap is live on every CPU — each fork COW-narrows all
+        // mappings, which is a time-critical shootdown round — while the
+        // other CPUs race writes through the same pages and take real COW
+        // faults. The three variants force one uniform strategy each, so
+        // Immediate pays IPI round-trips into live targets, Deferred
+        // batches them onto the `update()` tick, and Lazy lets remote TLBs
+        // stay stale (writes sail through without faulting).
+        "shootdown_immediate" | "shootdown_deferred" | "shootdown_lazy" => {
+            let strategy = match workload {
+                "shootdown_immediate" => ShootdownStrategy::Immediate,
+                "shootdown_deferred" => ShootdownStrategy::Deferred,
+                _ => ShootdownStrategy::Lazy,
+            };
+            kernel
+                .machdep()
+                .set_shootdown_policy(ShootdownPolicy::uniform(strategy));
             let task = kernel.create_task();
             let pages = 8u64;
             let addr = task
                 .map()
                 .allocate(kernel.ctx(), None, pages * ps, true)
                 .expect("allocate");
-            for cpu in 0..machine.n_cpus() {
-                task.user(cpu, |u| u.dirty_range(addr, pages * ps).unwrap());
-            }
-            // Leave the pmap active everywhere so every CPU is a
-            // shootdown target during the storm.
-            for cpu in 1..machine.n_cpus() {
-                task.activate(cpu);
-            }
-            let kernel = Arc::clone(kernel);
-            Box::new(move || {
-                task.activate(0);
-                for i in 0..16 {
-                    let prot = if i % 2 == 0 {
-                        Protection::READ
-                    } else {
-                        Protection::DEFAULT
-                    };
-                    for p in 0..pages {
-                        task.map()
-                            .protect(kernel.ctx(), addr + p * ps, ps, false, prot)
-                            .unwrap();
-                    }
-                }
-                kernel.machdep().update();
-            })
-        }
-        // Reclaim dirtied anonymous pages through the pageout path, then
-        // fault half of them back in from the default pager.
-        "pageout_reclaim" => {
-            let task = kernel.create_task();
-            let pages = 96u64;
-            let addr = task
-                .map()
-                .allocate(kernel.ctx(), None, pages * ps, true)
-                .expect("allocate");
             task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
             let kernel = Arc::clone(kernel);
+            let machine = Arc::clone(machine);
             Box::new(move || {
-                // Two passes: the first ages reference bits, the second
-                // evicts (writing dirty pages to the default pager).
-                kernel.reclaim(pages as usize / 2);
-                kernel.reclaim(pages as usize / 2);
-                task.user(0, |u| {
-                    for p in (0..pages).step_by(2) {
-                        u.read_u32(addr + p * ps).unwrap();
+                // All CPUs rendezvous before the storm: a remote parked at
+                // the barrier inside `user()` is a *bound, active* CPU with
+                // the pmap cached, so every narrowing round sends it a real
+                // IPI instead of taking the free quiescent-flush path.
+                let barrier = std::sync::Barrier::new(n);
+                let done = AtomicBool::new(false);
+                let writers = AtomicUsize::new(n - 1);
+                measured_parallel(&machine, n, |cpu| {
+                    if cpu == 0 {
+                        barrier.wait();
+                        for _ in 0..12 {
+                            let child = task.fork();
+                            drop(child);
+                            // Write the pages back: every one is a COW
+                            // fault racing the remote writers.
+                            task.user(0, |u| {
+                                for p in 0..pages {
+                                    u.write_u32(addr + p * ps, p as u32).unwrap();
+                                }
+                            });
+                            // The timer tick deferred flushes ride on.
+                            kernel.machdep().update();
+                            machine.poll_cpu(0);
+                        }
+                        while writers.load(Ordering::Acquire) > 0 {
+                            machine.poll_cpu(0);
+                            std::thread::yield_now();
+                        }
+                        done.store(true, Ordering::Release);
+                    } else {
+                        task.user(cpu, |u| {
+                            barrier.wait();
+                            for i in 0..48u64 {
+                                machine.poll_cpu(cpu);
+                                u.write_u32(addr + (i % pages) * ps, i as u32).unwrap();
+                            }
+                        });
+                        writers.fetch_sub(1, Ordering::AcqRel);
+                        // Keep servicing IPIs until the storm ends so CPU 0
+                        // never waits out an ack timeout on this CPU.
+                        while !done.load(Ordering::Acquire) {
+                            machine.poll_cpu(cpu);
+                            std::thread::yield_now();
+                        }
                     }
-                });
+                })
+                .0
+            })
+        }
+        // Every CPU reclaims against its own dirtied region, then faults
+        // half of it back in: concurrent reclaimers exercise the
+        // work-stealing sweep and the default-pager write path.
+        "pageout_reclaim" => {
+            let pages = 96u64;
+            let regions: Vec<_> = (0..n)
+                .map(|_| {
+                    let task = kernel.create_task();
+                    let addr = task
+                        .map()
+                        .allocate(kernel.ctx(), None, pages * ps, true)
+                        .expect("allocate");
+                    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+                    (task, addr)
+                })
+                .collect();
+            let kernel = Arc::clone(kernel);
+            let machine = Arc::clone(machine);
+            Box::new(move || {
+                measured_parallel(&machine, n, |cpu| {
+                    // Two passes: the first ages reference bits, the
+                    // second evicts (writing dirty pages to the default
+                    // pager).
+                    kernel.reclaim(pages as usize / 2);
+                    kernel.reclaim(pages as usize / 2);
+                    let (task, addr) = &regions[cpu];
+                    task.user(cpu, |u| {
+                        for p in (0..pages).step_by(2) {
+                            u.read_u32(addr + p * ps).unwrap();
+                        }
+                    });
+                })
+                .0
             })
         }
         _ => panic!("unknown workload {workload:?}"),
@@ -221,7 +325,7 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
     let tlb_flushed =
         |m: &Machine| -> u64 { (0..m.n_cpus()).map(|i| m.cpu(i).tlb_stats().flushed).sum() };
     let tlb0 = tlb_flushed(&machine);
-    let (time, ()) = measured(&machine, 0, body);
+    let time = body();
     let stats = kernel.statistics().delta(&base);
     let md = kernel.machdep().stats();
     let tlb1 = tlb_flushed(&machine);
@@ -310,6 +414,58 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
     ])
 }
 
+/// Aggregate fault throughput (faults per simulated second) of one run.
+fn throughput(run: &Json) -> u64 {
+    let faults = run
+        .get("stats")
+        .and_then(|s| s.get("faults"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let elapsed = run
+        .get("elapsed_us")
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+        .max(1);
+    faults.saturating_mul(1_000_000) / elapsed
+}
+
+/// Per-(workload, port, cpus>1) scaling rows: aggregate fault throughput
+/// against the 1-CPU run. `gain_permille` = 1000 × (throughput at N CPUs
+/// ÷ throughput at 1 CPU); weak-scaling workloads should grow toward
+/// 1000 × N.
+fn scaling_rows(runs: &[Json]) -> Vec<Json> {
+    let field = |r: &Json, k: &str| r.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+    let cpus_of = |r: &Json| r.get("cpus").and_then(Json::as_u64).unwrap_or(0);
+    let mut out = Vec::new();
+    for run in runs {
+        let cpus = cpus_of(run);
+        if cpus <= 1 {
+            continue;
+        }
+        let (w, p) = (field(run, "workload"), field(run, "port"));
+        let Some(base) = runs
+            .iter()
+            .find(|r| cpus_of(r) == 1 && field(r, "workload") == w && field(r, "port") == p)
+        else {
+            continue;
+        };
+        let thr_base = throughput(base);
+        let thr = throughput(run);
+        out.push(Json::obj(vec![
+            ("workload", Json::Str(w)),
+            ("port", Json::Str(p)),
+            ("cpus", Json::UInt(cpus)),
+            ("base_faults_per_sec", Json::UInt(thr_base)),
+            ("faults_per_sec", Json::UInt(thr)),
+            (
+                "gain_permille",
+                Json::UInt(thr.saturating_mul(1000) / thr_base.max(1)),
+            ),
+        ]));
+    }
+    out
+}
+
 struct Cli {
     ports: Vec<String>,
     cpus: Vec<usize>,
@@ -352,7 +508,14 @@ fn parse_args() -> Cli {
 }
 
 /// Compare fresh runs against a committed baseline; returns regression
-/// descriptions (empty = pass).
+/// descriptions (empty = pass). Two gates:
+///
+/// 1. **1-CPU elapsed**: single-threaded rows are deterministic, so
+///    elapsed_us growing past [`REGRESSION_FRAC`] fails. Multi-CPU rows
+///    race real threads and are exempt from the elapsed gate.
+/// 2. **Scaling**: each (workload, port, cpus) throughput gain must stay
+///    at or above [`SCALING_FLOOR_FRAC`] of the baseline's gain — the
+///    gate that catches a decomposed lock quietly re-serializing.
 fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let key = |r: &Json| {
         (
@@ -375,6 +538,9 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let mut out = Vec::new();
     for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
         let k = key(run);
+        if k.2 != 1 {
+            continue; // multi-CPU rows: gated on scaling, not elapsed
+        }
         let Some(base) = base_runs.iter().find(|b| key(b) == k) else {
             continue; // not in the baseline matrix: nothing to gate on
         };
@@ -394,6 +560,38 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             ));
         }
     }
+    let base_scaling = baseline
+        .get("scaling")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for row in current
+        .get("scaling")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+    {
+        let k = key(row);
+        let Some(base) = base_scaling.iter().find(|b| key(b) == k) else {
+            continue;
+        };
+        let cur = row.get("gain_permille").and_then(Json::as_u64).unwrap_or(0);
+        let base_gain = base
+            .get("gain_permille")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let floor = (base_gain as f64 * SCALING_FLOOR_FRAC).floor() as u64;
+        if cur < floor {
+            out.push(format!(
+                "{}/{}/{} cpus: scaling gain {}‰ < floor {}‰ (baseline {}‰ × {:.0}%)",
+                k.0,
+                k.1,
+                k.2,
+                cur,
+                floor,
+                base_gain,
+                SCALING_FLOOR_FRAC * 100.0
+            ));
+        }
+    }
     out
 }
 
@@ -408,6 +606,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    let scaling = scaling_rows(&runs);
     let doc = Json::obj(vec![
         ("schema", Json::Str(SCHEMA.to_string())),
         (
@@ -415,6 +614,7 @@ fn main() -> ExitCode {
             Json::Str("cargo run --release -p mach-bench --bin bench_json".to_string()),
         ),
         ("runs", Json::Arr(runs)),
+        ("scaling", Json::Arr(scaling)),
     ]);
     std::fs::write(&cli.out, doc.to_pretty()).expect("write output");
     eprintln!("wrote {}", cli.out);

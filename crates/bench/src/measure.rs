@@ -78,6 +78,40 @@ pub fn measured<R>(machine: &Arc<Machine>, cpu: usize, f: impl FnOnce() -> R) ->
     )
 }
 
+/// Run `f(cpu)` concurrently on `cpus` simulated CPUs — one pinned OS
+/// thread per CPU, so fault streams genuinely race through the kernel —
+/// and return the aggregate simulated time plus each CPU's own interval.
+///
+/// Aggregation follows the multiprocessor reading of Table 7-1:
+/// `system_us` is the **sum** of CPU time charged across all CPUs (total
+/// work), `elapsed_us` the **maximum** (the wall clock of the slowest
+/// CPU, since they run concurrently). Throughput metrics should divide
+/// operation counts by the aggregate `elapsed_us`.
+pub fn measured_parallel(
+    machine: &Arc<Machine>,
+    cpus: usize,
+    f: impl Fn(usize) + Send + Sync,
+) -> (SimTime, Vec<SimTime>) {
+    let cpus = cpus.max(1);
+    let per_cpu: Vec<SimTime> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cpus)
+            .map(|cpu| {
+                let f = &f;
+                s.spawn(move || measured(machine, cpu, || f(cpu)).0)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cpu thread panicked"))
+            .collect()
+    });
+    let agg = SimTime {
+        system_us: per_cpu.iter().map(|t| t.system_us).sum(),
+        elapsed_us: per_cpu.iter().map(|t| t.elapsed_us).max().unwrap_or(0),
+    };
+    (agg, per_cpu)
+}
+
 /// Run `f` with VM event tracing enabled on `kernel` (ring capacity
 /// `capacity_per_cpu` records per CPU) and return the captured
 /// [`TraceLog`] alongside `f`'s result. Tracing is switched off again
@@ -115,6 +149,27 @@ mod tests {
         assert_eq!(t.system_us, 2_000_000);
         assert_eq!(t.elapsed_us, 2_000_500);
         assert_eq!(t.system_ms(), 2000.0);
+    }
+
+    #[test]
+    fn measured_parallel_sums_system_and_takes_max_elapsed() {
+        let machine = Machine::boot(MachineModel::multimax(4));
+        let mhz = machine.model().mhz;
+        let (agg, per_cpu) = measured_parallel(&machine, 4, |cpu| {
+            // CPU i charges (i+1) million cycles: distinct clocks prove
+            // each thread charged its own CPU.
+            machine.charge((cpu as u64 + 1) * 1_000_000);
+        });
+        assert_eq!(per_cpu.len(), 4);
+        let us = |cycles: u64| cycles / mhz;
+        for (cpu, t) in per_cpu.iter().enumerate() {
+            assert_eq!(t.system_us, us((cpu as u64 + 1) * 1_000_000));
+        }
+        assert_eq!(
+            agg.system_us,
+            us(1_000_000) + us(2_000_000) + us(3_000_000) + us(4_000_000)
+        );
+        assert_eq!(agg.elapsed_us, per_cpu[3].elapsed_us, "max of the four");
     }
 
     #[test]

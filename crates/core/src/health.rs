@@ -174,6 +174,15 @@ pub struct HealthSink {
     scan_distance: Gauge,
     cache_occupancy: Gauge,
     queues: Mutex<Vec<QueueSample>>,
+    /// Latest queue levels as four relaxed atomics, so a live reader
+    /// ([`HealthSink::queue_levels`]) never touches the series Mutex —
+    /// and, upstream, the levels themselves come from the resident
+    /// table's relaxed per-shard tallies, so the whole gauge path is
+    /// lock-free end to end.
+    last_free: AtomicU64,
+    last_active: AtomicU64,
+    last_inactive: AtomicU64,
+    last_wired: AtomicU64,
 }
 
 impl HealthSink {
@@ -244,6 +253,10 @@ impl HealthSink {
         if !self.is_enabled() {
             return;
         }
+        self.last_free.store(counts.free, Ordering::Relaxed);
+        self.last_active.store(counts.active, Ordering::Relaxed);
+        self.last_inactive.store(counts.inactive, Ordering::Relaxed);
+        self.last_wired.store(counts.wired, Ordering::Relaxed);
         let cycles = machine.clock().system_cycles();
         let mut q = self.queues.lock();
         if q.len() >= QUEUE_CAP {
@@ -253,6 +266,19 @@ impl HealthSink {
             *q = thinned;
         }
         q.push(QueueSample { cycles, counts });
+    }
+
+    /// The most recently sampled queue levels, read from relaxed atomics
+    /// only — safe to poll from any thread at any rate without stalling a
+    /// reclaiming CPU (the series Mutex stays untouched). All zeros until
+    /// the first [`HealthSink::page_queues`] sample.
+    pub fn queue_levels(&self) -> PageCounts {
+        PageCounts {
+            free: self.last_free.load(Ordering::Relaxed),
+            active: self.last_active.load(Ordering::Relaxed),
+            inactive: self.last_inactive.load(Ordering::Relaxed),
+            wired: self.last_wired.load(Ordering::Relaxed),
+        }
     }
 
     /// Snapshot every gauge into one report.
@@ -415,5 +441,23 @@ mod tests {
         assert_eq!(min, 0);
         assert_eq!(max, QUEUE_CAP as u64 + 9);
         assert_eq!(last, QUEUE_CAP as u64 + 9);
+    }
+
+    #[test]
+    fn queue_levels_track_latest_sample_without_the_series_lock() {
+        let m = Machine::boot(MachineModel::micro_vax_ii());
+        let h = HealthSink::new();
+        assert_eq!(h.queue_levels(), PageCounts::default());
+        h.enable();
+        let counts = PageCounts {
+            free: 7,
+            active: 3,
+            inactive: 2,
+            wired: 1,
+        };
+        h.page_queues(&m, counts);
+        // Hold the series lock: the atomic path must still answer.
+        let _series = h.queues.lock();
+        assert_eq!(h.queue_levels(), counts);
     }
 }

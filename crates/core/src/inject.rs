@@ -26,13 +26,19 @@
 //! | [`InjectKind::IoPermanent`] | `mach-fs` block device | transfer fails for good |
 //! | [`InjectKind::MemPressure`] | pageout daemon loop | free pages held hostage, forcing reclaim |
 //!
-//! **Determinism.** One global RNG, one draw per `fire` call with a
-//! non-zero rate (zero-rate kinds draw nothing, so enabling an unrelated
-//! kind does not perturb the sequence). A single-threaded workload with
-//! the same seed therefore produces a byte-identical event log —
-//! `tests/chaos_replay.rs` enforces this. Multi-threaded runs interleave
-//! draws nondeterministically; there the guarantees are the *invariants*
-//! (no leaked pages, no hung faults), not the exact sequence.
+//! **Determinism.** One PRNG stream **per CPU** (slot keyed by
+//! [`mach_hw::machine::bound_cpu`]; stream 0 is seeded with the plan seed
+//! verbatim, stream *i* with a splitmix-derived sub-seed), one draw per
+//! `fire` call with a non-zero rate (zero-rate kinds draw nothing, so
+//! enabling an unrelated kind does not perturb the sequence). A
+//! single-threaded workload runs entirely on stream 0 and with the same
+//! seed produces a byte-identical event log — `tests/chaos_replay.rs`
+//! enforces this. With threads racing on several CPUs, each CPU's
+//! *decision sequence* is still a pure function of (seed, cpu, its own
+//! call order): timing changes which decision meets which fault, but
+//! never re-rolls the dice. Cross-CPU guarantees are the *invariants*
+//! (no leaked pages, no hung faults), not one global sequence; the `seq`
+//! field records the global interleaving actually observed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -228,6 +234,8 @@ pub struct InjectedEvent {
     pub object: u64,
     /// Byte offset (device sites: block number; pressure: pages held).
     pub offset: u64,
+    /// The CPU whose decision stream fired this event.
+    pub cpu: u32,
 }
 
 /// Sebastiano Vigna's splitmix64 — tiny, full-period, and plenty for
@@ -258,10 +266,17 @@ pub type InjectObserver = Arc<dyn Fn(InjectKind, u64, u64) + Send + Sync>;
 
 /// The per-kernel injection engine. Disabled (the default) it is inert:
 /// [`Injector::fire`] is a single branch and draws nothing.
+/// Number of per-CPU PRNG decision streams (covers any simulated CPU
+/// count; threads bound to CPU `c` draw from stream `c % INJECT_STREAMS`).
+pub const INJECT_STREAMS: usize = 16;
+
 pub struct Injector {
     enabled: bool,
     plan: InjectPlan,
-    rng: Mutex<SplitMix64>,
+    /// One decision stream per CPU slot. Stream 0 carries the plan seed
+    /// verbatim so single-threaded runs replay byte-identically against
+    /// logs recorded before streams existed.
+    rngs: Vec<Mutex<SplitMix64>>,
     log: Mutex<Vec<InjectedEvent>>,
     seq: AtomicU64,
     observer: Mutex<Option<InjectObserver>>,
@@ -285,6 +300,22 @@ impl std::fmt::Debug for Injector {
 /// ever gets this id, so nothing faults on them.
 const PRESSURE_OBJECT: u64 = u64::MAX;
 
+/// One [`SplitMix64`] per CPU slot: stream 0 gets `seed` verbatim,
+/// stream *i* a splitmix-derived sub-seed, so streams are mutually
+/// well-separated yet each a pure function of (seed, i).
+fn streams_for(seed: u64) -> Vec<Mutex<SplitMix64>> {
+    (0..INJECT_STREAMS)
+        .map(|i| {
+            let s = if i == 0 {
+                seed
+            } else {
+                SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next()
+            };
+            Mutex::new(SplitMix64::new(s))
+        })
+        .collect()
+}
+
 impl Injector {
     /// An engine executing `plan`.
     pub fn new(plan: InjectPlan) -> Arc<Injector> {
@@ -292,7 +323,7 @@ impl Injector {
         Arc::new(Injector {
             enabled: true,
             plan,
-            rng: Mutex::new(SplitMix64::new(seed)),
+            rngs: streams_for(seed),
             log: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
             observer: Mutex::new(None),
@@ -307,7 +338,7 @@ impl Injector {
         Arc::new(Injector {
             enabled: false,
             plan: InjectPlan::new(0),
-            rng: Mutex::new(SplitMix64::new(0)),
+            rngs: streams_for(0),
             log: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
             observer: Mutex::new(None),
@@ -334,7 +365,9 @@ impl Injector {
     /// Decide whether `kind` fires at this site. A firing decision is
     /// logged (see [`Injector::events`]) and reported to the observer.
     /// Zero-rate kinds consume no PRNG draw, so enabling one kind never
-    /// perturbs another kind's sequence.
+    /// perturbs another kind's sequence. The draw comes from the calling
+    /// CPU's own decision stream, so racing CPUs never perturb each
+    /// other's sequences either.
     pub fn fire(&self, kind: InjectKind, object: u64, offset: u64) -> bool {
         if !self.enabled {
             return false;
@@ -343,8 +376,9 @@ impl Injector {
         if rate == 0 {
             return false;
         }
+        let cpu = mach_hw::machine::bound_cpu();
         let draw = {
-            let mut rng = self.rng.lock();
+            let mut rng = self.rngs[cpu % INJECT_STREAMS].lock();
             rng.next() % 1000
         };
         if draw >= u64::from(rate) {
@@ -356,6 +390,7 @@ impl Injector {
             kind,
             object,
             offset,
+            cpu: cpu as u32,
         });
         if let Some(obs) = self.observer.lock().clone() {
             obs(kind, object, offset);
@@ -468,6 +503,35 @@ mod tests {
         assert_ne!(fa, fc, "different seed gives a different schedule");
         let hits = fa.iter().filter(|&&x| x).count();
         assert!(hits > 20 && hits < 120, "≈30% rate, got {hits}/200");
+    }
+
+    #[test]
+    fn per_cpu_streams_are_independent() {
+        use mach_hw::machine::{Machine, MachineModel};
+        // A run where CPU 1 races 100 draws of its own must leave CPU 0's
+        // decision sequence exactly what it is in a solo run: streams are
+        // a pure function of (seed, cpu, own call order).
+        let solo = Injector::new(InjectPlan::new(9).io_transient(500));
+        let solo_fires: Vec<bool> = (0..100)
+            .map(|k| solo.fire(InjectKind::IoTransient, 0, k))
+            .collect();
+
+        let mixed = Injector::new(InjectPlan::new(9).io_transient(500));
+        let machine = Machine::boot(MachineModel::multimax(2));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _bind = machine.bind_cpu(1);
+                for k in 0..100 {
+                    mixed.fire(InjectKind::IoTransient, 1, k);
+                }
+            });
+        });
+        let mixed_fires: Vec<bool> = (0..100)
+            .map(|k| mixed.fire(InjectKind::IoTransient, 0, k))
+            .collect();
+        assert_eq!(solo_fires, mixed_fires);
+        let cpus: std::collections::HashSet<u32> = mixed.events().iter().map(|e| e.cpu).collect();
+        assert!(cpus.contains(&0) && cpus.contains(&1), "both streams fired");
     }
 
     #[test]

@@ -102,7 +102,7 @@ impl Kernel {
         let machdep = mach_pmap::machdep_for(machine);
         let hw = machine.hw_page_size();
         let page_size = hw * opts.page_multiple;
-        let resident = Arc::new(ResidentTable::new(page_size));
+        let resident = Arc::new(ResidentTable::with_cpus(page_size, machine.n_cpus()));
 
         // Claim physical memory, leaving a reserve for hardware tables.
         let mut drained = machine.frames().drain();

@@ -15,7 +15,7 @@
 //! (`pager_cache`, paper §3.3) — this is what makes the second 2.5 MB file
 //! read of Table 7-1 fast under Mach.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -175,12 +175,27 @@ impl VmObject {
 }
 
 /// Free every resident page of a (being-terminated) object.
+///
+/// Pages an in-flight pageout has claimed busy are skipped — the
+/// reclaimer frees them when its write completes (or, if the write
+/// fails, a later daemon pass frees them once the object's `Weak` goes
+/// dead). Claiming under the shard lock is what makes this safe against
+/// a concurrent `claim_evict`: exactly one side wins the frame.
 fn release_pages(obj: &VmObject, ctx: &CoreRefs) {
-    let pages: Vec<(u64, PageId)> = {
+    let victims: Vec<PageId> = {
         let mut s = obj.state.lock();
-        std::mem::take(&mut s.resident).into_iter().collect()
+        let offsets: Vec<u64> = s.resident.keys().copied().collect();
+        let mut victims = Vec::new();
+        for off in offsets {
+            let page = s.resident[&off];
+            if ctx.resident.claim_teardown(page, true) {
+                s.resident.remove(&off);
+                victims.push(page);
+            }
+        }
+        victims
     };
-    for (_off, page) in pages {
+    for page in victims {
         // No mapping (and no stale modify/reference attribute) may
         // survive the page's death.
         let pa = page.base(ctx.page_size);
@@ -192,6 +207,7 @@ fn release_pages(obj: &VmObject, ctx: &CoreRefs) {
         });
         ctx.resident.free_page(page);
     }
+    obj.busy_wakeup.notify_all();
 }
 
 /// Quarantine `obj` after its pager died — for real (its port vanished)
@@ -215,10 +231,9 @@ pub fn quarantine(obj: &Arc<VmObject>, ctx: &CoreRefs) {
         let mut victims = Vec::new();
         for off in offsets {
             let page = s.resident[&off];
-            let removable = ctx
-                .resident
-                .with_page(page, |p| !p.busy && p.wire_count == 0);
-            if removable {
+            // Atomic claim: a page a concurrent reclaimer has already
+            // claimed busy is left to that reclaimer.
+            if ctx.resident.claim_teardown(page, false) {
                 s.resident.remove(&off);
                 victims.push(page);
             }
@@ -247,6 +262,20 @@ pub fn terminate(obj: &Arc<VmObject>, ctx: &CoreRefs) {
         s.terminated = true;
         (s.pager.take(), s.shadow.take())
     };
+    finish_terminate(obj, ctx, pager, shadow);
+}
+
+/// The tail of termination, after the `terminated` flag has been claimed
+/// (and `pager`/`shadow` taken) under the object lock — split out so the
+/// cache reaper can claim its victim under the cache shard lock (which
+/// excludes concurrent revival through the live index) and still run the
+/// teardown without any lock held.
+fn finish_terminate(
+    obj: &Arc<VmObject>,
+    ctx: &CoreRefs,
+    pager: Option<Arc<dyn Pager>>,
+    shadow: Option<Arc<VmObject>>,
+) {
     if let Some(ident) = pager.as_ref().and_then(|p| p.ident()) {
         ctx.cache.unregister_live(&ident, obj);
     }
@@ -412,17 +441,29 @@ fn collapse_level(obj: &Arc<VmObject>, ctx: &CoreRefs) {
     }
 }
 
+/// Object-cache shard count (power of two).
+pub const CACHE_SHARDS: usize = 8;
+
 /// The cache of recently-used unreferenced memory objects (paper §3.3).
+///
+/// Sharded by pager identity so concurrent `map_file`/`deallocate`
+/// streams on different CPUs do not serialize on one lock; eviction order
+/// stays **globally** LRU via a monotonic stamp per parked entry (the
+/// reaper scans shard minima, one shard lock at a time). The parked count
+/// is a relaxed atomic so [`ObjectCache::len`] — polled by the health
+/// gauges — never touches a shard lock.
 #[derive(Debug)]
 pub struct ObjectCache {
     capacity: usize,
-    inner: Mutex<CacheInner>,
+    shards: Vec<Mutex<CacheShard>>,
+    stamp: AtomicU64,
+    parked: AtomicU64,
 }
 
 #[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<PagerIdent, Arc<VmObject>>,
-    lru: VecDeque<PagerIdent>,
+struct CacheShard {
+    /// Parked (unreferenced) objects: ident → (LRU stamp, object).
+    map: HashMap<PagerIdent, (u64, Arc<VmObject>)>,
     /// Every *live* pager-backed object, so concurrent mappings of the
     /// same backing store share one object (one physical copy of the
     /// pages), exactly as Mach's port→object association did.
@@ -434,13 +475,22 @@ impl ObjectCache {
     pub fn new(capacity: usize) -> ObjectCache {
         ObjectCache {
             capacity,
-            inner: Mutex::new(CacheInner::default()),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            stamp: AtomicU64::new(1),
+            parked: AtomicU64::new(0),
         }
     }
 
-    /// Number of cached objects.
+    fn shard(&self, ident: &PagerIdent) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        ident.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Number of cached (parked) objects. Lock-free.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.parked.load(Ordering::Relaxed) as usize
     }
 
     /// True when nothing is cached.
@@ -448,8 +498,14 @@ impl ObjectCache {
         self.len() == 0
     }
 
-    /// Park an unreferenced object. Evicts (terminates) the LRU object
-    /// when full.
+    /// Park an unreferenced object. Evicts (terminates) the globally
+    /// least-recently-parked object when full.
+    ///
+    /// Parking re-checks `ref_count == 0` under the shard *and* object
+    /// locks: between the caller's deallocation and this call, a
+    /// concurrent [`ObjectCache::lookup`] may have revived the object
+    /// through the live index, and parking a referenced object would let
+    /// the reaper terminate it out from under its mappings.
     pub fn insert(&self, obj: &Arc<VmObject>, ctx: &CoreRefs) {
         let ident = {
             let s = obj.lock();
@@ -462,51 +518,65 @@ impl ObjectCache {
                 }
             }
         };
-        let evicted: Option<Arc<VmObject>> = {
-            let mut g = self.inner.lock();
-            g.lru.retain(|i| *i != ident);
-            g.lru.push_back(ident.clone());
-            g.map.insert(ident, Arc::clone(obj));
-            if g.map.len() > self.capacity {
-                let victim = g.lru.pop_front().expect("cache non-empty");
-                g.map.remove(&victim)
-            } else {
-                None
+        let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+        {
+            let shard = self.shard(&ident);
+            let mut g = self.shards[shard].lock();
+            let s = obj.state.lock();
+            if s.ref_count > 0 || s.terminated {
+                return; // revived (or died) while we were parking it
             }
-        };
-        if let Some(v) = evicted {
-            terminate(&v, ctx);
+            drop(s);
+            if g.map.insert(ident, (stamp, Arc::clone(obj))).is_none() {
+                self.parked.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        while self.parked.load(Ordering::Relaxed) as usize > self.capacity {
+            if !self.reap_one(ctx) {
+                break;
+            }
         }
     }
 
     /// Revive the cached object for `ident`, if present (the cheap-reuse
     /// path: a cache hit costs a hash lookup, not a disk).
     pub fn take(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
-        let obj = {
-            let mut g = self.inner.lock();
-            let o = g.map.remove(ident)?;
-            g.lru.retain(|i| i != ident);
-            o
-        };
-        obj.state.lock().ref_count = 1;
-        Some(obj)
+        let mut g = self.shards[self.shard(ident)].lock();
+        let (_stamp, o) = g.map.remove(ident)?;
+        self.parked.fetch_sub(1, Ordering::Relaxed);
+        // Reference under the shard lock: every park/revive transition
+        // serializes here, so two revivals can never share one count.
+        o.state.lock().ref_count += 1;
+        drop(g);
+        Some(o)
     }
 
     /// Find the object for `ident`, parked *or live*: a parked object is
     /// revived (removed from the unreferenced pool), a live one gains a
     /// reference. One backing store, one object, one set of pages.
+    ///
+    /// Both paths take the reference while still holding the shard lock —
+    /// the lock that [`ObjectCache::insert`] and [`ObjectCache::reap_one`]
+    /// hold for their `ref_count == 0` decisions — so a revival and a
+    /// park/reap of the same object are strictly ordered.
     pub fn lookup(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
-        let mut g = self.inner.lock();
-        if let Some(o) = g.map.remove(ident) {
-            g.lru.retain(|i| i != ident);
+        let mut g = self.shards[self.shard(ident)].lock();
+        if let Some((_stamp, o)) = g.map.remove(ident) {
+            self.parked.fetch_sub(1, Ordering::Relaxed);
+            o.state.lock().ref_count += 1;
             drop(g);
-            o.state.lock().ref_count = 1;
             return Some(o);
         }
         if let Some(o) = g.live.get(ident).and_then(|w| w.upgrade()) {
-            if !o.state.lock().terminated {
+            let mut s = o.state.lock();
+            if !s.terminated {
+                // The object may be unreferenced and mid-park in
+                // `insert` (its Weak stays in the live index until
+                // termination); taking the reference here under the
+                // shard lock makes `insert`'s re-check skip the park.
+                s.ref_count += 1;
+                drop(s);
                 drop(g);
-                o.reference();
                 return Some(o);
             }
         }
@@ -515,13 +585,17 @@ impl ObjectCache {
 
     /// Register a freshly created pager-backed object as live.
     pub fn register_live(&self, ident: PagerIdent, obj: &Arc<VmObject>) {
-        self.inner.lock().live.insert(ident, Arc::downgrade(obj));
+        let shard = self.shard(&ident);
+        self.shards[shard]
+            .lock()
+            .live
+            .insert(ident, Arc::downgrade(obj));
     }
 
     /// Forget a terminated object's live registration (only if it still
     /// names this object).
     pub fn unregister_live(&self, ident: &PagerIdent, obj: &VmObject) {
-        let mut g = self.inner.lock();
+        let mut g = self.shards[self.shard(ident)].lock();
         if let Some(w) = g.live.get(ident) {
             let same = w
                 .upgrade()
@@ -533,23 +607,65 @@ impl ObjectCache {
         }
     }
 
-    /// Terminate the least-recently-used cached object to relieve memory
-    /// pressure; returns `false` when the cache is empty.
+    /// Terminate the globally least-recently-parked cached object to
+    /// relieve memory pressure; returns `false` when the cache is empty.
+    ///
+    /// Scans every shard's minimum stamp holding one shard lock at a
+    /// time, then re-locks the winning shard to claim the victim (a
+    /// concurrent revival of the victim simply makes this pass a no-op).
+    /// The claim — `terminated` set, pager and shadow taken, live-index
+    /// entry dropped — happens under the shard lock, so a racing
+    /// [`ObjectCache::lookup`] either revives the victim before the claim
+    /// (the reaper backs off) or finds it terminated after; it can never
+    /// hand out an object the reaper is tearing down.
     pub fn reap_one(&self, ctx: &CoreRefs) -> bool {
+        let mut best: Option<(u64, usize, PagerIdent)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let g = shard.lock();
+            for (ident, (stamp, _)) in &g.map {
+                if best.as_ref().is_none_or(|(s, _, _)| stamp < s) {
+                    best = Some((*stamp, i, ident.clone()));
+                }
+            }
+        }
+        let Some((stamp, shard, ident)) = best else {
+            return false;
+        };
         let victim = {
-            let mut g = self.inner.lock();
-            match g.lru.pop_front() {
-                Some(ident) => g.map.remove(&ident),
-                None => None,
+            let mut g = self.shards[shard].lock();
+            match g.map.get(&ident) {
+                Some((s, _)) if *s == stamp => {
+                    let (_, o) = g.map.remove(&ident).expect("present");
+                    self.parked.fetch_sub(1, Ordering::Relaxed);
+                    let mut st = o.state.lock();
+                    if st.ref_count > 0 || st.terminated {
+                        None // revived through the live index; unparked, alive
+                    } else {
+                        st.terminated = true;
+                        let pager = st.pager.take();
+                        let shadow = st.shadow.take();
+                        drop(st);
+                        let same = g
+                            .live
+                            .get(&ident)
+                            .map(|w| match w.upgrade() {
+                                Some(l) => Arc::ptr_eq(&l, &o),
+                                None => true, // dead weak: safe to drop
+                            })
+                            .unwrap_or(false);
+                        if same {
+                            g.live.remove(&ident);
+                        }
+                        Some((o, pager, shadow))
+                    }
+                }
+                _ => None, // revived or re-parked concurrently
             }
         };
-        match victim {
-            Some(v) => {
-                terminate(&v, ctx);
-                true
-            }
-            None => false,
+        if let Some((v, pager, shadow)) = victim {
+            finish_terminate(&v, ctx, pager, shadow);
         }
+        true
     }
 
     /// Drop every cached object (unmount / shutdown).

@@ -13,6 +13,33 @@
 //! A Mach page is a boot-time power-of-two multiple of the hardware page
 //! size and need not correspond to it (§3.1); this table deals only in
 //! Mach pages.
+//!
+//! # Concurrency
+//!
+//! The table is built for genuinely concurrent fault streams (one host
+//! thread per simulated CPU):
+//!
+//! - **Page state and queues** live in [`QUEUE_SHARDS`] shards keyed by
+//!   page id; the active/inactive deques are per-shard so the pageout
+//!   daemon and faulting CPUs contend only within a shard.
+//! - **The (object, offset) hash** lives in [`HASH_SHARDS`] shards keyed
+//!   by a mix of object id and offset — the fault-time lookup path takes
+//!   exactly one shard lock.
+//! - **The free pool** is a per-CPU stack per possible CPU (slot picked
+//!   by [`mach_hw::machine::bound_cpu`]) refilled in batches of
+//!   [`REFILL_BATCH`] from a global reserve; when a local stack exceeds
+//!   [`LOCAL_FREE_CAP`] half of it spills back. An empty reserve falls
+//!   back to stealing from other CPUs' stacks, so no allocation fails
+//!   while any free page exists anywhere.
+//! - **Queue counts** are maintained as relaxed per-shard atomics, so
+//!   [`ResidentTable::counts`] (called from `vm_statistics`, the daemon's
+//!   pacing check and the health gauges) never takes a shard lock.
+//!
+//! Lock order within this module: page-state shard → hash shard →
+//! free-list/reserve. No method ever holds two shards of the same kind at
+//! once. Callers (fault, pageout, object teardown) take the owning
+//! object's lock *before* any shard lock — see the lock hierarchy in
+//! DESIGN.md §8.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +49,15 @@ use mach_hw::addr::PAddr;
 use parking_lot::Mutex;
 
 use crate::object::VmObject;
+
+/// Page-state/queue shard count (power of two).
+pub const QUEUE_SHARDS: usize = 8;
+/// (object, offset) hash shard count (power of two).
+pub const HASH_SHARDS: usize = 8;
+/// Pages moved from the global reserve to a CPU's free stack per refill.
+pub const REFILL_BATCH: usize = 16;
+/// A CPU free stack above this spills half back to the global reserve.
+pub const LOCAL_FREE_CAP: usize = 64;
 
 /// A machine-independent page of physical memory, identified by
 /// `physical address / page size`.
@@ -78,13 +114,22 @@ pub struct PageIdentity {
     pub object: Weak<VmObject>,
 }
 
+/// One page-state shard: the pages whose ids hash here, plus their
+/// active/inactive queue segments.
 #[derive(Debug, Default)]
-struct RtInner {
+struct RtShard {
     pages: HashMap<u64, PageInfo>,
-    free: Vec<u64>,
     active: VecDeque<u64>,
     inactive: VecDeque<u64>,
-    hash: HashMap<(u64, u64), u64>,
+}
+
+/// Relaxed queue-length counters for one shard, maintained under the
+/// shard lock but readable without it.
+#[derive(Debug, Default)]
+struct ShardTally {
+    active: AtomicU64,
+    inactive: AtomicU64,
+    wired: AtomicU64,
 }
 
 /// Counts exposed through `vm_statistics`.
@@ -100,26 +145,60 @@ pub struct PageCounts {
     pub wired: u64,
 }
 
+/// splitmix64 finalizer: cheap avalanche for shard selection.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The resident page table.
 #[derive(Debug)]
 pub struct ResidentTable {
     page_size: u64,
-    inner: Mutex<RtInner>,
+    /// Page state + queue segments, sharded by page id.
+    shards: Vec<Mutex<RtShard>>,
+    tallies: Vec<ShardTally>,
+    /// (object, offset) → page id, sharded by key hash.
+    hash: Vec<Mutex<HashMap<(u64, u64), u64>>>,
+    /// Global free reserve (boot donations land here).
+    reserve: Mutex<Vec<u64>>,
+    /// Per-CPU free stacks, indexed by [`mach_hw::machine::bound_cpu`]
+    /// modulo the slot count.
+    locals: Vec<Mutex<Vec<u64>>>,
+    free_len: AtomicU64,
     lookups: AtomicU64,
     hits: AtomicU64,
 }
 
 impl ResidentTable {
-    /// An empty table for `page_size`-byte pages.
+    /// An empty table for `page_size`-byte pages with one free-list slot
+    /// (uniprocessor layout).
     ///
     /// # Panics
     ///
     /// Panics if `page_size` is not a power of two.
     pub fn new(page_size: u64) -> ResidentTable {
+        ResidentTable::with_cpus(page_size, 1)
+    }
+
+    /// An empty table with one per-CPU free-list slot per simulated CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two.
+    pub fn with_cpus(page_size: u64, cpus: usize) -> ResidentTable {
         assert!(page_size.is_power_of_two());
         ResidentTable {
             page_size,
-            inner: Mutex::new(RtInner::default()),
+            shards: (0..QUEUE_SHARDS).map(|_| Mutex::default()).collect(),
+            tallies: (0..QUEUE_SHARDS).map(|_| ShardTally::default()).collect(),
+            hash: (0..HASH_SHARDS).map(|_| Mutex::default()).collect(),
+            reserve: Mutex::new(Vec::new()),
+            locals: (0..cpus.max(1)).map(|_| Mutex::default()).collect(),
+            free_len: AtomicU64::new(0),
             lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
         }
@@ -130,37 +209,61 @@ impl ResidentTable {
         self.page_size
     }
 
-    /// Donate a physical page (by id) to the free pool at boot.
-    pub fn donate(&self, id: PageId) {
-        let mut g = self.inner.lock();
-        let prev = g.pages.insert(
-            id.0,
-            PageInfo {
-                queue: PageQueue::Free,
-                identity: None,
-                busy: false,
-                wanted: false,
-                wire_count: 0,
-                dirty: false,
-            },
-        );
-        assert!(prev.is_none(), "page {id:?} donated twice");
-        g.free.push(id.0);
+    /// Number of page-state/queue shards (for work-stealing sweeps).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Queue counts.
-    pub fn counts(&self) -> PageCounts {
-        let g = self.inner.lock();
-        PageCounts {
-            free: g.free.len() as u64,
-            active: g.active.len() as u64,
-            inactive: g.inactive.len() as u64,
-            wired: g
-                .pages
-                .values()
-                .filter(|p| p.queue == PageQueue::Wired)
-                .count() as u64,
+    #[inline]
+    fn qs(&self, id: u64) -> usize {
+        (mix(id) as usize) & (self.shards.len() - 1)
+    }
+
+    #[inline]
+    fn hs(&self, object_id: u64, offset: u64) -> usize {
+        (mix(object_id ^ offset.rotate_left(17)) as usize) & (self.hash.len() - 1)
+    }
+
+    #[inline]
+    fn slot(&self) -> usize {
+        mach_hw::machine::bound_cpu() % self.locals.len()
+    }
+
+    /// Donate a physical page (by id) to the free pool at boot.
+    pub fn donate(&self, id: PageId) {
+        {
+            let mut g = self.shards[self.qs(id.0)].lock();
+            let prev = g.pages.insert(
+                id.0,
+                PageInfo {
+                    queue: PageQueue::Free,
+                    identity: None,
+                    busy: false,
+                    wanted: false,
+                    wire_count: 0,
+                    dirty: false,
+                },
+            );
+            assert!(prev.is_none(), "page {id:?} donated twice");
         }
+        self.reserve.lock().push(id.0);
+        self.free_len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue counts, read from relaxed per-shard counters — no shard lock
+    /// is taken, so statistics and health gauges never stall a faulting
+    /// CPU. Exact whenever the table is quiescent.
+    pub fn counts(&self) -> PageCounts {
+        let mut c = PageCounts {
+            free: self.free_len.load(Ordering::Relaxed),
+            ..PageCounts::default()
+        };
+        for t in &self.tallies {
+            c.active += t.active.load(Ordering::Relaxed);
+            c.inactive += t.inactive.load(Ordering::Relaxed);
+            c.wired += t.wired.load(Ordering::Relaxed);
+        }
+        c
     }
 
     /// Object/offset hash lookups and hits so far.
@@ -171,33 +274,95 @@ impl ResidentTable {
         )
     }
 
+    /// Pop a free page id: local stack, then a batched refill from the
+    /// reserve, then stealing from other CPUs' stacks.
+    fn take_free(&self) -> Option<u64> {
+        let slot = self.slot();
+        if let Some(id) = self.locals[slot].lock().pop() {
+            self.free_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(id);
+        }
+        let mut batch = {
+            let mut r = self.reserve.lock();
+            let take = REFILL_BATCH.min(r.len());
+            let at = r.len() - take;
+            r.split_off(at)
+        };
+        if let Some(id) = batch.pop() {
+            if !batch.is_empty() {
+                self.locals[slot].lock().append(&mut batch);
+            }
+            self.free_len.fetch_sub(1, Ordering::Relaxed);
+            return Some(id);
+        }
+        // Reserve dry: steal from another CPU's stack.
+        for i in 1..=self.locals.len() {
+            let other = (slot + i) % self.locals.len();
+            if let Some(id) = self.locals[other].lock().pop() {
+                self.free_len.fetch_sub(1, Ordering::Relaxed);
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Return a page id to the free pool (local stack, spilling half to
+    /// the reserve past [`LOCAL_FREE_CAP`]).
+    fn give_free(&self, id: u64) {
+        let slot = self.slot();
+        let spill = {
+            let mut l = self.locals[slot].lock();
+            l.push(id);
+            if l.len() > LOCAL_FREE_CAP {
+                let keep = l.len() / 2;
+                Some(l.drain(..keep).collect::<Vec<u64>>())
+            } else {
+                None
+            }
+        };
+        if let Some(batch) = spill {
+            self.reserve.lock().extend(batch);
+        }
+        self.free_len.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Allocate a free page for `(object, offset)`; the page starts
     /// **busy** on the active queue. `None` when the free pool is empty
     /// (the caller must reclaim and retry).
+    ///
+    /// Callers serialize insertions for one (object, offset) with the
+    /// object lock, so the gap between the state update and the hash
+    /// insert is never observable for a racing fault on the same slot.
     pub fn alloc(&self, object_id: u64, offset: u64, object: Weak<VmObject>) -> Option<PageId> {
-        let mut g = self.inner.lock();
-        let id = g.free.pop()?;
-        debug_assert!(!g.hash.contains_key(&(object_id, offset)));
-        let info = g.pages.get_mut(&id).expect("free page exists");
-        info.queue = PageQueue::Active;
-        info.identity = Some(PageIdentity {
-            object_id,
-            offset,
-            object,
-        });
-        info.busy = true;
-        info.wanted = false;
-        info.dirty = false;
-        g.active.push_back(id);
-        g.hash.insert((object_id, offset), id);
+        let id = self.take_free()?;
+        let s = self.qs(id);
+        {
+            let mut g = self.shards[s].lock();
+            let info = g.pages.get_mut(&id).expect("free page exists");
+            info.queue = PageQueue::Active;
+            info.identity = Some(PageIdentity {
+                object_id,
+                offset,
+                object,
+            });
+            info.busy = true;
+            info.wanted = false;
+            info.dirty = false;
+            g.active.push_back(id);
+            self.tallies[s].active.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut h = self.hash[self.hs(object_id, offset)].lock();
+        debug_assert!(!h.contains_key(&(object_id, offset)));
+        h.insert((object_id, offset), id);
         Some(PageId(id))
     }
 
-    /// The paper's fast fault-time lookup: hash on (object, offset).
+    /// The paper's fast fault-time lookup: hash on (object, offset). One
+    /// shard lock, no global serialization.
     pub fn lookup(&self, object_id: u64, offset: u64) -> Option<PageId> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
-        let g = self.inner.lock();
-        let r = g.hash.get(&(object_id, offset)).map(|&id| PageId(id));
+        let g = self.hash[self.hs(object_id, offset)].lock();
+        let r = g.get(&(object_id, offset)).map(|&id| PageId(id));
         if r.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -210,43 +375,63 @@ impl ResidentTable {
     ///
     /// Panics if the page is unknown.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&mut PageInfo) -> R) -> R {
-        let mut g = self.inner.lock();
+        let mut g = self.shards[self.qs(id.0)].lock();
         f(g.pages.get_mut(&id.0).expect("known page"))
     }
 
-    /// Move a page between queues.
+    /// Move a page between the active/inactive/wired queues.
+    ///
+    /// Silently does nothing if the page is currently **free**: queue
+    /// moves are requested for candidate lists sampled without a claim
+    /// (the daemon's refill sweep, a second-chance reactivation), so by
+    /// the time the move runs the page may have been freed — or freed
+    /// and be mid-`alloc` on another CPU. A free page leaves the free
+    /// pool only through [`ResidentTable::alloc`]; anything else would
+    /// race the free-list bookkeeping.
     pub fn set_queue(&self, id: PageId, queue: PageQueue) {
-        let mut g = self.inner.lock();
+        let s = self.qs(id.0);
+        let mut g = self.shards[s].lock();
         let info = g.pages.get_mut(&id.0).expect("known page");
         let old = info.queue;
-        if old == queue {
+        if old == queue || old == PageQueue::Free {
             return;
         }
         info.queue = queue;
         match old {
             PageQueue::Active => {
                 g.active.retain(|&p| p != id.0);
+                self.tallies[s].active.fetch_sub(1, Ordering::Relaxed);
             }
             PageQueue::Inactive => {
                 g.inactive.retain(|&p| p != id.0);
+                self.tallies[s].inactive.fetch_sub(1, Ordering::Relaxed);
             }
-            PageQueue::Free => {
-                g.free.retain(|&p| p != id.0);
+            PageQueue::Free => unreachable!("guarded above"),
+            PageQueue::Wired => {
+                self.tallies[s].wired.fetch_sub(1, Ordering::Relaxed);
             }
-            PageQueue::Wired => {}
         }
         match queue {
-            PageQueue::Active => g.active.push_back(id.0),
-            PageQueue::Inactive => g.inactive.push_back(id.0),
-            PageQueue::Free => g.free.push(id.0),
-            PageQueue::Wired => {}
+            PageQueue::Active => {
+                g.active.push_back(id.0);
+                self.tallies[s].active.fetch_add(1, Ordering::Relaxed);
+            }
+            PageQueue::Inactive => {
+                g.inactive.push_back(id.0);
+                self.tallies[s].inactive.fetch_add(1, Ordering::Relaxed);
+            }
+            PageQueue::Free => self.give_free(id.0),
+            PageQueue::Wired => {
+                self.tallies[s].wired.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
     /// Release a page back to the free pool, clearing its identity.
     pub fn free_page(&self, id: PageId) {
-        let mut g = self.inner.lock();
-        let old = {
+        let s = self.qs(id.0);
+        let ident = {
+            let mut g = self.shards[s].lock();
             let info = g.pages.get_mut(&id.0).expect("known page");
             assert!(info.wire_count == 0, "cannot free a wired page");
             let ident = info.identity.take();
@@ -255,18 +440,28 @@ impl ResidentTable {
             info.busy = false;
             info.wanted = false;
             info.dirty = false;
-            if let Some(ident) = ident {
-                g.hash.remove(&(ident.object_id, ident.offset));
+            match old {
+                PageQueue::Active => {
+                    g.active.retain(|&p| p != id.0);
+                    self.tallies[s].active.fetch_sub(1, Ordering::Relaxed);
+                }
+                PageQueue::Inactive => {
+                    g.inactive.retain(|&p| p != id.0);
+                    self.tallies[s].inactive.fetch_sub(1, Ordering::Relaxed);
+                }
+                PageQueue::Free => panic!("double free of {id:?}"),
+                PageQueue::Wired => {
+                    self.tallies[s].wired.fetch_sub(1, Ordering::Relaxed);
+                }
             }
-            old
+            ident
         };
-        match old {
-            PageQueue::Active => g.active.retain(|&p| p != id.0),
-            PageQueue::Inactive => g.inactive.retain(|&p| p != id.0),
-            PageQueue::Free => panic!("double free of {id:?}"),
-            PageQueue::Wired => {}
+        if let Some(ident) = ident {
+            self.hash[self.hs(ident.object_id, ident.offset)]
+                .lock()
+                .remove(&(ident.object_id, ident.offset));
         }
-        g.free.push(id.0);
+        self.give_free(id.0);
     }
 
     /// Change a page's identity (shadow-chain collapse moves pages between
@@ -276,15 +471,22 @@ impl ResidentTable {
     ///
     /// Panics if the page has no identity or the target slot is taken.
     pub fn rekey(&self, id: PageId, new_object_id: u64, new_offset: u64, object: Weak<VmObject>) {
-        let mut g = self.inner.lock();
-        let info = g.pages.get_mut(&id.0).expect("known page");
-        let ident = info.identity.as_mut().expect("page has identity");
-        let old_key = (ident.object_id, ident.offset);
-        ident.object_id = new_object_id;
-        ident.offset = new_offset;
-        ident.object = object;
-        g.hash.remove(&old_key);
-        let prev = g.hash.insert((new_object_id, new_offset), id.0);
+        let old_key = {
+            let mut g = self.shards[self.qs(id.0)].lock();
+            let info = g.pages.get_mut(&id.0).expect("known page");
+            let ident = info.identity.as_mut().expect("page has identity");
+            let old_key = (ident.object_id, ident.offset);
+            ident.object_id = new_object_id;
+            ident.offset = new_offset;
+            ident.object = object;
+            old_key
+        };
+        self.hash[self.hs(old_key.0, old_key.1)]
+            .lock()
+            .remove(&old_key);
+        let prev = self.hash[self.hs(new_object_id, new_offset)]
+            .lock()
+            .insert((new_object_id, new_offset), id.0);
         assert!(prev.is_none(), "rekey target already occupied");
     }
 
@@ -295,11 +497,14 @@ impl ResidentTable {
     /// able to allocate a *new* page for the same (object, offset)
     /// immediately.
     pub fn clear_identity(&self, id: PageId) {
-        let mut g = self.inner.lock();
-        if let Some(info) = g.pages.get_mut(&id.0) {
-            if let Some(ident) = info.identity.take() {
-                g.hash.remove(&(ident.object_id, ident.offset));
-            }
+        let ident = {
+            let mut g = self.shards[self.qs(id.0)].lock();
+            g.pages.get_mut(&id.0).and_then(|info| info.identity.take())
+        };
+        if let Some(ident) = ident {
+            self.hash[self.hs(ident.object_id, ident.offset)]
+                .lock()
+                .remove(&(ident.object_id, ident.offset));
         }
     }
 
@@ -309,7 +514,7 @@ impl ResidentTable {
     /// reclaimer) touches it. Balance with [`ResidentTable::release_evict`]
     /// or [`ResidentTable::free_page`].
     pub fn claim_evict(&self, id: PageId) -> bool {
-        let mut g = self.inner.lock();
+        let mut g = self.shards[self.qs(id.0)].lock();
         let Some(info) = g.pages.get_mut(&id.0) else {
             return false;
         };
@@ -322,61 +527,124 @@ impl ResidentTable {
 
     /// Release an eviction claim without freeing the page.
     pub fn release_evict(&self, id: PageId) {
-        let mut g = self.inner.lock();
+        let mut g = self.shards[self.qs(id.0)].lock();
         if let Some(info) = g.pages.get_mut(&id.0) {
             info.busy = false;
         }
     }
 
-    /// Oldest inactive pages (pageout candidates), up to `n`.
+    /// Atomically claim a page for teardown (object termination,
+    /// quarantine, pager-requested flush). Fails if the page is already
+    /// busy — an in-flight fill or pageout owns it and will free or
+    /// release it itself — or already free, or (unless `allow_wired`)
+    /// wired. Claiming marks the page busy under the shard lock, so a
+    /// concurrent [`ResidentTable::claim_evict`] and a teardown can never
+    /// both think they own the same frame. Balance with
+    /// [`ResidentTable::free_page`] or [`ResidentTable::release_evict`].
+    pub fn claim_teardown(&self, id: PageId, allow_wired: bool) -> bool {
+        let mut g = self.shards[self.qs(id.0)].lock();
+        let Some(info) = g.pages.get_mut(&id.0) else {
+            return false;
+        };
+        if info.busy || info.queue == PageQueue::Free || (!allow_wired && info.wire_count > 0) {
+            return false;
+        }
+        info.busy = true;
+        true
+    }
+
+    /// Oldest inactive pages (pageout candidates), up to `n`, sweeping
+    /// shards from shard 0.
     pub fn inactive_candidates(&self, n: usize) -> Vec<PageId> {
-        let g = self.inner.lock();
-        g.inactive.iter().take(n).map(|&p| PageId(p)).collect()
+        self.inactive_candidates_from(0, n)
+    }
+
+    /// Oldest inactive pages, up to `n`, sweeping shards starting at
+    /// `start` — a reclaiming CPU scans "its" shard first and steals from
+    /// the rest only as needed.
+    pub fn inactive_candidates_from(&self, start: usize, n: usize) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            if out.len() >= n {
+                break;
+            }
+            let g = self.shards[(start + i) % self.shards.len()].lock();
+            out.extend(g.inactive.iter().take(n - out.len()).map(|&p| PageId(p)));
+        }
+        out
     }
 
     /// Oldest active pages (for inactive-queue refill), up to `n`.
     pub fn active_candidates(&self, n: usize) -> Vec<PageId> {
-        let g = self.inner.lock();
-        g.active.iter().take(n).map(|&p| PageId(p)).collect()
+        self.active_candidates_from(0, n)
+    }
+
+    /// Oldest active pages, up to `n`, sweeping shards starting at
+    /// `start`.
+    pub fn active_candidates_from(&self, start: usize, n: usize) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for i in 0..self.shards.len() {
+            if out.len() >= n {
+                break;
+            }
+            let g = self.shards[(start + i) % self.shards.len()].lock();
+            out.extend(g.active.iter().take(n - out.len()).map(|&p| PageId(p)));
+        }
+        out
     }
 
     /// Wire a page (pin it against pageout).
     pub fn wire(&self, id: PageId) {
-        let mut g = self.inner.lock();
+        let s = self.qs(id.0);
+        let mut g = self.shards[s].lock();
         let info = g.pages.get_mut(&id.0).expect("known page");
         info.wire_count += 1;
         if info.queue != PageQueue::Wired {
             let old = info.queue;
             info.queue = PageQueue::Wired;
             match old {
-                PageQueue::Active => g.active.retain(|&p| p != id.0),
-                PageQueue::Inactive => g.inactive.retain(|&p| p != id.0),
+                PageQueue::Active => {
+                    g.active.retain(|&p| p != id.0);
+                    self.tallies[s].active.fetch_sub(1, Ordering::Relaxed);
+                }
+                PageQueue::Inactive => {
+                    g.inactive.retain(|&p| p != id.0);
+                    self.tallies[s].inactive.fetch_sub(1, Ordering::Relaxed);
+                }
                 PageQueue::Free => panic!("cannot wire a free page"),
                 PageQueue::Wired => {}
             }
+            self.tallies[s].wired.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Unwire; returns to the active queue when the count reaches zero.
     pub fn unwire(&self, id: PageId) {
-        let mut g = self.inner.lock();
+        let s = self.qs(id.0);
+        let mut g = self.shards[s].lock();
         let info = g.pages.get_mut(&id.0).expect("known page");
         assert!(info.wire_count > 0, "unwire of unwired page");
         info.wire_count -= 1;
         if info.wire_count == 0 {
             info.queue = PageQueue::Active;
             g.active.push_back(id.0);
+            self.tallies[s].wired.fetch_sub(1, Ordering::Relaxed);
+            self.tallies[s].active.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Every page currently belonging to `object_id` (diagnostics/tests).
     pub fn pages_of(&self, object_id: u64) -> Vec<(u64, PageId)> {
-        let g = self.inner.lock();
-        g.hash
-            .iter()
-            .filter(|((oid, _), _)| *oid == object_id)
-            .map(|((_, off), &id)| (*off, PageId(id)))
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.hash {
+            let g = shard.lock();
+            out.extend(
+                g.iter()
+                    .filter(|((oid, _), _)| *oid == object_id)
+                    .map(|((_, off), &id)| (*off, PageId(id))),
+            );
+        }
+        out
     }
 }
 
@@ -493,5 +761,129 @@ mod tests {
     fn double_donation_panics() {
         let t = table_with(1);
         t.donate(PageId(0));
+    }
+
+    #[test]
+    fn counts_stay_exact_across_many_transitions() {
+        // The relaxed per-shard tallies must agree with reality after an
+        // arbitrary single-threaded mix of transitions.
+        let t = table_with(64);
+        let mut pages = Vec::new();
+        for i in 0..48u64 {
+            pages.push(t.alloc(i % 5, (i / 5) * 4096, Weak::new()).unwrap());
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            match i % 4 {
+                0 => t.set_queue(p, PageQueue::Inactive),
+                1 => t.wire(p),
+                2 => {
+                    t.set_queue(p, PageQueue::Inactive);
+                    t.set_queue(p, PageQueue::Active);
+                }
+                _ => {}
+            }
+        }
+        let c = t.counts();
+        assert_eq!(c.free + c.active + c.inactive + c.wired, 64);
+        assert_eq!(c.free, 16);
+        assert_eq!(c.inactive, 12);
+        assert_eq!(c.wired, 12);
+        assert_eq!(c.active, 24);
+        for &p in &pages {
+            t.with_page(p, |i| i.wire_count = 0);
+            // free_page rejects wired pages; unwire the wired quarter.
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            if i % 4 == 1 {
+                t.set_queue(p, PageQueue::Active);
+            }
+            t.free_page(p);
+        }
+        let c = t.counts();
+        assert_eq!((c.free, c.active, c.inactive, c.wired), (64, 0, 0, 0));
+    }
+
+    #[test]
+    fn refill_steal_and_spill_conserve_the_pool() {
+        // More pages than one refill batch: allocation drains the reserve
+        // through the local stack; freeing everything spills back; nothing
+        // is lost or duplicated.
+        let total = (REFILL_BATCH * 4) as u64;
+        let t = table_with(total);
+        let mut got = Vec::new();
+        for i in 0..total {
+            got.push(t.alloc(1, i * 4096, Weak::new()).unwrap());
+        }
+        assert!(t.alloc(2, 0, Weak::new()).is_none(), "pool exhausted");
+        let mut ids: Vec<u64> = got.iter().map(|p| p.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, total, "no frame handed out twice");
+        for p in got {
+            t.free_page(p);
+        }
+        assert_eq!(t.counts().free, total);
+    }
+
+    #[test]
+    fn set_queue_on_a_free_page_is_a_no_op() {
+        // Queue moves are requested from candidate lists sampled without
+        // a claim, so the page may have been freed in between: the move
+        // must not drag a page out of the free pool.
+        let t = table_with(2);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.free_page(p);
+        t.set_queue(p, PageQueue::Active);
+        let c = t.counts();
+        assert_eq!((c.free, c.active, c.inactive, c.wired), (2, 0, 0, 0));
+        assert!(t.active_candidates(8).is_empty());
+        // The page is still allocatable.
+        assert!(t.alloc(2, 0, Weak::new()).is_some());
+    }
+
+    #[test]
+    fn teardown_claim_excludes_eviction_and_vice_versa() {
+        let t = table_with(2);
+        let p = t.alloc(1, 0, Weak::new()).unwrap();
+        t.with_page(p, |i| i.busy = false);
+        t.set_queue(p, PageQueue::Inactive);
+        // Winner takes the frame; the loser must back off.
+        assert!(t.claim_evict(p));
+        assert!(!t.claim_teardown(p, true), "busy page belongs to evictor");
+        t.release_evict(p);
+        assert!(t.claim_teardown(p, false));
+        assert!(!t.claim_evict(p), "busy page belongs to teardown");
+        t.free_page(p);
+        assert!(!t.claim_teardown(p, true), "free pages cannot be claimed");
+        // Wired pages are only claimable when the caller allows it.
+        let w = t.alloc(1, 4096, Weak::new()).unwrap();
+        t.with_page(w, |i| i.busy = false);
+        t.wire(w);
+        assert!(!t.claim_teardown(w, false));
+        assert!(t.claim_teardown(w, true));
+    }
+
+    #[test]
+    fn candidate_sweep_rotates_across_shards() {
+        let t = table_with(32);
+        let mut pages = Vec::new();
+        for i in 0..32u64 {
+            let p = t.alloc(3, i * 4096, Weak::new()).unwrap();
+            t.set_queue(p, PageQueue::Inactive);
+            pages.push(p);
+        }
+        // Every start point sees the whole population.
+        for start in 0..t.shard_count() {
+            let mut seen = t.inactive_candidates_from(start, 64);
+            seen.sort();
+            let mut want = pages.clone();
+            want.sort();
+            assert_eq!(seen, want);
+        }
+        // Partial sweeps from different starts begin at different shards.
+        let a = t.inactive_candidates_from(0, 4);
+        let b = t.inactive_candidates_from(t.shard_count() / 2, 4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
     }
 }

@@ -38,18 +38,24 @@ pub fn reclaim(ctx: &CoreRefs, want: usize) -> usize {
     let page = ctx.page_size;
     let mut freed = 0usize;
 
+    // Work-stealing start point: each reclaiming CPU sweeps the queue
+    // shards beginning at "its" shard, so concurrent reclaimers (the
+    // daemon plus fault-path callers on other CPUs) fan out over
+    // different shards first and collide only when their own runs dry.
+    let home = ctx.machine.current_cpu() % ctx.resident.shard_count();
+
     // Refill the inactive queue so the scan below has candidates.
     let counts = ctx.resident.counts();
     let target_inactive = (want * 2).max(8);
     if (counts.inactive as usize) < target_inactive {
         let need = target_inactive - counts.inactive as usize;
-        for p in ctx.resident.active_candidates(need) {
+        for p in ctx.resident.active_candidates_from(home, need) {
             ctx.machdep.clear_reference(p.base(page), page);
             ctx.resident.set_queue(p, PageQueue::Inactive);
         }
     }
 
-    for p in ctx.resident.inactive_candidates(want * 4) {
+    for p in ctx.resident.inactive_candidates_from(home, want * 4) {
         if freed >= want {
             break;
         }

@@ -387,8 +387,11 @@ fn handle_pager_message_once(
                 },
             );
             for (off, p) in resident_range(obj, offset, length) {
-                let busy = ctx.resident.with_page(p, |i| i.busy || i.wire_count > 0);
-                if busy {
+                // Atomic claim: a busy page belongs to an in-flight fill
+                // or pageout, a wired one to its wirer — skip both. The
+                // claim excludes a concurrent reclaimer from freeing the
+                // same frame after we checked it.
+                if !ctx.resident.claim_teardown(p, false) {
                     continue;
                 }
                 let mut s = obj.lock();
@@ -401,6 +404,10 @@ fn handle_pager_message_once(
                     ctx.machdep.clear_modify(pa, page);
                     ctx.machdep.clear_reference(pa, page);
                     ctx.resident.free_page(p);
+                    obj.busy_wakeup.notify_all();
+                } else {
+                    drop(s);
+                    ctx.resident.release_evict(p);
                 }
             }
         }

@@ -188,6 +188,15 @@ thread_local! {
     static BOUND_CPU: Cell<usize> = const { Cell::new(0) };
 }
 
+/// The CPU id the calling thread is bound to (0 if it never bound one),
+/// without needing a [`Machine`] reference. Per-CPU data structures in
+/// higher layers (free-list slots, PRNG streams) use this as their slot
+/// index; callers must still clamp against their own slot count, since
+/// the raw binding is not bounded by any particular machine's CPU count.
+pub fn bound_cpu() -> usize {
+    BOUND_CPU.with(|b| b.get())
+}
+
 /// RAII guard binding the current thread to a CPU (see
 /// [`Machine::bind_cpu`]). Dropping restores the previous binding and
 /// active flag.

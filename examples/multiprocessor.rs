@@ -116,4 +116,47 @@ fn main() {
         "faults {} (the workers refault after each shootdown and heal lazily)",
         s.faults
     );
+
+    // ------------------------------------------------------------------
+    // Scaling table: the same machine model at 1/2/4/8 CPUs, every CPU
+    // running its own zero-fill fault stream from a pinned host thread.
+    // With the resident table sharded and free pages handed out from
+    // per-CPU lists, aggregate fault throughput should grow ~linearly.
+    // ------------------------------------------------------------------
+    println!("\nweak-scaling zero-fill, {} pages per CPU:", 64);
+    println!(
+        "{:>5} {:>10} {:>14} {:>8}",
+        "cpus", "faults", "faults/sim-s", "gain"
+    );
+    let mut base = 0u64;
+    for cpus in [1usize, 2, 4, 8] {
+        let machine = Machine::boot(MachineModel::multimax(cpus));
+        let kernel = Kernel::boot(&machine);
+        let ps = kernel.page_size();
+        let size = 64 * ps;
+        let tasks: Vec<_> = (0..cpus)
+            .map(|_| {
+                let t = kernel.create_task();
+                let a = t.map().allocate(kernel.ctx(), None, size, true).unwrap();
+                (t, a)
+            })
+            .collect();
+        let before = kernel.statistics();
+        let (agg, _) = mach_bench::measure::measured_parallel(&machine, cpus, |cpu| {
+            let (task, a) = &tasks[cpu];
+            task.user(cpu, |u| u.dirty_range(*a, size).unwrap());
+        });
+        let faults = kernel.statistics().delta(&before).faults;
+        let per_sec = faults * 1_000_000 / agg.elapsed_us.max(1);
+        if cpus == 1 {
+            base = per_sec;
+        }
+        println!(
+            "{:>5} {:>10} {:>14} {:>7.2}x",
+            cpus,
+            faults,
+            per_sec,
+            per_sec as f64 / base.max(1) as f64
+        );
+    }
 }

@@ -1,0 +1,312 @@
+//! Exhaustive-interleaving model tests for the sharded resident table —
+//! a hand-rolled, dependency-free analogue of `loom`.
+//!
+//! The table's operations (`alloc`, `free_page`, `wire`, …) are each
+//! atomic under the table's internal shard locks, so a concurrent
+//! history of two threads is equivalent to *some* interleaving of their
+//! operation sequences. These tests therefore enumerate **every**
+//! interleaving of two small scripts (all C(n+m, n) schedules), run each
+//! against a real `ResidentTable`, and check the conservation invariants
+//! after every single step. Unlike the stress suite
+//! (`tests/concurrency_props.rs`), which samples schedules from the host
+//! scheduler, this suite covers the schedule space exhaustively at the
+//! granularity where the implementation claims atomicity — including the
+//! per-CPU free-list refill, spill and steal paths, which are routed per
+//! script through `Machine::bind_cpu`.
+
+use std::sync::Weak;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::page::{PageId, ResidentTable};
+
+const PS: u64 = 4096;
+
+/// One scripted operation against the table.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Allocate a page for `(object, offset)`; pushed on the thread's
+    /// stack. An empty pool (`None`) is a legal outcome, not a failure.
+    Alloc { object: u64, offset: u64 },
+    /// Free the most recently allocated still-held page.
+    FreeLast,
+    /// Wire the most recently allocated still-held page.
+    WireLast,
+    /// Unwire it again (scripts keep wire/unwire balanced).
+    UnwireLast,
+}
+
+/// Per-thread interpreter state: pages the script currently holds.
+#[derive(Default)]
+struct ThreadState {
+    held: Vec<PageId>,
+    wired: Vec<PageId>,
+}
+
+fn step(rt: &ResidentTable, st: &mut ThreadState, op: Op) {
+    match op {
+        Op::Alloc { object, offset } => {
+            if let Some(id) = rt.alloc(object, offset, Weak::new()) {
+                rt.with_page(id, |p| p.busy = false);
+                st.held.push(id);
+            }
+        }
+        Op::FreeLast => {
+            if let Some(id) = st.held.pop() {
+                rt.clear_identity(id);
+                rt.free_page(id);
+            }
+        }
+        Op::WireLast => {
+            if let Some(&id) = st.held.last() {
+                rt.wire(id);
+                st.wired.push(id);
+            }
+        }
+        Op::UnwireLast => {
+            if let Some(id) = st.wired.pop() {
+                rt.unwire(id);
+            }
+        }
+    }
+}
+
+/// Every interleaving of two scripts as index sequences (0 = thread A's
+/// next op, 1 = thread B's): C(a+b, a) schedules.
+fn schedules(a: usize, b: usize) -> Vec<Vec<usize>> {
+    fn rec(a: usize, b: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if a == 0 && b == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        if a > 0 {
+            cur.push(0);
+            rec(a - 1, b, cur, out);
+            cur.pop();
+        }
+        if b > 0 {
+            cur.push(1);
+            rec(a, b - 1, cur, out);
+            cur.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(a, b, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Run one schedule of `(script_a, script_b)` on a fresh table of
+/// `pool` pages, with thread A's operations bound to CPU 0 and thread
+/// B's to CPU 1 (distinct per-CPU free-list slots), checking
+/// conservation after every step. Returns how many pages ended held.
+fn run_schedule(
+    machine: &Machine,
+    pool: u64,
+    script_a: &[Op],
+    script_b: &[Op],
+    schedule: &[usize],
+) -> u64 {
+    let rt = ResidentTable::with_cpus(PS, 2);
+    for i in 0..pool {
+        rt.donate(PageId(i));
+    }
+    let mut states = [ThreadState::default(), ThreadState::default()];
+    let mut cursors = [0usize, 0usize];
+    let scripts = [script_a, script_b];
+    for &t in schedule {
+        let op = scripts[t][cursors[t]];
+        cursors[t] += 1;
+        {
+            let _bind = machine.bind_cpu(t);
+            step(&rt, &mut states[t], op);
+        }
+        let c = rt.counts();
+        assert_eq!(
+            c.free + c.active + c.inactive + c.wired,
+            pool,
+            "conservation after {op:?} on thread {t} in schedule {schedule:?}"
+        );
+    }
+    let held = (states[0].held.len() + states[1].held.len()) as u64;
+    let c = rt.counts();
+    assert_eq!(c.free, pool - held, "final free count in {schedule:?}");
+    assert_eq!(c.active + c.inactive + c.wired, held);
+    assert_eq!(c.wired, 0, "scripts balance wire/unwire");
+    held
+}
+
+/// Two faulting threads allocating, wiring and freeing against a roomy
+/// pool: all 252 interleavings of the two five-op scripts preserve the
+/// ledger at every step, and every schedule ends in the same final
+/// queue counts.
+#[test]
+fn all_interleavings_of_alloc_free_wire_conserve_pages() {
+    let machine = Machine::boot(MachineModel::multimax(2));
+    let a = [
+        Op::Alloc {
+            object: 1,
+            offset: 0,
+        },
+        Op::Alloc {
+            object: 1,
+            offset: PS,
+        },
+        Op::WireLast,
+        Op::UnwireLast,
+        Op::FreeLast,
+    ];
+    let b = [
+        Op::Alloc {
+            object: 2,
+            offset: 0,
+        },
+        Op::FreeLast,
+        Op::Alloc {
+            object: 2,
+            offset: PS,
+        },
+        Op::Alloc {
+            object: 2,
+            offset: 2 * PS,
+        },
+        Op::FreeLast,
+    ];
+    let all = schedules(a.len(), b.len());
+    assert_eq!(all.len(), 252);
+    let mut finals = Vec::new();
+    for s in &all {
+        finals.push(run_schedule(&machine, 64, &a, &b, s));
+    }
+    // The end state is schedule-independent: same number of pages held.
+    assert!(finals.iter().all(|&h| h == finals[0]));
+    assert_eq!(finals[0], 2); // A holds 1, B holds 1
+}
+
+/// The same exhaustive sweep against a pool *smaller* than the demand,
+/// so schedules disagree about which thread's `alloc` finds the pool
+/// empty: conservation must hold through every refill, steal and
+/// failed allocation, on every schedule.
+#[test]
+fn all_interleavings_under_an_exhausted_pool_conserve_pages() {
+    let machine = Machine::boot(MachineModel::multimax(2));
+    let a = [
+        Op::Alloc {
+            object: 1,
+            offset: 0,
+        },
+        Op::Alloc {
+            object: 1,
+            offset: PS,
+        },
+        Op::Alloc {
+            object: 1,
+            offset: 2 * PS,
+        },
+        Op::FreeLast,
+    ];
+    let b = [
+        Op::Alloc {
+            object: 2,
+            offset: 0,
+        },
+        Op::Alloc {
+            object: 2,
+            offset: PS,
+        },
+        Op::Alloc {
+            object: 2,
+            offset: 2 * PS,
+        },
+        Op::FreeLast,
+    ];
+    // 4 pages for up to 6 outstanding allocations: someone gets None.
+    for s in &schedules(a.len(), b.len()) {
+        let rt_held = run_schedule(&machine, 4, &a, &b, s);
+        assert!(rt_held <= 4, "never more pages held than exist");
+    }
+}
+
+/// Directed model of the per-CPU free-list paths: CPU 0 frees enough
+/// pages to overflow its local list (spill to the reserve), then CPU 1
+/// allocates through refill — and once the reserve is dry, by stealing
+/// from CPU 0's local list. Counts stay exact throughout.
+#[test]
+fn refill_spill_and_steal_paths_conserve_counts() {
+    let machine = Machine::boot(MachineModel::multimax(2));
+    let rt = ResidentTable::with_cpus(PS, 2);
+    let pool = 3 * mach_vm::page::LOCAL_FREE_CAP as u64;
+    for i in 0..pool {
+        rt.donate(PageId(i));
+    }
+
+    // CPU 0: allocate two locals' worth, then free them all — the local
+    // list overflows LOCAL_FREE_CAP and spills halves back to the
+    // reserve.
+    let held: Vec<PageId> = {
+        let _bind = machine.bind_cpu(0);
+        let held: Vec<PageId> = (0..2 * mach_vm::page::LOCAL_FREE_CAP as u64)
+            .filter_map(|i| rt.alloc(7, i * PS, Weak::new()))
+            .collect();
+        for &id in &held {
+            rt.with_page(id, |p| p.busy = false);
+            rt.clear_identity(id);
+            rt.free_page(id);
+        }
+        held
+    };
+    assert_eq!(held.len(), 2 * mach_vm::page::LOCAL_FREE_CAP);
+    assert_eq!(rt.counts().free, pool);
+
+    // CPU 1: drain the whole pool from its (empty) local list — batched
+    // refills from the reserve, then steals from CPU 0's local.
+    {
+        let _bind = machine.bind_cpu(1);
+        let mut got = 0u64;
+        while let Some(id) = rt.alloc(8, got * PS, Weak::new()) {
+            rt.with_page(id, |p| p.busy = false);
+            got += 1;
+        }
+        assert_eq!(got, pool, "every page reachable from the other CPU");
+    }
+    let c = rt.counts();
+    assert_eq!(c.free, 0);
+    assert_eq!(c.active, pool);
+}
+
+/// Real-thread hammer over the same paths: four bound CPUs allocate and
+/// free in tight loops long enough to cycle refill/spill/steal many
+/// times; the table must end exactly where it started.
+#[test]
+fn bound_thread_hammer_returns_every_page() {
+    let machine = Machine::boot(MachineModel::multimax(4));
+    let rt = std::sync::Arc::new(ResidentTable::with_cpus(PS, 4));
+    let pool = 256u64;
+    for i in 0..pool {
+        rt.donate(PageId(i));
+    }
+    std::thread::scope(|s| {
+        for cpu in 0..4usize {
+            let rt = std::sync::Arc::clone(&rt);
+            let machine = &machine;
+            s.spawn(move || {
+                let _bind = machine.bind_cpu(cpu);
+                let object = 100 + cpu as u64;
+                for round in 0..400u64 {
+                    let mut held = Vec::new();
+                    for i in 0..((cpu as u64 + round) % 7 + 1) {
+                        if let Some(id) = rt.alloc(object, (round * 8 + i) * PS, Weak::new()) {
+                            rt.with_page(id, |p| p.busy = false);
+                            held.push(id);
+                        }
+                    }
+                    for id in held {
+                        rt.clear_identity(id);
+                        rt.free_page(id);
+                    }
+                }
+            });
+        }
+    });
+    let c = rt.counts();
+    assert_eq!(c.free, pool, "every page came home");
+    assert_eq!(c.active + c.inactive + c.wired, 0);
+}

@@ -225,6 +225,14 @@ proptest! {
             let _ = task.user(0, |u| u.read_u32(addr + i * PS));
         }
 
+        // The detached pager-service thread may still be inside a
+        // `PagerService` span when the last fault returns (its guard
+        // closes asynchronously), so settle-poll before asserting that
+        // no span leaked on an error path.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while k.profiler().open_spans() != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         prop_assert_eq!(k.profiler().open_spans(), 0, "span leaked on error path");
         // Under chaos the pager-service thread and the faulting thread can
         // interleave on the same CPU's span stack, so the strict
