@@ -42,7 +42,7 @@ use mach_vm::VmStats;
 const SCHEMA: &str = "mach-vm-bench-v2";
 const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
 const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
-const WORKLOADS: [&str; 7] = [
+const WORKLOADS: [&str; 8] = [
     "zero_fill",
     "fork_cow",
     "file_reread",
@@ -50,6 +50,7 @@ const WORKLOADS: [&str; 7] = [
     "shootdown_deferred",
     "shootdown_lazy",
     "pageout_reclaim",
+    "server_fleet",
 ];
 /// Regression gate for `--check`: a 1-CPU elapsed_us may grow by at most
 /// 20%.
@@ -58,6 +59,15 @@ const REGRESSION_FRAC: f64 = 0.20;
 /// may fall to no less than half its baseline (threaded runs are noisy;
 /// half is far outside jitter but catches a lock that re-serialized).
 const SCALING_FLOOR_FRAC: f64 = 0.50;
+/// Ablation gate: at 10⁶ map entries the indexed lookup must be at least
+/// this many times cheaper (in charged cycles per lookup) than the linear
+/// reference walk.
+const ABLATION_MIN_SPEEDUP_1M: u64 = 10;
+/// Fleet gate: `server_fleet`'s 95th-percentile shadow-chain depth must
+/// stay at or below this across all ports and CPU counts — fork storms
+/// advance lineages every 4 generations, so uncompacted chains would
+/// reach ~60 levels.
+const FLEET_MAX_SHADOW_DEPTH_P95: u64 = 6;
 
 fn model_for(port: &str, cpus: usize) -> MachineModel {
     let mut model = match port {
@@ -281,8 +291,181 @@ fn setup(
                 .0
             })
         }
+        // The fleet scenario (ROADMAP item 1, docs/WORKLOADS.md): every
+        // CPU is a tenant running a fork storm — hundreds of sequential
+        // forks per CPU (thousands of tasks machine-wide at 8 CPUs) over
+        // a parent whose address space mixes `Shared` and `Copy`
+        // inheritance plus a mapping of a file *shared by all tenants*
+        // through the object cache. Children write their COW pages and
+        // the shared page, a bounded live-set rotates (constant
+        // teardown), and every 4th generation the lineage advances so
+        // shadow chains genuinely deepen. This is the workload the
+        // O(log n) map index, the obscured-splice collapse and the
+        // proactive compaction triggers exist for; `shadow_depth_p95`
+        // staying bounded is gated in `check_regressions`.
+        "server_fleet" => {
+            let anon_pages = 16u64;
+            let shared_pages = 8u64; // first half of the anon region
+            let file_size = 8 * ps;
+            let forks_per_cpu = 256usize;
+            let bs = machine.disk().block_size;
+            let dev = BlockDevice::new(machine, (4 * file_size).div_ceil(bs) + 128);
+            let fs = SimFs::format(&dev);
+            let file = fs.create("fleet_shared").unwrap();
+            fs.write_at(file, 0, &vec![0x5au8; file_size as usize])
+                .unwrap();
+            let tenants: Vec<_> = (0..n)
+                .map(|_| {
+                    let task = kernel.create_task();
+                    let anon = task
+                        .map()
+                        .allocate(kernel.ctx(), None, anon_pages * ps, true)
+                        .expect("allocate");
+                    task.user(0, |u| u.dirty_range(anon, anon_pages * ps).unwrap());
+                    task.map()
+                        .inherit(
+                            kernel.ctx(),
+                            anon,
+                            shared_pages * ps,
+                            mach_vm::types::Inheritance::Shared,
+                        )
+                        .expect("inherit");
+                    // Every tenant maps the same file: the object cache
+                    // hands them one shared VmObject, so each CPU's fork
+                    // storm shadows a common backing object.
+                    let fmap = kernel
+                        .map_file(&task, &fs, file, None, Protection::READ)
+                        .expect("map file");
+                    (task, anon, fmap)
+                })
+                .collect();
+            let machine = Arc::clone(machine);
+            let kernel = Arc::clone(kernel);
+            Box::new(move || {
+                // The fs must outlive the storm: children page the shared
+                // file in during the measured body.
+                let _fs = &fs;
+                measured_parallel(&machine, n, |cpu| {
+                    let (parent, anon, fmap) = &tenants[cpu];
+                    let (anon, fmap) = (*anon, *fmap);
+                    let mut lineage = Arc::clone(parent);
+                    let mut live = std::collections::VecDeque::new();
+                    for g in 0..forks_per_cpu {
+                        machine.charge(mach_bench::workloads::PROC_CREATE_CYCLES);
+                        if g % 16 == 15 {
+                            // The paging daemon runs under the storm: a
+                            // real fleet lives under memory pressure, the
+                            // frame-poor ports (SUN 3: 8 KB pages in
+                            // 16 MB) need the frames back, and the sweep
+                            // is one of the proactive shadow-compaction
+                            // triggers this workload exists to exercise.
+                            kernel.reclaim(32);
+                        }
+                        let child = lineage.fork();
+                        child.user(cpu, |u| {
+                            // Two private COW pushes in the Copy half...
+                            let g = g as u64;
+                            let copy_lo = shared_pages;
+                            let copy_n = anon_pages - shared_pages;
+                            u.write_u32(anon + (copy_lo + g % copy_n) * ps, g as u32)
+                                .unwrap();
+                            u.write_u32(anon + (copy_lo + (g + 5) % copy_n) * ps, g as u32)
+                                .unwrap();
+                            // ...one coherent write in the Shared half...
+                            u.write_u32(anon + (g % shared_pages) * ps, g as u32)
+                                .unwrap();
+                            // ...and a pass over the shared file pages.
+                            u.read_u32(fmap + (g % 8) * ps).unwrap();
+                            u.read_u32(fmap + ((g + 3) % 8) * ps).unwrap();
+                        });
+                        if g % 4 == 3 {
+                            // The lineage advances: the next fork comes
+                            // off this child, deepening the chain.
+                            lineage = child;
+                        } else {
+                            live.push_back(child);
+                            if live.len() > 4 {
+                                live.pop_front(); // teardown pressure
+                            }
+                        }
+                    }
+                })
+                .0
+            })
+        }
         _ => panic!("unknown workload {workload:?}"),
     }
+}
+
+/// Entry counts for the hint-only vs indexed lookup ablation.
+const ABLATION_SIZES: [u64; 3] = [100, 10_000, 1_000_000];
+/// Hint-thrashing lookups measured per (size, mode) cell.
+const ABLATION_LOOKUPS: u64 = 64;
+
+/// Price the O(log n) map index against the paper's linear entry walk
+/// (same `BTreeMap` storage, different hint-miss search — see
+/// `crates/core/src/map.rs`). One map per size is built with `entries`
+/// single-page mappings of one shared object at two-page stride (the gap
+/// defeats coalescing), then [`ABLATION_LOOKUPS`] resolves jump around it
+/// pseudo-randomly so every lookup misses the last-fault hint and pays
+/// the search. Cycles are read straight off the simulated CPU clock —
+/// each entry visited (linear) or tree level probed (indexed) charges
+/// `lookup_step` — so the rows are deterministic and the ≥10×-at-10⁶
+/// acceptance gate in [`check_regressions`] prices the index instead of
+/// asserting it.
+fn map_index_ablation() -> Vec<Json> {
+    let mut rows = Vec::new();
+    for &entries in &ABLATION_SIZES {
+        let machine = Machine::boot(model_for("vax", 1));
+        let kernel = Kernel::boot(&machine);
+        let ps = kernel.page_size();
+        // A raw task map over a space wide enough for 10^6 two-page
+        // slots (a task's map would hit the user VA limit).
+        let map =
+            mach_vm::map::VmMap::new_task_map(kernel.ctx(), kernel.machdep().create(), 0, 1 << 44);
+        let object = mach_vm::object::VmObject::new_internal(ps);
+        let stride = 2 * ps;
+        for i in 0..entries {
+            object.reference();
+            map.map_object(
+                kernel.ctx(),
+                Some(i * stride),
+                ps,
+                Arc::clone(&object),
+                0,
+                Protection::DEFAULT,
+                Protection::ALL,
+                false,
+            )
+            .expect("map entry");
+        }
+        for mode in ["indexed", "linear"] {
+            kernel.set_map_indexed(mode == "indexed");
+            let clock = &machine.cpu(0).clock;
+            // Deterministic hint-thrashing address sequence (minstd LCG).
+            let mut x: u64 = 12345;
+            let before = clock.system_cycles();
+            for _ in 0..ABLATION_LOOKUPS {
+                x = (x.wrapping_mul(48271)) % 0x7fff_ffff;
+                let addr = (x % entries) * stride;
+                map.resolve(kernel.ctx(), addr).expect("resolve");
+            }
+            let cycles = clock.system_cycles() - before;
+            eprintln!(
+                "ablation: {entries} entries, {mode}: {} cycles/lookup",
+                cycles / ABLATION_LOOKUPS
+            );
+            rows.push(Json::obj(vec![
+                ("entries", Json::UInt(entries)),
+                ("mode", Json::Str(mode.to_string())),
+                ("lookups", Json::UInt(ABLATION_LOOKUPS)),
+                ("total_cycles", Json::UInt(cycles)),
+                ("cycles_per_lookup", Json::UInt(cycles / ABLATION_LOOKUPS)),
+            ]));
+        }
+        kernel.set_map_indexed(true);
+    }
+    rows
 }
 
 fn stats_json(s: &VmStats) -> Json {
@@ -508,7 +691,7 @@ fn parse_args() -> Cli {
 }
 
 /// Compare fresh runs against a committed baseline; returns regression
-/// descriptions (empty = pass). Two gates:
+/// descriptions (empty = pass). Four gates:
 ///
 /// 1. **1-CPU elapsed**: single-threaded rows are deterministic, so
 ///    elapsed_us growing past [`REGRESSION_FRAC`] fails. Multi-CPU rows
@@ -516,6 +699,13 @@ fn parse_args() -> Cli {
 /// 2. **Scaling**: each (workload, port, cpus) throughput gain must stay
 ///    at or above [`SCALING_FLOOR_FRAC`] of the baseline's gain — the
 ///    gate that catches a decomposed lock quietly re-serializing.
+/// 3. **Index ablation** (self-gating on the fresh run): the indexed
+///    lookup must beat the linear walk ≥[`ABLATION_MIN_SPEEDUP_1M`]× at
+///    10⁶ entries and must not lose at 10² — the priced form of the
+///    "O(log n) with no small-map regression" claim.
+/// 4. **Chain depth** (self-gating): every `server_fleet` row's
+///    `shadow_depth_p95` must stay ≤ [`FLEET_MAX_SHADOW_DEPTH_P95`],
+///    proving the compaction triggers keep fork-storm chains bounded.
 fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let key = |r: &Json| {
         (
@@ -592,6 +782,57 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             ));
         }
     }
+    // Gate 3: indexed vs linear lookup pricing on the *fresh* rows.
+    let ablation = current
+        .get("map_index_ablation")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let cell = |entries: u64, mode: &str| {
+        ablation
+            .iter()
+            .find(|r| {
+                r.get("entries").and_then(Json::as_u64) == Some(entries)
+                    && r.get("mode").and_then(Json::as_str) == Some(mode)
+            })
+            .and_then(|r| r.get("cycles_per_lookup"))
+            .and_then(Json::as_u64)
+    };
+    if !ablation.is_empty() {
+        if let (Some(idx), Some(lin)) = (cell(1_000_000, "indexed"), cell(1_000_000, "linear")) {
+            if idx.saturating_mul(ABLATION_MIN_SPEEDUP_1M) > lin {
+                out.push(format!(
+                    "map_index_ablation at 10^6 entries: indexed {idx} cycles/lookup is not \
+                     {ABLATION_MIN_SPEEDUP_1M}x better than linear {lin}"
+                ));
+            }
+        }
+        if let (Some(idx), Some(lin)) = (cell(100, "indexed"), cell(100, "linear")) {
+            if idx > lin {
+                out.push(format!(
+                    "map_index_ablation at 10^2 entries: indexed {idx} cycles/lookup regressed \
+                     vs linear {lin}"
+                ));
+            }
+        }
+    }
+    // Gate 4: fork-storm shadow chains must stay bounded.
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        if run.get("workload").and_then(Json::as_str) != Some("server_fleet") {
+            continue;
+        }
+        let depth = run
+            .get("health")
+            .and_then(|h| h.get("shadow_depth_p95"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if depth > FLEET_MAX_SHADOW_DEPTH_P95 {
+            let k = key(run);
+            out.push(format!(
+                "{}/{}/{} cpus: shadow_depth_p95 {} > {} (chain compaction not keeping up)",
+                k.0, k.1, k.2, depth, FLEET_MAX_SHADOW_DEPTH_P95
+            ));
+        }
+    }
     out
 }
 
@@ -607,6 +848,14 @@ fn main() -> ExitCode {
         }
     }
     let scaling = scaling_rows(&runs);
+    // The lookup-algorithm ablation is port-independent (it prices map
+    // search steps, not MMU behavior), so it runs once, on the vax
+    // model, whenever vax is in the port list.
+    let ablation = if cli.ports.iter().any(|p| p == "vax") {
+        map_index_ablation()
+    } else {
+        Vec::new()
+    };
     let doc = Json::obj(vec![
         ("schema", Json::Str(SCHEMA.to_string())),
         (
@@ -615,6 +864,7 @@ fn main() -> ExitCode {
         ),
         ("runs", Json::Arr(runs)),
         ("scaling", Json::Arr(scaling)),
+        ("map_index_ablation", Json::Arr(ablation)),
     ]);
     std::fs::write(&cli.out, doc.to_pretty()).expect("write output");
     eprintln!("wrote {}", cli.out);

@@ -37,6 +37,15 @@ pub struct CoreRefs {
     /// Ablation switch: disable shadow-chain garbage collection (§3.5) to
     /// measure what the collapse machinery is worth.
     pub collapse_enabled: std::sync::atomic::AtomicBool,
+    /// Ablation switch: resolve hint-miss address-map lookups through the
+    /// O(log n) ordered index (the default). Cleared, lookups fall back to
+    /// the paper's pure linear entry walk — the reference implementation
+    /// the index is property-tested against (`tests/map_index_props.rs`)
+    /// and priced against in `BENCH_vm.json`'s `map_index_ablation` rows.
+    /// Hint semantics and Table 2-1 accounting are identical either way;
+    /// only the hint-miss search algorithm (and its charged cycles)
+    /// changes.
+    pub map_indexed: std::sync::atomic::AtomicBool,
     /// How long a fault waits on an unresponsive pager before declaring it
     /// dead (boot-time option; see [`crate::BootOptions::pager_timeout`]).
     pub pager_timeout: std::time::Duration,

@@ -22,6 +22,14 @@ use crate::profile::SpanKind;
 use crate::trace::{FaultResolution, PagerMsg, TraceEvent};
 use crate::types::{Protection, VmError, VmResult};
 
+/// A fault that descends this many shadow-chain levels triggers a
+/// proactive collapse pass even without a COW push: each level costs
+/// `25 × lookup_step` cycles on *every* subsequent fault, so deep chains
+/// are worth collecting the moment they are observed (the fork-storm
+/// workloads in `docs/WORKLOADS.md` keep the `shadow_depth` health gauge
+/// bounded through exactly this trigger).
+const COLLAPSE_DEPTH_TRIGGER: u64 = 4;
+
 /// Result of trying to place a busy page in an object.
 pub(crate) enum InsertOutcome {
     /// A page already exists at the offset (`busy` tells whether someone
@@ -173,6 +181,7 @@ fn wait_not_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, page: PageId) -> VmResult<
         if !busy {
             return Ok(());
         }
+        let _q = ctx.machine.kernel_block();
         if obj
             .busy_wakeup
             .wait_for(&mut s, ctx.pager_timeout)
@@ -313,6 +322,7 @@ fn fault_body(
                     if still & access.bits() == 0 {
                         break;
                     }
+                    let _q = ctx.machine.kernel_block();
                     if first.busy_wakeup.wait_until(&mut s, deadline).timed_out() {
                         return Err(VmError::PagerDied);
                     }
@@ -343,6 +353,7 @@ fn fault_body(
                         return Err(VmError::PagerDied); // quarantined: fail fast
                     }
                     // Someone is filling it; sleep and restart the fault.
+                    let _q = ctx.machine.kernel_block();
                     if obj
                         .busy_wakeup
                         .wait_for(&mut s, ctx.pager_timeout)
@@ -532,8 +543,11 @@ fn fault_body(
             (found_obj, found_page, found_offset)
         };
 
-        // A push may have made an intermediate shadow garbage (§3.5).
-        if backing_hit && write {
+        // A push may have made an intermediate shadow garbage (§3.5), and
+        // a deep descent is itself evidence of collectable chain — the
+        // obscured-splice pass keeps fork-diamond chains bounded even
+        // when no single write makes a level fully dead.
+        if (backing_hit && write) || chain_depth >= COLLAPSE_DEPTH_TRIGGER {
             object::collapse(&first, ctx);
         }
 

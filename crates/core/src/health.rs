@@ -4,7 +4,7 @@
 //! The design sections each carry a structure whose pathology is
 //! invisible in the event counters: shadow chains grow until collapse
 //! catches them (§3.5), pv lists grow with sharing fan-out (§4),
-//! address-map lookups decay from hint hits to linear walks (§3.2), the
+//! address-map lookups decay from hint hits to index searches (§3.2), the
 //! object cache fills (`pager_cache`), and the page queues drain under
 //! memory pressure (§3.1). This module samples each of them where the
 //! kernel already has the number in hand — at fault and pageout time —
@@ -229,9 +229,14 @@ impl HealthSink {
         }
     }
 
-    /// Address-map entries visited by a lookup: 0 = "last fault" hint
-    /// hit, 1 = the hint's successor, n = a linear walk of n entries
-    /// (§3.2).
+    /// Address-map search steps taken by a lookup: 0 = "last fault" hint
+    /// hit, 1 = the hint's successor (§3.2). Larger values mean a hint
+    /// miss that had to *search*: with the ordered index (the default)
+    /// that is ~⌈log₂ n⌉ probes, so distances stay in the low buckets
+    /// even for 10⁶-entry maps; in linear-reference mode
+    /// ([`crate::ctx::CoreRefs::map_indexed`] cleared) it is the paper's
+    /// n-entry walk. `hint_hit_rate` is mode-independent — only the
+    /// shape of the miss tail differs.
     #[inline]
     pub fn scan_distance(&self, entries: u64) {
         if self.is_enabled() {

@@ -146,6 +146,7 @@ impl Kernel {
             default_pager: DefaultPager::new(machine),
             page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            map_indexed: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: opts.pager_timeout,
             trace: Arc::new(TraceSink::new(machine.n_cpus())),
             injector,
@@ -307,6 +308,27 @@ impl Kernel {
         self.ctx.health.report()
     }
 
+    /// Choose the address-map lookup algorithm used on a hint miss:
+    /// `true` (the boot default) consults the O(log n) ordered index,
+    /// `false` falls back to the paper's linear entry walk — the
+    /// reference mode the index is property-tested and benchmarked
+    /// against (see [`crate::map`] and `BENCH_vm.json`'s
+    /// `map_index_ablation`). Hint handling and all Table 2-1
+    /// accounting are identical in both modes.
+    pub fn set_map_indexed(&self, on: bool) {
+        self.ctx
+            .map_indexed
+            .store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether hint-miss lookups use the ordered index (see
+    /// [`Kernel::set_map_indexed`]).
+    pub fn map_indexed(&self) -> bool {
+        self.ctx
+            .map_indexed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Free pages if the pool fell below the boot-time target.
     pub fn balance(&self) {
         let free = self.ctx.resident.counts().free;
@@ -367,6 +389,9 @@ impl Kernel {
             default_pager: pager,
             page_size: old.page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            map_indexed: std::sync::atomic::AtomicBool::new(
+                old.map_indexed.load(std::sync::atomic::Ordering::Relaxed),
+            ),
             pager_timeout: old.pager_timeout,
             // Shared with the first boot's context so the shootdown
             // observer installed there keeps feeding the same sink, one

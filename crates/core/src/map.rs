@@ -9,11 +9,45 @@
 //! **hint**), range copy/protection operations, and allocation /
 //! deallocation — and "does not penalize large, sparse address spaces."
 //!
+//! # The ordered index
+//!
+//! This reproduction keeps the paper's *semantics* but replaces the linked
+//! list's O(n) scan with an **O(log n) ordered index**: entries live in a
+//! balanced tree ([`std::collections::BTreeMap`]) keyed by start address.
+//! The paper's 1987 maps held "about five" entries, where a list is
+//! unbeatable; the fleet-scale workloads this repository grows toward
+//! (thousands of forked tasks, up to 10^6 entries — see
+//! `docs/WORKLOADS.md`) hit the list's O(n) cliff, which the
+//! `scan_distance` health gauge was built to expose.
+//!
+//! The **last-fault hint is preserved exactly** (§3.2): every lookup
+//! checks the hinted entry first, then its successor (the sequential-fault
+//! fast path), and only a hint *miss* consults the index. Because the hint
+//! logic is identical in both modes, `hint_hits`/`hint_misses` accounting,
+//! Table 2-1 statistics and trace events do not depend on the search
+//! algorithm — a property enforced by `tests/map_index_props.rs`, which
+//! replays fault sequences against a linear-scan reference
+//! ([`crate::ctx::CoreRefs::map_indexed`] cleared) and demands identical
+//! `VmStats` and trace totals. The two algorithms are priced against each
+//! other at 10^2/10^4/10^6 entries in `BENCH_vm.json`'s
+//! `map_index_ablation` section: each lookup charges
+//! [`mach_hw::cost::CostModel::lookup_step`] cycles per entry visited
+//! (linear) or per tree level probed (indexed), so the win is measured in
+//! simulated cycles, not asserted.
+//!
+//! Locking: the index lives entirely inside the map's single mutex
+//! (`vm_map` level, the **top** of the DESIGN.md §8 lock hierarchy), so it
+//! adds no lock-ordering edges; concurrent lookups and clips serialize on
+//! the map exactly as the list did (`tests/interleave_model.rs` enumerates
+//! those schedules).
+//!
 //! A **sharing map** "is identical to an address map" except that it is
 //! referenced *by* other maps' entries and has no pmap of its own;
 //! operations that must affect every task sharing a region are applied to
 //! the sharing map once (§3.4).
 
+use std::collections::BTreeMap;
+use std::ops::Bound::{Excluded, Unbounded};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -51,7 +85,8 @@ pub enum MapTarget {
 /// object simply because the properties of the two regions are different."
 #[derive(Debug, Clone)]
 pub struct MapEntry {
-    /// First address (page aligned, inclusive).
+    /// First address (page aligned, inclusive). Doubles as the entry's
+    /// key in the map's ordered index.
     pub start: u64,
     /// Last address (page aligned, exclusive).
     pub end: u64,
@@ -86,219 +121,182 @@ impl MapEntry {
     }
 }
 
-#[derive(Debug)]
-struct Node {
-    entry: MapEntry,
-    prev: Option<usize>,
-    next: Option<usize>,
-}
-
+/// The entries of one map: a balanced tree keyed by start address plus
+/// the paper's last-fault hint. Entry keys always equal `entry.start`;
+/// entries never overlap, so the predecessor query
+/// `range(..=addr).next_back()` finds the unique candidate for any
+/// address.
 #[derive(Debug, Default)]
 struct MapInner {
-    nodes: Vec<Option<Node>>,
-    free: Vec<usize>,
-    head: Option<usize>,
-    tail: Option<usize>,
-    /// The paper's "last fault hint".
-    hint: Option<usize>,
-    n_entries: usize,
+    /// The ordered index (replaces the sorted doubly-linked list).
+    entries: BTreeMap<u64, MapEntry>,
+    /// The paper's "last fault hint": start key of the entry that
+    /// satisfied the previous lookup.
+    hint: Option<u64>,
 }
 
 impl MapInner {
-    fn node(&self, i: usize) -> &Node {
-        self.nodes[i].as_ref().expect("live node")
+    fn entry(&self, k: u64) -> &MapEntry {
+        self.entries.get(&k).expect("live entry")
     }
 
-    fn node_mut(&mut self, i: usize) -> &mut Node {
-        self.nodes[i].as_mut().expect("live node")
+    fn entry_mut(&mut self, k: u64) -> &mut MapEntry {
+        self.entries.get_mut(&k).expect("live entry")
     }
 
-    fn alloc_node(&mut self, entry: MapEntry) -> usize {
-        let node = Node {
-            entry,
-            prev: None,
-            next: None,
-        };
-        self.n_entries += 1;
-        if let Some(i) = self.free.pop() {
-            self.nodes[i] = Some(node);
-            i
-        } else {
-            self.nodes.push(Some(node));
-            self.nodes.len() - 1
-        }
+    /// Key of the entry after `k` in address order.
+    fn next_key(&self, k: u64) -> Option<u64> {
+        self.entries
+            .range((Excluded(k), Unbounded))
+            .next()
+            .map(|(&n, _)| n)
     }
 
-    /// Insert `entry` in sorted position; returns its index.
-    fn insert(&mut self, entry: MapEntry) -> usize {
-        let start = entry.start;
-        let idx = self.alloc_node(entry);
-        // Find the first node whose start exceeds ours.
-        let mut after = None; // the node we go after
-        let mut cur = self.head;
-        while let Some(c) = cur {
-            if self.node(c).entry.start > start {
-                break;
-            }
-            after = Some(c);
-            cur = self.node(c).next;
-        }
-        match after {
-            None => {
-                let old_head = self.head;
-                self.node_mut(idx).next = old_head;
-                if let Some(h) = old_head {
-                    self.node_mut(h).prev = Some(idx);
-                }
-                self.head = Some(idx);
-                if self.tail.is_none() {
-                    self.tail = Some(idx);
-                }
-            }
-            Some(a) => {
-                let next = self.node(a).next;
-                self.node_mut(idx).prev = Some(a);
-                self.node_mut(idx).next = next;
-                self.node_mut(a).next = Some(idx);
-                match next {
-                    Some(n) => self.node_mut(n).prev = Some(idx),
-                    None => self.tail = Some(idx),
-                }
-            }
-        }
-        idx
+    /// Key of the entry before `k` in address order.
+    fn prev_key(&self, k: u64) -> Option<u64> {
+        self.entries.range(..k).next_back().map(|(&p, _)| p)
     }
 
-    fn unlink(&mut self, idx: usize) -> MapEntry {
-        let (prev, next) = {
-            let n = self.node(idx);
-            (n.prev, n.next)
-        };
-        match prev {
-            Some(p) => self.node_mut(p).next = next,
-            None => self.head = next,
-        }
-        match next {
-            Some(n) => self.node_mut(n).prev = prev,
-            None => self.tail = prev,
-        }
-        if self.hint == Some(idx) {
-            self.hint = prev.or(next);
-        }
-        self.n_entries -= 1;
-        let node = self.nodes[idx].take().expect("live node");
-        self.free.push(idx);
-        node.entry
+    /// Insert `entry` into the index (O(log n)); returns its key. The
+    /// caller guarantees non-overlap.
+    fn insert(&mut self, entry: MapEntry) -> u64 {
+        let k = entry.start;
+        let old = self.entries.insert(k, entry);
+        debug_assert!(old.is_none(), "overlapping map entry at {k:#x}");
+        k
     }
 
-    /// Find the entry containing `addr`, hint-first (§3.2). The health
-    /// gauge records entries visited: 0 for a hint hit, 1 for the hint's
-    /// successor, n for a linear walk of n entries.
-    fn lookup(&mut self, addr: u64, ctx: &CoreRefs) -> Option<usize> {
+    /// Remove the entry at `k`, repointing the hint at a neighbour (the
+    /// predecessor, else the successor — the list code's `prev.or(next)`).
+    fn unlink(&mut self, k: u64) -> MapEntry {
+        if self.hint == Some(k) {
+            self.hint = self.prev_key(k).or_else(|| self.next_key(k));
+        }
+        self.entries.remove(&k).expect("live entry")
+    }
+
+    /// Find the entry containing `addr`, hint-first (§3.2).
+    ///
+    /// The hint and its successor are always checked first; only a hint
+    /// miss searches — through the ordered index by default, or by the
+    /// paper's linear walk when `ctx.map_indexed` is cleared (the ablation
+    /// reference). Each entry visited / tree level probed charges one
+    /// `lookup_step` cycle, and the health gauge records the same count:
+    /// 0 for a hint hit, 1 for the hint's successor, then n entries walked
+    /// (linear) or ~log2(n) probes (indexed).
+    fn lookup(&mut self, addr: u64, ctx: &CoreRefs) -> Option<u64> {
+        let step = ctx.machine.cost().lookup_step;
+        let mut steps = 0u64;
         if let Some(h) = self.hint {
-            if let Some(node) = self.nodes.get(h).and_then(|n| n.as_ref()) {
-                if node.entry.start <= addr && addr < node.entry.end {
+            if let Some(e) = self.entries.get(&h) {
+                steps += 1;
+                if e.start <= addr && addr < e.end {
+                    ctx.machine.charge(step * steps);
                     ctx.stats.hint_hits.fetch_add(1, Ordering::Relaxed);
                     ctx.health.scan_distance(0);
                     return Some(h);
                 }
                 // Sequential access: the next entry is the second guess.
-                if let Some(nx) = node.next {
-                    let e = &self.node(nx).entry;
-                    if e.start <= addr && addr < e.end {
+                if let Some((&nk, ne)) = self.entries.range((Excluded(h), Unbounded)).next() {
+                    steps += 1;
+                    if ne.start <= addr && addr < ne.end {
+                        ctx.machine.charge(step * steps);
                         ctx.stats.hint_hits.fetch_add(1, Ordering::Relaxed);
                         ctx.health.scan_distance(1);
-                        self.hint = Some(nx);
-                        return Some(nx);
+                        self.hint = Some(nk);
+                        return Some(nk);
                     }
                 }
             }
         }
         ctx.stats.hint_misses.fetch_add(1, Ordering::Relaxed);
-        let mut cur = self.head;
-        let mut visited = 0u64;
-        while let Some(c) = cur {
-            visited += 1;
-            let e = &self.node(c).entry;
-            if e.start <= addr && addr < e.end {
-                ctx.health.scan_distance(visited);
-                self.hint = Some(c);
-                return Some(c);
+        if ctx.map_indexed.load(Ordering::Relaxed) {
+            // O(log n): the entry with the greatest start <= addr is the
+            // only one that can contain it (entries never overlap).
+            let n = self.entries.len() as u64;
+            let probes = (64 - n.leading_zeros() as u64).max(1);
+            steps += probes;
+            let found = self
+                .entries
+                .range(..=addr)
+                .next_back()
+                .and_then(|(&k, e)| (addr < e.end).then_some(k));
+            ctx.machine.charge(step * steps);
+            ctx.health.scan_distance(probes);
+            if let Some(k) = found {
+                self.hint = Some(k);
             }
-            if e.start > addr {
-                ctx.health.scan_distance(visited);
-                return None;
+            found
+        } else {
+            // Reference mode: the paper's linear walk from the first
+            // entry, stopping at the first entry past `addr`.
+            let mut visited = 0u64;
+            let mut found = None;
+            for (&k, e) in self.entries.iter() {
+                visited += 1;
+                if e.start <= addr && addr < e.end {
+                    found = Some(k);
+                    break;
+                }
+                if e.start > addr {
+                    break;
+                }
             }
-            cur = self.node(c).next;
+            ctx.machine.charge(step * (steps + visited));
+            ctx.health.scan_distance(visited);
+            if let Some(k) = found {
+                self.hint = Some(k);
+            }
+            found
         }
-        ctx.health.scan_distance(visited);
-        None
     }
 
-    /// Split the entry at `idx` so that a boundary falls at `addr`.
-    fn clip_start(&mut self, idx: usize, addr: u64) -> usize {
+    /// Split the entry at `k` so that a boundary falls at `addr`; returns
+    /// the key of the piece containing `addr`.
+    fn clip_start(&mut self, k: u64, addr: u64) -> u64 {
         let (start, end) = {
-            let e = &self.node(idx).entry;
+            let e = self.entry(k);
             (e.start, e.end)
         };
         if addr <= start || addr >= end {
-            return idx;
+            return k;
         }
-        // idx keeps [start, addr); the clone takes [addr, end).
-        let mut tail_entry = self.node(idx).entry.clone();
-        tail_entry.reference_target();
-        tail_entry.start = addr;
-        bump_offset(&mut tail_entry, addr - start);
-        self.node_mut(idx).entry.end = addr;
-        self.insert(tail_entry)
+        // k keeps [start, addr); the clone takes [addr, end).
+        let mut tail = self.entry(k).clone();
+        tail.reference_target();
+        tail.start = addr;
+        bump_offset(&mut tail, addr - start);
+        self.entry_mut(k).end = addr;
+        self.insert(tail)
     }
 
-    /// Indices of all entries intersecting `[start, end)`, clipped to it.
-    fn clip_range(&mut self, start: u64, end: u64, ctx: &CoreRefs) -> Vec<usize> {
+    /// Keys of all entries intersecting `[start, end)`, clipped to it.
+    fn clip_range(&mut self, start: u64, end: u64, ctx: &CoreRefs) -> Vec<u64> {
         let mut out = Vec::new();
         let mut cur = match self.lookup(start, ctx) {
-            Some(i) => Some(self.clip_start(i, start)),
-            None => {
-                // No entry contains start: find the first after it.
-                let mut c = self.head;
-                while let Some(i) = c {
-                    if self.node(i).entry.end > start {
-                        break;
-                    }
-                    c = self.node(i).next;
-                }
-                c
-            }
+            Some(k) => Some(self.clip_start(k, start)),
+            // No entry contains start: the first at or after it.
+            None => self.entries.range(start..).next().map(|(&k, _)| k),
         };
-        while let Some(i) = cur {
-            let (s, _e) = {
-                let e = &self.node(i).entry;
-                (e.start, e.end)
-            };
-            if s >= end {
+        while let Some(k) = cur {
+            if self.entry(k).start >= end {
                 break;
             }
-            let i = if s < start {
-                self.clip_start(i, start)
-            } else {
-                i
-            };
-            if self.node(i).entry.end > end {
-                self.clip_start(i, end);
+            if self.entry(k).end > end {
+                self.clip_start(k, end);
             }
-            out.push(i);
-            cur = self.node(i).next;
+            out.push(k);
+            cur = self.next_key(k);
         }
         out
     }
 
-    /// Merge the entry at `idx` into its predecessor when they are
+    /// Merge the entry at `k` into its predecessor when they are
     /// perfectly compatible (the inverse of clipping). Returns the
-    /// surviving index and the absorbed entry's target, whose reference
-    /// the caller must release.
-    fn try_merge_prev(&mut self, idx: usize) -> Option<MapTarget> {
-        let prev = self.node(idx).prev?;
-        let (a, b) = (&self.node(prev).entry, &self.node(idx).entry);
+    /// absorbed entry's target, whose reference the caller must release.
+    fn try_merge_prev(&mut self, k: u64) -> Option<MapTarget> {
+        let p = self.prev_key(k)?;
+        let (a, b) = (self.entry(p), self.entry(k));
         if a.end != b.start
             || a.prot != b.prot
             || a.max_prot != b.max_prot
@@ -335,9 +333,9 @@ impl MapInner {
         if !contiguous {
             return None;
         }
-        let absorbed = self.unlink(idx);
-        self.node_mut(prev).entry.end = absorbed.end;
-        self.hint = Some(prev);
+        let absorbed = self.unlink(k);
+        self.entry_mut(p).end = absorbed.end;
+        self.hint = Some(p);
         Some(absorbed.target)
     }
 
@@ -347,20 +345,17 @@ impl MapInner {
     fn simplify(&mut self, start: u64, end: u64, ctx: &CoreRefs) -> Vec<MapTarget> {
         let mut released = Vec::new();
         let mut cur = match self.lookup(start, ctx) {
-            Some(i) => Some(i),
-            None => self.head,
+            Some(k) => Some(k),
+            None => self.entries.range(start..).next().map(|(&k, _)| k),
         };
-        while let Some(i) = cur {
-            let (s, next) = {
-                let n = self.node(i);
-                (n.entry.start, n.next)
-            };
-            if s > end {
+        while let Some(k) = cur {
+            if self.entry(k).start > end {
                 break;
             }
-            if let Some(target) = self.try_merge_prev(i) {
+            let next = self.next_key(k);
+            if let Some(target) = self.try_merge_prev(k) {
                 released.push(target);
-                // `i` vanished; continue from the same place via `next`.
+                // `k` vanished; continue from the same place via `next`.
             }
             cur = next;
         }
@@ -368,32 +363,27 @@ impl MapInner {
     }
 
     /// First-fit search for a free range of `size` bytes in `[lo, hi)`.
+    /// Starts the gap walk at `lo`'s predecessor entry (an index query),
+    /// not the map's first entry.
     fn find_space(&self, size: u64, lo: u64, hi: u64) -> Option<u64> {
         let mut candidate = lo;
-        let mut cur = self.head;
-        while let Some(c) = cur {
-            let e = &self.node(c).entry;
+        let begin = self
+            .entries
+            .range(..=lo)
+            .next_back()
+            .map(|(&k, _)| k)
+            .unwrap_or(0);
+        for (_, e) in self.entries.range(begin..) {
             if e.start >= candidate && e.start - candidate >= size {
                 break;
             }
             candidate = candidate.max(e.end);
-            cur = self.node(c).next;
         }
         if candidate.checked_add(size).is_none_or(|end| end > hi) {
             None
         } else {
             Some(candidate)
         }
-    }
-
-    fn iter_indices(&self) -> Vec<usize> {
-        let mut v = Vec::with_capacity(self.n_entries);
-        let mut cur = self.head;
-        while let Some(c) = cur {
-            v.push(c);
-            cur = self.node(c).next;
-        }
-        v
     }
 }
 
@@ -448,6 +438,11 @@ pub struct Resolved {
 }
 
 /// An address map: a task's (with a pmap) or a sharing map (without).
+///
+/// All entry state sits behind one mutex at the **top** of the lock
+/// hierarchy (DESIGN.md §8): lookups, clips and inserts serialize here
+/// before any object lock is taken, so the ordered index introduces no
+/// new lock-ordering edges.
 #[derive(Debug)]
 pub struct VmMap {
     pmap: Option<Arc<dyn Pmap>>,
@@ -512,9 +507,10 @@ impl VmMap {
         self.hi
     }
 
-    /// Number of entries (a typical UNIX process has about five — §3.2).
+    /// Number of entries (a typical UNIX process has about five — §3.2;
+    /// the fleet ablation builds maps of 10^6).
     pub fn entry_count(&self) -> usize {
-        self.inner.lock().n_entries
+        self.inner.lock().entries.len()
     }
 
     /// Allocate zero-filled memory (the `vm_allocate` primitive).
@@ -573,11 +569,15 @@ impl VmMap {
                 if a % ctx.page_size != 0 {
                     return Err(VmError::BadAlignment);
                 }
-                // The exact range must be free.
-                let taken = g.iter_indices().into_iter().any(|i| {
-                    let e = &g.node(i).entry;
-                    e.start < a + size && e.end > a
-                });
+                // The exact range must be free: the last entry starting
+                // below the range's end is the only overlap candidate
+                // (an index query, so fixed-address maps build in
+                // O(n log n), not O(n^2)).
+                let taken = g
+                    .entries
+                    .range(..a + size)
+                    .next_back()
+                    .is_some_and(|(_, e)| e.end > a);
                 if taken {
                     return Err(VmError::AlreadyAllocated);
                 }
@@ -622,8 +622,8 @@ impl VmMap {
         let end = start + size;
         let removed: Vec<MapEntry> = {
             let mut g = self.inner.lock();
-            let idxs = g.clip_range(start, end, ctx);
-            idxs.into_iter().map(|i| g.unlink(i)).collect()
+            let keys = g.clip_range(start, end, ctx);
+            keys.into_iter().map(|k| g.unlink(k)).collect()
         };
         if let Some(pmap) = &self.pmap {
             if !removed.is_empty() {
@@ -661,21 +661,21 @@ impl VmMap {
         let mut shared_updates: Vec<(Arc<VmMap>, u64, u64)> = Vec::new();
         {
             let mut g = self.inner.lock();
-            let idxs = g.clip_range(start, end, ctx);
-            let covered: u64 = idxs.iter().map(|&i| g.node(i).entry.size()).sum();
+            let keys = g.clip_range(start, end, ctx);
+            let covered: u64 = keys.iter().map(|&k| g.entry(k).size()).sum();
             if covered != size {
                 return Err(VmError::InvalidAddress);
             }
             // Validate before mutating.
             if !set_maximum {
-                for &i in &idxs {
-                    if !g.node(i).entry.max_prot.contains(new_prot) {
+                for &k in &keys {
+                    if !g.entry(k).max_prot.contains(new_prot) {
                         return Err(VmError::ProtectionFailure);
                     }
                 }
             }
-            for i in idxs {
-                let e = &mut g.node_mut(i).entry;
+            for k in keys {
+                let e = g.entry_mut(k);
                 if set_maximum {
                     e.max_prot = new_prot;
                     e.prot = e.prot.intersect(new_prot);
@@ -710,10 +710,10 @@ impl VmMap {
     fn narrow_resident_hw(&self, ctx: &CoreRefs, off: u64, len: u64, prot: Protection) {
         let page = ctx.page_size;
         let mut g = self.inner.lock();
-        let idxs = g.clip_range(off, off + len, ctx);
+        let keys = g.clip_range(off, off + len, ctx);
         let mut work = Vec::new();
-        for i in idxs {
-            let e = &g.node(i).entry;
+        for k in keys {
+            let e = g.entry(k);
             if let MapTarget::Object { object, offset } = &e.target {
                 work.push((Arc::clone(object), *offset, e.size()));
             }
@@ -758,13 +758,13 @@ impl VmMap {
     ) -> VmResult<()> {
         let size = ctx.round_page(size);
         let mut g = self.inner.lock();
-        let idxs = g.clip_range(start, start + size, ctx);
-        let covered: u64 = idxs.iter().map(|&i| g.node(i).entry.size()).sum();
+        let keys = g.clip_range(start, start + size, ctx);
+        let covered: u64 = keys.iter().map(|&k| g.entry(k).size()).sum();
         if covered != size {
             return Err(VmError::InvalidAddress);
         }
-        for i in idxs {
-            g.node_mut(i).entry.inheritance = inheritance;
+        for k in keys {
+            g.entry_mut(k).inheritance = inheritance;
         }
         let released = g.simplify(start.saturating_sub(1), start + size + 1, ctx);
         drop(g);
@@ -785,10 +785,9 @@ impl VmMap {
     /// Describe the regions of this map (the `vm_regions` primitive).
     pub fn regions(&self) -> Vec<RegionInfo> {
         let g = self.inner.lock();
-        g.iter_indices()
-            .into_iter()
-            .map(|i| {
-                let e = &g.node(i).entry;
+        g.entries
+            .values()
+            .map(|e| {
                 let (shared, object_id) = match &e.target {
                     MapTarget::Object { object, .. } => (false, object.id()),
                     MapTarget::Share { map, .. } => (true, Arc::as_ptr(map) as u64),
@@ -817,8 +816,8 @@ impl VmMap {
     pub fn resolve(self: &Arc<VmMap>, ctx: &CoreRefs, addr: u64) -> VmResult<Resolved> {
         let (target, prot, needs_copy, cow, wired, entry_start) = {
             let mut g = self.inner.lock();
-            let idx = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
-            let e = &g.node(idx).entry;
+            let k = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
+            let e = g.entry(k);
             (
                 e.target.clone(),
                 e.prot,
@@ -874,8 +873,8 @@ impl VmMap {
         _had_needs_copy: bool,
     ) -> VmResult<()> {
         let mut g = self.inner.lock();
-        let idx = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
-        let e = &mut g.node_mut(idx).entry;
+        let k = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
+        let e = g.entry_mut(k);
         if !e.needs_copy {
             let readonly_obj = match &e.target {
                 MapTarget::Object { object, .. } => object.lock().pager_readonly,
@@ -912,8 +911,8 @@ impl VmMap {
     /// [`VmError::InvalidAddress`] if nothing is mapped at `addr`.
     pub fn share_entry(&self, ctx: &CoreRefs, addr: u64) -> VmResult<(Arc<VmMap>, u64, u64, u64)> {
         let mut g = self.inner.lock();
-        let idx = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
-        let e = &mut g.node_mut(idx).entry;
+        let k = g.lookup(addr, ctx).ok_or(VmError::InvalidAddress)?;
+        let e = g.entry_mut(k);
         let (start, end) = (e.start, e.end);
         match &e.target {
             MapTarget::Share { map, offset } => Ok((Arc::clone(map), *offset, start, end)),
@@ -961,11 +960,7 @@ impl VmMap {
 
     /// Snapshot all entries (fork and `vm_copy` source scans).
     pub(crate) fn snapshot_entries(&self) -> Vec<MapEntry> {
-        let g = self.inner.lock();
-        g.iter_indices()
-            .into_iter()
-            .map(|i| g.node(i).entry.clone())
-            .collect()
+        self.inner.lock().entries.values().cloned().collect()
     }
 
     /// Clip the map at `[start, end)` boundaries and snapshot the covered
@@ -982,14 +977,14 @@ impl VmMap {
         end: u64,
     ) -> VmResult<Vec<MapEntry>> {
         let mut g = self.inner.lock();
-        let idxs = g.clip_range(start, end, ctx);
-        let covered: u64 = idxs.iter().map(|&i| g.node(i).entry.size()).sum();
+        let keys = g.clip_range(start, end, ctx);
+        let covered: u64 = keys.iter().map(|&k| g.entry(k).size()).sum();
         if covered != end - start {
             return Err(VmError::InvalidAddress);
         }
         let mut out = Vec::new();
-        for i in idxs {
-            let e = &mut g.node_mut(i).entry;
+        for k in keys {
+            let e = g.entry_mut(k);
             if matches!(e.target, MapTarget::Object { .. }) {
                 e.copy_on_write = true;
                 e.needs_copy = true;
@@ -1012,8 +1007,12 @@ impl Drop for VmMap {
         };
         let entries: Vec<MapEntry> = {
             let mut g = self.inner.lock();
-            let idxs = g.iter_indices();
-            idxs.into_iter().map(|i| g.unlink(i)).collect()
+            g.hint = None;
+            let mut v = Vec::with_capacity(g.entries.len());
+            while let Some((_, e)) = g.entries.pop_first() {
+                v.push(e);
+            }
+            v
         };
         for e in entries {
             if let Some(pmap) = &self.pmap {
@@ -1054,6 +1053,7 @@ mod tests {
             default_pager,
             page_size: 4096,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
+            map_indexed: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: std::time::Duration::from_secs(5),
             trace,
             injector: crate::inject::Injector::disabled(),
@@ -1142,6 +1142,31 @@ mod tests {
             "sequential faults all hit the hint"
         );
         assert!(c.stats.hint_hits.load(Ordering::Relaxed) >= 16);
+    }
+
+    /// The hint path is identical in indexed and linear-reference modes:
+    /// the same lookup sequence produces the same hit/miss accounting.
+    #[test]
+    fn hint_accounting_is_mode_independent() {
+        let run = |indexed: bool| -> (u64, u64) {
+            let c = ctx();
+            c.map_indexed
+                .store(indexed, std::sync::atomic::Ordering::Relaxed);
+            let m = map(&c);
+            let a = m.allocate(&c, Some(0x10000), 4096 * 8, false).unwrap();
+            let b = m.allocate(&c, Some(0x40000), 4096 * 8, false).unwrap();
+            for i in 0..8 {
+                let _ = m.resolve(&c, a + i * 4096).unwrap();
+            }
+            let _ = m.resolve(&c, b).unwrap(); // far jump: hint miss
+            let _ = m.resolve(&c, b + 4096).unwrap(); // successor hit
+            assert!(m.resolve(&c, 0x8000_0000).is_err()); // miss, no entry
+            (
+                c.stats.hint_hits.load(Ordering::Relaxed),
+                c.stats.hint_misses.load(Ordering::Relaxed),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -1277,6 +1302,27 @@ mod tests {
         m.allocate(&c, Some(0), 4096, false).unwrap();
         assert_eq!(m.entry_count(), 2);
         assert!(m.resolve(&c, top).is_ok());
+    }
+
+    /// Both lookup modes agree on hit/miss results across a sparse map,
+    /// including addresses below the first entry, in gaps, and past the
+    /// last entry (wraparound territory for the index's predecessor
+    /// query).
+    #[test]
+    fn indexed_and_linear_lookups_agree() {
+        let c = ctx();
+        let m = map(&c);
+        let starts = [0x0, 0x5000, 0x20000, 0x100000, (1 << 30) - 0x2000];
+        for &s in &starts {
+            m.allocate(&c, Some(s), 8192, false).unwrap();
+        }
+        let probe: Vec<u64> = (0..2048).map(|i| (i * 0x3456) & !(4096 - 1)).collect();
+        let results = |indexed: bool| -> Vec<bool> {
+            c.map_indexed
+                .store(indexed, std::sync::atomic::Ordering::Relaxed);
+            probe.iter().map(|&a| m.resolve(&c, a).is_ok()).collect()
+        };
+        assert_eq!(results(true), results(false));
     }
 }
 

@@ -297,6 +297,10 @@ fn finish_terminate(
             b.shadow_count = b.shadow_count.saturating_sub(1);
         }
         deallocate(&sh, ctx);
+        // Fork teardown just removed a shadower: the surviving chain
+        // below the junction may now be collapsible (one branch of a
+        // fork diamond died). `collapse` no-ops on terminated objects.
+        collapse(&sh, ctx);
     }
 }
 
@@ -335,13 +339,36 @@ fn try_collapse_dropped(_obj: &Arc<VmObject>) {
 /// garbage collects shadow objects when it recognizes that an intermediate
 /// shadow is no longer needed."
 ///
-/// Two transformations, applied until neither fires:
+/// Three transformations, applied until none fires:
 ///
 /// - **collapse**: the backing object is internal and referenced only by
 ///   `obj`, so its pages are *moved* up (no copy) and the backing object
 ///   disappears from the chain;
 /// - **bypass**: `obj` already has every page in its window resident, so
-///   the backing object can be skipped entirely.
+///   the backing object can be skipped entirely;
+/// - **obscured splice**: every page the backing object actually holds
+///   within `obj`'s window is shadowed by `obj`'s own copy, and no map
+///   entry references the backing object directly — `obj` can then link
+///   straight to the deeper shadow even though other chains keep the
+///   backing object alive (the fork-diamond case bypass cannot touch).
+///
+/// # Invariants
+///
+/// Only **internal, pagerless, quiescent** backing objects are ever
+/// restructured (`collapse_level`'s guard): a pager could supply pages we
+/// cannot see, and an in-progress pageout pins the page list. Lock order
+/// is front-then-backing (top-down, matching the fault path's shadow
+/// descent), and page moves go through [`crate::page::ResidentTable`]
+/// `rekey` so physical page identity stays consistent. Obscured-ness is
+/// stable: a shadowed object with no direct map references can never
+/// *gain* resident pages (nothing faults on it), so a splice decided
+/// under both locks stays valid after they drop.
+///
+/// Beyond the historical trigger (a COW write that hit its backing
+/// object), this runs proactively from fork teardown
+/// (`finish_terminate`), the pageout sweep, and deep-chain faults, so
+/// fleet workloads with thousands of forks keep bounded chain depth —
+/// the `shadow_depth` health gauge is the acceptance check.
 pub fn collapse(obj: &Arc<VmObject>, ctx: &CoreRefs) {
     if !ctx.collapse_enabled.load(Ordering::Relaxed) {
         return; // ablation: let chains grow
@@ -426,6 +453,34 @@ fn collapse_level(obj: &Arc<VmObject>, ctx: &CoreRefs) {
                 // object held on the deeper shadow.
                 n.state.lock().ref_count += 1;
                 n.state.lock().shadow_count += 1;
+            }
+            s.shadow = next;
+            s.shadow_offset += b.shadow_offset;
+            b.shadow_count = b.shadow_count.saturating_sub(1);
+            drop(b);
+            drop(s);
+            deallocate(&backing, ctx);
+            ctx.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+            ctx.trace_emit(0, obj.id(), 0, crate::trace::TraceEvent::ShadowBypass);
+            continue;
+        }
+        // --- Obscured splice: every page the backing object holds in our
+        // window is shadowed by our own copy, and no map entry references
+        // the backing object directly (all its references come from
+        // shadowing objects), so looking through it and skipping it are
+        // indistinguishable from here. Other chains keep it alive; this
+        // chain drops a level. Accounted as a bypass (same chain effect).
+        let delta = s.shadow_offset;
+        let obscured = b.ref_count == b.shadow_count
+            && b.resident
+                .range(delta..delta.saturating_add(s.size))
+                .all(|(&boff, _)| s.resident.contains_key(&(boff - delta)));
+        if obscured {
+            let next = b.shadow.clone();
+            if let Some(n) = &next {
+                let mut ns = n.state.lock();
+                ns.ref_count += 1;
+                ns.shadow_count += 1;
             }
             s.shadow = next;
             s.shadow_offset += b.shadow_offset;

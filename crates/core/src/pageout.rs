@@ -24,6 +24,12 @@ use crate::types::VmError;
 /// retried before the pageout is abandoned for this daemon pass.
 const PAGEOUT_RETRIES: u32 = 3;
 
+/// How many distinct shadow-chained objects one reclaim sweep hands to
+/// the §3.5 collapse pass. Bounded so pressure-path latency stays
+/// predictable; the sweep runs often enough that the whole population is
+/// visited over a few passes.
+const COMPACT_PER_SWEEP: usize = 8;
+
 /// Try to free at least `want` pages; returns how many were freed.
 ///
 /// Order of attack: refill the inactive queue from the active queue
@@ -55,13 +61,35 @@ pub fn reclaim(ctx: &CoreRefs, want: usize) -> usize {
         }
     }
 
+    // Memory pressure is the other moment chains are worth compacting:
+    // while sweeping, note objects that sit on shadow chains and run the
+    // §3.5 collapse pass over a bounded set of them once the evictions
+    // are done (no page or object lock is held here). A collapsed chain
+    // both frees obscured pages outright and shortens every future
+    // fault's descent.
+    let mut compact: Vec<std::sync::Arc<crate::object::VmObject>> = Vec::new();
     for p in ctx.resident.inactive_candidates_from(home, want * 4) {
         if freed >= want {
             break;
         }
+        if compact.len() < COMPACT_PER_SWEEP {
+            let owner = ctx
+                .resident
+                .with_page(p, |pi| pi.identity.as_ref().map(|i| i.object.clone()));
+            if let Some(obj) = owner.and_then(|w| w.upgrade()) {
+                if obj.chain_length() > 0
+                    && !compact.iter().any(|o| std::sync::Arc::ptr_eq(o, &obj))
+                {
+                    compact.push(obj);
+                }
+            }
+        }
         if evict_one(ctx, p) {
             freed += 1;
         }
+    }
+    for obj in compact {
+        crate::object::collapse(&obj, ctx);
     }
 
     while freed < want {

@@ -24,6 +24,12 @@ use crate::types::{Inheritance, Protection, VmError, VmResult};
 
 static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Shadow-chain length at which `fork` runs a collapse pass over a
+/// copied entry's chain before returning. Matches the fault path's
+/// depth trigger so a fork storm cannot outrun collection between
+/// faults.
+const FORK_COMPACT_DEPTH: usize = 4;
+
 /// A Mach task: an address space (map + pmap) and a resource context.
 #[derive(Debug)]
 pub struct Task {
@@ -111,6 +117,15 @@ impl Task {
                         VAddr(e.end),
                         e.prot.remove(Protection::WRITE).to_hw(),
                     );
+                    // Fork storms (docs/WORKLOADS.md `server_fleet`) grow
+                    // a shadow level per generation; compact chains that
+                    // crossed the fault path's depth trigger now, while
+                    // earlier generations' diamonds are freshly dead.
+                    if let Ok(r) = self.map.resolve(&self.ctx, e.start) {
+                        if r.object.chain_length() >= FORK_COMPACT_DEPTH {
+                            crate::object::collapse(&r.object, &self.ctx);
+                        }
+                    }
                 }
             }
         }
@@ -150,6 +165,7 @@ impl Task {
         self.activate(cpu);
         let uc = UserCtx {
             task: Arc::clone(self),
+            cpu,
         };
         let r = body(&uc);
         self.pmap().deactivate(cpu);
@@ -175,9 +191,12 @@ impl Task {
     /// Resolve a hardware fault against this task's address space.
     ///
     /// Implements the NS32082 erratum workaround *machine-independently*:
-    /// a read fault at an address the pmap already maps readable can only
-    /// be the write half of a read-modify-write cycle lying about itself,
-    /// so it is retried as a write.
+    /// a **protection** fault on a read, at an address the pmap already
+    /// maps readable, can only be the write half of a read-modify-write
+    /// cycle lying about itself, so it is retried as a write. Plain
+    /// translation-miss read faults are exempt — at a mapped address they
+    /// are legitimate on ports that discard MMU state behind a running
+    /// task (SUN 3 pmeg steals) and must be resolved as reads.
     ///
     /// # Errors
     ///
@@ -189,11 +208,17 @@ impl Task {
             Access::Write => Protection::WRITE,
             Access::Read | Access::Execute => Protection::READ,
         };
-        if access == Protection::READ {
+        if access == Protection::READ && fault.code == mach_hw::FaultCode::Protection {
             let va = VAddr(ctx.trunc_page(fault.va.0));
             if self.pmap().extract(va).is_some() {
-                // The mapping is readable yet the hardware claims a read
-                // fault: the NS32082 RMW erratum (paper §5.1).
+                // A *protection* fault on a read, at a page the pmap maps
+                // readable, is self-contradictory — the hardware access
+                // report must be lying, which is exactly the NS32082 RMW
+                // erratum (paper §5.1). The FaultCode gate matters: a
+                // translation-miss read fault at a mapped address is
+                // legitimate on ports that discard MMU state behind a
+                // running task's back (SUN 3 pmeg steals) and must stay a
+                // read.
                 access = Protection::WRITE;
             }
         }
@@ -209,9 +234,17 @@ impl Task {
 #[derive(Debug)]
 pub struct UserCtx {
     task: Arc<Task>,
+    cpu: usize,
 }
 
-const MAX_RETRIES: usize = 64;
+// The pmap contract says any mapping may be discarded at any time, so a
+// user access must tolerate re-faulting indefinitely as long as the
+// system makes progress — on a SUN 3 with more than 8 active tasks,
+// context steals can invalidate a fresh mapping before the retried
+// access lands many times in a row (§5.1's "additional page faults").
+// The cap is only a safety net against a genuine no-progress loop, so it
+// must sit far above any reachable thrash depth.
+const MAX_RETRIES: usize = 4096;
 
 impl UserCtx {
     /// The task this context belongs to.
@@ -220,10 +253,26 @@ impl UserCtx {
     }
 
     fn retry<R>(&self, mut op: impl FnMut() -> Result<R, Fault>) -> VmResult<R> {
+        let mut last: Option<(u64, Access)> = None;
         for _ in 0..MAX_RETRIES {
             match op() {
                 Ok(r) => return Ok(r),
-                Err(fault) => self.task.handle_fault(fault)?,
+                Err(fault) => {
+                    let key = (fault.va.0, fault.access);
+                    self.task.handle_fault(fault)?;
+                    // The same access faulting twice in a row means the
+                    // resolved mapping is invisible to this CPU: on ports
+                    // with per-pmap MMU state (the SUN 3 context register),
+                    // another CPU may have stolen the state the register
+                    // names, and the handler rebuilt the mapping under a
+                    // fresh assignment the register has never seen. Real
+                    // hardware reloads the MMU registers on every return to
+                    // user mode; reload them here before re-executing.
+                    if last == Some(key) {
+                        self.task.activate(self.cpu);
+                    }
+                    last = Some(key);
+                }
             }
         }
         Err(VmError::ResourceShortage)

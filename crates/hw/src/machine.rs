@@ -226,6 +226,26 @@ impl Drop for CpuBinding<'_> {
     }
 }
 
+/// RAII marker from [`Machine::kernel_block`]: the bound CPU is parked
+/// deep in the kernel (sleeping on a busy page, waiting out a pager) and
+/// cannot be mid-access through its TLB. While held, the CPU reports
+/// inactive, so shootdowns flush its TLB directly instead of sending an
+/// IPI that can only time out — a sleeping thread services no interrupts.
+#[derive(Debug)]
+pub struct KernelBlock<'m> {
+    cpu: Option<&'m Cpu>,
+}
+
+impl Drop for KernelBlock<'_> {
+    fn drop(&mut self) {
+        if let Some(cpu) = self.cpu {
+            // Everything flushed directly while we slept already hit the
+            // TLB; rearming just restores shootdown-by-IPI.
+            cpu.set_active(true);
+        }
+    }
+}
+
 /// Counters the machine keeps about cross-processor operations.
 #[derive(Debug, Default)]
 pub struct MachineStats {
@@ -475,6 +495,28 @@ impl Machine {
     /// CPU (models flush-on-next-activate).
     pub fn flush_quiescent(&self, id: usize, scope: FlushScope) {
         self.cpus[id].tlb.lock().flush(scope);
+    }
+
+    /// Mark the bound CPU quiescent for the duration of a kernel sleep
+    /// (waiting on a busy page or a pager reply). While the returned
+    /// guard lives, shootdowns aimed at this CPU flush its TLB directly
+    /// rather than interrupting a thread that cannot answer — without
+    /// this, every synchronous flush in the system stalls for the full
+    /// IPI timeout whenever any sibling CPU is parked in the kernel.
+    ///
+    /// Legal because the sleeping thread is not mid-access: the access
+    /// that led here has already faulted and will restart from the
+    /// hardware table walk when the thread resumes. A no-op when the
+    /// calling thread does not own a CPU (kernel daemons, tests).
+    pub fn kernel_block(&self) -> KernelBlock<'_> {
+        let cpu = &self.cpus[self.current_cpu()];
+        let owned = *cpu.owner.lock() == Some(std::thread::current().id());
+        if owned && cpu.is_active() {
+            cpu.set_active(false);
+            KernelBlock { cpu: Some(cpu) }
+        } else {
+            KernelBlock { cpu: None }
+        }
     }
 
     /// Interrupt `targets` so they flush `scope`; optionally wait for all

@@ -204,7 +204,26 @@ impl Sun3Tables {
         {
             free
         } else {
-            let victim = w.ctx_lru[0];
+            // Steal the least-recently-used context whose owner is not
+            // executing on any CPU right now. Revoking a running task's
+            // context would leave that CPU's context register naming MMU
+            // state that no longer belongs to it — at best an endless
+            // refault, at worst a walk through the thief's segment map.
+            // A free context always exists for a task that is about to
+            // run: at most `n_cpus - 1` other pmaps can be active, and
+            // the SUN 3 has as many contexts as the largest machine has
+            // CPUs. The LRU fallback is unreachable but keeps the pool
+            // safe if that invariant ever changes.
+            let victim = w
+                .ctx_lru
+                .iter()
+                .copied()
+                .find(|&c| {
+                    w.ctx_owner[c as usize]
+                        .and_then(|id| w.pmaps.get(&id))
+                        .is_none_or(|p| p.shared.cpus_active.load(Ordering::SeqCst) == 0)
+                })
+                .unwrap_or(w.ctx_lru[0]);
             self.evict_context(w, victim);
             crate::core::stat_add(&self.core.counters.context_steals, 1);
             victim

@@ -272,6 +272,167 @@ fn refill_spill_and_steal_paths_conserve_counts() {
     assert_eq!(c.active, pool);
 }
 
+/// One scripted address-map operation for the lookup-vs-mutation model.
+/// Thread L only looks up (`resolve`, which moves the last-fault hint);
+/// thread M only mutates through the clip/insert paths (`allocate`,
+/// `deallocate`, `protect`). Each is atomic under the map lock, so a
+/// concurrent history is equivalent to some interleaving — enumerated
+/// exhaustively below, in both indexed and linear lookup modes.
+#[derive(Debug, Clone, Copy)]
+enum MapOp {
+    /// `resolve` an address; records whether it hit a mapping.
+    Lookup { addr: u64 },
+    /// Insert a region (index insert + coalesce attempt).
+    Allocate { addr: u64, pages: u64 },
+    /// Remove a subrange (entry clipping + unlink).
+    Deallocate { addr: u64, pages: u64 },
+    /// Protect a subrange (clip on change, coalesce on heal).
+    Protect {
+        addr: u64,
+        pages: u64,
+        readonly: bool,
+    },
+}
+
+const MAP_BASE: u64 = 0x10_0000;
+const MAP_BASE2: u64 = 0x20_0000;
+
+/// Final region table with renumbered object ids:
+/// `(start, end, prot bits, renumbered object id)` per entry.
+type RegionTable = Vec<(u64, u64, u8, u64)>;
+
+/// Run one schedule of `(script_l, script_m)` against a fresh kernel in
+/// the given lookup mode. Returns the lookup-outcome sequence (in
+/// schedule order) and the final region table with object ids
+/// renumbered (ids come from a process-global counter). After every
+/// step the region table must be sorted and overlap-free — the
+/// structural invariant the index shares with the paper's entry list.
+fn run_map_schedule(
+    indexed: bool,
+    script_l: &[MapOp],
+    script_m: &[MapOp],
+    schedule: &[usize],
+) -> (Vec<bool>, RegionTable) {
+    let k = mach_vm::kernel::Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()));
+    k.set_map_indexed(indexed);
+    let t = k.create_task();
+    t.map()
+        .allocate(k.ctx(), Some(MAP_BASE), 8 * PS, false)
+        .unwrap();
+    let mut outcomes = Vec::new();
+    let mut cursors = [0usize, 0usize];
+    let scripts = [script_l, script_m];
+    for &th in schedule {
+        let op = scripts[th][cursors[th]];
+        cursors[th] += 1;
+        match op {
+            MapOp::Lookup { addr } => {
+                outcomes.push(t.map().resolve(k.ctx(), addr).is_ok());
+            }
+            MapOp::Allocate { addr, pages } => {
+                let _ = t.map().allocate(k.ctx(), Some(addr), pages * PS, false);
+            }
+            MapOp::Deallocate { addr, pages } => {
+                let _ = t.map().deallocate(k.ctx(), addr, pages * PS);
+            }
+            MapOp::Protect {
+                addr,
+                pages,
+                readonly,
+            } => {
+                let prot = if readonly {
+                    mach_vm::types::Protection::READ
+                } else {
+                    mach_vm::types::Protection::DEFAULT
+                };
+                let _ = t.map().protect(k.ctx(), addr, pages * PS, false, prot);
+            }
+        }
+        let regions = t.map().regions();
+        for w in regions.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "overlapping or unsorted entries after {op:?} in {schedule:?}"
+            );
+        }
+    }
+    let mut ids = std::collections::HashMap::new();
+    let table = t
+        .map()
+        .regions()
+        .into_iter()
+        .map(|r| {
+            let next = ids.len() as u64;
+            let id = *ids.entry(r.object_id).or_insert(next);
+            (r.start, r.end, r.prot.bits(), id)
+        })
+        .collect();
+    (outcomes, table)
+}
+
+/// Exhaustive lookup-vs-clip/insert model: all 70 interleavings of a
+/// four-lookup script against a four-mutation script (insert, split,
+/// hole-punch, heal). Per schedule, the indexed map and the
+/// linear-reference map must report identical lookup outcomes and an
+/// identical final region table; across schedules, the final table is
+/// invariant because lookups never change map structure — only the
+/// hint, whose position both modes may use but never expose.
+#[test]
+fn all_interleavings_of_lookup_vs_clip_insert_agree_across_modes() {
+    let lookups = [
+        MapOp::Lookup {
+            addr: MAP_BASE + 2 * PS,
+        },
+        // Repeat: exercises the hint-hit path right after the mutation
+        // thread may have clipped the entry under the hint.
+        MapOp::Lookup {
+            addr: MAP_BASE + 2 * PS,
+        },
+        // The page the mutation thread punches out mid-script.
+        MapOp::Lookup {
+            addr: MAP_BASE + 5 * PS,
+        },
+        // The region the mutation thread inserts mid-script.
+        MapOp::Lookup {
+            addr: MAP_BASE2 + PS,
+        },
+    ];
+    let mutations = [
+        MapOp::Allocate {
+            addr: MAP_BASE2,
+            pages: 2,
+        },
+        MapOp::Protect {
+            addr: MAP_BASE + PS,
+            pages: 2,
+            readonly: true,
+        },
+        MapOp::Deallocate {
+            addr: MAP_BASE + 5 * PS,
+            pages: 1,
+        },
+        MapOp::Protect {
+            addr: MAP_BASE + PS,
+            pages: 2,
+            readonly: false,
+        },
+    ];
+    let all = schedules(lookups.len(), mutations.len());
+    assert_eq!(all.len(), 70);
+    let mut finals: Vec<RegionTable> = Vec::new();
+    for s in &all {
+        let (oi, ri) = run_map_schedule(true, &lookups, &mutations, s);
+        let (ol, rl) = run_map_schedule(false, &lookups, &mutations, s);
+        assert_eq!(oi, ol, "lookup outcomes diverged between modes in {s:?}");
+        assert_eq!(ri, rl, "final region table diverged between modes in {s:?}");
+        finals.push(ri);
+    }
+    assert!(
+        finals.iter().all(|f| f == &finals[0]),
+        "final region table must be schedule-independent"
+    );
+}
+
 /// Real-thread hammer over the same paths: four bound CPUs allocate and
 /// free in tight loops long enough to cycle refill/spill/steal many
 /// times; the table must end exactly where it started.

@@ -1,0 +1,313 @@
+//! The map-index equivalence contract (ISSUE 7 tentpole): the O(log n)
+//! ordered index must be **observationally identical** to the paper's
+//! linear entry walk everywhere except charged search cycles and the
+//! scan-distance gauge. Identical fault sequences replayed against an
+//! indexed kernel and a linear-reference kernel (`set_map_indexed(false)`)
+//! must produce byte-equal [`VmStats`] (Table 2-1) and byte-equal trace
+//! totals — hint hits/misses included, since the last-fault hint path is
+//! shared by both modes. The op mix deliberately includes lookups past
+//! the last entry and below the first (the index's predecessor-query
+//! edge cases), protect splits and heals (entry clipping + coalescing),
+//! forks and deallocations.
+//!
+//! A deterministic scenario at the end pins down the **obscured-splice**
+//! collapse transformation the fleet workloads rely on: a fork diamond
+//! whose intermediate shadow holds only pages its front object obscures
+//! gets spliced out of the chain even though a sibling keeps it alive.
+
+use std::sync::Arc;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::Kernel;
+use mach_vm::types::{Inheritance, Protection};
+use mach_vm::VmStats;
+use proptest::prelude::*;
+
+const PS: u64 = 4096;
+/// Two regions far apart plus probes beyond both: every lookup class
+/// (hint hit, successor hit, index hit, miss-in-gap, miss-past-end).
+const REGION_A: u64 = 0x10_0000;
+const REGION_B: u64 = 0x80_0000;
+const REGION_PAGES: u64 = 16;
+
+fn boot(indexed: bool) -> Arc<Kernel> {
+    let k = Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii()));
+    k.set_map_indexed(indexed);
+    k
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a page in region A or B of some task.
+    Write { task: u8, page: u8, region_b: bool },
+    /// Read a page, or probe an unmapped address (gap / past-end).
+    Read { task: u8, page: u8, region_b: bool },
+    /// Probe an address that is never mapped (both modes must agree on
+    /// the miss and its hint accounting).
+    Probe { task: u8, addr_sel: u8 },
+    /// Fork a task (COW against both regions).
+    Fork { task: u8 },
+    /// Protect a subrange read-only, then restore: splits entries, then
+    /// coalesces them back (`simplify`).
+    SplitHeal { task: u8, page: u8, len: u8 },
+    /// Set inheritance on a subrange (another clip path).
+    Inherit { task: u8, page: u8, shared: bool },
+    /// Punch a hole and reallocate it.
+    Hole { task: u8, page: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(task, page, region_b)| Op::Write {
+            task,
+            page,
+            region_b
+        }),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(task, page, region_b)| Op::Read {
+            task,
+            page,
+            region_b
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(task, addr_sel)| Op::Probe { task, addr_sel }),
+        any::<u8>().prop_map(|task| Op::Fork { task }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(task, page, len)| Op::SplitHeal {
+            task,
+            page,
+            len
+        }),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(task, page, shared)| Op::Inherit {
+            task,
+            page,
+            shared
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(task, page)| Op::Hole { task, page }),
+    ]
+}
+
+/// Replay `ops` on a fresh kernel; returns the stats delta over the run.
+fn run_ops(k: &Arc<Kernel>, ops: &[Op]) -> VmStats {
+    let root = k.create_task();
+    for base in [REGION_A, REGION_B] {
+        root.map()
+            .allocate(k.ctx(), Some(base), REGION_PAGES * PS, false)
+            .unwrap();
+    }
+    let base_stats = k.statistics();
+    let mut tasks = vec![root];
+    for op in ops {
+        match *op {
+            Op::Write {
+                task,
+                page,
+                region_b,
+            } => {
+                let t = &tasks[task as usize % tasks.len()];
+                let base = if region_b { REGION_B } else { REGION_A };
+                let a = base + u64::from(page % REGION_PAGES as u8) * PS;
+                t.user(0, |u| {
+                    let _ = u.write_u32(a, u32::from(page));
+                });
+            }
+            Op::Read {
+                task,
+                page,
+                region_b,
+            } => {
+                let t = &tasks[task as usize % tasks.len()];
+                let base = if region_b { REGION_B } else { REGION_A };
+                let a = base + u64::from(page % REGION_PAGES as u8) * PS;
+                t.user(0, |u| {
+                    let _ = u.read_u32(a);
+                });
+            }
+            Op::Probe { task, addr_sel } => {
+                let t = &tasks[task as usize % tasks.len()];
+                // Below A, in the A↔B gap, just past B, and far past
+                // everything (the predecessor query's wraparound edge).
+                let addr = match addr_sel % 4 {
+                    0 => REGION_A - PS,
+                    1 => REGION_B / 2,
+                    2 => REGION_B + REGION_PAGES * PS,
+                    _ => !(PS - 1),
+                };
+                assert!(t.map().resolve(k.ctx(), addr).is_err());
+            }
+            Op::Fork { task } => {
+                if tasks.len() < 6 {
+                    let child = tasks[task as usize % tasks.len()].fork();
+                    tasks.push(child);
+                }
+            }
+            Op::SplitHeal { task, page, len } => {
+                let t = &tasks[task as usize % tasks.len()];
+                let p = u64::from(page % (REGION_PAGES as u8 - 1));
+                let n = 1 + u64::from(len) % (REGION_PAGES - p);
+                let _ =
+                    t.map()
+                        .protect(k.ctx(), REGION_A + p * PS, n * PS, false, Protection::READ);
+                let _ = t.map().protect(
+                    k.ctx(),
+                    REGION_A + p * PS,
+                    n * PS,
+                    false,
+                    Protection::DEFAULT,
+                );
+            }
+            Op::Inherit { task, page, shared } => {
+                let t = &tasks[task as usize % tasks.len()];
+                let p = u64::from(page % REGION_PAGES as u8);
+                let inh = if shared {
+                    Inheritance::Shared
+                } else {
+                    Inheritance::Copy
+                };
+                let _ = t.map().inherit(k.ctx(), REGION_B + p * PS, PS, inh);
+            }
+            Op::Hole { task, page } => {
+                let t = &tasks[task as usize % tasks.len()];
+                let p = u64::from(page % REGION_PAGES as u8);
+                let a = REGION_A + p * PS;
+                if t.map().deallocate(k.ctx(), a, PS).is_ok() {
+                    let _ = t.map().allocate(k.ctx(), Some(a), PS, false);
+                }
+            }
+        }
+    }
+    drop(tasks);
+    k.statistics().delta(&base_stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline equivalence: identical op sequences produce identical
+    /// Table 2-1 statistics — hint accounting included — and identical
+    /// trace totals in indexed and linear-reference modes.
+    #[test]
+    fn indexed_and_linear_kernels_are_observationally_identical(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        let ki = boot(true);
+        let kl = boot(false);
+        ki.enable_tracing(1 << 17);
+        kl.enable_tracing(1 << 17);
+        let si = run_ops(&ki, &ops);
+        let sl = run_ops(&kl, &ops);
+        prop_assert_eq!(si, sl, "VmStats diverged between lookup modes");
+        let ti = ki.trace_log();
+        let tl = kl.trace_log();
+        prop_assert!(!ti.wrapped() && !tl.wrapped(), "ring too small for the ledger");
+        prop_assert_eq!(ti.totals(), tl.totals(), "trace totals diverged");
+    }
+
+    /// Data visibility agrees as well: after an arbitrary prefix, every
+    /// mapped page reads back the same value in both modes and both maps
+    /// report identical region tables.
+    #[test]
+    fn indexed_and_linear_agree_on_data_and_regions(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let ki = boot(true);
+        let kl = boot(false);
+        let readback = |k: &Arc<Kernel>| {
+            let t = k.create_task();
+            for base in [REGION_A, REGION_B] {
+                t.map()
+                    .allocate(k.ctx(), Some(base), REGION_PAGES * PS, false)
+                    .unwrap();
+            }
+            run_ops(k, &ops);
+            let vals: Vec<Option<u32>> = (0..REGION_PAGES)
+                .flat_map(|p| [REGION_A + p * PS, REGION_B + p * PS])
+                .map(|a| t.user(0, |u| u.read_u32(a).ok()))
+                .collect();
+            // Object ids come from a process-global counter, so two
+            // kernels in one process can never agree on raw ids;
+            // renumber them in first-appearance order before comparing.
+            let mut ids = std::collections::HashMap::new();
+            let regions: Vec<_> = t
+                .map()
+                .regions()
+                .into_iter()
+                .map(|mut r| {
+                    let next = ids.len() as u64;
+                    r.object_id = *ids.entry(r.object_id).or_insert(next);
+                    r
+                })
+                .collect();
+            (vals, regions)
+        };
+        let (vi, ri) = readback(&ki);
+        let (vl, rl) = readback(&kl);
+        prop_assert_eq!(vi, vl, "page contents diverged");
+        prop_assert_eq!(ri, rl, "region tables diverged");
+    }
+}
+
+/// The obscured-splice transformation, deterministically: a fork diamond
+/// whose intermediate shadow S1 holds only page 2 — and both of S1's
+/// shadowers hold their own copy of page 2 — must splice S1 out of the
+/// grandchild's chain even though the sibling shadow keeps S1 alive.
+#[test]
+fn obscured_intermediate_shadow_is_spliced_out() {
+    let k = boot(true);
+    let ps = k.page_size();
+    let parent = k.create_task();
+    let addr = parent.map().allocate(k.ctx(), None, 8 * ps, true).unwrap();
+    parent.user(0, |u| u.dirty_range(addr, 8 * ps).unwrap());
+
+    // C1's write builds S1 (on the original object O) holding page 2.
+    let c1 = parent.fork();
+    c1.user(0, |u| u.write_u32(addr + 2 * ps, 0xC1).unwrap());
+    // The grandchild diamond: C2 shadows S1, and C1's next write gives
+    // C1 its own shadow on S1 too — so S1's references are exactly its
+    // two shadowers (no map entry names it directly).
+    let c2 = c1.fork();
+    c1.user(0, |u| u.write_u32(addr + 2 * ps, 0x1C1).unwrap());
+    let before = k.statistics();
+    c2.user(0, |u| u.write_u32(addr + 2 * ps, 0xC2).unwrap());
+
+    // C2's chain: its shadow obscures everything S1 holds (page 2), so
+    // the splice links it straight to O — length 1, not 2.
+    let r = c2.map().resolve(k.ctx(), addr).unwrap();
+    assert_eq!(
+        r.object.chain_length(),
+        1,
+        "obscured intermediate shadow still on the chain"
+    );
+    let delta = k.statistics().delta(&before);
+    assert!(delta.bypasses >= 1, "splice must be accounted as a bypass");
+
+    // Everyone still sees their own page 2 — and the untouched page 3
+    // still comes from O for all four tasks.
+    parent.user(0, |u| {
+        assert_ne!(u.read_u32(addr + 2 * ps).unwrap(), 0xC2);
+    });
+    c1.user(0, |u| assert_eq!(u.read_u32(addr + 2 * ps).unwrap(), 0x1C1));
+    c2.user(0, |u| assert_eq!(u.read_u32(addr + 2 * ps).unwrap(), 0xC2));
+    for t in [&parent, &c1, &c2] {
+        let p3 = t.user(0, |u| u.read_u32(addr + 3 * ps).unwrap());
+        let base = parent.user(0, |u| u.read_u32(addr + 3 * ps).unwrap());
+        assert_eq!(p3, base, "unwritten pages must agree through the splice");
+    }
+}
+
+/// The linear-reference mode must leave the splice untouched too —
+/// collapse machinery is orthogonal to the lookup algorithm.
+#[test]
+fn splice_fires_identically_in_linear_mode() {
+    for indexed in [true, false] {
+        let k = boot(indexed);
+        let ps = k.page_size();
+        let parent = k.create_task();
+        let addr = parent.map().allocate(k.ctx(), None, 4 * ps, true).unwrap();
+        parent.user(0, |u| u.dirty_range(addr, 4 * ps).unwrap());
+        let c1 = parent.fork();
+        c1.user(0, |u| u.write_u32(addr, 1).unwrap());
+        let c2 = c1.fork();
+        c1.user(0, |u| u.write_u32(addr, 2).unwrap());
+        c2.user(0, |u| u.write_u32(addr, 3).unwrap());
+        let r = c2.map().resolve(k.ctx(), addr).unwrap();
+        assert_eq!(r.object.chain_length(), 1, "indexed={indexed}");
+    }
+}
