@@ -15,16 +15,23 @@
 //!
 //! Single-CPU rows are deterministic; multi-CPU rows race real threads,
 //! so their numbers carry run-to-run jitter (the regression gates account
-//! for this — see [`check_regressions`]).
+//! for this — see [`check_regressions`]). The exception is the
+//! `trace_replay_*` family: those rows replay committed golden traces
+//! (`tests/traces/`) through the lockstep engine of
+//! `mach_bench::replay`, which serializes ops in recorded order, so they
+//! are byte-stable at every CPU count and double as cross-port
+//! conformance gates.
 //!
 //! ```text
 //! cargo run --release -p mach-bench --bin bench_json
 //! ```
 //!
-//! Flags: `--ports vax,romp,...` `--cpus 1,4` `--out PATH`
+//! Flags: `--ports vax,romp,...` `--cpus 1,4`
+//! `--workloads zero_fill,trace_replay_fork_storm,...` `--out PATH`
 //! `--check BASELINE` (exit 1 if a 1-CPU workload's elapsed_us regressed
-//! more than 20%, or any workload's scaling gain fell below half its
-//! baseline).
+//! more than 20%, any workload's scaling gain fell below half its
+//! baseline, or a trace-replay row's observables diverge — see
+//! [`check_regressions`]).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -39,10 +46,10 @@ use mach_vm::kernel::Kernel;
 use mach_vm::types::Protection;
 use mach_vm::VmStats;
 
-const SCHEMA: &str = "mach-vm-bench-v2";
+const SCHEMA: &str = "mach-vm-bench-v3";
 const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
 const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
-const WORKLOADS: [&str; 8] = [
+const WORKLOADS: [&str; 10] = [
     "zero_fill",
     "fork_cow",
     "file_reread",
@@ -51,6 +58,12 @@ const WORKLOADS: [&str; 8] = [
     "shootdown_lazy",
     "pageout_reclaim",
     "server_fleet",
+    // Golden-trace replays (`tests/traces/`): the lockstep engine makes
+    // these rows bit-deterministic at every CPU count, and gate 5 demands
+    // the machine-independent observables agree across every row and
+    // match the trace's pinned expectation.
+    "trace_replay_fork_storm",
+    "trace_replay_chaos_pager",
 ];
 /// Regression gate for `--check`: a 1-CPU elapsed_us may grow by at most
 /// 20%.
@@ -495,7 +508,40 @@ fn stats_json(s: &VmStats) -> Json {
     ])
 }
 
+/// A `trace_replay_*` row: replay the named golden trace through the
+/// lockstep engine. Replay rows are fully deterministic (the engine
+/// serializes ops in recorded order even across CPUs), so both the times
+/// and the observables are byte-stable under regeneration; the
+/// machine-independent observables are additionally conformance-gated in
+/// [`check_regressions`] (gate 5).
+fn replay_run(trace: &str, workload: &str, port: &str, cpus: usize) -> Json {
+    let scenario = mach_bench::scenario::load_golden(trace);
+    let outcome = mach_bench::replay::replay(&scenario, port, cpus)
+        .unwrap_or_else(|e| panic!("replay {trace} on {port} x{cpus}: {e}"));
+    let o = &outcome.obs;
+    let mut fields: Vec<(&str, Json)> =
+        o.gated().iter().map(|&(k, v)| (k, Json::UInt(v))).collect();
+    fields.extend([
+        ("faults", Json::UInt(o.faults)),
+        ("resident_hits", Json::UInt(o.resident_hits)),
+        ("reactivations", Json::UInt(o.reactivations)),
+        ("shadow_depth_p95", Json::UInt(o.shadow_depth_p95)),
+    ]);
+    Json::obj(vec![
+        ("workload", Json::Str(workload.to_string())),
+        ("port", Json::Str(port.to_string())),
+        ("cpus", Json::UInt(cpus as u64)),
+        ("system_us", Json::UInt(outcome.time.system_us)),
+        ("elapsed_us", Json::UInt(outcome.time.elapsed_us)),
+        ("stats", stats_json(&outcome.stats)),
+        ("observables", Json::obj(fields)),
+    ])
+}
+
 fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
+    if let Some(trace) = workload.strip_prefix("trace_replay_") {
+        return replay_run(trace, workload, port, cpus);
+    }
     let machine = Machine::boot(model_for(port, cpus));
     let kernel = Kernel::boot(&machine);
     let body = setup(workload, &machine, &kernel);
@@ -626,6 +672,12 @@ fn scaling_rows(runs: &[Json]) -> Vec<Json> {
             continue;
         }
         let (w, p) = (field(run, "workload"), field(run, "port"));
+        if w.starts_with("trace_replay_") {
+            // The lockstep replay engine serializes ops by design —
+            // replay rows are conformance artifacts, not scaling
+            // workloads.
+            continue;
+        }
         let Some(base) = runs
             .iter()
             .find(|r| cpus_of(r) == 1 && field(r, "workload") == w && field(r, "port") == p)
@@ -652,6 +704,7 @@ fn scaling_rows(runs: &[Json]) -> Vec<Json> {
 struct Cli {
     ports: Vec<String>,
     cpus: Vec<usize>,
+    workloads: Vec<String>,
     out: String,
     check: Option<String>,
 }
@@ -660,6 +713,7 @@ fn parse_args() -> Cli {
     let mut cli = Cli {
         ports: ALL_PORTS.iter().map(|s| s.to_string()).collect(),
         cpus: ALL_CPUS.to_vec(),
+        workloads: WORKLOADS.iter().map(|s| s.to_string()).collect(),
         out: "BENCH_vm.json".to_string(),
         check: None,
     };
@@ -672,6 +726,12 @@ fn parse_args() -> Cli {
         match a.as_str() {
             "--ports" => {
                 cli.ports = val("--ports")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--workloads" => {
+                cli.workloads = val("--workloads")
                     .split(',')
                     .map(|s| s.trim().to_string())
                     .collect();
@@ -706,6 +766,11 @@ fn parse_args() -> Cli {
 /// 4. **Chain depth** (self-gating): every `server_fleet` row's
 ///    `shadow_depth_p95` must stay ≤ [`FLEET_MAX_SHADOW_DEPTH_P95`],
 ///    proving the compaction triggers keep fork-storm chains bounded.
+/// 5. **Trace-replay conformance** (self-gating): every `trace_replay_*`
+///    row in the fresh run must report machine-independent observables
+///    identical to every other row of the same trace *and* equal to the
+///    trace's pinned `expect` line — the paper's "pmap is a cache" claim
+///    (section 4) as a benchmark gate.
 fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let key = |r: &Json| {
         (
@@ -833,13 +898,81 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             ));
         }
     }
+    // Gate 5: trace-replay conformance across the fresh rows.
+    let gated_of = |r: &Json| -> Vec<(String, u64)> {
+        let names = [
+            "logical_faults",
+            "zero_fill",
+            "cow",
+            "pageins",
+            "pageouts",
+            "reclaims",
+            "checksum",
+        ];
+        names
+            .iter()
+            .map(|&f| {
+                (
+                    f.to_string(),
+                    r.get("observables")
+                        .and_then(|o| o.get(f))
+                        .and_then(Json::as_u64)
+                        .unwrap_or(u64::MAX),
+                )
+            })
+            .collect()
+    };
+    let mut reference: Vec<(String, Vec<(String, u64)>, (String, String, u64))> = Vec::new();
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        let k = key(run);
+        let Some(trace) = k.0.strip_prefix("trace_replay_").map(str::to_string) else {
+            continue;
+        };
+        let obs = gated_of(run);
+        match reference.iter().find(|(t, _, _)| *t == trace) {
+            None => {
+                let s = mach_bench::scenario::load_golden(&trace);
+                if let Some(e) = s.expect {
+                    let want = [
+                        ("logical_faults", e.logical_faults),
+                        ("zero_fill", e.zero_fill),
+                        ("cow", e.cow),
+                        ("pageins", e.pageins),
+                        ("pageouts", e.pageouts),
+                        ("reclaims", e.reclaims),
+                        ("checksum", e.checksum),
+                    ];
+                    for ((name, got), (_, pinned)) in obs.iter().zip(want.iter()) {
+                        if got != pinned {
+                            out.push(format!(
+                                "{}/{}/{} cpus: {name} {got} != pinned expectation {pinned}",
+                                k.0, k.1, k.2
+                            ));
+                        }
+                    }
+                }
+                reference.push((trace, obs, k));
+            }
+            Some((_, want, first_k)) => {
+                for ((name, got), (_, expect)) in obs.iter().zip(want.iter()) {
+                    if got != expect {
+                        out.push(format!(
+                            "{}/{}/{} cpus: {name} {got} diverges from {}/{} cpus ({expect}) — \
+                             machine-independent observable differs across ports",
+                            k.0, k.1, k.2, first_k.1, first_k.2
+                        ));
+                    }
+                }
+            }
+        }
+    }
     out
 }
 
 fn main() -> ExitCode {
     let cli = parse_args();
     let mut runs = Vec::new();
-    for workload in WORKLOADS {
+    for workload in &cli.workloads {
         for port in &cli.ports {
             for &cpus in &cli.cpus {
                 eprintln!("run: {workload} on {port} x{cpus}");

@@ -24,7 +24,9 @@
 pub mod ablate;
 pub mod json;
 pub mod measure;
+pub mod replay;
 pub mod report;
+pub mod scenario;
 pub mod workloads;
 
 pub use measure::{measured, traced, SimTime};

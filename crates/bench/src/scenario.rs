@@ -1,0 +1,1014 @@
+//! The versioned on-disk trace format of the scenario engine.
+//!
+//! A scenario file is the *portable* half of record/replay: a recorded
+//! [`mach_vm::OpRecord`] stream (or a hand-written workload) serialized
+//! into a line-oriented text format that replays against a freshly booted
+//! kernel on any port, at any CPU count (see [`crate::replay`] and
+//! `docs/TRACING.md`, "Replay").
+//!
+//! Like [`crate::json`], the format is hand-rolled — the workspace
+//! carries no serialization dependency — and built for two properties:
+//!
+//! 1. **Determinism** — serialization is canonical (fixed key order,
+//!    lowercase hex for addresses/sizes, decimal for ids and counts), so
+//!    `parse ∘ serialize = id` *byte-for-byte*, which is what lets the
+//!    golden corpus assert the committed files are exactly what the
+//!    engine would write.
+//! 2. **Fail-loud parsing** — every error carries a line number; a
+//!    missing `end` trailer means a truncated file; an `end` with the
+//!    wrong op count means a torn write.
+//!
+//! # Format
+//!
+//! ```text
+//! mach-vm-trace v1
+//! name fork_storm
+//! page 0x2000
+//! streams 2
+//! file id=1 size=0x10000 fill=0xab
+//! chaos seed=42 pager_stall=50 msg_delay=100 msg_duplicate=20 io_transient=0
+//! gate shadow_p95_max=6
+//! op 0 task t=1
+//! op 0 alloc t=1 addr=0x10000 size=0x4000
+//! op 1 write t=1 addr=0x10000 len=0x4000 val=0x5a5a5a5a
+//! op 0 fork parent=1 child=2
+//! op 1 touch t=2 addr=0x10000 len=0x4000
+//! op 0 drop t=2
+//! expect logical_faults=4 zero_fill=2 cow=2 pageins=0 pageouts=0 reclaims=0 checksum=0x9ae16a3b2f90404f
+//! end ops=6
+//! ```
+//!
+//! Header lines (`name`/`page`/`streams`) come first in that order;
+//! `file`, `chaos` and `gate` lines are optional and follow the header;
+//! `op` lines carry the stream in recorded (replay) order, each stamped
+//! with the CPU stream it belongs to; the optional `expect` line pins the
+//! machine-independent observables every port must reproduce; the `end`
+//! trailer is mandatory and must be the last line.
+
+use std::fmt::Write as _;
+
+use mach_vm::{Inheritance, OpRecord, Protection, VmOp};
+
+/// Format version emitted and accepted by this module.
+pub const TRACE_VERSION: &str = "mach-vm-trace v1";
+
+/// A file the scenario maps (replay creates it in a fresh [`mach_fs::SimFs`]
+/// before the first op runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileSpec {
+    /// The token `map_file` ops reference (dense 1..n in exported traces).
+    pub id: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Byte the file is filled with.
+    pub fill: u8,
+}
+
+/// Deterministic chaos applied during replay. Only injections whose draw
+/// sequence is machine-*independent* are representable: pager-message
+/// faults (per pager request) and transient block-I/O faults (every port
+/// shares the standard 4096-byte device block, so a common-page transfer
+/// issues the same block sequence everywhere). Permanent I/O errors and
+/// message loss would change the gated observables and are excluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Seed for the deterministic injector.
+    pub seed: u64,
+    /// Pager-stall probability, permille.
+    pub pager_stall: u32,
+    /// Message-delay probability, permille.
+    pub msg_delay: u32,
+    /// Message-duplication probability, permille.
+    pub msg_duplicate: u32,
+    /// Transient (retryable) block-I/O fault probability, permille.
+    pub io_transient: u32,
+}
+
+/// The machine-independent observables a replay must reproduce exactly
+/// (see [`crate::replay::Observables`] for how each is computed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expectation {
+    /// `faults - resident_hits`: faults net of hardware-induced refaults.
+    pub logical_faults: u64,
+    /// Zero-fill resolutions.
+    pub zero_fill: u64,
+    /// Copy-on-write resolutions.
+    pub cow: u64,
+    /// Pages paged in from backing store.
+    pub pageins: u64,
+    /// Dirty pages written to backing store.
+    pub pageouts: u64,
+    /// Clean pages reclaimed.
+    pub reclaims: u64,
+    /// FNV-1a 64 over final address-space metadata and contents.
+    pub checksum: u64,
+}
+
+/// A parsed (or recorded) scenario: everything replay needs, plus the
+/// optional expected observables and health gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (also the file stem by convention).
+    pub name: String,
+    /// Machine-independent page size the kernel must boot with.
+    pub page_size: u64,
+    /// Number of CPU streams in the op stream (replay multiplexes stream
+    /// `s` onto CPU `s % n_cpus`).
+    pub streams: u32,
+    /// Files to create before replay.
+    pub files: Vec<FileSpec>,
+    /// Optional deterministic chaos.
+    pub chaos: Option<ChaosSpec>,
+    /// Optional gate: shadow-chain depth p95 must stay at or below this.
+    pub shadow_p95_max: Option<u64>,
+    /// The op stream, in replay order.
+    pub ops: Vec<OpRecord>,
+    /// Optional expected observables.
+    pub expect: Option<Expectation>,
+}
+
+fn fmt_prot(p: Protection) -> String {
+    if p.bits() == 0 {
+        return "none".to_string();
+    }
+    let mut s = String::new();
+    if p.contains(Protection::READ) {
+        s.push('r');
+    }
+    if p.contains(Protection::WRITE) {
+        s.push('w');
+    }
+    if p.contains(Protection::EXECUTE) {
+        s.push('x');
+    }
+    s
+}
+
+fn parse_prot(s: &str) -> Result<Protection, String> {
+    if s == "none" {
+        return Ok(Protection::from_bits(0));
+    }
+    let mut bits = 0u8;
+    for c in s.chars() {
+        bits |= match c {
+            'r' => Protection::READ.bits(),
+            'w' => Protection::WRITE.bits(),
+            'x' => Protection::EXECUTE.bits(),
+            _ => return Err(format!("bad protection {s:?} (want none|[rwx]+)")),
+        };
+    }
+    Ok(Protection::from_bits(bits))
+}
+
+fn fmt_inherit(i: Inheritance) -> &'static str {
+    match i {
+        Inheritance::Shared => "shared",
+        Inheritance::Copy => "copy",
+        Inheritance::None => "none",
+    }
+}
+
+fn parse_inherit(s: &str) -> Result<Inheritance, String> {
+    match s {
+        "shared" => Ok(Inheritance::Shared),
+        "copy" => Ok(Inheritance::Copy),
+        "none" => Ok(Inheritance::None),
+        _ => Err(format!("bad inheritance {s:?} (want shared|copy|none)")),
+    }
+}
+
+/// Key=value field iterator with typed accessors and line-scoped errors.
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(rest: &'a str) -> Result<Fields<'a>, String> {
+        let mut pairs = Vec::new();
+        for tok in rest.split_whitespace() {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            pairs.push((k, v));
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn raw(&self, key: &str) -> Result<&'a str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing field {key}="))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let v = self.raw(key)?;
+        let parsed = match v.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => v.parse(),
+        };
+        parsed.map_err(|_| format!("bad number {v:?} for {key}="))
+    }
+
+    fn u32(&self, key: &str) -> Result<u32, String> {
+        let n = self.u64(key)?;
+        u32::try_from(n).map_err(|_| format!("{key}={n} out of u32 range"))
+    }
+}
+
+fn hex(x: u64) -> String {
+    format!("0x{x:x}")
+}
+
+impl Scenario {
+    /// Serialize canonically (see module docs; `parse` reads this back
+    /// byte-for-byte).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{TRACE_VERSION}");
+        let _ = writeln!(out, "name {}", self.name);
+        let _ = writeln!(out, "page {}", hex(self.page_size));
+        let _ = writeln!(out, "streams {}", self.streams);
+        for f in &self.files {
+            let _ = writeln!(
+                out,
+                "file id={} size={} fill=0x{:02x}",
+                f.id,
+                hex(f.size),
+                f.fill
+            );
+        }
+        if let Some(c) = &self.chaos {
+            let _ = writeln!(
+                out,
+                "chaos seed={} pager_stall={} msg_delay={} msg_duplicate={} io_transient={}",
+                c.seed, c.pager_stall, c.msg_delay, c.msg_duplicate, c.io_transient
+            );
+        }
+        if let Some(d) = self.shadow_p95_max {
+            let _ = writeln!(out, "gate shadow_p95_max={d}");
+        }
+        for r in &self.ops {
+            let _ = writeln!(out, "op {} {}", r.cpu, fmt_op(&r.op));
+        }
+        if let Some(e) = &self.expect {
+            let _ = writeln!(
+                out,
+                "expect logical_faults={} zero_fill={} cow={} pageins={} \
+                 pageouts={} reclaims={} checksum={}",
+                e.logical_faults,
+                e.zero_fill,
+                e.cow,
+                e.pageins,
+                e.pageouts,
+                e.reclaims,
+                hex(e.checksum)
+            );
+        }
+        let _ = writeln!(out, "end ops={}", self.ops.len());
+        out
+    }
+
+    /// Parse a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending line: version mismatch, unknown
+    /// directive, malformed field, missing `end` trailer (truncation),
+    /// op-count mismatch (torn write), or content after `end`.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, version) = lines.next().ok_or("line 1: empty trace file")?;
+        if version != TRACE_VERSION {
+            return Err(format!(
+                "line 1: version mismatch: got {version:?}, this build reads {TRACE_VERSION:?}"
+            ));
+        }
+        let mut name: Option<String> = None;
+        let mut page_size: Option<u64> = None;
+        let mut streams: Option<u32> = None;
+        let mut files = Vec::new();
+        let mut chaos = None;
+        let mut shadow_p95_max = None;
+        let mut ops: Vec<OpRecord> = Vec::new();
+        let mut expect = None;
+        let mut ended = false;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let at = |e: String| format!("line {lineno}: {e}");
+            if ended {
+                return Err(at(format!("content after `end` trailer: {line:?}")));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                return Err(at("blank line (the format has none)".to_string()));
+            }
+            let (dir, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match dir {
+                "name" => name = Some(rest.to_string()),
+                "page" => {
+                    let kv = format!("v={rest}");
+                    let f = Fields::parse(&kv).map_err(&at)?;
+                    page_size = Some(f.u64("v").map_err(&at)?);
+                }
+                "streams" => {
+                    let kv = format!("v={rest}");
+                    let f = Fields::parse(&kv).map_err(&at)?;
+                    streams = Some(f.u32("v").map_err(&at)?);
+                }
+                "file" => {
+                    let f = Fields::parse(rest).map_err(&at)?;
+                    let fill = f.u64("fill").map_err(&at)?;
+                    let fill = u8::try_from(fill)
+                        .map_err(|_| at(format!("fill={fill} out of byte range")))?;
+                    files.push(FileSpec {
+                        id: f.u64("id").map_err(&at)?,
+                        size: f.u64("size").map_err(&at)?,
+                        fill,
+                    });
+                }
+                "chaos" => {
+                    let f = Fields::parse(rest).map_err(&at)?;
+                    chaos = Some(ChaosSpec {
+                        seed: f.u64("seed").map_err(&at)?,
+                        pager_stall: f.u32("pager_stall").map_err(&at)?,
+                        msg_delay: f.u32("msg_delay").map_err(&at)?,
+                        msg_duplicate: f.u32("msg_duplicate").map_err(&at)?,
+                        io_transient: f.u32("io_transient").map_err(&at)?,
+                    });
+                }
+                "gate" => {
+                    let f = Fields::parse(rest).map_err(&at)?;
+                    shadow_p95_max = Some(f.u64("shadow_p95_max").map_err(&at)?);
+                }
+                "op" => {
+                    let (cpu_s, op_rest) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| at("op line needs `op <cpu> <verb> ...`".to_string()))?;
+                    let cpu: u32 = cpu_s
+                        .parse()
+                        .map_err(|_| at(format!("bad cpu {cpu_s:?}")))?;
+                    let op = parse_op(op_rest).map_err(&at)?;
+                    ops.push(OpRecord { cpu, op });
+                }
+                "expect" => {
+                    let f = Fields::parse(rest).map_err(&at)?;
+                    expect = Some(Expectation {
+                        logical_faults: f.u64("logical_faults").map_err(&at)?,
+                        zero_fill: f.u64("zero_fill").map_err(&at)?,
+                        cow: f.u64("cow").map_err(&at)?,
+                        pageins: f.u64("pageins").map_err(&at)?,
+                        pageouts: f.u64("pageouts").map_err(&at)?,
+                        reclaims: f.u64("reclaims").map_err(&at)?,
+                        checksum: f.u64("checksum").map_err(&at)?,
+                    });
+                }
+                "end" => {
+                    let f = Fields::parse(rest).map_err(&at)?;
+                    let n = f.u64("ops").map_err(&at)?;
+                    if n != ops.len() as u64 {
+                        return Err(at(format!(
+                            "op-count mismatch: trailer says {n}, stream has {} (torn write?)",
+                            ops.len()
+                        )));
+                    }
+                    ended = true;
+                }
+                _ => return Err(at(format!("unknown directive {dir:?}"))),
+            }
+        }
+        if !ended {
+            return Err("missing `end` trailer — truncated trace file".to_string());
+        }
+        let s = Scenario {
+            name: name.ok_or("missing `name` header")?,
+            page_size: page_size.ok_or("missing `page` header")?,
+            streams: streams.ok_or("missing `streams` header")?,
+            files,
+            chaos,
+            shadow_p95_max,
+            ops,
+            expect,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Structural validation beyond syntax: page size sane, every task
+    /// created (or forked) before use, every mapped file declared, every
+    /// address inside the smallest port's user space (the NS32082's
+    /// 16 MB).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first offending op.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.page_size.is_power_of_two() || self.page_size < 512 {
+            return Err(format!(
+                "page size {} is not a power of two ≥ 512",
+                self.page_size
+            ));
+        }
+        if self.streams == 0 {
+            return Err("streams must be ≥ 1".to_string());
+        }
+        const VA_LIMIT: u64 = 1 << 24; // NS32082 user_va_limit, the smallest port.
+        let mut live: Vec<u64> = Vec::new();
+        for (i, r) in self.ops.iter().enumerate() {
+            let at = |e: String| format!("op {i}: {e}");
+            if r.cpu >= self.streams {
+                return Err(at(format!(
+                    "cpu stream {} out of range (streams={})",
+                    r.cpu, self.streams
+                )));
+            }
+            let need_task = |t: u64| -> Result<(), String> {
+                if live.contains(&t) {
+                    Ok(())
+                } else {
+                    Err(at(format!("task {t} used before task/fork created it")))
+                }
+            };
+            let range_ok = |addr: u64, size: u64| -> Result<(), String> {
+                if addr.checked_add(size).is_none_or(|e| e > VA_LIMIT) {
+                    Err(at(format!(
+                        "range {}+{} exceeds the 16 MB portable user space",
+                        hex(addr),
+                        hex(size)
+                    )))
+                } else {
+                    Ok(())
+                }
+            };
+            match r.op {
+                VmOp::TaskCreate { task } => {
+                    if live.contains(&task) {
+                        return Err(at(format!("task {task} created twice")));
+                    }
+                    live.push(task);
+                }
+                VmOp::TaskDrop { task } => {
+                    need_task(task)?;
+                    live.retain(|&t| t != task);
+                }
+                VmOp::Fork { parent, child } => {
+                    need_task(parent)?;
+                    if live.contains(&child) {
+                        return Err(at(format!("fork child {child} already exists")));
+                    }
+                    live.push(child);
+                }
+                VmOp::Allocate { task, addr, size } | VmOp::Deallocate { task, addr, size } => {
+                    need_task(task)?;
+                    range_ok(addr, size)?;
+                }
+                VmOp::MapFile {
+                    task,
+                    file,
+                    addr,
+                    size,
+                    ..
+                } => {
+                    need_task(task)?;
+                    range_ok(addr, size)?;
+                    if !self.files.iter().any(|f| f.id == file) {
+                        return Err(at(format!("file {file} not declared in a `file` line")));
+                    }
+                }
+                VmOp::Protect {
+                    task, addr, size, ..
+                }
+                | VmOp::Inherit {
+                    task, addr, size, ..
+                } => {
+                    need_task(task)?;
+                    range_ok(addr, size)?;
+                }
+                VmOp::Touch { task, addr, len }
+                | VmOp::Write {
+                    task, addr, len, ..
+                } => {
+                    need_task(task)?;
+                    range_ok(addr, len)?;
+                }
+                VmOp::Rmw { task, addr } => {
+                    need_task(task)?;
+                    range_ok(addr, 4)?;
+                }
+                VmOp::Reclaim { .. } | VmOp::Balance => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Build an exportable scenario from a live recording: task ids are
+    /// renumbered densely (1..n, in first-appearance order) and raw
+    /// [`mach_fs::FileId`] tokens are renumbered against `files` (whose
+    /// `id` fields hold the recording-side raw values and are rewritten
+    /// to the dense 1..n tokens the exported ops use).
+    ///
+    /// # Errors
+    ///
+    /// If an op references a file absent from `files`.
+    pub fn from_recording(
+        name: &str,
+        page_size: u64,
+        streams: u32,
+        mut files: Vec<FileSpec>,
+        ops: &[OpRecord],
+    ) -> Result<Scenario, String> {
+        let mut task_ids: Vec<u64> = Vec::new();
+        let dense_task = |raw: u64, task_ids: &mut Vec<u64>| -> u64 {
+            match task_ids.iter().position(|&t| t == raw) {
+                Some(i) => i as u64 + 1,
+                None => {
+                    task_ids.push(raw);
+                    task_ids.len() as u64
+                }
+            }
+        };
+        let raw_files: Vec<u64> = files.iter().map(|f| f.id).collect();
+        let dense_file = |raw: u64| -> Result<u64, String> {
+            raw_files
+                .iter()
+                .position(|&f| f == raw)
+                .map(|i| i as u64 + 1)
+                .ok_or_else(|| format!("recorded op maps undeclared file {raw}"))
+        };
+        for (i, f) in files.iter_mut().enumerate() {
+            f.id = i as u64 + 1;
+        }
+        let mut out = Vec::with_capacity(ops.len());
+        for r in ops {
+            let op = match r.op {
+                VmOp::TaskCreate { task } => VmOp::TaskCreate {
+                    task: dense_task(task, &mut task_ids),
+                },
+                VmOp::TaskDrop { task } => VmOp::TaskDrop {
+                    task: dense_task(task, &mut task_ids),
+                },
+                VmOp::Fork { parent, child } => VmOp::Fork {
+                    parent: dense_task(parent, &mut task_ids),
+                    child: dense_task(child, &mut task_ids),
+                },
+                VmOp::Allocate { task, addr, size } => VmOp::Allocate {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    size,
+                },
+                VmOp::MapFile {
+                    task,
+                    file,
+                    addr,
+                    size,
+                    prot,
+                } => VmOp::MapFile {
+                    task: dense_task(task, &mut task_ids),
+                    file: dense_file(file)?,
+                    addr,
+                    size,
+                    prot,
+                },
+                VmOp::Deallocate { task, addr, size } => VmOp::Deallocate {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    size,
+                },
+                VmOp::Protect {
+                    task,
+                    addr,
+                    size,
+                    set_maximum,
+                    prot,
+                } => VmOp::Protect {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    size,
+                    set_maximum,
+                    prot,
+                },
+                VmOp::Inherit {
+                    task,
+                    addr,
+                    size,
+                    inheritance,
+                } => VmOp::Inherit {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    size,
+                    inheritance,
+                },
+                VmOp::Touch { task, addr, len } => VmOp::Touch {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    len,
+                },
+                VmOp::Write {
+                    task,
+                    addr,
+                    len,
+                    value,
+                } => VmOp::Write {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                    len,
+                    value,
+                },
+                VmOp::Rmw { task, addr } => VmOp::Rmw {
+                    task: dense_task(task, &mut task_ids),
+                    addr,
+                },
+                VmOp::Reclaim { n } => VmOp::Reclaim { n },
+                VmOp::Balance => VmOp::Balance,
+            };
+            out.push(OpRecord { cpu: r.cpu, op });
+        }
+        Ok(Scenario {
+            name: name.to_string(),
+            page_size,
+            streams,
+            files,
+            chaos: None,
+            shadow_p95_max: None,
+            ops: out,
+            expect: None,
+        })
+    }
+}
+
+fn fmt_op(op: &VmOp) -> String {
+    match *op {
+        VmOp::TaskCreate { task } => format!("task t={task}"),
+        VmOp::TaskDrop { task } => format!("drop t={task}"),
+        VmOp::Fork { parent, child } => format!("fork parent={parent} child={child}"),
+        VmOp::Allocate { task, addr, size } => {
+            format!("alloc t={task} addr={} size={}", hex(addr), hex(size))
+        }
+        VmOp::MapFile {
+            task,
+            file,
+            addr,
+            size,
+            prot,
+        } => format!(
+            "map_file t={task} file={file} addr={} size={} prot={}",
+            hex(addr),
+            hex(size),
+            fmt_prot(prot)
+        ),
+        VmOp::Deallocate { task, addr, size } => {
+            format!("unmap t={task} addr={} size={}", hex(addr), hex(size))
+        }
+        VmOp::Protect {
+            task,
+            addr,
+            size,
+            set_maximum,
+            prot,
+        } => format!(
+            "protect t={task} addr={} size={} max={} prot={}",
+            hex(addr),
+            hex(size),
+            u8::from(set_maximum),
+            fmt_prot(prot)
+        ),
+        VmOp::Inherit {
+            task,
+            addr,
+            size,
+            inheritance,
+        } => format!(
+            "inherit t={task} addr={} size={} kind={}",
+            hex(addr),
+            hex(size),
+            fmt_inherit(inheritance)
+        ),
+        VmOp::Touch { task, addr, len } => {
+            format!("touch t={task} addr={} len={}", hex(addr), hex(len))
+        }
+        VmOp::Write {
+            task,
+            addr,
+            len,
+            value,
+        } => format!(
+            "write t={task} addr={} len={} val={}",
+            hex(addr),
+            hex(len),
+            hex(u64::from(value))
+        ),
+        VmOp::Rmw { task, addr } => format!("rmw t={task} addr={}", hex(addr)),
+        VmOp::Reclaim { n } => format!("reclaim n={n}"),
+        VmOp::Balance => "balance".to_string(),
+    }
+}
+
+fn parse_op(s: &str) -> Result<VmOp, String> {
+    let (verb, rest) = s.split_once(' ').unwrap_or((s, ""));
+    let f = Fields::parse(rest)?;
+    match verb {
+        "task" => Ok(VmOp::TaskCreate { task: f.u64("t")? }),
+        "drop" => Ok(VmOp::TaskDrop { task: f.u64("t")? }),
+        "fork" => Ok(VmOp::Fork {
+            parent: f.u64("parent")?,
+            child: f.u64("child")?,
+        }),
+        "alloc" => Ok(VmOp::Allocate {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            size: f.u64("size")?,
+        }),
+        "map_file" => Ok(VmOp::MapFile {
+            task: f.u64("t")?,
+            file: f.u64("file")?,
+            addr: f.u64("addr")?,
+            size: f.u64("size")?,
+            prot: parse_prot(f.raw("prot")?)?,
+        }),
+        "unmap" => Ok(VmOp::Deallocate {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            size: f.u64("size")?,
+        }),
+        "protect" => Ok(VmOp::Protect {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            size: f.u64("size")?,
+            set_maximum: match f.u64("max")? {
+                0 => false,
+                1 => true,
+                n => return Err(format!("max={n} must be 0 or 1")),
+            },
+            prot: parse_prot(f.raw("prot")?)?,
+        }),
+        "inherit" => Ok(VmOp::Inherit {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            size: f.u64("size")?,
+            inheritance: parse_inherit(f.raw("kind")?)?,
+        }),
+        "touch" => Ok(VmOp::Touch {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            len: f.u64("len")?,
+        }),
+        "write" => Ok(VmOp::Write {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+            len: f.u64("len")?,
+            value: f.u32("val")?,
+        }),
+        "rmw" => Ok(VmOp::Rmw {
+            task: f.u64("t")?,
+            addr: f.u64("addr")?,
+        }),
+        "reclaim" => Ok(VmOp::Reclaim { n: f.u64("n")? }),
+        "balance" => Ok(VmOp::Balance),
+        _ => Err(format!("unknown op verb {verb:?}")),
+    }
+}
+
+/// Absolute path of a committed golden trace (`tests/traces/<name>.trace`),
+/// independent of the working directory.
+pub fn golden_trace_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/traces")
+        .join(format!("{name}.trace"))
+}
+
+/// Load and parse a committed golden trace by name.
+///
+/// # Panics
+///
+/// On a missing or malformed file — golden traces are part of the source
+/// tree, so failure here is a build defect, not an input error.
+pub fn load_golden(name: &str) -> Scenario {
+    let path = golden_trace_path(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read golden trace {}: {e}", path.display()));
+    Scenario::parse(&text).unwrap_or_else(|e| panic!("parse golden trace {name}: {e}"))
+}
+
+/// Names of every committed golden trace (the corpus the differential
+/// suite and the bench `trace_replay` family run).
+pub const GOLDEN_TRACES: &[&str] = &[
+    "fork_storm",
+    "file_reread",
+    "cow_narrowing",
+    "mixed_inherit",
+    "reclaim_pressure",
+    "chaos_pager",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario {
+            name: "tiny".to_string(),
+            page_size: 8192,
+            streams: 2,
+            files: vec![FileSpec {
+                id: 1,
+                size: 65536,
+                fill: 0xAB,
+            }],
+            chaos: Some(ChaosSpec {
+                seed: 42,
+                pager_stall: 50,
+                msg_delay: 100,
+                msg_duplicate: 20,
+                io_transient: 0,
+            }),
+            shadow_p95_max: Some(6),
+            ops: vec![
+                OpRecord {
+                    cpu: 0,
+                    op: VmOp::TaskCreate { task: 1 },
+                },
+                OpRecord {
+                    cpu: 0,
+                    op: VmOp::Allocate {
+                        task: 1,
+                        addr: 0x10000,
+                        size: 0x4000,
+                    },
+                },
+                OpRecord {
+                    cpu: 1,
+                    op: VmOp::Write {
+                        task: 1,
+                        addr: 0x10000,
+                        len: 0x4000,
+                        value: 0x5A5A_5A5A,
+                    },
+                },
+                OpRecord {
+                    cpu: 0,
+                    op: VmOp::Fork {
+                        parent: 1,
+                        child: 2,
+                    },
+                },
+                OpRecord {
+                    cpu: 1,
+                    op: VmOp::Touch {
+                        task: 2,
+                        addr: 0x10000,
+                        len: 0x4000,
+                    },
+                },
+                OpRecord {
+                    cpu: 0,
+                    op: VmOp::MapFile {
+                        task: 1,
+                        file: 1,
+                        addr: 0x80000,
+                        size: 0x10000,
+                        prot: Protection::READ,
+                    },
+                },
+                OpRecord {
+                    cpu: 0,
+                    op: VmOp::TaskDrop { task: 2 },
+                },
+            ],
+            expect: Some(Expectation {
+                logical_faults: 4,
+                zero_fill: 2,
+                cow: 2,
+                pageins: 0,
+                pageouts: 0,
+                reclaims: 0,
+                checksum: 0x9ae1_6a3b_2f90_404f,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let s = tiny();
+        let text = s.to_text();
+        let back = Scenario::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_text(), text, "canonical: serialize ∘ parse = id");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = tiny().to_text().replace("v1", "v9");
+        let err = Scenario::parse(&text).unwrap_err();
+        assert!(err.contains("version mismatch"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let text = tiny().to_text();
+        let cut = &text[..text.len() - 12]; // lop off the end trailer
+        let err = Scenario::parse(cut).unwrap_err();
+        assert!(
+            err.contains("truncated") || err.contains("mismatch"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn torn_op_stream_is_rejected() {
+        let s = tiny();
+        let mut text = s.to_text();
+        // Remove one op line but keep the trailer count.
+        let op_line = text.lines().find(|l| l.starts_with("op ")).unwrap();
+        text = text.replacen(&format!("{op_line}\n"), "", 1);
+        let err = Scenario::parse(&text).unwrap_err();
+        assert!(err.contains("op-count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = tiny().to_text().replace("alloc t=1", "alloc t=");
+        let err = Scenario::parse(&text).unwrap_err();
+        assert!(err.starts_with("line "), "{err}");
+    }
+
+    #[test]
+    fn use_before_create_is_rejected() {
+        let mut s = tiny();
+        s.ops.remove(0); // drop the TaskCreate
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("used before"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_file_is_rejected() {
+        let mut s = tiny();
+        s.files.clear();
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("not declared"), "{err}");
+    }
+
+    #[test]
+    fn from_recording_renumbers_densely() {
+        let ops = vec![
+            OpRecord {
+                cpu: 0,
+                op: VmOp::TaskCreate { task: 17 },
+            },
+            OpRecord {
+                cpu: 0,
+                op: VmOp::MapFile {
+                    task: 17,
+                    file: 99,
+                    addr: 0x8000,
+                    size: 0x2000,
+                    prot: Protection::READ,
+                },
+            },
+            OpRecord {
+                cpu: 0,
+                op: VmOp::Fork {
+                    parent: 17,
+                    child: 23,
+                },
+            },
+            OpRecord {
+                cpu: 0,
+                op: VmOp::TaskDrop { task: 23 },
+            },
+        ];
+        let s = Scenario::from_recording(
+            "dense",
+            8192,
+            1,
+            vec![FileSpec {
+                id: 99,
+                size: 8192,
+                fill: 0,
+            }],
+            &ops,
+        )
+        .unwrap();
+        assert_eq!(s.files[0].id, 1);
+        assert_eq!(s.ops[0].op, VmOp::TaskCreate { task: 1 });
+        assert_eq!(
+            s.ops[1].op,
+            VmOp::MapFile {
+                task: 1,
+                file: 1,
+                addr: 0x8000,
+                size: 0x2000,
+                prot: Protection::READ,
+            }
+        );
+        assert_eq!(
+            s.ops[2].op,
+            VmOp::Fork {
+                parent: 1,
+                child: 2
+            }
+        );
+        s.validate().unwrap();
+    }
+}

@@ -8,6 +8,7 @@ use mach_pmap::MachDep;
 use crate::health::HealthSink;
 use crate::inject::Injector;
 use crate::object::ObjectCache;
+use crate::ops::{OpRecorder, VmOp};
 use crate::page::ResidentTable;
 use crate::pager::Pager;
 use crate::profile::{Profiler, SpanGuard, SpanKind};
@@ -62,6 +63,10 @@ pub struct CoreRefs {
     /// The structure-health gauges (disabled by default — see
     /// [`crate::health`]).
     pub health: Arc<HealthSink>,
+    /// The replay-visible op recorder (disabled by default; same
+    /// one-relaxed-load contract as [`CoreRefs::trace`] — see
+    /// [`crate::ops`]).
+    pub ops: Arc<OpRecorder>,
 }
 
 impl CoreRefs {
@@ -89,5 +94,12 @@ impl CoreRefs {
     #[inline]
     pub fn prof_span(&self, kind: SpanKind) -> SpanGuard<'_> {
         self.profile.span(&self.machine, kind)
+    }
+
+    /// Record a replay-visible op stamped with the current CPU. A
+    /// single-branch no-op while op recording is disabled.
+    #[inline]
+    pub fn record_op(&self, op: VmOp) {
+        self.ops.record(&self.machine, op);
     }
 }

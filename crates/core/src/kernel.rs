@@ -14,6 +14,7 @@ use crate::fault::vm_fault;
 use crate::health::{HealthReport, HealthSink};
 use crate::inject::{InjectKind, InjectPlan, Injector};
 use crate::object::{ObjectCache, VmObject};
+use crate::ops::{OpRecord, OpRecorder, VmOp};
 use crate::page::{PageId, ResidentTable};
 use crate::pager::{DefaultPager, InodePager};
 use crate::profile::{ProfileReport, Profiler, SpanKind};
@@ -152,6 +153,7 @@ impl Kernel {
             injector,
             profile: Arc::new(Profiler::new(machine.n_cpus())),
             health: Arc::new(HealthSink::new()),
+            ops: Arc::new(OpRecorder::new()),
         });
         // Let the machine-dependent layer report shootdown rounds into the
         // trace (the sink itself gates on enabled, so this costs a branch).
@@ -209,7 +211,9 @@ impl Kernel {
 
     /// Create an empty task.
     pub fn create_task(&self) -> Arc<Task> {
-        Task::new(&self.ctx)
+        let task = Task::new(&self.ctx);
+        self.ctx.record_op(VmOp::TaskCreate { task: task.id() });
+        task
     }
 
     /// `vm_statistics` (Table 2-1).
@@ -260,6 +264,33 @@ impl Kernel {
     /// from the captured trace.
     pub fn statistics_by_object(&self) -> std::collections::BTreeMap<u64, VmRollup> {
         self.ctx.trace.snapshot().by_object()
+    }
+
+    // ------------------------------------------------------------------
+    // Replay-visible op recording (see `crate::ops` and
+    // `docs/TRACING.md`, "Replay")
+    // ------------------------------------------------------------------
+
+    /// The kernel's op recorder.
+    pub fn ops(&self) -> &Arc<OpRecorder> {
+        &self.ctx.ops
+    }
+
+    /// Start recording replay-visible operations (clears any previous
+    /// capture). The exported stream replays through `mach-bench`'s
+    /// scenario engine on any port, at any CPU count.
+    pub fn enable_op_recording(&self) {
+        self.ctx.ops.enable();
+    }
+
+    /// Stop recording replay-visible operations.
+    pub fn disable_op_recording(&self) {
+        self.ctx.ops.disable();
+    }
+
+    /// Snapshot the recorded op stream.
+    pub fn op_log(&self) -> Vec<OpRecord> {
+        self.ctx.ops.snapshot()
     }
 
     // ------------------------------------------------------------------
@@ -331,6 +362,7 @@ impl Kernel {
 
     /// Free pages if the pool fell below the boot-time target.
     pub fn balance(&self) {
+        self.ctx.record_op(VmOp::Balance);
         let free = self.ctx.resident.counts().free;
         if free < self.free_target {
             crate::pageout::reclaim(&self.ctx, (self.free_target - free) as usize);
@@ -339,6 +371,7 @@ impl Kernel {
 
     /// Force `n` pages to be reclaimed now.
     pub fn reclaim(&self, n: usize) -> usize {
+        self.ctx.record_op(VmOp::Reclaim { n: n as u64 });
         crate::pageout::reclaim(&self.ctx, n)
     }
 
@@ -401,6 +434,7 @@ impl Kernel {
             injector: Arc::clone(&old.injector),
             profile: Arc::clone(&old.profile),
             health: Arc::clone(&old.health),
+            ops: Arc::clone(&old.ops),
         });
         Arc::new(Kernel {
             ctx,
@@ -457,7 +491,7 @@ impl Kernel {
                 o
             }
         };
-        task.map().map_object(
+        let at = task.map().map_object(
             &self.ctx,
             addr,
             size,
@@ -466,7 +500,15 @@ impl Kernel {
             prot,
             Protection::ALL,
             addr.is_none(),
-        )
+        )?;
+        self.ctx.record_op(VmOp::MapFile {
+            task: task.id(),
+            file: file.0,
+            addr: at,
+            size,
+            prot,
+        });
+        Ok(at)
     }
 
     /// `vm_allocate_with_pager` (Table 3-2): map memory managed by an
@@ -543,6 +585,7 @@ impl Kernel {
     ///
     /// Fault errors for unallocated or unreadable ranges.
     pub fn vm_read(&self, task: &Arc<Task>, addr: u64, size: u64) -> VmResult<Vec<u8>> {
+        let _s = self.ctx.ops.suppress();
         let mut out = vec![0u8; size as usize];
         let page = self.ctx.page_size;
         let mut done = 0u64;
@@ -573,6 +616,7 @@ impl Kernel {
     ///
     /// Fault errors for unallocated or unwritable ranges.
     pub fn vm_write(&self, task: &Arc<Task>, addr: u64, data: &[u8]) -> VmResult<()> {
+        let _s = self.ctx.ops.suppress();
         let page = self.ctx.page_size;
         let mut done = 0u64;
         while done < data.len() as u64 {
@@ -634,6 +678,9 @@ impl Kernel {
         dst_task: &Arc<Task>,
         dst: Option<u64>,
     ) -> VmResult<u64> {
+        // The internal deallocate/insert fragments are not replay-visible
+        // ops (see `crate::ops`).
+        let _s = self.ctx.ops.suppress();
         let page = self.ctx.page_size;
         if !src.is_multiple_of(page)
             || !size.is_multiple_of(page)
@@ -673,6 +720,7 @@ impl Kernel {
     ///
     /// Fault errors.
     pub fn vm_wire(&self, task: &Arc<Task>, addr: u64, size: u64) -> VmResult<()> {
+        let _s = self.ctx.ops.suppress();
         let page = self.ctx.page_size;
         let mut va = self.ctx.trunc_page(addr);
         while va < addr + size {
@@ -684,6 +732,7 @@ impl Kernel {
 
     /// Unwire a previously wired range.
     pub fn vm_unwire(&self, task: &Arc<Task>, addr: u64, size: u64) {
+        let _s = self.ctx.ops.suppress();
         let page = self.ctx.page_size;
         let mut va = self.ctx.trunc_page(addr);
         while va < addr + size {

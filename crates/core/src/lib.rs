@@ -57,6 +57,7 @@ pub mod kernel;
 pub mod map;
 pub mod msg;
 pub mod object;
+pub mod ops;
 pub mod page;
 pub mod pageout;
 pub mod pager;
@@ -74,6 +75,7 @@ pub use kernel::{BootOptions, Kernel};
 pub use map::{RegionInfo, VmMap};
 pub use msg::RegionTicket;
 pub use object::VmObject;
+pub use ops::{OpRecord, OpRecorder, VmOp};
 pub use page::PageId;
 pub use pager::{InodePager, Pager, PagerReply};
 pub use profile::{ProfileReport, ProfileRow, Profiler, SpanKind, SpanTotals};

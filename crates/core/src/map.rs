@@ -56,6 +56,7 @@ use parking_lot::Mutex;
 
 use crate::ctx::CoreRefs;
 use crate::object::{self, VmObject};
+use crate::ops::VmOp;
 use crate::types::{Inheritance, Protection, VmError, VmResult};
 
 /// What an entry maps to.
@@ -531,7 +532,7 @@ impl VmMap {
             return Err(VmError::BadAlignment);
         }
         let object = VmObject::new_internal(size);
-        self.map_object(
+        let start = self.map_object(
             ctx,
             addr,
             size,
@@ -540,7 +541,15 @@ impl VmMap {
             Protection::DEFAULT,
             Protection::ALL,
             anywhere,
-        )
+        )?;
+        if self.owner() != 0 {
+            ctx.record_op(VmOp::Allocate {
+                task: self.owner(),
+                addr: start,
+                size,
+            });
+        }
+        Ok(start)
     }
 
     /// Map `object` (already holding one reference for this mapping) into
@@ -619,6 +628,13 @@ impl VmMap {
             return Err(VmError::BadAlignment);
         }
         let size = ctx.round_page(size);
+        if self.owner() != 0 {
+            ctx.record_op(VmOp::Deallocate {
+                task: self.owner(),
+                addr: start,
+                size,
+            });
+        }
         let end = start + size;
         let removed: Vec<MapEntry> = {
             let mut g = self.inner.lock();
@@ -657,6 +673,15 @@ impl VmMap {
         new_prot: Protection,
     ) -> VmResult<()> {
         let size = ctx.round_page(size);
+        if self.owner() != 0 {
+            ctx.record_op(VmOp::Protect {
+                task: self.owner(),
+                addr: start,
+                size,
+                set_maximum,
+                prot: new_prot,
+            });
+        }
         let end = start + size;
         let mut shared_updates: Vec<(Arc<VmMap>, u64, u64)> = Vec::new();
         {
@@ -757,6 +782,14 @@ impl VmMap {
         inheritance: Inheritance,
     ) -> VmResult<()> {
         let size = ctx.round_page(size);
+        if self.owner() != 0 {
+            ctx.record_op(VmOp::Inherit {
+                task: self.owner(),
+                addr: start,
+                size,
+                inheritance,
+            });
+        }
         let mut g = self.inner.lock();
         let keys = g.clip_range(start, start + size, ctx);
         let covered: u64 = keys.iter().map(|&k| g.entry(k).size()).sum();
@@ -1059,6 +1092,7 @@ mod tests {
             injector: crate::inject::Injector::disabled(),
             profile: Arc::new(crate::profile::Profiler::new(1)),
             health: Arc::new(crate::health::HealthSink::new()),
+            ops: Arc::new(crate::ops::OpRecorder::new()),
         })
     }
 

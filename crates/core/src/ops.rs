@@ -1,0 +1,320 @@
+//! Replay-visible operation recording — the *record* half of the
+//! trace-driven scenario engine (the replay half lives in `mach-bench`;
+//! see `docs/TRACING.md`, "Replay").
+//!
+//! [`crate::trace`] captures what the VM system *did* (fault resolutions,
+//! pager traffic); this module captures what was *asked of it* — the
+//! sequence of Table 2-1 calls and user accesses that drove those events.
+//! A recorded [`OpRecord`] stream is sufficient to re-execute the same
+//! workload against a freshly booted kernel on any architecture port,
+//! which is what turns "pmap is a cache" (paper §4) into an executable
+//! cross-port oracle: replaying one op stream on all five ports must
+//! produce identical machine-independent observables.
+//!
+//! Recording follows the [`crate::trace::TraceSink`] contract: disabled
+//! (the default), every site costs one relaxed atomic load; enabled, ops
+//! append to a single mutex-guarded log stamped with the recording CPU.
+//! The append order is the linearization the replayer reproduces.
+//!
+//! Two design points keep the stream replayable:
+//!
+//! - **Composite accessors record once.** [`crate::task::UserCtx`] range
+//!   helpers (`touch_range`, `dirty_range`) record one range op and
+//!   suppress the per-page accesses they are built from, via a
+//!   thread-local [`OpRecorder::suppress`] guard.
+//! - **Non-replayable internals are suppressed.** `vm_copy` performs an
+//!   internal `deallocate` on the destination; recording that fragment
+//!   without the copy itself would corrupt the stream, so the kernel
+//!   wraps such composites in a suppress guard. The op vocabulary is the
+//!   replay-visible surface, not every internal map mutation.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use mach_hw::machine::Machine;
+use parking_lot::Mutex;
+
+use crate::types::{Inheritance, Protection};
+
+/// One replay-visible VM operation.
+///
+/// Task ids are the recording kernel's ids; a replayer treats them as
+/// opaque names and maps them onto its own freshly created tasks (the
+/// `Fork` op carries the recorded child id for exactly this reason —
+/// lineage-advancing fork storms rebuild any task graph from the stream
+/// alone). `MapFile.file` is the recording filesystem's raw
+/// [`mach_fs::FileId`] value, resolved against a file table declared in
+/// the exported scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmOp {
+    /// `task_create`.
+    TaskCreate {
+        /// New task.
+        task: u64,
+    },
+    /// The task's last reference was dropped (address space torn down).
+    TaskDrop {
+        /// Dropped task.
+        task: u64,
+    },
+    /// `fork` with the parent's per-entry inheritance mix.
+    Fork {
+        /// Forking task.
+        parent: u64,
+        /// Id the recording kernel gave the child.
+        child: u64,
+    },
+    /// `vm_allocate` (the recorded address is replayed exactly).
+    Allocate {
+        /// Owning task.
+        task: u64,
+        /// Returned (start) address.
+        addr: u64,
+        /// Size in bytes (page rounded).
+        size: u64,
+    },
+    /// A file mapped through the inode pager ([`crate::Kernel::map_file`]).
+    MapFile {
+        /// Owning task.
+        task: u64,
+        /// Recording-side raw file id (see [`VmOp`] docs).
+        file: u64,
+        /// Returned (start) address.
+        addr: u64,
+        /// Size in bytes (page rounded).
+        size: u64,
+        /// Mapping protection.
+        prot: Protection,
+    },
+    /// `vm_deallocate`.
+    Deallocate {
+        /// Owning task.
+        task: u64,
+        /// Start address.
+        addr: u64,
+        /// Size in bytes (page rounded).
+        size: u64,
+    },
+    /// `vm_protect`.
+    Protect {
+        /// Owning task.
+        task: u64,
+        /// Start address.
+        addr: u64,
+        /// Size in bytes (page rounded).
+        size: u64,
+        /// Whether the maximum protection was set.
+        set_maximum: bool,
+        /// The new protection.
+        prot: Protection,
+    },
+    /// `vm_inherit`.
+    Inherit {
+        /// Owning task.
+        task: u64,
+        /// Start address.
+        addr: u64,
+        /// Size in bytes (page rounded).
+        size: u64,
+        /// The new inheritance.
+        inheritance: Inheritance,
+    },
+    /// Read accesses at page stride over `[addr, addr+len)` (a single
+    /// load when `len` ≤ 4).
+    Touch {
+        /// Accessing task.
+        task: u64,
+        /// First address.
+        addr: u64,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// Write accesses of `value` at page stride over `[addr, addr+len)`
+    /// (a single store when `len` ≤ 4). Bulk byte-writes are recorded in
+    /// this form too: the fault pattern is preserved exactly, the byte
+    /// payload is collapsed to `value` (documented lossiness — replayed
+    /// contents are compared replay-vs-replay, never replay-vs-live).
+    Write {
+        /// Accessing task.
+        task: u64,
+        /// First address.
+        addr: u64,
+        /// Range length in bytes.
+        len: u64,
+        /// Value stored at each page.
+        value: u32,
+    },
+    /// A read-modify-write cycle (replayed with the identity function —
+    /// same fault pattern, NS32082 erratum path included).
+    Rmw {
+        /// Accessing task.
+        task: u64,
+        /// Address.
+        addr: u64,
+    },
+    /// An explicit reclaim pass ([`crate::Kernel::reclaim`]).
+    Reclaim {
+        /// Pages requested.
+        n: u64,
+    },
+    /// A free-pool balance ([`crate::Kernel::balance`]). The amount
+    /// reclaimed depends on the booted machine's memory size, so traces
+    /// meant as cross-port oracles use explicit [`VmOp::Reclaim`] passes
+    /// instead.
+    Balance,
+}
+
+/// One recorded operation with the CPU whose stream it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// CPU the call was made from (replay multiplexes stream `cpu` onto
+    /// replay CPU `cpu % n_cpus`).
+    pub cpu: u32,
+    /// The operation.
+    pub op: VmOp,
+}
+
+thread_local! {
+    static SUPPRESS_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Guard returned by [`OpRecorder::suppress`]: while alive, recording on
+/// this thread is a no-op (composite ops record once at the outermost
+/// level).
+#[derive(Debug)]
+pub struct SuppressOps {
+    _priv: (),
+}
+
+impl Drop for SuppressOps {
+    fn drop(&mut self) {
+        SUPPRESS_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// The kernel-wide op recorder (one per booted kernel, shared through
+/// [`crate::CoreRefs`]).
+#[derive(Debug, Default)]
+pub struct OpRecorder {
+    enabled: AtomicBool,
+    log: Mutex<Vec<OpRecord>>,
+}
+
+impl OpRecorder {
+    /// A disabled recorder with an empty log.
+    pub fn new() -> OpRecorder {
+        OpRecorder::default()
+    }
+
+    /// Start recording (clears any previous capture).
+    pub fn enable(&self) {
+        self.log.lock().clear();
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (the log is kept until the next [`OpRecorder::enable`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the recorded stream.
+    pub fn snapshot(&self) -> Vec<OpRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Record `op`, stamped with the current CPU. One relaxed load when
+    /// recording is off or this thread is inside a suppress guard.
+    pub fn record(&self, machine: &Machine, op: VmOp) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        if SUPPRESS_DEPTH.with(|d| d.get()) > 0 {
+            return;
+        }
+        let cpu = machine.current_cpu() as u32;
+        self.log.lock().push(OpRecord { cpu, op });
+    }
+
+    /// Suppress recording on this thread until the guard drops. Used by
+    /// composite operations that already recorded themselves (range
+    /// accessors) or are not replay-visible (`vm_copy` internals).
+    pub fn suppress(&self) -> SuppressOps {
+        SUPPRESS_DEPTH.with(|d| d.set(d.get() + 1));
+        SuppressOps { _priv: () }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mach_hw::machine::{Machine, MachineModel};
+
+    fn machine() -> std::sync::Arc<Machine> {
+        Machine::boot(MachineModel::micro_vax_ii())
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let m = machine();
+        let r = OpRecorder::new();
+        r.record(&m, VmOp::Balance);
+        assert!(r.snapshot().is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn enable_records_and_clears_previous_capture() {
+        let m = machine();
+        let r = OpRecorder::new();
+        r.enable();
+        r.record(&m, VmOp::Reclaim { n: 4 });
+        r.disable();
+        assert_eq!(r.snapshot().len(), 1);
+        // Still readable after disable, cleared by the next enable.
+        r.enable();
+        assert!(r.snapshot().is_empty());
+        r.record(&m, VmOp::Balance);
+        r.record(&m, VmOp::Reclaim { n: 1 });
+        assert_eq!(
+            r.snapshot().iter().map(|o| o.op).collect::<Vec<_>>(),
+            vec![VmOp::Balance, VmOp::Reclaim { n: 1 }]
+        );
+    }
+
+    #[test]
+    fn suppress_guard_nests() {
+        let m = machine();
+        let r = OpRecorder::new();
+        r.enable();
+        {
+            let _outer = r.suppress();
+            r.record(&m, VmOp::Balance);
+            {
+                let _inner = r.suppress();
+                r.record(&m, VmOp::Balance);
+            }
+            r.record(&m, VmOp::Balance);
+        }
+        r.record(&m, VmOp::Reclaim { n: 2 });
+        let log = r.snapshot();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].op, VmOp::Reclaim { n: 2 });
+    }
+
+    #[test]
+    fn records_stamp_the_current_cpu() {
+        let m = Machine::boot(MachineModel::multimax(2));
+        let r = OpRecorder::new();
+        r.enable();
+        {
+            let _b = m.bind_cpu(1);
+            r.record(&m, VmOp::Balance);
+        }
+        assert_eq!(r.snapshot()[0].cpu, 1);
+    }
+}

@@ -20,6 +20,7 @@ use mach_pmap::Pmap;
 use crate::ctx::CoreRefs;
 use crate::fault::vm_fault;
 use crate::map::{MapEntry, MapTarget, VmMap};
+use crate::ops::VmOp;
 use crate::types::{Inheritance, Protection, VmError, VmResult};
 
 static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
@@ -72,6 +73,13 @@ impl Task {
     /// inheritance values (paper §2.1). No page is copied.
     pub fn fork(self: &Arc<Task>) -> Arc<Task> {
         let child = Task::new(&self.ctx);
+        self.ctx.record_op(VmOp::Fork {
+            parent: self.id,
+            child: child.id(),
+        });
+        // The entry clones and sharing-map conversions below are what
+        // `fork` *is*, not separate replay-visible ops.
+        let _s = self.ctx.ops.suppress();
         let entries = self.map.snapshot_entries();
         for e in entries {
             match e.inheritance {
@@ -227,6 +235,14 @@ impl Task {
     }
 }
 
+impl Drop for Task {
+    fn drop(&mut self) {
+        // Custom `Drop` runs before the fields drop, so the record lands
+        // ahead of the address-space teardown it stands for.
+        self.ctx.record_op(VmOp::TaskDrop { task: self.id });
+    }
+}
+
 /// User-mode accessors for a task (see [`Task::user`]).
 ///
 /// Every method retries after resolving faults through the kernel, as the
@@ -285,6 +301,11 @@ impl UserCtx {
     /// [`VmError`] when the fault cannot be resolved (unallocated address,
     /// protection violation).
     pub fn read_u32(&self, va: u64) -> VmResult<u32> {
+        self.task.ctx.record_op(VmOp::Touch {
+            task: self.task.id,
+            addr: va,
+            len: 4,
+        });
         let m = &self.task.ctx.machine;
         self.retry(|| m.load_u32(VAddr(va)))
     }
@@ -295,6 +316,12 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn write_u32(&self, va: u64, v: u32) -> VmResult<()> {
+        self.task.ctx.record_op(VmOp::Write {
+            task: self.task.id,
+            addr: va,
+            len: 4,
+            value: v,
+        });
         let m = &self.task.ctx.machine;
         self.retry(|| m.store_u32(VAddr(va), v))
     }
@@ -305,6 +332,11 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn read_bytes(&self, va: u64, len: usize) -> VmResult<Vec<u8>> {
+        self.task.ctx.record_op(VmOp::Touch {
+            task: self.task.id,
+            addr: va,
+            len: len as u64,
+        });
         let m = &self.task.ctx.machine;
         let mut buf = vec![0u8; len];
         self.retry(|| m.load(VAddr(va), &mut buf))?;
@@ -317,6 +349,18 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn write_bytes(&self, va: u64, data: &[u8]) -> VmResult<()> {
+        // Recorded in collapsed form: fault pattern exact, payload folded
+        // to the leading word (see [`VmOp::Write`] on the lossiness).
+        let mut lead = [0u8; 4];
+        for (d, s) in lead.iter_mut().zip(data.iter()) {
+            *d = *s;
+        }
+        self.task.ctx.record_op(VmOp::Write {
+            task: self.task.id,
+            addr: va,
+            len: data.len() as u64,
+            value: u32::from_le_bytes(lead),
+        });
         let m = &self.task.ctx.machine;
         self.retry(|| m.store(VAddr(va), data))
     }
@@ -328,6 +372,10 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn rmw_u32(&self, va: u64, f: impl Fn(u32) -> u32) -> VmResult<u32> {
+        self.task.ctx.record_op(VmOp::Rmw {
+            task: self.task.id,
+            addr: va,
+        });
         let m = &self.task.ctx.machine;
         self.retry(|| m.rmw_u32(VAddr(va), &f))
     }
@@ -338,6 +386,12 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn touch_range(&self, va: u64, len: u64) -> VmResult<()> {
+        self.task.ctx.record_op(VmOp::Touch {
+            task: self.task.id,
+            addr: va,
+            len,
+        });
+        let _s = self.task.ctx.ops.suppress();
         let page = self.task.ctx.page_size;
         let mut a = va;
         while a < va + len {
@@ -353,6 +407,13 @@ impl UserCtx {
     ///
     /// As for [`UserCtx::read_u32`].
     pub fn dirty_range(&self, va: u64, len: u64) -> VmResult<()> {
+        self.task.ctx.record_op(VmOp::Write {
+            task: self.task.id,
+            addr: va,
+            len,
+            value: 0x5A5A_5A5A,
+        });
+        let _s = self.task.ctx.ops.suppress();
         let page = self.task.ctx.page_size;
         let mut a = va;
         while a < va + len {

@@ -1,0 +1,78 @@
+//! Record → replay fidelity: a live, op-recorded workload and the replay
+//! of its own export must agree on every gated observable — the Table 2-1
+//! resolution counts *and* the final address-space checksum. This is the
+//! contract that makes a recorded trace a trustworthy benchmark input:
+//! nothing about the workload is lost between the recording kernel and a
+//! freshly booted replay kernel.
+
+use std::sync::Arc;
+
+use mach_bench::replay::{address_space_checksum, replay};
+use mach_bench::scenario::Scenario;
+use mach_hw::machine::Machine;
+use mach_vm::{BootOptions, Kernel, Task};
+
+const PAGE: u64 = 8192;
+
+#[test]
+fn live_workload_and_its_export_agree() {
+    // Live side: the recording kernel — same port/CPU/page shape the
+    // replay below will boot ("vax", one CPU, common 8 KiB page).
+    let machine = Machine::boot(mach_bench::replay::port_model("vax", 1));
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.page_multiple = PAGE / machine.hw_page_size();
+    let kernel = Kernel::boot_with(&machine, opts);
+    let ps = kernel.page_size();
+    let baseline = kernel.statistics();
+
+    kernel.enable_op_recording();
+    let parent = kernel.create_task();
+    let a = parent
+        .map()
+        .allocate(kernel.ctx(), None, 8 * ps, true)
+        .expect("allocate");
+    parent.user(0, |u| u.dirty_range(a, 8 * ps).unwrap());
+    let child = parent.fork();
+    child.user(0, |u| {
+        u.write_u32(a, 0xFEED).unwrap();
+        u.touch_range(a, 8 * ps).unwrap();
+        // Replay pins RMW to the identity function; record it that way so
+        // the contents (and thus the checksum) are reproducible.
+        u.rmw_u32(a + ps, |v| v).unwrap();
+    });
+    parent.user(0, |u| u.write_u32(a + 2 * ps, 0xBEEF).unwrap());
+    // Full drain (8 parent pages + the child's 2 pushed copies are the
+    // whole resident population): the one reclaim shape whose counts are
+    // independent of physical shard layout.
+    kernel.reclaim(16);
+    parent.user(0, |u| u.touch_range(a, 8 * ps).unwrap());
+    kernel.disable_op_recording();
+
+    let live_stats = kernel.statistics().delta(&baseline);
+    let live_tasks: Vec<Arc<Task>> = vec![Arc::clone(&parent), Arc::clone(&child)];
+    let live_checksum = address_space_checksum(&kernel, &live_tasks);
+
+    // Export and replay on a fresh kernel.
+    let scenario = Scenario::from_recording("fidelity", PAGE, 1, Vec::new(), &kernel.op_log())
+        .expect("export recording");
+    let outcome = replay(&scenario, "vax", 1).expect("replay export");
+    let o = &outcome.obs;
+
+    assert_eq!(
+        o.logical_faults,
+        live_stats.faults.saturating_sub(live_stats.resident_hits),
+        "logical faults"
+    );
+    assert_eq!(o.zero_fill, live_stats.zero_fill_count, "zero fill");
+    assert_eq!(o.cow, live_stats.cow_faults, "cow");
+    assert_eq!(o.pageins, live_stats.pageins, "pageins");
+    assert_eq!(o.pageouts, live_stats.pageouts, "pageouts");
+    assert_eq!(o.reclaims, live_stats.reclaims, "reclaims");
+    assert_eq!(o.checksum, live_checksum, "address-space checksum");
+
+    // The workload must have actually exercised the counters it gates.
+    assert!(o.zero_fill >= 8, "zero fills recorded: {}", o.zero_fill);
+    assert!(o.cow >= 2, "cow faults recorded: {}", o.cow);
+    assert!(o.pageouts >= 1, "pageouts recorded: {}", o.pageouts);
+    assert!(o.pageins >= 1, "pageins recorded: {}", o.pageins);
+}

@@ -1,0 +1,265 @@
+//! Properties of the `mach-vm-trace v1` on-disk format: serialization is
+//! canonical (`parse ∘ to_text` is the identity on valid scenarios), and
+//! damaged input — truncation, a corrupted op line, a foreign version —
+//! is rejected with an error naming the offending line rather than
+//! silently replaying a different workload.
+
+use mach_bench::scenario::{ChaosSpec, Expectation, FileSpec, Scenario};
+use mach_vm::{Inheritance, OpRecord, Protection, VmOp};
+use proptest::prelude::*;
+
+const PS: u64 = 8192;
+
+/// Deterministically expand raw proptest bytes into a *valid* scenario:
+/// tasks are created before use, fork children are fresh, every file
+/// token is declared, and all addresses stay inside the replayable
+/// 16 MiB window — the invariants `Scenario::validate` enforces.
+fn build(
+    streams: u32,
+    steps: &[u8],
+    with_file: bool,
+    chaos_seed: Option<u64>,
+    gate: Option<u64>,
+    expect_seed: Option<u64>,
+) -> Scenario {
+    let region_of = |t: u64| 0x1_0000 + (t - 1) * 0x1_0000;
+    let prot_of = |b: u8| match b % 4 {
+        0 => Protection::READ,
+        1 => Protection::DEFAULT,
+        2 => Protection::ALL,
+        _ => Protection::NONE,
+    };
+    let mut ops: Vec<OpRecord> = Vec::new();
+    let mut next = 1u64;
+    let mut live: Vec<u64> = Vec::new();
+    {
+        let t = next;
+        next += 1;
+        ops.push(OpRecord {
+            cpu: 0,
+            op: VmOp::TaskCreate { task: t },
+        });
+        ops.push(OpRecord {
+            cpu: 0,
+            op: VmOp::Allocate {
+                task: t,
+                addr: region_of(t),
+                size: 4 * PS,
+            },
+        });
+        live.push(t);
+    }
+    if with_file {
+        ops.push(OpRecord {
+            cpu: 0,
+            op: VmOp::MapFile {
+                task: 1,
+                file: 1,
+                addr: 0x80_0000,
+                size: 4 * PS,
+                prot: Protection::READ,
+            },
+        });
+    }
+    for &b in steps {
+        let cpu = u32::from(b) % streams;
+        let pick = live[usize::from(b) % live.len()];
+        let addr = region_of(pick) + u64::from(b % 4) * PS;
+        let op = match b % 9 {
+            0 => {
+                let t = next;
+                next += 1;
+                live.push(t);
+                ops.push(OpRecord {
+                    cpu,
+                    op: VmOp::TaskCreate { task: t },
+                });
+                VmOp::Allocate {
+                    task: t,
+                    addr: region_of(t),
+                    size: 4 * PS,
+                }
+            }
+            1 => {
+                let child = next;
+                next += 1;
+                live.push(child);
+                VmOp::Fork {
+                    parent: pick,
+                    child,
+                }
+            }
+            2 => VmOp::Touch {
+                task: pick,
+                addr,
+                len: u64::from(b % 3 + 1) * PS,
+            },
+            3 => VmOp::Write {
+                task: pick,
+                addr,
+                len: u64::from(b % 3 + 1) * PS,
+                value: u32::from(b).wrapping_mul(0x0101_0101),
+            },
+            4 => VmOp::Rmw { task: pick, addr },
+            5 => VmOp::Protect {
+                task: pick,
+                addr: region_of(pick),
+                size: 2 * PS,
+                set_maximum: b & 0x10 != 0,
+                prot: prot_of(b),
+            },
+            6 => VmOp::Inherit {
+                task: pick,
+                addr: region_of(pick),
+                size: 2 * PS,
+                inheritance: match b % 3 {
+                    0 => Inheritance::Shared,
+                    1 => Inheritance::Copy,
+                    _ => Inheritance::None,
+                },
+            },
+            7 => {
+                if live.len() > 1 {
+                    let t = live.remove(usize::from(b) % live.len());
+                    VmOp::TaskDrop { task: t }
+                } else {
+                    VmOp::Balance
+                }
+            }
+            _ => VmOp::Reclaim {
+                n: u64::from(b % 16),
+            },
+        };
+        ops.push(OpRecord { cpu, op });
+    }
+    Scenario {
+        name: "prop_trace".to_string(),
+        page_size: PS,
+        streams,
+        files: if with_file {
+            vec![FileSpec {
+                id: 1,
+                size: 4 * PS,
+                fill: 0xAB,
+            }]
+        } else {
+            Vec::new()
+        },
+        chaos: chaos_seed.map(|s| ChaosSpec {
+            seed: s,
+            pager_stall: (s % 1000) as u32,
+            msg_delay: (s / 7 % 1000) as u32,
+            msg_duplicate: (s / 11 % 1000) as u32,
+            io_transient: (s / 13 % 1000) as u32,
+        }),
+        shadow_p95_max: gate,
+        ops,
+        expect: expect_seed.map(|e| Expectation {
+            logical_faults: e % 97,
+            zero_fill: e / 3 % 97,
+            cow: e / 5 % 97,
+            pageins: e / 7 % 97,
+            pageouts: e / 11 % 97,
+            reclaims: e / 13 % 97,
+            checksum: e.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn params() -> impl Strategy<Value = (u32, Vec<u8>, bool, (bool, u64), (bool, u64), (bool, u64))> {
+    (
+        1u32..=4,
+        proptest::collection::vec(any::<u8>(), 0..24),
+        any::<bool>(),
+        (any::<bool>(), any::<u64>()),
+        (any::<bool>(), 0u64..32),
+        (any::<bool>(), any::<u64>()),
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn scenario_from(p: &(u32, Vec<u8>, bool, (bool, u64), (bool, u64), (bool, u64))) -> Scenario {
+    let (streams, ref steps, with_file, chaos, gate, expect) = *p;
+    build(
+        streams,
+        steps,
+        with_file,
+        chaos.0.then_some(chaos.1),
+        gate.0.then_some(gate.1),
+        expect.0.then_some(expect.1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse ∘ to_text` is the identity: nothing in a valid scenario is
+    /// lost or reinterpreted by a round trip through the file format.
+    #[test]
+    fn serialization_round_trips(p in params()) {
+        let s = scenario_from(&p);
+        let parsed = Scenario::parse(&s.to_text());
+        prop_assert!(parsed.is_ok(), "canonical text must parse: {parsed:?}");
+        prop_assert_eq!(parsed.unwrap(), s);
+    }
+
+    /// Any truncation — dropping the `end` trailer or any suffix of lines
+    /// — is detected. A torn download can never replay as a shorter
+    /// workload that happens to be valid.
+    #[test]
+    fn truncation_is_rejected(p in params(), cut in 1usize..8) {
+        let s = scenario_from(&p);
+        let text = s.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = lines.len().saturating_sub(cut);
+        if keep == 0 {
+            return;
+        }
+        let truncated = lines[..keep].join("\n");
+        prop_assert!(Scenario::parse(&truncated).is_err());
+    }
+
+    /// Corrupting the verb of any op line fails the parse with an error
+    /// naming that line.
+    #[test]
+    fn corrupted_op_line_is_named(p in params(), which in any::<u8>()) {
+        let s = scenario_from(&p);
+        let text = s.to_text();
+        let op_lines: Vec<usize> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with("op "))
+            .map(|(i, _)| i)
+            .collect();
+        let target = op_lines[usize::from(which) % op_lines.len()];
+        let mangled: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == target {
+                    format!("op 0 bogus{}\n", &l[4..])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let err = Scenario::parse(&mangled).unwrap_err();
+        prop_assert!(
+            err.contains(&format!("line {}", target + 1)),
+            "error {err:?} must name line {}",
+            target + 1
+        );
+    }
+
+    /// A version line from the future (or the past) is refused outright —
+    /// replaying under wrong semantics would silently skew a benchmark.
+    #[test]
+    fn version_mismatch_is_rejected(p in params()) {
+        let s = scenario_from(&p);
+        let text = s.to_text();
+        let swapped = text.replacen("mach-vm-trace v1", "mach-vm-trace v2", 1);
+        let err = Scenario::parse(&swapped).unwrap_err();
+        prop_assert!(err.contains("version"), "error {err:?} must mention the version");
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden-trace conformance: every committed trace under `tests/traces/`
+//! must (a) be in canonical form — reserializing the parse reproduces the
+//! committed bytes exactly — and (b) replay to identical machine-independent
+//! observables on all five ports at 1 and 4 CPUs, matching the pinned
+//! `expect` line. This is the executable form of the paper's portability
+//! claim (section 4: pmap is a cache — discarding and rebuilding it may
+//! never change what the machine-independent layer computes).
+//!
+//! Regenerate the corpus with `cargo run -p mach-bench --bin trace_record
+//! --release` after intentional behaviour changes.
+
+use mach_bench::replay::differential;
+use mach_bench::scenario::{golden_trace_path, load_golden, GOLDEN_TRACES};
+
+/// Differential CPU counts: single-threaded and the four-way multiplex.
+const CPUS: [usize; 2] = [1, 4];
+
+fn golden(name: &str) {
+    let committed = std::fs::read_to_string(golden_trace_path(name))
+        .unwrap_or_else(|e| panic!("read {name}.trace: {e}"));
+    let s = load_golden(name);
+    assert_eq!(
+        s.to_text(),
+        committed,
+        "{name}.trace is not in canonical form — regenerate with trace_record"
+    );
+    assert!(
+        s.expect.is_some(),
+        "{name}.trace must pin its expected observables"
+    );
+    let rows = differential(&s, &CPUS).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert_eq!(rows.len(), CPUS.len() * mach_bench::replay::PORTS.len());
+}
+
+#[test]
+fn fork_storm_is_port_invariant() {
+    golden("fork_storm");
+}
+
+#[test]
+fn file_reread_is_port_invariant() {
+    golden("file_reread");
+}
+
+#[test]
+fn cow_narrowing_is_port_invariant() {
+    golden("cow_narrowing");
+}
+
+#[test]
+fn mixed_inherit_is_port_invariant() {
+    golden("mixed_inherit");
+}
+
+#[test]
+fn reclaim_pressure_is_port_invariant() {
+    golden("reclaim_pressure");
+}
+
+#[test]
+fn chaos_pager_is_port_invariant() {
+    golden("chaos_pager");
+}
+
+/// The corpus directory and `GOLDEN_TRACES` must agree: a stray or missing
+/// trace file means some scenario escapes the differential gate.
+#[test]
+fn corpus_matches_golden_trace_list() {
+    let dir = golden_trace_path("x");
+    let dir = dir.parent().expect("traces dir");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("read tests/traces")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter_map(|n| n.strip_suffix(".trace").map(str::to_string))
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = GOLDEN_TRACES.iter().map(|s| s.to_string()).collect();
+    listed.sort();
+    assert_eq!(on_disk, listed);
+}
