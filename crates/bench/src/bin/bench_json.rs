@@ -49,7 +49,7 @@ use mach_vm::VmStats;
 const SCHEMA: &str = "mach-vm-bench-v3";
 const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
 const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
-const WORKLOADS: [&str; 10] = [
+const WORKLOADS: [&str; 11] = [
     "zero_fill",
     "fork_cow",
     "file_reread",
@@ -58,6 +58,7 @@ const WORKLOADS: [&str; 10] = [
     "shootdown_lazy",
     "pageout_reclaim",
     "server_fleet",
+    "pager_fleet",
     // Golden-trace replays (`tests/traces/`): the lockstep engine makes
     // these rows bit-deterministic at every CPU count, and gate 5 demands
     // the machine-independent observables agree across every row and
@@ -304,6 +305,63 @@ fn setup(
                 .0
             })
         }
+        // The pager-service-fleet workload: the same paging pressure as
+        // `pageout_reclaim`, but the kernel is booted with its default
+        // pager running as N external pager services over real
+        // `mach-ipc` port queues (`BootOptions::pager_fleet`). Pageouts
+        // and pageins are genuine acknowledged RPCs against whichever
+        // service each object is bound to. After the measured body, a
+        // quiet-point burst probe pauses each service and oversubscribes
+        // its queue, which makes the backpressure gauges exact: depth
+        // saturates at the queue capacity and every overflow counts a
+        // throttle (gate 6 holds the per-pager gauges to the bound).
+        "pager_fleet" => {
+            let pages = 96u64;
+            let regions: Vec<_> = (0..n)
+                .map(|_| {
+                    let task = kernel.create_task();
+                    let addr = task
+                        .map()
+                        .allocate(kernel.ctx(), None, pages * ps, true)
+                        .expect("allocate");
+                    task.user(0, |u| u.dirty_range(addr, pages * ps).unwrap());
+                    (task, addr)
+                })
+                .collect();
+            let kernel = Arc::clone(kernel);
+            let machine = Arc::clone(machine);
+            Box::new(move || {
+                let time = measured_parallel(&machine, n, |cpu| {
+                    kernel.reclaim(pages as usize / 2);
+                    kernel.reclaim(pages as usize / 2);
+                    let (task, addr) = &regions[cpu];
+                    task.user(cpu, |u| {
+                        for p in (0..pages).step_by(2) {
+                            u.read_u32(addr + p * ps).unwrap();
+                        }
+                    });
+                })
+                .0;
+                // Tear the tasks down *before* reading gauges: each drop
+                // sends an async `pager_terminate`, and an in-flight one
+                // would race the queue-depth snapshot (depth 0 vs 1).
+                drop(regions);
+                let fleet = kernel.fleet().expect("pager_fleet boots with a fleet");
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                while (0..fleet.pagers()).any(|i| fleet.depth(i) > 0)
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                for i in 0..fleet.pagers() {
+                    let cap = fleet.queue_capacity(i);
+                    let (throttles, depth) = fleet.burst_probe(i, 2 * cap);
+                    assert_eq!(depth, cap, "paused queue saturates at capacity");
+                    assert_eq!(throttles as usize, cap, "every overflow throttles");
+                }
+                time
+            })
+        }
         // The fleet scenario (ROADMAP item 1, docs/WORKLOADS.md): every
         // CPU is a tenant running a fork storm — hundreds of sequential
         // forks per CPU (thousands of tasks machine-wide at 8 CPUs) over
@@ -503,6 +561,8 @@ fn stats_json(s: &VmStats) -> Json {
         ("hint_hits", Json::UInt(s.hint_hits)),
         ("hint_misses", Json::UInt(s.hint_misses)),
         ("pager_deaths", Json::UInt(s.pager_deaths)),
+        ("pager_throttles", Json::UInt(s.pager_throttles)),
+        ("pager_rebinds", Json::UInt(s.pager_rebinds)),
         ("io_retries", Json::UInt(s.io_retries)),
         ("failed_pageouts", Json::UInt(s.failed_pageouts)),
     ])
@@ -543,7 +603,13 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
         return replay_run(trace, workload, port, cpus);
     }
     let machine = Machine::boot(model_for(port, cpus));
-    let kernel = Kernel::boot(&machine);
+    let kernel = if workload == "pager_fleet" {
+        let mut opts = mach_vm::kernel::BootOptions::for_machine(&machine);
+        opts.pager_fleet = Some(mach_vm::FleetOptions::default());
+        Kernel::boot_with(&machine, opts)
+    } else {
+        Kernel::boot(&machine)
+    };
     let body = setup(workload, &machine, &kernel);
 
     kernel.enable_tracing(65_536);
@@ -629,7 +695,7 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
         ),
     ]);
 
-    Json::obj(vec![
+    let mut fields = vec![
         ("workload", Json::Str(workload.to_string())),
         ("port", Json::Str(port.to_string())),
         ("cpus", Json::UInt(cpus as u64)),
@@ -640,7 +706,28 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
         ("profile", Json::Arr(rows)),
         ("pmap", pmap_json),
         ("health", health_json),
-    ])
+    ];
+    // Per-pager queue-depth gauges when the kernel runs a pager service
+    // fleet. Pagers are reported by index, not raw port id: port ids come
+    // off a process-global counter that drifts with the (nondeterministic)
+    // reply-port traffic of earlier multi-CPU rows, and these single-CPU
+    // gauge rows must regenerate byte-identically.
+    if let Some(fleet) = kernel.fleet() {
+        let pagers: Vec<Json> = (0..fleet.pagers())
+            .map(|i| {
+                Json::obj(vec![
+                    ("pager", Json::UInt(i as u64)),
+                    ("live", Json::UInt(u64::from(fleet.is_live(i)))),
+                    ("queue_capacity", Json::UInt(fleet.queue_capacity(i) as u64)),
+                    ("queue_depth", Json::UInt(fleet.depth(i) as u64)),
+                    ("queue_depth_hwm", Json::UInt(fleet.depth_hwm(i))),
+                    ("served", Json::UInt(fleet.served(i))),
+                ])
+            })
+            .collect();
+        fields.push(("pager_fleet", Json::Arr(pagers)));
+    }
+    Json::obj(fields)
 }
 
 /// Aggregate fault throughput (faults per simulated second) of one run.
@@ -771,6 +858,11 @@ fn parse_args() -> Cli {
 ///    identical to every other row of the same trace *and* equal to the
 ///    trace's pinned `expect` line — the paper's "pmap is a cache" claim
 ///    (section 4) as a benchmark gate.
+/// 6. **Fleet backpressure** (self-gating): every per-pager gauge of a
+///    `pager_fleet` row must respect the bounded port queue — observed
+///    depth and its high-water mark at or below the queue capacity — and
+///    every pager must still be live (the bench workload applies
+///    pressure, not chaos).
 fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let key = |r: &Json| {
         (
@@ -922,6 +1014,33 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             })
             .collect()
     };
+    // Gate 6: fleet gauges must respect the bounded queues.
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        let Some(pagers) = run.get("pager_fleet").and_then(Json::as_arr) else {
+            continue;
+        };
+        let k = key(run);
+        for p in pagers {
+            let g = |f: &str| p.get(f).and_then(Json::as_u64).unwrap_or(u64::MAX);
+            let (idx, cap) = (g("pager"), g("queue_capacity"));
+            if g("queue_depth") > cap || g("queue_depth_hwm") > cap {
+                out.push(format!(
+                    "{}/{}/{} cpus: pager {idx} queue depth {}/hwm {} exceeds capacity {cap}",
+                    k.0,
+                    k.1,
+                    k.2,
+                    g("queue_depth"),
+                    g("queue_depth_hwm")
+                ));
+            }
+            if g("live") != 1 {
+                out.push(format!(
+                    "{}/{}/{} cpus: pager {idx} died under a chaos-free bench workload",
+                    k.0, k.1, k.2
+                ));
+            }
+        }
+    }
     let mut reference: Vec<(String, Vec<(String, u64)>, (String, String, u64))> = Vec::new();
     for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
         let k = key(run);

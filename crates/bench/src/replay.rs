@@ -246,6 +246,25 @@ pub fn address_space_checksum(kernel: &Arc<Kernel>, tasks: &[Arc<Task>]) -> u64 
 /// If the port cannot honour the scenario's page size, or an op fails
 /// (the message names the op index).
 pub fn replay(scenario: &Scenario, port: &str, cpus: usize) -> Result<ReplayOutcome, String> {
+    replay_with_fleet(scenario, port, cpus, None)
+}
+
+/// [`replay`], but with the default pager optionally run as a
+/// [`mach_vm::PagerFleet`] over real `mach-ipc` port queues. The fleet
+/// client is conformance-transparent — counters, charged latency, and
+/// final contents match the in-process pager — so a golden trace must
+/// produce identical gated observables either way; the IPC-transport
+/// differential suite holds the corpus to that.
+///
+/// # Errors
+///
+/// As for [`replay`].
+pub fn replay_with_fleet(
+    scenario: &Scenario,
+    port: &str,
+    cpus: usize,
+    fleet: Option<mach_vm::FleetOptions>,
+) -> Result<ReplayOutcome, String> {
     scenario.validate()?;
     let machine = Machine::boot(port_model(port, cpus));
     let hw = machine.hw_page_size();
@@ -257,6 +276,7 @@ pub fn replay(scenario: &Scenario, port: &str, cpus: usize) -> Result<ReplayOutc
     }
     let mut opts = BootOptions::for_machine(&machine);
     opts.page_multiple = scenario.page_size / hw;
+    opts.pager_fleet = fleet;
     if let Some(c) = &scenario.chaos {
         opts.inject = Some(
             InjectPlan::new(c.seed)

@@ -116,31 +116,40 @@ pub(crate) fn release_busy(ctx: &CoreRefs, obj: &Arc<VmObject>, page: PageId, di
 /// quarantined (dead-pager) object, is ignored and returns `false` —
 /// the pager protocol is at-least-once, so dedup lives here.
 pub fn supply_data(ctx: &CoreRefs, obj: &Arc<VmObject>, offset: u64, data: Option<&[u8]>) -> bool {
-    let page = {
-        let mut s = obj.lock();
-        if s.pager_dead {
-            return false; // late reply from a pager declared dead
-        }
-        match s.resident.get(&offset) {
-            Some(&p) => {
-                if !ctx.resident.with_page(p, |i| i.busy) {
-                    return false; // already filled: duplicate message
-                }
-                p
-            }
-            None => {
-                match ctx.resident.alloc(obj.id(), offset, Arc::downgrade(obj)) {
-                    Some(p) => {
-                        s.resident.insert(offset, p);
-                        p
-                    }
-                    None => return false, // no room for unsolicited data
-                }
-            }
-        }
+    let Some(page) = claim_supply(ctx, obj, offset) else {
+        return false;
     };
     fill_and_release(ctx, obj, page, data, false);
     true
+}
+
+/// The dedup half of [`supply_data`]: claim the busy placeholder (or an
+/// unsolicited slot) for `(obj, offset)` without filling it. Returns
+/// `None` when the supply would be ignored. Callers that must order a
+/// side effect *before* the waiting faulter wakes — the trace emit of
+/// `pager_data_provided`, whose record has to be in the ring before the
+/// fault completes or the DataRequest/DataProvided books can be caught
+/// one entry short — claim first, act, then [`fill_and_release`].
+pub(crate) fn claim_supply(ctx: &CoreRefs, obj: &Arc<VmObject>, offset: u64) -> Option<PageId> {
+    let mut s = obj.lock();
+    if s.pager_dead {
+        return None; // late reply from a pager declared dead
+    }
+    match s.resident.get(&offset) {
+        Some(&p) => {
+            if !ctx.resident.with_page(p, |i| i.busy) {
+                return None; // already filled: duplicate message
+            }
+            Some(p)
+        }
+        None => match ctx.resident.alloc(obj.id(), offset, Arc::downgrade(obj)) {
+            Some(p) => {
+                s.resident.insert(offset, p);
+                Some(p)
+            }
+            None => None, // no room for unsolicited data
+        },
+    }
 }
 
 /// Drop a busy placeholder page after a failed pager interaction.
@@ -310,6 +319,7 @@ fn fault_body(
                         first_offset,
                         TraceEvent::PagerRequest {
                             msg: PagerMsg::DataUnlock,
+                            pager: p.port_id(first.id()),
                         },
                     );
                 }
@@ -391,6 +401,7 @@ fn fault_body(
                     offset,
                     TraceEvent::PagerRequest {
                         msg: PagerMsg::DataRequest,
+                        pager: pager.port_id(obj.id()),
                     },
                 );
                 // Transient backing-store errors get a short bounded retry
@@ -419,6 +430,7 @@ fn fault_body(
                             offset,
                             TraceEvent::PagerReply {
                                 msg: PagerMsg::DataProvided,
+                                pager: pager.port_id(obj.id()),
                             },
                         );
                         {
@@ -436,6 +448,7 @@ fn fault_body(
                             offset,
                             TraceEvent::PagerReply {
                                 msg: PagerMsg::DataUnavailable,
+                                pager: pager.port_id(obj.id()),
                             },
                         );
                         {

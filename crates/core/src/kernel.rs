@@ -44,6 +44,12 @@ pub struct BootOptions {
     /// Deterministic fault-injection plan (see [`crate::inject`]); `None`
     /// boots an inert chaos layer that costs one branch per site.
     pub inject: Option<InjectPlan>,
+    /// Run the default pager as a fleet of external pager services over
+    /// real `mach-ipc` port queues (see [`crate::fleet`]); `None` keeps
+    /// the in-process [`DefaultPager`]. Ignored by
+    /// [`Kernel::boot_with_paging_file_opts`], where the fs-backed pager
+    /// wins.
+    pub pager_fleet: Option<crate::fleet::FleetOptions>,
 }
 
 impl BootOptions {
@@ -56,6 +62,7 @@ impl BootOptions {
             pmap_reserve_den: 8,
             pager_timeout: std::time::Duration::from_secs(5),
             inject: None,
+            pager_fleet: None,
         }
     }
 }
@@ -81,6 +88,9 @@ fn install_device_faults(injector: &Arc<Injector>, dev: &Arc<mach_fs::BlockDevic
 pub struct Kernel {
     ctx: Arc<CoreRefs>,
     free_target: u64,
+    /// The pager service fleet, when booted with
+    /// [`BootOptions::pager_fleet`].
+    fleet: Option<Arc<crate::fleet::PagerFleet>>,
 }
 
 impl Kernel {
@@ -138,13 +148,31 @@ impl Kernel {
             Some(plan) => Injector::new(plan.clone()),
             None => Injector::disabled(),
         };
+        // The stats block is created before the context so the pager
+        // fleet (whose client counts throttles and re-binds) can share it.
+        let stats = Arc::new(VmStatsAtomic::default());
+        let (default_pager, fleet): (
+            Arc<dyn crate::pager::Pager>,
+            Option<Arc<crate::fleet::PagerFleet>>,
+        ) = match &opts.pager_fleet {
+            Some(fo) => {
+                let fleet = crate::fleet::PagerFleet::spawn(
+                    machine,
+                    fo.clone(),
+                    Arc::clone(&stats),
+                    opts.pager_timeout,
+                );
+                (fleet.client(), Some(fleet))
+            }
+            None => (DefaultPager::new(machine), None),
+        };
         let ctx = Arc::new(CoreRefs {
             machine: Arc::clone(machine),
             machdep,
             resident,
             cache: Arc::new(ObjectCache::new(opts.object_cache_capacity)),
-            stats: Arc::new(VmStatsAtomic::default()),
-            default_pager: DefaultPager::new(machine),
+            stats,
+            default_pager,
             page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             map_indexed: std::sync::atomic::AtomicBool::new(true),
@@ -186,7 +214,14 @@ impl Kernel {
         Arc::new(Kernel {
             ctx,
             free_target: donated / 16,
+            fleet,
         })
+    }
+
+    /// The pager service fleet, when booted with
+    /// [`BootOptions::pager_fleet`].
+    pub fn fleet(&self) -> Option<&Arc<crate::fleet::PagerFleet>> {
+        self.fleet.as_ref()
     }
 
     /// The machine this kernel drives.
@@ -439,6 +474,10 @@ impl Kernel {
         Arc::new(Kernel {
             ctx,
             free_target: kernel.free_target,
+            // The fs-backed pager replaces the fleet client wholesale;
+            // any fleet from the first boot is dropped (its services
+            // exit) rather than left idling with no traffic.
+            fleet: None,
         })
     }
 
@@ -550,6 +589,7 @@ impl Kernel {
             offset,
             TraceEvent::PagerRequest {
                 msg: crate::trace::PagerMsg::Init,
+                pager: pager_port.id(),
             },
         );
         xpager::spawn_object_service(

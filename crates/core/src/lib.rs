@@ -51,11 +51,13 @@
 
 pub mod ctx;
 pub mod fault;
+pub mod fleet;
 pub mod health;
 pub mod inject;
 pub mod kernel;
 pub mod map;
 pub mod msg;
+pub mod netmsg;
 pub mod object;
 pub mod ops;
 pub mod page;
@@ -69,6 +71,7 @@ pub mod types;
 pub mod xpager;
 
 pub use ctx::CoreRefs;
+pub use fleet::{FleetOptions, PagerFleet};
 pub use health::{GaugeStats, HealthReport, HealthSink, QueueSample};
 pub use inject::{InjectKind, InjectPlan, InjectedEvent, Injector};
 pub use kernel::{BootOptions, Kernel};

@@ -281,15 +281,18 @@ fn finish_terminate(
     }
     release_pages(obj, ctx);
     if let Some(p) = pager {
-        p.terminate(obj.id());
+        // Trace first: `terminate` may tear down the pager-side binding
+        // that `port_id` attributes the event to.
         ctx.trace_emit(
             0,
             obj.id(),
             0,
             crate::trace::TraceEvent::PagerRequest {
                 msg: crate::trace::PagerMsg::Terminate,
+                pager: p.port_id(obj.id()),
             },
         );
+        p.terminate(obj.id());
     }
     if let Some(sh) = shadow {
         {

@@ -188,6 +188,7 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
             ident.offset,
             TraceEvent::PagerRequest {
                 msg: PagerMsg::DataWrite,
+                pager: pager.port_id(obj.id()),
             },
         );
         let mut result = pager.data_write(obj.id(), ident.offset, buf);

@@ -95,6 +95,14 @@ pub trait Pager: Send + Sync + fmt::Debug {
     fn ident(&self) -> Option<PagerIdent> {
         None
     }
+
+    /// Port id of the pager instance serving `object_id`, for trace
+    /// attribution (`TraceEvent::PagerRequest/PagerReply`). In-process
+    /// pagers with no port identity return 0; the fleet client returns
+    /// the bound service's port.
+    fn port_id(&self, _object_id: u64) -> u64 {
+        0
+    }
 }
 
 /// The kernel's default pager: backing store for anonymous (zero-fill and

@@ -44,6 +44,12 @@ pub struct VmStatsAtomic {
     /// Pageout writes abandoned after retries; the page stayed dirty and
     /// resident for a later daemon pass.
     pub failed_pageouts: AtomicU64,
+    /// Kernel-side throttles: a pager-fleet request found the service's
+    /// bounded port queue full and had to wait (backpressure).
+    pub pager_throttles: AtomicU64,
+    /// Fleet failovers: an orphaned object was re-bound from a dead pager
+    /// service to a live one.
+    pub pager_rebinds: AtomicU64,
 }
 
 /// A point-in-time copy of the statistics, in the spirit of the paper's
@@ -94,6 +100,10 @@ pub struct VmStats {
     pub io_retries: u64,
     /// Pageout writes abandoned after retries.
     pub failed_pageouts: u64,
+    /// Pager-fleet requests throttled on a full service queue.
+    pub pager_throttles: u64,
+    /// Objects re-bound to a surviving pager-fleet service.
+    pub pager_rebinds: u64,
 }
 
 impl VmStats {
@@ -135,6 +145,10 @@ impl VmStats {
             failed_pageouts: self
                 .failed_pageouts
                 .saturating_sub(baseline.failed_pageouts),
+            pager_throttles: self
+                .pager_throttles
+                .saturating_sub(baseline.pager_throttles),
+            pager_rebinds: self.pager_rebinds.saturating_sub(baseline.pager_rebinds),
         }
     }
 }
@@ -168,6 +182,8 @@ impl VmStatsAtomic {
             pager_deaths: self.pager_deaths.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             failed_pageouts: self.failed_pageouts.load(Ordering::Relaxed),
+            pager_throttles: self.pager_throttles.load(Ordering::Relaxed),
+            pager_rebinds: self.pager_rebinds.load(Ordering::Relaxed),
         }
     }
 }

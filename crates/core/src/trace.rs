@@ -85,6 +85,10 @@ pub enum PagerMsg {
     Readonly,
     /// Pager → kernel: `pager_cache` (Table 3-2).
     Cache,
+    /// Kernel → pager: `pager_lock_completed` — the acknowledgement that
+    /// a sequence-numbered `pager_clean_request`/`pager_flush_request`
+    /// finished (the §6 netmsg-server consistency handshake).
+    LockCompleted,
 }
 
 /// One typed trace event. Emission sites are catalogued in
@@ -119,12 +123,18 @@ pub enum TraceEvent {
     PagerRequest {
         /// Which message.
         msg: PagerMsg,
+        /// Port id of the pager instance the message was sent to (0 =
+        /// in-process pager with no port identity).
+        pager: u64,
     },
     /// The kernel received (or synthesised, for internal pagers) a
     /// pager-protocol reply (Table 3-2).
     PagerReply {
         /// Which message.
         msg: PagerMsg,
+        /// Port id of the pager instance the reply came from (0 =
+        /// in-process pager with no port identity).
+        pager: u64,
     },
     /// One coalesced TLB-shootdown round was issued (§5.2).
     ShootdownRound {
@@ -386,6 +396,7 @@ impl VmRollup {
             }
             TraceEvent::PagerRequest {
                 msg: PagerMsg::DataRequest,
+                ..
             } => self.pageins += 1,
             TraceEvent::PageoutWrite => self.pageouts += 1,
             TraceEvent::Reclaim => self.reclaims += 1,
@@ -470,6 +481,7 @@ impl TraceLog {
                 }
                 TraceEvent::PagerRequest {
                     msg: PagerMsg::DataRequest,
+                    ..
                 } => t.pageins += 1,
                 TraceEvent::PageoutWrite => t.pageouts += 1,
                 TraceEvent::Reclaim => t.reclaims += 1,
@@ -560,6 +572,40 @@ impl TraceLog {
                 matches!(
                     r.event,
                     TraceEvent::PagerRequest { .. } | TraceEvent::PagerReply { .. }
+                )
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Every distinct pager (port) id seen in the pager timeline, sorted.
+    /// Id 0 means an in-process pager with no port identity.
+    pub fn pager_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> =
+            self.records
+                .iter()
+                .filter_map(|r| match r.event {
+                    TraceEvent::PagerRequest { pager, .. }
+                    | TraceEvent::PagerReply { pager, .. } => Some(pager),
+                    _ => None,
+                })
+                .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The pager timeline restricted to one pager instance — how a fleet
+    /// member's traffic is attributed (see `docs/PAGER_PROTOCOL.md`,
+    /// "Transport").
+    pub fn pager_timeline_for(&self, pager_id: u64) -> Vec<TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::PagerRequest { pager, .. } | TraceEvent::PagerReply { pager, .. }
+                        if pager == pager_id
                 )
             })
             .copied()
@@ -738,6 +784,7 @@ mod tests {
             0,
             TraceEvent::PagerRequest {
                 msg: PagerMsg::DataRequest,
+                pager: 7,
             },
         );
         sink.emit(&m, 0, 11, 0, TraceEvent::PageoutWrite);
@@ -754,6 +801,9 @@ mod tests {
         assert_eq!(t.pageins, 1);
         assert_eq!(t.pageouts, 1);
         assert_eq!(t.cow_faults, 1);
+        assert_eq!(log.pager_ids(), vec![7]);
+        assert_eq!(log.pager_timeline_for(7).len(), 1);
+        assert!(log.pager_timeline_for(99).is_empty());
     }
 
     #[test]

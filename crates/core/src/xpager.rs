@@ -25,7 +25,6 @@ use std::time::Duration;
 use mach_ipc::{IpcError, Message, MsgField, ReceiveRight, SendRight};
 
 use crate::ctx::CoreRefs;
-use crate::fault::supply_data;
 use crate::inject::{InjectKind, Injector};
 use crate::object::VmObject;
 use crate::pager::{Pager, PagerIdent, PagerReply};
@@ -46,6 +45,10 @@ pub mod ops {
     pub const PAGER_CREATE: u32 = 5;
     /// Kernel → pager: the object is gone.
     pub const PAGER_TERMINATE: u32 = 6;
+    /// Kernel → pager: a sequence-numbered clean/flush request finished
+    /// (`pager_lock_completed`). Only sent when the request carried a
+    /// sequence number — the §6 netmsg-server consistency handshake.
+    pub const PAGER_LOCK_COMPLETED: u32 = 7;
 
     /// Pager → kernel: here is the data (`pager_data_provided`).
     pub const PAGER_DATA_PROVIDED: u32 = 10;
@@ -186,6 +189,10 @@ impl Pager for ExternalPagerProxy {
             offset: self.base_offset,
         })
     }
+
+    fn port_id(&self, _object_id: u64) -> u64 {
+        self.pager_port.id()
+    }
 }
 
 /// Spawn the kernel's service thread for one externally-paged object: it
@@ -256,41 +263,53 @@ fn handle_pager_message_once(
         ops::PAGER_DATA_PROVIDED => {
             // [offset, data, lock_value]. The trace entry is emitted only
             // when the supply actually lands, so a duplicated message does
-            // not break the DataRequest/DataProvided double-entry books.
+            // not break the DataRequest/DataProvided double-entry books —
+            // and it is emitted *before* the fill wakes the waiting
+            // faulter, so a trace snapshot taken the instant the fault
+            // returns already contains the reply record.
             let offset = msg.u64(0) - base;
             let data = msg.bytes(1);
             let off = ctx.trunc_page(offset);
-            if supply_data(ctx, obj, off, Some(data)) {
+            if let Some(p) = crate::fault::claim_supply(ctx, obj, off) {
                 ctx.trace_emit(
                     0,
                     obj.id(),
                     off,
                     TraceEvent::PagerReply {
                         msg: PagerMsg::DataProvided,
+                        pager: pager_port.id(),
                     },
                 );
+                crate::fault::fill_and_release(ctx, obj, p, Some(data), false);
             }
         }
         ops::PAGER_DATA_UNAVAILABLE => {
             // [offset, size] — zero-fill the whole range. As above, only
-            // a supply that acts is traced.
+            // a supply that acts is traced, and the trace precedes the
+            // first wakeup.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let size = ctx.round_page(msg.u64(1)).max(page);
-            let mut supplied = false;
+            let mut claimed = Vec::new();
             let mut off = offset;
             while off < offset + size {
-                supplied |= supply_data(ctx, obj, off, None);
+                if let Some(p) = crate::fault::claim_supply(ctx, obj, off) {
+                    claimed.push((off, p));
+                }
                 off += page;
             }
-            if supplied {
+            if !claimed.is_empty() {
                 ctx.trace_emit(
                     0,
                     obj.id(),
                     offset,
                     TraceEvent::PagerReply {
                         msg: PagerMsg::DataUnavailable,
+                        pager: pager_port.id(),
                     },
                 );
+                for (_, p) in claimed {
+                    crate::fault::fill_and_release(ctx, obj, p, None, false);
+                }
             }
         }
         ops::PAGER_DATA_LOCK => {
@@ -306,6 +325,7 @@ fn handle_pager_message_once(
                 offset,
                 TraceEvent::PagerReply {
                     msg: PagerMsg::DataLock,
+                    pager: pager_port.id(),
                 },
             );
             {
@@ -336,15 +356,20 @@ fn handle_pager_message_once(
             }
         }
         ops::PAGER_CLEAN_REQUEST => {
-            // [offset, length]: push modified cached pages back.
+            // [offset, length, seq?]: push modified cached pages back. A
+            // third field is an optional sequence number; when present the
+            // kernel acknowledges completion with `pager_lock_completed`
+            // echoing it (the §6 invalidation handshake).
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let length = ctx.round_page(msg.u64(1)).max(page);
+            let seq = (msg.fields().len() > 2).then(|| msg.u64(2));
             ctx.trace_emit(
                 0,
                 obj.id(),
                 offset,
                 TraceEvent::PagerReply {
                     msg: PagerMsg::CleanRequest,
+                    pager: pager_port.id(),
                 },
             );
             for (off, p) in resident_range(obj, offset, length) {
@@ -368,22 +393,29 @@ fn handle_pager_message_once(
                     off,
                     TraceEvent::PagerRequest {
                         msg: PagerMsg::DataWrite,
+                        pager: pager_port.id(),
                     },
                 );
                 ctx.machdep.clear_modify(pa, page);
                 ctx.resident.with_page(p, |i| i.dirty = false);
             }
+            if let Some(seq) = seq {
+                send_lock_completed(ctx, obj, pager_port, offset + base, length, seq);
+            }
         }
         ops::PAGER_FLUSH_REQUEST => {
-            // [offset, length]: destroy cached pages.
+            // [offset, length, seq?]: destroy cached pages; an optional
+            // sequence number is acknowledged as for the clean request.
             let offset = ctx.trunc_page(msg.u64(0) - base);
             let length = ctx.round_page(msg.u64(1)).max(page);
+            let seq = (msg.fields().len() > 2).then(|| msg.u64(2));
             ctx.trace_emit(
                 0,
                 obj.id(),
                 offset,
                 TraceEvent::PagerReply {
                     msg: PagerMsg::FlushRequest,
+                    pager: pager_port.id(),
                 },
             );
             for (off, p) in resident_range(obj, offset, length) {
@@ -410,6 +442,9 @@ fn handle_pager_message_once(
                     ctx.resident.release_evict(p);
                 }
             }
+            if let Some(seq) = seq {
+                send_lock_completed(ctx, obj, pager_port, offset + base, length, seq);
+            }
         }
         ops::PAGER_READONLY => {
             ctx.trace_emit(
@@ -418,6 +453,7 @@ fn handle_pager_message_once(
                 0,
                 TraceEvent::PagerReply {
                     msg: PagerMsg::Readonly,
+                    pager: pager_port.id(),
                 },
             );
             obj.lock().pager_readonly = true;
@@ -429,6 +465,7 @@ fn handle_pager_message_once(
                 0,
                 TraceEvent::PagerReply {
                     msg: PagerMsg::Cache,
+                    pager: pager_port.id(),
                 },
             );
             obj.lock().can_persist = msg.bool(0);
@@ -437,6 +474,33 @@ fn handle_pager_message_once(
             debug_assert!(false, "unknown pager→kernel op {other}");
         }
     }
+}
+
+/// Acknowledge a sequence-numbered clean/flush request:
+/// `pager_lock_completed [offset, length, seq]` back on the pager port.
+fn send_lock_completed(
+    ctx: &CoreRefs,
+    obj: &Arc<VmObject>,
+    pager_port: &SendRight,
+    offset: u64,
+    length: u64,
+    seq: u64,
+) {
+    let _ = pager_port.send(
+        Message::new(ops::PAGER_LOCK_COMPLETED)
+            .with(MsgField::U64(offset))
+            .with(MsgField::U64(length))
+            .with(MsgField::U64(seq)),
+    );
+    ctx.trace_emit(
+        0,
+        obj.id(),
+        offset,
+        TraceEvent::PagerRequest {
+            msg: PagerMsg::LockCompleted,
+            pager: pager_port.id(),
+        },
+    );
 }
 
 fn resident_range(
@@ -522,6 +586,10 @@ pub fn serve_pager<P: UserPager>(rx: &ReceiveRight, mut pager: P) -> P {
             ops::PAGER_DATA_WRITE => {
                 let offset = msg.u64(1);
                 pager.write(offset, msg.bytes(2));
+            }
+            ops::PAGER_LOCK_COMPLETED => {
+                // Acknowledgement of a sequence-numbered clean/flush; the
+                // simple pager never sends one, but tolerate it.
             }
             ops::PAGER_TERMINATE => return pager,
             other => {

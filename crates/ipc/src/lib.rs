@@ -192,6 +192,24 @@ struct PortInner {
     not_empty: Condvar,
     not_full: Condvar,
     dead: AtomicBool,
+    /// Signal hook installed when the receive right joins a [`PortSet`].
+    ///
+    /// Lock order: never taken while `queue` is held — senders enqueue
+    /// first, drop the queue lock, then signal the set.
+    set: Mutex<Option<Arc<SetSignal>>>,
+}
+
+impl PortInner {
+    /// Wake a port set waiting on this port, if any. Must be called
+    /// *after* releasing the queue lock.
+    fn signal_set(&self) {
+        let signal = self.set.lock().clone();
+        if let Some(s) = signal {
+            let mut seq = s.seq.lock();
+            *seq += 1;
+            s.arrived.notify_all();
+        }
+    }
 }
 
 /// A kernel-protected message queue.
@@ -217,6 +235,7 @@ impl Port {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             dead: AtomicBool::new(false),
+            set: Mutex::new(None),
         });
         (
             SendRight {
@@ -284,6 +303,8 @@ impl SendRight {
             if q.len() < self.inner.capacity {
                 q.push_back(msg);
                 self.inner.not_empty.notify_one();
+                drop(q);
+                self.inner.signal_set();
                 return Ok(());
             }
             self.inner.not_full.wait(&mut q);
@@ -305,7 +326,20 @@ impl SendRight {
         }
         q.push_back(msg);
         self.inner.not_empty.notify_one();
+        drop(q);
+        self.inner.signal_set();
         Ok(())
+    }
+
+    /// The bounded queue capacity fixed at allocation.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of messages currently queued (a racy instantaneous sample —
+    /// useful for backpressure gauges, not for synchronization).
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
     }
 }
 
@@ -375,6 +409,11 @@ impl ReceiveRight {
     pub fn queued(&self) -> usize {
         self.inner.queue.lock().len()
     }
+
+    /// The bounded queue capacity fixed at allocation.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
 }
 
 impl Drop for ReceiveRight {
@@ -383,6 +422,162 @@ impl Drop for ReceiveRight {
         // Wake blocked senders so they observe death.
         self.inner.not_full.notify_all();
         self.inner.not_empty.notify_all();
+    }
+}
+
+/// Wakeup channel shared between a [`PortSet`] and its member ports.
+///
+/// `seq` counts enqueues across every member; the set reads it before
+/// scanning and sleeps only if it is unchanged afterwards, so a message
+/// that lands between scan and sleep can never be missed.
+#[derive(Debug)]
+struct SetSignal {
+    seq: Mutex<u64>,
+    arrived: Condvar,
+}
+
+/// A Mach-style port set: one receiver multiplexed over many receive
+/// rights.
+///
+/// "A task may also hold *receive rights to a port set* and dequeue from
+/// whichever member port has a message" — this is how a single pager
+/// service thread drains the request ports of every memory object bound
+/// to it. The set owns its member [`ReceiveRight`]s; dropping the set
+/// kills every member port.
+///
+/// Like a `ReceiveRight`, a `PortSet` is not cloneable and has exactly
+/// one receiver.
+///
+/// # Examples
+///
+/// ```
+/// use mach_ipc::{Port, PortSet, Message};
+/// use std::time::Duration;
+/// let mut set = PortSet::new("pagers");
+/// let (tx_a, rx_a) = Port::allocate("a", 4);
+/// let (tx_b, rx_b) = Port::allocate("b", 4);
+/// set.add(rx_a);
+/// set.add(rx_b);
+/// tx_b.send(Message::new(7)).unwrap();
+/// let (port_id, m) = set.receive_timeout(Duration::from_secs(1)).unwrap();
+/// assert_eq!(port_id, tx_b.id());
+/// assert_eq!(m.op(), 7);
+/// # let _ = tx_a;
+/// ```
+#[derive(Debug)]
+pub struct PortSet {
+    name: String,
+    signal: Arc<SetSignal>,
+    members: Vec<ReceiveRight>,
+    /// Rotating scan start, so one busy member cannot starve the rest.
+    next_scan: usize,
+}
+
+impl PortSet {
+    /// An empty port set.
+    pub fn new(name: &str) -> PortSet {
+        PortSet {
+            name: name.to_owned(),
+            signal: Arc::new(SetSignal {
+                seq: Mutex::new(0),
+                arrived: Condvar::new(),
+            }),
+            members: Vec::new(),
+            next_scan: 0,
+        }
+    }
+
+    /// The debugging name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Move a receive right into the set. Returns the port id, which
+    /// tags every message dequeued from that member.
+    pub fn add(&mut self, rx: ReceiveRight) -> u64 {
+        let id = rx.id();
+        *rx.inner.set.lock() = Some(Arc::clone(&self.signal));
+        self.members.push(rx);
+        id
+    }
+
+    /// Remove a member by port id, returning its receive right (the hook
+    /// is detached, so the right behaves as a plain port again).
+    pub fn remove(&mut self, port_id: u64) -> Option<ReceiveRight> {
+        let i = self.members.iter().position(|m| m.id() == port_id)?;
+        let rx = self.members.remove(i);
+        *rx.inner.set.lock() = None;
+        Some(rx)
+    }
+
+    /// Number of member ports.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total messages queued across all members (racy sample).
+    pub fn queued(&self) -> usize {
+        self.members.iter().map(|m| m.queued()).sum()
+    }
+
+    /// One round-robin scan over the members.
+    fn scan(&mut self) -> Option<(u64, Message)> {
+        let n = self.members.len();
+        for k in 0..n {
+            let i = (self.next_scan + k) % n;
+            if let Some(m) = self.members[i].try_receive() {
+                self.next_scan = (i + 1) % n;
+                return Some((self.members[i].id(), m));
+            }
+        }
+        None
+    }
+
+    /// Dequeue the next message from any member without blocking,
+    /// tagged with the member port's id.
+    pub fn try_receive(&mut self) -> Option<(u64, Message)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        self.scan()
+    }
+
+    /// Dequeue from any member, blocking up to `timeout`; `None` on
+    /// timeout or if the set has no members.
+    pub fn receive_timeout(&mut self, timeout: Duration) -> Option<(u64, Message)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.members.is_empty() {
+                return None;
+            }
+            // Snapshot the enqueue sequence *before* scanning: a message
+            // arriving after this read bumps it, so the wait below will
+            // not sleep through it.
+            let seen = *self.signal.seq.lock();
+            if let Some(hit) = self.scan() {
+                return Some(hit);
+            }
+            let mut seq = self.signal.seq.lock();
+            if *seq != seen {
+                continue; // raced with a sender; rescan
+            }
+            if self
+                .signal
+                .arrived
+                .wait_until(&mut seq, deadline)
+                .timed_out()
+            {
+                drop(seq);
+                // Final scan: the sender may have signalled exactly at
+                // the deadline.
+                return self.scan();
+            }
+        }
     }
 }
 
@@ -499,6 +694,94 @@ mod tests {
         let (b, _rb) = Port::allocate("b", 1);
         assert_ne!(a.id(), b.id());
         assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    fn capacity_and_depth_accessors() {
+        let (tx, rx) = Port::allocate("t", 3);
+        assert_eq!(tx.capacity(), 3);
+        assert_eq!(rx.capacity(), 3);
+        assert_eq!(tx.queued(), 0);
+        tx.send(Message::new(0)).unwrap();
+        tx.send(Message::new(1)).unwrap();
+        assert_eq!(tx.queued(), 2);
+        assert_eq!(rx.queued(), 2);
+    }
+
+    #[test]
+    fn port_set_multiplexes_members() {
+        let mut set = PortSet::new("s");
+        let (tx_a, rx_a) = Port::allocate("a", 4);
+        let (tx_b, rx_b) = Port::allocate("b", 4);
+        let id_a = set.add(rx_a);
+        let id_b = set.add(rx_b);
+        assert_eq!(set.len(), 2);
+        assert_eq!((id_a, id_b), (tx_a.id(), tx_b.id()));
+        tx_b.send(Message::new(2).with(MsgField::U64(9))).unwrap();
+        tx_a.send(Message::new(1)).unwrap();
+        let mut got = Vec::new();
+        while let Some((id, m)) = set.try_receive() {
+            got.push((id, m.op()));
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(id_a, 1), (id_b, 2)]);
+        assert!(set.receive_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn port_set_wakes_blocked_receiver() {
+        let mut set = PortSet::new("s");
+        let (tx, rx) = Port::allocate("a", 4);
+        set.add(rx);
+        let sender = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            tx.send(Message::new(5)).unwrap();
+        });
+        let (_, m) = set.receive_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(m.op(), 5);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn port_set_remove_detaches_member() {
+        let mut set = PortSet::new("s");
+        let (tx, rx) = Port::allocate("a", 4);
+        let id = set.add(rx);
+        let rx = set.remove(id).unwrap();
+        assert!(set.is_empty());
+        assert!(set.remove(id).is_none());
+        tx.send(Message::new(3)).unwrap();
+        // The detached right still works as a plain port.
+        assert_eq!(rx.receive().op(), 3);
+    }
+
+    #[test]
+    fn port_set_drop_kills_members() {
+        let mut set = PortSet::new("s");
+        let (tx, rx) = Port::allocate("a", 4);
+        set.add(rx);
+        drop(set);
+        assert!(tx.is_dead());
+    }
+
+    #[test]
+    fn port_set_round_robin_is_fair() {
+        let mut set = PortSet::new("s");
+        let (tx_a, rx_a) = Port::allocate("a", 16);
+        let (tx_b, rx_b) = Port::allocate("b", 16);
+        let id_a = set.add(rx_a);
+        let id_b = set.add(rx_b);
+        for i in 0..4 {
+            tx_a.send(Message::new(i)).unwrap();
+            tx_b.send(Message::new(i)).unwrap();
+        }
+        // Alternates between members instead of draining one first.
+        let mut order = Vec::new();
+        for _ in 0..8 {
+            let (id, _) = set.try_receive().unwrap();
+            order.push(id);
+        }
+        assert_eq!(order, vec![id_a, id_b, id_a, id_b, id_a, id_b, id_a, id_b]);
     }
 
     #[test]

@@ -45,8 +45,12 @@ impl UserPager for GeneratedObject {
 
 fn event_name(e: &TraceEvent) -> String {
     match e {
-        TraceEvent::PagerRequest { msg } => format!("kernel→pager {msg:?}"),
-        TraceEvent::PagerReply { msg } => format!("pager→kernel {msg:?}"),
+        TraceEvent::PagerRequest { msg, pager } => {
+            format!("kernel→pager[{pager}] {msg:?}")
+        }
+        TraceEvent::PagerReply { msg, pager } => {
+            format!("pager[{pager}]→kernel {msg:?}")
+        }
         other => format!("{other:?}"),
     }
 }
@@ -181,6 +185,15 @@ fn main() {
             r.object,
             r.offset,
             event_name(&r.event)
+        );
+    }
+    // Per-pager attribution: every record names the port it crossed, so
+    // the dialogue splits cleanly by pager instance.
+    for id in log.pager_ids() {
+        println!(
+            "  pager port {:>3}: {} messages",
+            id,
+            log.pager_timeline_for(id).len()
         );
     }
     println!();

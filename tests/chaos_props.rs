@@ -122,8 +122,8 @@ proptest! {
         let (mut requests, mut provided, mut failed) = (0u64, 0u64, 0u64);
         for rec in &log.records {
             match rec.event {
-                TraceEvent::PagerRequest { msg: PagerMsg::DataRequest } => requests += 1,
-                TraceEvent::PagerReply { msg: PagerMsg::DataProvided } => provided += 1,
+                TraceEvent::PagerRequest { msg: PagerMsg::DataRequest, .. } => requests += 1,
+                TraceEvent::PagerReply { msg: PagerMsg::DataProvided, .. } => provided += 1,
                 TraceEvent::FaultEnd { resolution: FaultResolution::Failed, .. } => failed += 1,
                 _ => {}
             }

@@ -1,0 +1,293 @@
+//! Concurrency properties of the `mach-ipc` transport itself — the layer
+//! the pager-service fleet (`mach_vm::fleet`) and the §6 netmsg proxy
+//! stand on. Every property here is interleaving-independent: it must
+//! hold whatever the host scheduler does to the racing senders,
+//! receivers, and port reapers.
+//!
+//! Three families:
+//!
+//! 1. **Send-right transfer** — a send right carried inside a message
+//!    (the Mach reply-port idiom) still reaches the original receiver
+//!    after crossing threads, and keeps working after the carrying
+//!    message is dropped.
+//! 2. **Dead-port notification ordering** — once any sender observes
+//!    [`IpcError::DeadPort`], every later send on any clone of that
+//!    right also fails: death is terminal and globally ordered with
+//!    respect to successful sends. Blocked senders are woken, not hung.
+//! 3. **Bounded queue under racing senders** — with capacity C and many
+//!    blocking senders, nothing is lost, nothing is duplicated,
+//!    per-sender FIFO order survives, and the queue never holds more
+//!    than C messages at once.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mach_ipc::{IpcError, Message, MsgField, Port, PortSet};
+use proptest::prelude::*;
+
+const OP_PING: u32 = 7;
+const OP_DATA: u32 = 8;
+
+// ---------------------------------------------------------------------
+// 1. Send-right transfer
+// ---------------------------------------------------------------------
+
+/// The reply-port round trip: client allocates a reply port, sends its
+/// send right *inside* the request message, and the server — a separate
+/// thread that has never seen the reply port — answers through the
+/// transferred right. Runs many clients against one server to exercise
+/// transfer under contention.
+#[test]
+fn transferred_send_rights_reach_the_original_receiver() {
+    let (srv_tx, srv_rx) = Port::allocate("xfer-server", 8);
+    let server = std::thread::spawn(move || {
+        let mut served = 0u64;
+        while let Some(msg) = srv_rx.receive_timeout(Duration::from_secs(5)) {
+            if msg.op() == 0 {
+                break;
+            }
+            let token = msg.u64(0);
+            // Echo the token back through the right that rode in.
+            let _ = msg
+                .port(1)
+                .send(Message::new(OP_PING).with(MsgField::U64(token * 3)));
+            served += 1;
+        }
+        served
+    });
+
+    let clients: Vec<_> = (0..8u64)
+        .map(|c| {
+            let tx = srv_tx.clone();
+            std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    let token = c * 1000 + i;
+                    let (reply_tx, reply_rx) = Port::allocate("xfer-reply", 1);
+                    tx.send(
+                        Message::new(OP_PING)
+                            .with(MsgField::U64(token))
+                            .with(MsgField::Port(reply_tx)),
+                    )
+                    .expect("server alive");
+                    let echo = reply_rx
+                        .receive_timeout(Duration::from_secs(5))
+                        .expect("reply arrives through the transferred right");
+                    assert_eq!(echo.u64(0), token * 3, "reply routed to *this* client");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+    srv_tx.send(Message::new(0)).unwrap();
+    assert_eq!(server.join().unwrap(), 8 * 16, "every request was served");
+}
+
+/// A send right survives its carrying message: extract it, drop the
+/// message, send later. Mirrors how the fleet client holds reply rights
+/// across retry loops.
+#[test]
+fn extracted_right_outlives_the_carrying_message() {
+    let (tx, rx) = Port::allocate("outlive", 4);
+    let (inner_tx, inner_rx) = Port::allocate("outlive-inner", 4);
+    tx.send(Message::new(OP_PING).with(MsgField::Port(inner_tx)))
+        .unwrap();
+    let carried = rx.receive();
+    let extracted = carried.port(0).clone();
+    drop(carried);
+    extracted.send(Message::new(OP_DATA)).unwrap();
+    assert_eq!(inner_rx.receive().op(), OP_DATA);
+}
+
+// ---------------------------------------------------------------------
+// 2. Dead-port notification ordering
+// ---------------------------------------------------------------------
+
+/// Senders blocked on a full queue are woken with `DeadPort` when the
+/// receive right drops — none of them hangs, and the successful sends
+/// number exactly the queue capacity (the receiver never drained).
+#[test]
+fn receiver_death_wakes_every_blocked_sender() {
+    let cap = 4usize;
+    let (tx, rx) = Port::allocate("death-wakes", cap);
+    let successes = Arc::new(AtomicU64::new(0));
+    let dead_seen = Arc::new(AtomicU64::new(0));
+    let senders: Vec<_> = (0..8u64)
+        .map(|i| {
+            let tx = tx.clone();
+            let successes = Arc::clone(&successes);
+            let dead_seen = Arc::clone(&dead_seen);
+            std::thread::spawn(move || {
+                match tx.send(Message::new(OP_DATA).with(MsgField::U64(i))) {
+                    Ok(()) => successes.fetch_add(1, Ordering::Relaxed),
+                    Err(IpcError::DeadPort) => dead_seen.fetch_add(1, Ordering::Relaxed),
+                    Err(e) => panic!("blocking send: unexpected {e:?}"),
+                };
+            })
+        })
+        .collect();
+    // Wait until the queue is full and the surplus senders are parked.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while tx.queued() < cap && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(tx.queued(), cap, "queue filled to capacity");
+    drop(rx);
+    for s in senders {
+        s.join().expect("no sender hangs on a dead port");
+    }
+    assert_eq!(successes.load(Ordering::Relaxed), cap as u64);
+    assert_eq!(dead_seen.load(Ordering::Relaxed), 8 - cap as u64);
+    assert!(tx.is_dead());
+}
+
+/// Death is terminal and ordered: after one `DeadPort` observation, no
+/// clone of the right ever sends successfully again — there is no
+/// revive window racing the notification.
+#[test]
+fn dead_port_errors_are_terminal_across_clones() {
+    let (tx, rx) = Port::allocate("death-final", 2);
+    let clones: Vec<_> = (0..4).map(|_| tx.clone()).collect();
+    drop(rx);
+    assert!(matches!(tx.send(Message::new(1)), Err(IpcError::DeadPort)));
+    for c in &clones {
+        assert!(c.is_dead(), "death visible through every clone");
+        assert!(matches!(
+            c.try_send(Message::new(1)),
+            Err(IpcError::DeadPort)
+        ));
+        assert!(matches!(c.send(Message::new(1)), Err(IpcError::DeadPort)));
+    }
+}
+
+/// A `PortSet` member dying does not poison the set: messages queued on
+/// other members still arrive, exactly as surviving pager services keep
+/// draining when a sibling is killed.
+#[test]
+fn port_set_survives_member_death() {
+    let mut set = PortSet::new("death-set");
+    let (tx_a, rx_a) = Port::allocate("member-a", 4);
+    let (tx_b, rx_b) = Port::allocate("member-b", 4);
+    let id_a = set.add(rx_a);
+    let _id_b = set.add(rx_b);
+    tx_b.send(Message::new(OP_DATA).with(MsgField::U64(42)))
+        .unwrap();
+    // Kill member A by removing-and-dropping its receive right.
+    drop(set.remove(id_a));
+    assert!(tx_a.is_dead());
+    let (_, msg) = set
+        .receive_timeout(Duration::from_secs(5))
+        .expect("survivor still drains");
+    assert_eq!(msg.u64(0), 42);
+}
+
+// ---------------------------------------------------------------------
+// 3. Bounded queue, racing senders
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// M racing blocking senders × K messages each through a queue of
+    /// arbitrary small capacity: the receiver sees exactly M×K messages,
+    /// per-sender sequence numbers arrive in FIFO order, and a sampling
+    /// thread never catches the queue above capacity.
+    #[test]
+    fn racing_senders_conserve_messages_and_fifo(
+        cap in 1usize..=8,
+        senders in 2usize..=6,
+        per_sender in 1u64..=32,
+    ) {
+        let (tx, rx) = Port::allocate("racing", cap);
+        let overflow = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = {
+            let tx = tx.clone();
+            let overflow = Arc::clone(&overflow);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if tx.queued() > tx.capacity() {
+                        overflow.store(true, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let handles: Vec<_> = (0..senders as u64)
+            .map(|s| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_sender {
+                        tx.send(
+                            Message::new(OP_DATA)
+                                .with(MsgField::U64(s))
+                                .with(MsgField::U64(i)),
+                        )
+                        .expect("receiver alive");
+                    }
+                })
+            })
+            .collect();
+        let mut next_seq = vec![0u64; senders];
+        let mut received = 0u64;
+        let want = senders as u64 * per_sender;
+        while received < want {
+            let msg = rx
+                .receive_timeout(Duration::from_secs(10))
+                .expect("no message lost");
+            let s = msg.u64(0) as usize;
+            let i = msg.u64(1);
+            prop_assert_eq!(i, next_seq[s], "per-sender FIFO for sender {}", s);
+            next_seq[s] += 1;
+            received += 1;
+        }
+        prop_assert!(rx.try_receive().is_none(), "no duplicated message");
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().unwrap();
+        prop_assert!(
+            !overflow.load(Ordering::Relaxed),
+            "queue depth never exceeded its capacity"
+        );
+    }
+
+    /// `try_send` tells the truth about fullness: against a paused
+    /// receiver it succeeds exactly `cap` times then reports
+    /// `WouldBlock`; draining one message admits exactly one more. This
+    /// is the primitive the fleet's backpressure accounting
+    /// (`pager_throttles`) is built on.
+    #[test]
+    fn try_send_reports_fullness_exactly(cap in 1usize..=16) {
+        let (tx, rx) = Port::allocate("try-full", cap);
+        for i in 0..cap as u64 {
+            prop_assert!(tx.try_send(Message::new(OP_DATA).with(MsgField::U64(i))).is_ok());
+        }
+        for _ in 0..3 {
+            prop_assert!(matches!(
+                tx.try_send(Message::new(OP_DATA)),
+                Err(IpcError::WouldBlock)
+            ));
+        }
+        prop_assert_eq!(tx.queued(), cap);
+        let first = rx.receive();
+        prop_assert_eq!(first.u64(0), 0, "drain is FIFO");
+        prop_assert!(tx.try_send(Message::new(OP_DATA).with(MsgField::U64(99))).is_ok());
+        prop_assert!(matches!(
+            tx.try_send(Message::new(OP_DATA)),
+            Err(IpcError::WouldBlock)
+        ));
+        // The queue drains to exactly the cap messages still inside.
+        let mut rest = Vec::new();
+        while let Some(m) = rx.try_receive() {
+            rest.push(m.u64(0));
+        }
+        let mut want: Vec<u64> = (1..cap as u64).collect();
+        want.push(99);
+        prop_assert_eq!(rest, want);
+    }
+}

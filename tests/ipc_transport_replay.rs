@@ -1,0 +1,91 @@
+//! IPC-transport conformance: every committed golden trace replays to
+//! its pinned observables with the default pager running as a
+//! [`mach_vm::PagerFleet`] — real `mach-ipc` port queues, service
+//! threads, acked write RPCs — instead of the in-process pager.
+//!
+//! This is the transport-independence half of the paper's §5 external
+//! pager claim: moving the default pager behind the message interface
+//! may change *timing*, never *what the machine-independent layer
+//! computes*. The seven gated observables (logical faults, zero-fill,
+//! COW, pageins, pageouts, reclaims, address-space checksum) contain no
+//! timing, and the fleet client charges the same simulated I/O latency
+//! on the calling CPU as the in-process pager — so each trace's
+//! committed `expect` line must hold verbatim over the wire, on every
+//! port, at 1 and 4 CPUs.
+//!
+//! `chaos_pager` is the strongest case: its injection schedule targets
+//! the *external* pager proxy, whose message flow is untouched by how
+//! the default pager is hosted, so even the chaos observables must be
+//! bit-identical over the fleet transport.
+
+use mach_bench::replay::{replay_with_fleet, PORTS};
+use mach_bench::scenario::{load_golden, GOLDEN_TRACES};
+use mach_vm::FleetOptions;
+
+/// Single-threaded and the four-way multiplex, as in the in-process
+/// differential suite (`tests/trace_replay_golden.rs`).
+const CPUS: [usize; 2] = [1, 4];
+
+fn replay_over_fleet(name: &str) {
+    let s = load_golden(name);
+    let expect = s
+        .expect
+        .as_ref()
+        .unwrap_or_else(|| panic!("{name}.trace must pin its expected observables"));
+    for port in PORTS {
+        for cpus in CPUS {
+            let out = replay_with_fleet(&s, port, cpus, Some(FleetOptions::default()))
+                .unwrap_or_else(|e| panic!("{name} on {port}/{cpus}cpu over fleet: {e}"));
+            if let Err(diff) = out.obs.matches(expect) {
+                panic!("{name} on {port}/{cpus}cpu over IPC transport diverged: {diff}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fork_storm_conforms_over_ipc_transport() {
+    replay_over_fleet("fork_storm");
+}
+
+#[test]
+fn file_reread_conforms_over_ipc_transport() {
+    replay_over_fleet("file_reread");
+}
+
+#[test]
+fn cow_narrowing_conforms_over_ipc_transport() {
+    replay_over_fleet("cow_narrowing");
+}
+
+#[test]
+fn mixed_inherit_conforms_over_ipc_transport() {
+    replay_over_fleet("mixed_inherit");
+}
+
+#[test]
+fn reclaim_pressure_conforms_over_ipc_transport() {
+    replay_over_fleet("reclaim_pressure");
+}
+
+#[test]
+fn chaos_pager_conforms_over_ipc_transport() {
+    replay_over_fleet("chaos_pager");
+}
+
+/// The corpus list and this suite cannot drift apart silently.
+#[test]
+fn every_golden_trace_is_covered() {
+    assert_eq!(
+        GOLDEN_TRACES,
+        &[
+            "fork_storm",
+            "file_reread",
+            "cow_narrowing",
+            "mixed_inherit",
+            "reclaim_pressure",
+            "chaos_pager",
+        ],
+        "a golden trace was added or renamed — extend this suite"
+    );
+}

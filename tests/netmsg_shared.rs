@@ -1,0 +1,156 @@
+//! The §6 two-kernel shared-memory scenario, end to end: two separately
+//! booted kernels (distinct simulated machines) map one memory object
+//! through a netmsg-server-style proxy pager ([`mach_vm::netmsg`]), and
+//! sequence-numbered recall messages keep the single-writer invariant —
+//! exactly the paper's description of how Mach extended its external
+//! pager interface over the network.
+//!
+//! The headline assertion is **convergence to an agreed checksum**:
+//! after rounds of alternating writes with reads forcing ownership
+//! recalls each way, both kernels observe the same final values and the
+//! proxy's master copy hashes to the checksum predicted from the write
+//! schedule alone. A chaos variant re-runs the scenario with message
+//! delay and duplication injected into both kernels' pager message
+//! paths — the recall protocol's resends and idempotent,
+//! monotonic-watermark handlers must still converge to the identical
+//! checksum.
+
+use std::sync::Arc;
+
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::{BootOptions, Kernel};
+use mach_vm::netmsg::NetmsgServer;
+use mach_vm::{InjectPlan, Task};
+
+const PAGES: u64 = 16;
+const ROUNDS: u32 = 4;
+
+/// The value writer `r % 2` stores in page `i` during round `r`.
+fn val(r: u32, i: u64) -> u32 {
+    0x1000_0000 + r * 0x10_0000 + i as u32
+}
+
+/// FNV-1a 64 with the same shape as `NetmsgReport::checksum`: offset
+/// then page bytes, in offset order.
+fn expected_master_checksum(ps: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let byte = |h: &mut u64, b: u8| *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+    for i in 0..PAGES {
+        for b in (i * ps).to_le_bytes() {
+            byte(&mut h, b);
+        }
+        // Final owner of every page is round ROUNDS-1's writer; the rest
+        // of each page is the zero fill it was born with.
+        let mut page = vec![0u8; ps as usize];
+        page[..4].copy_from_slice(&val(ROUNDS - 1, i).to_le_bytes());
+        for b in page {
+            byte(&mut h, b);
+        }
+    }
+    h
+}
+
+fn boot(inject: Option<InjectPlan>) -> Arc<Kernel> {
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.inject = inject;
+    Kernel::boot_with(&machine, opts)
+}
+
+/// Drive the full scenario and return (proxy checksum, recalls).
+fn run_scenario(inject_a: Option<InjectPlan>, inject_b: Option<InjectPlan>) -> (u64, u64) {
+    let (server, [port_a, port_b]) = NetmsgServer::new(32);
+    let proxy = std::thread::spawn(move || server.run());
+
+    let ka = boot(inject_a);
+    let kb = boot(inject_b);
+    let ta = ka.create_task();
+    let tb = kb.create_task();
+    let ps = ka.page_size();
+    assert_eq!(ps, kb.page_size(), "scenario assumes one page size");
+    let aa = ka
+        .allocate_with_pager(&ta, None, PAGES * ps, true, port_a, 0)
+        .unwrap();
+    let ab = kb
+        .allocate_with_pager(&tb, None, PAGES * ps, true, port_b, 0)
+        .unwrap();
+
+    let write_all = |t: &Arc<Task>, base: u64, r: u32| {
+        t.user(0, |u| {
+            for i in 0..PAGES {
+                u.write_u32(base + i * ps, val(r, i)).unwrap();
+            }
+        });
+    };
+    let read_all = |t: &Arc<Task>, base: u64, r: u32, who: &str| {
+        t.user(0, |u| {
+            for i in 0..PAGES {
+                assert_eq!(
+                    u.read_u32(base + i * ps).unwrap(),
+                    val(r, i),
+                    "{who} diverged on page {i} after round {r}"
+                );
+            }
+        });
+    };
+
+    // Alternating ownership: each round's writer dirties every page,
+    // then the other side's read recalls every page across the proxy.
+    for r in 0..ROUNDS {
+        if r % 2 == 0 {
+            write_all(&ta, aa, r);
+            read_all(&tb, ab, r, "kernel B");
+        } else {
+            write_all(&tb, ab, r);
+            read_all(&ta, aa, r, "kernel A");
+        }
+    }
+    // Convergence: both sides settle on the final round's values. The
+    // last reader's recall flushed the final writer's dirty pages into
+    // the proxy's master copy, so all three views now agree.
+    read_all(&ta, aa, ROUNDS - 1, "kernel A (final)");
+    read_all(&tb, ab, ROUNDS - 1, "kernel B (final)");
+
+    drop(ta);
+    drop(tb);
+    let report = proxy.join().unwrap();
+    assert_eq!(
+        report.checksum(),
+        expected_master_checksum(ps),
+        "master copy diverged from the write schedule"
+    );
+    (report.checksum(), report.stats.recalls)
+}
+
+/// Clean transport: rounds of alternating writes converge, the proxy's
+/// master copy matches the schedule-predicted checksum, and ownership
+/// genuinely ping-ponged (every cross-side read recalled pages).
+#[test]
+fn two_kernels_converge_to_agreed_checksum() {
+    let (_, recalls) = run_scenario(None, None);
+    // Each of the ROUNDS cross-side read sweeps plus the final A sweep
+    // recalls every page it does not own.
+    assert!(
+        recalls >= u64::from(ROUNDS) * PAGES,
+        "expected at least {} recalls, saw {recalls}",
+        u64::from(ROUNDS) * PAGES
+    );
+}
+
+/// Chaos transport: message delay and duplication on both kernels'
+/// pager paths. Duplicated `pager_data_provided` replies are
+/// deduplicated, duplicated recall completions are absorbed by the
+/// monotonic watermark, and delays are outwaited by the proxy's
+/// resends — the agreed checksum is bit-identical to the clean run.
+#[test]
+fn convergence_survives_message_delay_and_duplication() {
+    let clean = expected_master_checksum(
+        Kernel::boot(&Machine::boot(MachineModel::micro_vax_ii())).page_size(),
+    );
+    let plan_a = InjectPlan::new(0xA11CE).msg_delay(150).msg_duplicate(300);
+    let plan_b = InjectPlan::new(0xB0B).msg_delay(150).msg_duplicate(300);
+    let (sum, _) = run_scenario(Some(plan_a), Some(plan_b));
+    assert_eq!(sum, clean, "chaos run must agree with the clean checksum");
+}

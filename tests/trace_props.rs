@@ -229,6 +229,7 @@ fn pager_traffic_matches_counters() {
     kernel.enable_tracing(65_536);
 
     let (pager_port, pager_rx) = Port::allocate("trace-props-pager", 64);
+    let pager_port_id = pager_port.id();
     let server = std::thread::spawn(move || {
         serve_pager(
             &pager_rx,
@@ -272,12 +273,31 @@ fn pager_traffic_matches_counters() {
             matches!(
                 r.event,
                 TraceEvent::PagerReply {
-                    msg: PagerMsg::DataProvided
+                    msg: PagerMsg::DataProvided,
+                    ..
                 }
             )
         })
         .count() as u64;
     assert_eq!(provided, totals.pageins, "every DataRequest was answered");
+
+    // Pager attribution is part of the double entry: every request and
+    // reply in this workload crossed exactly the one external pager
+    // port, so the per-pager timeline *is* the timeline.
+    assert_eq!(
+        log.pager_ids(),
+        vec![pager_port_id],
+        "one pager instance, identified by its port"
+    );
+    assert_eq!(
+        log.pager_timeline_for(pager_port_id).len(),
+        log.pager_timeline().len(),
+        "every pager message attributes to that port"
+    );
+    assert!(
+        log.pager_timeline_for(pager_port_id + 1).is_empty(),
+        "no message attributes to a port that was never a pager"
+    );
 
     // Every pagein fault resolved as Pagein.
     let pagein_pairs = log
@@ -289,4 +309,77 @@ fn pager_traffic_matches_counters() {
 
     drop(task);
     server.join().unwrap();
+}
+
+/// Over the fleet transport the attribution sharpens: every pager event
+/// names the port of the service its object is bound to, so the trace
+/// alone reconstructs which of the N services handled which object.
+#[test]
+fn fleet_traffic_attributes_to_bound_service_ports() {
+    use mach_vm::kernel::BootOptions;
+    use mach_vm::FleetOptions;
+
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.pager_fleet = Some(FleetOptions {
+        pagers: 4,
+        queue_capacity: 8,
+    });
+    let kernel = Kernel::boot_with(&machine, opts);
+    let fleet = Arc::clone(kernel.fleet().expect("booted with a fleet"));
+    let ps = kernel.page_size();
+    kernel.enable_tracing(65_536);
+
+    // Several objects so round-robin binding uses several services.
+    let tasks: Vec<_> = (0..3)
+        .map(|_| {
+            let t = kernel.create_task();
+            let addr = t.map().allocate(kernel.ctx(), None, 8 * ps, true).unwrap();
+            t.user(0, |u| u.dirty_range(addr, 8 * ps).unwrap());
+            (t, addr)
+        })
+        .collect();
+    while kernel.reclaim(16) > 0 {}
+    for (t, addr) in &tasks {
+        t.user(0, |u| {
+            u.read_u32(*addr).unwrap();
+        });
+    }
+
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+    let fleet_ports: Vec<u64> = (0..fleet.pagers()).map(|i| fleet.port_id_of(i)).collect();
+
+    let seen = log.pager_ids();
+    assert!(!seen.is_empty(), "the workload produced pager traffic");
+    for id in &seen {
+        assert!(
+            fleet_ports.contains(id),
+            "pager id {id} is not a fleet service port ({fleet_ports:?})"
+        );
+    }
+    // Per-object consistency: every event of one object names the port
+    // of the service that object is bound to.
+    for (t, _) in &tasks {
+        for r in t.map().regions() {
+            let Some(idx) = fleet.binding(r.object_id) else {
+                continue;
+            };
+            let port = fleet.port_id_of(idx);
+            for rec in log.pager_timeline() {
+                if rec.object == r.object_id {
+                    let pager = match rec.event {
+                        TraceEvent::PagerRequest { pager, .. }
+                        | TraceEvent::PagerReply { pager, .. } => pager,
+                        _ => unreachable!("pager_timeline yields pager events"),
+                    };
+                    assert_eq!(
+                        pager, port,
+                        "object {} event attributed to port {pager}, bound to {port}",
+                        r.object_id
+                    );
+                }
+            }
+        }
+    }
 }
