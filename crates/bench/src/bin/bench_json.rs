@@ -46,7 +46,7 @@ use mach_vm::kernel::Kernel;
 use mach_vm::types::Protection;
 use mach_vm::VmStats;
 
-const SCHEMA: &str = "mach-vm-bench-v3";
+const SCHEMA: &str = "mach-vm-bench-v4";
 const ALL_PORTS: [&str; 5] = ["vax", "romp", "sun3", "ns32082", "tlbsoft"];
 const ALL_CPUS: [usize; 4] = [1, 2, 4, 8];
 const WORKLOADS: [&str; 11] = [
@@ -353,12 +353,6 @@ fn setup(
                 {
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
-                for i in 0..fleet.pagers() {
-                    let cap = fleet.queue_capacity(i);
-                    let (throttles, depth) = fleet.burst_probe(i, 2 * cap);
-                    assert_eq!(depth, cap, "paused queue saturates at capacity");
-                    assert_eq!(throttles as usize, cap, "every overflow throttles");
-                }
                 time
             })
         }
@@ -615,21 +609,45 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
     kernel.enable_tracing(65_536);
     kernel.enable_profiling();
     kernel.enable_health();
+    kernel.enable_lock_stats();
     let base = kernel.statistics();
     let md0 = kernel.machdep().stats();
     let tlb_flushed =
         |m: &Machine| -> u64 { (0..m.n_cpus()).map(|i| m.cpu(i).tlb_stats().flushed).sum() };
     let tlb0 = tlb_flushed(&machine);
     let time = body();
+    // Quiet-point burst probe (fleet rows only, after the drained body):
+    // pause each service and oversubscribe its queue so the backpressure
+    // gauges are exact, and keep the modeled overflow queue_wait for the
+    // per-pager rows — gate 8 holds it to the throttle counter. Runs
+    // before the stats delta is read so the probe's throttles are in the
+    // row it gates.
+    let probes: Vec<mach_vm::BurstProbe> = if workload == "pager_fleet" {
+        let fleet = kernel.fleet().expect("pager_fleet boots with a fleet");
+        (0..fleet.pagers())
+            .map(|i| {
+                let cap = fleet.queue_capacity(i);
+                let probe = fleet.burst_probe(i, 2 * cap);
+                assert_eq!(probe.depth, cap, "paused queue saturates at capacity");
+                assert_eq!(probe.throttles as usize, cap, "every overflow throttles");
+                probe
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let stats = kernel.statistics().delta(&base);
     let md = kernel.machdep().stats();
     let tlb1 = tlb_flushed(&machine);
     let log = kernel.trace_log();
     let profile = kernel.profile_report();
     let health = kernel.health_report();
+    let lock_report = kernel.lock_report();
     kernel.disable_tracing();
     kernel.disable_profiling();
     kernel.disable_health();
+    kernel.disable_lock_stats();
+    let chains = log.causal_breakdowns();
 
     let lat = log.latency_histogram();
     let latency = Json::obj(vec![
@@ -695,6 +713,54 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
         ),
     ]);
 
+    // The causal decomposition rollup (schema v4): complete
+    // enqueue→wake chains from the trace, with the component sums in
+    // simulated cycles. Gate 7 holds queue_wait inside the profiler's
+    // pager_wait span.
+    let causal_json = Json::obj(vec![
+        ("chains", Json::UInt(chains.len() as u64)),
+        (
+            "queue_wait_cycles",
+            Json::UInt(chains.iter().map(|c| c.queue_wait).sum()),
+        ),
+        (
+            "service_cycles",
+            Json::UInt(chains.iter().map(|c| c.service_time).sum()),
+        ),
+        (
+            "transport_cycles",
+            Json::UInt(chains.iter().map(|c| c.transport).sum()),
+        ),
+        (
+            "wake_cycles",
+            Json::UInt(chains.iter().map(|c| c.wake).sum()),
+        ),
+    ]);
+
+    // Top-contended lock sites (schema v4): the observatory's counters
+    // for the busiest sharded-layer locks, most-contended first. Wall
+    // (host) nanosecond histograms stay out of the row — they are not
+    // deterministic under regeneration; counts are, on 1-CPU rows.
+    let mut sites: Vec<_> = lock_report.iter().filter(|s| s.acquisitions > 0).collect();
+    sites.sort_by(|a, b| {
+        (b.contended, b.acquisitions, a.site.rank()).cmp(&(
+            a.contended,
+            a.acquisitions,
+            b.site.rank(),
+        ))
+    });
+    let locks_json: Vec<Json> = sites
+        .iter()
+        .take(3)
+        .map(|s| {
+            Json::obj(vec![
+                ("site", Json::Str(s.site.name().to_string())),
+                ("acquisitions", Json::UInt(s.acquisitions)),
+                ("contended", Json::UInt(s.contended)),
+            ])
+        })
+        .collect();
+
     let mut fields = vec![
         ("workload", Json::Str(workload.to_string())),
         ("port", Json::Str(port.to_string())),
@@ -706,6 +772,8 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
         ("profile", Json::Arr(rows)),
         ("pmap", pmap_json),
         ("health", health_json),
+        ("causal", causal_json),
+        ("locks", Json::Arr(locks_json)),
     ];
     // Per-pager queue-depth gauges when the kernel runs a pager service
     // fleet. Pagers are reported by index, not raw port id: port ids come
@@ -715,14 +783,39 @@ fn run_one(workload: &str, port: &str, cpus: usize) -> Json {
     if let Some(fleet) = kernel.fleet() {
         let pagers: Vec<Json> = (0..fleet.pagers())
             .map(|i| {
-                Json::obj(vec![
+                // Queue-wait percentiles (schema v4) come off the causal
+                // chains attributed to this service's port, in simulated
+                // cycles. Zero on every row whose queue never overflowed
+                // — queue_wait is charged only on a throttled enqueue.
+                let port = fleet.port_id_of(i);
+                let mut qw: Vec<u64> = chains
+                    .iter()
+                    .filter(|c| c.pager == port)
+                    .map(|c| c.queue_wait)
+                    .collect();
+                qw.sort_unstable();
+                let pct = |f: f64| -> u64 {
+                    if qw.is_empty() {
+                        0
+                    } else {
+                        qw[((qw.len() - 1) as f64 * f) as usize]
+                    }
+                };
+                let mut row = vec![
                     ("pager", Json::UInt(i as u64)),
                     ("live", Json::UInt(u64::from(fleet.is_live(i)))),
                     ("queue_capacity", Json::UInt(fleet.queue_capacity(i) as u64)),
                     ("queue_depth", Json::UInt(fleet.depth(i) as u64)),
                     ("queue_depth_hwm", Json::UInt(fleet.depth_hwm(i))),
                     ("served", Json::UInt(fleet.served(i))),
-                ])
+                    ("queue_wait_p50", Json::UInt(pct(0.50))),
+                    ("queue_wait_p95", Json::UInt(pct(0.95))),
+                ];
+                if let Some(p) = probes.get(i) {
+                    row.push(("probe_throttles", Json::UInt(p.throttles)));
+                    row.push(("probe_queue_wait_us", Json::UInt(p.queue_wait_us)));
+                }
+                Json::obj(row)
             })
             .collect();
         fields.push(("pager_fleet", Json::Arr(pagers)));
@@ -837,6 +930,13 @@ fn parse_args() -> Cli {
     cli
 }
 
+/// Format one `--check` gate failure. Every gate goes through this so
+/// each message leads with the offending (workload, port, cpus) row in
+/// one greppable shape.
+fn gate_failure(workload: &str, port: &str, cpus: u64, msg: &str) -> String {
+    format!("{workload}/{port}/{cpus} cpus: {msg}")
+}
+
 /// Compare fresh runs against a committed baseline; returns regression
 /// descriptions (empty = pass). Four gates:
 ///
@@ -863,6 +963,16 @@ fn parse_args() -> Cli {
 ///    depth and its high-water mark at or below the queue capacity — and
 ///    every pager must still be live (the bench workload applies
 ///    pressure, not chaos).
+/// 7. **Causal nesting** (self-gating): each row's summed causal
+///    `queue_wait_cycles` must fit inside the profiler's `pager_wait`
+///    span total — queue wait is by construction a *component* of the
+///    pager wait, so a row where it exceeds the span means the
+///    decomposition and the profiler disagree about the same interval.
+/// 8. **Probe backpressure pricing** (self-gating): on `pager_fleet`
+///    rows the burst probe's modeled `queue_wait_us` must be non-zero
+///    exactly when it counted throttles, and any probe throttle must
+///    show up in the row's `pager_throttles` stat — overflow is priced
+///    iff it happened.
 fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
     let key = |r: &Json| {
         (
@@ -895,15 +1005,17 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
         let base_us = base.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0);
         let limit = (base_us as f64 * (1.0 + REGRESSION_FRAC)).ceil() as u64;
         if cur_us > limit {
-            out.push(format!(
-                "{}/{}/{} cpus: elapsed {} us > {} us (baseline {} us +{:.0}%)",
-                k.0,
-                k.1,
+            out.push(gate_failure(
+                &k.0,
+                &k.1,
                 k.2,
-                cur_us,
-                limit,
-                base_us,
-                REGRESSION_FRAC * 100.0
+                &format!(
+                    "elapsed {} us > {} us (baseline {} us +{:.0}%)",
+                    cur_us,
+                    limit,
+                    base_us,
+                    REGRESSION_FRAC * 100.0
+                ),
             ));
         }
     }
@@ -927,15 +1039,17 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             .unwrap_or(0);
         let floor = (base_gain as f64 * SCALING_FLOOR_FRAC).floor() as u64;
         if cur < floor {
-            out.push(format!(
-                "{}/{}/{} cpus: scaling gain {}‰ < floor {}‰ (baseline {}‰ × {:.0}%)",
-                k.0,
-                k.1,
+            out.push(gate_failure(
+                &k.0,
+                &k.1,
                 k.2,
-                cur,
-                floor,
-                base_gain,
-                SCALING_FLOOR_FRAC * 100.0
+                &format!(
+                    "scaling gain {}‰ < floor {}‰ (baseline {}‰ × {:.0}%)",
+                    cur,
+                    floor,
+                    base_gain,
+                    SCALING_FLOOR_FRAC * 100.0
+                ),
             ));
         }
     }
@@ -984,9 +1098,14 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             .unwrap_or(0);
         if depth > FLEET_MAX_SHADOW_DEPTH_P95 {
             let k = key(run);
-            out.push(format!(
-                "{}/{}/{} cpus: shadow_depth_p95 {} > {} (chain compaction not keeping up)",
-                k.0, k.1, k.2, depth, FLEET_MAX_SHADOW_DEPTH_P95
+            out.push(gate_failure(
+                &k.0,
+                &k.1,
+                k.2,
+                &format!(
+                    "shadow_depth_p95 {depth} > {FLEET_MAX_SHADOW_DEPTH_P95} \
+                     (chain compaction not keeping up)"
+                ),
             ));
         }
     }
@@ -1024,21 +1143,113 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             let g = |f: &str| p.get(f).and_then(Json::as_u64).unwrap_or(u64::MAX);
             let (idx, cap) = (g("pager"), g("queue_capacity"));
             if g("queue_depth") > cap || g("queue_depth_hwm") > cap {
-                out.push(format!(
-                    "{}/{}/{} cpus: pager {idx} queue depth {}/hwm {} exceeds capacity {cap}",
-                    k.0,
-                    k.1,
+                out.push(gate_failure(
+                    &k.0,
+                    &k.1,
                     k.2,
-                    g("queue_depth"),
-                    g("queue_depth_hwm")
+                    &format!(
+                        "pager {idx} queue depth {}/hwm {} exceeds capacity {cap}",
+                        g("queue_depth"),
+                        g("queue_depth_hwm")
+                    ),
                 ));
             }
             if g("live") != 1 {
-                out.push(format!(
-                    "{}/{}/{} cpus: pager {idx} died under a chaos-free bench workload",
-                    k.0, k.1, k.2
+                out.push(gate_failure(
+                    &k.0,
+                    &k.1,
+                    k.2,
+                    &format!("pager {idx} died under a chaos-free bench workload"),
                 ));
             }
+        }
+    }
+    // Gate 7: the causal queue_wait sum nests inside the pager_wait span.
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        let Some(causal) = run.get("causal") else {
+            continue;
+        };
+        let qw = causal
+            .get("queue_wait_cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if qw == 0 {
+            continue;
+        }
+        // The span nests wherever the fault path entered it (e.g.
+        // `fault/shadow_walk/pager_wait`), so sum every pager_wait leaf.
+        let pager_wait: u64 = run
+            .get("profile")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty)
+            .iter()
+            .filter(|r| {
+                r.get("path")
+                    .and_then(Json::as_str)
+                    .is_some_and(|p| p == "pager_wait" || p.ends_with("/pager_wait"))
+            })
+            .filter_map(|r| r.get("total_cycles").and_then(Json::as_u64))
+            .sum();
+        if qw > pager_wait {
+            let k = key(run);
+            out.push(gate_failure(
+                &k.0,
+                &k.1,
+                k.2,
+                &format!(
+                    "causal queue_wait {qw} cycles exceeds the pager_wait span total \
+                     {pager_wait} — the decomposition does not nest in the span it explains"
+                ),
+            ));
+        }
+    }
+    // Gate 8: the burst probe prices overflow iff it observed overflow.
+    for run in current.get("runs").and_then(Json::as_arr).unwrap_or(&empty) {
+        if run.get("workload").and_then(Json::as_str) != Some("pager_fleet") {
+            continue;
+        }
+        let k = key(run);
+        let throttle_stat = run
+            .get("stats")
+            .and_then(|s| s.get("pager_throttles"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let mut probe_throttles = 0u64;
+        for p in run
+            .get("pager_fleet")
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty)
+        {
+            let (Some(t), Some(qw)) = (
+                p.get("probe_throttles").and_then(Json::as_u64),
+                p.get("probe_queue_wait_us").and_then(Json::as_u64),
+            ) else {
+                continue;
+            };
+            probe_throttles += t;
+            let idx = p.get("pager").and_then(Json::as_u64).unwrap_or(u64::MAX);
+            if (qw > 0) != (t > 0) {
+                out.push(gate_failure(
+                    &k.0,
+                    &k.1,
+                    k.2,
+                    &format!(
+                        "pager {idx} probe queue_wait {qw} us with {t} throttles — \
+                         overflow must be priced exactly when it happens"
+                    ),
+                ));
+            }
+        }
+        if probe_throttles > 0 && throttle_stat == 0 {
+            out.push(gate_failure(
+                &k.0,
+                &k.1,
+                k.2,
+                &format!(
+                    "burst probe counted {probe_throttles} throttles but the row's \
+                     pager_throttles stat is 0"
+                ),
+            ));
         }
     }
     let mut reference: Vec<(String, Vec<(String, u64)>, (String, String, u64))> = Vec::new();
@@ -1063,9 +1274,11 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
                     ];
                     for ((name, got), (_, pinned)) in obs.iter().zip(want.iter()) {
                         if got != pinned {
-                            out.push(format!(
-                                "{}/{}/{} cpus: {name} {got} != pinned expectation {pinned}",
-                                k.0, k.1, k.2
+                            out.push(gate_failure(
+                                &k.0,
+                                &k.1,
+                                k.2,
+                                &format!("{name} {got} != pinned expectation {pinned}"),
                             ));
                         }
                     }
@@ -1075,10 +1288,15 @@ fn check_regressions(current: &Json, baseline: &Json) -> Vec<String> {
             Some((_, want, first_k)) => {
                 for ((name, got), (_, expect)) in obs.iter().zip(want.iter()) {
                     if got != expect {
-                        out.push(format!(
-                            "{}/{}/{} cpus: {name} {got} diverges from {}/{} cpus ({expect}) — \
-                             machine-independent observable differs across ports",
-                            k.0, k.1, k.2, first_k.1, first_k.2
+                        out.push(gate_failure(
+                            &k.0,
+                            &k.1,
+                            k.2,
+                            &format!(
+                                "{name} {got} diverges from {}/{} cpus ({expect}) — \
+                                 machine-independent observable differs across ports",
+                                first_k.1, first_k.2
+                            ),
                         ));
                     }
                 }
@@ -1135,4 +1353,40 @@ fn main() -> ExitCode {
         eprintln!("no regressions vs {baseline_path}");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_failure_leads_with_the_offending_row() {
+        let m = gate_failure("pager_fleet", "vax", 4, "queue depth 9 exceeds capacity 6");
+        assert_eq!(
+            m,
+            "pager_fleet/vax/4 cpus: queue depth 9 exceeds capacity 6"
+        );
+    }
+
+    #[test]
+    fn probe_pricing_gate_names_workload_port_and_cpus() {
+        // A pager_fleet row whose probe counted throttles but priced no
+        // queue wait: gate 8 must fire, and the message must lead with
+        // the offending workload/port/cpus triple.
+        let doc = json::parse(
+            r#"{"runs":[{"workload":"pager_fleet","port":"romp","cpus":2,
+                "stats":{"pager_throttles":0},
+                "pager_fleet":[{"pager":0,"live":1,"queue_capacity":6,
+                    "queue_depth":0,"queue_depth_hwm":6,
+                    "probe_throttles":6,"probe_queue_wait_us":0}]}]}"#,
+        )
+        .unwrap();
+        let empty = json::parse("{}").unwrap();
+        let msgs = check_regressions(&doc, &empty);
+        assert!(
+            msgs.iter()
+                .any(|m| m.starts_with("pager_fleet/romp/2 cpus:") && m.contains("pager 0")),
+            "expected a row-scoped probe-pricing failure, got {msgs:?}"
+        );
+    }
 }

@@ -1,0 +1,109 @@
+//! CI gate for the Perfetto exporter: the same (seeded, single-CPU)
+//! workload captured twice must render to **byte-identical** Chrome-trace
+//! JSON, and that JSON must actually parse as a trace-event document —
+//! valid enough for `chrome://tracing` / ui.perfetto.dev, checked with
+//! the bench crate's own hand-rolled parser (`mach_bench::json`).
+
+use mach_bench::json::{self, Json};
+use mach_hw::machine::{Machine, MachineModel};
+use mach_vm::kernel::{BootOptions, Kernel};
+use mach_vm::{chrome_trace_json, FleetOptions};
+
+/// One deterministic fleet workload: dirty → evict → refault on a single
+/// simulated CPU, exported as Chrome-trace JSON. Everything that reaches
+/// the trace ring is driven by the simulated clock, so two runs produce
+/// identical logs and therefore identical bytes.
+fn export_once() -> String {
+    let mut model = MachineModel::micro_vax_ii();
+    model.mem_bytes = 2 << 20;
+    let machine = Machine::boot(model);
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.pager_fleet = Some(FleetOptions {
+        pagers: 3,
+        queue_capacity: 8,
+    });
+    let kernel = Kernel::boot_with(&machine, opts);
+    let ps = kernel.page_size();
+    kernel.enable_tracing(65_536);
+    let tasks: Vec<_> = (0..3)
+        .map(|_| {
+            let t = kernel.create_task();
+            let addr = t.map().allocate(kernel.ctx(), None, 16 * ps, true).unwrap();
+            t.user(0, |u| u.dirty_range(addr, 16 * ps).unwrap());
+            (t, addr)
+        })
+        .collect();
+    while kernel.reclaim(32) > 0 {}
+    for (t, addr) in &tasks {
+        t.user(0, |u| {
+            for p in 0..16u64 {
+                u.read_u32(addr + p * ps).unwrap();
+            }
+        });
+    }
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+    assert!(
+        !log.causal_breakdowns().is_empty(),
+        "the workload leaves causal chains to export"
+    );
+    chrome_trace_json(&log)
+}
+
+#[test]
+fn export_is_byte_identical_across_regenerations() {
+    let a = export_once();
+    let b = export_once();
+    assert_eq!(a.len(), b.len(), "regenerated export changed size");
+    assert!(a == b, "regenerated export is not byte-identical");
+}
+
+#[test]
+fn export_is_valid_chrome_trace_json() {
+    let text = export_once();
+    let doc = json::parse(&text).expect("export must parse as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut flows = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event phase");
+        assert!(
+            matches!(ph, "X" | "M" | "s" | "f"),
+            "unexpected phase {ph:?}"
+        );
+        for field in ["pid", "tid", "ts"] {
+            assert!(
+                e.get(field).and_then(Json::as_u64).is_some(),
+                "event missing {field}: {e:?}"
+            );
+        }
+        match ph {
+            "X" => {
+                assert!(e.get("dur").and_then(Json::as_u64).is_some());
+            }
+            "s" | "f" => {
+                assert!(e.get("id").and_then(Json::as_u64).is_some());
+                flows += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(flows > 0, "causal flow arrows exported");
+    // The two named processes are present.
+    for name in ["kernel CPUs", "pager services"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some(name)
+            }),
+            "missing process_name metadata {name:?}"
+        );
+    }
+    // Every pager-track slice carries one of the four decomposition names.
+    assert!(text.contains("\"queue_wait\"") && text.contains("\"service\""));
+}

@@ -227,6 +227,9 @@ pub fn vm_fault(
         // The object is unknown at entry; the offset field carries the VA.
         ctx.trace_emit(task, 0, va, TraceEvent::FaultBegin { fault_id });
     }
+    // Everything this thread does until the fault ends — in particular
+    // the pager transports — attributes to this fault's causal id.
+    let _causal = crate::trace::causal_scope(fault_id);
     // Opened right after the FaultBegin emit and dropped right after the
     // FaultEnd emit, with no cycles charged in between on either side: the
     // span's total therefore equals the trace pair's latency *exactly*
@@ -320,6 +323,7 @@ fn fault_body(
                         TraceEvent::PagerRequest {
                             msg: PagerMsg::DataUnlock,
                             pager: p.port_id(first.id()),
+                            causal: crate::trace::current_causal(),
                         },
                     );
                 }
@@ -402,6 +406,7 @@ fn fault_body(
                     TraceEvent::PagerRequest {
                         msg: PagerMsg::DataRequest,
                         pager: pager.port_id(obj.id()),
+                        causal: crate::trace::current_causal(),
                     },
                 );
                 // Transient backing-store errors get a short bounded retry
@@ -431,6 +436,7 @@ fn fault_body(
                             TraceEvent::PagerReply {
                                 msg: PagerMsg::DataProvided,
                                 pager: pager.port_id(obj.id()),
+                                causal: crate::trace::current_causal(),
                             },
                         );
                         {
@@ -449,6 +455,7 @@ fn fault_body(
                             TraceEvent::PagerReply {
                                 msg: PagerMsg::DataUnavailable,
                                 pager: pager.port_id(obj.id()),
+                                causal: crate::trace::current_causal(),
                             },
                         );
                         {

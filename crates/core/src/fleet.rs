@@ -43,8 +43,10 @@ use mach_hw::machine::Machine;
 use mach_ipc::{IpcError, Message, MsgField, Port, ReceiveRight, SendRight};
 use parking_lot::Mutex;
 
+use crate::lockstat::{LockSite, LockStats};
 use crate::pager::{Pager, PagerReply};
 use crate::stats::VmStatsAtomic;
+use crate::trace::{CausalPhase, TraceEvent, TraceSink};
 use crate::types::{VmError, VmResult};
 use crate::xpager::ops;
 
@@ -102,6 +104,8 @@ pub struct PagerFleet {
     bindings: Mutex<HashMap<u64, usize>>,
     next_bind: AtomicUsize,
     stats: Arc<VmStatsAtomic>,
+    trace: Arc<TraceSink>,
+    locks: Arc<LockStats>,
     pager_timeout: Duration,
 }
 
@@ -124,6 +128,8 @@ impl PagerFleet {
         machine: &Arc<Machine>,
         opts: FleetOptions,
         stats: Arc<VmStatsAtomic>,
+        trace: Arc<TraceSink>,
+        locks: Arc<LockStats>,
         pager_timeout: Duration,
     ) -> Arc<PagerFleet> {
         let n = opts.pagers.max(1);
@@ -159,6 +165,8 @@ impl PagerFleet {
             bindings: Mutex::new(HashMap::new()),
             next_bind: AtomicUsize::new(0),
             stats,
+            trace,
+            locks,
             pager_timeout,
         })
     }
@@ -225,7 +233,10 @@ impl PagerFleet {
     /// Which service `object_id` is currently bound to, if any. Test and
     /// gauge introspection; does not create a binding.
     pub fn binding(&self, object_id: u64) -> Option<usize> {
-        self.bindings.lock().get(&object_id).copied()
+        self.locks
+            .lock(LockSite::FleetBindings, &self.bindings)
+            .get(&object_id)
+            .copied()
     }
 
     /// Kill service `idx`: the thread exits, its port dies, and every
@@ -247,7 +258,7 @@ impl PagerFleet {
             let _ = h.join(); // bounded: the loop polls every 10 ms
         }
         // Eager sweep: re-home everything the dead service was serving.
-        let mut bindings = self.bindings.lock();
+        let mut bindings = self.locks.lock(LockSite::FleetBindings, &self.bindings);
         let orphans: Vec<u64> = bindings
             .iter()
             .filter(|&(_, &s)| s == idx)
@@ -263,12 +274,11 @@ impl PagerFleet {
 
     /// Deterministic backpressure probe for the bench gauges: pause
     /// service `idx` (so nothing drains), `try_send` `n` probe requests,
-    /// and report `(throttles, peak queue depth)` — with the service
-    /// parked these are exact: depth saturates at the queue capacity and
-    /// every overflow is a throttle. Throttles are also counted in the
-    /// kernel stats. The service is resumed and the probe drained before
-    /// returning.
-    pub fn burst_probe(&self, idx: usize, n: usize) -> (u64, usize) {
+    /// and report what happened — with the service parked the counts are
+    /// exact: depth saturates at the queue capacity and every overflow is
+    /// a throttle. Throttles are also counted in the kernel stats. The
+    /// service is resumed and the probe drained before returning.
+    pub fn burst_probe(&self, idx: usize, n: usize) -> BurstProbe {
         let svc = &self.services[idx];
         svc.pause.store(true, Ordering::Release);
         while !svc.parked.load(Ordering::Acquire) && !svc.kill.load(Ordering::Acquire) {
@@ -304,7 +314,17 @@ impl PagerFleet {
         while svc.tx.queued() > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(1));
         }
-        (throttles, depth)
+        // The wait each throttle *would* charge a faulting thread (the
+        // client's model: a full queue of one-page requests ahead of it)
+        // — computed rather than charged, the probe must not move the
+        // simulated clock.
+        let disk = self.machine.disk();
+        let one_page = disk.io_us(4096u64.div_ceil(disk.block_size).max(1));
+        BurstProbe {
+            throttles,
+            depth,
+            queue_wait_us: throttles * svc.tx.capacity() as u64 * one_page,
+        }
     }
 
     /// Next live service in round-robin order, or `None` when the whole
@@ -324,7 +344,7 @@ impl PagerFleet {
     /// else bind/re-bind to a live service. A re-bind of a dead binding
     /// is counted; a first bind is not.
     fn binding_for(&self, object_id: u64) -> Option<usize> {
-        let mut b = self.bindings.lock();
+        let mut b = self.locks.lock(LockSite::FleetBindings, &self.bindings);
         match b.get(&object_id) {
             Some(&i) if !self.services[i].kill.load(Ordering::Acquire) => Some(i),
             Some(_dead) => {
@@ -350,6 +370,57 @@ impl PagerFleet {
         let blocks = bytes.div_ceil(disk.block_size).max(1);
         self.machine.charge_wait_us(disk.io_us(blocks));
     }
+
+    /// Modeled queue wait for a send that throttled: a full queue —
+    /// `capacity` requests of this size — had to drain ahead of it.
+    /// Charged *only* on the throttled path so a non-saturated run stays
+    /// cycle-identical to the in-process pager (conformance transparency
+    /// above): un-throttled sends charge nothing here.
+    fn charge_queue_wait(&self, capacity: usize, bytes: u64) {
+        let disk = self.machine.disk();
+        let blocks = bytes.div_ceil(disk.block_size).max(1);
+        self.machine
+            .charge_wait_us(capacity as u64 * disk.io_us(blocks));
+    }
+
+    /// One causal boundary stamp ([`CausalPhase`]) on the calling CPU's
+    /// simulated clock.
+    fn chain(
+        &self,
+        causal: u64,
+        pager: u64,
+        object: u64,
+        offset: u64,
+        phase: CausalPhase,
+        depth: u64,
+    ) {
+        self.trace.emit(
+            &self.machine,
+            0,
+            object,
+            offset,
+            TraceEvent::PagerChain {
+                phase,
+                causal,
+                pager,
+                depth,
+            },
+        );
+    }
+}
+
+/// What one [`PagerFleet::burst_probe`] run observed.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstProbe {
+    /// Sends that overflowed the paused queue (each also counted in
+    /// [`VmStatsAtomic::pager_throttles`]).
+    pub throttles: u64,
+    /// Peak queue depth — saturates at the queue capacity.
+    pub depth: usize,
+    /// Modeled queue wait the throttles correspond to, in microseconds
+    /// of simulated disk time (`throttles × capacity × one-page I/O`).
+    /// Non-zero exactly when `throttles > 0`.
+    pub queue_wait_us: u64,
 }
 
 impl Drop for PagerFleet {
@@ -394,6 +465,14 @@ fn service_loop(rx: ReceiveRight, svc: &Service, store: &FleetStore) {
                 let reply = msg.port(1);
                 let offset = msg.u64(2);
                 let length = msg.u64(3);
+                // Echo the optional trailing causal id (field 5) so the
+                // reply attributes to the originating fault, exactly as a
+                // conformant user-state pager would.
+                let causal = if msg.fields().len() > 5 {
+                    msg.u64(5)
+                } else {
+                    0
+                };
                 let page = store.lock().get(&(object_id, offset)).cloned();
                 // Replies are best-effort: the client may have timed out
                 // (or a probe never listened) and dropped the reply port.
@@ -402,12 +481,14 @@ fn service_loop(rx: ReceiveRight, svc: &Service, store: &FleetStore) {
                         Message::new(ops::PAGER_DATA_PROVIDED)
                             .with(MsgField::U64(offset))
                             .with(MsgField::Bytes(Arc::new(data)))
-                            .with(MsgField::U64(0)),
+                            .with(MsgField::U64(0))
+                            .with(MsgField::U64(causal)),
                     ),
                     None => reply.send(
                         Message::new(ops::PAGER_DATA_UNAVAILABLE)
                             .with(MsgField::U64(offset))
-                            .with(MsgField::U64(length)),
+                            .with(MsgField::U64(length))
+                            .with(MsgField::U64(causal)),
                     ),
                 };
             }
@@ -450,19 +531,20 @@ impl fmt::Debug for FleetClient {
 
 impl FleetClient {
     /// Send via `try_send` first so a full queue is observed (and
-    /// counted) before blocking on it. `true` once enqueued; `false` when
-    /// the port died (caller re-binds).
-    fn send_throttled(&self, svc: &Service, mk: impl Fn() -> Message) -> bool {
+    /// counted) before blocking on it. `Some(throttled)` once enqueued —
+    /// `throttled` says whether the queue was full and the send had to
+    /// block; `None` when the port died (caller re-binds).
+    fn send_throttled(&self, svc: &Service, mk: impl Fn() -> Message) -> Option<bool> {
         match svc.tx.try_send(mk()) {
-            Ok(()) => true,
+            Ok(()) => Some(false),
             Err(IpcError::WouldBlock) => {
                 self.fleet
                     .stats
                     .pager_throttles
                     .fetch_add(1, Ordering::Relaxed);
-                svc.tx.send(mk()).is_ok()
+                svc.tx.send(mk()).is_ok().then_some(true)
             }
-            Err(IpcError::DeadPort) => false,
+            Err(IpcError::DeadPort) => None,
         }
     }
 }
@@ -474,15 +556,25 @@ const REPLY_POLL: Duration = Duration::from_millis(1);
 impl Pager for FleetClient {
     fn data_request(&self, object_id: u64, offset: u64, length: u64) -> PagerReply {
         let f = &self.fleet;
+        // The faulting thread's causal id: every boundary stamp below
+        // joins the fault's `pager_wait` span into queue/service/
+        // transport/wake components. 0 (→ no stamps) when tracing is off.
+        let causal = crate::trace::current_causal();
         // The calling CPU is quiescent for the RPC, exactly as the fault
         // path treats an external pager wait.
         let _q = f.machine.kernel_block();
         let deadline = Instant::now() + f.pager_timeout;
+        // Boundary stamps and the queue-wait charge are confined to the
+        // first attempt: a failover re-send neither double-charges nor
+        // re-opens the chain (its chain stays incomplete and analyzers
+        // drop it — failover latency is not a steady-state decomposition).
+        let mut first_attempt = true;
         loop {
             let Some(idx) = f.binding_for(object_id) else {
                 return PagerReply::Error(VmError::PagerDied); // whole fleet dead
             };
             let svc = &f.services[idx];
+            let pager = svc.tx.id();
             let (reply_tx, reply_rx) = Port::allocate("pager-fleet-reply", 2);
             let mk = || {
                 Message::new(ops::PAGER_DATA_REQUEST)
@@ -493,18 +585,60 @@ impl Pager for FleetClient {
                     .with(MsgField::U64(u64::from(
                         crate::types::Protection::READ.bits(),
                     )))
+                    .with(MsgField::U64(causal))
             };
-            if self.send_throttled(svc, mk) {
+            // Enqueue is stamped before the send so a throttled send's
+            // wait lands between Enqueue and Dequeue. Nothing charges
+            // cycles between the `pager_wait` span opening and this stamp,
+            // so Enqueue == span open — the exactness anchor.
+            if first_attempt && causal != 0 {
+                f.chain(causal, pager, object_id, offset, CausalPhase::Enqueue, 0);
+            }
+            let sent = self.send_throttled(svc, mk);
+            if let Some(throttled) = sent {
+                if first_attempt {
+                    let mut depth = 0u64;
+                    if throttled {
+                        // Modeled depth at enqueue time: the queue was
+                        // full, i.e. `capacity` requests ahead of us.
+                        depth = svc.tx.capacity() as u64;
+                        f.charge_queue_wait(svc.tx.capacity(), length);
+                    }
+                    if causal != 0 {
+                        f.chain(
+                            causal,
+                            pager,
+                            object_id,
+                            offset,
+                            CausalPhase::Dequeue,
+                            depth,
+                        );
+                    }
+                }
+                first_attempt = false;
                 loop {
                     if let Some(reply) = reply_rx.receive_timeout(REPLY_POLL) {
-                        return match reply.op() {
+                        let result = match reply.op() {
                             ops::PAGER_DATA_PROVIDED => {
                                 let data = reply.bytes(1).as_ref().clone();
+                                // The service's I/O — everything between
+                                // Dequeue and Served is service time.
                                 f.charge_io(data.len() as u64);
                                 PagerReply::Data(data)
                             }
                             _ => PagerReply::Unavailable,
                         };
+                        if causal != 0 {
+                            // The reply transport and the faulter wakeup
+                            // are free in the simulated-cycle model (the
+                            // CPU is quiescent; wall-clock waits do not
+                            // advance its clock), so these stamps pin
+                            // transport and wake to exactly 0 cycles.
+                            f.chain(causal, pager, object_id, offset, CausalPhase::Served, 0);
+                            f.chain(causal, pager, object_id, offset, CausalPhase::Delivered, 0);
+                            f.chain(causal, pager, object_id, offset, CausalPhase::Wake, 0);
+                        }
+                        return result;
                     }
                     if svc.kill.load(Ordering::Acquire) {
                         break; // failover: re-bind and re-send
@@ -513,6 +647,8 @@ impl Pager for FleetClient {
                         return PagerReply::Error(VmError::PagerDied);
                     }
                 }
+            } else {
+                first_attempt = false;
             }
             if Instant::now() >= deadline {
                 return PagerReply::Error(VmError::PagerDied);
@@ -539,7 +675,7 @@ impl Pager for FleetClient {
                     .with(MsgField::Bytes(Arc::clone(&payload)))
                     .with(MsgField::Port(reply_tx.clone()))
             };
-            if self.send_throttled(svc, mk) {
+            if self.send_throttled(svc, mk).is_some() {
                 loop {
                     if reply_rx.receive_timeout(REPLY_POLL).is_some() {
                         return Ok(()); // acknowledged: durably in the store
@@ -571,7 +707,9 @@ impl Pager for FleetClient {
             // No live service to do it: reclaim the backing store here.
             f.store.lock().retain(|&(oid, _), _| oid != object_id);
         }
-        f.bindings.lock().remove(&object_id);
+        f.locks
+            .lock(LockSite::FleetBindings, &f.bindings)
+            .remove(&object_id);
     }
 
     fn port_id(&self, object_id: u64) -> u64 {
@@ -591,6 +729,7 @@ mod tests {
 
     fn fleet(pagers: usize, capacity: usize) -> Arc<PagerFleet> {
         let machine = Machine::boot(MachineModel::vax_8200());
+        let trace = Arc::new(TraceSink::new(machine.n_cpus()));
         PagerFleet::spawn(
             &machine,
             FleetOptions {
@@ -598,6 +737,8 @@ mod tests {
                 queue_capacity: capacity,
             },
             Arc::new(VmStatsAtomic::default()),
+            trace,
+            Arc::new(LockStats::new()),
             Duration::from_secs(5),
         )
     }
@@ -657,6 +798,8 @@ mod tests {
                 queue_capacity: 4,
             },
             Arc::clone(&stats),
+            Arc::new(TraceSink::new(machine.n_cpus())),
+            Arc::new(LockStats::new()),
             Duration::from_secs(5),
         );
         let client = f.client();
@@ -717,12 +860,18 @@ mod tests {
                 queue_capacity: 4,
             },
             Arc::clone(&stats),
+            Arc::new(TraceSink::new(machine.n_cpus())),
+            Arc::new(LockStats::new()),
             Duration::from_secs(5),
         );
-        let (throttles, depth) = f.burst_probe(0, 10);
-        assert_eq!(depth, 4, "paused queue saturates at capacity");
-        assert_eq!(throttles, 6, "every overflow past capacity throttles");
+        let probe = f.burst_probe(0, 10);
+        assert_eq!(probe.depth, 4, "paused queue saturates at capacity");
+        assert_eq!(probe.throttles, 6, "every overflow past capacity throttles");
         assert_eq!(stats.pager_throttles.load(Ordering::Relaxed), 6);
+        // The modeled wait is exact: throttles × capacity × one-page I/O.
+        let disk = machine.disk();
+        let one_page = disk.io_us(4096u64.div_ceil(disk.block_size).max(1));
+        assert_eq!(probe.queue_wait_us, 6 * 4 * one_page);
         // Resumed service drained the probe traffic.
         assert_eq!(f.depth(0), 0);
         assert!(f.depth_hwm(0) >= 1);
@@ -733,5 +882,40 @@ mod tests {
             client.data_request(5, 0, 32),
             PagerReply::Data(d) if d == vec![9u8; 32]
         ));
+    }
+
+    #[test]
+    fn traced_request_leaves_a_complete_causal_chain() {
+        let machine = Machine::boot(MachineModel::vax_8200());
+        let trace = Arc::new(TraceSink::new(machine.n_cpus()));
+        let f = PagerFleet::spawn(
+            &machine,
+            FleetOptions {
+                pagers: 2,
+                queue_capacity: 4,
+            },
+            Arc::new(VmStatsAtomic::default()),
+            Arc::clone(&trace),
+            Arc::new(LockStats::new()),
+            Duration::from_secs(5),
+        );
+        let client = f.client();
+        client.data_write(1, 0, vec![3u8; 4096]).unwrap();
+        trace.enable(1024);
+        let _scope = crate::trace::causal_scope(42);
+        assert!(matches!(
+            client.data_request(1, 0, 4096),
+            PagerReply::Data(_)
+        ));
+        let log = trace.snapshot();
+        let b = log.causal_breakdowns();
+        assert_eq!(b.len(), 1, "one traced request, one complete chain");
+        let b = &b[0];
+        assert_eq!(b.causal, 42);
+        assert_eq!(b.pager, f.port_id_of(f.binding(1).unwrap()));
+        assert_eq!(b.queue_wait, 0, "un-throttled send waits for no queue");
+        assert!(b.service_time > 0, "the page I/O is the service time");
+        assert_eq!(b.transport, 0, "reply transport is free in cycles");
+        assert_eq!(b.wake, 0, "faulter wakeup is free in cycles");
     }
 }

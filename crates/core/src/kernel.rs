@@ -113,7 +113,15 @@ impl Kernel {
         let machdep = mach_pmap::machdep_for(machine);
         let hw = machine.hw_page_size();
         let page_size = hw * opts.page_multiple;
-        let resident = Arc::new(ResidentTable::with_cpus(page_size, machine.n_cpus()));
+        // One lock observatory per kernel, shared by every instrumented
+        // structure (resident table, object cache, fleet) — parallel
+        // kernels in one process never cross-pollute counters.
+        let locks = Arc::new(crate::lockstat::LockStats::new());
+        let resident = Arc::new(ResidentTable::with_cpus_locks(
+            page_size,
+            machine.n_cpus(),
+            Arc::clone(&locks),
+        ));
 
         // Claim physical memory, leaving a reserve for hardware tables.
         let mut drained = machine.frames().drain();
@@ -148,9 +156,11 @@ impl Kernel {
             Some(plan) => Injector::new(plan.clone()),
             None => Injector::disabled(),
         };
-        // The stats block is created before the context so the pager
-        // fleet (whose client counts throttles and re-binds) can share it.
+        // The stats block and trace sink are created before the context
+        // so the pager fleet (whose client counts throttles and stamps
+        // causal-chain boundary events) can share them.
         let stats = Arc::new(VmStatsAtomic::default());
+        let trace = Arc::new(TraceSink::new(machine.n_cpus()));
         let (default_pager, fleet): (
             Arc<dyn crate::pager::Pager>,
             Option<Arc<crate::fleet::PagerFleet>>,
@@ -160,6 +170,8 @@ impl Kernel {
                     machine,
                     fo.clone(),
                     Arc::clone(&stats),
+                    Arc::clone(&trace),
+                    Arc::clone(&locks),
                     opts.pager_timeout,
                 );
                 (fleet.client(), Some(fleet))
@@ -170,14 +182,18 @@ impl Kernel {
             machine: Arc::clone(machine),
             machdep,
             resident,
-            cache: Arc::new(ObjectCache::new(opts.object_cache_capacity)),
+            cache: Arc::new(ObjectCache::new_with_locks(
+                opts.object_cache_capacity,
+                Arc::clone(&locks),
+            )),
             stats,
             default_pager,
             page_size,
             collapse_enabled: std::sync::atomic::AtomicBool::new(true),
             map_indexed: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: opts.pager_timeout,
-            trace: Arc::new(TraceSink::new(machine.n_cpus())),
+            trace,
+            locks,
             injector,
             profile: Arc::new(Profiler::new(machine.n_cpus())),
             health: Arc::new(HealthSink::new()),
@@ -352,6 +368,29 @@ impl Kernel {
         self.ctx.profile.report()
     }
 
+    /// The kernel's lock-contention observatory (see [`crate::lockstat`]
+    /// and `docs/METRICS.md`).
+    pub fn lock_stats(&self) -> &Arc<crate::lockstat::LockStats> {
+        &self.ctx.locks
+    }
+
+    /// Start counting lock acquisitions, contention and wait/hold times
+    /// on the sharded-layer sites. (The debug-build lock-order checker is
+    /// always on, independent of this gate.)
+    pub fn enable_lock_stats(&self) {
+        self.ctx.locks.enable();
+    }
+
+    /// Stop counting lock statistics (counters remain readable).
+    pub fn disable_lock_stats(&self) {
+        self.ctx.locks.disable();
+    }
+
+    /// Snapshot the per-site lock counters, in hierarchy-rank order.
+    pub fn lock_report(&self) -> Vec<crate::lockstat::LockSiteReport> {
+        self.ctx.locks.report()
+    }
+
     /// The kernel's structure-health sink.
     pub fn health(&self) -> &Arc<HealthSink> {
         &self.ctx.health
@@ -466,6 +505,7 @@ impl Kernel {
             // injector drives one deterministic draw sequence, and the
             // shootdown span hook keeps feeding the same profiler.
             trace: Arc::clone(&old.trace),
+            locks: Arc::clone(&old.locks),
             injector: Arc::clone(&old.injector),
             profile: Arc::clone(&old.profile),
             health: Arc::clone(&old.health),
@@ -590,6 +630,7 @@ impl Kernel {
             TraceEvent::PagerRequest {
                 msg: crate::trace::PagerMsg::Init,
                 pager: pager_port.id(),
+                causal: crate::trace::current_causal(),
             },
         );
         xpager::spawn_object_service(

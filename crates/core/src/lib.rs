@@ -55,6 +55,7 @@ pub mod fleet;
 pub mod health;
 pub mod inject;
 pub mod kernel;
+pub mod lockstat;
 pub mod map;
 pub mod msg;
 pub mod netmsg;
@@ -67,14 +68,16 @@ pub mod profile;
 pub mod stats;
 pub mod task;
 pub mod trace;
+pub mod trace_export;
 pub mod types;
 pub mod xpager;
 
 pub use ctx::CoreRefs;
-pub use fleet::{FleetOptions, PagerFleet};
+pub use fleet::{BurstProbe, FleetOptions, PagerFleet};
 pub use health::{GaugeStats, HealthReport, HealthSink, QueueSample};
 pub use inject::{InjectKind, InjectPlan, InjectedEvent, Injector};
 pub use kernel::{BootOptions, Kernel};
+pub use lockstat::{LockSite, LockSiteReport, LockStats};
 pub use map::{RegionInfo, VmMap};
 pub use msg::RegionTicket;
 pub use object::VmObject;
@@ -85,8 +88,10 @@ pub use profile::{ProfileReport, ProfileRow, Profiler, SpanKind, SpanTotals};
 pub use stats::VmStats;
 pub use task::{Task, UserCtx};
 pub use trace::{
-    FaultPair, FaultResolution, Histogram, PagerMsg, TraceEvent, TraceLog, TraceRecord, TraceSink,
+    causal_scope, current_causal, CausalBreakdown, CausalPhase, CausalScope, FaultPair,
+    FaultResolution, Histogram, PagerMsg, TraceEvent, TraceLog, TraceRecord, TraceSink,
     TraceTotals, VmRollup,
 };
+pub use trace_export::chrome_trace_json;
 pub use types::{Inheritance, Protection, VmError, VmResult};
 pub use xpager::{serve_pager, UserPager};

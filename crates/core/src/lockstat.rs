@@ -1,0 +1,410 @@
+//! The lock-contention observatory: per-site acquisition counters, wait
+//! and hold histograms, and (in debug builds) a runtime checker for the
+//! DESIGN.md §8 lock hierarchy.
+//!
+//! The decomposed locks of the sharded layer — page-state shards, hash
+//! shards, per-CPU free lists and the global reserve, object-cache
+//! shards, the fleet binding table — are exactly the ones whose
+//! contention the per-CPU decomposition was built to eliminate, so they
+//! are the ones worth watching. Every tracked acquisition goes through
+//! [`LockStats::lock`], which
+//!
+//! - costs **one relaxed load** while the observatory is disabled (the
+//!   same discipline as tracing, profiling and op recording);
+//! - when enabled, counts the acquisition, detects contention as
+//!   `try_lock` failing before the blocking `lock`, and records the wait
+//!   and hold times in power-of-two histograms of **host** nanoseconds
+//!   (the simulated clock cannot measure a lock wait: a blocked host
+//!   thread charges no cycles);
+//! - in debug builds — independently of the enable gate — checks the
+//!   acquisition against the §8 hierarchy via a thread-local stack of
+//!   held sites, and panics on any inversion. The concurrency and chaos
+//!   suites therefore *prove* the documented order on every run.
+//!
+//! Allocation-free on the hot path: counters and histogram buckets are
+//! plain atomics, and the debug order stack reuses its thread-local
+//! capacity.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// The tracked lock sites, ordered by their DESIGN.md §8 rank: a thread
+/// may only acquire a site ranked **strictly greater** than every site it
+/// already holds (two shards of the same kind are never held at once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum LockSite {
+    /// An object-cache shard ([`crate::object::ObjectCache`]).
+    ObjectCacheShard = 0,
+    /// A page-state/queue shard ([`crate::page::ResidentTable`]).
+    PageQueueShard = 1,
+    /// An (object, offset) hash shard.
+    PageHashShard = 2,
+    /// A per-CPU free-list stack.
+    FreeLocal = 3,
+    /// The global free reserve.
+    FreeReserve = 4,
+    /// The pager fleet's object→service binding table (a leaf: nothing
+    /// is acquired while it is held).
+    FleetBindings = 5,
+}
+
+/// Number of tracked sites.
+pub const LOCK_SITES: usize = 6;
+
+impl LockSite {
+    /// Every site, in rank order.
+    pub const ALL: [LockSite; LOCK_SITES] = [
+        LockSite::ObjectCacheShard,
+        LockSite::PageQueueShard,
+        LockSite::PageHashShard,
+        LockSite::FreeLocal,
+        LockSite::FreeReserve,
+        LockSite::FleetBindings,
+    ];
+
+    /// Stable snake_case name (bench rows, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            LockSite::ObjectCacheShard => "object_cache_shard",
+            LockSite::PageQueueShard => "page_queue_shard",
+            LockSite::PageHashShard => "page_hash_shard",
+            LockSite::FreeLocal => "free_local",
+            LockSite::FreeReserve => "free_reserve",
+            LockSite::FleetBindings => "fleet_bindings",
+        }
+    }
+
+    /// Position in the §8 hierarchy (outermost = smallest).
+    pub fn rank(self) -> usize {
+        self as usize
+    }
+}
+
+/// Power-of-two histogram buckets (bucket `i` counts values whose bit
+/// length is `i`, i.e. `[2^(i-1), 2^i)`; bucket 0 counts zero).
+const BUCKETS: usize = 32;
+
+#[derive(Debug, Default)]
+struct SiteCounters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns_total: AtomicU64,
+    hold_ns_total: AtomicU64,
+    wait_hist: [AtomicU64; BUCKETS],
+    hold_hist: [AtomicU64; BUCKETS],
+}
+
+#[inline]
+fn bucket(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl SiteCounters {
+    fn record_wait(&self, ns: u64) {
+        self.wait_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.wait_hist[bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_hold(&self, ns: u64) {
+        self.hold_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.hold_hist[bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One site's snapshot, as reported by [`LockStats::report`].
+#[derive(Debug, Clone)]
+pub struct LockSiteReport {
+    /// Which site.
+    pub site: LockSite,
+    /// Tracked acquisitions while enabled.
+    pub acquisitions: u64,
+    /// Acquisitions whose initial `try_lock` failed.
+    pub contended: u64,
+    /// Total host nanoseconds spent waiting in contended acquisitions.
+    pub wait_ns_total: u64,
+    /// Total host nanoseconds the lock was held.
+    pub hold_ns_total: u64,
+    /// Wait-time histogram (power-of-two host-ns buckets).
+    pub wait_hist: [u64; BUCKETS],
+    /// Hold-time histogram (power-of-two host-ns buckets).
+    pub hold_hist: [u64; BUCKETS],
+}
+
+/// Per-kernel lock statistics. One instance is shared by every
+/// instrumented structure of one kernel (resident table, object cache,
+/// fleet), so parallel kernels in one process never cross-pollute.
+#[derive(Debug)]
+pub struct LockStats {
+    enabled: AtomicBool,
+    sites: [SiteCounters; LOCK_SITES],
+}
+
+impl Default for LockStats {
+    fn default() -> LockStats {
+        LockStats::new()
+    }
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Sites this thread currently holds, in acquisition order.
+    static HELD: std::cell::RefCell<Vec<LockSite>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Debug-build §8 order check: a new acquisition must rank strictly
+/// above everything already held (equal rank ⇒ two shards of the same
+/// kind ⇒ also a violation).
+#[cfg(debug_assertions)]
+fn order_push(site: LockSite) {
+    // try_with: a guard acquired during thread-local teardown simply
+    // skips the check rather than aborting the process.
+    let _ = HELD.try_with(|cell| {
+        let mut held = cell.borrow_mut();
+        if let Some(&top) = held.iter().max_by_key(|s| s.rank()) {
+            assert!(
+                site.rank() > top.rank(),
+                "lock-order violation: acquiring {} while holding {} \
+                 (DESIGN.md §8 requires strictly increasing rank; held: {:?})",
+                site.name(),
+                top.name(),
+                held
+            );
+        }
+        held.push(site);
+    });
+}
+
+#[cfg(debug_assertions)]
+fn order_pop(site: LockSite) {
+    let _ = HELD.try_with(|cell| {
+        let mut held = cell.borrow_mut();
+        // Guards may drop out of acquisition order; remove the most
+        // recent matching entry.
+        if let Some(i) = held.iter().rposition(|&s| s == site) {
+            held.remove(i);
+        }
+    });
+}
+
+impl LockStats {
+    /// A disabled observatory (counters all zero).
+    pub fn new() -> LockStats {
+        LockStats {
+            enabled: AtomicBool::new(false),
+            sites: Default::default(),
+        }
+    }
+
+    /// Start counting. (The debug order checker is always on.)
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop counting; collected counters remain readable.
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the observatory is counting.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Acquire `m`, attributing the acquisition to `site`.
+    #[inline]
+    pub fn lock<'a, T>(&'a self, site: LockSite, m: &'a Mutex<T>) -> TrackedGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        order_push(site);
+        if !self.enabled.load(Ordering::Relaxed) {
+            return TrackedGuard {
+                guard: m.lock(),
+                stats: self,
+                site,
+                held_since: None,
+            };
+        }
+        let c = &self.sites[site as usize];
+        c.acquisitions.fetch_add(1, Ordering::Relaxed);
+        let guard = match m.try_lock() {
+            Some(g) => g,
+            None => {
+                c.contended.fetch_add(1, Ordering::Relaxed);
+                let t0 = Instant::now();
+                let g = m.lock();
+                c.record_wait(t0.elapsed().as_nanos() as u64);
+                g
+            }
+        };
+        TrackedGuard {
+            guard,
+            stats: self,
+            site,
+            held_since: Some(Instant::now()),
+        }
+    }
+
+    /// Snapshot every site's counters, in rank order.
+    pub fn report(&self) -> Vec<LockSiteReport> {
+        LockSite::ALL
+            .iter()
+            .map(|&site| {
+                let c = &self.sites[site as usize];
+                LockSiteReport {
+                    site,
+                    acquisitions: c.acquisitions.load(Ordering::Relaxed),
+                    contended: c.contended.load(Ordering::Relaxed),
+                    wait_ns_total: c.wait_ns_total.load(Ordering::Relaxed),
+                    hold_ns_total: c.hold_ns_total.load(Ordering::Relaxed),
+                    wait_hist: std::array::from_fn(|i| c.wait_hist[i].load(Ordering::Relaxed)),
+                    hold_hist: std::array::from_fn(|i| c.hold_hist[i].load(Ordering::Relaxed)),
+                }
+            })
+            .collect()
+    }
+}
+
+/// A [`MutexGuard`] that records hold time and (in debug builds) pops
+/// the order-checker stack when dropped.
+pub struct TrackedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    stats: &'a LockStats,
+    site: LockSite,
+    held_since: Option<Instant>,
+}
+
+impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.held_since {
+            self.stats.sites[self.site as usize].record_hold(t0.elapsed().as_nanos() as u64);
+        }
+        #[cfg(debug_assertions)]
+        order_pop(self.site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_counts_nothing() {
+        let stats = LockStats::new();
+        let m = Mutex::new(0u32);
+        for _ in 0..5 {
+            *stats.lock(LockSite::PageQueueShard, &m) += 1;
+        }
+        let r = &stats.report()[LockSite::PageQueueShard as usize];
+        assert_eq!(r.acquisitions, 0);
+        assert_eq!(r.contended, 0);
+    }
+
+    #[test]
+    fn enabled_counts_acquisitions_and_holds() {
+        let stats = LockStats::new();
+        stats.enable();
+        let m = Mutex::new(0u32);
+        for _ in 0..7 {
+            *stats.lock(LockSite::PageHashShard, &m) += 1;
+        }
+        stats.disable();
+        let r = &stats.report()[LockSite::PageHashShard as usize];
+        assert_eq!(r.acquisitions, 7);
+        assert_eq!(r.contended, 0, "uncontended single-thread acquisitions");
+        assert_eq!(r.hold_hist.iter().sum::<u64>(), 7, "one hold sample each");
+        // Disabled again: nothing further counts.
+        *stats.lock(LockSite::PageHashShard, &m) += 1;
+        assert_eq!(
+            stats.report()[LockSite::PageHashShard as usize].acquisitions,
+            7
+        );
+    }
+
+    #[test]
+    fn contention_is_detected() {
+        let stats = Arc::new(LockStats::new());
+        stats.enable();
+        let m = Arc::new(Mutex::new(0u64));
+        // Hold the lock here while another thread acquires through the
+        // observatory: its try_lock must fail and count a contended
+        // acquisition with a wait sample.
+        let g = m.lock();
+        let t = std::thread::spawn({
+            let stats = Arc::clone(&stats);
+            let m = Arc::clone(&m);
+            move || {
+                *stats.lock(LockSite::FreeReserve, &m) += 1;
+            }
+        });
+        while stats.report()[LockSite::FreeReserve as usize].contended == 0 {
+            std::thread::yield_now();
+        }
+        drop(g);
+        t.join().unwrap();
+        let r = &stats.report()[LockSite::FreeReserve as usize];
+        assert_eq!(r.acquisitions, 1);
+        assert_eq!(r.contended, 1);
+        assert_eq!(r.wait_hist.iter().sum::<u64>(), 1);
+        assert!(r.wait_ns_total > 0);
+    }
+
+    #[test]
+    fn in_order_nesting_passes_the_checker() {
+        let stats = LockStats::new();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        let _ga = stats.lock(LockSite::PageQueueShard, &a);
+        let _gb = stats.lock(LockSite::FreeLocal, &b);
+        drop(_gb);
+        let _gc = stats.lock(LockSite::FreeReserve, &c);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inverted_nesting_panics() {
+        let stats = LockStats::new();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let _ga = stats.lock(LockSite::FreeReserve, &a);
+        let _gb = stats.lock(LockSite::PageQueueShard, &b);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn same_kind_nesting_panics() {
+        let stats = LockStats::new();
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let _ga = stats.lock(LockSite::PageQueueShard, &a);
+        let _gb = stats.lock(LockSite::PageQueueShard, &b);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(1024), 11);
+        assert_eq!(bucket(u64::MAX), BUCKETS - 1);
+    }
+}

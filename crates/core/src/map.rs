@@ -1089,6 +1089,7 @@ mod tests {
             map_indexed: std::sync::atomic::AtomicBool::new(true),
             pager_timeout: std::time::Duration::from_secs(5),
             trace,
+            locks: Arc::new(crate::lockstat::LockStats::new()),
             injector: crate::inject::Injector::disabled(),
             profile: Arc::new(crate::profile::Profiler::new(1)),
             health: Arc::new(crate::health::HealthSink::new()),

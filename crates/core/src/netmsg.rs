@@ -197,11 +197,19 @@ impl NetmsgServer {
                 self.sides[k].request = Some(msg.port(1).clone());
             }
             ops::PAGER_DATA_REQUEST => {
-                // [object_id, reply_port, offset, length, access]
+                // [object_id, reply_port, offset, length, access, causal?]
+                // — the trailing causal id survives the proxy hop: it is
+                // echoed on the reply so the requesting kernel attributes
+                // the latency (recall included) to the originating fault.
                 self.stats.requests += 1;
                 let reply = msg.port(1).clone();
                 let offset = msg.u64(2);
                 let length = msg.u64(3);
+                let causal = if msg.fields().len() > 5 {
+                    msg.u64(5)
+                } else {
+                    0
+                };
                 // Single-writer: if the peer holds the page, recall it
                 // (clean + flush + wait for the seq echo) before granting.
                 let peer = 1 - k;
@@ -213,10 +221,12 @@ impl NetmsgServer {
                     Some(bytes) => Message::new(ops::PAGER_DATA_PROVIDED)
                         .with(MsgField::U64(offset))
                         .with(MsgField::Bytes(Arc::new(bytes.clone())))
-                        .with(MsgField::U64(0)),
+                        .with(MsgField::U64(0))
+                        .with(MsgField::U64(causal)),
                     None => Message::new(ops::PAGER_DATA_UNAVAILABLE)
                         .with(MsgField::U64(offset))
-                        .with(MsgField::U64(length)),
+                        .with(MsgField::U64(length))
+                        .with(MsgField::U64(causal)),
                 };
                 let _ = reply.send(reply_msg);
             }
@@ -233,13 +243,20 @@ impl NetmsgServer {
                 side.completed = side.completed.max(seq);
             }
             ops::PAGER_DATA_UNLOCK => {
-                // We never lock, so always grant: pager_data_lock(0).
+                // We never lock, so always grant: pager_data_lock(0),
+                // echoing the optional trailing causal id.
                 let reply = msg.port(1).clone();
+                let causal = if msg.fields().len() > 5 {
+                    msg.u64(5)
+                } else {
+                    0
+                };
                 let _ = reply.send(
                     Message::new(ops::PAGER_DATA_LOCK)
                         .with(MsgField::U64(msg.u64(2)))
                         .with(MsgField::U64(msg.u64(3)))
-                        .with(MsgField::U64(0)),
+                        .with(MsgField::U64(0))
+                        .with(MsgField::U64(causal)),
                 );
             }
             ops::PAGER_TERMINATE => {

@@ -290,6 +290,7 @@ fn finish_terminate(
             crate::trace::TraceEvent::PagerRequest {
                 msg: crate::trace::PagerMsg::Terminate,
                 pager: p.port_id(obj.id()),
+                causal: crate::trace::current_causal(),
             },
         );
         p.terminate(obj.id());
@@ -516,6 +517,9 @@ pub struct ObjectCache {
     shards: Vec<Mutex<CacheShard>>,
     stamp: AtomicU64,
     parked: AtomicU64,
+    /// The kernel's lock observatory (shard acquisitions below cost one
+    /// relaxed load while it is disabled).
+    locks: std::sync::Arc<crate::lockstat::LockStats>,
 }
 
 #[derive(Debug, Default)]
@@ -531,12 +535,29 @@ struct CacheShard {
 impl ObjectCache {
     /// A cache retaining up to `capacity` unreferenced objects.
     pub fn new(capacity: usize) -> ObjectCache {
+        ObjectCache::new_with_locks(
+            capacity,
+            std::sync::Arc::new(crate::lockstat::LockStats::new()),
+        )
+    }
+
+    /// A cache sharing the kernel's lock observatory.
+    pub fn new_with_locks(
+        capacity: usize,
+        locks: std::sync::Arc<crate::lockstat::LockStats>,
+    ) -> ObjectCache {
         ObjectCache {
             capacity,
             shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
             stamp: AtomicU64::new(1),
             parked: AtomicU64::new(0),
+            locks,
         }
+    }
+
+    fn shard_lock(&self, i: usize) -> crate::lockstat::TrackedGuard<'_, CacheShard> {
+        self.locks
+            .lock(crate::lockstat::LockSite::ObjectCacheShard, &self.shards[i])
     }
 
     fn shard(&self, ident: &PagerIdent) -> usize {
@@ -579,7 +600,7 @@ impl ObjectCache {
         let stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
         {
             let shard = self.shard(&ident);
-            let mut g = self.shards[shard].lock();
+            let mut g = self.shard_lock(shard);
             let s = obj.state.lock();
             if s.ref_count > 0 || s.terminated {
                 return; // revived (or died) while we were parking it
@@ -599,7 +620,7 @@ impl ObjectCache {
     /// Revive the cached object for `ident`, if present (the cheap-reuse
     /// path: a cache hit costs a hash lookup, not a disk).
     pub fn take(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
-        let mut g = self.shards[self.shard(ident)].lock();
+        let mut g = self.shard_lock(self.shard(ident));
         let (_stamp, o) = g.map.remove(ident)?;
         self.parked.fetch_sub(1, Ordering::Relaxed);
         // Reference under the shard lock: every park/revive transition
@@ -618,7 +639,7 @@ impl ObjectCache {
     /// hold for their `ref_count == 0` decisions — so a revival and a
     /// park/reap of the same object are strictly ordered.
     pub fn lookup(&self, ident: &PagerIdent) -> Option<Arc<VmObject>> {
-        let mut g = self.shards[self.shard(ident)].lock();
+        let mut g = self.shard_lock(self.shard(ident));
         if let Some((_stamp, o)) = g.map.remove(ident) {
             self.parked.fetch_sub(1, Ordering::Relaxed);
             o.state.lock().ref_count += 1;
@@ -644,8 +665,7 @@ impl ObjectCache {
     /// Register a freshly created pager-backed object as live.
     pub fn register_live(&self, ident: PagerIdent, obj: &Arc<VmObject>) {
         let shard = self.shard(&ident);
-        self.shards[shard]
-            .lock()
+        self.shard_lock(shard)
             .live
             .insert(ident, Arc::downgrade(obj));
     }
@@ -653,7 +673,7 @@ impl ObjectCache {
     /// Forget a terminated object's live registration (only if it still
     /// names this object).
     pub fn unregister_live(&self, ident: &PagerIdent, obj: &VmObject) {
-        let mut g = self.shards[self.shard(ident)].lock();
+        let mut g = self.shard_lock(self.shard(ident));
         if let Some(w) = g.live.get(ident) {
             let same = w
                 .upgrade()
@@ -678,8 +698,8 @@ impl ObjectCache {
     /// hand out an object the reaper is tearing down.
     pub fn reap_one(&self, ctx: &CoreRefs) -> bool {
         let mut best: Option<(u64, usize, PagerIdent)> = None;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let g = shard.lock();
+        for (i, _shard) in self.shards.iter().enumerate() {
+            let g = self.shard_lock(i);
             for (ident, (stamp, _)) in &g.map {
                 if best.as_ref().is_none_or(|(s, _, _)| stamp < s) {
                     best = Some((*stamp, i, ident.clone()));
@@ -690,7 +710,7 @@ impl ObjectCache {
             return false;
         };
         let victim = {
-            let mut g = self.shards[shard].lock();
+            let mut g = self.shard_lock(shard);
             match g.map.get(&ident) {
                 Some((s, _)) if *s == stamp => {
                     let (_, o) = g.map.remove(&ident).expect("present");

@@ -189,6 +189,7 @@ fn evict_one(ctx: &CoreRefs, page: PageId) -> bool {
             TraceEvent::PagerRequest {
                 msg: PagerMsg::DataWrite,
                 pager: pager.port_id(obj.id()),
+                causal: crate::trace::current_causal(),
             },
         );
         let mut result = pager.data_write(obj.id(), ident.offset, buf);

@@ -1,6 +1,13 @@
 //! Hierarchical span profiler: per-CPU cycle attribution over the
 //! simulated clock.
 //!
+//! Spans measure the CPU's **elapsed timeline in cycle units** — system
+//! cycles plus charged I/O wait converted at the model's clock rate
+//! ([`Machine::elapsed_cycles`]) — so a `pager_wait` or `pageout` span
+//! is as wide as the I/O it covers, and the causal decomposition of
+//! [`crate::trace::TraceLog::causal_breakdowns`] (stamped off the same
+//! clock) sums to the span total exactly.
+//!
 //! The paper's evaluation (§7, Tables 7-1/7-2) is an accounting of
 //! *where time goes*; the trace ring ([`crate::trace`]) says what
 //! happened, this module says which subsystem paid for it. Fault
@@ -204,7 +211,7 @@ impl Profiler {
         let cpu = machine.current_cpu().min(self.cpus.len() - 1);
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let epoch = self.epoch.load(Ordering::Relaxed);
-        let start = machine.clock().system_cycles();
+        let start = machine.elapsed_cycles();
         self.cpus[cpu].lock().stack.push(Open {
             kind,
             token,
@@ -218,7 +225,7 @@ impl Profiler {
         if self.epoch.load(Ordering::Relaxed) != epoch {
             return; // re-enabled mid-span: the stack was reset
         }
-        let now = machine.clock().system_cycles();
+        let now = machine.elapsed_cycles();
         let mut g = self.cpus[cpu].lock();
         // The span is normally on top; an unbound helper thread sharing
         // this CPU slot may have stacked entries above it, so search.

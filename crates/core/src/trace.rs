@@ -20,10 +20,12 @@
 //!    keeps the last `capacity` records per CPU; [`TraceLog::written`]
 //!    tells an analyzer how many were emitted in total.
 //!
-//! Every record is stamped with the emitting CPU's **simulated cycle
-//! clock** (the `mach-hw` cost model), a global sequence number (for
-//! total ordering across CPUs — per-CPU cycle clocks are not comparable),
-//! the owning task id, the memory-object id and the byte offset.
+//! Every record is stamped with the emitting CPU's **simulated elapsed
+//! clock in cycle units** (the `mach-hw` cost model's system cycles plus
+//! charged I/O wait at the clock rate, so an interval spent in a pagein
+//! has its true width), a global sequence number (for total ordering
+//! across CPUs — per-CPU cycle clocks are not comparable), the owning
+//! task id, the memory-object id and the byte offset.
 //!
 //! Analysis happens offline on a [`TraceLog`] snapshot: fault begin/end
 //! pairing ([`TraceLog::fault_pairs`]), latency histograms
@@ -31,12 +33,54 @@
 //! pager message timeline ([`TraceLog::pager_timeline`]). See
 //! `docs/TRACING.md` and `examples/trace_timeline.rs`.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use mach_hw::machine::Machine;
 use parking_lot::Mutex;
+
+// ---------------------------------------------------------------------
+// Causal ids
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The causal id of the fault this thread is currently handling
+    /// (0 = none). Set by [`causal_scope`] in `vm_fault`, read by the
+    /// pager transports so a `data_request` RPC can stamp its
+    /// enqueue/dequeue/served boundary events with the fault that caused
+    /// them — the id that becomes a Perfetto flow arrow.
+    static CURRENT_CAUSAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII scope marking the current thread as handling the fault with
+/// causal id `id` (the fault id minted at `FaultBegin`). Restores the
+/// previous id on drop, so nested faults (a pager service faulting on the
+/// kernel's behalf) attribute to the innermost fault.
+#[must_use = "the causal id is cleared when the scope drops"]
+pub struct CausalScope {
+    prev: u64,
+}
+
+/// Enter a causal scope for fault `id`. `id` 0 (tracing disabled) is a
+/// valid no-op scope.
+pub fn causal_scope(id: u64) -> CausalScope {
+    let prev = CURRENT_CAUSAL.replace(id);
+    CausalScope { prev }
+}
+
+impl Drop for CausalScope {
+    fn drop(&mut self) {
+        CURRENT_CAUSAL.set(self.prev);
+    }
+}
+
+/// The causal id of the fault the current thread is handling (0 = not
+/// inside a fault).
+pub fn current_causal() -> u64 {
+    CURRENT_CAUSAL.get()
+}
 
 /// How a fault was finally resolved (paper §3.6: the four things a fault
 /// handler can do with a missing page, plus failure).
@@ -91,6 +135,46 @@ pub enum PagerMsg {
     LockCompleted,
 }
 
+/// One boundary of a pager RPC's causal chain — the five stamps that
+/// decompose a `pager_wait` span (see [`TraceLog::causal_breakdowns`]).
+/// All five are emitted on the faulting CPU, so their cycle stamps are
+/// mutually comparable and telescope exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CausalPhase {
+    /// The request was handed to the pager transport (== the `pager_wait`
+    /// span open, cycle-exact: nothing is charged in between).
+    Enqueue,
+    /// The request reached the head of the service queue. The interval
+    /// since [`CausalPhase::Enqueue`] is `queue_wait` — the modeled cost
+    /// of the requests ahead of it (zero when the queue was empty).
+    Dequeue,
+    /// The service finished producing the reply. The interval since
+    /// [`CausalPhase::Dequeue`] is `service_time` (the per-page disk
+    /// charge).
+    Served,
+    /// The reply message reached the faulting kernel. The interval since
+    /// [`CausalPhase::Served`] is `transport` (free in the current cost
+    /// model: the synchronous client synthesises the reply in place).
+    Delivered,
+    /// The faulting thread resumed (== the `pager_wait` span close,
+    /// cycle-exact). The interval since [`CausalPhase::Delivered`] is
+    /// `wake`.
+    Wake,
+}
+
+impl CausalPhase {
+    /// Stable lower-case name, used in reports and the Perfetto export.
+    pub fn name(self) -> &'static str {
+        match self {
+            CausalPhase::Enqueue => "enqueue",
+            CausalPhase::Dequeue => "dequeue",
+            CausalPhase::Served => "served",
+            CausalPhase::Delivered => "delivered",
+            CausalPhase::Wake => "wake",
+        }
+    }
+}
+
 /// One typed trace event. Emission sites are catalogued in
 /// `docs/TRACING.md`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +210,10 @@ pub enum TraceEvent {
         /// Port id of the pager instance the message was sent to (0 =
         /// in-process pager with no port identity).
         pager: u64,
+        /// Causal id of the fault that caused the message (0 = not sent
+        /// on a fault's behalf). Carried on the wire as a trailing
+        /// message field and echoed back on the reply.
+        causal: u64,
     },
     /// The kernel received (or synthesised, for internal pagers) a
     /// pager-protocol reply (Table 3-2).
@@ -135,6 +223,23 @@ pub enum TraceEvent {
         /// Port id of the pager instance the reply came from (0 =
         /// in-process pager with no port identity).
         pager: u64,
+        /// Causal id echoed from the request (0 = unattributed).
+        causal: u64,
+    },
+    /// One boundary of a pager RPC's causal chain (see [`CausalPhase`]).
+    /// The five phases of one chain share a causal id and are all stamped
+    /// on the faulting CPU's clock, so consecutive stamps telescope into
+    /// the exact `pager_wait` decomposition.
+    PagerChain {
+        /// Which boundary.
+        phase: CausalPhase,
+        /// Causal id (the fault id minted at `FaultBegin`).
+        causal: u64,
+        /// Port id of the pager service handling the request.
+        pager: u64,
+        /// Modeled queue depth ahead of the request at enqueue time
+        /// (meaningful on [`CausalPhase::Enqueue`] only; 0 elsewhere).
+        depth: u64,
     },
     /// One coalesced TLB-shootdown round was issued (§5.2).
     ShootdownRound {
@@ -274,8 +379,10 @@ impl TraceSink {
         self.next_fault_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Emit one event, stamped with the current CPU's simulated cycle
-    /// clock. A no-op branch when disabled.
+    /// Emit one event, stamped with the current CPU's simulated elapsed
+    /// clock (system cycles plus charged I/O wait in cycle units, so
+    /// I/O-bound intervals have their true width). A no-op branch when
+    /// disabled.
     #[inline]
     pub fn emit(&self, machine: &Machine, task: u64, object: u64, offset: u64, event: TraceEvent) {
         if !self.enabled.load(Ordering::Relaxed) {
@@ -288,7 +395,7 @@ impl TraceSink {
         let cpu = machine.current_cpu().min(self.rings.len() - 1);
         let rec = TraceRecord {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
-            cycles: machine.clock().system_cycles(),
+            cycles: machine.elapsed_cycles(),
             cpu: cpu as u32,
             task,
             object,
@@ -493,7 +600,9 @@ impl TraceLog {
                     t.shootdown_pages += pages;
                 }
                 TraceEvent::Injected { .. } => t.injected += 1,
-                TraceEvent::PagerRequest { .. } | TraceEvent::PagerReply { .. } => {}
+                TraceEvent::PagerRequest { .. }
+                | TraceEvent::PagerReply { .. }
+                | TraceEvent::PagerChain { .. } => {}
             }
         }
         t
@@ -610,6 +719,128 @@ impl TraceLog {
             })
             .copied()
             .collect()
+    }
+
+    /// Join the five [`TraceEvent::PagerChain`] boundary events of each
+    /// causal id into a [`CausalBreakdown`]. Incomplete chains (failover
+    /// casualties, ring wraparound, mid-RPC disable) are dropped; a chain
+    /// restarted by a fresh `Enqueue` keeps only the newest attempt.
+    pub fn causal_breakdowns(&self) -> Vec<CausalBreakdown> {
+        #[derive(Clone, Copy)]
+        struct Partial {
+            pager: u64,
+            depth: u64,
+            cpu: u32,
+            object: u64,
+            offset: u64,
+            stamps: [Option<u64>; 5],
+        }
+        let mut open: BTreeMap<u64, Partial> = BTreeMap::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            let TraceEvent::PagerChain {
+                phase,
+                causal,
+                pager,
+                depth,
+            } = r.event
+            else {
+                continue;
+            };
+            if causal == 0 {
+                continue; // RPC issued outside any fault
+            }
+            if phase == CausalPhase::Enqueue {
+                open.insert(
+                    causal,
+                    Partial {
+                        pager,
+                        depth,
+                        cpu: r.cpu,
+                        object: r.object,
+                        offset: r.offset,
+                        stamps: [Some(r.cycles), None, None, None, None],
+                    },
+                );
+                continue;
+            }
+            let Some(p) = open.get_mut(&causal) else {
+                continue; // chain head lost to wraparound
+            };
+            if phase == CausalPhase::Dequeue {
+                // The modeled queue depth is known at dequeue time (the
+                // enqueue-side stamp precedes the throttle discovery).
+                p.depth = depth;
+            }
+            p.stamps[phase as usize] = Some(r.cycles);
+            if phase == CausalPhase::Wake {
+                let p = open.remove(&causal).unwrap();
+                let (Some(x0), Some(x1), Some(x2), Some(x3), Some(x4)) = (
+                    p.stamps[0],
+                    p.stamps[1],
+                    p.stamps[2],
+                    p.stamps[3],
+                    p.stamps[4],
+                ) else {
+                    continue; // a middle boundary is missing
+                };
+                out.push(CausalBreakdown {
+                    causal,
+                    pager: p.pager,
+                    cpu: p.cpu,
+                    object: p.object,
+                    offset: p.offset,
+                    depth: p.depth,
+                    enqueue_cycles: x0,
+                    queue_wait: x1.saturating_sub(x0),
+                    service_time: x2.saturating_sub(x1),
+                    transport: x3.saturating_sub(x2),
+                    wake: x4.saturating_sub(x3),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One pager RPC's `pager_wait` decomposition, joined from its five
+/// [`TraceEvent::PagerChain`] boundary events. All components are
+/// simulated cycles on the faulting CPU's clock; because the boundary
+/// stamps telescope, [`CausalBreakdown::total`] equals the enclosing
+/// `pager_wait` span's cycles *exactly* (asserted in
+/// `tests/profile_props.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CausalBreakdown {
+    /// The causal id (== the fault id of the causing fault).
+    pub causal: u64,
+    /// Port id of the pager service that handled the request.
+    pub pager: u64,
+    /// The faulting CPU (every boundary is stamped on its clock).
+    pub cpu: u32,
+    /// Memory object the request was for.
+    pub object: u64,
+    /// Byte offset within the object.
+    pub offset: u64,
+    /// Modeled queue depth ahead of the request at enqueue time.
+    pub depth: u64,
+    /// Cycle stamp of the [`CausalPhase::Enqueue`] boundary (== the
+    /// `pager_wait` span open).
+    pub enqueue_cycles: u64,
+    /// Cycles queued behind requests ahead of this one.
+    pub queue_wait: u64,
+    /// Cycles the service spent producing the reply (the disk charge).
+    pub service_time: u64,
+    /// Cycles in reply transport (0 under the current cost model).
+    pub transport: u64,
+    /// Cycles waking the faulting thread (0 under the current cost
+    /// model).
+    pub wake: u64,
+}
+
+impl CausalBreakdown {
+    /// Sum of the four components == the `pager_wait` span total.
+    pub fn total(&self) -> u64 {
+        self.queue_wait + self.service_time + self.transport + self.wake
     }
 }
 
@@ -785,6 +1016,7 @@ mod tests {
             TraceEvent::PagerRequest {
                 msg: PagerMsg::DataRequest,
                 pager: 7,
+                causal: 0,
             },
         );
         sink.emit(&m, 0, 11, 0, TraceEvent::PageoutWrite);
@@ -814,5 +1046,67 @@ mod tests {
         assert_eq!(h.max(), 100);
         assert_eq!(h.min(), 1);
         assert!(!h.buckets().is_empty());
+    }
+
+    #[test]
+    fn causal_scope_nests_and_restores() {
+        assert_eq!(current_causal(), 0);
+        let outer = causal_scope(7);
+        assert_eq!(current_causal(), 7);
+        {
+            let _inner = causal_scope(9);
+            assert_eq!(current_causal(), 9);
+        }
+        assert_eq!(current_causal(), 7);
+        drop(outer);
+        assert_eq!(current_causal(), 0);
+    }
+
+    #[test]
+    fn causal_breakdown_joins_boundary_stamps() {
+        let m = machine();
+        let _b = m.bind_cpu(0);
+        let sink = TraceSink::new(m.n_cpus());
+        sink.enable(64);
+        let chain = |phase, depth| TraceEvent::PagerChain {
+            phase,
+            causal: 3,
+            pager: 11,
+            depth,
+        };
+        sink.emit(&m, 0, 42, 4096, chain(CausalPhase::Enqueue, 0));
+        m.charge(100); // queue model
+                       // The fleet reports the modeled depth on Dequeue (a throttled
+                       // enqueue discovers the full queue only at send time).
+        sink.emit(&m, 0, 42, 4096, chain(CausalPhase::Dequeue, 2));
+        m.charge(500); // service io
+        sink.emit(&m, 0, 42, 4096, chain(CausalPhase::Served, 0));
+        sink.emit(&m, 0, 42, 4096, chain(CausalPhase::Delivered, 0));
+        sink.emit(&m, 0, 42, 4096, chain(CausalPhase::Wake, 0));
+        // An incomplete chain (no Wake) must be dropped.
+        sink.emit(
+            &m,
+            0,
+            43,
+            0,
+            TraceEvent::PagerChain {
+                phase: CausalPhase::Enqueue,
+                causal: 4,
+                pager: 11,
+                depth: 0,
+            },
+        );
+        let bd = sink.snapshot().causal_breakdowns();
+        assert_eq!(bd.len(), 1);
+        let b = &bd[0];
+        assert_eq!(b.causal, 3);
+        assert_eq!(b.pager, 11);
+        assert_eq!(b.object, 42);
+        assert_eq!(b.depth, 2);
+        assert_eq!(b.queue_wait, 100);
+        assert_eq!(b.service_time, 500);
+        assert_eq!(b.transport, 0);
+        assert_eq!(b.wake, 0);
+        assert_eq!(b.total(), 600);
     }
 }

@@ -1,0 +1,337 @@
+//! Chrome-trace (Perfetto) export of a captured [`TraceLog`].
+//!
+//! [`chrome_trace_json`] renders the trace as Chrome's JSON trace-event
+//! format — loadable in `chrome://tracing` or <https://ui.perfetto.dev>
+//! — with
+//!
+//! - one **track per simulated CPU** (process 0) carrying every paired
+//!   fault as a duration slice named by its resolution,
+//! - one **track per pager service** (process 1) carrying each causal
+//!   chain's `queue_wait → service → transport → wake` decomposition as
+//!   four adjacent slices, and
+//! - a **flow arrow per causal id** from the faulting CPU's slice to the
+//!   pager's, so following a fault to the service that resolved it is a
+//!   click, not a grep.
+//!
+//! Timestamps are simulated cycles (the `ts` unit is nominally
+//! microseconds; for a simulated clock the unit label is irrelevant and
+//! the relative geometry is exact). The writer is hand-rolled like
+//! `bench/src/json.rs` — no serde — and is a pure function of the log:
+//! the same capture always renders to the **byte-identical** string
+//! (asserted in `crates/bench`'s export-determinism test). Pager, task
+//! and object ids are renumbered densely (sorted order → `0..n`) because
+//! the raw ids come off process-global counters that drift run to run;
+//! the export reflects the workload's shape, not counter history.
+
+use std::fmt::Write as _;
+
+use crate::trace::TraceLog;
+
+/// Escape a string for a JSON string literal (control characters, quote,
+/// backslash).
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One trace event line under construction.
+struct Ev {
+    buf: String,
+    first: bool,
+}
+
+impl Ev {
+    fn new(ph: char, name: &str, cat: &str, pid: u64, tid: u64, ts: u64) -> Ev {
+        let mut buf = String::from("  {\"ph\":\"");
+        buf.push(ph);
+        buf.push_str("\",\"name\":");
+        esc(name, &mut buf);
+        buf.push_str(",\"cat\":");
+        esc(cat, &mut buf);
+        let _ = write!(buf, ",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}");
+        Ev { buf, first: true }
+    }
+
+    fn field_u64(mut self, key: &str, v: u64) -> Ev {
+        let _ = write!(self.buf, ",\"{key}\":{v}");
+        self
+    }
+
+    fn field_str(mut self, key: &str, v: &str) -> Ev {
+        let _ = write!(self.buf, ",\"{key}\":");
+        esc(v, &mut self.buf);
+        self
+    }
+
+    fn arg_u64(mut self, key: &str, v: u64) -> Ev {
+        self.open_args();
+        let _ = write!(self.buf, "\"{key}\":{v}");
+        self
+    }
+
+    fn arg_str(mut self, key: &str, v: &str) -> Ev {
+        self.open_args();
+        let _ = write!(self.buf, "\"{key}\":");
+        esc(v, &mut self.buf);
+        self
+    }
+
+    fn open_args(&mut self) {
+        if self.first {
+            self.buf.push_str(",\"args\":{");
+            self.first = false;
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn finish(mut self, out: &mut Vec<String>) {
+        if !self.first {
+            self.buf.push('}');
+        }
+        self.buf.push('}');
+        out.push(self.buf);
+    }
+}
+
+/// The kernel-CPU process id in the exported trace.
+const PID_KERNEL: u64 = 0;
+/// The pager-services process id in the exported trace.
+const PID_PAGERS: u64 = 1;
+
+/// Dense renumbering of a set of process-global ids (pager ports, task
+/// ids, object ids all come off global counters and drift run to run):
+/// sorted unique ids map to `0..n`, keeping the export a pure function
+/// of the workload's *shape* so regenerations are byte-identical.
+struct Dense(Vec<u64>);
+
+impl Dense {
+    fn new(mut ids: Vec<u64>) -> Dense {
+        ids.sort_unstable();
+        ids.dedup();
+        Dense(ids)
+    }
+
+    fn idx(&self, id: u64) -> u64 {
+        self.0.binary_search(&id).unwrap_or(0) as u64
+    }
+}
+
+/// Render `log` as Chrome trace-event JSON (see the module docs).
+///
+/// Purely a function of the log: equal logs render byte-identically.
+pub fn chrome_trace_json(log: &TraceLog) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // --- metadata: name the two processes and their tracks -------------
+    Ev::new('M', "process_name", "__metadata", PID_KERNEL, 0, 0)
+        .arg_str("name", "kernel CPUs")
+        .finish(&mut events);
+    Ev::new('M', "process_name", "__metadata", PID_PAGERS, 0, 0)
+        .arg_str("name", "pager services")
+        .finish(&mut events);
+
+    let pairs = log.fault_pairs();
+    let chains = log.causal_breakdowns();
+
+    let mut cpus: Vec<u64> = pairs.iter().map(|p| u64::from(p.cpu)).collect();
+    cpus.sort_unstable();
+    cpus.dedup();
+    for cpu in &cpus {
+        Ev::new('M', "thread_name", "__metadata", PID_KERNEL, *cpu, 0)
+            .arg_str("name", &format!("cpu {cpu}"))
+            .finish(&mut events);
+    }
+    // Pager tracks are keyed by *dense index* in sorted-port order, not
+    // raw port id — the same normalization `bench_json`'s per-pager rows
+    // use, for the same reason (global counters drift run to run). Task
+    // and object args get the identical treatment.
+    let pagers = Dense::new(chains.iter().map(|c| c.pager).collect());
+    let tasks = Dense::new(pairs.iter().map(|p| p.task).collect());
+    let objects = Dense::new(
+        pairs
+            .iter()
+            .map(|p| p.object)
+            .chain(chains.iter().map(|c| c.object))
+            .collect(),
+    );
+    for tid in 0..pagers.0.len() as u64 {
+        Ev::new('M', "thread_name", "__metadata", PID_PAGERS, tid, 0)
+            .arg_str("name", &format!("pager {tid}"))
+            .finish(&mut events);
+    }
+
+    // --- fault slices, one per paired fault, on the CPU's track --------
+    for p in &pairs {
+        Ev::new(
+            'X',
+            &format!("{:?}", p.resolution),
+            "fault",
+            PID_KERNEL,
+            u64::from(p.cpu),
+            p.begin_cycles,
+        )
+        .field_u64("dur", p.latency_cycles())
+        .arg_u64("fault_id", p.fault_id)
+        .arg_u64("task", tasks.idx(p.task))
+        .arg_u64("object", objects.idx(p.object))
+        .arg_u64("offset", p.offset)
+        .finish(&mut events);
+    }
+
+    // --- causal decompositions on the pager's track, plus flow arrows --
+    for c in &chains {
+        let mut ts = c.enqueue_cycles;
+        for (name, dur) in [
+            ("queue_wait", c.queue_wait),
+            ("service", c.service_time),
+            ("transport", c.transport),
+            ("wake", c.wake),
+        ] {
+            Ev::new('X', name, "pager", PID_PAGERS, pagers.idx(c.pager), ts)
+                .field_u64("dur", dur)
+                .arg_u64("causal", c.causal)
+                .arg_u64("object", objects.idx(c.object))
+                .arg_u64("offset", c.offset)
+                .arg_u64("depth", c.depth)
+                .finish(&mut events);
+            ts += dur;
+        }
+        // Flow arrow: from the faulting CPU at enqueue to the pager at
+        // delivery. `id` joins the two halves; Perfetto draws the arrow.
+        Ev::new(
+            's',
+            "pager_rpc",
+            "causal",
+            PID_KERNEL,
+            u64::from(c.cpu),
+            c.enqueue_cycles,
+        )
+        .field_u64("id", c.causal)
+        .finish(&mut events);
+        Ev::new(
+            'f',
+            "pager_rpc",
+            "causal",
+            PID_PAGERS,
+            pagers.idx(c.pager),
+            ts,
+        )
+        .field_str("bp", "e")
+        .field_u64("id", c.causal)
+        .finish(&mut events);
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{
+        CausalPhase, FaultResolution, TraceEvent, TraceLog, TraceRecord, TraceSink,
+    };
+
+    fn rec(seq: u64, cycles: u64, cpu: u32, object: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            cycles,
+            cpu,
+            task: 1,
+            object,
+            offset: 4096,
+            event,
+        }
+    }
+
+    fn sample_log() -> TraceLog {
+        let chain = |seq, cycles, phase| {
+            rec(
+                seq,
+                cycles,
+                0,
+                7,
+                TraceEvent::PagerChain {
+                    phase,
+                    causal: 1,
+                    pager: 42,
+                    depth: 0,
+                },
+            )
+        };
+        TraceLog {
+            records: vec![
+                rec(0, 100, 0, 7, TraceEvent::FaultBegin { fault_id: 1 }),
+                chain(1, 100, CausalPhase::Enqueue),
+                chain(2, 150, CausalPhase::Dequeue),
+                chain(3, 650, CausalPhase::Served),
+                chain(4, 650, CausalPhase::Delivered),
+                chain(5, 650, CausalPhase::Wake),
+                rec(
+                    6,
+                    700,
+                    0,
+                    7,
+                    TraceEvent::FaultEnd {
+                        fault_id: 1,
+                        resolution: FaultResolution::Pagein,
+                    },
+                ),
+            ],
+            written: 7,
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic_and_structured() {
+        let log = sample_log();
+        let a = chrome_trace_json(&log);
+        let b = chrome_trace_json(&log);
+        assert_eq!(a, b, "pure function of the log");
+        assert!(a.starts_with("{\"displayTimeUnit\""));
+        assert!(a.ends_with("]}\n"));
+        // One fault slice, four chain slices, one flow pair.
+        assert_eq!(a.matches("\"ph\":\"X\"").count(), 5);
+        assert_eq!(a.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(a.matches("\"ph\":\"f\"").count(), 1);
+        assert!(a.contains("\"name\":\"queue_wait\""));
+        assert!(a.contains("\"name\":\"Pagein\""));
+        // The single pager (raw port 42) is remapped to dense track 0.
+        assert!(a.contains("\"pager 0\""));
+        assert!(
+            !a.contains("42"),
+            "raw port ids must not leak into the export"
+        );
+    }
+
+    #[test]
+    fn empty_log_exports_valid_skeleton() {
+        let log = TraceSink::new(1).snapshot();
+        let s = chrome_trace_json(&log);
+        assert!(s.contains("\"traceEvents\""));
+        assert!(s.contains("kernel CPUs"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        esc("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -135,6 +135,11 @@ impl Pager for ExternalPagerProxy {
         if self.injector.fire(InjectKind::MsgDelay, object_id, offset) {
             std::thread::sleep(self.injector.delay());
         }
+        // The trailing field is the causal id of the faulting thread; a
+        // pager that echoes it on the reply lets the kernel attribute the
+        // reply to the fault that caused the request (old pagers that
+        // ignore it are still protocol-conformant — trailing fields are
+        // optional by construction).
         let msg = Message::new(ops::PAGER_DATA_REQUEST)
             .with(MsgField::U64(object_id))
             .with(MsgField::Port(self.request_port.clone()))
@@ -142,7 +147,8 @@ impl Pager for ExternalPagerProxy {
             .with(MsgField::U64(length))
             .with(MsgField::U64(u64::from(
                 crate::types::Protection::READ.bits(),
-            )));
+            )))
+            .with(MsgField::U64(crate::trace::current_causal()));
         match self.pager_port.send(msg) {
             Ok(()) => PagerReply::Pending,
             Err(IpcError::DeadPort) => PagerReply::Error(VmError::PagerDied),
@@ -173,7 +179,8 @@ impl Pager for ExternalPagerProxy {
                 .with(MsgField::Port(self.request_port.clone()))
                 .with(MsgField::U64(offset + self.base_offset))
                 .with(MsgField::U64(length))
-                .with(MsgField::U64(u64::from(access))),
+                .with(MsgField::U64(u64::from(access)))
+                .with(MsgField::U64(crate::trace::current_causal())),
         );
     }
 
@@ -250,6 +257,17 @@ fn handle_pager_message(
     handle_pager_message_once(ctx, obj, msg, base, pager_port);
 }
 
+/// Optional trailing causal id: pagers that echo the request's causal id
+/// append it after the documented fields; older pagers simply omit it and
+/// the reply attributes to causal 0 (untracked).
+fn tail_causal(msg: &Message, idx: usize) -> u64 {
+    if msg.fields().len() > idx {
+        msg.u64(idx)
+    } else {
+        0
+    }
+}
+
 fn handle_pager_message_once(
     ctx: &CoreRefs,
     obj: &Arc<VmObject>,
@@ -278,6 +296,7 @@ fn handle_pager_message_once(
                     TraceEvent::PagerReply {
                         msg: PagerMsg::DataProvided,
                         pager: pager_port.id(),
+                        causal: tail_causal(msg, 3),
                     },
                 );
                 crate::fault::fill_and_release(ctx, obj, p, Some(data), false);
@@ -305,6 +324,7 @@ fn handle_pager_message_once(
                     TraceEvent::PagerReply {
                         msg: PagerMsg::DataUnavailable,
                         pager: pager_port.id(),
+                        causal: tail_causal(msg, 2),
                     },
                 );
                 for (_, p) in claimed {
@@ -326,6 +346,7 @@ fn handle_pager_message_once(
                 TraceEvent::PagerReply {
                     msg: PagerMsg::DataLock,
                     pager: pager_port.id(),
+                    causal: tail_causal(msg, 3),
                 },
             );
             {
@@ -370,6 +391,7 @@ fn handle_pager_message_once(
                 TraceEvent::PagerReply {
                     msg: PagerMsg::CleanRequest,
                     pager: pager_port.id(),
+                    causal: 0,
                 },
             );
             for (off, p) in resident_range(obj, offset, length) {
@@ -394,6 +416,7 @@ fn handle_pager_message_once(
                     TraceEvent::PagerRequest {
                         msg: PagerMsg::DataWrite,
                         pager: pager_port.id(),
+                        causal: 0,
                     },
                 );
                 ctx.machdep.clear_modify(pa, page);
@@ -416,6 +439,7 @@ fn handle_pager_message_once(
                 TraceEvent::PagerReply {
                     msg: PagerMsg::FlushRequest,
                     pager: pager_port.id(),
+                    causal: 0,
                 },
             );
             for (off, p) in resident_range(obj, offset, length) {
@@ -454,6 +478,7 @@ fn handle_pager_message_once(
                 TraceEvent::PagerReply {
                     msg: PagerMsg::Readonly,
                     pager: pager_port.id(),
+                    causal: 0,
                 },
             );
             obj.lock().pager_readonly = true;
@@ -466,6 +491,7 @@ fn handle_pager_message_once(
                 TraceEvent::PagerReply {
                     msg: PagerMsg::Cache,
                     pager: pager_port.id(),
+                    causal: 0,
                 },
             );
             obj.lock().can_persist = msg.bool(0);
@@ -499,6 +525,7 @@ fn send_lock_completed(
         TraceEvent::PagerRequest {
             msg: PagerMsg::LockCompleted,
             pager: pager_port.id(),
+            causal: 0,
         },
     );
 }
@@ -554,18 +581,23 @@ pub fn serve_pager<P: UserPager>(rx: &ReceiveRight, mut pager: P) -> P {
                 request_port = Some(port);
             }
             ops::PAGER_DATA_REQUEST => {
-                // [object_id, request_port, offset, length, access]
+                // [object_id, request_port, offset, length, access, causal?]
+                // — the trailing causal id, when present, is echoed back on
+                // the reply so the kernel can attribute it to the fault.
                 let reply_to = msg.port(1).clone();
                 let offset = msg.u64(2);
                 let length = msg.u64(3);
+                let causal = tail_causal(&msg, 5);
                 let reply = match pager.read(offset, length) {
                     Some(data) => Message::new(ops::PAGER_DATA_PROVIDED)
                         .with(MsgField::U64(offset))
                         .with(MsgField::Bytes(Arc::new(data)))
-                        .with(MsgField::U64(0)),
+                        .with(MsgField::U64(0))
+                        .with(MsgField::U64(causal)),
                     None => Message::new(ops::PAGER_DATA_UNAVAILABLE)
                         .with(MsgField::U64(offset))
-                        .with(MsgField::U64(length)),
+                        .with(MsgField::U64(length))
+                        .with(MsgField::U64(causal)),
                 };
                 if reply_to.send(reply).is_err() {
                     return pager;
@@ -573,14 +605,16 @@ pub fn serve_pager<P: UserPager>(rx: &ReceiveRight, mut pager: P) -> P {
                 let _ = &request_port;
             }
             ops::PAGER_DATA_UNLOCK => {
-                // [object_id, request_port, offset, length, access]:
-                // the simple pager always grants the unlock.
+                // [object_id, request_port, offset, length, access, causal?]:
+                // the simple pager always grants the unlock, echoing the
+                // causal id when the kernel supplied one.
                 let reply_to = msg.port(1).clone();
                 let _ = reply_to.send(
                     Message::new(ops::PAGER_DATA_LOCK)
                         .with(MsgField::U64(msg.u64(2)))
                         .with(MsgField::U64(msg.u64(3)))
-                        .with(MsgField::U64(0)),
+                        .with(MsgField::U64(0))
+                        .with(MsgField::U64(tail_causal(&msg, 5))),
                 );
             }
             ops::PAGER_DATA_WRITE => {

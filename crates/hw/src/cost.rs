@@ -164,6 +164,15 @@ impl Clock {
         self.system_cycles() / mhz.max(1)
     }
 
+    /// Elapsed time in cycle units for a CPU running at `mhz`: system
+    /// cycles plus I/O waits converted at the clock rate. This is the
+    /// single timeline observability stamps use — a span over an I/O
+    /// wait is as wide as the wait, not zero.
+    #[inline]
+    pub fn elapsed_cycles(&self, mhz: u64) -> u64 {
+        self.system_cycles() + self.wait_us() * mhz.max(1)
+    }
+
     /// Elapsed time in microseconds: system time plus I/O waits.
     #[inline]
     pub fn elapsed_us(&self, mhz: u64) -> u64 {

@@ -435,6 +435,15 @@ impl Machine {
         self.clock().charge_wait_us(us);
     }
 
+    /// The bound CPU's elapsed timeline in cycle units: system cycles
+    /// plus charged I/O wait at the model's clock rate. Trace and
+    /// profiler stamps read this clock so I/O-bound intervals (pager
+    /// RPCs, pageins) have their true width.
+    #[inline]
+    pub fn elapsed_cycles(&self) -> u64 {
+        self.clock().elapsed_cycles(self.model.mhz)
+    }
+
     /// Largest elapsed time across all CPUs, in microseconds.
     pub fn elapsed_us(&self) -> u64 {
         self.cpus

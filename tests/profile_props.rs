@@ -248,3 +248,86 @@ proptest! {
         }
     }
 }
+
+/// Tentpole acceptance: the causal decomposition sums to the existing
+/// `pager_wait` span *exactly*, on all five architecture ports at 1 and
+/// 4 CPUs. Each refault through the pager fleet leaves five boundary
+/// stamps whose consecutive differences telescope to Wake − Enqueue;
+/// Enqueue coincides with the span opening and Wake with its close, so
+/// Σ(queue_wait + service_time + transport + wake) over complete chains
+/// equals the span total cycle-for-cycle — no epsilon, no tolerance.
+#[test]
+fn causal_decomposition_reconciles_with_pager_wait_span() {
+    use mach_vm::FleetOptions;
+
+    for port in ["vax", "romp", "sun3", "ns32082", "tlbsoft"] {
+        for cpus in [1usize, 4] {
+            let mut model = match port {
+                "vax" => MachineModel::micro_vax_ii(),
+                "romp" => MachineModel::rt_pc(),
+                "sun3" => MachineModel::sun_3_160(),
+                "ns32082" => MachineModel::multimax(cpus),
+                _ => MachineModel::rp3(cpus),
+            };
+            model.n_cpus = cpus;
+            let machine = Machine::boot(model);
+            let mut opts = BootOptions::for_machine(&machine);
+            opts.pager_fleet = Some(FleetOptions {
+                pagers: 3,
+                queue_capacity: 4,
+            });
+            let kernel = Kernel::boot_with(&machine, opts);
+            let ps = kernel.page_size();
+
+            // Unmeasured setup: one dirtied region per CPU, all evicted
+            // through the fleet.
+            let regions: Vec<_> = (0..cpus)
+                .map(|_| {
+                    let t = kernel.create_task();
+                    let addr = t.map().allocate(kernel.ctx(), None, 16 * ps, true).unwrap();
+                    t.user(0, |u| u.dirty_range(addr, 16 * ps).unwrap());
+                    (t, addr)
+                })
+                .collect();
+            while kernel.reclaim(16) > 0 {}
+
+            // Measured: every CPU refaults its region concurrently —
+            // each pagein is a traced fleet RPC.
+            kernel.enable_profiling();
+            kernel.enable_tracing(65_536);
+            std::thread::scope(|s| {
+                for (cpu, (t, addr)) in regions.iter().enumerate() {
+                    let (t, addr) = (Arc::clone(t), *addr);
+                    s.spawn(move || {
+                        t.user(cpu, |u| {
+                            for p in (0..16u64).step_by(2) {
+                                u.read_u32(addr + p * ps).unwrap();
+                            }
+                        });
+                    });
+                }
+            });
+
+            let log = kernel.trace_log();
+            kernel.disable_tracing();
+            assert!(!log.wrapped(), "{port} x{cpus}: ring holds the full ledger");
+            let chains = log.causal_breakdowns();
+            assert!(
+                !chains.is_empty(),
+                "{port} x{cpus}: refaults crossed the fleet"
+            );
+            let span = kernel.profile_report().leaf_totals(SpanKind::PagerWait);
+            kernel.disable_profiling();
+            assert_eq!(
+                chains.len() as u64,
+                span.count,
+                "{port} x{cpus}: one complete chain per pager_wait span"
+            );
+            let sum: u64 = chains.iter().map(|c| c.total()).sum();
+            assert_eq!(
+                sum, span.total_cycles,
+                "{port} x{cpus}: decomposition must sum to the span exactly"
+            );
+        }
+    }
+}

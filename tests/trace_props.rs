@@ -383,3 +383,114 @@ fn fleet_traffic_attributes_to_bound_service_ports() {
         }
     }
 }
+
+/// Drive paging traffic through whatever pager the kernel booted with:
+/// dirty a region, evict it, refault half of it back in.
+fn pager_traffic(kernel: &Arc<Kernel>) {
+    let ps = kernel.page_size();
+    let task = kernel.create_task();
+    let addr = task
+        .map()
+        .allocate(kernel.ctx(), None, 16 * ps, true)
+        .unwrap();
+    task.user(0, |u| u.dirty_range(addr, 16 * ps).unwrap());
+    while kernel.reclaim(16) > 0 {}
+    task.user(0, |u| {
+        for p in (0..16u64).step_by(2) {
+            u.read_u32(addr + p * ps).unwrap();
+        }
+    });
+}
+
+#[test]
+fn pager_ids_partition_the_pager_timeline() {
+    use mach_vm::kernel::BootOptions;
+    use mach_vm::FleetOptions;
+
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.pager_fleet = Some(FleetOptions {
+        pagers: 4,
+        queue_capacity: 8,
+    });
+    let kernel = Kernel::boot_with(&machine, opts);
+    kernel.enable_tracing(65_536);
+    pager_traffic(&kernel);
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+
+    let ids = log.pager_ids();
+    assert!(!ids.is_empty(), "the workload produced pager traffic");
+    // Dense: sorted, no duplicates, and no id without traffic.
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(ids, sorted, "pager_ids() is sorted and duplicate-free");
+    for id in &ids {
+        assert!(
+            !log.pager_timeline_for(*id).is_empty(),
+            "id {id} listed without any attributed events"
+        );
+    }
+    // Cover: the per-id timelines partition the full pager timeline.
+    let total: usize = ids.iter().map(|id| log.pager_timeline_for(*id).len()).sum();
+    assert_eq!(
+        total,
+        log.pager_timeline().len(),
+        "per-id timelines partition the pager timeline exactly"
+    );
+}
+
+#[test]
+fn per_port_timelines_are_monotonic_in_seq() {
+    use mach_vm::kernel::BootOptions;
+    use mach_vm::FleetOptions;
+
+    let machine = Machine::boot(MachineModel::micro_vax_ii());
+    let mut opts = BootOptions::for_machine(&machine);
+    opts.pager_fleet = Some(FleetOptions {
+        pagers: 3,
+        queue_capacity: 8,
+    });
+    let kernel = Kernel::boot_with(&machine, opts);
+    kernel.enable_tracing(65_536);
+    pager_traffic(&kernel);
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+
+    for id in log.pager_ids() {
+        let timeline = log.pager_timeline_for(id);
+        for w in timeline.windows(2) {
+            assert!(
+                w[0].seq < w[1].seq,
+                "port {id} timeline out of order: seq {} then {}",
+                w[0].seq,
+                w[1].seq
+            );
+        }
+        // And each record really belongs to this port.
+        for r in &timeline {
+            match r.event {
+                TraceEvent::PagerRequest { pager, .. } | TraceEvent::PagerReply { pager, .. } => {
+                    assert_eq!(pager, id)
+                }
+                ref other => panic!("non-pager event {other:?} in a pager timeline"),
+            }
+        }
+    }
+}
+
+#[test]
+fn in_process_pager_attributes_to_port_zero() {
+    // Without a fleet the default pager is a plain in-process call: its
+    // traffic carries the reserved pager id 0.
+    let kernel = boot();
+    kernel.enable_tracing(65_536);
+    pager_traffic(&kernel);
+    let log = kernel.trace_log();
+    kernel.disable_tracing();
+
+    let ids = log.pager_ids();
+    assert_eq!(ids, vec![0], "in-process pager traffic is port 0: {ids:?}");
+    assert!(!log.pager_timeline_for(0).is_empty());
+}
